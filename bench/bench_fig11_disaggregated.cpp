@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Experiment E6 — Fig. 11: runtime breakdown of disaggregated memory
+ * systems training MoE-1T (256 GPUs, Table V configurations).
+ *
+ * Systems:
+ *  - ZeRO-Infinity: per-node CPU/NVMe tier at 100 GB/s per GPU;
+ *    parameters are fetched serially and all-gathered over the GPU
+ *    network (Fig. 10).
+ *  - HierMem (baseline): the hierarchical pool of Fig. 6 with Table V
+ *    baseline bandwidths; same network collectives.
+ *  - HierMem (opt): the swept configuration (§V-B / Table V "Opt")
+ *    using in-switch collective fusion (§IV-D.3): parameter gathers
+ *    and gradient scatters run inside the pooled fabric and are
+ *    prefetched off the critical path.
+ *
+ * Paper shapes: ZeRO-Infinity and HierMem(baseline) within a fraction
+ * of a percent of each other (equivalent resources), both dominated
+ * by exposed communication; HierMem(opt) ~4.6x faster.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/table.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+namespace {
+
+Topology
+cluster()
+{
+    // 16 nodes x 16 GPUs: NVSwitch-class in-node, IB-class scale-out.
+    return Topology({{BlockType::Switch, 16, 300.0, 300.0},
+                     {BlockType::Switch, 16, 25.0, 700.0}});
+}
+
+Report
+runSystem(const char *system, GBps fabric, GBps group)
+{
+    SimulatorConfig cfg;
+    cfg.sys.compute.peakTflops = 2048.0; // Table V GPU peak perf.
+    cfg.localMem.bandwidth = 4096.0;     // Table V local HBM BW.
+
+    MoEOptions opts;
+    std::string name = system;
+    if (name == "zero") {
+        ZeroInfinityConfig zero;
+        zero.tierBandwidth = 100.0; // Table V remote mem group BW.
+        cfg.zeroInfinityMem = zero;
+        opts.path = ParamPath::NetworkCollectives;
+    } else {
+        RemoteMemoryConfig pool; // Table V baseline defaults.
+        pool.inNodeFabricBw = fabric;
+        pool.gpuSideOutNodeBw = fabric;
+        pool.remoteMemGroupBw = group;
+        cfg.pooledMem = pool;
+        opts.path = (name == "hiermem-opt")
+                        ? ParamPath::FusedInSwitch
+                        : ParamPath::NetworkCollectives;
+    }
+
+    Topology topo = cluster();
+    Workload wl = buildMoEDisaggregated(topo, moe1T(), opts);
+    Simulator sim(std::move(topo), cfg);
+    return sim.run(wl);
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("E6 / Fig. 11: disaggregated memory systems, MoE-1T "
+                "training breakdown\n\n");
+
+    struct Config
+    {
+        const char *label;
+        const char *system;
+        GBps fabric;
+        GBps group;
+    };
+    const Config configs[] = {
+        {"ZeRO-Infinity", "zero", 0.0, 0.0},
+        {"HierMem (baseline)", "hiermem", 256.0, 100.0},
+        {"HierMem (opt)", "hiermem-opt", 512.0, 500.0},
+    };
+
+    Table table({"system", "total (ms)", "compute", "exp comm",
+                 "exp local", "exp remote", "idle", "vs baseline"});
+    double baseline = 0.0;
+    for (const Config &c : configs) {
+        Report r = runSystem(c.system, c.fabric, c.group);
+        if (std::string(c.system) == "hiermem")
+            baseline = r.totalTime;
+        table.addRow({c.label, Table::num(r.totalTime / kMs),
+                      Table::num(r.average.compute / kMs),
+                      Table::num(r.average.exposedComm / kMs),
+                      Table::num(r.average.exposedLocalMem / kMs),
+                      Table::num(r.average.exposedRemoteMem / kMs),
+                      Table::num(r.average.idle / kMs),
+                      baseline > 0.0
+                          ? Table::num(baseline / r.totalTime, 2) + "x"
+                          : "-"});
+    }
+    table.print();
+    std::printf("\nPaper: ZeRO-Infinity within 0.1%% of "
+                "HierMem(baseline); HierMem(opt) 4.6x faster.\n");
+    return 0;
+}

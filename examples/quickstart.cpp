@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: simulate a 1 GB All-Reduce on a 2-node DGX-A100-like
+ * system, then on a TPUv4-like 3-D torus, and print what the
+ * simulator reports.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include "common/logging.h"
+#include <cstdio>
+
+#include "astra/simulator.h"
+#include "common/units.h"
+#include "topology/presets.h"
+#include "workload/builders.h"
+
+using namespace astra;
+using namespace astra::literals;
+
+namespace {
+
+void
+runOn(const char *label, Topology topo)
+{
+    std::printf("=== %s: %s (%d NPUs) ===\n", label,
+                topo.notation().c_str(), topo.npus());
+
+    // A workload is one execution-trace graph per NPU; here just a
+    // single collective node each.
+    Workload wl =
+        buildSingleCollective(topo, CollectiveType::AllReduce, 1_GB);
+
+    SimulatorConfig cfg;
+    cfg.sys.collectiveChunks = 16; // pipeline chunks across dims.
+    Simulator sim(std::move(topo), cfg);
+    Report report = sim.run(wl);
+
+    std::printf("%s\n", report.summary().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    runOn("DGX-A100 x4 nodes", presets::dgxA100(4));
+    runOn("TPUv4-like 3-D torus", presets::tpuV4(4, 4, 4));
+    runOn("Wafer-scale W-1D-500", presets::wafer1D(500.0));
+    return 0;
+}

@@ -1,0 +1,212 @@
+#include "astra/config.h"
+
+#include "common/logging.h"
+#include "topology/notation.h"
+
+namespace astra {
+
+Topology
+topologyFromJson(const json::Value &doc)
+{
+    if (doc.has("topology"))
+        return parseTopology(doc.at("topology").asString());
+
+    ASTRA_USER_CHECK(doc.has("dims"),
+                     "network config needs either \"topology\" "
+                     "(notation string) or \"dims\" (explicit array)");
+    std::vector<Dimension> dims;
+    for (const json::Value &d : doc.at("dims").asArray()) {
+        Dimension dim;
+        dim.type = parseBlockType(d.at("type").asString());
+        dim.size = static_cast<int>(d.at("size").asInt());
+        dim.bandwidth = d.getNumber("bandwidth_gbps", 100.0);
+        dim.latency = d.getNumber("latency_ns", 500.0);
+        dims.push_back(dim);
+    }
+    return Topology(std::move(dims));
+}
+
+json::Value
+topologyToJson(const Topology &topo)
+{
+    json::Object doc;
+    json::Array dims;
+    for (int d = 0; d < topo.numDims(); ++d) {
+        json::Object o;
+        o["type"] = json::Value(blockLongName(topo.dim(d).type));
+        o["size"] = json::Value(topo.dim(d).size);
+        o["bandwidth_gbps"] = json::Value(topo.dim(d).bandwidth);
+        o["latency_ns"] = json::Value(topo.dim(d).latency);
+        dims.push_back(json::Value(std::move(o)));
+    }
+    doc["dims"] = json::Value(std::move(dims));
+    return json::Value(std::move(doc));
+}
+
+NetworkBackendKind
+backendFromJson(const json::Value &doc)
+{
+    std::string name = doc.getString("backend", "analytical");
+    if (name == "analytical")
+        return NetworkBackendKind::Analytical;
+    if (name == "analytical-pure")
+        return NetworkBackendKind::AnalyticalPure;
+    if (name == "packet")
+        return NetworkBackendKind::Packet;
+    fatal("network config: unknown backend '%s' (analytical | "
+          "analytical-pure | packet)",
+          name.c_str());
+}
+
+namespace {
+
+RemoteMemoryConfig
+pooledFromJson(const json::Value &m)
+{
+    RemoteMemoryConfig pool;
+    std::string arch = m.getString("architecture", "hierarchical");
+    if (arch == "hierarchical")
+        pool.arch = PoolArch::Hierarchical;
+    else if (arch == "multi_level_switch")
+        pool.arch = PoolArch::MultiLevelSwitch;
+    else if (arch == "ring")
+        pool.arch = PoolArch::Ring;
+    else if (arch == "mesh")
+        pool.arch = PoolArch::Mesh;
+    else
+        fatal("system config: unknown pool architecture '%s'",
+              arch.c_str());
+    pool.numNodes = static_cast<int>(m.getInt("nodes", pool.numNodes));
+    pool.gpusPerNode =
+        static_cast<int>(m.getInt("gpus_per_node", pool.gpusPerNode));
+    pool.numOutNodeSwitches = static_cast<int>(
+        m.getInt("out_node_switches", pool.numOutNodeSwitches));
+    pool.numRemoteMemoryGroups = static_cast<int>(
+        m.getInt("remote_memory_groups", pool.numRemoteMemoryGroups));
+    pool.chunkBytes = m.getNumber("chunk_bytes", pool.chunkBytes);
+    pool.remoteMemGroupBw =
+        m.getNumber("remote_group_bw_gbps", pool.remoteMemGroupBw);
+    pool.gpuSideOutNodeBw =
+        m.getNumber("gpu_side_bw_gbps", pool.gpuSideOutNodeBw);
+    pool.inNodeFabricBw =
+        m.getNumber("in_node_fabric_bw_gbps", pool.inNodeFabricBw);
+    pool.baseLatency = m.getNumber("latency_ns", pool.baseLatency);
+    return pool;
+}
+
+} // namespace
+
+SimulatorConfig
+simulatorConfigFromJson(const json::Value &system_doc,
+                        NetworkBackendKind backend)
+{
+    SimulatorConfig cfg;
+    cfg.backend = backend;
+    cfg.sys.compute.peakTflops =
+        system_doc.getNumber("peak_tflops", 234.0);
+    cfg.sys.compute.memBandwidth =
+        system_doc.getNumber("compute_mem_bw_gbps", 2039.0);
+    cfg.sys.compute.kernelOverhead =
+        system_doc.getNumber("kernel_overhead_ns", 0.0);
+    cfg.sys.collectiveChunks =
+        static_cast<int>(system_doc.getInt("collective_chunks", 8));
+    std::string policy =
+        system_doc.getString("scheduling_policy", "baseline");
+    if (policy == "themis")
+        cfg.sys.policy = SchedPolicy::Themis;
+    else if (policy == "baseline")
+        cfg.sys.policy = SchedPolicy::Baseline;
+    else
+        fatal("system config: unknown scheduling_policy '%s'",
+              policy.c_str());
+    cfg.sys.serializeChunks =
+        system_doc.getBool("serialize_chunks", false);
+
+    if (system_doc.has("local_memory")) {
+        const json::Value &m = system_doc.at("local_memory");
+        cfg.localMem.bandwidth =
+            m.getNumber("bandwidth_gbps", cfg.localMem.bandwidth);
+        cfg.localMem.latency =
+            m.getNumber("latency_ns", cfg.localMem.latency);
+    }
+
+    if (system_doc.has("remote_memory")) {
+        const json::Value &m = system_doc.at("remote_memory");
+        std::string kind = m.getString("kind", "pooled");
+        if (kind == "pooled") {
+            cfg.pooledMem = pooledFromJson(m);
+        } else if (kind == "zero-infinity") {
+            ZeroInfinityConfig zero;
+            zero.tierBandwidth =
+                m.getNumber("tier_bw_gbps", zero.tierBandwidth);
+            zero.baseLatency =
+                m.getNumber("latency_ns", zero.baseLatency);
+            cfg.zeroInfinityMem = zero;
+        } else {
+            fatal("system config: unknown remote_memory kind '%s'",
+                  kind.c_str());
+        }
+    }
+    return cfg;
+}
+
+json::Value
+simulatorConfigToJson(const SimulatorConfig &cfg)
+{
+    json::Object doc;
+    doc["peak_tflops"] = json::Value(cfg.sys.compute.peakTflops);
+    doc["compute_mem_bw_gbps"] =
+        json::Value(cfg.sys.compute.memBandwidth);
+    doc["kernel_overhead_ns"] =
+        json::Value(cfg.sys.compute.kernelOverhead);
+    doc["collective_chunks"] = json::Value(cfg.sys.collectiveChunks);
+    doc["scheduling_policy"] = json::Value(policyName(cfg.sys.policy));
+    doc["serialize_chunks"] = json::Value(cfg.sys.serializeChunks);
+
+    json::Object local;
+    local["bandwidth_gbps"] = json::Value(cfg.localMem.bandwidth);
+    local["latency_ns"] = json::Value(cfg.localMem.latency);
+    doc["local_memory"] = json::Value(std::move(local));
+
+    if (cfg.pooledMem) {
+        const RemoteMemoryConfig &pool = *cfg.pooledMem;
+        json::Object m;
+        m["kind"] = json::Value("pooled");
+        m["architecture"] = json::Value(poolArchName(pool.arch));
+        m["nodes"] = json::Value(pool.numNodes);
+        m["gpus_per_node"] = json::Value(pool.gpusPerNode);
+        m["out_node_switches"] = json::Value(pool.numOutNodeSwitches);
+        m["remote_memory_groups"] =
+            json::Value(pool.numRemoteMemoryGroups);
+        m["chunk_bytes"] = json::Value(pool.chunkBytes);
+        m["remote_group_bw_gbps"] = json::Value(pool.remoteMemGroupBw);
+        m["gpu_side_bw_gbps"] = json::Value(pool.gpuSideOutNodeBw);
+        m["in_node_fabric_bw_gbps"] = json::Value(pool.inNodeFabricBw);
+        m["latency_ns"] = json::Value(pool.baseLatency);
+        doc["remote_memory"] = json::Value(std::move(m));
+    } else if (cfg.zeroInfinityMem) {
+        json::Object m;
+        m["kind"] = json::Value("zero-infinity");
+        m["tier_bw_gbps"] =
+            json::Value(cfg.zeroInfinityMem->tierBandwidth);
+        m["latency_ns"] = json::Value(cfg.zeroInfinityMem->baseLatency);
+        doc["remote_memory"] = json::Value(std::move(m));
+    }
+    return json::Value(std::move(doc));
+}
+
+void
+writeSampleConfigs(const std::string &network_path,
+                   const std::string &system_path)
+{
+    json::Object net;
+    net["topology"] =
+        json::Value("Ring(2,250)_FC(8,200)_Ring(8,100)_Switch(4,50)");
+    net["backend"] = json::Value("analytical");
+    json::writeFile(network_path, json::Value(std::move(net)));
+
+    SimulatorConfig cfg; // library defaults = the paper's A100 system.
+    json::writeFile(system_path, simulatorConfigToJson(cfg));
+}
+
+} // namespace astra

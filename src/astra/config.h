@@ -1,0 +1,81 @@
+/**
+ * @file
+ * JSON configuration loading for the simulator, mirroring the real
+ * ASTRA-sim's split into a *network* config (topology shape,
+ * per-dimension bandwidths/latencies) and a *system* config (compute,
+ * scheduling policy, chunking, memory tiers). Together with an ET
+ * trace file this makes a complete simulation runnable from the
+ * command line (see examples/astra_sim.cpp).
+ *
+ * Network config schema:
+ * ```json
+ * {
+ *   "topology": "Ring(2,250)_FC(8,200)_Ring(8,100)_Switch(4,50)",
+ *   // or explicit:
+ *   "dims": [{"type": "Ring", "size": 2,
+ *             "bandwidth_gbps": 250, "latency_ns": 500}, ...],
+ *   "backend": "analytical" | "analytical-pure" | "packet",
+ *   "packet_bytes": 4096
+ * }
+ * ```
+ *
+ * System config schema:
+ * ```json
+ * {
+ *   "peak_tflops": 234,
+ *   "compute_mem_bw_gbps": 2039,
+ *   "kernel_overhead_ns": 0,
+ *   "collective_chunks": 8,
+ *   "scheduling_policy": "baseline" | "themis",
+ *   "serialize_chunks": false,
+ *   "local_memory": {"bandwidth_gbps": 4096, "latency_ns": 100},
+ *   "remote_memory": {
+ *     "kind": "pooled" | "zero-infinity",
+ *     // pooled:
+ *     "architecture": "hierarchical" | "multi_level_switch"
+ *                     | "ring" | "mesh",
+ *     "nodes": 16, "gpus_per_node": 16, "out_node_switches": 16,
+ *     "remote_memory_groups": 256, "chunk_bytes": 262144,
+ *     "remote_group_bw_gbps": 100, "gpu_side_bw_gbps": 256,
+ *     "in_node_fabric_bw_gbps": 256, "latency_ns": 1000,
+ *     // zero-infinity:
+ *     "tier_bw_gbps": 100, "latency_ns": 2000
+ *   }
+ * }
+ * ```
+ */
+#ifndef ASTRA_ASTRA_CONFIG_H_
+#define ASTRA_ASTRA_CONFIG_H_
+
+#include <string>
+
+#include "astra/simulator.h"
+#include "common/json.h"
+#include "topology/topology.h"
+
+namespace astra {
+
+/** Parse a network config document; fatal() on schema errors. */
+Topology topologyFromJson(const json::Value &doc);
+
+/** Serialize a topology into the explicit-dims network schema. */
+json::Value topologyToJson(const Topology &topo);
+
+/** Backend selection from a network config ("backend" key). */
+NetworkBackendKind backendFromJson(const json::Value &doc);
+
+/** Parse a system config document into a SimulatorConfig (backend is
+ *  taken from the network document; pass it in). */
+SimulatorConfig simulatorConfigFromJson(const json::Value &system_doc,
+                                        NetworkBackendKind backend);
+
+/** Serialize a SimulatorConfig into the system schema. */
+json::Value simulatorConfigToJson(const SimulatorConfig &cfg);
+
+/** Write commented sample config files (quickstart scaffolding). */
+void writeSampleConfigs(const std::string &network_path,
+                        const std::string &system_path);
+
+} // namespace astra
+
+#endif // ASTRA_ASTRA_CONFIG_H_

@@ -1,0 +1,60 @@
+#include "astra/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace astra {
+
+double
+Report::exposedCommFraction() const
+{
+    TimeNs total = average.total();
+    return total > 0.0 ? average.exposedComm / total : 0.0;
+}
+
+std::vector<double>
+Report::dimUtilization(const Topology &topo) const
+{
+    std::vector<double> util(bytesPerDim.size(), 0.0);
+    if (totalTime <= 0.0)
+        return util;
+    for (size_t d = 0;
+         d < util.size() && d < size_t(topo.numDims()); ++d) {
+        double per_npu = bytesPerDim[d] / double(topo.npus());
+        util[d] = per_npu /
+                  (topo.dim(static_cast<int>(d)).bandwidth * totalTime);
+    }
+    return util;
+}
+
+std::string
+Report::summary() const
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "workload:            %s\n"
+        "total time:          %.3f ms\n"
+        "  compute:           %.3f ms (%.1f%%)\n"
+        "  exposed comm:      %.3f ms (%.1f%%)\n"
+        "  exposed local mem: %.3f ms (%.1f%%)\n"
+        "  exposed remote mem:%.3f ms (%.1f%%)\n"
+        "  idle:              %.3f ms (%.1f%%)\n"
+        "events: %llu  messages: %llu  host time: %.3f s\n",
+        workload.c_str(), totalTime / kMs, average.compute / kMs,
+        100.0 * average.compute / std::max(average.total(), 1.0),
+        average.exposedComm / kMs,
+        100.0 * average.exposedComm / std::max(average.total(), 1.0),
+        average.exposedLocalMem / kMs,
+        100.0 * average.exposedLocalMem / std::max(average.total(), 1.0),
+        average.exposedRemoteMem / kMs,
+        100.0 * average.exposedRemoteMem /
+            std::max(average.total(), 1.0),
+        average.idle / kMs,
+        100.0 * average.idle / std::max(average.total(), 1.0),
+        static_cast<unsigned long long>(events),
+        static_cast<unsigned long long>(messages), wallSeconds);
+    return buf;
+}
+
+} // namespace astra

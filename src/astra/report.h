@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simulation results: end-to-end time, per-NPU and aggregate runtime
+ * breakdowns (the compute / exposed comm / exposed local mem /
+ * exposed remote mem / idle split of Fig. 9 and Fig. 11), and
+ * simulation-speed metadata.
+ */
+#ifndef ASTRA_ASTRA_REPORT_H_
+#define ASTRA_ASTRA_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace astra {
+
+/** Result of one Simulator::run. */
+struct Report
+{
+    std::string workload;
+    TimeNs totalTime = 0.0;       //!< simulated end-to-end time.
+    RuntimeBreakdown average;     //!< mean across NPUs.
+    std::vector<RuntimeBreakdown> perNpu;
+    uint64_t events = 0;          //!< DES events executed.
+    uint64_t messages = 0;        //!< network messages simulated.
+    std::vector<double> bytesPerDim; //!< network payload per dim.
+    double wallSeconds = 0.0;     //!< host wall-clock of the run.
+
+    /** Exposed-communication share of total runtime [0, 1]. */
+    double exposedCommFraction() const;
+
+    /**
+     * Mean injection-bandwidth utilization of each network dimension
+     * over the whole run: payload bytes sent per NPU divided by the
+     * dimension's bandwidth-time product. Needs the topology the run
+     * used (per-dim bandwidths).
+     */
+    std::vector<double> dimUtilization(const Topology &topo) const;
+
+    /** Render a human-readable summary block. */
+    std::string summary() const;
+};
+
+} // namespace astra
+
+#endif // ASTRA_ASTRA_REPORT_H_

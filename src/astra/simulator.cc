@@ -1,0 +1,71 @@
+#include "astra/simulator.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "workload/engine.h"
+
+namespace astra {
+
+Simulator::Simulator(Topology topo, SimulatorConfig cfg)
+    : topo_(std::move(topo)), cfg_(std::move(cfg))
+{
+    ASTRA_USER_CHECK(!(cfg_.pooledMem && cfg_.zeroInfinityMem),
+                     "configure at most one remote memory tier");
+    net_ = makeNetwork(cfg_.backend, eq_, topo_);
+    coll_ = std::make_unique<CollectiveEngine>(*net_);
+    if (cfg_.pooledMem) {
+        mem_ = std::make_unique<MemoryModel>(cfg_.localMem,
+                                             *cfg_.pooledMem);
+    } else if (cfg_.zeroInfinityMem) {
+        mem_ = std::make_unique<MemoryModel>(cfg_.localMem,
+                                             *cfg_.zeroInfinityMem);
+    } else {
+        mem_ = std::make_unique<MemoryModel>(cfg_.localMem);
+    }
+    sys_.reserve(static_cast<size_t>(topo_.npus()));
+    for (NpuId n = 0; n < topo_.npus(); ++n)
+        sys_.push_back(
+            std::make_unique<Sys>(n, cfg_.sys, *coll_, *mem_));
+}
+
+Sys &
+Simulator::sys(NpuId npu)
+{
+    ASTRA_ASSERT(npu >= 0 && npu < topo_.npus(), "NPU %d out of range",
+                 npu);
+    return *sys_[static_cast<size_t>(npu)];
+}
+
+Report
+Simulator::run(const Workload &wl)
+{
+    ASTRA_USER_CHECK(!ran_, "a Simulator instance runs one workload; "
+                            "create a fresh instance per run");
+    ran_ = true;
+    validateWorkload(wl, topo_.npus());
+
+    auto host_start = std::chrono::steady_clock::now();
+    ExecutionEngine engine(sys_, wl);
+    TimeNs finish = engine.run();
+    auto host_end = std::chrono::steady_clock::now();
+
+    Report report;
+    report.workload = wl.name;
+    report.totalTime = finish;
+    report.perNpu.reserve(sys_.size());
+    for (auto &sys : sys_) {
+        sys->tracker().finish(finish);
+        report.perNpu.push_back(breakdownOf(sys->tracker()));
+        report.average += report.perNpu.back();
+    }
+    report.average = report.average.scaled(1.0 / double(sys_.size()));
+    report.events = eq_.executedEvents();
+    report.messages = net_->stats().messages;
+    report.bytesPerDim = net_->stats().bytesPerDim;
+    report.wallSeconds =
+        std::chrono::duration<double>(host_end - host_start).count();
+    return report;
+}
+
+} // namespace astra

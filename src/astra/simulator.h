@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Top-level simulator facade wiring the full ASTRA-sim 2.0 stack
+ * (Fig. 1(c)): topology + network backend + collective engine +
+ * memory model + per-NPU system layers + the graph-based execution
+ * engine. One Simulator instance runs one workload and produces a
+ * Report with the end-to-end time and the five-way runtime breakdown
+ * used throughout the paper's evaluation.
+ */
+#ifndef ASTRA_ASTRA_SIMULATOR_H_
+#define ASTRA_ASTRA_SIMULATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "astra/report.h"
+#include "collective/engine.h"
+#include "memory/memory_model.h"
+#include "network/network_api.h"
+#include "system/sys.h"
+#include "topology/topology.h"
+#include "workload/et.h"
+
+namespace astra {
+
+/** Full-stack configuration for a simulation. */
+struct SimulatorConfig
+{
+    NetworkBackendKind backend = NetworkBackendKind::Analytical;
+    SysConfig sys;
+    LocalMemoryConfig localMem;
+    /** At most one remote tier may be set. */
+    std::optional<RemoteMemoryConfig> pooledMem;
+    std::optional<ZeroInfinityConfig> zeroInfinityMem;
+};
+
+/** See file comment. */
+class Simulator
+{
+  public:
+    Simulator(Topology topo, SimulatorConfig cfg = {});
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /**
+     * Validate and execute `wl` to completion; callable once per
+     * Simulator instance.
+     */
+    Report run(const Workload &wl);
+
+    const Topology &topology() const { return topo_; }
+    EventQueue &eventQueue() { return eq_; }
+    NetworkApi &network() { return *net_; }
+    CollectiveEngine &collectives() { return *coll_; }
+    const MemoryModel &memory() const { return *mem_; }
+    Sys &sys(NpuId npu);
+
+  private:
+    Topology topo_;
+    SimulatorConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<NetworkApi> net_;
+    std::unique_ptr<CollectiveEngine> coll_;
+    std::unique_ptr<MemoryModel> mem_;
+    std::vector<std::unique_ptr<Sys>> sys_;
+    bool ran_ = false;
+};
+
+} // namespace astra
+
+#endif // ASTRA_ASTRA_SIMULATOR_H_

@@ -1,0 +1,350 @@
+#include "collective/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+
+CollectiveEngine::CollectiveEngine(NetworkApi &net)
+    : net_(net), topo_(net.topology()), scheduler_(net.topology())
+{
+    sent_.assign(static_cast<size_t>(topo_.numDims()), 0.0);
+}
+
+NpuId
+CollectiveEngine::groupBase(NpuId npu,
+                            const std::vector<GroupDim> &groups) const
+{
+    NpuId base = npu;
+    for (const GroupDim &g : groups)
+        base = topo_.zeroGroup(base, g);
+    return base;
+}
+
+void
+CollectiveEngine::join(uint64_t key, NpuId npu, const CollectiveRequest &req,
+                       EventCallback on_complete)
+{
+    ASTRA_USER_CHECK(req.bytes >= 0.0, "collective with negative size");
+    ASTRA_USER_CHECK(req.chunks >= 1, "collective needs chunks >= 1");
+
+    std::vector<GroupDim> groups = normalizedGroups(topo_, req);
+
+    NpuId base = groupBase(npu, groups);
+    auto [it, inserted] =
+        instanceIds_.try_emplace({key, base}, nextInstance_);
+    if (inserted) {
+        Instance &created = instances_[nextInstance_];
+        created.id = nextInstance_;
+        ++nextInstance_;
+        created.req = req;
+        created.groups = groups;
+        created.groupSize = 1;
+        for (const GroupDim &g : groups)
+            created.groupSize *= g.size;
+    }
+    Instance &inst = instances_.at(it->second);
+
+    ASTRA_ASSERT(!inst.members.count(npu),
+                 "NPU %d joined collective %llu twice", npu,
+                 static_cast<unsigned long long>(key));
+    MemberState &member = inst.members[npu];
+    member.onComplete = std::move(on_complete);
+    member.chunks.assign(static_cast<size_t>(req.chunks), ChunkState{});
+
+    if (static_cast<int>(inst.members.size()) == inst.groupSize) {
+        // Last member arrived: the group is synchronized; release the
+        // rendezvous key (allowing the same key to be reused) and go.
+        instanceIds_.erase(it);
+        start(inst);
+    }
+}
+
+void
+CollectiveEngine::start(Instance &inst)
+{
+    // Build per-chunk phase lists. The scheduler picks each chunk's
+    // group order (computed once, so all members' state machines stay
+    // consistent).
+    Bytes chunk_bytes = inst.req.bytes / double(inst.req.chunks);
+    inst.chunkPhases.reserve(static_cast<size_t>(inst.req.chunks));
+    for (int c = 0; c < inst.req.chunks; ++c) {
+        std::vector<GroupDim> order = scheduler_.nextOrder(
+            inst.groups, inst.req.type, chunk_bytes, inst.req.policy);
+        inst.chunkPhases.push_back(
+            buildPhases(topo_, inst.req.type, chunk_bytes, order,
+                        inst.req.treeAllReduce));
+    }
+
+    // Size the early-arrival buffers now that phase lists exist.
+    for (auto &[npu, member] : inst.members) {
+        for (int c = 0; c < inst.req.chunks; ++c) {
+            member.chunks[static_cast<size_t>(c)].early.assign(
+                inst.chunkPhases[static_cast<size_t>(c)].size(), 0);
+        }
+    }
+
+    // Kick every (member, chunk) state machine. Chunks all enter their
+    // first phase now; pipelining across phases emerges from transmit
+    // port serialization in the backend.
+    uint64_t id = inst.id;
+    std::vector<NpuId> npus;
+    npus.reserve(inst.members.size());
+    for (const auto &[npu, member] : inst.members)
+        npus.push_back(npu);
+    int kick = inst.req.serializeChunks ? 1 : inst.req.chunks;
+    for (NpuId npu : npus) {
+        for (int c = 0; c < kick; ++c) {
+            auto it = instances_.find(id);
+            if (it == instances_.end())
+                return; // degenerate instance completed synchronously.
+            advance(it->second, npu, c);
+        }
+    }
+}
+
+int
+CollectiveEngine::treeChildren(int pos, int k)
+{
+    int children = 0;
+    if (2 * pos + 1 < k)
+        ++children;
+    if (2 * pos + 2 < k)
+        ++children;
+    return children;
+}
+
+int
+CollectiveEngine::expectedRecvs(const Phase &ph, int pos) const
+{
+    int k = ph.group.size;
+    switch (ph.algorithm) {
+      case PhaseAlgorithm::Ring:
+      case PhaseAlgorithm::Direct:
+        return k - 1;
+      case PhaseAlgorithm::HalvingDoubling:
+        return phaseSteps(ph);
+      case PhaseAlgorithm::TreeReduce:
+        return treeChildren(pos, k);
+      case PhaseAlgorithm::TreeBroadcast:
+        return pos > 0 ? 1 : 0;
+    }
+    return 0;
+}
+
+int
+CollectiveEngine::totalSends(const Phase &ph, int pos) const
+{
+    switch (ph.algorithm) {
+      case PhaseAlgorithm::TreeReduce:
+        return pos > 0 ? 1 : 0;
+      case PhaseAlgorithm::TreeBroadcast:
+        return treeChildren(pos, ph.group.size);
+      default:
+        // Symmetric exchange: as many sends as receives.
+        return expectedRecvs(ph, pos);
+    }
+}
+
+void
+CollectiveEngine::advance(Instance &inst, NpuId npu, int chunk)
+{
+    MemberState &member = inst.members.at(npu);
+    ChunkState &st = member.chunks[static_cast<size_t>(chunk)];
+    st.started = true;
+    const std::vector<Phase> &phases =
+        inst.chunkPhases[static_cast<size_t>(chunk)];
+
+    if (st.phase >= phases.size()) {
+        ++member.chunksDone;
+        if (inst.req.serializeChunks &&
+            member.chunksDone < inst.req.chunks) {
+            // Conservative scheduler: the member's next chunk enters
+            // the pipeline only now.
+            advance(inst, npu, member.chunksDone);
+            return;
+        }
+        if (member.chunksDone == inst.req.chunks) {
+            if (member.onComplete) {
+                // Deferred through the queue: the callback may join the
+                // NPU to its next collective, which would otherwise
+                // mutate instances_ under our feet.
+                net_.simSchedule(0.0, std::move(member.onComplete));
+            }
+            ++inst.completedMembers;
+            if (inst.completedMembers ==
+                static_cast<int>(inst.members.size())) {
+                ++completedInstances_;
+                instances_.erase(inst.id);
+            }
+        }
+        return;
+    }
+    st.sent = 0;
+    st.recvd = st.early[st.phase];
+    pump(inst, npu, chunk);
+}
+
+void
+CollectiveEngine::pump(Instance &inst, NpuId npu, int chunk)
+{
+    MemberState &member = inst.members.at(npu);
+    ChunkState &st = member.chunks[static_cast<size_t>(chunk)];
+    const Phase &ph =
+        inst.chunkPhases[static_cast<size_t>(chunk)][st.phase];
+
+    int pos = topo_.posInGroup(npu, ph.group);
+    int sends = totalSends(ph, pos);
+    switch (ph.algorithm) {
+      case PhaseAlgorithm::Ring:
+      case PhaseAlgorithm::HalvingDoubling:
+        // Step s may go out once step s-1's message has arrived.
+        while (st.sent < sends && st.sent <= st.recvd) {
+            sendStep(inst, npu, chunk, ph, st.sent);
+            ++st.sent;
+        }
+        break;
+      case PhaseAlgorithm::Direct:
+        // One-shot: fire all peer messages; the transmit port
+        // serializes them at the dimension's aggregate bandwidth.
+        while (st.sent < sends) {
+            sendStep(inst, npu, chunk, ph, st.sent);
+            ++st.sent;
+        }
+        break;
+      case PhaseAlgorithm::TreeReduce:
+      case PhaseAlgorithm::TreeBroadcast:
+        // Forward only once the whole subtree/parent input arrived.
+        if (st.recvd == expectedRecvs(ph, pos)) {
+            while (st.sent < sends) {
+                sendStep(inst, npu, chunk, ph, st.sent);
+                ++st.sent;
+            }
+        }
+        break;
+    }
+
+    if (st.recvd == expectedRecvs(ph, pos) && st.sent == sends) {
+        ++st.phase;
+        advance(inst, npu, chunk);
+    }
+}
+
+void
+CollectiveEngine::sendStep(Instance &inst, NpuId npu, int chunk,
+                           const Phase &ph, int step)
+{
+    int k = ph.group.size;
+    NpuId dst = npu;
+    Bytes bytes = 0.0;
+
+    switch (ph.algorithm) {
+      case PhaseAlgorithm::Ring:
+        dst = topo_.peerInGroup(npu, ph.group, 1);
+        bytes = ph.tensorBytes / double(k);
+        break;
+      case PhaseAlgorithm::Direct:
+        dst = topo_.peerInGroup(npu, ph.group, step + 1);
+        bytes = ph.tensorBytes / double(k);
+        break;
+      case PhaseAlgorithm::HalvingDoubling: {
+        int pos = topo_.posInGroup(npu, ph.group);
+        int partner_pos;
+        if (ph.op == PhaseOp::AllGather) {
+            // Recursive doubling: distances 1, 2, ..., k/2 with
+            // message sizes tensor/k, 2*tensor/k, ..., tensor/2.
+            partner_pos = pos ^ (1 << step);
+            bytes = ph.tensorBytes * double(1 << step) / double(k);
+        } else {
+            // Recursive halving: distances k/2, ..., 1 with message
+            // sizes tensor/2, tensor/4, ..., tensor/k.
+            partner_pos = pos ^ (k >> (step + 1));
+            bytes = ph.tensorBytes / double(2 << step);
+        }
+        dst = topo_.peerInGroup(npu, ph.group, partner_pos - pos);
+        break;
+      }
+      case PhaseAlgorithm::TreeReduce: {
+        // Full partial sums travel up to the parent.
+        int pos = topo_.posInGroup(npu, ph.group);
+        int parent = (pos - 1) / 2;
+        dst = topo_.peerInGroup(npu, ph.group, parent - pos);
+        bytes = ph.tensorBytes;
+        break;
+      }
+      case PhaseAlgorithm::TreeBroadcast: {
+        int pos = topo_.posInGroup(npu, ph.group);
+        int child = 2 * pos + 1 + step;
+        dst = topo_.peerInGroup(npu, ph.group, child - pos);
+        bytes = ph.tensorBytes;
+        break;
+      }
+    }
+
+    sent_[static_cast<size_t>(ph.group.dim)] += bytes;
+    uint64_t inst_id = inst.id;
+    MemberState &member = inst.members.at(npu);
+    size_t phase_idx = member.chunks[static_cast<size_t>(chunk)].phase;
+    SendHandlers handlers;
+    handlers.onDelivered = [this, inst_id, dst, chunk, phase_idx]() {
+        onMessage(inst_id, dst, chunk, phase_idx);
+    };
+    net_.simSend(npu, dst, bytes, ph.group.dim, kNoTag,
+                 std::move(handlers));
+}
+
+void
+CollectiveEngine::onMessage(uint64_t inst_id, NpuId npu, int chunk,
+                            size_t phase_idx)
+{
+    auto it = instances_.find(inst_id);
+    ASTRA_ASSERT(it != instances_.end(),
+                 "message for retired collective instance");
+    Instance &inst = it->second;
+    MemberState &member = inst.members.at(npu);
+    ChunkState &st = member.chunks[static_cast<size_t>(chunk)];
+    if (!st.started || phase_idx != st.phase) {
+        // The sender's rail ran ahead of this member (possibly into a
+        // chunk this member has not opened yet under serialized
+        // chunking); hold the message until the member enters that
+        // phase.
+        ASTRA_ASSERT(!st.started || phase_idx > st.phase,
+                     "collective message for an already-finished phase");
+        ++st.early[phase_idx];
+        return;
+    }
+    ++st.recvd;
+    pump(inst, npu, chunk);
+}
+
+CollectiveRunResult
+runCollective(CollectiveEngine &engine, const CollectiveRequest &req)
+{
+    static uint64_t run_key = 0xC011EC71FE000000ULL;
+    ++run_key;
+
+    NetworkApi &net = engine.network();
+    const Topology &topo = net.topology();
+    std::vector<double> sent_before = engine.sentBytesPerDim();
+
+    CollectiveRunResult result;
+    int remaining = topo.npus();
+    for (NpuId npu = 0; npu < topo.npus(); ++npu) {
+        engine.join(run_key, npu, req, [&result, &net, &remaining]() {
+            --remaining;
+            result.finish = std::max(result.finish, net.now());
+        });
+    }
+    net.eventQueue().run();
+    ASTRA_ASSERT(remaining == 0, "collective did not complete (%d left)",
+                 remaining);
+
+    result.sentPerDim = engine.sentBytesPerDim();
+    for (size_t d = 0; d < result.sentPerDim.size(); ++d)
+        result.sentPerDim[d] -= sent_before[d];
+    return result;
+}
+
+} // namespace astra

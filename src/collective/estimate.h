@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Closed-form collective cost estimates (paper §IV-C equation).
+ *
+ * These formulas mirror the event-driven executor: a phase over a
+ * group of size k moves `(k-1)/k * tensorBytes` per NPU at the
+ * dimension's per-NPU bandwidth and pays `steps * hop_latency` in
+ * latency. A single-chunk collective is the sequential sum of its
+ * phases; a chunked collective is bounded below by the busiest
+ * dimension's total serialization (the pipeline bottleneck) plus the
+ * one-chunk fill time. Tests cross-check the executor against these.
+ */
+#ifndef ASTRA_COLLECTIVE_ESTIMATE_H_
+#define ASTRA_COLLECTIVE_ESTIMATE_H_
+
+#include <vector>
+
+#include "collective/phases.h"
+#include "collective/types.h"
+#include "topology/topology.h"
+
+namespace astra {
+
+/** Breakdown of a closed-form collective estimate. */
+struct CollectiveEstimate
+{
+    TimeNs time = 0.0;           //!< estimated completion time.
+    TimeNs bottleneck = 0.0;     //!< busiest-dimension serialization.
+    TimeNs sequential = 0.0;     //!< unchunked sequential phase sum.
+    std::vector<Bytes> sentPerDim; //!< per-NPU sent bytes per dim.
+};
+
+/** Serialization + latency time of one phase at full size. */
+TimeNs phaseTime(const Topology &topo, const Phase &phase);
+
+/**
+ * Estimate a collective's completion time on `topo`.
+ *
+ * Baseline policy uses the canonical order for every chunk; the
+ * Themis policy replays the greedy scheduler's order choices so the
+ * estimate reflects balanced per-dimension loads.
+ */
+CollectiveEstimate estimateCollective(const Topology &topo,
+                                      const CollectiveRequest &req);
+
+} // namespace astra
+
+#endif // ASTRA_COLLECTIVE_ESTIMATE_H_

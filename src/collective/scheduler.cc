@@ -1,0 +1,108 @@
+#include "collective/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+
+CollectiveScheduler::CollectiveScheduler(const Topology &topo) : topo_(topo)
+{
+    load_.assign(static_cast<size_t>(topo.numDims()), 0.0);
+}
+
+void
+CollectiveScheduler::resetLoads()
+{
+    std::fill(load_.begin(), load_.end(), 0.0);
+}
+
+std::vector<GroupDim>
+CollectiveScheduler::nextOrder(const std::vector<GroupDim> &groups,
+                               CollectiveType type, Bytes bytes,
+                               SchedPolicy policy)
+{
+    ASTRA_ASSERT(!groups.empty(), "collective spans no dimensions");
+    std::vector<GroupDim> order = groups;
+    if (policy == SchedPolicy::Themis && groups.size() > 1)
+        order = themisOrder(groups, type, bytes);
+    accountOrder(order, type, bytes);
+    return order;
+}
+
+std::vector<GroupDim>
+CollectiveScheduler::themisOrder(const std::vector<GroupDim> &groups,
+                                 CollectiveType type, Bytes bytes) const
+{
+    // Minimax greedy: pick the order whose per-dimension serialization
+    // increments leave the busiest dimension least loaded. Dimension
+    // counts are small (<= ~6), so exhaustive permutation search is
+    // cheap for the common cases; beyond that, fall back to candidate
+    // orders that differ only in the (dominant) first position.
+    auto evaluate = [&](const std::vector<GroupDim> &order) {
+        std::vector<Bytes> sent = perDimSentBytes(topo_, type, bytes,
+                                                  order);
+        TimeNs worst = 0.0;
+        TimeNs total = 0.0;
+        for (size_t d = 0; d < sent.size(); ++d) {
+            TimeNs add = txTime(sent[d],
+                                topo_.dim(static_cast<int>(d)).bandwidth);
+            total += add;
+            worst = std::max(worst, load_[d] + add);
+        }
+        // Primary: minimize the bottleneck; secondary: waste less
+        // total bandwidth-time.
+        return std::make_pair(worst, total);
+    };
+
+    std::vector<GroupDim> best = groups;
+    auto best_score = evaluate(best);
+
+    if (groups.size() <= 5) {
+        std::vector<size_t> idx(groups.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        std::vector<GroupDim> candidate(groups.size());
+        do {
+            for (size_t i = 0; i < idx.size(); ++i)
+                candidate[i] = groups[idx[i]];
+            auto score = evaluate(candidate);
+            if (score < best_score) {
+                best_score = score;
+                best = candidate;
+            }
+        } while (std::next_permutation(idx.begin(), idx.end()));
+        return best;
+    }
+
+    // Many dimensions: rotate each group into the lead position and
+    // keep the rest in canonical order.
+    for (size_t lead = 1; lead < groups.size(); ++lead) {
+        std::vector<GroupDim> candidate;
+        candidate.push_back(groups[lead]);
+        for (size_t i = 0; i < groups.size(); ++i)
+            if (i != lead)
+                candidate.push_back(groups[i]);
+        auto score = evaluate(candidate);
+        if (score < best_score) {
+            best_score = score;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+void
+CollectiveScheduler::accountOrder(const std::vector<GroupDim> &order,
+                                  CollectiveType type, Bytes bytes)
+{
+    std::vector<Bytes> sent = perDimSentBytes(topo_, type, bytes, order);
+    for (size_t d = 0; d < sent.size(); ++d) {
+        if (sent[d] > 0.0)
+            load_[d] += txTime(
+                sent[d], topo_.dim(static_cast<int>(d)).bandwidth);
+    }
+}
+
+} // namespace astra

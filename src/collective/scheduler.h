@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Collective dimension-order schedulers (paper §V-A).
+ *
+ * The multi-rail executor asks the scheduler for the reduce-scatter
+ * group order of each chunk. The baseline policy always returns the
+ * canonical order (Dim 1 first), which loads the first dimension with
+ * the largest share `(k1-1)/k1` of the tensor.
+ *
+ * The Themis-style greedy policy [9] balances bandwidth utilization:
+ * it tracks the accumulated serialization time queued on every
+ * topology dimension and, for each chunk, orders the groups so the
+ * least-loaded dimension carries the biggest share. With many chunks
+ * this spreads the collective across all rails and approaches the
+ * aggregate-bandwidth bound, which is why only multi-dimensional
+ * topologies benefit (Fig. 9(a)).
+ */
+#ifndef ASTRA_COLLECTIVE_SCHEDULER_H_
+#define ASTRA_COLLECTIVE_SCHEDULER_H_
+
+#include <vector>
+
+#include "collective/phases.h"
+#include "collective/types.h"
+#include "topology/topology.h"
+
+namespace astra {
+
+/**
+ * Chooses per-chunk group orders and tracks per-dimension load.
+ * One instance lives in the CollectiveEngine so that load balancing
+ * also spans consecutive collectives.
+ */
+class CollectiveScheduler
+{
+  public:
+    explicit CollectiveScheduler(const Topology &topo);
+
+    /**
+     * Group order (reduce-scatter direction) for the next chunk.
+     *
+     * @param groups  normalized participating group factors in
+     *                canonical order.
+     * @param type    collective pattern (loads differ per pattern).
+     * @param bytes   chunk payload bytes.
+     * @param policy  Baseline or Themis.
+     */
+    std::vector<GroupDim> nextOrder(const std::vector<GroupDim> &groups,
+                                    CollectiveType type, Bytes bytes,
+                                    SchedPolicy policy);
+
+    /** Accumulated per-dimension serialization load (ns). */
+    const std::vector<TimeNs> &loads() const { return load_; }
+
+    /** Forget accumulated loads (e.g., between experiments). */
+    void resetLoads();
+
+  private:
+    void accountOrder(const std::vector<GroupDim> &order,
+                      CollectiveType type, Bytes bytes);
+
+    /** Minimax-greedy order search for the Themis policy. */
+    std::vector<GroupDim> themisOrder(const std::vector<GroupDim> &groups,
+                                      CollectiveType type,
+                                      Bytes bytes) const;
+
+    const Topology &topo_;
+    std::vector<TimeNs> load_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COLLECTIVE_SCHEDULER_H_

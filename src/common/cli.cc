@@ -1,0 +1,95 @@
+#include "common/cli.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace astra {
+
+CommandLine::CommandLine(int argc, const char *const *argv,
+                         std::vector<std::string> known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name = body;
+        std::string value;
+        bool has_value = false;
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            has_value = true;
+        }
+        ASTRA_USER_CHECK(
+            std::find(known.begin(), known.end(), name) != known.end(),
+            "unknown flag --%s", name.c_str());
+        if (!has_value) {
+            // `--flag value` form when the next token is not a flag;
+            // otherwise a boolean switch.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        flags_[name] = value;
+    }
+}
+
+bool
+CommandLine::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CommandLine::getString(const std::string &name, const std::string &dflt) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? dflt : it->second;
+}
+
+double
+CommandLine::getDouble(const std::string &name, double dflt) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return dflt;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception &) {
+        fatal("flag --%s expects a number, got '%s'", name.c_str(),
+              it->second.c_str());
+    }
+}
+
+int64_t
+CommandLine::getInt(const std::string &name, int64_t dflt) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return dflt;
+    try {
+        return std::stoll(it->second);
+    } catch (const std::exception &) {
+        fatal("flag --%s expects an integer, got '%s'", name.c_str(),
+              it->second.c_str());
+    }
+}
+
+bool
+CommandLine::getBool(const std::string &name, bool dflt) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return dflt;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+} // namespace astra

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the examples and benches.
+ *
+ * Supports `--name value` and `--name=value` forms plus boolean
+ * switches (`--verbose`). Unknown flags are fatal() (user error).
+ */
+#ifndef ASTRA_COMMON_CLI_H_
+#define ASTRA_COMMON_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace astra {
+
+/** Parsed command line with typed lookups and defaults. */
+class CommandLine
+{
+  public:
+    /**
+     * Parse argv.
+     *
+     * @param known  names of the accepted flags (without `--`);
+     *               anything else is a fatal user error.
+     */
+    CommandLine(int argc, const char *const *argv,
+                std::vector<std::string> known);
+
+    bool has(const std::string &name) const;
+    std::string getString(const std::string &name,
+                          const std::string &dflt) const;
+    double getDouble(const std::string &name, double dflt) const;
+    int64_t getInt(const std::string &name, int64_t dflt) const;
+    bool getBool(const std::string &name, bool dflt = false) const;
+
+    /** Positional (non-flag) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_CLI_H_

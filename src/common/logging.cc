@@ -1,0 +1,76 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <iostream>
+
+namespace astra {
+
+namespace {
+
+bool g_verbose = true;
+
+} // namespace
+
+namespace detail {
+
+std::string
+formatV(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+} // namespace detail
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+void
+informStr(const std::string &msg)
+{
+    if (g_verbose)
+        std::cout << "info: " << msg << "\n";
+}
+
+void
+warnStr(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+fatalStr(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panicStr(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace astra

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * Severity model (following the gem5 coding style guide):
+ *  - inform(): normal operating message, no connotation of misbehaviour.
+ *  - warn():   something may be modelled imperfectly; simulation continues.
+ *  - fatal():  the simulation cannot continue due to a *user* error
+ *              (bad configuration, invalid arguments). Throws
+ *              FatalError so tests can assert on misconfiguration.
+ *  - panic():  an internal simulator bug; should never happen regardless
+ *              of user input. Aborts the process.
+ */
+#ifndef ASTRA_COMMON_LOGGING_H_
+#define ASTRA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace astra {
+
+/** Error thrown by fatal(): a user-level misconfiguration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+std::string formatV(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Global verbosity switch; examples/benches may silence inform(). */
+void setVerbose(bool verbose);
+bool verbose();
+
+/** Print a normal status message to stdout (when verbose). */
+void informStr(const std::string &msg);
+/** Print a warning to stderr. */
+void warnStr(const std::string &msg);
+/** Abort the simulation with a user-error message (throws FatalError). */
+[[noreturn]] void fatalStr(const std::string &msg);
+/** Abort the process on an internal invariant violation. */
+[[noreturn]] void panicStr(const std::string &msg);
+
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        informStr(fmt);
+    else
+        informStr(detail::formatV(fmt, args...));
+}
+
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        warnStr(fmt);
+    else
+        warnStr(detail::formatV(fmt, args...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        fatalStr(fmt);
+    else
+        fatalStr(detail::formatV(fmt, args...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        panicStr(fmt);
+    else
+        panicStr(detail::formatV(fmt, args...));
+}
+
+/** fatal() unless the user-facing condition holds. */
+#define ASTRA_USER_CHECK(cond, ...)                                        \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::astra::fatal(__VA_ARGS__);                                   \
+    } while (0)
+
+/** panic() unless the internal invariant holds. */
+#define ASTRA_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::astra::panic(__VA_ARGS__);                                   \
+    } while (0)
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_LOGGING_H_

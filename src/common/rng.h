@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic xoshiro256** RNG for workload generation and property
+ * tests. Seeded explicitly so every simulation is reproducible.
+ */
+#ifndef ASTRA_COMMON_RNG_H_
+#define ASTRA_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace astra {
+
+/** Small, fast, deterministic PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding per the xoshiro reference implementation.
+        uint64_t x = seed;
+        for (int i = 0; i < 4; ++i) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s_[i] = z ^ (z >> 31);
+        }
+    }
+
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + uniform() * (hi - lo);
+    }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_RNG_H_

@@ -1,0 +1,111 @@
+#include "common/stats.h"
+
+#include "common/logging.h"
+
+namespace astra {
+
+const char *
+runtimeClassName(RuntimeClass c)
+{
+    switch (c) {
+      case RuntimeClass::Compute: return "compute";
+      case RuntimeClass::ExposedComm: return "exposed_comm";
+      case RuntimeClass::ExposedLocalMem: return "exposed_local_mem";
+      case RuntimeClass::ExposedRemoteMem: return "exposed_remote_mem";
+      case RuntimeClass::Idle: return "idle";
+    }
+    return "?";
+}
+
+void
+BreakdownTracker::attribute(TimeNs now)
+{
+    ASTRA_ASSERT(now + 1e-9 >= last_,
+                 "breakdown tracker saw time going backwards");
+    if (now > last_) {
+        buckets_[static_cast<int>(currentClass())] += now - last_;
+        last_ = now;
+    }
+}
+
+RuntimeClass
+BreakdownTracker::currentClass() const
+{
+    if (active_[static_cast<int>(Activity::Compute)] > 0)
+        return RuntimeClass::Compute;
+    if (active_[static_cast<int>(Activity::Comm)] > 0)
+        return RuntimeClass::ExposedComm;
+    if (active_[static_cast<int>(Activity::LocalMem)] > 0)
+        return RuntimeClass::ExposedLocalMem;
+    if (active_[static_cast<int>(Activity::RemoteMem)] > 0)
+        return RuntimeClass::ExposedRemoteMem;
+    return RuntimeClass::Idle;
+}
+
+void
+BreakdownTracker::beginActivity(Activity a, TimeNs now)
+{
+    attribute(now);
+    ++active_[static_cast<int>(a)];
+}
+
+void
+BreakdownTracker::endActivity(Activity a, TimeNs now)
+{
+    attribute(now);
+    int &n = active_[static_cast<int>(a)];
+    ASTRA_ASSERT(n > 0, "endActivity without matching beginActivity");
+    --n;
+}
+
+void
+BreakdownTracker::finish(TimeNs now)
+{
+    attribute(now);
+}
+
+TimeNs
+BreakdownTracker::total() const
+{
+    TimeNs t = 0.0;
+    for (TimeNs b : buckets_)
+        t += b;
+    return t;
+}
+
+RuntimeBreakdown &
+RuntimeBreakdown::operator+=(const RuntimeBreakdown &o)
+{
+    compute += o.compute;
+    exposedComm += o.exposedComm;
+    exposedLocalMem += o.exposedLocalMem;
+    exposedRemoteMem += o.exposedRemoteMem;
+    idle += o.idle;
+    return *this;
+}
+
+RuntimeBreakdown
+RuntimeBreakdown::scaled(double f) const
+{
+    RuntimeBreakdown r;
+    r.compute = compute * f;
+    r.exposedComm = exposedComm * f;
+    r.exposedLocalMem = exposedLocalMem * f;
+    r.exposedRemoteMem = exposedRemoteMem * f;
+    r.idle = idle * f;
+    return r;
+}
+
+RuntimeBreakdown
+breakdownOf(const BreakdownTracker &t)
+{
+    RuntimeBreakdown b;
+    b.compute = t.time(RuntimeClass::Compute);
+    b.exposedComm = t.time(RuntimeClass::ExposedComm);
+    b.exposedLocalMem = t.time(RuntimeClass::ExposedLocalMem);
+    b.exposedRemoteMem = t.time(RuntimeClass::ExposedRemoteMem);
+    b.idle = t.time(RuntimeClass::Idle);
+    return b;
+}
+
+} // namespace astra

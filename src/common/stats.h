@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics helpers: accumulators and the exposed-time
+ * breakdown used throughout the evaluation (Fig. 9, Fig. 11).
+ */
+#ifndef ASTRA_COMMON_STATS_H_
+#define ASTRA_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace astra {
+
+/** Running scalar statistics (count/sum/min/max/mean). */
+class Accumulator
+{
+  public:
+    void
+    add(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * The five runtime categories of the paper's breakdowns.
+ *
+ * At every instant an NPU is attributed to exactly one category, by
+ * priority: busy compute wins, then in-flight communication, then
+ * local memory, then remote memory, then idle. "Exposed" therefore
+ * means "not hidden behind compute (or a higher-priority activity)".
+ */
+enum class RuntimeClass : int {
+    Compute = 0,
+    ExposedComm = 1,
+    ExposedLocalMem = 2,
+    ExposedRemoteMem = 3,
+    Idle = 4,
+};
+
+constexpr int kNumRuntimeClasses = 5;
+
+/** Printable name of a runtime class. */
+const char *runtimeClassName(RuntimeClass c);
+
+/**
+ * Integrates wall-clock time into the five RuntimeClass buckets.
+ *
+ * Drive it with beginActivity()/endActivity() around each operation on
+ * an NPU; it attributes elapsed simulated time to the highest-priority
+ * concurrently-active class.
+ */
+class BreakdownTracker
+{
+  public:
+    /** Activity classes an operation can register as. */
+    enum class Activity : int {
+        Compute = 0,
+        Comm = 1,
+        LocalMem = 2,
+        RemoteMem = 3,
+    };
+    static constexpr int kNumActivities = 4;
+
+    void beginActivity(Activity a, TimeNs now);
+    void endActivity(Activity a, TimeNs now);
+
+    /** Flush attribution up to `now` (e.g., at end of simulation). */
+    void finish(TimeNs now);
+
+    /** Accumulated time per runtime class (after finish()). */
+    TimeNs time(RuntimeClass c) const
+    {
+        return buckets_[static_cast<int>(c)];
+    }
+
+    TimeNs total() const;
+
+  private:
+    void attribute(TimeNs now);
+    RuntimeClass currentClass() const;
+
+    int active_[kNumActivities] = {0, 0, 0, 0};
+    TimeNs last_ = 0.0;
+    TimeNs buckets_[kNumRuntimeClasses] = {0, 0, 0, 0, 0};
+};
+
+/** Breakdown result in a plain struct, aggregated over NPUs. */
+struct RuntimeBreakdown
+{
+    TimeNs compute = 0.0;
+    TimeNs exposedComm = 0.0;
+    TimeNs exposedLocalMem = 0.0;
+    TimeNs exposedRemoteMem = 0.0;
+    TimeNs idle = 0.0;
+
+    TimeNs
+    total() const
+    {
+        return compute + exposedComm + exposedLocalMem + exposedRemoteMem +
+               idle;
+    }
+
+    RuntimeBreakdown &operator+=(const RuntimeBreakdown &o);
+    RuntimeBreakdown scaled(double f) const;
+};
+
+/** Extract the breakdown from a finished tracker. */
+RuntimeBreakdown breakdownOf(const BreakdownTracker &t);
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_STATS_H_

@@ -1,0 +1,71 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.h"
+
+namespace astra {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ASTRA_ASSERT(cells.size() == headers_.size(),
+                 "table row arity %zu != header arity %zu", cells.size(),
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += "| ";
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string out = renderRow(headers_);
+    std::string sep;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        sep += "|";
+        sep.append(widths[c] + 2, '-');
+    }
+    sep += "|\n";
+    out += sep;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::cout << render();
+}
+
+} // namespace astra

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to print the
+ * paper's tables/figure series in a readable form.
+ */
+#ifndef ASTRA_COMMON_TABLE_H_
+#define ASTRA_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace astra {
+
+/** Column-aligned ASCII table builder. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with column alignment and a separator under the header. */
+    std::string render() const;
+
+    /** Render directly to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_TABLE_H_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Simulation units and conversion helpers.
+ *
+ * Conventions used across the whole code base:
+ *  - Time is a double measured in nanoseconds (TimeNs).
+ *  - Data sizes are doubles measured in bytes (Bytes). Collective math
+ *    divides sizes by group products, so fractional bytes are allowed
+ *    in intermediate values exactly as in the original analytical model.
+ *  - Bandwidth is measured in GB/s. Conveniently 1 GB/s == 1 byte/ns,
+ *    so `bytes / bw_gbps` directly yields nanoseconds.
+ */
+#ifndef ASTRA_COMMON_UNITS_H_
+#define ASTRA_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace astra {
+
+using TimeNs = double;
+using Bytes = double;
+using GBps = double;
+
+constexpr Bytes kKiB = 1024.0;
+constexpr Bytes kMiB = 1024.0 * 1024.0;
+constexpr Bytes kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr Bytes kKB = 1e3;
+constexpr Bytes kMB = 1e6;
+constexpr Bytes kGB = 1e9;
+
+constexpr TimeNs kUs = 1e3;
+constexpr TimeNs kMs = 1e6;
+constexpr TimeNs kSec = 1e9;
+
+/** Serialization delay of `bytes` over a link of `bw` GB/s, in ns. */
+constexpr TimeNs
+txTime(Bytes bytes, GBps bw)
+{
+    return bytes / bw;
+}
+
+/** FLOP count helpers (FLOPs are plain doubles). */
+using Flops = double;
+constexpr Flops kGFLOP = 1e9;
+constexpr Flops kTFLOP = 1e12;
+
+/** TFLOP/s in FLOP per ns: 1 TFLOPS == 1e12 FLOP/s == 1e3 FLOP/ns. */
+constexpr double
+tflopsToFlopPerNs(double tflops)
+{
+    return tflops * 1e3;
+}
+
+namespace literals {
+
+constexpr Bytes operator""_MB(long double v) { return double(v) * kMB; }
+constexpr Bytes operator""_MB(unsigned long long v) { return double(v) * kMB; }
+constexpr Bytes operator""_GB(long double v) { return double(v) * kGB; }
+constexpr Bytes operator""_GB(unsigned long long v) { return double(v) * kGB; }
+constexpr Bytes operator""_KB(unsigned long long v) { return double(v) * kKB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return double(v) * kMiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return double(v) * kGiB; }
+constexpr TimeNs operator""_us(unsigned long long v) { return double(v) * kUs; }
+constexpr TimeNs operator""_us(long double v) { return double(v) * kUs; }
+constexpr TimeNs operator""_ms(unsigned long long v) { return double(v) * kMs; }
+constexpr TimeNs operator""_ns(unsigned long long v) { return double(v); }
+
+} // namespace literals
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_UNITS_H_

@@ -1,0 +1,74 @@
+#include "event/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+
+void
+EventQueue::schedule(TimeNs delay, EventCallback cb)
+{
+    ASTRA_ASSERT(delay >= 0.0, "negative event delay %g", delay);
+    scheduleAt(now_ + delay, std::move(cb));
+}
+
+void
+EventQueue::scheduleAt(TimeNs when, EventCallback cb)
+{
+    ASTRA_ASSERT(when + 1e-9 >= now_,
+                 "event scheduled in the past (when=%g now=%g)", when, now_);
+    heap_.push(Entry{std::max(when, now_), seq_++, std::move(cb)});
+}
+
+void
+EventQueue::pop(Entry &out)
+{
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately afterwards.
+    out = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+}
+
+TimeNs
+EventQueue::run()
+{
+    while (!heap_.empty())
+        step();
+    return now_;
+}
+
+TimeNs
+EventQueue::runUntil(TimeNs until)
+{
+    while (!heap_.empty() && heap_.top().when <= until)
+        step();
+    if (now_ < until)
+        now_ = until;
+    return now_;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    Entry e;
+    pop(e);
+    now_ = e.when;
+    ++executed_;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    now_ = 0.0;
+    seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace astra

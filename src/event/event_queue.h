@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single EventQueue instance drives a simulation: components
+ * schedule callbacks at absolute or relative simulated times and the
+ * queue executes them in (time, insertion-order) order. This is the
+ * substrate below the network backends, the memory models, and the
+ * graph-based execution engine, mirroring the event queue in the
+ * original ASTRA-sim system layer (Fig. 1(c)).
+ */
+#ifndef ASTRA_EVENT_EVENT_QUEUE_H_
+#define ASTRA_EVENT_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace astra {
+
+/** Callback executed when an event fires. */
+using EventCallback = std::function<void()>;
+
+/**
+ * Priority-queue based discrete-event scheduler.
+ *
+ * Events at equal timestamps fire in insertion order (stable), which
+ * keeps simulations deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in nanoseconds. */
+    TimeNs now() const { return now_; }
+
+    /** Schedule `cb` to fire `delay` ns after now; delay must be >= 0. */
+    void schedule(TimeNs delay, EventCallback cb);
+
+    /** Schedule `cb` at absolute time `when` (>= now). */
+    void scheduleAt(TimeNs when, EventCallback cb);
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Execute events until the queue drains; returns final time. */
+    TimeNs run();
+
+    /**
+     * Execute events with time <= `until`; events beyond stay queued.
+     * Returns the time of the last executed event (or `until`).
+     */
+    TimeNs runUntil(TimeNs until);
+
+    /** Execute exactly one event if present; returns false when empty. */
+    bool step();
+
+    /** Total number of events executed so far (for speed reporting). */
+    uint64_t executedEvents() const { return executed_; }
+
+    /** Drop all pending events and reset the clock. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        TimeNs when;
+        uint64_t seq;
+        EventCallback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void pop(Entry &out);
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    TimeNs now_ = 0.0;
+    uint64_t seq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_EVENT_EVENT_QUEUE_H_

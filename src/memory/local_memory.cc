@@ -1,0 +1,44 @@
+#include "memory/local_memory.h"
+
+#include "common/logging.h"
+
+namespace astra {
+
+const char *
+memLocationName(MemLocation l)
+{
+    switch (l) {
+      case MemLocation::Local: return "local";
+      case MemLocation::Remote: return "remote";
+    }
+    return "?";
+}
+
+const char *
+memOpName(MemOp op)
+{
+    switch (op) {
+      case MemOp::Load: return "load";
+      case MemOp::Store: return "store";
+    }
+    return "?";
+}
+
+LocalMemory::LocalMemory(LocalMemoryConfig cfg) : cfg_(cfg)
+{
+    ASTRA_USER_CHECK(cfg_.bandwidth > 0.0,
+                     "local memory bandwidth must be positive");
+    ASTRA_USER_CHECK(cfg_.latency >= 0.0,
+                     "local memory latency must be non-negative");
+}
+
+TimeNs
+LocalMemory::accessTime(MemOp op, Bytes bytes, bool fused) const
+{
+    (void)op; // loads and stores are symmetric in the HBM model.
+    (void)fused;
+    ASTRA_USER_CHECK(bytes >= 0.0, "negative tensor size");
+    return cfg_.latency + txTime(bytes, cfg_.bandwidth);
+}
+
+} // namespace astra

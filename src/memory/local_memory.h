@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Local (HBM) memory model, paper §IV-D.1:
+ *
+ *   access_time = access_latency + tensor_size / bandwidth
+ */
+#ifndef ASTRA_MEMORY_LOCAL_MEMORY_H_
+#define ASTRA_MEMORY_LOCAL_MEMORY_H_
+
+#include "memory/memory_api.h"
+
+namespace astra {
+
+/** Configuration of the NPU-attached memory. */
+struct LocalMemoryConfig
+{
+    GBps bandwidth = 4096.0;  //!< Table V "GPU Local HBM BW".
+    TimeNs latency = 100.0;   //!< access latency, ns.
+};
+
+/** Simple bandwidth/latency HBM model. */
+class LocalMemory : public MemoryApi
+{
+  public:
+    explicit LocalMemory(LocalMemoryConfig cfg = {});
+
+    TimeNs accessTime(MemOp op, Bytes bytes,
+                      bool fused = false) const override;
+
+    const LocalMemoryConfig &config() const { return cfg_; }
+
+  private:
+    LocalMemoryConfig cfg_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_MEMORY_LOCAL_MEMORY_H_

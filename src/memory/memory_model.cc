@@ -1,0 +1,49 @@
+#include "memory/memory_model.h"
+
+#include "common/logging.h"
+
+namespace astra {
+
+MemoryModel::MemoryModel(LocalMemoryConfig local) : local_(local)
+{
+}
+
+MemoryModel::MemoryModel(LocalMemoryConfig local, RemoteMemoryConfig remote)
+    : local_(local), remoteKind_(RemoteKind::Pooled),
+      remote_(std::make_unique<RemoteMemory>(remote))
+{
+}
+
+MemoryModel::MemoryModel(LocalMemoryConfig local, ZeroInfinityConfig remote)
+    : local_(local), remoteKind_(RemoteKind::ZeroInfinity),
+      remote_(std::make_unique<ZeroInfinityMemory>(remote))
+{
+}
+
+TimeNs
+MemoryModel::accessTime(MemLocation loc, MemOp op, Bytes bytes,
+                        bool fused) const
+{
+    if (loc == MemLocation::Local)
+        return local_.accessTime(op, bytes, fused);
+    ASTRA_USER_CHECK(remote_ != nullptr,
+                     "workload accesses remote memory but the system has "
+                     "no remote tier configured");
+    return remote_->accessTime(op, bytes, fused);
+}
+
+const RemoteMemory &
+MemoryModel::pooled() const
+{
+    ASTRA_USER_CHECK(remoteKind_ == RemoteKind::Pooled,
+                     "system has no pooled remote memory");
+    return static_cast<const RemoteMemory &>(*remote_);
+}
+
+bool
+MemoryModel::supportsInSwitchCollectives() const
+{
+    return remote_ && remote_->supportsInSwitchCollectives();
+}
+
+} // namespace astra

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Combined memory model facade: dispatches the Memory API by tensor
+ * location (Fig. 1(c) "Memory API"). Local accesses hit the HBM
+ * model; remote accesses hit the configured disaggregated model
+ * (pooled RemoteMemory or the ZeRO-Infinity baseline).
+ */
+#ifndef ASTRA_MEMORY_MEMORY_MODEL_H_
+#define ASTRA_MEMORY_MEMORY_MODEL_H_
+
+#include <memory>
+
+#include "memory/local_memory.h"
+#include "memory/remote_memory.h"
+#include "memory/zero_infinity.h"
+
+namespace astra {
+
+/** Which remote tier backs MemLocation::Remote. */
+enum class RemoteKind {
+    None,         //!< remote accesses are a user error.
+    Pooled,       //!< RemoteMemory (HierMem & friends).
+    ZeroInfinity, //!< per-GPU CPU/NVMe tier.
+};
+
+/** Facade wiring local + remote models (see file comment). */
+class MemoryModel
+{
+  public:
+    /** Local-memory-only system. */
+    explicit MemoryModel(LocalMemoryConfig local = {});
+
+    /** Local + pooled remote memory. */
+    MemoryModel(LocalMemoryConfig local, RemoteMemoryConfig remote);
+
+    /** Local + ZeRO-Infinity tier. */
+    MemoryModel(LocalMemoryConfig local, ZeroInfinityConfig remote);
+
+    /** Access time by location; fatal() on remote access without a
+     *  remote tier. */
+    TimeNs accessTime(MemLocation loc, MemOp op, Bytes bytes,
+                      bool fused = false) const;
+
+    RemoteKind remoteKind() const { return remoteKind_; }
+    const LocalMemory &local() const { return local_; }
+
+    /** The pooled remote model; fatal() unless remoteKind()==Pooled. */
+    const RemoteMemory &pooled() const;
+
+    /** True if remote accesses can fuse collectives in the fabric. */
+    bool supportsInSwitchCollectives() const;
+
+  private:
+    LocalMemory local_;
+    RemoteKind remoteKind_ = RemoteKind::None;
+    std::unique_ptr<MemoryApi> remote_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_MEMORY_MEMORY_MODEL_H_

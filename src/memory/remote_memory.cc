@@ -1,0 +1,173 @@
+#include "memory/remote_memory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace astra {
+
+const char *
+poolArchName(PoolArch a)
+{
+    switch (a) {
+      case PoolArch::Hierarchical: return "hierarchical";
+      case PoolArch::MultiLevelSwitch: return "multi_level_switch";
+      case PoolArch::Ring: return "ring";
+      case PoolArch::Mesh: return "mesh";
+    }
+    return "?";
+}
+
+RemoteMemory::RemoteMemory(RemoteMemoryConfig cfg) : cfg_(cfg)
+{
+    ASTRA_USER_CHECK(cfg_.numNodes >= 1 && cfg_.gpusPerNode >= 1,
+                     "remote memory needs at least one node and GPU");
+    ASTRA_USER_CHECK(cfg_.numOutNodeSwitches >= 1,
+                     "remote memory needs at least one out-node switch");
+    ASTRA_USER_CHECK(cfg_.numRemoteMemoryGroups >= 1,
+                     "remote memory needs at least one memory group");
+    ASTRA_USER_CHECK(cfg_.chunkBytes > 0.0, "chunk size must be positive");
+    ASTRA_USER_CHECK(cfg_.remoteMemGroupBw > 0.0 &&
+                         cfg_.gpuSideOutNodeBw > 0.0 &&
+                         cfg_.inNodeFabricBw > 0.0,
+                     "remote memory bandwidths must be positive");
+}
+
+TimeNs
+RemoteMemory::StageTimes::max() const
+{
+    return std::max({rem2outSw, outSw2inSw, inSw2Gpu});
+}
+
+double
+RemoteMemory::numStages(Bytes bytes) const
+{
+    // (Tensor Size x Num GPUs) / (Num Remote Memory Groups x
+    //  Num Out-node Switches x Chunk Size)   [paper, Fig. 7]
+    double stages = (bytes * double(cfg_.totalGpus())) /
+                    (double(cfg_.numRemoteMemoryGroups) *
+                     double(cfg_.numOutNodeSwitches) * cfg_.chunkBytes);
+    return std::max(1.0, std::ceil(stages));
+}
+
+RemoteMemory::StageTimes
+RemoteMemory::hierStageTimes(bool fused) const
+{
+    StageTimes tx;
+    // TX_rem2outSW = ChunkSize / MemSideOutNodeFabricBW
+    tx.rem2outSw = txTime(cfg_.chunkBytes, cfg_.remoteMemGroupBw);
+    if (!fused) {
+        // TX_outSW2inSW = (NumRemoteMemoryGroups x ChunkSize)
+        //               / (NumNodes x GPUSideOutNodeFabricBW)
+        tx.outSw2inSw =
+            txTime(double(cfg_.numRemoteMemoryGroups) * cfg_.chunkBytes,
+                   double(cfg_.numNodes) * cfg_.gpuSideOutNodeBw);
+        // TX_inSW2GPU = (NumRemMemGroups x NumOutNodeSW x ChunkSize)
+        //             / (NumGPUs x InNodeFabricBW)
+        tx.inSw2Gpu =
+            txTime(double(cfg_.numRemoteMemoryGroups) *
+                       double(cfg_.numOutNodeSwitches) * cfg_.chunkBytes,
+                   double(cfg_.totalGpus()) * cfg_.inNodeFabricBw);
+    } else {
+        // In-switch collective (Fig. 8): parameters are gathered while
+        // being loaded, so the reconstructed tensor crosses every
+        // node-facing link in full.
+        // TX_outSW2inSW = (NumRemoteMemoryGroups x ChunkSize)
+        //               / GPUSideOutNodeFabricBW
+        tx.outSw2inSw =
+            txTime(double(cfg_.numRemoteMemoryGroups) * cfg_.chunkBytes,
+                   cfg_.gpuSideOutNodeBw);
+        // TX_inSW2GPU = (NumRemMemGroups x NumOutNodeSW x ChunkSize)
+        //             / InNodeFabricBW
+        tx.inSw2Gpu =
+            txTime(double(cfg_.numRemoteMemoryGroups) *
+                       double(cfg_.numOutNodeSwitches) * cfg_.chunkBytes,
+                   cfg_.inNodeFabricBw);
+    }
+    return tx;
+}
+
+TimeNs
+RemoteMemory::hierarchicalTime(Bytes bytes, bool fused) const
+{
+    StageTimes tx = hierStageTimes(fused);
+    double stages = numStages(bytes);
+    // Pipelined transfer (Fig. 7): critical path = one full traversal
+    // plus (stages - 1) repetitions of the slowest stage.
+    return cfg_.baseLatency + tx.sum() + (stages - 1.0) * tx.max();
+}
+
+TimeNs
+RemoteMemory::multiLevelSwitchTime(Bytes bytes, bool fused) const
+{
+    // Fig. 5(a): GPUs hang off a switch level directly (no in-node
+    // pooled fabric). Two pipeline stages: memory group -> switch,
+    // switch -> GPU.
+    TimeNs rem2sw = txTime(cfg_.chunkBytes, cfg_.remoteMemGroupBw);
+    TimeNs sw2gpu;
+    if (!fused) {
+        sw2gpu = txTime(double(cfg_.numRemoteMemoryGroups) *
+                            double(cfg_.numOutNodeSwitches) *
+                            cfg_.chunkBytes,
+                        double(cfg_.totalGpus()) * cfg_.gpuSideOutNodeBw);
+    } else {
+        sw2gpu = txTime(double(cfg_.numRemoteMemoryGroups) *
+                            double(cfg_.numOutNodeSwitches) *
+                            cfg_.chunkBytes,
+                        cfg_.gpuSideOutNodeBw);
+    }
+    double stages = numStages(bytes);
+    TimeNs max_stage = std::max(rem2sw, sw2gpu);
+    return cfg_.baseLatency + rem2sw + sw2gpu + (stages - 1.0) * max_stage;
+}
+
+TimeNs
+RemoteMemory::ringTime(Bytes bytes) const
+{
+    // Fig. 5(b): GPUs and remote memory groups alternate on one ring
+    // of inNodeFabricBw links. First-order model: the W x NumGPUs
+    // payload travels an average of (ring size)/4 hops over
+    // (ring size) links, so the busiest-link time bounds the access.
+    double ring_size =
+        double(cfg_.totalGpus() + cfg_.numRemoteMemoryGroups);
+    double avg_hops = std::max(1.0, ring_size / 4.0);
+    double total_bytes = bytes * double(cfg_.totalGpus());
+    double link_work = total_bytes * avg_hops / ring_size;
+    return cfg_.baseLatency + txTime(link_work, cfg_.inNodeFabricBw);
+}
+
+TimeNs
+RemoteMemory::meshTime(Bytes bytes) const
+{
+    // Fig. 5(c): GPUs in a 2-D mesh with memory groups on the rim.
+    // First-order bisection bound: W x NumGPUs bytes cross the
+    // 2*sqrt(N) bisection links.
+    double n = double(cfg_.totalGpus());
+    double side = std::max(1.0, std::floor(std::sqrt(n)));
+    double total_bytes = bytes * n;
+    double link_work = total_bytes / (2.0 * side);
+    return cfg_.baseLatency + txTime(link_work, cfg_.inNodeFabricBw);
+}
+
+TimeNs
+RemoteMemory::accessTime(MemOp op, Bytes bytes, bool fused) const
+{
+    (void)op; // loads (gather) and stores (scatter) are symmetric.
+    ASTRA_USER_CHECK(bytes >= 0.0, "negative tensor size");
+    if (bytes == 0.0)
+        return 0.0;
+    switch (cfg_.arch) {
+      case PoolArch::Hierarchical:
+        return hierarchicalTime(bytes, fused);
+      case PoolArch::MultiLevelSwitch:
+        return multiLevelSwitchTime(bytes, fused);
+      case PoolArch::Ring:
+        return ringTime(bytes);
+      case PoolArch::Mesh:
+        return meshTime(bytes);
+    }
+    panic("unknown pool architecture");
+}
+
+} // namespace astra

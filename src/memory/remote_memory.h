@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Disaggregated (pooled) remote memory models, paper §IV-D.2/3.
+ *
+ * The flagship model is the hierarchical pool of Fig. 6 ("HierMem" in
+ * §V-B): nodes of CPU/GPU pairs behind in-node switches, out-node
+ * switches, and remote memory groups that collectively form a shared
+ * pool. A synchronized access of W bytes per GPU is transferred in
+ * pipelined chunks through three stages, with per-stage transfer
+ * times given by the paper's TX equations (reproduced at the
+ * implementation). In-switch collective fusion (Fig. 8) gathers
+ * parameters while loading / shards them while storing, changing the
+ * per-stage link loads.
+ *
+ * The other pool architectures of Fig. 5 (multi-level switch, ring,
+ * mesh) are provided as first-order variants for the design-space
+ * ablation; their stage structure is documented inline.
+ */
+#ifndef ASTRA_MEMORY_REMOTE_MEMORY_H_
+#define ASTRA_MEMORY_REMOTE_MEMORY_H_
+
+#include <string>
+
+#include "memory/memory_api.h"
+
+namespace astra {
+
+/** The pool architectures of Fig. 5. */
+enum class PoolArch {
+    Hierarchical,     //!< Fig. 5(d)/Fig. 6, the HierMem of §V-B.
+    MultiLevelSwitch, //!< Fig. 5(a).
+    Ring,             //!< Fig. 5(b).
+    Mesh,             //!< Fig. 5(c).
+};
+
+const char *poolArchName(PoolArch a);
+
+/** Disaggregated memory system configuration (Table V defaults). */
+struct RemoteMemoryConfig
+{
+    PoolArch arch = PoolArch::Hierarchical;
+    int numNodes = 16;            //!< nodes in the system.
+    int gpusPerNode = 16;         //!< CPU/GPU pairs per node.
+    int numOutNodeSwitches = 16;  //!< Table V.
+    int numRemoteMemoryGroups = 256; //!< Table V.
+    Bytes chunkBytes = 256.0 * 1024.0; //!< pipeline transfer unit.
+    GBps remoteMemGroupBw = 100.0;   //!< mem-side out-node fabric BW.
+    GBps gpuSideOutNodeBw = 256.0;   //!< out-node to in-node fabric BW.
+    GBps inNodeFabricBw = 256.0;     //!< in-node pooled fabric BW.
+    TimeNs baseLatency = 1000.0;     //!< end-to-end access latency.
+
+    int totalGpus() const { return numNodes * gpusPerNode; }
+};
+
+/**
+ * Pooled remote memory timing model (see file comment).
+ *
+ * accessTime() returns the time for the synchronized access pattern:
+ * every GPU in the system loads/stores `bytes` at once.
+ */
+class RemoteMemory : public MemoryApi
+{
+  public:
+    explicit RemoteMemory(RemoteMemoryConfig cfg = {});
+
+    TimeNs accessTime(MemOp op, Bytes bytes,
+                      bool fused = false) const override;
+
+    bool
+    supportsInSwitchCollectives() const override
+    {
+        return cfg_.arch == PoolArch::Hierarchical ||
+               cfg_.arch == PoolArch::MultiLevelSwitch;
+    }
+
+    const RemoteMemoryConfig &config() const { return cfg_; }
+
+    /** Per-stage transfer times for one chunk (exposed for tests):
+     *  {TX_rem2outSW, TX_outSW2inSW, TX_inSW2GPU}. */
+    struct StageTimes
+    {
+        TimeNs rem2outSw = 0.0;
+        TimeNs outSw2inSw = 0.0;
+        TimeNs inSw2Gpu = 0.0;
+
+        TimeNs sum() const { return rem2outSw + outSw2inSw + inSw2Gpu; }
+        TimeNs max() const;
+    };
+    StageTimes hierStageTimes(bool fused) const;
+
+    /** Pipeline stage count for a per-GPU tensor of `bytes`. */
+    double numStages(Bytes bytes) const;
+
+  private:
+    TimeNs hierarchicalTime(Bytes bytes, bool fused) const;
+    TimeNs multiLevelSwitchTime(Bytes bytes, bool fused) const;
+    TimeNs ringTime(Bytes bytes) const;
+    TimeNs meshTime(Bytes bytes) const;
+
+    RemoteMemoryConfig cfg_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_MEMORY_REMOTE_MEMORY_H_

@@ -1,0 +1,26 @@
+#include "memory/zero_infinity.h"
+
+#include "common/logging.h"
+
+namespace astra {
+
+ZeroInfinityMemory::ZeroInfinityMemory(ZeroInfinityConfig cfg) : cfg_(cfg)
+{
+    ASTRA_USER_CHECK(cfg_.tierBandwidth > 0.0,
+                     "ZeRO-Infinity tier bandwidth must be positive");
+}
+
+TimeNs
+ZeroInfinityMemory::accessTime(MemOp op, Bytes bytes, bool fused) const
+{
+    (void)op;
+    ASTRA_USER_CHECK(!fused, "ZeRO-Infinity has no in-switch collective "
+                             "support (no pooled fabric)");
+    ASTRA_USER_CHECK(bytes >= 0.0, "negative tensor size");
+    if (bytes == 0.0)
+        return 0.0;
+    // Independent per-GPU transfer over the private CPU/NVMe path.
+    return cfg_.baseLatency + txTime(bytes, cfg_.tierBandwidth);
+}
+
+} // namespace astra

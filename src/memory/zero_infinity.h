@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ZeRO-Infinity baseline disaggregated memory model (paper §V-B,
+ * Fig. 10).
+ *
+ * ZeRO-Infinity is "a nascent form of memory disaggregation": every
+ * GPU augments its HBM with its own node's CPU memory and NVMe behind
+ * a fixed per-GPU path. There is no pooled fabric, so an access of W
+ * bytes per GPU costs each GPU an independent transfer over its
+ * private tier link — the model cannot exploit an arbitrary number
+ * of remote memory groups (the paper's stated limitation).
+ */
+#ifndef ASTRA_MEMORY_ZERO_INFINITY_H_
+#define ASTRA_MEMORY_ZERO_INFINITY_H_
+
+#include "memory/memory_api.h"
+
+namespace astra {
+
+/** Per-GPU tier configuration (Table V column "ZeRO-Infinity"). */
+struct ZeroInfinityConfig
+{
+    GBps tierBandwidth = 100.0; //!< CPU+NVMe tier BW per GPU, GB/s.
+    TimeNs baseLatency = 2000.0; //!< NVMe-path access latency, ns.
+};
+
+/** See file comment. */
+class ZeroInfinityMemory : public MemoryApi
+{
+  public:
+    explicit ZeroInfinityMemory(ZeroInfinityConfig cfg = {});
+
+    TimeNs accessTime(MemOp op, Bytes bytes,
+                      bool fused = false) const override;
+
+    const ZeroInfinityConfig &config() const { return cfg_; }
+
+  private:
+    ZeroInfinityConfig cfg_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_MEMORY_ZERO_INFINITY_H_

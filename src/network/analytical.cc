@@ -1,0 +1,110 @@
+#include "network/analytical.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+
+AnalyticalNetwork::AnalyticalNetwork(EventQueue &eq, const Topology &topo,
+                                     bool serialize)
+    : NetworkApi(eq, topo), serialize_(serialize)
+{
+    txFree_.assign(
+        static_cast<size_t>(topo.npus()) *
+            static_cast<size_t>(topo.numDims()),
+        0.0);
+}
+
+TimeNs
+AnalyticalNetwork::txFreeAt(NpuId npu, int dim) const
+{
+    return txFree_[static_cast<size_t>(npu) *
+                       static_cast<size_t>(topo_.numDims()) +
+                   static_cast<size_t>(dim)];
+}
+
+AnalyticalNetwork::Route
+AnalyticalNetwork::resolve(NpuId src, NpuId dst, int dim) const
+{
+    if (dim != kAutoRoute) {
+        ASTRA_ASSERT(dim >= 0 && dim < topo_.numDims(),
+                     "simSend: bad dimension %d", dim);
+        const Dimension &d = topo_.dim(dim);
+        int hops = topo_.hopsInDim(topo_.coordInDim(src, dim),
+                                   topo_.coordInDim(dst, dim), dim);
+        ASTRA_ASSERT(hops > 0 || src == dst,
+                     "simSend: src %d and dst %d are not peers in dim %d",
+                     src, dst, dim);
+        return Route{dim, d.bandwidth, d.latency * hops};
+    }
+
+    // Dimension-ordered routing: accumulate hop latency across every
+    // dimension the path traverses; serialization is charged at the
+    // bottleneck (slowest) traversed dimension's transmit port.
+    TimeNs latency = 0.0;
+    GBps bottleneck = 0.0;
+    int charged_dim = 0;
+    bool found = false;
+    for (int d = 0; d < topo_.numDims(); ++d) {
+        int hops = topo_.hopsInDim(topo_.coordInDim(src, d),
+                                   topo_.coordInDim(dst, d), d);
+        if (hops == 0)
+            continue;
+        latency += topo_.dim(d).latency * hops;
+        if (!found || topo_.dim(d).bandwidth < bottleneck) {
+            bottleneck = topo_.dim(d).bandwidth;
+            charged_dim = d;
+            found = true;
+        }
+    }
+    if (!found) {
+        // Self-send: deliver after zero network time.
+        return Route{0, topo_.dim(0).bandwidth, 0.0};
+    }
+    return Route{charged_dim, bottleneck, latency};
+}
+
+void
+AnalyticalNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
+                           uint64_t tag, SendHandlers handlers)
+{
+    ASTRA_ASSERT(bytes >= 0.0, "simSend: negative size");
+    Route route = resolve(src, dst, dim);
+    account(route.dim, bytes);
+
+    if (src == dst) {
+        // Loopback: no network resources involved.
+        eq_.schedule(0.0, [this, src, dst, tag,
+                           handlers = std::move(handlers)]() mutable {
+            if (handlers.onInjected)
+                handlers.onInjected();
+            deliver(src, dst, tag, std::move(handlers.onDelivered));
+        });
+        return;
+    }
+
+    TimeNs ser = txTime(bytes, route.bandwidth);
+    TimeNs start = eq_.now();
+    if (serialize_) {
+        TimeNs &free_at =
+            txFree_[static_cast<size_t>(src) *
+                        static_cast<size_t>(topo_.numDims()) +
+                    static_cast<size_t>(route.dim)];
+        start = std::max(start, free_at);
+        free_at = start + ser;
+    }
+    TimeNs injected_at = start + ser;
+    TimeNs delivered_at = injected_at + route.latency;
+
+    if (handlers.onInjected)
+        eq_.scheduleAt(injected_at, std::move(handlers.onInjected));
+    eq_.scheduleAt(delivered_at,
+                   [this, src, dst, tag,
+                    cb = std::move(handlers.onDelivered)]() mutable {
+                       deliver(src, dst, tag, std::move(cb));
+                   });
+}
+
+} // namespace astra

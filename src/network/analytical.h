@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The analytical network backend of §IV-C.
+ *
+ * A message of `bytes` routed over `hops` links in dimension `d` costs
+ *
+ *     time = link_latency(d) * hops + bytes / bandwidth(d)
+ *
+ * instead of being simulated packet by packet. On top of the pure
+ * equation, the backend (by default) serializes transmissions sharing
+ * a (source NPU, dimension) transmit port: a message starts only when
+ * the port is free, and occupies it for its serialization delay. This
+ * first-order contention model is what makes chunked hierarchical
+ * collectives pipeline across dimensions and reproduces the
+ * bandwidth-bottleneck behaviour of Table IV; disabling it
+ * (`serialize = false`) yields the pure closed-form variant.
+ */
+#ifndef ASTRA_NETWORK_ANALYTICAL_H_
+#define ASTRA_NETWORK_ANALYTICAL_H_
+
+#include <vector>
+
+#include "network/network_api.h"
+
+namespace astra {
+
+/** Equation-based network backend (see file comment). */
+class AnalyticalNetwork : public NetworkApi
+{
+  public:
+    /**
+     * @param serialize  enable per-(NPU,dim) transmit-port
+     *                   serialization (first-order congestion).
+     */
+    AnalyticalNetwork(EventQueue &eq, const Topology &topo,
+                      bool serialize = true);
+
+    void simSend(NpuId src, NpuId dst, Bytes bytes, int dim, uint64_t tag,
+                 SendHandlers handlers) override;
+
+    /** The time at which (npu, dim)'s transmit port frees up. */
+    TimeNs txFreeAt(NpuId npu, int dim) const;
+
+  private:
+    struct Route
+    {
+        int dim;        //!< dimension whose TX port is charged.
+        GBps bandwidth; //!< serialization bandwidth.
+        TimeNs latency; //!< total hop-latency along the path.
+    };
+
+    /** Resolve routing for a message (single-dim or dimension-ordered). */
+    Route resolve(NpuId src, NpuId dst, int dim) const;
+
+    bool serialize_;
+    /** txFree_[npu * numDims + dim]: next free time of that TX port. */
+    std::vector<TimeNs> txFree_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_NETWORK_ANALYTICAL_H_

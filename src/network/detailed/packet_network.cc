@@ -1,0 +1,289 @@
+#include "network/detailed/packet_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+
+namespace {
+
+uint64_t
+linkKey(int from, int to)
+{
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+}
+
+} // namespace
+
+PacketNetwork::PacketNetwork(EventQueue &eq, const Topology &topo,
+                             Bytes packet_bytes, Bytes header_bytes,
+                             TimeNs message_overhead)
+    : NetworkApi(eq, topo), packetBytes_(packet_bytes),
+      headerBytes_(header_bytes), messageOverhead_(message_overhead)
+{
+    ASTRA_USER_CHECK(packet_bytes > 0.0, "packet size must be positive");
+    ASTRA_USER_CHECK(header_bytes >= 0.0 && message_overhead >= 0.0,
+                     "packet overheads must be non-negative");
+
+    // Assign switch node ids after the NPU ids.
+    totalNodes_ = topo.npus();
+    switchBase_.assign(static_cast<size_t>(topo.numDims()), -1);
+    for (int d = 0; d < topo.numDims(); ++d) {
+        if (topo.dim(d).type == BlockType::Switch) {
+            switchBase_[static_cast<size_t>(d)] = totalNodes_;
+            totalNodes_ += topo.npus() / topo.dim(d).size;
+        }
+    }
+
+    // Build links dimension by dimension.
+    for (int d = 0; d < topo.numDims(); ++d) {
+        const Dimension &dim = topo.dim(d);
+        if (dim.size < 2)
+            continue;
+        switch (dim.type) {
+          case BlockType::Ring:
+            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
+                NpuId next = topo.peerInDim(npu, d, 1);
+                if (next != npu) {
+                    addLink(npu, next, dim.bandwidth, dim.latency);
+                    addLink(next, npu, dim.bandwidth, dim.latency);
+                }
+            }
+            break;
+          case BlockType::FullyConnected: {
+            GBps per_link = dim.bandwidth / double(dim.size - 1);
+            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
+                int coord = topo.coordInDim(npu, d);
+                for (int pc = coord + 1; pc < dim.size; ++pc) {
+                    NpuId peer = topo.peerInDim(npu, d, pc - coord);
+                    addLink(npu, peer, per_link, dim.latency);
+                    addLink(peer, npu, per_link, dim.latency);
+                }
+            }
+            break;
+          }
+          case BlockType::Switch:
+            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
+                int sw = switchNode(d, groupIndexOf(d, npu));
+                addLink(npu, sw, dim.bandwidth, dim.latency);
+                addLink(sw, npu, dim.bandwidth, dim.latency);
+            }
+            break;
+        }
+    }
+}
+
+int
+PacketNetwork::groupIndexOf(int dim, NpuId member) const
+{
+    // Remove dimension `dim` from the mixed-radix id: the remaining
+    // digits enumerate the dimension's groups densely, in ascending
+    // order of the group's smallest member id.
+    int stride = topo_.strideOf(dim);
+    int k = topo_.dim(dim).size;
+    int low = member % stride;
+    int high = member / (stride * k);
+    return low + high * stride;
+}
+
+int
+PacketNetwork::switchNode(int dim, int group_index) const
+{
+    int base = switchBase_[static_cast<size_t>(dim)];
+    ASTRA_ASSERT(base >= 0, "dimension %d has no switch nodes", dim);
+    return base + group_index;
+}
+
+void
+PacketNetwork::addLink(int from, int to, GBps bw, TimeNs lat)
+{
+    Link &link = links_[linkKey(from, to)];
+    link.bandwidth = bw;
+    link.latency = lat;
+    link.freeAt = 0.0;
+}
+
+PacketNetwork::Link &
+PacketNetwork::linkBetween(int from, int to)
+{
+    auto it = links_.find(linkKey(from, to));
+    ASTRA_ASSERT(it != links_.end(), "no link between nodes %d and %d",
+                 from, to);
+    return it->second;
+}
+
+void
+PacketNetwork::routeInDim(int dim, NpuId from, NpuId to,
+                          std::vector<int> &path) const
+{
+    int ca = topo_.coordInDim(from, dim);
+    int cb = topo_.coordInDim(to, dim);
+    if (ca == cb)
+        return;
+    const Dimension &d = topo_.dim(dim);
+    switch (d.type) {
+      case BlockType::Ring: {
+        int k = d.size;
+        int fwd = ((cb - ca) % k + k) % k;
+        int step = (fwd <= k - fwd) ? 1 : -1;
+        int hops = std::min(fwd, k - fwd);
+        NpuId cur = from;
+        for (int i = 0; i < hops; ++i) {
+            cur = topo_.peerInDim(cur, dim, step);
+            path.push_back(cur);
+        }
+        break;
+      }
+      case BlockType::FullyConnected:
+        path.push_back(topo_.peerInDim(from, dim, cb - ca));
+        break;
+      case BlockType::Switch:
+        path.push_back(switchNode(dim, groupIndexOf(dim, from)));
+        path.push_back(topo_.peerInDim(from, dim, cb - ca));
+        break;
+    }
+}
+
+std::vector<int>
+PacketNetwork::route(NpuId src, NpuId dst, int dim) const
+{
+    std::vector<int> path;
+    path.push_back(src);
+    if (dim != kAutoRoute) {
+        routeInDim(dim, src, dst, path);
+        ASTRA_ASSERT(path.back() == dst,
+                     "dim %d does not connect NPUs %d and %d", dim, src,
+                     dst);
+        return path;
+    }
+    NpuId cur = src;
+    for (int d = 0; d < topo_.numDims(); ++d) {
+        int target_coord = topo_.coordInDim(dst, d);
+        int cur_coord = topo_.coordInDim(cur, d);
+        if (target_coord == cur_coord)
+            continue;
+        NpuId next = cur + (target_coord - cur_coord) * topo_.strideOf(d);
+        routeInDim(d, cur, next, path);
+        cur = next;
+    }
+    ASTRA_ASSERT(path.back() == dst,
+                 "routing failed between %d and %d", src, dst);
+    return path;
+}
+
+void
+PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
+                       uint64_t tag, SendHandlers handlers)
+{
+    if (src == dst) {
+        eq_.schedule(0.0, [this, src, dst, tag,
+                           handlers = std::move(handlers)]() mutable {
+            if (handlers.onInjected)
+                handlers.onInjected();
+            deliver(src, dst, tag, std::move(handlers.onDelivered));
+        });
+        return;
+    }
+
+    auto path = std::make_shared<std::vector<int>>(route(src, dst, dim));
+    int packets =
+        std::max(1, static_cast<int>(std::ceil(bytes / packetBytes_)));
+
+    // Stats: attribute payload to the first dimension the path crosses.
+    int first_dim = dim;
+    if (first_dim == kAutoRoute) {
+        for (int d = 0; d < topo_.numDims(); ++d) {
+            if (topo_.coordInDim(src, d) != topo_.coordInDim(dst, d)) {
+                first_dim = d;
+                break;
+            }
+        }
+    }
+    account(first_dim, bytes);
+
+    EventCallback on_injected = std::move(handlers.onInjected);
+
+    uint64_t id = nextMsgId_++;
+    Message &msg = inflight_[id];
+    msg.src = src;
+    msg.dst = dst;
+    msg.tag = tag;
+    msg.packetsRemaining = packets;
+    msg.handlers.onDelivered = std::move(handlers.onDelivered);
+
+    if (messageOverhead_ > 0.0) {
+        // Software/NIC launch cost before the first packet enters the
+        // network.
+        eq_.schedule(messageOverhead_,
+                     [this, id, path = std::move(path), bytes, packets,
+                      on_injected = std::move(on_injected)]() mutable {
+                         launchMessage(id, std::move(path), bytes,
+                                       packets, std::move(on_injected));
+                     });
+    } else {
+        launchMessage(id, std::move(path), bytes, packets,
+                      std::move(on_injected));
+    }
+}
+
+void
+PacketNetwork::launchMessage(uint64_t msg_id,
+                             std::shared_ptr<std::vector<int>> path,
+                             Bytes bytes, int packets,
+                             EventCallback on_injected)
+{
+    Bytes remaining = bytes;
+    for (int p = 0; p < packets; ++p) {
+        Bytes pkt = std::min(packetBytes_, remaining);
+        remaining -= pkt;
+        forwardPacket(msg_id, path, 0, pkt);
+    }
+
+    if (on_injected) {
+        // Injection completes when the last packet clears the first link.
+        Link &first = linkBetween((*path)[0], (*path)[1]);
+        eq_.scheduleAt(first.freeAt, std::move(on_injected));
+    }
+}
+
+void
+PacketNetwork::forwardPacket(uint64_t msg_id,
+                             std::shared_ptr<std::vector<int>> path,
+                             size_t hop, Bytes pkt_bytes)
+{
+    if (hop + 1 >= path->size()) {
+        packetArrived(msg_id);
+        return;
+    }
+    Link &link = linkBetween((*path)[hop], (*path)[hop + 1]);
+    TimeNs start = std::max(eq_.now(), link.freeAt);
+    TimeNs tx_done =
+        start + txTime(pkt_bytes + headerBytes_, link.bandwidth);
+    link.freeAt = tx_done;
+    eq_.scheduleAt(tx_done + link.latency,
+                   [this, msg_id, path = std::move(path), hop,
+                    pkt_bytes]() mutable {
+                       forwardPacket(msg_id, std::move(path), hop + 1,
+                                     pkt_bytes);
+                   });
+}
+
+void
+PacketNetwork::packetArrived(uint64_t msg_id)
+{
+    auto it = inflight_.find(msg_id);
+    ASTRA_ASSERT(it != inflight_.end(), "unknown message id");
+    Message &msg = it->second;
+    if (--msg.packetsRemaining > 0)
+        return;
+    Message done = std::move(msg);
+    inflight_.erase(it);
+    deliver(done.src, done.dst, done.tag,
+            std::move(done.handlers.onDelivered));
+}
+
+} // namespace astra

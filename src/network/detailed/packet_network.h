@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Packet-level store-and-forward network backend.
+ *
+ * This is the "detailed" reference backend standing in for both the
+ * Garnet (gem5) backend and the real NCCL/V100 testbed of the paper's
+ * Fig. 4 validation: it does not apply the analytical closed form but
+ * simulates every message as a train of packets crossing explicit
+ * links with FIFO serialization, per-hop latency, and contention.
+ *
+ * Graph construction from the Topology:
+ *  - Ring dims contribute bidirectional neighbour links at the full
+ *    per-NPU dimension bandwidth (matching the counter-rotating-ring
+ *    aggregate convention of the analytical backend).
+ *  - FullyConnected dims contribute a link per NPU pair at
+ *    bandwidth/(k-1) each.
+ *  - Switch dims contribute an explicit switch node per group with
+ *    up/down links at the dimension bandwidth.
+ *
+ * Routing is dimension-ordered; within a Ring dimension packets take
+ * the minimal direction through intermediate NPUs (store-and-forward).
+ */
+#ifndef ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
+#define ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "network/network_api.h"
+
+namespace astra {
+
+/** Detailed packet-level backend (see file comment). */
+class PacketNetwork : public NetworkApi
+{
+  public:
+    /**
+     * @param packet_bytes     maximum packet payload; messages are
+     *                         split into ceil(bytes / packet_bytes)
+     *                         packets.
+     * @param header_bytes     per-packet protocol header serialized
+     *                         along with the payload (the closed-form
+     *                         backend ignores it).
+     * @param message_overhead fixed software/NIC launch latency per
+     *                         message before the first packet enters
+     *                         the network.
+     */
+    PacketNetwork(EventQueue &eq, const Topology &topo,
+                  Bytes packet_bytes = 4096.0, Bytes header_bytes = 0.0,
+                  TimeNs message_overhead = 0.0);
+
+    void simSend(NpuId src, NpuId dst, Bytes bytes, int dim, uint64_t tag,
+                 SendHandlers handlers) override;
+
+    /** Number of directed links in the constructed graph. */
+    size_t linkCount() const { return links_.size(); }
+
+    Bytes packetBytes() const { return packetBytes_; }
+
+  private:
+    struct Link
+    {
+        GBps bandwidth = 1.0;
+        TimeNs latency = 0.0;
+        TimeNs freeAt = 0.0;
+    };
+
+    struct Message
+    {
+        NpuId src = 0;
+        NpuId dst = 0;
+        uint64_t tag = 0;
+        int packetsRemaining = 0;
+        SendHandlers handlers;
+    };
+
+    /** Dense node numbering: NPUs first, then switch nodes. */
+    int switchNode(int dim, int group_index) const;
+
+    /** Dense index of `member`'s group within dimension `dim`. */
+    int groupIndexOf(int dim, NpuId member) const;
+
+    void addLink(int from, int to, GBps bw, TimeNs lat);
+    Link &linkBetween(int from, int to);
+
+    /** Node path (including src and dst) for a message. */
+    std::vector<int> route(NpuId src, NpuId dst, int dim) const;
+
+    /** Route contribution of a single dimension, appended to `path`. */
+    void routeInDim(int dim, NpuId from, NpuId to,
+                    std::vector<int> &path) const;
+
+    void launchMessage(uint64_t msg_id,
+                       std::shared_ptr<std::vector<int>> path,
+                       Bytes bytes, int packets,
+                       EventCallback on_injected);
+    void forwardPacket(uint64_t msg_id, std::shared_ptr<std::vector<int>> path,
+                       size_t hop, Bytes pkt_bytes);
+    void packetArrived(uint64_t msg_id);
+
+    Bytes packetBytes_;
+    Bytes headerBytes_;
+    TimeNs messageOverhead_;
+    int totalNodes_ = 0;
+    std::vector<int> switchBase_; //!< per-dim base index of switch nodes.
+    std::unordered_map<uint64_t, Link> links_;
+    std::unordered_map<uint64_t, Message> inflight_;
+    uint64_t nextMsgId_ = 1;
+};
+
+} // namespace astra
+
+#endif // ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_

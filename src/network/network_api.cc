@@ -1,0 +1,82 @@
+#include "network/network_api.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "network/analytical.h"
+#include "network/detailed/packet_network.h"
+
+namespace astra {
+
+NetworkApi::NetworkApi(EventQueue &eq, const Topology &topo)
+    : eq_(eq), topo_(topo)
+{
+    stats_.bytesPerDim.assign(static_cast<size_t>(topo.numDims()), 0.0);
+}
+
+void
+NetworkApi::simRecv(NpuId dst, NpuId src, uint64_t tag, EventCallback cb)
+{
+    PendingKey key{dst, src, tag};
+    auto it = arrived_.find(key);
+    if (it != arrived_.end()) {
+        // Message already delivered; consume one arrival.
+        if (--it->second == 0)
+            arrived_.erase(it);
+        // Fire asynchronously to keep callback ordering uniform.
+        eq_.schedule(0.0, std::move(cb));
+        return;
+    }
+    posted_[key].push_back(std::move(cb));
+}
+
+void
+NetworkApi::simSchedule(TimeNs delay, EventCallback cb)
+{
+    eq_.schedule(delay, std::move(cb));
+}
+
+void
+NetworkApi::deliver(NpuId src, NpuId dst, uint64_t tag,
+                    EventCallback on_delivered)
+{
+    if (on_delivered)
+        on_delivered();
+    if (tag == kNoTag)
+        return;
+    PendingKey key{dst, src, tag};
+    auto it = posted_.find(key);
+    if (it != posted_.end()) {
+        EventCallback cb = std::move(it->second.front());
+        it->second.erase(it->second.begin());
+        if (it->second.empty())
+            posted_.erase(it);
+        cb();
+        return;
+    }
+    ++arrived_[key];
+}
+
+void
+NetworkApi::account(int dim, Bytes bytes)
+{
+    ++stats_.messages;
+    if (dim >= 0 && dim < topo_.numDims())
+        stats_.bytesPerDim[static_cast<size_t>(dim)] += bytes;
+}
+
+std::unique_ptr<NetworkApi>
+makeNetwork(NetworkBackendKind kind, EventQueue &eq, const Topology &topo)
+{
+    switch (kind) {
+      case NetworkBackendKind::Analytical:
+        return std::make_unique<AnalyticalNetwork>(eq, topo, true);
+      case NetworkBackendKind::AnalyticalPure:
+        return std::make_unique<AnalyticalNetwork>(eq, topo, false);
+      case NetworkBackendKind::Packet:
+        return std::make_unique<PacketNetwork>(eq, topo);
+    }
+    panic("unknown network backend kind");
+}
+
+} // namespace astra

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The ASTRA-sim frontend NetworkAPI (paper §IV-C, Snippet 2).
+ *
+ * The system layer delegates all communication to a backend through
+ * this interface: `simSend` hands a message to the network, and the
+ * backend invokes callbacks when injection finishes and when the
+ * message is delivered. `simRecv` posts a receive that is matched
+ * against deliveries by (src, dst, tag), exactly like the
+ * sim_send/sim_recv pair in the paper. `simSchedule` exposes the
+ * backend's event queue for timed callbacks.
+ *
+ * Two backends implement the interface:
+ *  - AnalyticalNetwork (src/network/analytical.h): the paper's
+ *    equation-based backend with first-order transmit serialization.
+ *  - PacketNetwork (src/network/detailed/packet_network.h): a
+ *    packet-level store-and-forward reference used for validation and
+ *    the simulation-speed study (substitute for Garnet / the real
+ *    NCCL testbed).
+ */
+#ifndef ASTRA_NETWORK_NETWORK_API_H_
+#define ASTRA_NETWORK_NETWORK_API_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "event/event_queue.h"
+#include "topology/topology.h"
+
+namespace astra {
+
+/** Route hint: send within a specific topology dimension. */
+constexpr int kAutoRoute = -1;
+
+/** Tag value that bypasses simRecv matching (callback-only messages,
+ *  used by the collective engine's internal traffic). */
+constexpr uint64_t kNoTag = ~0ULL;
+
+/** Per-message completion callbacks (either may be null). */
+struct SendHandlers
+{
+    /** Fires when the message has fully left the source (TX done). */
+    EventCallback onInjected;
+    /** Fires when the message has fully arrived at the destination. */
+    EventCallback onDelivered;
+};
+
+/** Cumulative traffic counters per topology dimension. */
+struct NetworkStats
+{
+    std::vector<double> bytesPerDim; //!< payload bytes sent per dim.
+    uint64_t messages = 0;
+};
+
+/**
+ * Abstract network backend; see file comment.
+ *
+ * Lifetime: the backend borrows the EventQueue and Topology, which
+ * must outlive it.
+ */
+class NetworkApi
+{
+  public:
+    NetworkApi(EventQueue &eq, const Topology &topo);
+    virtual ~NetworkApi() = default;
+
+    NetworkApi(const NetworkApi &) = delete;
+    NetworkApi &operator=(const NetworkApi &) = delete;
+
+    /**
+     * Transmit `bytes` from `src` to `dst`.
+     *
+     * @param dim  topology dimension to route in, or kAutoRoute for
+     *             dimension-ordered routing across all dims.
+     * @param tag  message tag used by simRecv matching.
+     */
+    virtual void simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
+                         uint64_t tag, SendHandlers handlers) = 0;
+
+    /**
+     * Post a receive at `dst` for a message from `src` with `tag`.
+     * Fires immediately if the message already arrived (eager buffer).
+     */
+    void simRecv(NpuId dst, NpuId src, uint64_t tag, EventCallback cb);
+
+    /** Schedule a callback after `delay` ns (Snippet 2 sim_schedule). */
+    void simSchedule(TimeNs delay, EventCallback cb);
+
+    TimeNs now() const { return eq_.now(); }
+    EventQueue &eventQueue() { return eq_; }
+    const Topology &topology() const { return topo_; }
+    const NetworkStats &stats() const { return stats_; }
+
+  protected:
+    /** Implementations call this when a message reaches `dst`;
+     *  it resolves simRecv matching and the onDelivered handler. */
+    void deliver(NpuId src, NpuId dst, uint64_t tag,
+                 EventCallback on_delivered);
+
+    /** Record payload accounting for stats(). */
+    void account(int dim, Bytes bytes);
+
+    EventQueue &eq_;
+    const Topology &topo_;
+    NetworkStats stats_;
+
+  private:
+    struct PendingKey
+    {
+        NpuId dst;
+        NpuId src;
+        uint64_t tag;
+        auto operator<=>(const PendingKey &) const = default;
+    };
+
+    /** Deliveries that arrived before the matching simRecv. */
+    std::map<PendingKey, int> arrived_;
+    /** Posted receives awaiting a delivery. */
+    std::map<PendingKey, std::vector<EventCallback>> posted_;
+};
+
+/** Backend selector used by the simulator facade. */
+enum class NetworkBackendKind {
+    Analytical,       //!< equation-based with TX serialization (default).
+    AnalyticalPure,   //!< pure equations, no serialization queueing.
+    Packet,           //!< detailed packet-level reference backend.
+};
+
+/** Factory for the built-in backends. */
+std::unique_ptr<NetworkApi> makeNetwork(NetworkBackendKind kind,
+                                        EventQueue &eq,
+                                        const Topology &topo);
+
+} // namespace astra
+
+#endif // ASTRA_NETWORK_NETWORK_API_H_

@@ -1,0 +1,36 @@
+#include "system/compute.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace astra {
+
+RooflineCompute::RooflineCompute(ComputeConfig cfg) : cfg_(cfg)
+{
+    ASTRA_USER_CHECK(cfg_.peakTflops > 0.0,
+                     "peak compute must be positive");
+    ASTRA_USER_CHECK(cfg_.memBandwidth > 0.0,
+                     "compute memory bandwidth must be positive");
+    ASTRA_USER_CHECK(cfg_.kernelOverhead >= 0.0,
+                     "kernel overhead must be non-negative");
+}
+
+TimeNs
+RooflineCompute::computeTime(Flops flops, Bytes tensor_bytes) const
+{
+    ASTRA_USER_CHECK(flops >= 0.0 && tensor_bytes >= 0.0,
+                     "negative compute node metadata");
+    TimeNs flop_time = flops / tflopsToFlopPerNs(cfg_.peakTflops);
+    TimeNs mem_time = txTime(tensor_bytes, cfg_.memBandwidth);
+    return cfg_.kernelOverhead + std::max(flop_time, mem_time);
+}
+
+double
+RooflineCompute::ridgeIntensity() const
+{
+    // FLOP/byte where the two roofline regimes meet.
+    return tflopsToFlopPerNs(cfg_.peakTflops) / cfg_.memBandwidth;
+}
+
+} // namespace astra

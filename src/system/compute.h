@@ -1,0 +1,47 @@
+/**
+ * @file
+ * NPU compute timing via a roofline model (paper §IV-A: "ASTRA-sim
+ * calculates the number of cycles to perform the operation with an
+ * internal roofline model").
+ *
+ * An operator with F floating-point operations touching B bytes runs
+ * in max(F / peak_flops, B / memory_bandwidth): compute-bound
+ * operators ride the flat roof, memory-bound operators the slope.
+ */
+#ifndef ASTRA_SYSTEM_COMPUTE_H_
+#define ASTRA_SYSTEM_COMPUTE_H_
+
+#include "common/units.h"
+
+namespace astra {
+
+/** NPU compute capability (defaults: the paper's A100 at 234 TFLOPS
+ *  with its HBM2e bandwidth). */
+struct ComputeConfig
+{
+    double peakTflops = 234.0; //!< peak throughput, TFLOP/s.
+    GBps memBandwidth = 2039.0; //!< operator-fusion-level HBM BW.
+    TimeNs kernelOverhead = 0.0; //!< fixed per-operator launch cost.
+};
+
+/** Roofline operator timing (see file comment). */
+class RooflineCompute
+{
+  public:
+    explicit RooflineCompute(ComputeConfig cfg = {});
+
+    /** Execution time of one operator. */
+    TimeNs computeTime(Flops flops, Bytes tensor_bytes) const;
+
+    /** Arithmetic intensity (FLOP/byte) at the roofline ridge. */
+    double ridgeIntensity() const;
+
+    const ComputeConfig &config() const { return cfg_; }
+
+  private:
+    ComputeConfig cfg_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_SYSTEM_COMPUTE_H_

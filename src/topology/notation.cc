@@ -1,0 +1,145 @@
+#include "topology/notation.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace astra {
+
+namespace {
+
+std::string
+lower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** Split "a_b_c" at top level (underscores never appear inside parens). */
+std::vector<std::string>
+splitDims(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == '_' && depth == 0) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+std::vector<std::string>
+splitArgs(const std::string &inner)
+{
+    std::vector<std::string> args;
+    std::string cur;
+    for (char c : inner) {
+        if (c == ',') {
+            args.push_back(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur += c;
+        }
+    }
+    args.push_back(cur);
+    return args;
+}
+
+double
+parseNumber(const std::string &tok, const std::string &what)
+{
+    try {
+        size_t used = 0;
+        double v = std::stod(tok, &used);
+        ASTRA_USER_CHECK(used == tok.size(),
+                         "topology notation: bad %s '%s'", what.c_str(),
+                         tok.c_str());
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("topology notation: bad %s '%s'", what.c_str(), tok.c_str());
+    }
+}
+
+} // namespace
+
+BlockType
+parseBlockType(const std::string &name)
+{
+    std::string n = lower(name);
+    if (n == "r" || n == "ring")
+        return BlockType::Ring;
+    if (n == "fc" || n == "fullyconnected")
+        return BlockType::FullyConnected;
+    if (n == "sw" || n == "switch")
+        return BlockType::Switch;
+    fatal("unknown topology building block '%s' "
+          "(expected Ring/R, FullyConnected/FC, Switch/SW)",
+          name.c_str());
+}
+
+Topology
+parseTopology(const std::string &text, const std::vector<GBps> &bandwidths,
+              const std::vector<TimeNs> &latencies)
+{
+    ASTRA_USER_CHECK(!text.empty(), "empty topology notation");
+    std::vector<std::string> parts = splitDims(text);
+
+    std::vector<Dimension> dims;
+    for (const std::string &part : parts) {
+        size_t open = part.find('(');
+        size_t close = part.rfind(')');
+        ASTRA_USER_CHECK(open != std::string::npos &&
+                             close != std::string::npos && close > open,
+                         "topology notation: malformed dimension '%s'",
+                         part.c_str());
+        Dimension dim;
+        dim.type = parseBlockType(part.substr(0, open));
+        std::vector<std::string> args =
+            splitArgs(part.substr(open + 1, close - open - 1));
+        ASTRA_USER_CHECK(args.size() >= 1 && args.size() <= 3,
+                         "topology notation: dimension '%s' takes 1-3 "
+                         "arguments (size[,bw_gbps[,latency_ns]])",
+                         part.c_str());
+        dim.size = static_cast<int>(parseNumber(args[0], "size"));
+        ASTRA_USER_CHECK(dim.size >= 1,
+                         "topology notation: size must be >= 1 in '%s'",
+                         part.c_str());
+        if (args.size() >= 2)
+            dim.bandwidth = parseNumber(args[1], "bandwidth");
+        if (args.size() >= 3)
+            dim.latency = parseNumber(args[2], "latency");
+        dims.push_back(dim);
+    }
+
+    auto apply = [&](auto &values, auto setter, const char *what) {
+        if (values.empty())
+            return;
+        ASTRA_USER_CHECK(values.size() == dims.size(),
+                         "%s override count %zu != dimension count %zu",
+                         what, values.size(), dims.size());
+        for (size_t d = 0; d < dims.size(); ++d)
+            setter(dims[d], values[d]);
+    };
+    apply(bandwidths,
+          [](Dimension &d, GBps bw) { d.bandwidth = bw; }, "bandwidth");
+    apply(latencies,
+          [](Dimension &d, TimeNs lat) { d.latency = lat; }, "latency");
+
+    return Topology(std::move(dims));
+}
+
+} // namespace astra

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parser for the hierarchical topology notation of §IV-B / Fig. 3(c).
+ *
+ * Grammar (case-insensitive block names, underscores between dims):
+ *
+ *   topology := dim ("_" dim)*
+ *   dim      := block "(" k ["," bw_gbps ["," latency_ns]] ")"
+ *   block    := "Ring" | "R" | "FullyConnected" | "FC" | "Switch" | "SW"
+ *
+ * Examples:
+ *   "Ring(4)_Switch(2)"           — shapes only; caller supplies BW.
+ *   "R(4,250)_SW(2,50)"           — per-dim bandwidth in GB/s.
+ *   "FC(4,100,500)_FC(2,50,700)"  — plus per-hop latency in ns.
+ */
+#ifndef ASTRA_TOPOLOGY_NOTATION_H_
+#define ASTRA_TOPOLOGY_NOTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace astra {
+
+/**
+ * Parse the topology notation.
+ *
+ * @param text        notation string (see grammar above).
+ * @param bandwidths  optional per-dim BW (GB/s) overriding in-string
+ *                    values; may be empty, or have one entry per dim.
+ * @param latencies   optional per-dim per-hop latency (ns); same rules.
+ */
+Topology parseTopology(const std::string &text,
+                       const std::vector<GBps> &bandwidths = {},
+                       const std::vector<TimeNs> &latencies = {});
+
+/** Parse just a block name ("R", "Ring", "fc", ...); fatal() if unknown. */
+BlockType parseBlockType(const std::string &name);
+
+} // namespace astra
+
+#endif // ASTRA_TOPOLOGY_NOTATION_H_

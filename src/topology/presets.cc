@@ -1,0 +1,171 @@
+#include "topology/presets.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace astra {
+namespace presets {
+
+namespace {
+
+Dimension
+makeDim(BlockType type, int size, GBps bw, TimeNs lat = kDefaultLatency)
+{
+    Dimension d;
+    d.type = type;
+    d.size = size;
+    d.bandwidth = bw;
+    d.latency = lat;
+    return d;
+}
+
+} // namespace
+
+Topology
+wafer1D(GBps bw, int npus)
+{
+    return Topology({makeDim(BlockType::Switch, npus, bw)});
+}
+
+Topology
+wafer2D(int dim1, int dim2, GBps bw1, GBps bw2)
+{
+    return Topology({makeDim(BlockType::Switch, dim1, bw1),
+                     makeDim(BlockType::Switch, dim2, bw2)});
+}
+
+Topology
+conv3D()
+{
+    return Topology({makeDim(BlockType::Ring, 16, 200.0),
+                     makeDim(BlockType::FullyConnected, 8, 100.0),
+                     makeDim(BlockType::Switch, 4, 50.0)});
+}
+
+Topology
+conv4D()
+{
+    return Topology({makeDim(BlockType::Ring, 2, 250.0),
+                     makeDim(BlockType::FullyConnected, 8, 200.0),
+                     makeDim(BlockType::Ring, 8, 100.0),
+                     makeDim(BlockType::Switch, 4, 50.0)});
+}
+
+Topology
+waferBaseline(int dim1, int dim4)
+{
+    return Topology({makeDim(BlockType::Ring, dim1, 1000.0),
+                     makeDim(BlockType::FullyConnected, 8, 200.0),
+                     makeDim(BlockType::Ring, 8, 100.0),
+                     makeDim(BlockType::Switch, dim4, 50.0)});
+}
+
+Topology
+dgx1(int nodes)
+{
+    return Topology({makeDim(BlockType::Ring, 4, 150.0),
+                     makeDim(BlockType::Switch, nodes, 25.0)});
+}
+
+Topology
+dgxA100(int nodes)
+{
+    return Topology({makeDim(BlockType::Switch, 8, 300.0),
+                     makeDim(BlockType::Switch, nodes, 25.0)});
+}
+
+Topology
+dgx2(int nodes)
+{
+    return Topology({makeDim(BlockType::Switch, 16, 150.0),
+                     makeDim(BlockType::Switch, nodes, 12.5)});
+}
+
+Topology
+tpuV2(int x, int y)
+{
+    return Topology({makeDim(BlockType::Ring, x, 62.5),
+                     makeDim(BlockType::Ring, y, 62.5)});
+}
+
+Topology
+tpuV4(int x, int y, int z)
+{
+    // 448 Gb/s inter-core interconnect per dimension (§III-B).
+    return Topology({makeDim(BlockType::Ring, x, 56.0),
+                     makeDim(BlockType::Ring, y, 56.0),
+                     makeDim(BlockType::Ring, z, 56.0)});
+}
+
+Topology
+dragonfly(int a, int b, int c)
+{
+    return Topology({makeDim(BlockType::FullyConnected, a, 100.0),
+                     makeDim(BlockType::FullyConnected, b, 50.0),
+                     makeDim(BlockType::FullyConnected, c, 25.0)});
+}
+
+Topology
+habana(int nodes)
+{
+    return Topology({makeDim(BlockType::FullyConnected, 4, 100.0),
+                     makeDim(BlockType::Switch, nodes, 25.0)});
+}
+
+Topology
+metaZion(int nodes)
+{
+    return Topology({makeDim(BlockType::Ring, 4, 100.0),
+                     makeDim(BlockType::Switch, nodes, 25.0)});
+}
+
+Topology
+byName(const std::string &name)
+{
+    std::string n = name;
+    std::transform(n.begin(), n.end(), n.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    if (n == "w1d-350")
+        return wafer1D(350.0);
+    if (n == "w1d-500")
+        return wafer1D(500.0);
+    if (n == "w1d-600")
+        return wafer1D(600.0);
+    if (n == "w2d")
+        return wafer2D();
+    if (n == "conv3d")
+        return conv3D();
+    if (n == "conv4d")
+        return conv4D();
+    if (n == "dgx1")
+        return dgx1();
+    if (n == "dgx2")
+        return dgx2();
+    if (n == "dgxa100")
+        return dgxA100();
+    if (n == "tpuv2" || n == "tpuv3")
+        return tpuV2();
+    if (n == "tpuv4")
+        return tpuV4();
+    if (n == "dragonfly")
+        return dragonfly();
+    if (n == "habana")
+        return habana();
+    if (n == "zion")
+        return metaZion();
+    fatal("unknown topology preset '%s'", name.c_str());
+}
+
+std::vector<std::string>
+names()
+{
+    return {"w1d-350", "w1d-500", "w1d-600", "w2d",       "conv3d",
+            "conv4d",  "dgx1",    "dgx2",    "dgxa100",   "tpuv2",
+            "tpuv3",   "tpuv4",   "dragonfly", "habana",  "zion"};
+}
+
+} // namespace presets
+} // namespace astra

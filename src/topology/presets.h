@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Named topology presets: the Table II evaluation systems and the
+ * Fig. 3(c) state-of-the-art platforms.
+ *
+ * Bandwidths are the per-NPU per-dimension figures from the paper
+ * (Table II); platform presets use representative public numbers.
+ */
+#ifndef ASTRA_TOPOLOGY_PRESETS_H_
+#define ASTRA_TOPOLOGY_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace astra {
+namespace presets {
+
+/** Default per-hop link latency used by the presets (ns). */
+constexpr TimeNs kDefaultLatency = 500.0;
+
+/** W-1D: wafer-scale proxy, Switch(512) at `bw` GB/s (350/500/600). */
+Topology wafer1D(GBps bw, int npus = 512);
+
+/** W-2D: Switch(32)_Switch(16), 250_250 GB/s. */
+Topology wafer2D(int dim1 = 32, int dim2 = 16, GBps bw1 = 250.0,
+                 GBps bw2 = 250.0);
+
+/** Conv-3D: Ring(16)_FC(8)_Switch(4), 200_100_50 GB/s. */
+Topology conv3D();
+
+/** Conv-4D: Ring(2)_FC(8)_Ring(8)_Switch(4), 250_200_100_50 GB/s. */
+Topology conv4D();
+
+/**
+ * The Table IV baseline: Conv-4D with dim-1 bandwidth raised to
+ * 1000 GB/s to model the on-wafer dimension, shape d1_8_8_d4.
+ */
+Topology waferBaseline(int dim1 = 2, int dim4 = 4);
+
+/** NVIDIA DGX-1: Ring(4)_Switch(n) (hybrid-cube-mesh reduced). */
+Topology dgx1(int nodes = 2);
+
+/** NVIDIA DGX-A100 / DGX-2: Switch(8/16 NVSwitch)_Switch(n IB). */
+Topology dgxA100(int nodes = 2);
+Topology dgx2(int nodes = 2);
+
+/** Google TPUv2/v3: 2-D torus Ring(x)_Ring(y). */
+Topology tpuV2(int x = 4, int y = 2);
+
+/** Google TPUv4: 3-D torus Ring(x)_Ring(y)_Ring(z). */
+Topology tpuV4(int x = 4, int y = 2, int z = 2);
+
+/** Fully-populated DragonFly: FC(a)_FC(b)_FC(c). */
+Topology dragonfly(int a = 4, int b = 2, int c = 2);
+
+/** Intel Habana: FC(4)_Switch(n). */
+Topology habana(int nodes = 2);
+
+/** Meta Zion: Ring(4)_Switch(n). */
+Topology metaZion(int nodes = 2);
+
+/** Lookup by name (case-insensitive); fatal() on unknown names.
+ *  Names: w1d-350, w1d-500, w1d-600, w2d, conv3d, conv4d, dgx1, dgx2,
+ *  dgxa100, tpuv2, tpuv3, tpuv4, dragonfly, habana, zion. */
+Topology byName(const std::string &name);
+
+/** All preset names (for help text and tests). */
+std::vector<std::string> names();
+
+} // namespace presets
+} // namespace astra
+
+#endif // ASTRA_TOPOLOGY_PRESETS_H_

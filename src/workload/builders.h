@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Parallelization-strategy trace builders (paper §II-A / §IV-A).
+ *
+ * These are the stand-in for collecting PyTorch execution graphs: each
+ * builder synthesizes the ASTRA-sim ET a framework would record for a
+ * given model + parallelization strategy. Strategies are expressed
+ * purely as node metadata and dependencies, so the simulator frontend
+ * stays strategy-agnostic (the decoupling §III-A calls for).
+ *
+ * Supported strategies:
+ *  - data-parallel / model-parallel / hybrid MP x DP transformers,
+ *  - DLRM-style embedding All-to-All + data-parallel MLPs,
+ *  - GPipe-style pipeline parallelism with micro-batches and p2p
+ *    activation transfers (different graphs per NPU),
+ *  - MoE training over disaggregated memory with either network
+ *    collectives (ZeRO-Infinity style) or in-switch fused
+ *    gather-on-load / scatter-on-store (§IV-D.3).
+ */
+#ifndef ASTRA_WORKLOAD_BUILDERS_H_
+#define ASTRA_WORKLOAD_BUILDERS_H_
+
+#include "topology/topology.h"
+#include "workload/et.h"
+#include "workload/models.h"
+
+namespace astra {
+
+/** How MP/DP group factors tile the topology (§V-A.1). */
+struct ParallelMapping
+{
+    int mp = 1;
+    int dp = 1;
+    std::vector<GroupDim> mpGroups; //!< inner (fast) dims.
+    std::vector<GroupDim> dpGroups; //!< outer (scale-out) dims.
+};
+
+/**
+ * Map an MP x DP hybrid onto the topology: model-parallel groups take
+ * the innermost dimensions (splitting one dimension with strided
+ * factors if needed, e.g. on a single-dim wafer), data-parallel
+ * groups take the rest. fatal() if mp*dp != npus or sizes do not
+ * factor.
+ */
+ParallelMapping mapHybrid(const Topology &topo, int mp, int dp);
+
+/** Options for transformer-style hybrid training traces. */
+struct HybridOptions
+{
+    int mp = 1;         //!< model-parallel ways (dp = npus / mp).
+    int iterations = 1;
+    int simLayers = 0;  //!< override model coarsening (0 = model's).
+};
+
+/** Hybrid (MP x DP) transformer training trace; mp=1 is pure DP. */
+Workload buildHybridTransformer(const Topology &topo,
+                                const ModelDesc &model,
+                                const HybridOptions &opts);
+
+/** DLRM: embedding All-to-All + data-parallel MLP (Table III). */
+struct DlrmOptions
+{
+    int iterations = 1;
+};
+Workload buildDlrm(const Topology &topo, const ModelDesc &model,
+                   const DlrmOptions &opts);
+
+/** A single whole-system collective as a workload (Fig. 9's
+ *  "All-Reduce (1GB)" row). */
+Workload buildSingleCollective(const Topology &topo, CollectiveType type,
+                               Bytes bytes);
+
+/** GPipe-style pipeline parallelism: one stage per NPU. */
+struct PipelineOptions
+{
+    int microbatches = 8;
+    int iterations = 1;
+};
+Workload buildPipelineParallel(const Topology &topo,
+                               const ModelDesc &model,
+                               const PipelineOptions &opts);
+
+/** Parameter path for disaggregated-memory training (§V-B). */
+enum class ParamPath {
+    NetworkCollectives, //!< AG/RS over the GPU network (ZeRO style).
+    FusedInSwitch,      //!< gather-on-load / scatter-on-store
+                        //!< in the pooled memory fabric (§IV-D.3).
+};
+
+/** MoE training over a disaggregated memory pool. */
+struct MoEOptions
+{
+    int iterations = 1;
+    ParamPath path = ParamPath::NetworkCollectives;
+    int simLayers = 0;
+};
+Workload buildMoEDisaggregated(const Topology &topo,
+                               const ModelDesc &model,
+                               const MoEOptions &opts);
+
+/** Fresh globally-unique collective rendezvous key. */
+uint64_t freshCommKey();
+
+} // namespace astra
+
+#endif // ASTRA_WORKLOAD_BUILDERS_H_

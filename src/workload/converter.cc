@@ -1,0 +1,111 @@
+#include "workload/converter.h"
+
+#include "common/logging.h"
+
+namespace astra {
+
+namespace {
+
+EtNode
+convertNode(const json::Value &v)
+{
+    EtNode node;
+    node.id = static_cast<int>(v.at("id").asInt());
+    node.name = v.getString("name", "");
+    if (v.has("inputs"))
+        for (const json::Value &d : v.at("inputs").asArray())
+            node.deps.push_back(static_cast<int>(d.asInt()));
+
+    std::string op = v.at("op").asString();
+    json::Value attrs =
+        v.has("attrs") ? v.at("attrs") : json::Value(json::Object{});
+
+    if (op == "compute") {
+        node.type = NodeType::Compute;
+        node.flops = attrs.getNumber("flops", 0.0);
+        node.tensorBytes = attrs.getNumber("bytes", 0.0);
+    } else if (op == "memory") {
+        node.type = NodeType::Memory;
+        node.memBytes = attrs.getNumber("bytes", 0.0);
+        node.location = attrs.getString("location", "local") == "remote"
+                            ? MemLocation::Remote
+                            : MemLocation::Local;
+        node.memOp = attrs.getString("rw", "load") == "store"
+                         ? MemOp::Store
+                         : MemOp::Load;
+        node.fused = attrs.getBool("fused", false);
+    } else if (op == "comm") {
+        std::string comm_type = attrs.getString("comm_type", "");
+        if (comm_type == "send") {
+            node.type = NodeType::CommSend;
+            node.peer =
+                static_cast<NpuId>(attrs.getInt("peer", -1));
+            node.p2pBytes = attrs.getNumber("bytes", 0.0);
+            node.tag = static_cast<uint64_t>(attrs.getInt("tag", 0));
+        } else if (comm_type == "recv") {
+            node.type = NodeType::CommRecv;
+            node.peer =
+                static_cast<NpuId>(attrs.getInt("peer", -1));
+            node.tag = static_cast<uint64_t>(attrs.getInt("tag", 0));
+        } else {
+            node.type = NodeType::CommColl;
+            node.coll = parseCollectiveType(comm_type);
+            node.commBytes = attrs.getNumber("bytes", 0.0);
+        }
+    } else {
+        fatal("pytorch-et: unknown op kind '%s' (node %d)", op.c_str(),
+              node.id);
+    }
+    return node;
+}
+
+} // namespace
+
+Workload
+convertPyTorchTraces(const std::vector<json::Value> &rank_docs,
+                     const ProcessGroups &groups)
+{
+    ASTRA_USER_CHECK(!rank_docs.empty(), "converter: no rank documents");
+    Workload wl;
+    wl.name = "converted-pytorch-et";
+
+    // Collective rendezvous keys must be equal across ranks for the
+    // same logical collective. PyTorch traces are SPMD per process
+    // group: the n-th collective on a given pg matches across ranks.
+    // Key = (pg id, per-pg occurrence counter), assembled per rank.
+    for (size_t rank = 0; rank < rank_docs.size(); ++rank) {
+        const json::Value &doc = rank_docs[rank];
+        ASTRA_USER_CHECK(doc.getString("schema", "") == "pytorch-et",
+                         "converter: document %zu is not a pytorch-et "
+                         "trace",
+                         rank);
+        ASTRA_USER_CHECK(
+            static_cast<size_t>(doc.at("rank").asInt()) == rank,
+            "converter: rank documents out of order (got %lld at %zu)",
+            static_cast<long long>(doc.at("rank").asInt()), rank);
+
+        EtGraph graph;
+        graph.npu = static_cast<NpuId>(rank);
+        std::map<int64_t, uint64_t> pg_counter;
+        for (const json::Value &n : doc.at("nodes").asArray()) {
+            EtNode node = convertNode(n);
+            if (node.type == NodeType::CommColl) {
+                json::Value attrs = n.has("attrs")
+                                        ? n.at("attrs")
+                                        : json::Value(json::Object{});
+                int64_t pg = attrs.getInt("pg", 0);
+                uint64_t occurrence = pg_counter[pg]++;
+                node.commKey =
+                    (static_cast<uint64_t>(pg) << 32) | occurrence;
+                auto it = groups.find(pg);
+                if (it != groups.end())
+                    node.groups = it->second;
+            }
+            graph.nodes.push_back(std::move(node));
+        }
+        wl.graphs.push_back(std::move(graph));
+    }
+    return wl;
+}
+
+} // namespace astra

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The graph-based execution engine (paper §IV-A, Fig. 1(b)).
+ *
+ * Each NPU runs an independent engine instance over its ET graph: a
+ * node becomes ready when all its parents completed, ready nodes are
+ * issued to the NPU's system layer, and completions release children.
+ * Because every NPU consumes its own graph, different NPUs can run
+ * different operations at the same time — the property that enables
+ * pipeline parallelism and other arbitrary strategies. The engine
+ * finishes when every node of every graph has been consumed.
+ */
+#ifndef ASTRA_WORKLOAD_ENGINE_H_
+#define ASTRA_WORKLOAD_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "system/sys.h"
+#include "workload/et.h"
+
+namespace astra {
+
+/** See file comment. */
+class ExecutionEngine
+{
+  public:
+    /**
+     * @param sys  one system layer per NPU (indexed by NPU id);
+     *             borrowed, must outlive the engine.
+     * @param wl   validated workload (one graph per NPU); borrowed.
+     */
+    ExecutionEngine(std::vector<std::unique_ptr<Sys>> &sys,
+                    const Workload &wl);
+
+    /** Seed all dependency-free nodes into the system layers. */
+    void start();
+
+    /** True once every node has completed. */
+    bool finished() const { return completed_ == total_; }
+
+    /** Number of completed ET nodes. */
+    size_t completedNodes() const { return completed_; }
+    size_t totalNodes() const { return total_; }
+
+    /**
+     * Convenience: start(), drain the event queue, and fatal() if the
+     * workload deadlocked (e.g., mismatched send/recv pairs).
+     * Returns the finish time.
+     */
+    TimeNs run();
+
+  private:
+    struct PerNpu
+    {
+        std::vector<int> indegree;
+        std::vector<std::vector<size_t>> children;
+    };
+
+    void issue(NpuId npu, size_t index);
+    void onDone(NpuId npu, size_t index);
+
+    std::vector<std::unique_ptr<Sys>> &sys_;
+    const Workload &wl_;
+    std::vector<PerNpu> state_;
+    size_t total_ = 0;
+    size_t completed_ = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_WORKLOAD_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "workload/et.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace astra {
+
+const char *
+nodeTypeName(NodeType t)
+{
+    switch (t) {
+      case NodeType::Compute: return "compute";
+      case NodeType::Memory: return "memory";
+      case NodeType::CommColl: return "comm_coll";
+      case NodeType::CommSend: return "comm_send";
+      case NodeType::CommRecv: return "comm_recv";
+    }
+    return "?";
+}
+
+NodeType
+parseNodeType(const std::string &name)
+{
+    if (name == "compute")
+        return NodeType::Compute;
+    if (name == "memory")
+        return NodeType::Memory;
+    if (name == "comm_coll")
+        return NodeType::CommColl;
+    if (name == "comm_send")
+        return NodeType::CommSend;
+    if (name == "comm_recv")
+        return NodeType::CommRecv;
+    fatal("unknown ET node type '%s'", name.c_str());
+}
+
+size_t
+Workload::totalNodes() const
+{
+    size_t n = 0;
+    for (const EtGraph &g : graphs)
+        n += g.nodes.size();
+    return n;
+}
+
+void
+validateWorkload(const Workload &wl, int npus)
+{
+    ASTRA_USER_CHECK(static_cast<int>(wl.graphs.size()) == npus,
+                     "workload '%s' has %zu graphs but the topology has "
+                     "%d NPUs",
+                     wl.name.c_str(), wl.graphs.size(), npus);
+    for (int n = 0; n < npus; ++n) {
+        const EtGraph &g = wl.graphs[static_cast<size_t>(n)];
+        ASTRA_USER_CHECK(g.npu == n,
+                         "graph %d is labelled for NPU %d", n, g.npu);
+
+        std::unordered_map<int, size_t> index;
+        for (size_t i = 0; i < g.nodes.size(); ++i) {
+            const EtNode &node = g.nodes[i];
+            ASTRA_USER_CHECK(node.id >= 0, "NPU %d: negative node id", n);
+            ASTRA_USER_CHECK(index.emplace(node.id, i).second,
+                             "NPU %d: duplicate node id %d", n, node.id);
+            if (node.type == NodeType::CommSend ||
+                node.type == NodeType::CommRecv) {
+                ASTRA_USER_CHECK(node.peer >= 0 && node.peer < npus,
+                                 "NPU %d node %d: peer %d out of range",
+                                 n, node.id, node.peer);
+            }
+        }
+
+        // Dependency existence + cycle detection via Kahn's algorithm.
+        std::vector<int> indegree(g.nodes.size(), 0);
+        std::vector<std::vector<size_t>> children(g.nodes.size());
+        for (size_t i = 0; i < g.nodes.size(); ++i) {
+            for (int dep : g.nodes[i].deps) {
+                auto it = index.find(dep);
+                ASTRA_USER_CHECK(it != index.end(),
+                                 "NPU %d node %d: missing dependency %d",
+                                 n, g.nodes[i].id, dep);
+                ASTRA_USER_CHECK(it->second != i,
+                                 "NPU %d node %d depends on itself", n,
+                                 g.nodes[i].id);
+                children[it->second].push_back(i);
+                ++indegree[i];
+            }
+        }
+        std::vector<size_t> ready;
+        for (size_t i = 0; i < g.nodes.size(); ++i)
+            if (indegree[i] == 0)
+                ready.push_back(i);
+        size_t seen = 0;
+        while (!ready.empty()) {
+            size_t i = ready.back();
+            ready.pop_back();
+            ++seen;
+            for (size_t c : children[i])
+                if (--indegree[c] == 0)
+                    ready.push_back(c);
+        }
+        ASTRA_USER_CHECK(seen == g.nodes.size(),
+                         "NPU %d: dependency cycle in execution trace",
+                         n);
+    }
+}
+
+} // namespace astra

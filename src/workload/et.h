@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ASTRA-sim execution traces (ETs), paper §IV-A / Fig. 1(b).
+ *
+ * An ET encodes the execution of an ML model and its parallelization
+ * strategy as one dependency graph per NPU. Node types follow the
+ * paper: compute nodes carry FLOP count and tensor size (timed by the
+ * roofline model), memory nodes carry tensor size and location (timed
+ * by the Memory API), and communication nodes are either collectives
+ * (type + size + group) or point-to-point send/receive pairs.
+ * Parallelization strategies are encoded purely through node metadata
+ * and dependency edges, which is what decouples them from the
+ * simulator frontend.
+ */
+#ifndef ASTRA_WORKLOAD_ET_H_
+#define ASTRA_WORKLOAD_ET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collective/types.h"
+#include "memory/memory_api.h"
+#include "topology/topology.h"
+
+namespace astra {
+
+/** ET node kinds (Fig. 1(b): compute, memory, communication). */
+enum class NodeType {
+    Compute,
+    Memory,
+    CommColl,
+    CommSend,
+    CommRecv,
+};
+
+const char *nodeTypeName(NodeType t);
+NodeType parseNodeType(const std::string &name);
+
+/** One ET node; the meaningful fields depend on `type`. */
+struct EtNode
+{
+    int id = -1;
+    NodeType type = NodeType::Compute;
+    std::string name;       //!< optional human label ("layer3.wgrad").
+    std::vector<int> deps;  //!< parent node ids (must all complete).
+
+    // -- Compute metadata (flops + touched bytes, §IV-A).
+    Flops flops = 0.0;
+    Bytes tensorBytes = 0.0;
+
+    // -- Memory metadata.
+    MemLocation location = MemLocation::Local;
+    MemOp memOp = MemOp::Load;
+    Bytes memBytes = 0.0;
+    /** In-switch collective fusion (§IV-D.3). */
+    bool fused = false;
+
+    // -- Collective metadata.
+    CollectiveType coll = CollectiveType::AllReduce;
+    Bytes commBytes = 0.0;
+    std::vector<GroupDim> groups; //!< empty = whole topology.
+    /** Rendezvous key; equal across the group's NPUs. */
+    uint64_t commKey = 0;
+
+    // -- Point-to-point metadata.
+    NpuId peer = -1;
+    Bytes p2pBytes = 0.0;
+    uint64_t tag = 0;
+};
+
+/** One NPU's dependency graph. */
+struct EtGraph
+{
+    NpuId npu = 0;
+    std::vector<EtNode> nodes;
+};
+
+/** A complete workload: one graph per NPU. */
+struct Workload
+{
+    std::string name;
+    std::vector<EtGraph> graphs;
+
+    size_t totalNodes() const;
+};
+
+/**
+ * Validate a workload against a topology size: one graph per NPU in
+ * order, unique node ids per graph, dependencies referencing existing
+ * nodes, acyclic graphs, peers in range. fatal() on violations (ETs
+ * are user input).
+ */
+void validateWorkload(const Workload &wl, int npus);
+
+} // namespace astra
+
+#endif // ASTRA_WORKLOAD_ET_H_

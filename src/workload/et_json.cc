@@ -1,0 +1,186 @@
+#include "workload/et_json.h"
+
+#include "common/logging.h"
+
+namespace astra {
+
+namespace {
+
+constexpr const char *kSchema = "astra-sim-et-v2";
+
+json::Value
+nodeToJson(const EtNode &node)
+{
+    json::Object o;
+    o["id"] = json::Value(node.id);
+    o["type"] = json::Value(nodeTypeName(node.type));
+    if (!node.name.empty())
+        o["name"] = json::Value(node.name);
+    if (!node.deps.empty()) {
+        json::Array deps;
+        for (int d : node.deps)
+            deps.push_back(json::Value(d));
+        o["deps"] = json::Value(std::move(deps));
+    }
+    switch (node.type) {
+      case NodeType::Compute:
+        o["flops"] = json::Value(node.flops);
+        o["tensor_bytes"] = json::Value(node.tensorBytes);
+        break;
+      case NodeType::Memory:
+        o["op"] = json::Value(memOpName(node.memOp));
+        o["location"] = json::Value(memLocationName(node.location));
+        o["bytes"] = json::Value(node.memBytes);
+        if (node.fused)
+            o["fused"] = json::Value(true);
+        break;
+      case NodeType::CommColl: {
+        o["coll"] = json::Value(collectiveName(node.coll));
+        o["bytes"] = json::Value(node.commBytes);
+        // JSON numbers are doubles: keys beyond 2^53 would silently
+        // collide after a round trip.
+        ASTRA_USER_CHECK(node.commKey < (1ULL << 53),
+                         "ET node %d: collective key %llu too large to "
+                         "serialize",
+                         node.id,
+                         static_cast<unsigned long long>(node.commKey));
+        o["key"] = json::Value(static_cast<double>(node.commKey));
+        if (!node.groups.empty()) {
+            json::Array groups;
+            for (const GroupDim &g : node.groups) {
+                json::Object go;
+                go["dim"] = json::Value(g.dim);
+                go["size"] = json::Value(g.size);
+                go["stride"] = json::Value(g.stride);
+                groups.push_back(json::Value(std::move(go)));
+            }
+            o["groups"] = json::Value(std::move(groups));
+        }
+        break;
+      }
+      case NodeType::CommSend:
+        o["peer"] = json::Value(node.peer);
+        o["bytes"] = json::Value(node.p2pBytes);
+        o["tag"] = json::Value(static_cast<double>(node.tag));
+        break;
+      case NodeType::CommRecv:
+        o["peer"] = json::Value(node.peer);
+        o["tag"] = json::Value(static_cast<double>(node.tag));
+        break;
+    }
+    return json::Value(std::move(o));
+}
+
+EtNode
+nodeFromJson(const json::Value &v)
+{
+    EtNode node;
+    node.id = static_cast<int>(v.at("id").asInt());
+    node.type = parseNodeType(v.at("type").asString());
+    node.name = v.getString("name", "");
+    if (v.has("deps"))
+        for (const json::Value &d : v.at("deps").asArray())
+            node.deps.push_back(static_cast<int>(d.asInt()));
+    switch (node.type) {
+      case NodeType::Compute:
+        node.flops = v.getNumber("flops", 0.0);
+        node.tensorBytes = v.getNumber("tensor_bytes", 0.0);
+        break;
+      case NodeType::Memory:
+        node.memOp = v.getString("op", "load") == "store" ? MemOp::Store
+                                                          : MemOp::Load;
+        node.location = v.getString("location", "local") == "remote"
+                            ? MemLocation::Remote
+                            : MemLocation::Local;
+        node.memBytes = v.getNumber("bytes", 0.0);
+        node.fused = v.getBool("fused", false);
+        break;
+      case NodeType::CommColl: {
+        node.coll = parseCollectiveType(v.at("coll").asString());
+        node.commBytes = v.getNumber("bytes", 0.0);
+        node.commKey = static_cast<uint64_t>(v.getNumber("key", 0.0));
+        if (v.has("groups")) {
+            for (const json::Value &g : v.at("groups").asArray()) {
+                GroupDim gd;
+                gd.dim = static_cast<int>(g.at("dim").asInt());
+                gd.size = static_cast<int>(g.getInt("size", 0));
+                gd.stride = static_cast<int>(g.getInt("stride", 1));
+                node.groups.push_back(gd);
+            }
+        }
+        break;
+      }
+      case NodeType::CommSend:
+        node.peer = static_cast<NpuId>(v.at("peer").asInt());
+        node.p2pBytes = v.getNumber("bytes", 0.0);
+        node.tag = static_cast<uint64_t>(v.getNumber("tag", 0.0));
+        break;
+      case NodeType::CommRecv:
+        node.peer = static_cast<NpuId>(v.at("peer").asInt());
+        node.tag = static_cast<uint64_t>(v.getNumber("tag", 0.0));
+        break;
+    }
+    return node;
+}
+
+} // namespace
+
+json::Value
+workloadToJson(const Workload &wl)
+{
+    json::Object doc;
+    doc["schema"] = json::Value(kSchema);
+    doc["name"] = json::Value(wl.name);
+    doc["npus"] = json::Value(static_cast<int64_t>(wl.graphs.size()));
+    json::Array graphs;
+    for (const EtGraph &g : wl.graphs) {
+        json::Object go;
+        go["npu"] = json::Value(g.npu);
+        json::Array nodes;
+        for (const EtNode &node : g.nodes)
+            nodes.push_back(nodeToJson(node));
+        go["nodes"] = json::Value(std::move(nodes));
+        graphs.push_back(json::Value(std::move(go)));
+    }
+    doc["graphs"] = json::Value(std::move(graphs));
+    return json::Value(std::move(doc));
+}
+
+Workload
+workloadFromJson(const json::Value &doc)
+{
+    ASTRA_USER_CHECK(doc.getString("schema", "") == kSchema,
+                     "ET document schema is '%s', expected '%s' (use the "
+                     "converter for external trace formats)",
+                     doc.getString("schema", "<missing>").c_str(),
+                     kSchema);
+    Workload wl;
+    wl.name = doc.getString("name", "trace");
+    int64_t npus = doc.at("npus").asInt();
+    const json::Array &graphs = doc.at("graphs").asArray();
+    ASTRA_USER_CHECK(static_cast<int64_t>(graphs.size()) == npus,
+                     "ET document: npus=%lld but %zu graphs",
+                     static_cast<long long>(npus), graphs.size());
+    for (const json::Value &g : graphs) {
+        EtGraph graph;
+        graph.npu = static_cast<NpuId>(g.at("npu").asInt());
+        for (const json::Value &n : g.at("nodes").asArray())
+            graph.nodes.push_back(nodeFromJson(n));
+        wl.graphs.push_back(std::move(graph));
+    }
+    return wl;
+}
+
+void
+saveWorkload(const std::string &path, const Workload &wl)
+{
+    json::writeFile(path, workloadToJson(wl));
+}
+
+Workload
+loadWorkload(const std::string &path)
+{
+    return workloadFromJson(json::parseFile(path));
+}
+
+} // namespace astra

@@ -1,0 +1,65 @@
+#include "workload/models.h"
+
+namespace astra {
+
+ModelDesc
+dlrm()
+{
+    ModelDesc m;
+    m.name = "DLRM";
+    m.params = 57e6; // Table III: 57M MLP parameters.
+    m.layers = 8;
+    m.simLayers = 8;
+    m.bytesPerParam = 4.0; // fp32 MLPs.
+    m.hidden = 1024.0;
+    m.tokensPerBatch = 4096; // samples per replica.
+    // Embedding-lookup results exchanged across all NPUs each
+    // direction (the communication that dominates DLRM training).
+    m.embeddingExchangeBytes = 64e6;
+    return m;
+}
+
+ModelDesc
+gpt3()
+{
+    ModelDesc m;
+    m.name = "GPT-3";
+    m.params = 175e9;
+    m.layers = 96;
+    m.simLayers = 12; // coarsened 8:1; volumes preserved.
+    m.bytesPerParam = 2.0;
+    m.hidden = 12288.0;
+    m.tokensPerBatch = 2048;
+    return m;
+}
+
+ModelDesc
+transformer1T()
+{
+    ModelDesc m;
+    m.name = "Transformer-1T";
+    m.params = 1e12;
+    m.layers = 128;
+    m.simLayers = 16;
+    m.bytesPerParam = 2.0;
+    m.hidden = 25600.0;
+    m.tokensPerBatch = 2048;
+    return m;
+}
+
+ModelDesc
+moe1T()
+{
+    ModelDesc m;
+    m.name = "MoE-1T";
+    m.params = 1e12;
+    m.layers = 24; // MoE layers (experts dominate the parameters).
+    m.simLayers = 12;
+    m.bytesPerParam = 2.0;
+    m.hidden = 8192.0;
+    m.tokensPerBatch = 1 << 20; // global batch tokens (4K per GPU).
+    m.activeParamFraction = 0.025; // ~25B active per token.
+    return m;
+}
+
+} // namespace astra

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The evaluation model zoo (paper Table III + §V-B).
+ *
+ * Models are described by aggregate quantities (parameters, layers,
+ * hidden width, batch tokens); the workload builders turn them into
+ * execution traces. `simLayers` lets large models be simulated with a
+ * coarsened graph: consecutive layers are merged while preserving the
+ * total FLOP and communication volume, which keeps event counts
+ * tractable at 512-4096 NPUs without changing aggregate ratios.
+ */
+#ifndef ASTRA_WORKLOAD_MODELS_H_
+#define ASTRA_WORKLOAD_MODELS_H_
+
+#include <string>
+
+#include "common/units.h"
+
+namespace astra {
+
+/** Aggregate description of a training workload. */
+struct ModelDesc
+{
+    std::string name;
+    double params = 0.0;        //!< trainable parameter count.
+    int layers = 1;             //!< real model depth.
+    int simLayers = 0;          //!< coarsened depth (0 = layers).
+    double bytesPerParam = 2.0; //!< bf16 weights/grads on the wire.
+    double hidden = 0.0;        //!< activation width.
+    int tokensPerBatch = 2048;  //!< tokens per replica per iteration.
+    /** DLRM: per-NPU embedding exchange payload (All-to-All). */
+    Bytes embeddingExchangeBytes = 0.0;
+    /** MoE: fraction of parameters active per token. */
+    double activeParamFraction = 1.0;
+
+    int effectiveLayers() const { return simLayers > 0 ? simLayers : layers; }
+    double paramsPerLayer() const { return params / effectiveLayers(); }
+};
+
+/** DLRM (Table III): 57M MLP parameters, All-to-All heavy. */
+ModelDesc dlrm();
+
+/** GPT-3 175B (Table III): MP 16. */
+ModelDesc gpt3();
+
+/** Transformer-1T (Table III): MP 128. */
+ModelDesc transformer1T();
+
+/** Mixture-of-Experts 1T (§V-B disaggregated-memory study). */
+ModelDesc moe1T();
+
+} // namespace astra
+
+#endif // ASTRA_WORKLOAD_MODELS_H_

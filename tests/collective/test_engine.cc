@@ -1,0 +1,257 @@
+/** @file Unit tests for the event-driven collective executor. */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "collective/engine.h"
+#include "collective/estimate.h"
+#include "event/event_queue.h"
+#include "network/analytical.h"
+
+namespace astra {
+namespace {
+
+struct Sim
+{
+    explicit Sim(Topology t, bool serialize = true)
+        : topo(std::move(t)), net(eq, topo, serialize), engine(net)
+    {
+    }
+
+    EventQueue eq;
+    Topology topo;
+    AnalyticalNetwork net;
+    CollectiveEngine engine;
+};
+
+TEST(Engine, RingAllGatherMatchesClosedForm)
+{
+    // AllGather of S on Ring(k): (k-1) steps of S/k at bandwidth B
+    // plus (k-1) hop latencies.
+    Sim sim(Topology({{BlockType::Ring, 4, 100.0, 500.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllGather, 4e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    TimeNs expect = 3 * (1e6 / 100.0 + 500.0);
+    EXPECT_NEAR(res.finish, expect, 1e-6);
+    CollectiveEstimate est = estimateCollective(sim.topo, req);
+    EXPECT_NEAR(est.time, expect, 1e-6);
+}
+
+TEST(Engine, RingReduceScatterMatchesClosedForm)
+{
+    Sim sim(Topology({{BlockType::Ring, 8, 50.0, 300.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::ReduceScatter, 8e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    TimeNs expect = 7 * (1e6 / 50.0 + 300.0);
+    EXPECT_NEAR(res.finish, expect, 1e-6);
+}
+
+TEST(Engine, DirectAllGatherOnFullyConnected)
+{
+    // Direct: k-1 messages of S/k serialize on the TX port; the last
+    // arrival completes the phase.
+    Sim sim(Topology({{BlockType::FullyConnected, 8, 200.0, 400.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllGather, 8e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    TimeNs expect = 7 * (1e6 / 200.0) + 400.0;
+    EXPECT_NEAR(res.finish, expect, 1e-6);
+}
+
+TEST(Engine, HalvingDoublingOnSwitch)
+{
+    // HD on Switch(8): log2(8)=3 steps, sizes S/2, S/4, S/8 for RS;
+    // each step crosses the switch (2 hops).
+    Sim sim(Topology({{BlockType::Switch, 8, 100.0, 250.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::ReduceScatter, 8e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    TimeNs expect =
+        (4e6 + 2e6 + 1e6) / 100.0 + 3 * 2 * 250.0;
+    EXPECT_NEAR(res.finish, expect, 1e-6);
+}
+
+TEST(Engine, AllReduceEqualsRsPlusAgOnOneDim)
+{
+    Sim sim(Topology({{BlockType::Ring, 4, 100.0, 500.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 4e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    TimeNs one_phase = 3 * (1e6 / 100.0 + 500.0);
+    EXPECT_NEAR(res.finish, 2 * one_phase, 1e-6);
+}
+
+TEST(Engine, MultiDimSingleChunkIsSequential)
+{
+    // R(2)_SW(4): AllReduce phases run back to back for one chunk.
+    Sim sim(Topology({{BlockType::Ring, 2, 100.0, 100.0},
+                      {BlockType::Switch, 4, 50.0, 200.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 8e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    CollectiveEstimate est = estimateCollective(sim.topo, req);
+    EXPECT_NEAR(res.finish, est.time, 1.0);
+}
+
+TEST(Engine, TrafficAccountingMatchesPhaseMath)
+{
+    Sim sim(Topology({{BlockType::Ring, 2, 100.0, 0.0},
+                      {BlockType::Switch, 4, 50.0, 0.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 8e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    std::vector<Bytes> expect = perDimSentBytes(
+        sim.topo, CollectiveType::AllReduce, 8e6,
+        wholeTopologyGroups(sim.topo));
+    // Engine reports all-NPU totals; expect is per NPU.
+    for (int d = 0; d < 2; ++d) {
+        EXPECT_NEAR(res.sentPerDim[size_t(d)],
+                    expect[size_t(d)] * sim.topo.npus(), 1.0);
+    }
+}
+
+TEST(Engine, ChunkingApproachesBottleneckBound)
+{
+    // On a 2-dim topology with a dominant dimension, chunked
+    // execution pipelines phases: total approaches the bottleneck
+    // dimension's serialization plus fill, well below the sequential
+    // sum.
+    Sim sim(Topology({{BlockType::Ring, 2, 100.0, 0.0},
+                      {BlockType::FullyConnected, 8, 10.0, 0.0}}));
+    CollectiveRequest seq =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 16e6);
+    seq.chunks = 1;
+    CollectiveRequest chunked = seq;
+    chunked.chunks = 16;
+
+    TimeNs t_seq = runCollective(sim.engine, seq).finish;
+
+    Sim sim2(sim.topo);
+    TimeNs t_chunked = runCollective(sim2.engine, chunked).finish;
+    EXPECT_LT(t_chunked, t_seq);
+
+    CollectiveEstimate est = estimateCollective(sim.topo, chunked);
+    EXPECT_GE(t_chunked, est.bottleneck * 0.99);
+    EXPECT_LE(t_chunked, est.bottleneck * 1.35);
+}
+
+TEST(Engine, SubGroupCollectivesRunIndependently)
+{
+    // Two MP groups of 2 inside Switch(4): each group all-reduces
+    // its own tensor; both complete.
+    Sim sim(Topology({{BlockType::Switch, 4, 100.0, 100.0}}));
+    CollectiveRequest req;
+    req.type = CollectiveType::AllReduce;
+    req.bytes = 2e6;
+    req.groups = {GroupDim{0, 2, 1}};
+    int done = 0;
+    for (NpuId n = 0; n < 4; ++n)
+        sim.engine.join(99, n, req, [&] { ++done; });
+    sim.eq.run();
+    EXPECT_EQ(done, 4);
+    // HD over 2 members: one exchange of S/2 each way.
+    EXPECT_NEAR(sim.eq.now(), 2 * (1e6 / 100.0 + 2 * 100.0), 1e-6);
+}
+
+TEST(Engine, StridedGroupAllReduce)
+{
+    // DP groups {0,2} and {1,3} (stride 2) in Switch(4).
+    Sim sim(Topology({{BlockType::Switch, 4, 100.0, 100.0}}));
+    CollectiveRequest req;
+    req.type = CollectiveType::AllReduce;
+    req.bytes = 2e6;
+    req.groups = {GroupDim{0, 2, 2}};
+    int done = 0;
+    for (NpuId n = 0; n < 4; ++n)
+        sim.engine.join(7, n, req, [&] { ++done; });
+    sim.eq.run();
+    EXPECT_EQ(done, 4);
+}
+
+TEST(Engine, InstanceStartsOnlyWhenAllMembersJoin)
+{
+    Sim sim(Topology({{BlockType::Ring, 2, 100.0, 0.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 1e6);
+    int done = 0;
+    sim.engine.join(1, 0, req, [&] { ++done; });
+    sim.eq.run();
+    EXPECT_EQ(done, 0); // waiting for NPU 1.
+    sim.eq.schedule(1000.0, [&] {
+        sim.engine.join(1, 1, req, [&] { ++done; });
+    });
+    sim.eq.run();
+    EXPECT_EQ(done, 2);
+    // Started at t=1000: 1 RS exchange + 1 AG exchange of 0.5 MB.
+    EXPECT_NEAR(sim.eq.now(), 1000.0 + 2 * (0.5e6 / 100.0), 1e-6);
+}
+
+TEST(Engine, SingleNpuGroupCompletesImmediately)
+{
+    Sim sim(Topology({{BlockType::Ring, 4, 100.0, 0.0}}));
+    CollectiveRequest req;
+    req.type = CollectiveType::AllReduce;
+    req.bytes = 1e6;
+    req.groups = {GroupDim{0, 1, 1}};
+    int done = 0;
+    sim.engine.join(5, 2, req, [&] { ++done; });
+    sim.eq.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_DOUBLE_EQ(sim.eq.now(), 0.0);
+}
+
+TEST(Engine, ZeroByteCollectiveCompletes)
+{
+    Sim sim(Topology({{BlockType::Ring, 4, 100.0, 100.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 0.0);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    // Only latency remains.
+    EXPECT_GT(res.finish, 0.0);
+    EXPECT_LT(res.finish, 10 * 6 * 100.0);
+}
+
+TEST(Engine, AllToAllOnRing)
+{
+    // Hierarchical A2A on Ring(4) uses the ring algorithm: k-1
+    // dependent shift steps of S/k, each paying serialization plus a
+    // hop latency.
+    Sim sim(Topology({{BlockType::Ring, 4, 100.0, 100.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllToAll, 4e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    EXPECT_NEAR(res.finish, 3 * (1e6 / 100.0 + 100.0), 1.0);
+}
+
+TEST(Engine, AllToAllOnSwitchIsOneShot)
+{
+    // On a switch dim the A2A phase is Direct: k-1 serialized sends,
+    // last arrival after 2 hop latencies.
+    Sim sim(Topology({{BlockType::Switch, 4, 100.0, 100.0}}));
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllToAll, 4e6);
+    CollectiveRunResult res = runCollective(sim.engine, req);
+    EXPECT_NEAR(res.finish, 3 * 1e4 + 2 * 100.0, 1.0);
+}
+
+TEST(Engine, ManyConcurrentInstancesComplete)
+{
+    // 16 independent DP groups (columns of R(4)_SW(4) x FC(4)).
+    Sim sim(Topology({{BlockType::Ring, 4, 100.0, 10.0},
+                      {BlockType::FullyConnected, 4, 50.0, 10.0}}));
+    CollectiveRequest req;
+    req.type = CollectiveType::AllReduce;
+    req.bytes = 1e6;
+    req.groups = {GroupDim{1, 0, 1}}; // dim-1 groups only.
+    int done = 0;
+    for (NpuId n = 0; n < sim.topo.npus(); ++n)
+        sim.engine.join(42, n, req, [&] { ++done; });
+    sim.eq.run();
+    EXPECT_EQ(done, 16);
+    EXPECT_EQ(sim.engine.completedInstances(), 4u);
+}
+
+} // namespace
+} // namespace astra

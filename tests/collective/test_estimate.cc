@@ -1,0 +1,92 @@
+/** @file Unit tests for the closed-form collective estimator. */
+#include <gtest/gtest.h>
+
+#include "collective/estimate.h"
+
+namespace astra {
+namespace {
+
+TEST(Estimate, SingleDimRingFormulas)
+{
+    Topology topo({{BlockType::Ring, 4, 100.0, 500.0}});
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllGather, 4e6);
+    CollectiveEstimate est = estimateCollective(topo, req);
+    EXPECT_NEAR(est.time, 3 * (1e6 / 100.0 + 500.0), 1e-9);
+    EXPECT_NEAR(est.sentPerDim[0], 3e6, 1e-9);
+}
+
+TEST(Estimate, AllReduceDoublesAllGather)
+{
+    Topology topo({{BlockType::Ring, 8, 100.0, 0.0}});
+    CollectiveRequest ag =
+        CollectiveRequest::overDims(CollectiveType::AllGather, 8e6);
+    CollectiveRequest ar =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 8e6);
+    EXPECT_NEAR(estimateCollective(topo, ar).time,
+                2 * estimateCollective(topo, ag).time, 1e-9);
+}
+
+TEST(Estimate, LatencyTermsPerAlgorithm)
+{
+    // Same bandwidth everywhere; latency terms differ by algorithm:
+    // Ring (k-1) steps, Direct 1 step, HD log2(k) steps (x2 hops).
+    Bytes s = 8e6;
+    TimeNs lat = 1000.0;
+    Topology ring({{BlockType::Ring, 8, 100.0, lat}});
+    Topology fc({{BlockType::FullyConnected, 8, 100.0, lat}});
+    Topology sw({{BlockType::Switch, 8, 100.0, lat}});
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::ReduceScatter, s);
+    TimeNs bw_term = (7.0 / 8.0) * s / 100.0;
+    EXPECT_NEAR(estimateCollective(ring, req).time, bw_term + 7 * lat,
+                1e-9);
+    EXPECT_NEAR(estimateCollective(fc, req).time, bw_term + 1 * lat,
+                1e-9);
+    EXPECT_NEAR(estimateCollective(sw, req).time, bw_term + 3 * 2 * lat,
+                1e-9);
+}
+
+TEST(Estimate, MultiDimSequentialSum)
+{
+    Topology topo({{BlockType::Ring, 2, 100.0, 0.0},
+                   {BlockType::Switch, 4, 50.0, 0.0}});
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 8e6);
+    CollectiveEstimate est = estimateCollective(topo, req);
+    // RS: dim0 (1/2)*8e6@100 + dim1 (3/4)*4e6@50; AG mirrors.
+    TimeNs expect = 2 * ((0.5 * 8e6) / 100.0 + (0.75 * 4e6) / 50.0);
+    EXPECT_NEAR(est.time, expect, 1e-9);
+    EXPECT_NEAR(est.sequential, expect, 1e-9);
+}
+
+TEST(Estimate, BottleneckBoundForChunkedRuns)
+{
+    Topology topo({{BlockType::Ring, 2, 100.0, 0.0},
+                   {BlockType::FullyConnected, 8, 10.0, 0.0}});
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 16e6);
+    req.chunks = 16;
+    CollectiveEstimate est = estimateCollective(topo, req);
+    // Bottleneck: dim 1 carries 2 * (7/8 * 8e6) bytes at 10 GB/s.
+    EXPECT_NEAR(est.bottleneck, 2 * (0.875 * 8e6) / 10.0, 1e-9);
+    EXPECT_GE(est.time, est.bottleneck);
+    EXPECT_LT(est.time, est.sequential);
+}
+
+TEST(Estimate, ThemisLowersMultiDimBottleneck)
+{
+    Topology topo({{BlockType::Switch, 32, 250.0, 500.0},
+                   {BlockType::Switch, 16, 250.0, 500.0}});
+    CollectiveRequest base =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 1e9);
+    base.chunks = 16;
+    CollectiveRequest themis = base;
+    themis.policy = SchedPolicy::Themis;
+    CollectiveEstimate eb = estimateCollective(topo, base);
+    CollectiveEstimate et = estimateCollective(topo, themis);
+    EXPECT_LT(et.bottleneck, eb.bottleneck * 0.7);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Property-based tests over the collective executor: invariants that
+ * must hold for arbitrary topologies, collective types, sizes, and
+ * chunkings — not just the hand-checked examples.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collective/engine.h"
+#include "collective/estimate.h"
+#include "event/event_queue.h"
+#include "network/analytical.h"
+
+namespace astra {
+namespace {
+
+struct TopoCase
+{
+    const char *name;
+    std::vector<Dimension> dims;
+};
+
+std::vector<TopoCase>
+topologyCases()
+{
+    return {
+        {"ring8", {{BlockType::Ring, 8, 100.0, 300.0}}},
+        {"fc8", {{BlockType::FullyConnected, 8, 200.0, 300.0}}},
+        {"sw16", {{BlockType::Switch, 16, 150.0, 400.0}}},
+        {"sw6_nonpow2", {{BlockType::Switch, 6, 150.0, 400.0}}},
+        {"ring4_sw4",
+         {{BlockType::Ring, 4, 250.0, 200.0},
+          {BlockType::Switch, 4, 50.0, 600.0}}},
+        {"fc4_ring2_sw2",
+         {{BlockType::FullyConnected, 4, 300.0, 100.0},
+          {BlockType::Ring, 2, 100.0, 400.0},
+          {BlockType::Switch, 2, 25.0, 800.0}}},
+        {"conv4d_small",
+         {{BlockType::Ring, 2, 250.0, 500.0},
+          {BlockType::FullyConnected, 4, 200.0, 500.0},
+          {BlockType::Ring, 4, 100.0, 500.0},
+          {BlockType::Switch, 2, 50.0, 500.0}}},
+    };
+}
+
+struct Case
+{
+    TopoCase topo;
+    CollectiveType type;
+    Bytes bytes;
+    int chunks;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const TopoCase &t : topologyCases()) {
+        for (CollectiveType type :
+             {CollectiveType::ReduceScatter, CollectiveType::AllGather,
+              CollectiveType::AllReduce, CollectiveType::AllToAll}) {
+            for (Bytes bytes : {1e6, 64e6}) {
+                for (int chunks : {1, 4}) {
+                    cases.push_back({t, type, bytes, chunks});
+                }
+            }
+        }
+    }
+    return cases;
+}
+
+std::string
+caseName(const testing::TestParamInfo<Case> &info)
+{
+    const Case &c = info.param;
+    std::string n = std::string(c.topo.name) + "_" +
+                    collectiveName(c.type) + "_" +
+                    (c.bytes > 1e7 ? "64MB" : "1MB") + "_c" +
+                    std::to_string(c.chunks);
+    for (char &ch : n)
+        if (ch == '-')
+            ch = '_';
+    return n;
+}
+
+class CollectiveProperty : public testing::TestWithParam<Case>
+{
+  protected:
+    struct RunOutcome
+    {
+        TimeNs finish;
+        TimeNs spread; //!< max - min member completion time.
+        std::vector<double> sentPerDim;
+    };
+
+    RunOutcome
+    run(SchedPolicy policy = SchedPolicy::Baseline)
+    {
+        const Case &c = GetParam();
+        Topology topo(c.topo.dims);
+        EventQueue eq;
+        AnalyticalNetwork net(eq, topo);
+        CollectiveEngine engine(net);
+        CollectiveRequest req;
+        req.type = c.type;
+        req.bytes = c.bytes;
+        req.chunks = c.chunks;
+        req.policy = policy;
+
+        TimeNs first = -1.0, last = 0.0;
+        int remaining = topo.npus();
+        std::vector<double> before = engine.sentBytesPerDim();
+        for (NpuId n = 0; n < topo.npus(); ++n) {
+            engine.join(1, n, req, [&]() {
+                if (first < 0.0)
+                    first = eq.now();
+                last = std::max(last, eq.now());
+                --remaining;
+            });
+        }
+        eq.run();
+        EXPECT_EQ(remaining, 0) << "collective did not complete";
+        RunOutcome out;
+        out.finish = last;
+        out.spread = last - first;
+        out.sentPerDim = engine.sentBytesPerDim();
+        for (size_t d = 0; d < out.sentPerDim.size(); ++d)
+            out.sentPerDim[d] -= before[d];
+        return out;
+    }
+};
+
+TEST_P(CollectiveProperty, CompletesWithExactTrafficAccounting)
+{
+    const Case &c = GetParam();
+    Topology topo(c.topo.dims);
+    RunOutcome out = run();
+    // The engine's measured traffic equals the closed-form phase math
+    // times the NPU count, exactly.
+    CollectiveRequest req;
+    req.type = c.type;
+    req.bytes = c.bytes;
+    req.chunks = c.chunks;
+    CollectiveEstimate est = estimateCollective(topo, req);
+    for (int d = 0; d < topo.numDims(); ++d) {
+        EXPECT_NEAR(out.sentPerDim[size_t(d)],
+                    est.sentPerDim[size_t(d)] * topo.npus(),
+                    1e-6 * (1.0 + est.sentPerDim[size_t(d)]))
+            << "dim " << d;
+    }
+}
+
+TEST_P(CollectiveProperty, TimeRespectsClosedFormBounds)
+{
+    const Case &c = GetParam();
+    Topology topo(c.topo.dims);
+    RunOutcome out = run();
+    CollectiveRequest req;
+    req.type = c.type;
+    req.bytes = c.bytes;
+    req.chunks = c.chunks;
+    CollectiveEstimate est = estimateCollective(topo, req);
+    // Never faster than the busiest dimension's serialization.
+    EXPECT_GE(out.finish, est.bottleneck * (1.0 - 1e-9));
+    // Never slower than fully sequential phases plus scheduling slack
+    // (head-of-line blocking across rails can exceed the ideal
+    // sequential sum by a bounded factor).
+    EXPECT_LE(out.finish, est.sequential * 1.75 + 1e4);
+}
+
+TEST_P(CollectiveProperty, SingleChunkMatchesEstimateOnOneDim)
+{
+    const Case &c = GetParam();
+    if (c.topo.dims.size() != 1 || c.chunks != 1)
+        GTEST_SKIP() << "single-dim single-chunk exactness only";
+    Topology topo(c.topo.dims);
+    RunOutcome out = run();
+    CollectiveRequest req;
+    req.type = c.type;
+    req.bytes = c.bytes;
+    req.chunks = 1;
+    CollectiveEstimate est = estimateCollective(topo, req);
+    EXPECT_NEAR(out.finish, est.time, est.time * 1e-9 + 1e-6);
+}
+
+TEST_P(CollectiveProperty, MembersFinishTogetherOnSymmetricGroups)
+{
+    // Whole-dimension collectives are member-symmetric: completion
+    // times may only differ by scheduling noise, not by structure.
+    RunOutcome out = run();
+    EXPECT_LE(out.spread, out.finish * 0.35 + 1.0);
+}
+
+TEST_P(CollectiveProperty, ThemisNeverLosesMuch)
+{
+    const Case &c = GetParam();
+    if (c.chunks == 1)
+        GTEST_SKIP() << "ordering only matters with chunking";
+    RunOutcome base = run(SchedPolicy::Baseline);
+    RunOutcome themis = run(SchedPolicy::Themis);
+    // The greedy scheduler may reorder chunks but must stay within a
+    // modest factor of the baseline in the worst case.
+    EXPECT_LE(themis.finish, base.finish * 1.3 + 1e4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollectiveProperty,
+                         testing::ValuesIn(allCases()), caseName);
+
+TEST(CollectiveComposition, AllReduceEqualsRsPlusAgAcrossTopologies)
+{
+    for (const TopoCase &t : topologyCases()) {
+        Topology topo(t.dims);
+        auto run_one = [&](CollectiveType type) {
+            EventQueue eq;
+            AnalyticalNetwork net(eq, topo);
+            CollectiveEngine engine(net);
+            CollectiveRequest req;
+            req.type = type;
+            req.bytes = 16e6;
+            req.chunks = 1;
+            return runCollective(engine, req).finish;
+        };
+        TimeNs ar = run_one(CollectiveType::AllReduce);
+        TimeNs rs = run_one(CollectiveType::ReduceScatter);
+        TimeNs ag = run_one(CollectiveType::AllGather);
+        EXPECT_NEAR(ar, rs + ag, (rs + ag) * 0.01) << t.name;
+    }
+}
+
+TEST(CollectiveComposition, TimeScalesLinearlyWhenBandwidthBound)
+{
+    // Doubling the payload doubles the bandwidth-bound time (modulo
+    // the fixed latency term).
+    for (const TopoCase &t : topologyCases()) {
+        Topology topo(t.dims);
+        auto run_size = [&](Bytes bytes) {
+            EventQueue eq;
+            AnalyticalNetwork net(eq, topo);
+            CollectiveEngine engine(net);
+            CollectiveRequest req;
+            req.type = CollectiveType::AllReduce;
+            req.bytes = bytes;
+            req.chunks = 1;
+            return runCollective(engine, req).finish;
+        };
+        TimeNs t1 = run_size(256e6);
+        TimeNs t2 = run_size(512e6);
+        EXPECT_NEAR(t2 / t1, 2.0, 0.05) << t.name;
+    }
+}
+
+TEST(CollectiveComposition, MoreBandwidthNeverHurts)
+{
+    for (CollectiveType type :
+         {CollectiveType::AllReduce, CollectiveType::AllToAll}) {
+        TimeNs prev = 1e300;
+        for (double scale : {1.0, 2.0, 4.0}) {
+            Topology topo({{BlockType::Ring, 4, 100.0 * scale, 500.0},
+                           {BlockType::Switch, 4, 50.0 * scale, 500.0}});
+            EventQueue eq;
+            AnalyticalNetwork net(eq, topo);
+            CollectiveEngine engine(net);
+            CollectiveRequest req;
+            req.type = type;
+            req.bytes = 64e6;
+            req.chunks = 4;
+            TimeNs t = runCollective(engine, req).finish;
+            EXPECT_LT(t, prev) << collectiveName(type);
+            prev = t;
+        }
+    }
+}
+
+} // namespace
+} // namespace astra

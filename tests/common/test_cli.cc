@@ -1,0 +1,65 @@
+/** @file Unit tests for the command-line flag parser. */
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/logging.h"
+
+namespace astra {
+namespace {
+
+CommandLine
+make(std::vector<const char *> argv, std::vector<std::string> known)
+{
+    argv.insert(argv.begin(), "prog");
+    return CommandLine(static_cast<int>(argv.size()), argv.data(),
+                       std::move(known));
+}
+
+TEST(Cli, SpaceAndEqualsForms)
+{
+    CommandLine cl =
+        make({"--size", "1024", "--topo=R(4)_SW(2)"}, {"size", "topo"});
+    EXPECT_EQ(cl.getInt("size", 0), 1024);
+    EXPECT_EQ(cl.getString("topo", ""), "R(4)_SW(2)");
+}
+
+TEST(Cli, BooleanSwitches)
+{
+    CommandLine cl = make({"--verbose", "--fast=false"},
+                          {"verbose", "fast"});
+    EXPECT_TRUE(cl.getBool("verbose"));
+    EXPECT_FALSE(cl.getBool("fast", true));
+    EXPECT_FALSE(cl.getBool("missing"));
+}
+
+TEST(Cli, DoublesAndDefaults)
+{
+    CommandLine cl = make({"--bw", "437.5"}, {"bw", "lat"});
+    EXPECT_DOUBLE_EQ(cl.getDouble("bw", 0.0), 437.5);
+    EXPECT_DOUBLE_EQ(cl.getDouble("lat", 500.0), 500.0);
+    EXPECT_TRUE(cl.has("bw"));
+    EXPECT_FALSE(cl.has("lat"));
+}
+
+TEST(Cli, PositionalArguments)
+{
+    CommandLine cl = make({"input.json", "--n", "2", "out.json"}, {"n"});
+    ASSERT_EQ(cl.positional().size(), 2u);
+    EXPECT_EQ(cl.positional()[0], "input.json");
+    EXPECT_EQ(cl.positional()[1], "out.json");
+}
+
+TEST(Cli, UnknownFlagIsFatal)
+{
+    EXPECT_THROW(make({"--oops", "1"}, {"size"}), FatalError);
+}
+
+TEST(Cli, BadNumbersAreFatal)
+{
+    CommandLine cl = make({"--n", "abc"}, {"n"});
+    EXPECT_THROW(cl.getInt("n", 0), FatalError);
+    EXPECT_THROW(cl.getDouble("n", 0.0), FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,137 @@
+/** @file Unit tests for the minimal JSON parser/writer. */
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace astra {
+namespace json {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_EQ(parse("true").asBool(), true);
+    EXPECT_EQ(parse("false").asBool(), false);
+    EXPECT_DOUBLE_EQ(parse("3.5").asNumber(), 3.5);
+    EXPECT_DOUBLE_EQ(parse("-17").asNumber(), -17.0);
+    EXPECT_DOUBLE_EQ(parse("1e9").asNumber(), 1e9);
+    EXPECT_DOUBLE_EQ(parse("2.5E-3").asNumber(), 2.5e-3);
+    EXPECT_EQ(parse("\"hello\"").asString(), "hello");
+}
+
+TEST(Json, ParsesContainers)
+{
+    Value v = parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+    ASSERT_TRUE(v.isObject());
+    const Array &arr = v.at("a").asArray();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(arr[1].asNumber(), 2.0);
+    EXPECT_TRUE(v.at("b").at("c").asBool());
+}
+
+TEST(Json, ParsesNestedEmptyContainers)
+{
+    Value v = parse(R"({"a": [], "b": {}, "c": [[], [{}]]})");
+    EXPECT_TRUE(v.at("a").asArray().empty());
+    EXPECT_TRUE(v.at("b").asObject().empty());
+    EXPECT_EQ(v.at("c").asArray().size(), 2u);
+}
+
+TEST(Json, ParsesStringEscapes)
+{
+    EXPECT_EQ(parse(R"("a\nb\tc")").asString(), "a\nb\tc");
+    EXPECT_EQ(parse(R"("q\"q")").asString(), "q\"q");
+    EXPECT_EQ(parse(R"("s\\t")").asString(), "s\\t");
+    EXPECT_EQ(parse(R"("A")").asString(), "A");
+    EXPECT_EQ(parse(R"("é")").asString(), "\xc3\xa9");
+}
+
+TEST(Json, WhitespaceTolerant)
+{
+    Value v = parse("  {\n  \"x\"  :\t1 ,\r\n \"y\": [ 1 , 2 ] }  ");
+    EXPECT_DOUBLE_EQ(v.at("x").asNumber(), 1.0);
+    EXPECT_EQ(v.at("y").asArray().size(), 2u);
+}
+
+TEST(Json, RoundTripsThroughDump)
+{
+    const std::string doc =
+        R"({"name":"astra","nodes":[{"id":1,"type":"compute"},)"
+        R"({"id":2,"type":"comm"}],"ok":true,"scale":0.5})";
+    Value v = parse(doc);
+    Value again = parse(v.dump());
+    EXPECT_EQ(v.dump(), again.dump());
+    // Pretty output parses back to the same document too.
+    EXPECT_EQ(parse(v.dump(2)).dump(), v.dump());
+}
+
+TEST(Json, IntegersSerializeWithoutDecimals)
+{
+    Value v(int64_t(42));
+    EXPECT_EQ(v.dump(), "42");
+    EXPECT_EQ(Value(-3).dump(), "-3");
+}
+
+TEST(Json, LookupHelpers)
+{
+    Value v = parse(R"({"bw": 100.5, "n": 4, "on": true, "s": "x"})");
+    EXPECT_DOUBLE_EQ(v.getNumber("bw", 0.0), 100.5);
+    EXPECT_EQ(v.getInt("n", 0), 4);
+    EXPECT_TRUE(v.getBool("on", false));
+    EXPECT_EQ(v.getString("s", ""), "x");
+    EXPECT_DOUBLE_EQ(v.getNumber("missing", 7.0), 7.0);
+    EXPECT_EQ(v.getInt("missing", -1), -1);
+    EXPECT_FALSE(v.getBool("missing", false));
+    EXPECT_EQ(v.getString("missing", "d"), "d");
+}
+
+TEST(Json, ErrorsAreUserFacing)
+{
+    EXPECT_THROW(parse("{"), FatalError);
+    EXPECT_THROW(parse("[1,]"), FatalError);
+    EXPECT_THROW(parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(parse("tru"), FatalError);
+    EXPECT_THROW(parse("1 2"), FatalError);
+    EXPECT_THROW(parse(""), FatalError);
+    EXPECT_THROW(parse("\"unterminated"), FatalError);
+    EXPECT_THROW(parse("{\"a\":1}x"), FatalError);
+}
+
+TEST(Json, KindMismatchIsFatal)
+{
+    Value v = parse("{\"a\": 1}");
+    EXPECT_THROW(v.at("a").asString(), FatalError);
+    EXPECT_THROW(v.at("missing"), FatalError);
+    EXPECT_THROW(v.asArray(), FatalError);
+}
+
+TEST(Json, BuildsDocumentsProgrammatically)
+{
+    Value doc{Object{}};
+    doc.mutableObject()["npus"] = Value(4);
+    Array nodes;
+    for (int i = 0; i < 3; ++i) {
+        Object n;
+        n["id"] = Value(i);
+        nodes.push_back(Value(std::move(n)));
+    }
+    doc.mutableObject()["nodes"] = Value(std::move(nodes));
+    Value parsed = parse(doc.dump());
+    EXPECT_EQ(parsed.at("npus").asInt(), 4);
+    EXPECT_EQ(parsed.at("nodes").asArray().size(), 3u);
+}
+
+TEST(Json, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/astra_json_test.json";
+    Value v = parse(R"({"hello": [1, 2, {"deep": "value"}]})");
+    writeFile(path, v);
+    Value back = parseFile(path);
+    EXPECT_EQ(back.dump(), v.dump());
+    EXPECT_THROW(parseFile("/nonexistent/astra.json"), FatalError);
+}
+
+} // namespace
+} // namespace json
+} // namespace astra

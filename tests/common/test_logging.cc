@@ -1,0 +1,56 @@
+/** @file Unit tests for gem5-style logging helpers. */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace astra {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config value %d", 42), FatalError);
+    try {
+        fatal("bandwidth %0.1f is invalid", 1.5);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bandwidth 1.5 is invalid");
+    }
+}
+
+TEST(Logging, FatalWithoutArgsKeepsLiteralMessage)
+{
+    try {
+        fatal("plain message with %d-like text untouched");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "plain message with %d-like text untouched");
+    }
+}
+
+TEST(Logging, UserCheckMacro)
+{
+    EXPECT_NO_THROW(ASTRA_USER_CHECK(true, "never"));
+    EXPECT_THROW(ASTRA_USER_CHECK(false, "bad input %s", "x"), FatalError);
+}
+
+TEST(Logging, VerboseToggle)
+{
+    bool before = verbose();
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    inform("this should be swallowed");
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(before);
+}
+
+TEST(Logging, FormatVHandlesLongStrings)
+{
+    std::string long_str(5000, 'x');
+    try {
+        fatal("%s", long_str.c_str());
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()).size(), long_str.size());
+    }
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,60 @@
+/** @file Unit tests for the deterministic RNG. */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace astra {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.uniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform(-2.0, 2.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 2.0);
+    }
+}
+
+} // namespace
+} // namespace astra

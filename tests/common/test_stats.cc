@@ -1,0 +1,119 @@
+/** @file Unit tests for accumulators and the breakdown tracker. */
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace astra {
+namespace {
+
+using Activity = BreakdownTracker::Activity;
+
+TEST(Accumulator, BasicStatistics)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    acc.add(2.0);
+    acc.add(4.0);
+    acc.add(9.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(BreakdownTracker, AttributesSingleActivity)
+{
+    BreakdownTracker t;
+    t.beginActivity(Activity::Compute, 0.0);
+    t.endActivity(Activity::Compute, 10.0);
+    t.finish(15.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::Compute), 10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::Idle), 5.0);
+    EXPECT_DOUBLE_EQ(t.total(), 15.0);
+}
+
+TEST(BreakdownTracker, ComputeHidesCommunication)
+{
+    // Comm from 0..20, compute from 5..15: the overlapped 10 ns count
+    // as compute; only 10 ns of comm are exposed.
+    BreakdownTracker t;
+    t.beginActivity(Activity::Comm, 0.0);
+    t.beginActivity(Activity::Compute, 5.0);
+    t.endActivity(Activity::Compute, 15.0);
+    t.endActivity(Activity::Comm, 20.0);
+    t.finish(20.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::Compute), 10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::ExposedComm), 10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::Idle), 0.0);
+}
+
+TEST(BreakdownTracker, PriorityOrderAcrossAllClasses)
+{
+    // All four activities overlap 0..10: everything hides behind
+    // compute.
+    BreakdownTracker t;
+    t.beginActivity(Activity::RemoteMem, 0.0);
+    t.beginActivity(Activity::LocalMem, 0.0);
+    t.beginActivity(Activity::Comm, 0.0);
+    t.beginActivity(Activity::Compute, 0.0);
+    t.endActivity(Activity::Compute, 10.0);
+    // 10..20: comm wins over both memories.
+    t.endActivity(Activity::Comm, 20.0);
+    // 20..30: local memory wins over remote.
+    t.endActivity(Activity::LocalMem, 30.0);
+    // 30..40: remote memory exposed.
+    t.endActivity(Activity::RemoteMem, 40.0);
+    t.finish(45.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::Compute), 10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::ExposedComm), 10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::ExposedLocalMem), 10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::ExposedRemoteMem), 10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::Idle), 5.0);
+}
+
+TEST(BreakdownTracker, NestedSameActivityCounts)
+{
+    // Two overlapping comm ops: still one "comm" interval.
+    BreakdownTracker t;
+    t.beginActivity(Activity::Comm, 0.0);
+    t.beginActivity(Activity::Comm, 2.0);
+    t.endActivity(Activity::Comm, 6.0);
+    t.endActivity(Activity::Comm, 10.0);
+    t.finish(10.0);
+    EXPECT_DOUBLE_EQ(t.time(RuntimeClass::ExposedComm), 10.0);
+}
+
+TEST(RuntimeBreakdown, AggregationAndScaling)
+{
+    RuntimeBreakdown a;
+    a.compute = 10.0;
+    a.exposedComm = 5.0;
+    RuntimeBreakdown b;
+    b.compute = 2.0;
+    b.idle = 3.0;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.compute, 12.0);
+    EXPECT_DOUBLE_EQ(a.exposedComm, 5.0);
+    EXPECT_DOUBLE_EQ(a.idle, 3.0);
+    EXPECT_DOUBLE_EQ(a.total(), 20.0);
+    RuntimeBreakdown half = a.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.compute, 6.0);
+    EXPECT_DOUBLE_EQ(half.total(), 10.0);
+}
+
+TEST(RuntimeClassNames, AllNamed)
+{
+    EXPECT_STREQ(runtimeClassName(RuntimeClass::Compute), "compute");
+    EXPECT_STREQ(runtimeClassName(RuntimeClass::ExposedComm),
+                 "exposed_comm");
+    EXPECT_STREQ(runtimeClassName(RuntimeClass::ExposedLocalMem),
+                 "exposed_local_mem");
+    EXPECT_STREQ(runtimeClassName(RuntimeClass::ExposedRemoteMem),
+                 "exposed_remote_mem");
+    EXPECT_STREQ(runtimeClassName(RuntimeClass::Idle), "idle");
+}
+
+} // namespace
+} // namespace astra

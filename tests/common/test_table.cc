@@ -1,0 +1,38 @@
+/** @file Unit tests for the ASCII table printer. */
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace astra {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "23.5"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer-name"), std::string::npos);
+    // All lines are equally wide.
+    size_t first_nl = out.find('\n');
+    std::string first = out.substr(0, first_nl);
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t nl = out.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        EXPECT_EQ(nl - pos, first.size());
+        pos = nl + 1;
+    }
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(4392.85, 2), "4392.85");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace astra

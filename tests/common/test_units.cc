@@ -1,0 +1,40 @@
+/** @file Unit tests for simulation units and conversions. */
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace astra {
+namespace {
+
+using namespace astra::literals;
+
+TEST(Units, BandwidthConversionIsIdentity)
+{
+    // 1 GB/s == 1 byte/ns, so txTime(bytes, GBps) is bytes/bw in ns.
+    EXPECT_DOUBLE_EQ(txTime(1e9, 1.0), 1e9);   // 1 GB at 1 GB/s = 1 s.
+    EXPECT_DOUBLE_EQ(txTime(1e9, 100.0), 1e7); // 1 GB at 100 GB/s = 10 ms.
+    EXPECT_DOUBLE_EQ(txTime(0.0, 50.0), 0.0);
+}
+
+TEST(Units, Literals)
+{
+    EXPECT_DOUBLE_EQ(64_MB, 64e6);
+    EXPECT_DOUBLE_EQ(1.5_GB, 1.5e9);
+    EXPECT_DOUBLE_EQ(1_GiB, 1073741824.0);
+    EXPECT_DOUBLE_EQ(1_MiB, 1048576.0);
+    EXPECT_DOUBLE_EQ(10_us, 1e4);
+    EXPECT_DOUBLE_EQ(2_ms, 2e6);
+    EXPECT_DOUBLE_EQ(5_ns, 5.0);
+}
+
+TEST(Units, TflopsConversion)
+{
+    // 234 TFLOPS (A100 in the paper) == 234e3 FLOP per ns.
+    EXPECT_DOUBLE_EQ(tflopsToFlopPerNs(234.0), 234e3);
+    // 1 GFLOP of work at 234 TFLOPS takes ~4.27 us.
+    double t = 1e9 / tflopsToFlopPerNs(234.0);
+    EXPECT_NEAR(t, 4273.5, 0.1);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,111 @@
+/** @file Unit tests for the discrete-event simulation core. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/event_queue.h"
+
+namespace astra {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30.0, [&] { order.push_back(3); });
+    eq.schedule(10.0, [&] { order.push_back(1); });
+    eq.schedule(20.0, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 30.0);
+}
+
+TEST(EventQueue, StableForEqualTimestamps)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5.0, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    std::vector<double> times;
+    eq.schedule(1.0, [&] {
+        times.push_back(eq.now());
+        eq.schedule(2.0, [&] {
+            times.push_back(eq.now());
+            eq.schedule(3.0, [&] { times.push_back(eq.now()); });
+        });
+    });
+    eq.run();
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 3.0);
+    EXPECT_DOUBLE_EQ(times[2], 6.0);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10.0, [&] { ++fired; });
+    eq.schedule(20.0, [&] { ++fired; });
+    eq.schedule(30.0, [&] { ++fired; });
+    eq.runUntil(20.0);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(eq.now(), 20.0);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] { ++fired; });
+    eq.schedule(2.0, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ZeroDelayFiresAtCurrentTime)
+{
+    EventQueue eq;
+    eq.schedule(5.0, [&] {
+        eq.schedule(0.0, [&] { EXPECT_DOUBLE_EQ(eq.now(), 5.0); });
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 42; ++i)
+        eq.schedule(double(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 42u);
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue eq;
+    eq.schedule(10.0, [] {});
+    eq.run();
+    eq.reset();
+    EXPECT_DOUBLE_EQ(eq.now(), 0.0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executedEvents(), 0u);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,141 @@
+/** @file Tests for JSON config loading (network + system documents). */
+#include <gtest/gtest.h>
+
+#include "astra/config.h"
+#include "common/logging.h"
+#include "workload/builders.h"
+
+namespace astra {
+namespace {
+
+TEST(Config, TopologyFromNotationString)
+{
+    json::Value doc = json::parse(
+        R"json({"topology": "R(4,250)_SW(2,50)",
+                "backend": "analytical"})json");
+    Topology topo = topologyFromJson(doc);
+    EXPECT_EQ(topo.npus(), 8);
+    EXPECT_DOUBLE_EQ(topo.dim(0).bandwidth, 250.0);
+    EXPECT_EQ(backendFromJson(doc), NetworkBackendKind::Analytical);
+}
+
+TEST(Config, TopologyFromExplicitDims)
+{
+    json::Value doc = json::parse(R"({
+      "dims": [
+        {"type": "Ring", "size": 2, "bandwidth_gbps": 250,
+         "latency_ns": 100},
+        {"type": "Switch", "size": 4, "bandwidth_gbps": 50}
+      ],
+      "backend": "packet"
+    })");
+    Topology topo = topologyFromJson(doc);
+    EXPECT_EQ(topo.numDims(), 2);
+    EXPECT_DOUBLE_EQ(topo.dim(0).latency, 100.0);
+    EXPECT_DOUBLE_EQ(topo.dim(1).latency, 500.0); // default.
+    EXPECT_EQ(backendFromJson(doc), NetworkBackendKind::Packet);
+}
+
+TEST(Config, TopologyRoundTrip)
+{
+    Topology orig({{BlockType::Ring, 2, 250.0, 100.0},
+                   {BlockType::FullyConnected, 8, 200.0, 200.0},
+                   {BlockType::Switch, 4, 50.0, 600.0}});
+    Topology back = topologyFromJson(topologyToJson(orig));
+    EXPECT_EQ(back.notation(), orig.notation());
+    for (int d = 0; d < orig.numDims(); ++d) {
+        EXPECT_DOUBLE_EQ(back.dim(d).bandwidth, orig.dim(d).bandwidth);
+        EXPECT_DOUBLE_EQ(back.dim(d).latency, orig.dim(d).latency);
+    }
+}
+
+TEST(Config, SystemConfigRoundTrip)
+{
+    SimulatorConfig cfg;
+    cfg.sys.compute.peakTflops = 2048.0;
+    cfg.sys.collectiveChunks = 16;
+    cfg.sys.policy = SchedPolicy::Themis;
+    cfg.localMem.bandwidth = 4096.0;
+    RemoteMemoryConfig pool;
+    pool.arch = PoolArch::Mesh;
+    pool.inNodeFabricBw = 512.0;
+    cfg.pooledMem = pool;
+
+    SimulatorConfig back = simulatorConfigFromJson(
+        simulatorConfigToJson(cfg), NetworkBackendKind::Analytical);
+    EXPECT_DOUBLE_EQ(back.sys.compute.peakTflops, 2048.0);
+    EXPECT_EQ(back.sys.collectiveChunks, 16);
+    EXPECT_EQ(back.sys.policy, SchedPolicy::Themis);
+    ASSERT_TRUE(back.pooledMem.has_value());
+    EXPECT_EQ(back.pooledMem->arch, PoolArch::Mesh);
+    EXPECT_DOUBLE_EQ(back.pooledMem->inNodeFabricBw, 512.0);
+}
+
+TEST(Config, ZeroInfinityRoundTrip)
+{
+    SimulatorConfig cfg;
+    ZeroInfinityConfig zero;
+    zero.tierBandwidth = 123.0;
+    cfg.zeroInfinityMem = zero;
+    SimulatorConfig back = simulatorConfigFromJson(
+        simulatorConfigToJson(cfg), NetworkBackendKind::Analytical);
+    ASSERT_TRUE(back.zeroInfinityMem.has_value());
+    EXPECT_DOUBLE_EQ(back.zeroInfinityMem->tierBandwidth, 123.0);
+    EXPECT_FALSE(back.pooledMem.has_value());
+}
+
+TEST(Config, DefaultsMatchPaperSystem)
+{
+    SimulatorConfig cfg = simulatorConfigFromJson(
+        json::parse("{}"), NetworkBackendKind::Analytical);
+    EXPECT_DOUBLE_EQ(cfg.sys.compute.peakTflops, 234.0); // A100, §V.
+    EXPECT_EQ(cfg.sys.policy, SchedPolicy::Baseline);
+    EXPECT_FALSE(cfg.pooledMem.has_value());
+}
+
+TEST(Config, SampleConfigsLoadAndRun)
+{
+    std::string dir = testing::TempDir();
+    writeSampleConfigs(dir + "/net.json", dir + "/sys.json");
+    json::Value net = json::parseFile(dir + "/net.json");
+    json::Value sys = json::parseFile(dir + "/sys.json");
+    Topology topo = topologyFromJson(net);
+    EXPECT_EQ(topo.npus(), 512); // the paper's Conv-4D.
+    SimulatorConfig cfg =
+        simulatorConfigFromJson(sys, backendFromJson(net));
+    // Small smoke run on a reduced version of the same stack.
+    Topology small({{BlockType::Ring, 2, 250.0, 500.0},
+                    {BlockType::Switch, 2, 50.0, 500.0}});
+    Simulator sim(small, cfg);
+    Report r = sim.run(
+        buildSingleCollective(small, CollectiveType::AllReduce, 1e6));
+    EXPECT_GT(r.totalTime, 0.0);
+}
+
+TEST(Config, RejectsBadDocuments)
+{
+    EXPECT_THROW(topologyFromJson(json::parse("{}")), FatalError);
+    EXPECT_THROW(backendFromJson(json::parse(
+                     R"({"backend": "garnet"})")),
+                 FatalError);
+    EXPECT_THROW(
+        simulatorConfigFromJson(
+            json::parse(R"({"scheduling_policy": "magic"})"),
+            NetworkBackendKind::Analytical),
+        FatalError);
+    EXPECT_THROW(
+        simulatorConfigFromJson(
+            json::parse(R"({"remote_memory": {"kind": "nvswitch"}})"),
+            NetworkBackendKind::Analytical),
+        FatalError);
+    EXPECT_THROW(
+        simulatorConfigFromJson(
+            json::parse(
+                R"({"remote_memory": {"kind": "pooled",
+                     "architecture": "hypercube"}})"),
+            NetworkBackendKind::Analytical),
+        FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,65 @@
+/** @file Unit tests for the local (HBM) memory model (§IV-D.1). */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "memory/local_memory.h"
+
+namespace astra {
+namespace {
+
+TEST(LocalMemory, EquationLatencyPlusBandwidth)
+{
+    LocalMemoryConfig cfg;
+    cfg.bandwidth = 4096.0; // Table V HBM.
+    cfg.latency = 100.0;
+    LocalMemory mem(cfg);
+    // 1 GiB at 4096 GB/s = 262144 ns + 100 ns latency.
+    Bytes one_gib = 1024.0 * 1024.0 * 1024.0;
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Load, one_gib),
+                     100.0 + one_gib / 4096.0);
+}
+
+TEST(LocalMemory, LoadsAndStoresSymmetric)
+{
+    LocalMemory mem;
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Load, 1e6),
+                     mem.accessTime(MemOp::Store, 1e6));
+}
+
+TEST(LocalMemory, ZeroBytesCostsOnlyLatency)
+{
+    LocalMemoryConfig cfg;
+    cfg.latency = 250.0;
+    LocalMemory mem(cfg);
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Load, 0.0), 250.0);
+}
+
+TEST(LocalMemory, BandwidthSweepIsMonotonic)
+{
+    // The §III-C use case: find how performance changes as HBM
+    // latency/bandwidth vary.
+    TimeNs prev = 1e18;
+    for (GBps bw : {1024.0, 2048.0, 4096.0, 8192.0}) {
+        LocalMemoryConfig cfg;
+        cfg.bandwidth = bw;
+        LocalMemory mem(cfg);
+        TimeNs t = mem.accessTime(MemOp::Load, 1e9);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(LocalMemory, RejectsBadConfigs)
+{
+    LocalMemoryConfig bad_bw;
+    bad_bw.bandwidth = 0.0;
+    EXPECT_THROW(LocalMemory{bad_bw}, FatalError);
+    LocalMemoryConfig bad_lat;
+    bad_lat.latency = -5.0;
+    EXPECT_THROW(LocalMemory{bad_lat}, FatalError);
+    LocalMemory mem;
+    EXPECT_THROW(mem.accessTime(MemOp::Load, -1.0), FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the disaggregated pool models against the paper's
+ * §IV-D.2/3 equations, including the worked example of Fig. 6/8
+ * (16 nodes x 16 GPUs, 4 out-node switches, 8 remote memory groups).
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "memory/remote_memory.h"
+
+namespace astra {
+namespace {
+
+RemoteMemoryConfig
+paperExample()
+{
+    // The §IV-D.2 walkthrough configuration.
+    RemoteMemoryConfig cfg;
+    cfg.arch = PoolArch::Hierarchical;
+    cfg.numNodes = 16;
+    cfg.gpusPerNode = 16;
+    cfg.numOutNodeSwitches = 4;
+    cfg.numRemoteMemoryGroups = 8;
+    cfg.chunkBytes = 1024.0;
+    cfg.remoteMemGroupBw = 100.0;
+    cfg.gpuSideOutNodeBw = 200.0;
+    cfg.inNodeFabricBw = 256.0;
+    cfg.baseLatency = 0.0;
+    return cfg;
+}
+
+TEST(RemoteMemory, StageEquationsMatchPaper)
+{
+    RemoteMemory mem(paperExample());
+    RemoteMemory::StageTimes tx = mem.hierStageTimes(/*fused=*/false);
+    // TX_rem2outSW = chunk / mem-side BW.
+    EXPECT_DOUBLE_EQ(tx.rem2outSw, 1024.0 / 100.0);
+    // TX_outSW2inSW = (groups x chunk) / (nodes x gpu-side BW).
+    EXPECT_DOUBLE_EQ(tx.outSw2inSw, (8.0 * 1024.0) / (16.0 * 200.0));
+    // TX_inSW2GPU = (groups x switches x chunk) / (gpus x in-node BW).
+    EXPECT_DOUBLE_EQ(tx.inSw2Gpu,
+                     (8.0 * 4.0 * 1024.0) / (256.0 * 256.0));
+}
+
+TEST(RemoteMemory, InSwitchEquationsMatchPaper)
+{
+    RemoteMemory mem(paperExample());
+    RemoteMemory::StageTimes tx = mem.hierStageTimes(/*fused=*/true);
+    EXPECT_DOUBLE_EQ(tx.rem2outSw, 1024.0 / 100.0);
+    // Fused: no division by nodes / gpus (gathered tensor crosses
+    // each link in full).
+    EXPECT_DOUBLE_EQ(tx.outSw2inSw, (8.0 * 1024.0) / 200.0);
+    EXPECT_DOUBLE_EQ(tx.inSw2Gpu, (8.0 * 4.0 * 1024.0) / 256.0);
+}
+
+TEST(RemoteMemory, NumStagesFormula)
+{
+    RemoteMemory mem(paperExample());
+    // stages = W x gpus / (groups x switches x chunk).
+    // W = 1 MiB: 1048576 * 256 / (8 * 4 * 1024) = 8192.
+    EXPECT_DOUBLE_EQ(mem.numStages(1048576.0), 8192.0);
+    // Tiny tensors still take one stage.
+    EXPECT_DOUBLE_EQ(mem.numStages(1.0), 1.0);
+}
+
+TEST(RemoteMemory, PipelineCriticalPath)
+{
+    RemoteMemoryConfig cfg = paperExample();
+    cfg.baseLatency = 500.0;
+    RemoteMemory mem(cfg);
+    RemoteMemory::StageTimes tx = mem.hierStageTimes(false);
+    double stages = mem.numStages(1048576.0);
+    TimeNs expect = 500.0 + tx.sum() + (stages - 1.0) * tx.max();
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Load, 1048576.0), expect);
+}
+
+TEST(RemoteMemory, LoadStoreSymmetric)
+{
+    RemoteMemory mem(paperExample());
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Load, 4e6),
+                     mem.accessTime(MemOp::Store, 4e6));
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Load, 4e6, true),
+                     mem.accessTime(MemOp::Store, 4e6, true));
+}
+
+TEST(RemoteMemory, MoreMemoryGroupsIncreaseThroughput)
+{
+    // The core benefit of pooling: scaling remote memory groups cuts
+    // access time (until another stage bottlenecks).
+    RemoteMemoryConfig cfg = paperExample();
+    RemoteMemory small(cfg);
+    cfg.numRemoteMemoryGroups = 32;
+    RemoteMemory big(cfg);
+    EXPECT_LT(big.accessTime(MemOp::Load, 64e6),
+              small.accessTime(MemOp::Load, 64e6));
+}
+
+TEST(RemoteMemory, FasterFabricNeverHurts)
+{
+    RemoteMemoryConfig cfg = paperExample();
+    for (GBps bw : {256.0, 512.0, 1024.0, 2048.0}) {
+        cfg.inNodeFabricBw = bw;
+        RemoteMemory a(cfg);
+        cfg.inNodeFabricBw = bw * 2;
+        RemoteMemory b(cfg);
+        EXPECT_LE(b.accessTime(MemOp::Load, 64e6, true),
+                  a.accessTime(MemOp::Load, 64e6, true));
+    }
+}
+
+TEST(RemoteMemory, TableVBaselineConfig)
+{
+    // Table V HierMem(Baseline): 16 switches, 256 groups, 100 GB/s
+    // groups, 256 GB/s in-node fabric.
+    RemoteMemoryConfig cfg;
+    EXPECT_EQ(cfg.numOutNodeSwitches, 16);
+    EXPECT_EQ(cfg.numRemoteMemoryGroups, 256);
+    EXPECT_DOUBLE_EQ(cfg.remoteMemGroupBw, 100.0);
+    EXPECT_DOUBLE_EQ(cfg.inNodeFabricBw, 256.0);
+    EXPECT_EQ(cfg.totalGpus(), 256);
+    RemoteMemory mem(cfg);
+    EXPECT_GT(mem.accessTime(MemOp::Load, 1e9), 0.0);
+}
+
+TEST(RemoteMemory, AlternativePoolArchitectures)
+{
+    // Fig. 5 variants all produce sane, positive, size-monotonic
+    // access times.
+    for (PoolArch arch : {PoolArch::Hierarchical,
+                          PoolArch::MultiLevelSwitch, PoolArch::Ring,
+                          PoolArch::Mesh}) {
+        RemoteMemoryConfig cfg = paperExample();
+        cfg.arch = arch;
+        RemoteMemory mem(cfg);
+        TimeNs t1 = mem.accessTime(MemOp::Load, 1e6);
+        TimeNs t2 = mem.accessTime(MemOp::Load, 8e6);
+        EXPECT_GT(t1, 0.0) << poolArchName(arch);
+        EXPECT_GT(t2, t1) << poolArchName(arch);
+    }
+}
+
+TEST(RemoteMemory, InSwitchSupportByArchitecture)
+{
+    RemoteMemoryConfig cfg = paperExample();
+    cfg.arch = PoolArch::Hierarchical;
+    EXPECT_TRUE(RemoteMemory(cfg).supportsInSwitchCollectives());
+    cfg.arch = PoolArch::Ring;
+    EXPECT_FALSE(RemoteMemory(cfg).supportsInSwitchCollectives());
+}
+
+TEST(RemoteMemory, RejectsBadConfigs)
+{
+    RemoteMemoryConfig cfg = paperExample();
+    cfg.chunkBytes = 0.0;
+    EXPECT_THROW(RemoteMemory{cfg}, FatalError);
+    cfg = paperExample();
+    cfg.numRemoteMemoryGroups = 0;
+    EXPECT_THROW(RemoteMemory{cfg}, FatalError);
+    cfg = paperExample();
+    cfg.inNodeFabricBw = -1.0;
+    EXPECT_THROW(RemoteMemory{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,82 @@
+/** @file Unit tests for the ZeRO-Infinity baseline model (§V-B). */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "memory/memory_model.h"
+#include "memory/zero_infinity.h"
+
+namespace astra {
+namespace {
+
+TEST(ZeroInfinity, PerGpuPrivatePath)
+{
+    ZeroInfinityConfig cfg;
+    cfg.tierBandwidth = 100.0; // Table V remote mem group BW.
+    cfg.baseLatency = 2000.0;
+    ZeroInfinityMemory mem(cfg);
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Load, 1e9),
+                     2000.0 + 1e9 / 100.0);
+}
+
+TEST(ZeroInfinity, NoInSwitchCollectives)
+{
+    ZeroInfinityMemory mem;
+    EXPECT_FALSE(mem.supportsInSwitchCollectives());
+    EXPECT_THROW(mem.accessTime(MemOp::Load, 1e6, /*fused=*/true),
+                 FatalError);
+}
+
+TEST(ZeroInfinity, ZeroBytesFree)
+{
+    ZeroInfinityMemory mem;
+    EXPECT_DOUBLE_EQ(mem.accessTime(MemOp::Store, 0.0), 0.0);
+}
+
+TEST(MemoryModel, DispatchesByLocation)
+{
+    LocalMemoryConfig local;
+    local.bandwidth = 4096.0;
+    local.latency = 100.0;
+    RemoteMemoryConfig remote;
+    MemoryModel model(local, remote);
+    EXPECT_EQ(model.remoteKind(), RemoteKind::Pooled);
+    TimeNs t_local = model.accessTime(MemLocation::Local, MemOp::Load, 1e6);
+    TimeNs t_remote =
+        model.accessTime(MemLocation::Remote, MemOp::Load, 1e6);
+    EXPECT_DOUBLE_EQ(t_local, 100.0 + 1e6 / 4096.0);
+    EXPECT_GT(t_remote, t_local);
+    EXPECT_TRUE(model.supportsInSwitchCollectives());
+    EXPECT_EQ(&model.pooled().config(), &model.pooled().config());
+}
+
+TEST(MemoryModel, LocalOnlySystemRejectsRemoteAccess)
+{
+    MemoryModel model{LocalMemoryConfig{}};
+    EXPECT_EQ(model.remoteKind(), RemoteKind::None);
+    EXPECT_THROW(
+        model.accessTime(MemLocation::Remote, MemOp::Load, 1e6),
+        FatalError);
+    EXPECT_THROW(model.pooled(), FatalError);
+    EXPECT_FALSE(model.supportsInSwitchCollectives());
+}
+
+TEST(MemoryModel, ZeroInfinityBackend)
+{
+    MemoryModel model(LocalMemoryConfig{}, ZeroInfinityConfig{});
+    EXPECT_EQ(model.remoteKind(), RemoteKind::ZeroInfinity);
+    EXPECT_FALSE(model.supportsInSwitchCollectives());
+    EXPECT_GT(model.accessTime(MemLocation::Remote, MemOp::Load, 1e6),
+              0.0);
+    EXPECT_THROW(model.pooled(), FatalError);
+}
+
+TEST(MemLocationNames, Printable)
+{
+    EXPECT_STREQ(memLocationName(MemLocation::Local), "local");
+    EXPECT_STREQ(memLocationName(MemLocation::Remote), "remote");
+    EXPECT_STREQ(memOpName(MemOp::Load), "load");
+    EXPECT_STREQ(memOpName(MemOp::Store), "store");
+}
+
+} // namespace
+} // namespace astra

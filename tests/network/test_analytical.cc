@@ -1,0 +1,172 @@
+/** @file Unit tests for the analytical network backend (§IV-C). */
+#include <gtest/gtest.h>
+
+#include "event/event_queue.h"
+#include "network/analytical.h"
+
+namespace astra {
+namespace {
+
+Topology
+ringFour(GBps bw = 100.0, TimeNs lat = 500.0)
+{
+    return Topology({{BlockType::Ring, 4, bw, lat}});
+}
+
+TEST(Analytical, SingleMessageMatchesEquation)
+{
+    // time = latency * hops + size / bandwidth.
+    EventQueue eq;
+    Topology topo = ringFour(100.0, 500.0);
+    AnalyticalNetwork net(eq, topo);
+    TimeNs delivered = -1.0;
+    SendHandlers h;
+    h.onDelivered = [&] { delivered = eq.now(); };
+    net.simSend(0, 1, 1e6, 0, kNoTag, std::move(h)); // 1 MB, 1 hop.
+    eq.run();
+    EXPECT_DOUBLE_EQ(delivered, 500.0 + 1e6 / 100.0);
+}
+
+TEST(Analytical, MultiHopRingLatency)
+{
+    EventQueue eq;
+    Topology topo = ringFour(100.0, 500.0);
+    AnalyticalNetwork net(eq, topo);
+    TimeNs delivered = -1.0;
+    SendHandlers h;
+    h.onDelivered = [&] { delivered = eq.now(); };
+    net.simSend(0, 2, 1e6, 0, kNoTag, std::move(h)); // 2 hops on ring.
+    eq.run();
+    EXPECT_DOUBLE_EQ(delivered, 2 * 500.0 + 1e6 / 100.0);
+}
+
+TEST(Analytical, SwitchCostsTwoHops)
+{
+    EventQueue eq;
+    Topology topo({{BlockType::Switch, 4, 50.0, 300.0}});
+    AnalyticalNetwork net(eq, topo);
+    TimeNs delivered = -1.0;
+    SendHandlers h;
+    h.onDelivered = [&] { delivered = eq.now(); };
+    net.simSend(0, 3, 5e5, 0, kNoTag, std::move(h));
+    eq.run();
+    EXPECT_DOUBLE_EQ(delivered, 2 * 300.0 + 5e5 / 50.0);
+}
+
+TEST(Analytical, TransmitPortSerializesMessages)
+{
+    // Two messages from the same NPU on the same dim: the second's
+    // serialization starts after the first's.
+    EventQueue eq;
+    Topology topo = ringFour(100.0, 0.0);
+    AnalyticalNetwork net(eq, topo);
+    std::vector<TimeNs> delivered;
+    for (int i = 0; i < 2; ++i) {
+        SendHandlers h;
+        h.onDelivered = [&] { delivered.push_back(eq.now()); };
+        net.simSend(0, 1, 1e6, 0, kNoTag, std::move(h));
+    }
+    eq.run();
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_DOUBLE_EQ(delivered[0], 1e4);
+    EXPECT_DOUBLE_EQ(delivered[1], 2e4);
+}
+
+TEST(Analytical, DistinctDimsDoNotSerialize)
+{
+    EventQueue eq;
+    Topology topo({{BlockType::Ring, 4, 100.0, 0.0},
+                   {BlockType::Ring, 4, 100.0, 0.0}});
+    AnalyticalNetwork net(eq, topo);
+    std::vector<TimeNs> delivered;
+    for (int d = 0; d < 2; ++d) {
+        SendHandlers h;
+        h.onDelivered = [&] { delivered.push_back(eq.now()); };
+        net.simSend(0, topo.peerInDim(0, d, 1), 1e6, d, kNoTag,
+                    std::move(h));
+    }
+    eq.run();
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_DOUBLE_EQ(delivered[0], 1e4);
+    EXPECT_DOUBLE_EQ(delivered[1], 1e4);
+}
+
+TEST(Analytical, PureModeSkipsSerialization)
+{
+    EventQueue eq;
+    Topology topo = ringFour(100.0, 0.0);
+    AnalyticalNetwork net(eq, topo, /*serialize=*/false);
+    std::vector<TimeNs> delivered;
+    for (int i = 0; i < 3; ++i) {
+        SendHandlers h;
+        h.onDelivered = [&] { delivered.push_back(eq.now()); };
+        net.simSend(0, 1, 1e6, 0, kNoTag, std::move(h));
+    }
+    eq.run();
+    ASSERT_EQ(delivered.size(), 3u);
+    for (TimeNs t : delivered)
+        EXPECT_DOUBLE_EQ(t, 1e4);
+}
+
+TEST(Analytical, OnInjectedFiresAtSerializationEnd)
+{
+    EventQueue eq;
+    Topology topo = ringFour(100.0, 500.0);
+    AnalyticalNetwork net(eq, topo);
+    TimeNs injected = -1.0, delivered = -1.0;
+    SendHandlers h;
+    h.onInjected = [&] { injected = eq.now(); };
+    h.onDelivered = [&] { delivered = eq.now(); };
+    net.simSend(0, 1, 1e6, 0, kNoTag, std::move(h));
+    eq.run();
+    EXPECT_DOUBLE_EQ(injected, 1e4);
+    EXPECT_DOUBLE_EQ(delivered, 1e4 + 500.0);
+}
+
+TEST(Analytical, AutoRouteCrossesDimensions)
+{
+    // R(4,100,500)_SW(2,50,300): path = 1 ring hop + 2 switch hops,
+    // serialization at the bottleneck 50 GB/s.
+    EventQueue eq;
+    Topology topo({{BlockType::Ring, 4, 100.0, 500.0},
+                   {BlockType::Switch, 2, 50.0, 300.0}});
+    AnalyticalNetwork net(eq, topo);
+    NpuId src = topo.idOf({0, 0});
+    NpuId dst = topo.idOf({1, 1});
+    TimeNs delivered = -1.0;
+    SendHandlers h;
+    h.onDelivered = [&] { delivered = eq.now(); };
+    net.simSend(src, dst, 1e6, kAutoRoute, kNoTag, std::move(h));
+    eq.run();
+    EXPECT_DOUBLE_EQ(delivered, 500.0 + 2 * 300.0 + 1e6 / 50.0);
+}
+
+TEST(Analytical, SelfSendDeliversImmediately)
+{
+    EventQueue eq;
+    Topology topo = ringFour();
+    AnalyticalNetwork net(eq, topo);
+    TimeNs delivered = -1.0;
+    SendHandlers h;
+    h.onDelivered = [&] { delivered = eq.now(); };
+    net.simSend(2, 2, 1e9, kAutoRoute, kNoTag, std::move(h));
+    eq.run();
+    EXPECT_DOUBLE_EQ(delivered, 0.0);
+}
+
+TEST(Analytical, TrafficAccounting)
+{
+    EventQueue eq;
+    Topology topo({{BlockType::Ring, 4, 100.0, 0.0},
+                   {BlockType::Ring, 2, 50.0, 0.0}});
+    AnalyticalNetwork net(eq, topo);
+    net.simSend(0, 1, 1000.0, 0, kNoTag, {});
+    net.simSend(0, topo.peerInDim(0, 1, 1), 500.0, 1, kNoTag, {});
+    eq.run();
+    EXPECT_DOUBLE_EQ(net.stats().bytesPerDim[0], 1000.0);
+    EXPECT_DOUBLE_EQ(net.stats().bytesPerDim[1], 500.0);
+    EXPECT_EQ(net.stats().messages, 2u);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,93 @@
+/** @file Unit tests for simRecv message matching (Snippet 2 semantics). */
+#include <gtest/gtest.h>
+
+#include "event/event_queue.h"
+#include "network/analytical.h"
+
+namespace astra {
+namespace {
+
+struct Fixture
+{
+    EventQueue eq;
+    Topology topo{{{BlockType::Ring, 4, 100.0, 100.0}}};
+    AnalyticalNetwork net{eq, topo};
+};
+
+TEST(RecvMatching, RecvPostedBeforeSend)
+{
+    Fixture f;
+    TimeNs recv_time = -1.0;
+    f.net.simRecv(1, 0, 7, [&] { recv_time = f.eq.now(); });
+    f.net.simSend(0, 1, 1e4, 0, 7, {});
+    f.eq.run();
+    EXPECT_DOUBLE_EQ(recv_time, 1e4 / 100.0 + 100.0);
+}
+
+TEST(RecvMatching, SendArrivesBeforeRecvPosted)
+{
+    Fixture f;
+    TimeNs recv_time = -1.0;
+    f.net.simSend(0, 1, 1e4, 0, 7, {});
+    // Post the receive long after delivery.
+    f.eq.schedule(1e6, [&] {
+        f.net.simRecv(1, 0, 7, [&] { recv_time = f.eq.now(); });
+    });
+    f.eq.run();
+    EXPECT_DOUBLE_EQ(recv_time, 1e6);
+}
+
+TEST(RecvMatching, TagsKeepMessagesApart)
+{
+    Fixture f;
+    int got_a = 0, got_b = 0;
+    f.net.simRecv(1, 0, 100, [&] { ++got_a; });
+    f.net.simRecv(1, 0, 200, [&] { ++got_b; });
+    f.net.simSend(0, 1, 10.0, 0, 200, {});
+    f.eq.run();
+    EXPECT_EQ(got_a, 0);
+    EXPECT_EQ(got_b, 1);
+    f.net.simSend(0, 1, 10.0, 0, 100, {});
+    f.eq.run();
+    EXPECT_EQ(got_a, 1);
+}
+
+TEST(RecvMatching, MultipleIdenticalMessagesCountEach)
+{
+    Fixture f;
+    int got = 0;
+    for (int i = 0; i < 3; ++i)
+        f.net.simRecv(1, 0, 5, [&] { ++got; });
+    for (int i = 0; i < 3; ++i)
+        f.net.simSend(0, 1, 10.0, 0, 5, {});
+    f.eq.run();
+    EXPECT_EQ(got, 3);
+}
+
+TEST(RecvMatching, SourcesAreDistinguished)
+{
+    Fixture f;
+    int from2 = 0;
+    f.net.simRecv(1, 2, 9, [&] { ++from2; });
+    f.net.simSend(0, 1, 10.0, 0, 9, {}); // from 0: must not match.
+    f.eq.run();
+    EXPECT_EQ(from2, 0);
+    f.net.simSend(2, 1, 10.0, 0, 9, {});
+    f.eq.run();
+    EXPECT_EQ(from2, 1);
+}
+
+TEST(RecvMatching, NoTagMessagesBypassInbox)
+{
+    Fixture f;
+    int matched = 0;
+    f.net.simSend(0, 1, 10.0, 0, kNoTag, {});
+    f.eq.run();
+    // A later recv with any tag must NOT match the kNoTag delivery.
+    f.net.simRecv(1, 0, 0, [&] { ++matched; });
+    f.eq.run();
+    EXPECT_EQ(matched, 0);
+}
+
+} // namespace
+} // namespace astra

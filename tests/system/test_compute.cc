@@ -1,0 +1,65 @@
+/** @file Unit tests for the roofline compute model (§IV-A). */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "system/compute.h"
+
+namespace astra {
+namespace {
+
+TEST(Roofline, FlopBoundOperator)
+{
+    ComputeConfig cfg;
+    cfg.peakTflops = 234.0; // the paper's A100.
+    cfg.memBandwidth = 2039.0;
+    RooflineCompute rc(cfg);
+    // High arithmetic intensity: time = flops / peak.
+    Flops flops = 234e12; // exactly one second of work.
+    EXPECT_NEAR(rc.computeTime(flops, 1.0), 1e9, 1.0);
+}
+
+TEST(Roofline, MemoryBoundOperator)
+{
+    ComputeConfig cfg;
+    cfg.peakTflops = 234.0;
+    cfg.memBandwidth = 2039.0;
+    RooflineCompute rc(cfg);
+    // Low intensity: time = bytes / bandwidth.
+    Bytes bytes = 2039e9; // one second of HBM traffic.
+    EXPECT_NEAR(rc.computeTime(1.0, bytes), 1e9, 1.0);
+}
+
+TEST(Roofline, RidgePoint)
+{
+    ComputeConfig cfg;
+    cfg.peakTflops = 234.0;
+    cfg.memBandwidth = 2039.0;
+    RooflineCompute rc(cfg);
+    double ridge = rc.ridgeIntensity();
+    EXPECT_NEAR(ridge, 234e3 / 2039.0, 1e-9);
+    // At the ridge both regimes agree.
+    Bytes bytes = 1e6;
+    Flops flops = ridge * bytes;
+    EXPECT_NEAR(rc.computeTime(flops, bytes),
+                txTime(bytes, cfg.memBandwidth), 1e-6);
+}
+
+TEST(Roofline, KernelOverheadAdds)
+{
+    ComputeConfig cfg;
+    cfg.kernelOverhead = 5000.0;
+    RooflineCompute rc(cfg);
+    EXPECT_DOUBLE_EQ(rc.computeTime(0.0, 0.0), 5000.0);
+}
+
+TEST(Roofline, RejectsBadConfig)
+{
+    ComputeConfig cfg;
+    cfg.peakTflops = 0.0;
+    EXPECT_THROW(RooflineCompute{cfg}, FatalError);
+    RooflineCompute ok;
+    EXPECT_THROW(ok.computeTime(-1.0, 0.0), FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,171 @@
+/** @file Unit tests for the per-NPU system layer. */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "event/event_queue.h"
+#include "network/analytical.h"
+#include "system/sys.h"
+
+namespace astra {
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : topo({{BlockType::Ring, 4, 100.0, 100.0}}), net(eq, topo),
+          engine(net), mem(LocalMemoryConfig{1000.0, 50.0},
+                           RemoteMemoryConfig{})
+    {
+        SysConfig cfg;
+        cfg.compute.peakTflops = 100.0; // 1e5 FLOP/ns.
+        cfg.compute.memBandwidth = 1000.0;
+        for (NpuId n = 0; n < topo.npus(); ++n)
+            sys.push_back(std::make_unique<Sys>(n, cfg, engine, mem));
+    }
+
+    EventQueue eq;
+    Topology topo;
+    AnalyticalNetwork net;
+    CollectiveEngine engine;
+    MemoryModel mem;
+    std::vector<std::unique_ptr<Sys>> sys;
+};
+
+TEST(Sys, ComputeTakesRooflineTime)
+{
+    Fixture f;
+    TimeNs done = -1.0;
+    f.sys[0]->issueCompute(1e9, 0.0, [&] { done = f.eq.now(); });
+    f.eq.run();
+    EXPECT_DOUBLE_EQ(done, 1e9 / 1e5); // 10 us.
+    f.sys[0]->tracker().finish(f.eq.now());
+    EXPECT_DOUBLE_EQ(f.sys[0]->tracker().time(RuntimeClass::Compute),
+                     1e4);
+}
+
+TEST(Sys, ComputeUnitSerializesOperators)
+{
+    Fixture f;
+    std::vector<TimeNs> done;
+    for (int i = 0; i < 3; ++i)
+        f.sys[0]->issueCompute(1e9, 0.0, [&] { done.push_back(f.eq.now()); });
+    f.eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_DOUBLE_EQ(done[0], 1e4);
+    EXPECT_DOUBLE_EQ(done[1], 2e4);
+    EXPECT_DOUBLE_EQ(done[2], 3e4);
+}
+
+TEST(Sys, MemoryGoesThroughMemoryApi)
+{
+    Fixture f;
+    TimeNs done = -1.0;
+    f.sys[0]->issueMemory(MemLocation::Local, MemOp::Load, 1e6, false,
+                          [&] { done = f.eq.now(); });
+    f.eq.run();
+    EXPECT_DOUBLE_EQ(done, 50.0 + 1e6 / 1000.0);
+    f.sys[0]->tracker().finish(f.eq.now());
+    EXPECT_DOUBLE_EQ(
+        f.sys[0]->tracker().time(RuntimeClass::ExposedLocalMem), done);
+}
+
+TEST(Sys, RemoteMemoryTrackedSeparately)
+{
+    Fixture f;
+    f.sys[0]->issueMemory(MemLocation::Remote, MemOp::Load, 1e6, false,
+                          {});
+    f.eq.run();
+    f.sys[0]->tracker().finish(f.eq.now());
+    EXPECT_GT(f.sys[0]->tracker().time(RuntimeClass::ExposedRemoteMem),
+              0.0);
+    EXPECT_DOUBLE_EQ(
+        f.sys[0]->tracker().time(RuntimeClass::ExposedLocalMem), 0.0);
+}
+
+TEST(Sys, FusedRemoteAccessCountsAsComm)
+{
+    // In-switch collective fusion is communication performed by the
+    // fabric (§IV-D.3).
+    Fixture f;
+    f.sys[0]->issueMemory(MemLocation::Remote, MemOp::Load, 1e6, true,
+                          {});
+    f.eq.run();
+    f.sys[0]->tracker().finish(f.eq.now());
+    EXPECT_GT(f.sys[0]->tracker().time(RuntimeClass::ExposedComm), 0.0);
+    EXPECT_DOUBLE_EQ(
+        f.sys[0]->tracker().time(RuntimeClass::ExposedRemoteMem), 0.0);
+}
+
+TEST(Sys, MemoryOverlapsCompute)
+{
+    Fixture f;
+    f.sys[0]->issueCompute(2e9, 0.0, {});             // busy 0..20us.
+    f.sys[0]->issueMemory(MemLocation::Local, MemOp::Load, 10e6, false,
+                          {});                        // 0..~10us.
+    f.eq.run();
+    f.sys[0]->tracker().finish(f.eq.now());
+    // Memory hides behind compute entirely.
+    EXPECT_DOUBLE_EQ(
+        f.sys[0]->tracker().time(RuntimeClass::ExposedLocalMem), 0.0);
+    EXPECT_DOUBLE_EQ(f.sys[0]->tracker().time(RuntimeClass::Compute),
+                     2e4);
+}
+
+TEST(Sys, CollectiveJoinsAllNpus)
+{
+    Fixture f;
+    int done = 0;
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 4e6);
+    req.chunks = 1;
+    for (auto &s : f.sys)
+        s->issueCollective(1234, req, [&] { ++done; });
+    f.eq.run();
+    EXPECT_EQ(done, 4);
+    // Exposed comm equals the collective duration on every NPU.
+    for (auto &s : f.sys) {
+        s->tracker().finish(f.eq.now());
+        EXPECT_NEAR(s->tracker().time(RuntimeClass::ExposedComm),
+                    f.eq.now(), 1e-6);
+    }
+}
+
+TEST(Sys, CollectiveDefaultsFilledFromConfig)
+{
+    Fixture f;
+    CollectiveRequest req =
+        CollectiveRequest::overDims(CollectiveType::AllReduce, 4e6);
+    req.chunks = 0; // ask for the SysConfig default.
+    int done = 0;
+    for (auto &s : f.sys)
+        s->issueCollective(77, req, [&] { ++done; });
+    f.eq.run();
+    EXPECT_EQ(done, 4);
+}
+
+TEST(Sys, SendRecvPairing)
+{
+    Fixture f;
+    TimeNs sent = -1.0, received = -1.0;
+    f.sys[1]->issueRecv(0, 42, [&] { received = f.eq.now(); });
+    f.sys[0]->issueSend(1, 1e6, 42, [&] { sent = f.eq.now(); });
+    f.eq.run();
+    EXPECT_DOUBLE_EQ(sent, 1e4);            // injection done.
+    EXPECT_DOUBLE_EQ(received, 1e4 + 100.0); // delivery.
+}
+
+TEST(Sys, WaitingOnRecvIsExposedComm)
+{
+    Fixture f;
+    f.sys[1]->issueRecv(0, 7, {});
+    f.eq.schedule(5000.0, [&] { f.sys[0]->issueSend(1, 1e6, 7, {}); });
+    f.eq.run();
+    f.sys[1]->tracker().finish(f.eq.now());
+    // NPU 1 waited from t=0 to delivery: all exposed comm.
+    EXPECT_DOUBLE_EQ(f.sys[1]->tracker().time(RuntimeClass::ExposedComm),
+                     f.eq.now());
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,94 @@
+/** @file Unit tests for strided in-dimension group factors. */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "topology/topology.h"
+
+namespace astra {
+namespace {
+
+Topology
+makeWafer()
+{
+    return Topology({{BlockType::Switch, 512, 350.0, 500.0}});
+}
+
+TEST(Groups, NormalizeExpandsWholeDim)
+{
+    Topology topo = makeWafer();
+    GroupDim g = topo.normalizeGroup(GroupDim{0, 0, 1});
+    EXPECT_EQ(g.size, 512);
+    EXPECT_EQ(g.stride, 1);
+}
+
+TEST(Groups, NormalizeRejectsBadFactors)
+{
+    Topology topo = makeWafer();
+    EXPECT_THROW(topo.normalizeGroup(GroupDim{1, 0, 1}), FatalError);
+    EXPECT_THROW(topo.normalizeGroup(GroupDim{0, 700, 1}), FatalError);
+    EXPECT_THROW(topo.normalizeGroup(GroupDim{0, 3, 1}), FatalError);
+    EXPECT_THROW(topo.normalizeGroup(GroupDim{0, 16, 0}), FatalError);
+}
+
+TEST(Groups, ContiguousModelParallelBlocks)
+{
+    // MP groups of 16: {0..15}, {16..31}, ...
+    Topology topo = makeWafer();
+    GroupDim mp{0, 16, 1};
+    EXPECT_EQ(topo.posInGroup(5, mp), 5);
+    EXPECT_EQ(topo.posInGroup(21, mp), 5);
+    EXPECT_EQ(topo.peerInGroup(21, mp, 1), 22);
+    EXPECT_EQ(topo.peerInGroup(31, mp, 1), 16); // wraps inside block.
+    EXPECT_EQ(topo.zeroGroup(21, mp), 16);
+    EXPECT_EQ(topo.zeroGroup(15, mp), 0);
+}
+
+TEST(Groups, StridedDataParallelGroups)
+{
+    // DP groups of 32 strided by 16: {j, j+16, j+32, ...}.
+    Topology topo = makeWafer();
+    GroupDim dp{0, 32, 16};
+    EXPECT_EQ(topo.posInGroup(5, dp), 0);
+    EXPECT_EQ(topo.posInGroup(21, dp), 1);
+    EXPECT_EQ(topo.peerInGroup(5, dp, 1), 21);
+    EXPECT_EQ(topo.peerInGroup(5, dp, 31), 5 + 31 * 16);
+    EXPECT_EQ(topo.peerInGroup(5 + 31 * 16, dp, 1), 5); // wraps.
+    EXPECT_EQ(topo.zeroGroup(21, dp), 5);
+}
+
+TEST(Groups, MpAndDpTileTheWafer)
+{
+    // Every NPU belongs to exactly one MP group and one DP group, and
+    // (mp pos, dp pos) identifies it uniquely.
+    Topology topo = makeWafer();
+    GroupDim mp{0, 16, 1};
+    GroupDim dp{0, 32, 16};
+    std::vector<int> seen(512, 0);
+    for (NpuId id = 0; id < 512; ++id) {
+        int mpos = topo.posInGroup(id, mp);
+        int dpos = topo.posInGroup(id, dp);
+        int key = mpos + 16 * dpos;
+        EXPECT_EQ(key, id);
+        ++seen[static_cast<size_t>(key)];
+    }
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(Groups, WorkOnInnerDimsOfMultiDimTopologies)
+{
+    Topology topo({{BlockType::Ring, 8, 100.0, 500.0},
+                   {BlockType::Switch, 4, 50.0, 500.0}});
+    // Sub-group of 4 within the Ring(8) dimension.
+    GroupDim g{0, 4, 1};
+    NpuId id = topo.idOf({5, 2});
+    EXPECT_EQ(topo.posInGroup(id, g), 1);
+    EXPECT_EQ(topo.coordsOf(topo.peerInGroup(id, g, 1))[0], 6);
+    EXPECT_EQ(topo.coordsOf(topo.peerInGroup(id, g, 3))[0], 4);
+    EXPECT_EQ(topo.coordsOf(topo.zeroGroup(id, g))[0], 4);
+    // The dim-1 coordinate is untouched.
+    EXPECT_EQ(topo.coordsOf(topo.peerInGroup(id, g, 2))[1], 2);
+}
+
+} // namespace
+} // namespace astra

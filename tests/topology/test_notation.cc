@@ -1,0 +1,83 @@
+/** @file Unit tests for the topology notation parser (Fig. 3(c)). */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "topology/notation.h"
+
+namespace astra {
+namespace {
+
+TEST(Notation, ParsesLongAndShortNames)
+{
+    Topology t1 = parseTopology("Ring(4)_Switch(2)");
+    EXPECT_EQ(t1.numDims(), 2);
+    EXPECT_EQ(t1.dim(0).type, BlockType::Ring);
+    EXPECT_EQ(t1.dim(0).size, 4);
+    EXPECT_EQ(t1.dim(1).type, BlockType::Switch);
+    EXPECT_EQ(t1.dim(1).size, 2);
+
+    Topology t2 = parseTopology("R(4)_SW(2)");
+    EXPECT_EQ(t2.notation(), t1.notation());
+
+    Topology t3 = parseTopology("fc(8)");
+    EXPECT_EQ(t3.dim(0).type, BlockType::FullyConnected);
+}
+
+TEST(Notation, PaperExamplesFromFig3)
+{
+    // Fully-populated DragonFly.
+    Topology df = parseTopology("FC(4)_FC(2)_FC(2)");
+    EXPECT_EQ(df.npus(), 16);
+    // 3-D torus.
+    Topology torus = parseTopology("R(4)_R(2)_R(2)");
+    EXPECT_EQ(torus.npus(), 16);
+    for (int d = 0; d < 3; ++d)
+        EXPECT_EQ(torus.dim(d).type, BlockType::Ring);
+    // Arbitrary 6-D network is representable.
+    Topology six = parseTopology("R(2)_R(2)_FC(2)_SW(2)_R(2)_SW(2)");
+    EXPECT_EQ(six.numDims(), 6);
+    EXPECT_EQ(six.npus(), 64);
+}
+
+TEST(Notation, InlineBandwidthAndLatency)
+{
+    Topology t = parseTopology("R(4,250)_SW(2,50,700)");
+    EXPECT_DOUBLE_EQ(t.dim(0).bandwidth, 250.0);
+    EXPECT_DOUBLE_EQ(t.dim(1).bandwidth, 50.0);
+    EXPECT_DOUBLE_EQ(t.dim(1).latency, 700.0);
+}
+
+TEST(Notation, OverrideVectors)
+{
+    Topology t =
+        parseTopology("R(2)_FC(8)_R(8)_SW(4)", {250.0, 200.0, 100.0, 50.0},
+                      {10.0, 20.0, 30.0, 40.0});
+    EXPECT_DOUBLE_EQ(t.dim(0).bandwidth, 250.0);
+    EXPECT_DOUBLE_EQ(t.dim(3).bandwidth, 50.0);
+    EXPECT_DOUBLE_EQ(t.dim(2).latency, 30.0);
+    EXPECT_EQ(t.shapeString(), "2_8_8_4");
+}
+
+TEST(Notation, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseTopology(""), FatalError);
+    EXPECT_THROW(parseTopology("Ring"), FatalError);
+    EXPECT_THROW(parseTopology("Ring(4"), FatalError);
+    EXPECT_THROW(parseTopology("Torus(4)"), FatalError);
+    EXPECT_THROW(parseTopology("R(0)"), FatalError);
+    EXPECT_THROW(parseTopology("R(4,abc)"), FatalError);
+    EXPECT_THROW(parseTopology("R(4,1,2,3)"), FatalError);
+    EXPECT_THROW(parseTopology("R(4)", {1.0, 2.0}), FatalError);
+}
+
+TEST(Notation, BlockTypeNames)
+{
+    EXPECT_EQ(parseBlockType("ring"), BlockType::Ring);
+    EXPECT_EQ(parseBlockType("FULLYCONNECTED"),
+              BlockType::FullyConnected);
+    EXPECT_EQ(parseBlockType("Sw"), BlockType::Switch);
+    EXPECT_THROW(parseBlockType("mesh"), FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,72 @@
+/** @file Unit tests for the named topology presets (Table II). */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "topology/presets.h"
+
+namespace astra {
+namespace {
+
+TEST(Presets, TableTwoSystems)
+{
+    // W-1D: Switch(512) at 350/500/600 GB/s.
+    Topology w1d = presets::wafer1D(500.0);
+    EXPECT_EQ(w1d.npus(), 512);
+    EXPECT_EQ(w1d.numDims(), 1);
+    EXPECT_DOUBLE_EQ(w1d.dim(0).bandwidth, 500.0);
+
+    // W-2D: Switch(32)_Switch(16), 250_250.
+    Topology w2d = presets::wafer2D();
+    EXPECT_EQ(w2d.npus(), 512);
+    EXPECT_EQ(w2d.shapeString(), "32_16");
+    EXPECT_DOUBLE_EQ(w2d.dim(0).bandwidth, 250.0);
+    EXPECT_DOUBLE_EQ(w2d.dim(1).bandwidth, 250.0);
+
+    // Conv-3D: Ring(16)_FC(8)_Switch(4), 200_100_50.
+    Topology c3 = presets::conv3D();
+    EXPECT_EQ(c3.npus(), 512);
+    EXPECT_EQ(c3.notation(),
+              "Ring(16)_FullyConnected(8)_Switch(4)");
+    EXPECT_DOUBLE_EQ(c3.dim(0).bandwidth, 200.0);
+
+    // Conv-4D: Ring(2)_FC(8)_Ring(8)_Switch(4), 250_200_100_50.
+    Topology c4 = presets::conv4D();
+    EXPECT_EQ(c4.npus(), 512);
+    EXPECT_EQ(c4.shapeString(), "2_8_8_4");
+    EXPECT_DOUBLE_EQ(c4.totalBandwidthPerNpu(), 600.0);
+}
+
+TEST(Presets, WaferBaselineHas1000GBpsDim1)
+{
+    // Table IV baseline: Conv-4D with on-chip dim raised to 1 TB/s.
+    Topology base = presets::waferBaseline();
+    EXPECT_EQ(base.shapeString(), "2_8_8_4");
+    EXPECT_DOUBLE_EQ(base.dim(0).bandwidth, 1000.0);
+    Topology scaled = presets::waferBaseline(16, 4);
+    EXPECT_EQ(scaled.shapeString(), "16_8_8_4");
+    EXPECT_EQ(scaled.npus(), 4096);
+}
+
+TEST(Presets, PlatformShapesMatchFig3)
+{
+    EXPECT_EQ(presets::tpuV4(4, 2, 2).notation(),
+              "Ring(4)_Ring(2)_Ring(2)");
+    EXPECT_EQ(presets::dragonfly(4, 2, 2).notation(),
+              "FullyConnected(4)_FullyConnected(2)_FullyConnected(2)");
+    EXPECT_EQ(presets::dgxA100(4).dim(0).type, BlockType::Switch);
+    EXPECT_EQ(presets::metaZion(2).dim(0).type, BlockType::Ring);
+    EXPECT_EQ(presets::habana(2).dim(0).type,
+              BlockType::FullyConnected);
+}
+
+TEST(Presets, ByNameCoversAllNames)
+{
+    for (const std::string &name : presets::names()) {
+        Topology t = presets::byName(name);
+        EXPECT_GE(t.npus(), 2) << name;
+    }
+    EXPECT_THROW(presets::byName("not-a-system"), FatalError);
+}
+
+} // namespace
+} // namespace astra

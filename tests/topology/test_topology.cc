@@ -1,0 +1,124 @@
+/** @file Unit tests for the multi-dimensional topology representation. */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "topology/topology.h"
+
+namespace astra {
+namespace {
+
+Topology
+makeConv4D()
+{
+    // The paper's Conv-4D: Ring(2)_FC(8)_Ring(8)_Switch(4).
+    return Topology({{BlockType::Ring, 2, 250.0, 500.0},
+                     {BlockType::FullyConnected, 8, 200.0, 500.0},
+                     {BlockType::Ring, 8, 100.0, 500.0},
+                     {BlockType::Switch, 4, 50.0, 500.0}});
+}
+
+TEST(Topology, NpuCountIsProductOfDims)
+{
+    EXPECT_EQ(makeConv4D().npus(), 512);
+    Topology one({{BlockType::Switch, 16, 100.0, 10.0}});
+    EXPECT_EQ(one.npus(), 16);
+}
+
+TEST(Topology, CoordinateRoundTrip)
+{
+    Topology topo = makeConv4D();
+    for (NpuId id = 0; id < topo.npus(); id += 13) {
+        std::vector<int> coords = topo.coordsOf(id);
+        EXPECT_EQ(topo.idOf(coords), id);
+    }
+}
+
+TEST(Topology, Dim0VariesFastest)
+{
+    Topology topo = makeConv4D();
+    EXPECT_EQ(topo.coordsOf(0), (std::vector<int>{0, 0, 0, 0}));
+    EXPECT_EQ(topo.coordsOf(1), (std::vector<int>{1, 0, 0, 0}));
+    EXPECT_EQ(topo.coordsOf(2), (std::vector<int>{0, 1, 0, 0}));
+    EXPECT_EQ(topo.coordsOf(511), (std::vector<int>{1, 7, 7, 3}));
+}
+
+TEST(Topology, StridesMatchMixedRadix)
+{
+    Topology topo = makeConv4D();
+    EXPECT_EQ(topo.strideOf(0), 1);
+    EXPECT_EQ(topo.strideOf(1), 2);
+    EXPECT_EQ(topo.strideOf(2), 16);
+    EXPECT_EQ(topo.strideOf(3), 128);
+}
+
+TEST(Topology, GroupInDimSharesOtherCoords)
+{
+    Topology topo = makeConv4D();
+    NpuId id = topo.idOf({1, 3, 5, 2});
+    std::vector<NpuId> group = topo.groupInDim(id, 2);
+    ASSERT_EQ(group.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(topo.coordsOf(group[size_t(i)]),
+                  (std::vector<int>{1, 3, i, 2}));
+    }
+}
+
+TEST(Topology, PeerInDimWraps)
+{
+    Topology topo = makeConv4D();
+    NpuId id = topo.idOf({0, 7, 0, 0});
+    EXPECT_EQ(topo.coordsOf(topo.peerInDim(id, 1, 1))[1], 0);
+    EXPECT_EQ(topo.coordsOf(topo.peerInDim(id, 1, -1))[1], 6);
+}
+
+TEST(Topology, HopsPerBlockType)
+{
+    Topology topo = makeConv4D();
+    // Ring(8) (dim 2): minimal ring distance.
+    EXPECT_EQ(topo.hopsInDim(0, 1, 2), 1);
+    EXPECT_EQ(topo.hopsInDim(0, 4, 2), 4);
+    EXPECT_EQ(topo.hopsInDim(0, 7, 2), 1);
+    EXPECT_EQ(topo.hopsInDim(1, 6, 2), 3);
+    // FullyConnected(8) (dim 1): always one hop.
+    EXPECT_EQ(topo.hopsInDim(0, 5, 1), 1);
+    // Switch(4) (dim 3): through the switch.
+    EXPECT_EQ(topo.hopsInDim(0, 3, 3), 2);
+    // Same coordinate: zero hops.
+    EXPECT_EQ(topo.hopsInDim(5, 5, 2), 0);
+}
+
+TEST(Topology, HopsBetweenIsDimensionOrderedSum)
+{
+    Topology topo = makeConv4D();
+    NpuId a = topo.idOf({0, 0, 0, 0});
+    NpuId b = topo.idOf({1, 2, 3, 1});
+    // Ring(2): 1 hop; FC: 1 hop; Ring(8) dist 3: 3 hops; SW: 2 hops.
+    EXPECT_EQ(topo.hopsBetween(a, b), 1 + 1 + 3 + 2);
+    EXPECT_EQ(topo.hopsBetween(a, a), 0);
+}
+
+TEST(Topology, NotationAndShapeStrings)
+{
+    Topology topo = makeConv4D();
+    EXPECT_EQ(topo.shapeString(), "2_8_8_4");
+    EXPECT_EQ(topo.notation(),
+              "Ring(2)_FullyConnected(8)_Ring(8)_Switch(4)");
+}
+
+TEST(Topology, TotalBandwidth)
+{
+    EXPECT_DOUBLE_EQ(makeConv4D().totalBandwidthPerNpu(), 600.0);
+}
+
+TEST(Topology, RejectsInvalidConfigs)
+{
+    EXPECT_THROW(Topology({}), FatalError);
+    EXPECT_THROW(Topology({{BlockType::Ring, 0, 100.0, 1.0}}),
+                 FatalError);
+    EXPECT_THROW(Topology({{BlockType::Ring, 4, -1.0, 1.0}}), FatalError);
+    EXPECT_THROW(Topology({{BlockType::Ring, 4, 100.0, -1.0}}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace astra

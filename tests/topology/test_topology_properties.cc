@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Property tests over random topologies: coordinate bijectivity,
+ * group-factor tiling, hop-count symmetry.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace astra {
+namespace {
+
+Topology
+randomTopology(Rng &rng)
+{
+    int ndims = static_cast<int>(rng.uniformInt(1, 4));
+    std::vector<Dimension> dims;
+    for (int d = 0; d < ndims; ++d) {
+        Dimension dim;
+        int types = static_cast<int>(rng.uniformInt(0, 2));
+        dim.type = types == 0   ? BlockType::Ring
+                   : types == 1 ? BlockType::FullyConnected
+                                : BlockType::Switch;
+        dim.size = static_cast<int>(rng.uniformInt(1, 8));
+        dim.bandwidth = rng.uniform(10.0, 500.0);
+        dim.latency = rng.uniform(0.0, 1000.0);
+        dims.push_back(dim);
+    }
+    return Topology(std::move(dims));
+}
+
+TEST(TopologyProperty, CoordinateBijection)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        Topology topo = randomTopology(rng);
+        std::set<std::vector<int>> seen;
+        for (NpuId id = 0; id < topo.npus(); ++id) {
+            std::vector<int> coords = topo.coordsOf(id);
+            EXPECT_TRUE(seen.insert(coords).second);
+            EXPECT_EQ(topo.idOf(coords), id);
+            for (int d = 0; d < topo.numDims(); ++d)
+                EXPECT_EQ(coords[size_t(d)], topo.coordInDim(id, d));
+        }
+    }
+}
+
+TEST(TopologyProperty, GroupsPartitionTheMachine)
+{
+    Rng rng(43);
+    for (int trial = 0; trial < 50; ++trial) {
+        Topology topo = randomTopology(rng);
+        for (int d = 0; d < topo.numDims(); ++d) {
+            std::set<NpuId> covered;
+            for (NpuId id = 0; id < topo.npus(); ++id) {
+                std::vector<NpuId> group = topo.groupInDim(id, d);
+                EXPECT_EQ(group.size(), size_t(topo.dim(d).size));
+                // The member with coordinate i sits at position i.
+                for (size_t i = 0; i < group.size(); ++i)
+                    EXPECT_EQ(topo.coordInDim(group[i], d), int(i));
+                if (topo.coordInDim(id, d) == 0)
+                    covered.insert(group.begin(), group.end());
+            }
+            EXPECT_EQ(covered.size(), size_t(topo.npus()));
+        }
+    }
+}
+
+TEST(TopologyProperty, StridedFactorsTile)
+{
+    // Any valid (size, stride) factor partitions the dimension into
+    // equally-sized groups covering every NPU exactly once.
+    Topology topo({{BlockType::Switch, 64, 100.0, 100.0}});
+    for (int size : {2, 4, 8, 16, 32, 64}) {
+        for (int stride : {1, 2, 4, 8}) {
+            if (size * stride > 64 || 64 % (size * stride) != 0)
+                continue;
+            GroupDim g = topo.normalizeGroup(GroupDim{0, size, stride});
+            std::map<NpuId, int> member_count;
+            for (NpuId id = 0; id < 64; ++id) {
+                NpuId base = topo.zeroGroup(id, g);
+                EXPECT_EQ(topo.posInGroup(base, g), 0);
+                // Walking size steps returns home.
+                EXPECT_EQ(topo.peerInGroup(id, g, size), id);
+                ++member_count[base];
+            }
+            for (const auto &[base, count] : member_count)
+                EXPECT_EQ(count, size) << "size=" << size
+                                       << " stride=" << stride;
+        }
+    }
+}
+
+TEST(TopologyProperty, HopsAreSymmetricAndBounded)
+{
+    Rng rng(44);
+    for (int trial = 0; trial < 30; ++trial) {
+        Topology topo = randomTopology(rng);
+        int max_hops = 0;
+        for (int d = 0; d < topo.numDims(); ++d) {
+            switch (topo.dim(d).type) {
+              case BlockType::Ring:
+                max_hops += topo.dim(d).size / 2;
+                break;
+              case BlockType::FullyConnected:
+                max_hops += 1;
+                break;
+              case BlockType::Switch:
+                max_hops += 2;
+                break;
+            }
+        }
+        for (int trial2 = 0; trial2 < 20; ++trial2) {
+            NpuId a = static_cast<NpuId>(
+                rng.uniformInt(0, topo.npus() - 1));
+            NpuId b = static_cast<NpuId>(
+                rng.uniformInt(0, topo.npus() - 1));
+            EXPECT_EQ(topo.hopsBetween(a, b), topo.hopsBetween(b, a));
+            EXPECT_LE(topo.hopsBetween(a, b), max_hops);
+            EXPECT_EQ(topo.hopsBetween(a, a), 0);
+        }
+    }
+}
+
+TEST(TopologyProperty, PeerWalksAreCyclic)
+{
+    Rng rng(45);
+    for (int trial = 0; trial < 30; ++trial) {
+        Topology topo = randomTopology(rng);
+        for (int d = 0; d < topo.numDims(); ++d) {
+            NpuId id = static_cast<NpuId>(
+                rng.uniformInt(0, topo.npus() - 1));
+            NpuId cur = id;
+            for (int s = 0; s < topo.dim(d).size; ++s)
+                cur = topo.peerInDim(cur, d, 1);
+            EXPECT_EQ(cur, id);
+        }
+    }
+}
+
+} // namespace
+} // namespace astra

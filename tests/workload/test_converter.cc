@@ -1,0 +1,105 @@
+/** @file Unit tests for the PyTorch-style trace converter (§IV-A). */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/converter.h"
+
+namespace astra {
+namespace {
+
+json::Value
+rankDoc(int rank)
+{
+    std::string doc = R"({
+      "schema": "pytorch-et",
+      "rank": )" + std::to_string(rank) + R"(,
+      "nodes": [
+        {"id": 1, "name": "aten::mm", "op": "compute", "inputs": [],
+         "attrs": {"flops": 2e9, "bytes": 4e6}},
+        {"id": 2, "name": "nccl:all_reduce", "op": "comm",
+         "inputs": [1],
+         "attrs": {"comm_type": "all_reduce", "bytes": 1e8, "pg": 3}},
+        {"id": 3, "name": "nccl:all_to_all", "op": "comm",
+         "inputs": [2],
+         "attrs": {"comm_type": "all_to_all", "bytes": 5e7, "pg": 3}},
+        {"id": 4, "name": "param_load", "op": "memory", "inputs": [1],
+         "attrs": {"bytes": 2e6, "location": "remote", "rw": "load"}}
+      ]
+    })";
+    return json::parse(doc);
+}
+
+TEST(Converter, ConvertsAllNodeKinds)
+{
+    Workload wl = convertPyTorchTraces({rankDoc(0), rankDoc(1)});
+    ASSERT_EQ(wl.graphs.size(), 2u);
+    const auto &nodes = wl.graphs[0].nodes;
+    ASSERT_EQ(nodes.size(), 4u);
+    EXPECT_EQ(nodes[0].type, NodeType::Compute);
+    EXPECT_DOUBLE_EQ(nodes[0].flops, 2e9);
+    EXPECT_EQ(nodes[1].type, NodeType::CommColl);
+    EXPECT_EQ(nodes[1].coll, CollectiveType::AllReduce);
+    EXPECT_EQ(nodes[1].deps, std::vector<int>{1});
+    EXPECT_EQ(nodes[2].coll, CollectiveType::AllToAll);
+    EXPECT_EQ(nodes[3].type, NodeType::Memory);
+    EXPECT_EQ(nodes[3].location, MemLocation::Remote);
+    EXPECT_NO_THROW(validateWorkload(wl, 2));
+}
+
+TEST(Converter, CollectiveKeysMatchAcrossRanks)
+{
+    Workload wl = convertPyTorchTraces({rankDoc(0), rankDoc(1)});
+    // The n-th collective on a process group gets the same key on
+    // every rank, and different collectives get different keys.
+    EXPECT_EQ(wl.graphs[0].nodes[1].commKey,
+              wl.graphs[1].nodes[1].commKey);
+    EXPECT_EQ(wl.graphs[0].nodes[2].commKey,
+              wl.graphs[1].nodes[2].commKey);
+    EXPECT_NE(wl.graphs[0].nodes[1].commKey,
+              wl.graphs[0].nodes[2].commKey);
+}
+
+TEST(Converter, ProcessGroupTableMapsToGroups)
+{
+    ProcessGroups groups;
+    groups[3] = {GroupDim{0, 2, 1}};
+    Workload wl = convertPyTorchTraces({rankDoc(0), rankDoc(1)}, groups);
+    ASSERT_EQ(wl.graphs[0].nodes[1].groups.size(), 1u);
+    EXPECT_EQ(wl.graphs[0].nodes[1].groups[0].size, 2);
+}
+
+TEST(Converter, SendRecvNodes)
+{
+    std::string doc = R"({
+      "schema": "pytorch-et", "rank": 0,
+      "nodes": [
+        {"id": 1, "name": "send", "op": "comm", "inputs": [],
+         "attrs": {"comm_type": "send", "peer": 1, "bytes": 1e6,
+                   "tag": 4}},
+        {"id": 2, "name": "recv", "op": "comm", "inputs": [],
+         "attrs": {"comm_type": "recv", "peer": 1, "tag": 5}}
+      ]
+    })";
+    Workload wl = convertPyTorchTraces({json::parse(doc)});
+    EXPECT_EQ(wl.graphs[0].nodes[0].type, NodeType::CommSend);
+    EXPECT_EQ(wl.graphs[0].nodes[0].peer, 1);
+    EXPECT_EQ(wl.graphs[0].nodes[1].type, NodeType::CommRecv);
+    EXPECT_EQ(wl.graphs[0].nodes[1].tag, 5u);
+}
+
+TEST(Converter, RejectsBadInput)
+{
+    EXPECT_THROW(convertPyTorchTraces({}), FatalError);
+    EXPECT_THROW(
+        convertPyTorchTraces({json::parse(R"({"schema":"x","rank":0})")}),
+        FatalError);
+    // Out-of-order ranks.
+    EXPECT_THROW(convertPyTorchTraces({rankDoc(1)}), FatalError);
+    // Unknown op kind.
+    std::string bad = R"({"schema":"pytorch-et","rank":0,
+        "nodes":[{"id":1,"op":"mystery","inputs":[]}]})";
+    EXPECT_THROW(convertPyTorchTraces({json::parse(bad)}), FatalError);
+}
+
+} // namespace
+} // namespace astra

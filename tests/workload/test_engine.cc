@@ -1,0 +1,194 @@
+/** @file Unit tests for the graph-based execution engine (§IV-A). */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.h"
+#include "event/event_queue.h"
+#include "network/analytical.h"
+#include "workload/engine.h"
+
+namespace astra {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(int ring = 4)
+        : topo({{BlockType::Ring, ring, 100.0, 100.0}}), net(eq, topo),
+          engine(net), mem(LocalMemoryConfig{1000.0, 0.0})
+    {
+        SysConfig cfg;
+        cfg.compute.peakTflops = 100.0; // 1e5 FLOP/ns.
+        cfg.collectiveChunks = 1;
+        for (NpuId n = 0; n < topo.npus(); ++n)
+            sys.push_back(std::make_unique<Sys>(n, cfg, engine, mem));
+    }
+
+    EventQueue eq;
+    Topology topo;
+    AnalyticalNetwork net;
+    CollectiveEngine engine;
+    MemoryModel mem;
+    std::vector<std::unique_ptr<Sys>> sys;
+};
+
+EtNode
+compute(int id, Flops flops, std::vector<int> deps = {})
+{
+    EtNode n;
+    n.id = id;
+    n.type = NodeType::Compute;
+    n.flops = flops;
+    n.deps = std::move(deps);
+    return n;
+}
+
+TEST(ExecutionEngine, RespectsDependencyChains)
+{
+    Fixture f;
+    Workload wl;
+    wl.name = "chain";
+    for (NpuId n = 0; n < 4; ++n) {
+        EtGraph g;
+        g.npu = n;
+        g.nodes = {compute(0, 1e9), compute(1, 1e9, {0}),
+                   compute(2, 1e9, {1})};
+        wl.graphs.push_back(std::move(g));
+    }
+    validateWorkload(wl, 4);
+    ExecutionEngine engine(f.sys, wl);
+    TimeNs finish = engine.run();
+    EXPECT_DOUBLE_EQ(finish, 3e4); // three serialized 10 us ops.
+    EXPECT_TRUE(engine.finished());
+    EXPECT_EQ(engine.completedNodes(), 12u);
+}
+
+TEST(ExecutionEngine, IndependentNodesOverlapAcrossResources)
+{
+    // A compute and a memory node with no dependency overlap.
+    Fixture f;
+    Workload wl;
+    wl.name = "overlap";
+    for (NpuId n = 0; n < 4; ++n) {
+        EtGraph g;
+        g.npu = n;
+        EtNode mem_node;
+        mem_node.id = 1;
+        mem_node.type = NodeType::Memory;
+        mem_node.memBytes = 1e6; // 1 us at 1000 GB/s.
+        g.nodes = {compute(0, 1e9), mem_node};
+        wl.graphs.push_back(std::move(g));
+    }
+    validateWorkload(wl, 4);
+    ExecutionEngine engine(f.sys, wl);
+    TimeNs finish = engine.run();
+    EXPECT_DOUBLE_EQ(finish, 1e4); // memory hidden behind compute.
+}
+
+TEST(ExecutionEngine, CollectiveNodesSynchronizeGroups)
+{
+    Fixture f;
+    Workload wl;
+    wl.name = "coll";
+    uint64_t key = 4242;
+    for (NpuId n = 0; n < 4; ++n) {
+        EtGraph g;
+        g.npu = n;
+        // NPU 0 computes longer before joining; others wait in the
+        // rendezvous.
+        g.nodes = {compute(0, n == 0 ? 2e9 : 1e9)};
+        EtNode coll;
+        coll.id = 1;
+        coll.type = NodeType::CommColl;
+        coll.coll = CollectiveType::AllReduce;
+        coll.commBytes = 4e6;
+        coll.commKey = key;
+        coll.deps = {0};
+        g.nodes.push_back(coll);
+        wl.graphs.push_back(std::move(g));
+    }
+    validateWorkload(wl, 4);
+    ExecutionEngine engine(f.sys, wl);
+    TimeNs finish = engine.run();
+    // Collective starts when the slowest NPU (0) arrives at 20 us.
+    TimeNs coll_time = 2 * 3 * (1e6 / 100.0 + 100.0);
+    EXPECT_NEAR(finish, 2e4 + coll_time, 1e-6);
+}
+
+TEST(ExecutionEngine, PipelineSendRecvAcrossNpus)
+{
+    Fixture f(2);
+    Workload wl;
+    wl.name = "p2p";
+    {
+        EtGraph g0;
+        g0.npu = 0;
+        g0.nodes = {compute(0, 1e9)};
+        EtNode send;
+        send.id = 1;
+        send.type = NodeType::CommSend;
+        send.peer = 1;
+        send.p2pBytes = 1e6;
+        send.tag = 5;
+        send.deps = {0};
+        g0.nodes.push_back(send);
+        wl.graphs.push_back(std::move(g0));
+    }
+    {
+        EtGraph g1;
+        g1.npu = 1;
+        EtNode recv;
+        recv.id = 0;
+        recv.type = NodeType::CommRecv;
+        recv.peer = 0;
+        recv.tag = 5;
+        g1.nodes.push_back(recv);
+        g1.nodes.push_back(compute(1, 1e9, {0}));
+        wl.graphs.push_back(std::move(g1));
+    }
+    validateWorkload(wl, 2);
+    ExecutionEngine engine(f.sys, wl);
+    TimeNs finish = engine.run();
+    // 10us compute + 10us injection + 100ns hop + 10us compute.
+    EXPECT_DOUBLE_EQ(finish, 1e4 + 1e4 + 100.0 + 1e4);
+}
+
+TEST(ExecutionEngine, DeadlockIsAUserError)
+{
+    Fixture f(2);
+    Workload wl;
+    wl.name = "deadlock";
+    for (NpuId n = 0; n < 2; ++n) {
+        EtGraph g;
+        g.npu = n;
+        EtNode recv; // both sides receive; nobody sends.
+        recv.id = 0;
+        recv.type = NodeType::CommRecv;
+        recv.peer = 1 - n;
+        recv.tag = 9;
+        g.nodes.push_back(recv);
+        wl.graphs.push_back(std::move(g));
+    }
+    validateWorkload(wl, 2);
+    ExecutionEngine engine(f.sys, wl);
+    EXPECT_THROW(engine.run(), FatalError);
+}
+
+TEST(ExecutionEngine, EmptyGraphsFinishImmediately)
+{
+    Fixture f;
+    Workload wl;
+    wl.name = "empty";
+    for (NpuId n = 0; n < 4; ++n) {
+        EtGraph g;
+        g.npu = n;
+        wl.graphs.push_back(std::move(g));
+    }
+    validateWorkload(wl, 4);
+    ExecutionEngine engine(f.sys, wl);
+    EXPECT_DOUBLE_EQ(engine.run(), 0.0);
+    EXPECT_TRUE(engine.finished());
+}
+
+} // namespace
+} // namespace astra

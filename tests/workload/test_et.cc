@@ -1,0 +1,103 @@
+/** @file Unit tests for ET graph structures and validation. */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/et.h"
+
+namespace astra {
+namespace {
+
+Workload
+tinyWorkload(int npus)
+{
+    Workload wl;
+    wl.name = "tiny";
+    for (NpuId n = 0; n < npus; ++n) {
+        EtGraph g;
+        g.npu = n;
+        EtNode a;
+        a.id = 0;
+        a.type = NodeType::Compute;
+        a.flops = 1e6;
+        EtNode b;
+        b.id = 1;
+        b.type = NodeType::Compute;
+        b.flops = 1e6;
+        b.deps = {0};
+        g.nodes = {a, b};
+        wl.graphs.push_back(std::move(g));
+    }
+    return wl;
+}
+
+TEST(Et, ValidWorkloadPasses)
+{
+    Workload wl = tinyWorkload(4);
+    EXPECT_NO_THROW(validateWorkload(wl, 4));
+    EXPECT_EQ(wl.totalNodes(), 8u);
+}
+
+TEST(Et, GraphCountMustMatchNpus)
+{
+    Workload wl = tinyWorkload(4);
+    EXPECT_THROW(validateWorkload(wl, 8), FatalError);
+}
+
+TEST(Et, GraphsMustBeInNpuOrder)
+{
+    Workload wl = tinyWorkload(2);
+    std::swap(wl.graphs[0], wl.graphs[1]);
+    EXPECT_THROW(validateWorkload(wl, 2), FatalError);
+}
+
+TEST(Et, DuplicateIdsRejected)
+{
+    Workload wl = tinyWorkload(1);
+    wl.graphs[0].nodes[1].id = 0;
+    EXPECT_THROW(validateWorkload(wl, 1), FatalError);
+}
+
+TEST(Et, MissingDependencyRejected)
+{
+    Workload wl = tinyWorkload(1);
+    wl.graphs[0].nodes[1].deps = {99};
+    EXPECT_THROW(validateWorkload(wl, 1), FatalError);
+}
+
+TEST(Et, SelfDependencyRejected)
+{
+    Workload wl = tinyWorkload(1);
+    wl.graphs[0].nodes[1].deps = {1};
+    EXPECT_THROW(validateWorkload(wl, 1), FatalError);
+}
+
+TEST(Et, CycleRejected)
+{
+    Workload wl = tinyWorkload(1);
+    wl.graphs[0].nodes[0].deps = {1}; // 0 -> 1 -> 0.
+    EXPECT_THROW(validateWorkload(wl, 1), FatalError);
+}
+
+TEST(Et, PeerRangeChecked)
+{
+    Workload wl = tinyWorkload(2);
+    EtNode send;
+    send.id = 2;
+    send.type = NodeType::CommSend;
+    send.peer = 9;
+    wl.graphs[0].nodes.push_back(send);
+    EXPECT_THROW(validateWorkload(wl, 2), FatalError);
+}
+
+TEST(Et, NodeTypeNamesRoundTrip)
+{
+    for (NodeType t : {NodeType::Compute, NodeType::Memory,
+                       NodeType::CommColl, NodeType::CommSend,
+                       NodeType::CommRecv}) {
+        EXPECT_EQ(parseNodeType(nodeTypeName(t)), t);
+    }
+    EXPECT_THROW(parseNodeType("bogus"), FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,136 @@
+/** @file Unit tests for ET JSON (de)serialization. */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/builders.h"
+#include "workload/et_json.h"
+
+namespace astra {
+namespace {
+
+Workload
+richWorkload()
+{
+    Workload wl;
+    wl.name = "rich";
+    for (NpuId n = 0; n < 2; ++n) {
+        EtGraph g;
+        g.npu = n;
+
+        EtNode c;
+        c.id = 0;
+        c.type = NodeType::Compute;
+        c.name = "fwd";
+        c.flops = 1.5e9;
+        c.tensorBytes = 3e6;
+
+        EtNode m;
+        m.id = 1;
+        m.type = NodeType::Memory;
+        m.location = MemLocation::Remote;
+        m.memOp = MemOp::Store;
+        m.memBytes = 2e6;
+        m.fused = true;
+        m.deps = {0};
+
+        EtNode coll;
+        coll.id = 2;
+        coll.type = NodeType::CommColl;
+        coll.coll = CollectiveType::ReduceScatter;
+        coll.commBytes = 8e6;
+        coll.commKey = 991;
+        coll.groups = {GroupDim{0, 2, 1}};
+        coll.deps = {0, 1};
+
+        EtNode send;
+        send.id = 3;
+        send.type = NodeType::CommSend;
+        send.peer = 1 - n;
+        send.p2pBytes = 5e5;
+        send.tag = 17;
+        send.deps = {2};
+
+        EtNode recv;
+        recv.id = 4;
+        recv.type = NodeType::CommRecv;
+        recv.peer = 1 - n;
+        recv.tag = 17;
+        recv.deps = {2};
+
+        g.nodes = {c, m, coll, send, recv};
+        wl.graphs.push_back(std::move(g));
+    }
+    return wl;
+}
+
+TEST(EtJson, RoundTripPreservesEverything)
+{
+    Workload wl = richWorkload();
+    Workload back = workloadFromJson(workloadToJson(wl));
+    ASSERT_EQ(back.graphs.size(), wl.graphs.size());
+    EXPECT_EQ(back.name, wl.name);
+    for (size_t g = 0; g < wl.graphs.size(); ++g) {
+        ASSERT_EQ(back.graphs[g].nodes.size(), wl.graphs[g].nodes.size());
+        for (size_t i = 0; i < wl.graphs[g].nodes.size(); ++i) {
+            const EtNode &a = wl.graphs[g].nodes[i];
+            const EtNode &b = back.graphs[g].nodes[i];
+            EXPECT_EQ(a.id, b.id);
+            EXPECT_EQ(a.type, b.type);
+            EXPECT_EQ(a.deps, b.deps);
+            EXPECT_DOUBLE_EQ(a.flops, b.flops);
+            EXPECT_DOUBLE_EQ(a.tensorBytes, b.tensorBytes);
+            EXPECT_EQ(a.location, b.location);
+            EXPECT_EQ(a.memOp, b.memOp);
+            EXPECT_DOUBLE_EQ(a.memBytes, b.memBytes);
+            EXPECT_EQ(a.fused, b.fused);
+            EXPECT_EQ(a.coll, b.coll);
+            EXPECT_DOUBLE_EQ(a.commBytes, b.commBytes);
+            EXPECT_EQ(a.commKey, b.commKey);
+            ASSERT_EQ(a.groups.size(), b.groups.size());
+            for (size_t k = 0; k < a.groups.size(); ++k) {
+                EXPECT_EQ(a.groups[k].dim, b.groups[k].dim);
+                EXPECT_EQ(a.groups[k].size, b.groups[k].size);
+                EXPECT_EQ(a.groups[k].stride, b.groups[k].stride);
+            }
+            EXPECT_EQ(a.peer, b.peer);
+            EXPECT_DOUBLE_EQ(a.p2pBytes, b.p2pBytes);
+            EXPECT_EQ(a.tag, b.tag);
+        }
+    }
+}
+
+TEST(EtJson, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/astra_et_test.json";
+    Workload wl = richWorkload();
+    saveWorkload(path, wl);
+    Workload back = loadWorkload(path);
+    EXPECT_EQ(workloadToJson(back).dump(), workloadToJson(wl).dump());
+}
+
+TEST(EtJson, BuilderWorkloadsRoundTrip)
+{
+    Topology topo({{BlockType::Ring, 2, 100.0, 100.0},
+                   {BlockType::Switch, 2, 50.0, 100.0}});
+    HybridOptions opts;
+    opts.mp = 2;
+    Workload wl =
+        buildHybridTransformer(topo, gpt3(), opts);
+    Workload back = workloadFromJson(workloadToJson(wl));
+    EXPECT_EQ(workloadToJson(back).dump(), workloadToJson(wl).dump());
+    EXPECT_NO_THROW(validateWorkload(back, topo.npus()));
+}
+
+TEST(EtJson, RejectsWrongSchema)
+{
+    EXPECT_THROW(
+        workloadFromJson(json::parse(R"({"schema":"pytorch-et"})")),
+        FatalError);
+    EXPECT_THROW(workloadFromJson(json::parse(
+                     R"({"schema":"astra-sim-et-v2","npus":2,
+                         "graphs":[]})")),
+                 FatalError);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,51 @@
+/** @file Unit tests for the model zoo (Table III). */
+#include <gtest/gtest.h>
+
+#include "workload/models.h"
+
+namespace astra {
+namespace {
+
+TEST(Models, TableThreeParameters)
+{
+    EXPECT_DOUBLE_EQ(dlrm().params, 57e6);      // 57M MLP params.
+    EXPECT_DOUBLE_EQ(gpt3().params, 175e9);     // 175B.
+    EXPECT_DOUBLE_EQ(transformer1T().params, 1e12);
+    EXPECT_DOUBLE_EQ(moe1T().params, 1e12);
+}
+
+TEST(Models, CoarseningPreservesTotals)
+{
+    ModelDesc m = gpt3();
+    double full_flops = 2.0 * m.params * m.tokensPerBatch;
+    // Summed over coarsened layers the totals are identical.
+    double coarsened =
+        2.0 * m.paramsPerLayer() * m.tokensPerBatch * m.effectiveLayers();
+    EXPECT_NEAR(coarsened, full_flops, full_flops * 1e-12);
+}
+
+TEST(Models, EffectiveLayersDefaultsToLayers)
+{
+    ModelDesc m;
+    m.layers = 24;
+    m.simLayers = 0;
+    EXPECT_EQ(m.effectiveLayers(), 24);
+    m.simLayers = 6;
+    EXPECT_EQ(m.effectiveLayers(), 6);
+}
+
+TEST(Models, DlrmHasEmbeddingExchange)
+{
+    EXPECT_GT(dlrm().embeddingExchangeBytes, 0.0);
+    EXPECT_DOUBLE_EQ(gpt3().embeddingExchangeBytes, 0.0);
+}
+
+TEST(Models, MoeActivatesFractionOfParams)
+{
+    ModelDesc m = moe1T();
+    EXPECT_GT(m.activeParamFraction, 0.0);
+    EXPECT_LT(m.activeParamFraction, 0.2);
+}
+
+} // namespace
+} // namespace astra
