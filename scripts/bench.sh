@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build the Release bench targets and record the event-core perf
+# trajectory: runs bench_eventcore (micro) and the bench_speedup
+# one-shot section (§IV-C anchor), writing machine-readable results to
+# BENCH_eventcore.json at the repo root so numbers are comparable
+# across PRs (same machine assumed).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_eventcore.json}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+      --target bench_eventcore bench_speedup
+
+"./$BUILD_DIR/bench_eventcore" --json "$OUT"
+
+echo
+# One-shot speedup section only (skip the google-benchmark loops).
+"./$BUILD_DIR/bench_speedup" --benchmark_filter='^DISABLED_none$' ||
+    true
+
+echo
+echo "results written to $OUT"

@@ -23,6 +23,59 @@ CollectiveEngine::groupBase(NpuId npu,
     return base;
 }
 
+int
+CollectiveEngine::rankOf(const Instance &inst, NpuId npu) const
+{
+    int rank = 0;
+    int mult = 1;
+    for (const GroupDim &g : inst.groups) {
+        rank += topo_.posInGroup(npu, g) * mult;
+        mult *= g.size;
+    }
+    return rank;
+}
+
+uint64_t
+CollectiveEngine::allocInstance()
+{
+    uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<uint32_t>(instances_.size());
+        instances_.emplace_back();
+    }
+    Instance &inst = instances_[slot];
+    ++inst.gen;
+    inst.id = static_cast<uint64_t>(slot) |
+              (static_cast<uint64_t>(inst.gen) << 32);
+    return inst.id;
+}
+
+CollectiveEngine::Instance *
+CollectiveEngine::findInstance(uint64_t id)
+{
+    uint32_t slot = static_cast<uint32_t>(id);
+    if (slot >= instances_.size())
+        return nullptr;
+    Instance &inst = instances_[slot];
+    return inst.id == id ? &inst : nullptr;
+}
+
+void
+CollectiveEngine::releaseInstance(Instance &inst)
+{
+    ++completedInstances_;
+    uint32_t slot = static_cast<uint32_t>(inst.id);
+    inst.id = 0;
+    // Clears keep the top-level capacities (and the per-member nested
+    // vectors) alive for the next instance in this slot.
+    inst.chunkPhases.clear();
+    inst.chunkPhaseMult.clear();
+    freeSlots_.push_back(slot);
+}
+
 void
 CollectiveEngine::join(uint64_t key, NpuId npu, const CollectiveRequest &req,
                        EventCallback on_complete)
@@ -34,30 +87,40 @@ CollectiveEngine::join(uint64_t key, NpuId npu, const CollectiveRequest &req,
 
     NpuId base = groupBase(npu, groups);
     auto [it, inserted] =
-        instanceIds_.try_emplace({key, base}, nextInstance_);
+        rendezvous_.try_emplace(RendezvousKey{key, base}, 0);
     if (inserted) {
-        Instance &created = instances_[nextInstance_];
-        created.id = nextInstance_;
-        ++nextInstance_;
+        it->second = allocInstance();
+        Instance &created = *findInstance(it->second);
         created.req = req;
-        created.groups = groups;
+        created.groups = std::move(groups);
         created.groupSize = 1;
-        for (const GroupDim &g : groups)
+        for (const GroupDim &g : created.groups)
             created.groupSize *= g.size;
+        created.joinedMembers = 0;
+        created.completedMembers = 0;
+        created.members.resize(static_cast<size_t>(created.groupSize));
+        for (MemberState &m : created.members) {
+            m.joined = false;
+            m.chunksDone = 0;
+        }
+        created.npuOfRank.assign(static_cast<size_t>(created.groupSize),
+                                 -1);
     }
-    Instance &inst = instances_.at(it->second);
+    Instance &inst = *findInstance(it->second);
 
-    ASTRA_ASSERT(!inst.members.count(npu),
-                 "NPU %d joined collective %llu twice", npu,
-                 static_cast<unsigned long long>(key));
-    MemberState &member = inst.members[npu];
+    size_t rank = static_cast<size_t>(rankOf(inst, npu));
+    MemberState &member = inst.members[rank];
+    ASTRA_ASSERT(!member.joined, "NPU %d joined collective %llu twice",
+                 npu, static_cast<unsigned long long>(key));
+    member.joined = true;
     member.onComplete = std::move(on_complete);
     member.chunks.assign(static_cast<size_t>(req.chunks), ChunkState{});
+    inst.npuOfRank[rank] = npu;
 
-    if (static_cast<int>(inst.members.size()) == inst.groupSize) {
+    if (++inst.joinedMembers == inst.groupSize) {
         // Last member arrived: the group is synchronized; release the
         // rendezvous key (allowing the same key to be reused) and go.
-        instanceIds_.erase(it);
+        rendezvous_.erase(it);
         start(inst);
     }
 }
@@ -78,29 +141,58 @@ CollectiveEngine::start(Instance &inst)
                         inst.req.treeAllReduce));
     }
 
+    // Precompute each phase's rank-space multiplier (the radix weight
+    // of its group factor within `groups`), so the per-message path
+    // turns ranks into phase positions with one div/mod.
+    inst.chunkPhaseMult.resize(inst.chunkPhases.size());
+    for (size_t c = 0; c < inst.chunkPhases.size(); ++c) {
+        const std::vector<Phase> &phases = inst.chunkPhases[c];
+        std::vector<int> &mults = inst.chunkPhaseMult[c];
+        mults.assign(phases.size(), 1);
+        for (size_t p = 0; p < phases.size(); ++p) {
+            const GroupDim &pg = phases[p].group;
+            int mult = 1;
+            bool found = false;
+            for (const GroupDim &g : inst.groups) {
+                if (g.dim == pg.dim && g.size == pg.size &&
+                    g.stride == pg.stride) {
+                    found = true;
+                    break;
+                }
+                mult *= g.size;
+            }
+            ASTRA_ASSERT(found, "phase group is not an instance factor");
+            mults[p] = mult;
+        }
+    }
+
     // Size the early-arrival buffers now that phase lists exist.
-    for (auto &[npu, member] : inst.members) {
+    for (MemberState &member : inst.members) {
         for (int c = 0; c < inst.req.chunks; ++c) {
             member.chunks[static_cast<size_t>(c)].early.assign(
                 inst.chunkPhases[static_cast<size_t>(c)].size(), 0);
         }
     }
 
-    // Kick every (member, chunk) state machine. Chunks all enter their
-    // first phase now; pipelining across phases emerges from transmit
-    // port serialization in the backend.
+    // Kick every (member, chunk) state machine in ascending NPU-id
+    // order. Chunks all enter their first phase now; pipelining across
+    // phases emerges from transmit port serialization in the backend.
     uint64_t id = inst.id;
-    std::vector<NpuId> npus;
-    npus.reserve(inst.members.size());
-    for (const auto &[npu, member] : inst.members)
-        npus.push_back(npu);
+    kickScratch_.resize(inst.npuOfRank.size());
+    for (size_t r = 0; r < kickScratch_.size(); ++r)
+        kickScratch_[r] = static_cast<int>(r);
+    std::sort(kickScratch_.begin(), kickScratch_.end(),
+              [&inst](int a, int b) {
+                  return inst.npuOfRank[static_cast<size_t>(a)] <
+                         inst.npuOfRank[static_cast<size_t>(b)];
+              });
     int kick = inst.req.serializeChunks ? 1 : inst.req.chunks;
-    for (NpuId npu : npus) {
+    for (int rank : kickScratch_) {
         for (int c = 0; c < kick; ++c) {
-            auto it = instances_.find(id);
-            if (it == instances_.end())
+            Instance *live = findInstance(id);
+            if (live == nullptr)
                 return; // degenerate instance completed synchronously.
-            advance(it->second, npu, c);
+            advance(*live, rank, c);
         }
     }
 }
@@ -149,9 +241,9 @@ CollectiveEngine::totalSends(const Phase &ph, int pos) const
 }
 
 void
-CollectiveEngine::advance(Instance &inst, NpuId npu, int chunk)
+CollectiveEngine::advance(Instance &inst, int rank, int chunk)
 {
-    MemberState &member = inst.members.at(npu);
+    MemberState &member = inst.members[static_cast<size_t>(rank)];
     ChunkState &st = member.chunks[static_cast<size_t>(chunk)];
     st.started = true;
     const std::vector<Phase> &phases =
@@ -163,46 +255,45 @@ CollectiveEngine::advance(Instance &inst, NpuId npu, int chunk)
             member.chunksDone < inst.req.chunks) {
             // Conservative scheduler: the member's next chunk enters
             // the pipeline only now.
-            advance(inst, npu, member.chunksDone);
+            advance(inst, rank, member.chunksDone);
             return;
         }
         if (member.chunksDone == inst.req.chunks) {
             if (member.onComplete) {
                 // Deferred through the queue: the callback may join the
                 // NPU to its next collective, which would otherwise
-                // mutate instances_ under our feet.
+                // mutate the instance table under our feet.
                 net_.simSchedule(0.0, std::move(member.onComplete));
             }
             ++inst.completedMembers;
-            if (inst.completedMembers ==
-                static_cast<int>(inst.members.size())) {
-                ++completedInstances_;
-                instances_.erase(inst.id);
-            }
+            if (inst.completedMembers == inst.groupSize)
+                releaseInstance(inst);
         }
         return;
     }
     st.sent = 0;
     st.recvd = st.early[st.phase];
-    pump(inst, npu, chunk);
+    pump(inst, rank, chunk);
 }
 
 void
-CollectiveEngine::pump(Instance &inst, NpuId npu, int chunk)
+CollectiveEngine::pump(Instance &inst, int rank, int chunk)
 {
-    MemberState &member = inst.members.at(npu);
+    MemberState &member = inst.members[static_cast<size_t>(rank)];
     ChunkState &st = member.chunks[static_cast<size_t>(chunk)];
     const Phase &ph =
         inst.chunkPhases[static_cast<size_t>(chunk)][st.phase];
+    int mult =
+        inst.chunkPhaseMult[static_cast<size_t>(chunk)][st.phase];
 
-    int pos = topo_.posInGroup(npu, ph.group);
+    int pos = (rank / mult) % ph.group.size;
     int sends = totalSends(ph, pos);
     switch (ph.algorithm) {
       case PhaseAlgorithm::Ring:
       case PhaseAlgorithm::HalvingDoubling:
         // Step s may go out once step s-1's message has arrived.
         while (st.sent < sends && st.sent <= st.recvd) {
-            sendStep(inst, npu, chunk, ph, st.sent);
+            sendStep(inst, rank, chunk, ph, mult, st.sent);
             ++st.sent;
         }
         break;
@@ -210,7 +301,7 @@ CollectiveEngine::pump(Instance &inst, NpuId npu, int chunk)
         // One-shot: fire all peer messages; the transmit port
         // serializes them at the dimension's aggregate bandwidth.
         while (st.sent < sends) {
-            sendStep(inst, npu, chunk, ph, st.sent);
+            sendStep(inst, rank, chunk, ph, mult, st.sent);
             ++st.sent;
         }
         break;
@@ -219,7 +310,7 @@ CollectiveEngine::pump(Instance &inst, NpuId npu, int chunk)
         // Forward only once the whole subtree/parent input arrived.
         if (st.recvd == expectedRecvs(ph, pos)) {
             while (st.sent < sends) {
-                sendStep(inst, npu, chunk, ph, st.sent);
+                sendStep(inst, rank, chunk, ph, mult, st.sent);
                 ++st.sent;
             }
         }
@@ -228,82 +319,81 @@ CollectiveEngine::pump(Instance &inst, NpuId npu, int chunk)
 
     if (st.recvd == expectedRecvs(ph, pos) && st.sent == sends) {
         ++st.phase;
-        advance(inst, npu, chunk);
+        advance(inst, rank, chunk);
     }
 }
 
 void
-CollectiveEngine::sendStep(Instance &inst, NpuId npu, int chunk,
-                           const Phase &ph, int step)
+CollectiveEngine::sendStep(Instance &inst, int rank, int chunk,
+                           const Phase &ph, int mult, int step)
 {
     int k = ph.group.size;
-    NpuId dst = npu;
+    int pos = (rank / mult) % k;
+    int peer_pos = pos;
     Bytes bytes = 0.0;
 
     switch (ph.algorithm) {
       case PhaseAlgorithm::Ring:
-        dst = topo_.peerInGroup(npu, ph.group, 1);
+        peer_pos = (pos + 1) % k;
         bytes = ph.tensorBytes / double(k);
         break;
       case PhaseAlgorithm::Direct:
-        dst = topo_.peerInGroup(npu, ph.group, step + 1);
+        peer_pos = (pos + step + 1) % k;
         bytes = ph.tensorBytes / double(k);
         break;
-      case PhaseAlgorithm::HalvingDoubling: {
-        int pos = topo_.posInGroup(npu, ph.group);
-        int partner_pos;
+      case PhaseAlgorithm::HalvingDoubling:
         if (ph.op == PhaseOp::AllGather) {
             // Recursive doubling: distances 1, 2, ..., k/2 with
             // message sizes tensor/k, 2*tensor/k, ..., tensor/2.
-            partner_pos = pos ^ (1 << step);
+            peer_pos = pos ^ (1 << step);
             bytes = ph.tensorBytes * double(1 << step) / double(k);
         } else {
             // Recursive halving: distances k/2, ..., 1 with message
             // sizes tensor/2, tensor/4, ..., tensor/k.
-            partner_pos = pos ^ (k >> (step + 1));
+            peer_pos = pos ^ (k >> (step + 1));
             bytes = ph.tensorBytes / double(2 << step);
         }
-        dst = topo_.peerInGroup(npu, ph.group, partner_pos - pos);
         break;
-      }
-      case PhaseAlgorithm::TreeReduce: {
+      case PhaseAlgorithm::TreeReduce:
         // Full partial sums travel up to the parent.
-        int pos = topo_.posInGroup(npu, ph.group);
-        int parent = (pos - 1) / 2;
-        dst = topo_.peerInGroup(npu, ph.group, parent - pos);
+        peer_pos = (pos - 1) / 2;
         bytes = ph.tensorBytes;
         break;
-      }
-      case PhaseAlgorithm::TreeBroadcast: {
-        int pos = topo_.posInGroup(npu, ph.group);
-        int child = 2 * pos + 1 + step;
-        dst = topo_.peerInGroup(npu, ph.group, child - pos);
+      case PhaseAlgorithm::TreeBroadcast:
+        peer_pos = 2 * pos + 1 + step;
         bytes = ph.tensorBytes;
         break;
-      }
     }
+
+    int dst_rank = rank + (peer_pos - pos) * mult;
+    NpuId src = inst.npuOfRank[static_cast<size_t>(rank)];
+    NpuId dst = inst.npuOfRank[static_cast<size_t>(dst_rank)];
 
     sent_[static_cast<size_t>(ph.group.dim)] += bytes;
     uint64_t inst_id = inst.id;
-    MemberState &member = inst.members.at(npu);
-    size_t phase_idx = member.chunks[static_cast<size_t>(chunk)].phase;
+    size_t phase_idx = inst.members[static_cast<size_t>(rank)]
+                           .chunks[static_cast<size_t>(chunk)]
+                           .phase;
     SendHandlers handlers;
-    handlers.onDelivered = [this, inst_id, dst, chunk, phase_idx]() {
-        onMessage(inst_id, dst, chunk, phase_idx);
+    // [this, 2 ids, 2 ints]: fits InlineEvent's inline buffer, so the
+    // per-message delivery closure never allocates; capturing the
+    // destination *rank* makes delivery a pure array walk.
+    handlers.onDelivered = [this, inst_id, dst_rank, chunk, phase_idx]() {
+        onMessage(inst_id, dst_rank, chunk, phase_idx);
     };
-    net_.simSend(npu, dst, bytes, ph.group.dim, kNoTag,
+    net_.simSend(src, dst, bytes, ph.group.dim, kNoTag,
                  std::move(handlers));
 }
 
 void
-CollectiveEngine::onMessage(uint64_t inst_id, NpuId npu, int chunk,
+CollectiveEngine::onMessage(uint64_t inst_id, int rank, int chunk,
                             size_t phase_idx)
 {
-    auto it = instances_.find(inst_id);
-    ASTRA_ASSERT(it != instances_.end(),
+    Instance *found = findInstance(inst_id);
+    ASTRA_ASSERT(found != nullptr,
                  "message for retired collective instance");
-    Instance &inst = it->second;
-    MemberState &member = inst.members.at(npu);
+    Instance &inst = *found;
+    MemberState &member = inst.members[static_cast<size_t>(rank)];
     ChunkState &st = member.chunks[static_cast<size_t>(chunk)];
     if (!st.started || phase_idx != st.phase) {
         // The sender's rail ran ahead of this member (possibly into a
@@ -316,7 +406,7 @@ CollectiveEngine::onMessage(uint64_t inst_id, NpuId npu, int chunk,
         return;
     }
     ++st.recvd;
-    pump(inst, npu, chunk);
+    pump(inst, rank, chunk);
 }
 
 CollectiveRunResult

@@ -15,12 +15,19 @@
  * Per-NPU completion fires when that NPU has finished its part of
  * every chunk, which lets the workload layer overlap subsequent
  * compute with stragglers exactly like the real system layer.
+ *
+ * Hot-path layout (see docs/eventcore.md): member and chunk state live
+ * in dense vectors indexed by the member's group-local rank (the mixed
+ * radix over the instance's group factors), not in per-NPU maps, so
+ * the per-message bookkeeping on delivery is a couple of array
+ * indexings. Retired instances are recycled through a free list; ids
+ * carry a generation tag so a message addressed to a retired instance
+ * is still detected.
  */
 #ifndef ASTRA_COLLECTIVE_ENGINE_H_
 #define ASTRA_COLLECTIVE_ENGINE_H_
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +69,10 @@ class CollectiveEngine
     /** Number of collective instances that ran to completion. */
     uint64_t completedInstances() const { return completedInstances_; }
 
+    /** Instance slots currently allocated (live + recyclable); exposed
+     *  so tests can verify free-list recycling. */
+    size_t instanceSlots() const { return instances_.size(); }
+
   private:
     struct ChunkState
     {
@@ -80,32 +91,78 @@ class CollectiveEngine
     struct MemberState
     {
         EventCallback onComplete;
+        bool joined = false;
         int chunksDone = 0;
         std::vector<ChunkState> chunks;
     };
 
     struct Instance
     {
+        /** slot | (generation << 32); 0 while the slot is free. */
         uint64_t id = 0;
+        uint32_t gen = 0;
         CollectiveRequest req;
         std::vector<GroupDim> groups; //!< normalized factors.
         int groupSize = 1;
-        std::vector<std::vector<Phase>> chunkPhases;
-        std::unordered_map<NpuId, MemberState> members;
+        int joinedMembers = 0;
         int completedMembers = 0;
+        std::vector<std::vector<Phase>> chunkPhases;
+        /** chunkPhaseMult[c][p]: rank-space multiplier of chunk c,
+         *  phase p's group factor (product of the sizes of the group
+         *  factors before it in `groups`), so a member's position in
+         *  the phase group is `(rank / mult) % group.size` — no
+         *  coordinate arithmetic on the per-message path. */
+        std::vector<std::vector<int>> chunkPhaseMult;
+        /** Dense member state, indexed by group-local rank. */
+        std::vector<MemberState> members;
+        /** rank -> NPU id (for sends and the deterministic kick
+         *  order). */
+        std::vector<NpuId> npuOfRank;
+    };
+
+    /** Rendezvous key: (caller key, canonical group representative). */
+    struct RendezvousKey
+    {
+        uint64_t key;
+        NpuId base;
+        bool operator==(const RendezvousKey &) const = default;
+    };
+    struct RendezvousHash
+    {
+        size_t
+        operator()(const RendezvousKey &k) const
+        {
+            uint64_t h = k.key ^ (static_cast<uint64_t>(
+                                      static_cast<uint32_t>(k.base)) *
+                                  0x9e3779b97f4a7c15ULL);
+            h ^= h >> 33;
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 33;
+            return static_cast<size_t>(h);
+        }
     };
 
     /** Group canonical representative: `npu` with all participating
      *  group positions zeroed. */
     NpuId groupBase(NpuId npu, const std::vector<GroupDim> &groups) const;
 
+    /** Dense group-local rank: mixed radix over the group factors. */
+    int rankOf(const Instance &inst, NpuId npu) const;
+
+    uint64_t allocInstance();
+    Instance *findInstance(uint64_t id);
+    void releaseInstance(Instance &inst);
+
     void start(Instance &inst);
-    void advance(Instance &inst, NpuId npu, int chunk);
-    void pump(Instance &inst, NpuId npu, int chunk);
-    void onMessage(uint64_t inst_id, NpuId npu, int chunk,
+    // The per-message state machine runs entirely in rank space: the
+    // member's dense rank is computed once per external event and
+    // passed through; peers are rank deltas resolved via npuOfRank.
+    void advance(Instance &inst, int rank, int chunk);
+    void pump(Instance &inst, int rank, int chunk);
+    void onMessage(uint64_t inst_id, int rank, int chunk,
                    size_t phase_idx);
-    void sendStep(Instance &inst, NpuId npu, int chunk, const Phase &ph,
-                  int step);
+    void sendStep(Instance &inst, int rank, int chunk, const Phase &ph,
+                  int mult, int step);
     /** Per-member counts; tree algorithms depend on the member's
      *  position in the group (root / internal / leaf). */
     int expectedRecvs(const Phase &ph, int pos) const;
@@ -117,9 +174,11 @@ class CollectiveEngine
     const Topology &topo_;
     CollectiveScheduler scheduler_;
     std::vector<double> sent_;
-    std::map<std::pair<uint64_t, NpuId>, uint64_t> instanceIds_;
-    std::unordered_map<uint64_t, Instance> instances_;
-    uint64_t nextInstance_ = 1;
+    std::unordered_map<RendezvousKey, uint64_t, RendezvousHash>
+        rendezvous_;
+    std::vector<Instance> instances_; //!< slot-indexed, recycled.
+    std::vector<uint32_t> freeSlots_;
+    std::vector<int> kickScratch_;    //!< reused by start().
     uint64_t completedInstances_ = 0;
 };
 

@@ -32,6 +32,25 @@ constexpr TimeNs kUs = 1e3;
 constexpr TimeNs kMs = 1e6;
 constexpr TimeNs kSec = 1e9;
 
+/**
+ * Tolerance for time comparisons across the whole simulator.
+ *
+ * TimeNs is a double: chained bandwidth/latency arithmetic (transmit
+ * port accounting, phase time sums) accumulates last-bit rounding, so
+ * "is `a` at or after `b`" checks must allow a sub-ns slack instead of
+ * comparing exactly. Every component (EventQueue past-time check,
+ * AnalyticalNetwork transmit-port accounting, ...) uses this one
+ * constant so the tolerance cannot silently diverge between layers.
+ */
+constexpr TimeNs kTimeEpsNs = 1e-9;
+
+/** True when `a` is at or after `b`, within kTimeEpsNs slack. */
+constexpr bool
+timeNotBefore(TimeNs a, TimeNs b)
+{
+    return a + kTimeEpsNs >= b;
+}
+
 /** Serialization delay of `bytes` over a link of `bw` GB/s, in ns. */
 constexpr TimeNs
 txTime(Bytes bytes, GBps bw)

@@ -1,10 +1,31 @@
 #include "event/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace astra {
+
+EventQueue::EventQueue(TimeNs bucket_width)
+    : bucketWidth_(bucket_width), invWidth_(1.0 / bucket_width)
+{
+    ASTRA_ASSERT(bucket_width > 0.0, "bucket width must be positive");
+}
+
+bool
+EventQueue::entryBefore(const Entry &a, const Entry &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    return a.seq < b.seq;
+}
+
+bool
+EventQueue::entryAfter(const Entry &a, const Entry &b)
+{
+    return entryBefore(b, a);
+}
 
 void
 EventQueue::schedule(TimeNs delay, EventCallback cb)
@@ -16,32 +37,172 @@ EventQueue::schedule(TimeNs delay, EventCallback cb)
 void
 EventQueue::scheduleAt(TimeNs when, EventCallback cb)
 {
-    ASTRA_ASSERT(when + 1e-9 >= now_,
+    ASTRA_ASSERT(timeNotBefore(when, now_),
                  "event scheduled in the past (when=%g now=%g)", when, now_);
-    heap_.push(Entry{std::max(when, now_), seq_++, std::move(cb)});
+    ++pending_;
+    if (when <= now_) {
+        // At (or within tolerance of) the current time: FIFO order is
+        // (time, insertion) order for equal timestamps. O(1), and by
+        // far the hottest scheduling path (zero-delay deferrals).
+        nowFifo_.push_back(std::move(cb));
+        return;
+    }
+    int64_t tick = tickOf(when);
+    if (tick < baseTick_)
+        rebaseWindow(tick);
+    Entry e{when, seq_++, std::move(cb)};
+    if (tick >= baseTick_ + static_cast<int64_t>(kNumBuckets)) {
+        overflow_.push_back(std::move(e));
+        std::push_heap(overflow_.begin(), overflow_.end(), entryAfter);
+        return;
+    }
+    std::vector<Entry> &bucket = bucketAt(tick);
+    if (tick == baseTick_ && activeSorted_) {
+        // Insert into the live (sorted) bucket at its ordered slot.
+        auto pos = std::upper_bound(bucket.begin() +
+                                        static_cast<ptrdiff_t>(activeHead_),
+                                    bucket.end(), e, entryBefore);
+        bucket.insert(pos, std::move(e));
+    } else {
+        bucket.push_back(std::move(e));
+    }
+    ++windowCount_;
 }
 
 void
-EventQueue::pop(Entry &out)
+EventQueue::rebaseWindow(int64_t tick)
 {
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately afterwards.
-    out = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
+    // A new event lands below the window base. This can only happen
+    // when runUntil() stopped inside a gap: ensureNext() had already
+    // advanced the window to the next pending event's tick (beyond
+    // `until`), and the caller then scheduled between `until` and that
+    // event. No event of the current base bucket has executed in that
+    // state (executing one would have pulled now_ — and so every later
+    // schedule — up to baseTick_), so the window holds no moved-out
+    // entries and can be spilled wholesale.
+    ASTRA_ASSERT(activeHead_ == 0, "rebase with a part-drained bucket");
+    if (windowCount_ > 0) {
+        for (std::vector<Entry> &bucket : buckets_) {
+            for (Entry &e : bucket) {
+                overflow_.push_back(std::move(e));
+                std::push_heap(overflow_.begin(), overflow_.end(),
+                               entryAfter);
+            }
+            bucket.clear();
+        }
+        windowCount_ = 0;
+    }
+    baseTick_ = tick;
+    activeSorted_ = false;
+}
+
+void
+EventQueue::activate(int64_t tick)
+{
+    baseTick_ = tick;
+    // Overflow entries that fall inside the re-based window migrate to
+    // their buckets now, so the window invariant (overflow holds only
+    // ticks >= baseTick_ + kNumBuckets) is restored before any pop.
+    const int64_t limit = tick + static_cast<int64_t>(kNumBuckets);
+    while (!overflow_.empty() && tickOf(overflow_.front().when) < limit) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), entryAfter);
+        Entry e = std::move(overflow_.back());
+        overflow_.pop_back();
+        bucketAt(tickOf(e.when)).push_back(std::move(e));
+        ++windowCount_;
+    }
+    std::vector<Entry> &bucket = bucketAt(tick);
+    std::sort(bucket.begin(), bucket.end(), entryBefore);
+    activeHead_ = 0;
+    activeSorted_ = true;
+}
+
+bool
+EventQueue::ensureNext()
+{
+    if (nowHead_ < nowFifo_.size())
+        return true;
+    if (nowHead_ != 0) {
+        nowFifo_.clear();
+        nowHead_ = 0;
+    }
+    if (pending_ == 0)
+        return false;
+
+    std::vector<Entry> &active = bucketAt(baseTick_);
+    if (activeHead_ < active.size()) {
+        if (!activeSorted_)
+            activate(baseTick_);
+        return true;
+    }
+    if (!active.empty()) {
+        active.clear();
+        activeHead_ = 0;
+        activeSorted_ = false;
+    }
+
+    // Advance the window to the next live tick. Window entries always
+    // precede overflow entries (overflow ticks lie beyond the window),
+    // so scan the ring first and fall back to the overflow heap.
+    int64_t next;
+    if (windowCount_ > 0) {
+        int64_t tick = baseTick_ + 1;
+        while (bucketAt(tick).empty())
+            ++tick;
+        next = tick;
+    } else {
+        ASTRA_ASSERT(!overflow_.empty(), "pending events lost");
+        next = tickOf(overflow_.front().when);
+    }
+    activate(next);
+    return true;
+}
+
+TimeNs
+EventQueue::nextTime()
+{
+    if (nowHead_ < nowFifo_.size())
+        return now_;
+    return bucketAt(baseTick_)[activeHead_].when;
+}
+
+InlineEvent
+EventQueue::popNext()
+{
+    if (nowHead_ < nowFifo_.size())
+        return std::move(nowFifo_[nowHead_++]);
+
+    std::vector<Entry> &active = bucketAt(baseTick_);
+    TimeNs t = active[activeHead_].when;
+    now_ = t;
+    // Move the whole equal-time run into the FIFO: entries scheduled
+    // *during* its execution at time t (strictly higher seq) then
+    // naturally queue behind it, preserving (time, seq) order.
+    while (activeHead_ < active.size() && active[activeHead_].when == t) {
+        nowFifo_.push_back(std::move(active[activeHead_].cb));
+        ++activeHead_;
+        --windowCount_;
+    }
+    if (activeHead_ == active.size()) {
+        active.clear();
+        activeHead_ = 0;
+        activeSorted_ = false;
+    }
+    return std::move(nowFifo_[nowHead_++]);
 }
 
 TimeNs
 EventQueue::run()
 {
-    while (!heap_.empty())
-        step();
+    while (step()) {
+    }
     return now_;
 }
 
 TimeNs
 EventQueue::runUntil(TimeNs until)
 {
-    while (!heap_.empty() && heap_.top().when <= until)
+    while (ensureNext() && nextTime() <= until)
         step();
     if (now_ < until)
         now_ = until;
@@ -51,24 +212,44 @@ EventQueue::runUntil(TimeNs until)
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (!ensureNext())
         return false;
-    Entry e;
-    pop(e);
-    now_ = e.when;
+    InlineEvent cb = popNext();
+    --pending_;
     ++executed_;
-    e.cb();
+    if (cb)
+        cb();
     return true;
 }
 
 void
 EventQueue::reset()
 {
-    while (!heap_.empty())
-        heap_.pop();
+    // Plain container clears: no per-event ordering work (the old
+    // binary heap popped every entry at O(log n) apiece). Capacities
+    // are retained for reuse.
+    nowFifo_.clear();
+    nowHead_ = 0;
+    if (windowCount_ > 0) {
+        for (std::vector<Entry> &bucket : buckets_)
+            bucket.clear();
+    }
+    windowCount_ = 0;
+    overflow_.clear();
+    baseTick_ = 0;
+    activeHead_ = 0;
+    activeSorted_ = false;
     now_ = 0.0;
     seq_ = 0;
     executed_ = 0;
+    pending_ = 0;
+}
+
+void
+EventQueue::reserve(size_t events)
+{
+    nowFifo_.reserve(events);
+    overflow_.reserve(events);
 }
 
 } // namespace astra

@@ -8,24 +8,46 @@
  * substrate below the network backends, the memory models, and the
  * graph-based execution engine, mirroring the event queue in the
  * original ASTRA-sim system layer (Fig. 1(c)).
+ *
+ * Implementation (see docs/eventcore.md for the design note): a
+ * two-level calendar queue instead of a binary heap.
+ *
+ *  - A "now FIFO" holds events scheduled at exactly the current time.
+ *    Zero-delay scheduling (deferred completions, loopback sends, the
+ *    simRecv eager path) is the hottest pattern in the simulator and
+ *    costs O(1) push/pop with no ordering work at all, because FIFO
+ *    order *is* (time, insertion-order) order for equal timestamps.
+ *  - A ring of kNumBuckets buckets covers the near future in
+ *    fixed-width integer ticks (tick = floor(time / bucket width)).
+ *    Scheduling into a future bucket is an O(1) push; a bucket is
+ *    sorted once when the clock reaches it.
+ *  - Events beyond the bucket window land in an overflow min-heap and
+ *    migrate into the window lazily as it advances.
+ *
+ * Determinism guarantee: events fire in strictly nondecreasing time,
+ * and events with equal timestamps fire in insertion order, exactly as
+ * the old binary-heap implementation documented. The bucket width is a
+ * pure performance knob — it can never reorder events, because the
+ * queue always drains the lowest-tick bucket fully ordered before
+ * touching later ticks, and tick order is consistent with time order.
  */
 #ifndef ASTRA_EVENT_EVENT_QUEUE_H_
 #define ASTRA_EVENT_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
+#include "event/inline_event.h"
 
 namespace astra {
 
 /** Callback executed when an event fires. */
-using EventCallback = std::function<void()>;
+using EventCallback = InlineEvent;
 
 /**
- * Priority-queue based discrete-event scheduler.
+ * Two-level bucketed (calendar) discrete-event scheduler.
  *
  * Events at equal timestamps fire in insertion order (stable), which
  * keeps simulations deterministic.
@@ -33,7 +55,17 @@ using EventCallback = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Near-future window granularity. One tick should be comfortably
+     *  below the typical event spacing created by link latencies
+     *  (hundreds of ns), so that dependent events land in later
+     *  buckets and the active bucket rarely takes sorted inserts. */
+    static constexpr TimeNs kDefaultBucketWidthNs = 64.0;
+
+    /** Buckets in the near-future ring (power of two). With the
+     *  default width the window spans ~65 us of simulated time. */
+    static constexpr size_t kNumBuckets = 1024;
+
+    explicit EventQueue(TimeNs bucket_width = kDefaultBucketWidthNs);
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -44,14 +76,15 @@ class EventQueue
     /** Schedule `cb` to fire `delay` ns after now; delay must be >= 0. */
     void schedule(TimeNs delay, EventCallback cb);
 
-    /** Schedule `cb` at absolute time `when` (>= now). */
+    /** Schedule `cb` at absolute time `when` (>= now - kTimeEpsNs;
+     *  earlier times within the tolerance clamp to now). */
     void scheduleAt(TimeNs when, EventCallback cb);
 
     /** Number of pending events. */
-    size_t pending() const { return heap_.size(); }
+    size_t pending() const { return pending_; }
 
     /** True if no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /** Execute events until the queue drains; returns final time. */
     TimeNs run();
@@ -68,34 +101,82 @@ class EventQueue
     /** Total number of events executed so far (for speed reporting). */
     uint64_t executedEvents() const { return executed_; }
 
-    /** Drop all pending events and reset the clock. */
+    /** Drop all pending events and reset the clock. Container
+     *  capacities are kept, so a reused queue schedules without
+     *  reallocating. */
     void reset();
+
+    /** Pre-size the internal containers for ~`events` concurrently
+     *  pending events. */
+    void reserve(size_t events);
 
   private:
     struct Entry
     {
         TimeNs when;
         uint64_t seq;
-        EventCallback cb;
+        InlineEvent cb;
     };
 
-    struct Later
+    int64_t
+    tickOf(TimeNs when) const
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        return static_cast<int64_t>(when * invWidth_);
+    }
 
-    void pop(Entry &out);
+    std::vector<Entry> &
+    bucketAt(int64_t tick)
+    {
+        return buckets_[static_cast<size_t>(tick) & (kNumBuckets - 1)];
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Establish the next event source: returns false when empty,
+     *  otherwise either the now-FIFO is non-empty or the active bucket
+     *  is sorted with its head at the globally earliest entry. */
+    bool ensureNext();
+
+    /** Time of the next event; call only after ensureNext() == true. */
+    TimeNs nextTime();
+
+    /** Make `tick` the active bucket: migrate overflow entries that
+     *  fall inside the new window, then sort the bucket. */
+    void activate(int64_t tick);
+
+    /** Re-base the window backwards to `tick` (< baseTick_). Only
+     *  possible after runUntil() stopped in a gap with the window
+     *  already advanced to a later event; see the .cc comment. */
+    void rebaseWindow(int64_t tick);
+
+    /** Pop the next callback in (time, seq) order, advancing now_. */
+    InlineEvent popNext();
+
+    static bool entryBefore(const Entry &a, const Entry &b);
+    static bool entryAfter(const Entry &a, const Entry &b);
+
+    // Events at exactly now_ in insertion order (head index pops).
+    std::vector<InlineEvent> nowFifo_;
+    size_t nowHead_ = 0;
+
+    // Near-future ring. baseTick_ is the active (lowest live) tick;
+    // the window covers [baseTick_, baseTick_ + kNumBuckets). The
+    // active bucket is kept sorted ascending by (when, seq) with
+    // activeHead_ as its pop cursor; other buckets are unsorted.
+    std::array<std::vector<Entry>, kNumBuckets> buckets_;
+    size_t windowCount_ = 0;
+    int64_t baseTick_ = 0;
+    size_t activeHead_ = 0;
+    bool activeSorted_ = false;
+
+    // Far-future events (tick beyond the window): min-heap by
+    // (when, seq), migrated into the ring as the window advances.
+    std::vector<Entry> overflow_;
+
+    TimeNs bucketWidth_;
+    double invWidth_;
     TimeNs now_ = 0.0;
     uint64_t seq_ = 0;
     uint64_t executed_ = 0;
+    size_t pending_ = 0;
 };
 
 } // namespace astra

@@ -66,6 +66,24 @@ AnalyticalNetwork::resolve(NpuId src, NpuId dst, int dim) const
     return Route{charged_dim, bottleneck, latency};
 }
 
+TimeNs
+AnalyticalNetwork::claimTxPort(NpuId src, int dim, TimeNs ser)
+{
+    TimeNs &free_at = txFree_[static_cast<size_t>(src) *
+                                  static_cast<size_t>(topo_.numDims()) +
+                              static_cast<size_t>(dim)];
+    ASTRA_ASSERT(ser >= 0.0, "negative serialization time %g", ser);
+    TimeNs now = eq_.now();
+    TimeNs start = std::max(now, free_at);
+    free_at = start + ser;
+    // The granted start is at/after now by construction, and the
+    // chained bandwidth arithmetic keeps derived event times within
+    // the shared kTimeEpsNs tolerance that EventQueue::scheduleAt
+    // accepts — both sides of that contract live in common/units.h.
+    ASTRA_ASSERT(timeNotBefore(start, now), "tx port granted the past");
+    return start;
+}
+
 void
 AnalyticalNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
                            uint64_t tag, SendHandlers handlers)
@@ -86,25 +104,27 @@ AnalyticalNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
     }
 
     TimeNs ser = txTime(bytes, route.bandwidth);
-    TimeNs start = eq_.now();
-    if (serialize_) {
-        TimeNs &free_at =
-            txFree_[static_cast<size_t>(src) *
-                        static_cast<size_t>(topo_.numDims()) +
-                    static_cast<size_t>(route.dim)];
-        start = std::max(start, free_at);
-        free_at = start + ser;
-    }
+    TimeNs start = serialize_ ? claimTxPort(src, route.dim, ser)
+                              : eq_.now();
     TimeNs injected_at = start + ser;
     TimeNs delivered_at = injected_at + route.latency;
 
     if (handlers.onInjected)
         eq_.scheduleAt(injected_at, std::move(handlers.onInjected));
-    eq_.scheduleAt(delivered_at,
-                   [this, src, dst, tag,
-                    cb = std::move(handlers.onDelivered)]() mutable {
-                       deliver(src, dst, tag, std::move(cb));
-                   });
+    if (tag == kNoTag) {
+        // Untagged (callback-only) messages skip simRecv matching
+        // entirely, so the completion callback itself is the delivery
+        // event: no wrapper closure, no deliver() dispatch. A null
+        // callback still schedules (as an empty event) to keep event
+        // counts and final-time semantics identical.
+        eq_.scheduleAt(delivered_at, std::move(handlers.onDelivered));
+    } else {
+        eq_.scheduleAt(delivered_at,
+                       [this, src, dst, tag,
+                        cb = std::move(handlers.onDelivered)]() mutable {
+                           deliver(src, dst, tag, std::move(cb));
+                       });
+    }
 }
 
 } // namespace astra

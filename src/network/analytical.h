@@ -52,6 +52,16 @@ class AnalyticalNetwork : public NetworkApi
     /** Resolve routing for a message (single-dim or dimension-ordered). */
     Route resolve(NpuId src, NpuId dst, int dim) const;
 
+    /**
+     * Claim (src, dim)'s transmit port for `ser` ns starting no earlier
+     * than now; returns the granted start time and advances the port's
+     * free time. Uses the shared kTimeEpsNs tolerance (common/units.h)
+     * for its sanity check, matching EventQueue's past-time check so a
+     * port-derived timestamp that is within tolerance of now is always
+     * schedulable.
+     */
+    TimeNs claimTxPort(NpuId src, int dim, TimeNs ser);
+
     bool serialize_;
     /** txFree_[npu * numDims + dim]: next free time of that TX port. */
     std::vector<TimeNs> txFree_;

@@ -175,6 +175,22 @@ PacketNetwork::route(NpuId src, NpuId dst, int dim) const
     return path;
 }
 
+const std::vector<int> *
+PacketNetwork::routeFor(NpuId src, NpuId dst, int dim)
+{
+    // Pack (src, dst, dim) into one key; node ids stay well below
+    // 2^28 and dim is a small non-negative index or kAutoRoute (-1).
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(src))
+                    << 36) |
+                   (static_cast<uint64_t>(static_cast<uint32_t>(dst))
+                    << 8) |
+                   static_cast<uint8_t>(dim + 1);
+    auto it = routeCache_.find(key);
+    if (it == routeCache_.end())
+        it = routeCache_.emplace(key, route(src, dst, dim)).first;
+    return &it->second;
+}
+
 void
 PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
                        uint64_t tag, SendHandlers handlers)
@@ -189,7 +205,7 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
         return;
     }
 
-    auto path = std::make_shared<std::vector<int>>(route(src, dst, dim));
+    const std::vector<int> *path = routeFor(src, dst, dim);
     int packets =
         std::max(1, static_cast<int>(std::ceil(bytes / packetBytes_)));
 
@@ -219,20 +235,18 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
         // Software/NIC launch cost before the first packet enters the
         // network.
         eq_.schedule(messageOverhead_,
-                     [this, id, path = std::move(path), bytes, packets,
+                     [this, id, path, bytes, packets,
                       on_injected = std::move(on_injected)]() mutable {
-                         launchMessage(id, std::move(path), bytes,
-                                       packets, std::move(on_injected));
+                         launchMessage(id, path, bytes, packets,
+                                       std::move(on_injected));
                      });
     } else {
-        launchMessage(id, std::move(path), bytes, packets,
-                      std::move(on_injected));
+        launchMessage(id, path, bytes, packets, std::move(on_injected));
     }
 }
 
 void
-PacketNetwork::launchMessage(uint64_t msg_id,
-                             std::shared_ptr<std::vector<int>> path,
+PacketNetwork::launchMessage(uint64_t msg_id, const std::vector<int> *path,
                              Bytes bytes, int packets,
                              EventCallback on_injected)
 {
@@ -251,8 +265,7 @@ PacketNetwork::launchMessage(uint64_t msg_id,
 }
 
 void
-PacketNetwork::forwardPacket(uint64_t msg_id,
-                             std::shared_ptr<std::vector<int>> path,
+PacketNetwork::forwardPacket(uint64_t msg_id, const std::vector<int> *path,
                              size_t hop, Bytes pkt_bytes)
 {
     if (hop + 1 >= path->size()) {
@@ -264,11 +277,11 @@ PacketNetwork::forwardPacket(uint64_t msg_id,
     TimeNs tx_done =
         start + txTime(pkt_bytes + headerBytes_, link.bandwidth);
     link.freeAt = tx_done;
+    // [this, id, ptr, 2 words]: inline in InlineEvent — the per-hop
+    // closure chain performs no allocation at all.
     eq_.scheduleAt(tx_done + link.latency,
-                   [this, msg_id, path = std::move(path), hop,
-                    pkt_bytes]() mutable {
-                       forwardPacket(msg_id, std::move(path), hop + 1,
-                                     pkt_bytes);
+                   [this, msg_id, path, hop, pkt_bytes]() {
+                       forwardPacket(msg_id, path, hop + 1, pkt_bytes);
                    });
 }
 

@@ -23,7 +23,6 @@
 #ifndef ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
 #define ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
 
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -87,15 +86,23 @@ class PacketNetwork : public NetworkApi
     /** Node path (including src and dst) for a message. */
     std::vector<int> route(NpuId src, NpuId dst, int dim) const;
 
+    /**
+     * Cached route lookup. The topology (and hence every route) is
+     * immutable, so each (src, dst, dim) path is computed once; the
+     * returned pointer is stable (unordered_map values do not move on
+     * rehash) and in-flight packets hold it directly, replacing the
+     * per-message shared_ptr allocation of the old path handling.
+     */
+    const std::vector<int> *routeFor(NpuId src, NpuId dst, int dim);
+
     /** Route contribution of a single dimension, appended to `path`. */
     void routeInDim(int dim, NpuId from, NpuId to,
                     std::vector<int> &path) const;
 
-    void launchMessage(uint64_t msg_id,
-                       std::shared_ptr<std::vector<int>> path,
+    void launchMessage(uint64_t msg_id, const std::vector<int> *path,
                        Bytes bytes, int packets,
                        EventCallback on_injected);
-    void forwardPacket(uint64_t msg_id, std::shared_ptr<std::vector<int>> path,
+    void forwardPacket(uint64_t msg_id, const std::vector<int> *path,
                        size_t hop, Bytes pkt_bytes);
     void packetArrived(uint64_t msg_id);
 
@@ -105,6 +112,7 @@ class PacketNetwork : public NetworkApi
     int totalNodes_ = 0;
     std::vector<int> switchBase_; //!< per-dim base index of switch nodes.
     std::unordered_map<uint64_t, Link> links_;
+    std::unordered_map<uint64_t, std::vector<int>> routeCache_;
     std::unordered_map<uint64_t, Message> inflight_;
     uint64_t nextMsgId_ = 1;
 };

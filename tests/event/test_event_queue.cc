@@ -96,6 +96,36 @@ TEST(EventQueue, CountsExecutedEvents)
     EXPECT_EQ(eq.executedEvents(), 42u);
 }
 
+TEST(EventQueue, ScheduleIntoGapAfterRunUntil)
+{
+    // runUntil() stopping inside a gap must not prevent later events
+    // from being scheduled between `until` and the next pending event
+    // (the bucket window has already advanced to the far event).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(10.0, [&] { order.push_back(0); });
+    eq.scheduleAt(1e9, [&] { order.push_back(3); });
+    eq.runUntil(1000.0);
+    EXPECT_DOUBLE_EQ(eq.now(), 1000.0);
+    // Both inside the gap, one far beyond the original window.
+    eq.scheduleAt(2000.0, [&] { order.push_back(1); });
+    eq.scheduleAt(5e8, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 1e9);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbPending)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(3.0, [&] { ++fired; });
+    eq.reserve(4096);
+    eq.schedule(1.0, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
 TEST(EventQueue, ResetClearsState)
 {
     EventQueue eq;

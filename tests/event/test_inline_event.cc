@@ -1,0 +1,173 @@
+/** @file Unit tests for the zero-allocation event callback. */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "event/inline_event.h"
+
+namespace astra {
+namespace {
+
+TEST(InlineEvent, DefaultIsEmpty)
+{
+    InlineEvent ev;
+    EXPECT_FALSE(static_cast<bool>(ev));
+    InlineEvent null_ev(nullptr);
+    EXPECT_FALSE(static_cast<bool>(null_ev));
+}
+
+TEST(InlineEvent, SmallCaptureStaysInline)
+{
+    int fired = 0;
+    int a = 1, b = 2, c = 3, d = 4;
+    InlineEvent ev([&fired, a, b, c, d] { fired = a + b + c + d; });
+    EXPECT_TRUE(ev.isInline());
+    ev();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(InlineEvent, HotPathClosureShapeIsInline)
+{
+    // The collective engine's delivery closure: this-like pointer,
+    // two 64-bit ids, two ints. Must never allocate.
+    uint64_t inst_id = 42;
+    void *self = nullptr;
+    int chunk = 1, rank = 7;
+    size_t phase = 3;
+    uint64_t sink = 0;
+    size_t live_before = CallbackPool::outstanding();
+    InlineEvent ev([&sink, self, inst_id, rank, chunk, phase] {
+        sink = inst_id + uint64_t(rank) + uint64_t(chunk) + phase +
+               (self != nullptr);
+    });
+    EXPECT_TRUE(ev.isInline());
+    EXPECT_EQ(CallbackPool::outstanding(), live_before);
+    ev();
+    EXPECT_EQ(sink, 53u);
+}
+
+TEST(InlineEvent, LargeCaptureUsesPool)
+{
+    size_t live_before = CallbackPool::outstanding();
+    double payload[16] = {};
+    payload[15] = 4.0;
+    double sink = 0.0;
+    {
+        InlineEvent ev([&sink, payload] { sink = payload[15]; });
+        EXPECT_FALSE(ev.isInline());
+        EXPECT_EQ(CallbackPool::outstanding(), live_before + 1);
+        ev();
+    }
+    EXPECT_DOUBLE_EQ(sink, 4.0);
+    EXPECT_EQ(CallbackPool::outstanding(), live_before);
+}
+
+TEST(InlineEvent, PoolRecyclesBlocks)
+{
+    double payload[16] = {};
+    // Warm the free list.
+    { InlineEvent warm([payload] { (void)payload; }); }
+    uint64_t heap_before = CallbackPool::heapAllocs();
+    for (int i = 0; i < 1000; ++i) {
+        InlineEvent ev([payload] { (void)payload; });
+        EXPECT_FALSE(ev.isInline());
+    }
+    // Steady-state churn of identical-size captures never returns to
+    // the system heap.
+    EXPECT_EQ(CallbackPool::heapAllocs(), heap_before);
+}
+
+TEST(InlineEvent, MoveTransfersOwnership)
+{
+    int fired = 0;
+    InlineEvent a([&fired] { ++fired; });
+    InlineEvent b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(fired, 1);
+
+    InlineEvent c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineEvent, MovePooledTransfersWithoutCopy)
+{
+    size_t live_before = CallbackPool::outstanding();
+    double payload[16] = {};
+    payload[0] = 7.0;
+    double sink = 0.0;
+    InlineEvent a([&sink, payload] { sink = payload[0]; });
+    EXPECT_EQ(CallbackPool::outstanding(), live_before + 1);
+    InlineEvent b(std::move(a));
+    // Still exactly one live block: the move re-seated the pointer.
+    EXPECT_EQ(CallbackPool::outstanding(), live_before + 1);
+    b();
+    EXPECT_DOUBLE_EQ(sink, 7.0);
+    b = nullptr;
+    EXPECT_EQ(CallbackPool::outstanding(), live_before);
+}
+
+TEST(InlineEvent, AcceptsMoveOnlyCallable)
+{
+    // std::function cannot hold this; InlineEvent must.
+    auto owned = std::make_unique<int>(99);
+    int sink = 0;
+    InlineEvent ev(
+        [&sink, owned = std::move(owned)] { sink = *owned; });
+    ev();
+    EXPECT_EQ(sink, 99);
+}
+
+TEST(InlineEvent, NonTriviallyMovableInlineCapture)
+{
+    // A vector capture fits inline (24 B) but needs real move/destroy
+    // semantics through the vtable.
+    std::vector<int> payload{1, 2, 3};
+    int sink = 0;
+    InlineEvent a([&sink, payload = std::move(payload)] {
+        sink = payload[2];
+    });
+    EXPECT_TRUE(a.isInline());
+    InlineEvent b(std::move(a));
+    b();
+    EXPECT_EQ(sink, 3);
+}
+
+TEST(InlineEvent, AssignCallableReplacesPrevious)
+{
+    int first = 0, second = 0;
+    InlineEvent ev([&first] { ++first; });
+    ev = [&second] { ++second; };
+    ev();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+    ev = nullptr;
+    EXPECT_FALSE(static_cast<bool>(ev));
+}
+
+TEST(InlineEvent, NestedEventCaptureFallsBackToPool)
+{
+    // A closure owning another InlineEvent (a completion chain, the
+    // shape Sys and the network wrappers produce) exceeds the inline
+    // budget and must round-trip through the pool correctly.
+    size_t live_before = CallbackPool::outstanding();
+    int fired = 0;
+    InlineEvent inner([&fired] { ++fired; });
+    InlineEvent outer([inner = std::move(inner)]() mutable { inner(); });
+    EXPECT_FALSE(outer.isInline());
+    EXPECT_EQ(CallbackPool::outstanding(), live_before + 1);
+    outer();
+    EXPECT_EQ(fired, 1);
+    outer = nullptr;
+    EXPECT_EQ(CallbackPool::outstanding(), live_before);
+}
+
+} // namespace
+} // namespace astra
