@@ -1,9 +1,10 @@
 /**
  * @file
  * Experiment E6 — Fig. 11: runtime breakdown of disaggregated memory
- * systems training MoE-1T (256 GPUs, Table V configurations).
+ * systems training MoE-1T (256 GPUs, Table V configurations),
+ * expressed as a zipped sweep on the sweep engine (src/sweep/).
  *
- * Systems:
+ * Systems (one zip index each):
  *  - ZeRO-Infinity: per-node CPU/NVMe tier at 100 GB/s per GPU;
  *    parameters are fetched serially and all-gathered over the GPU
  *    network (Fig. 10).
@@ -19,54 +20,49 @@
  * by exposed communication; HierMem(opt) ~4.6x faster.
  */
 #include <cstdio>
+#include <utility>
 
-#include "bench_util.h"
 #include "common/logging.h"
 #include "common/table.h"
+#include "common/units.h"
+#include "sweep/result_store.h"
 
 using namespace astra;
-using namespace astra::bench;
+using namespace astra::sweep;
 
 namespace {
 
-Topology
-cluster()
-{
-    // 16 nodes x 16 GPUs: NVSwitch-class in-node, IB-class scale-out.
-    return Topology({{BlockType::Switch, 16, 300.0, 300.0},
-                     {BlockType::Switch, 16, 25.0, 700.0}});
-}
-
-Report
-runSystem(const char *system, GBps fabric, GBps group)
-{
-    SimulatorConfig cfg;
-    cfg.sys.compute.peakTflops = 2048.0; // Table V GPU peak perf.
-    cfg.localMem.bandwidth = 4096.0;     // Table V local HBM BW.
-
-    MoEOptions opts;
-    std::string name = system;
-    if (name == "zero") {
-        ZeroInfinityConfig zero;
-        zero.tierBandwidth = 100.0; // Table V remote mem group BW.
-        cfg.zeroInfinityMem = zero;
-        opts.path = ParamPath::NetworkCollectives;
-    } else {
-        RemoteMemoryConfig pool; // Table V baseline defaults.
-        pool.inNodeFabricBw = fabric;
-        pool.gpuSideOutNodeBw = fabric;
-        pool.remoteMemGroupBw = group;
-        cfg.pooledMem = pool;
-        opts.path = (name == "hiermem-opt")
-                        ? ParamPath::FusedInSwitch
-                        : ParamPath::NetworkCollectives;
-    }
-
-    Topology topo = cluster();
-    Workload wl = buildMoEDisaggregated(topo, moe1T(), opts);
-    Simulator sim(std::move(topo), cfg);
-    return sim.run(wl);
-}
+/** The three Fig. 11 systems as a zipped two-axis sweep: one axis
+ *  swaps the remote-memory tier, the other the parameter path. */
+constexpr const char *kSpec = R"json({
+  "name": "fig11-disaggregated",
+  "mode": "zip",
+  "base": {
+    "topology": "Switch(16,300,300)_Switch(16,25,700)",
+    "backend": "analytical",
+    "system": {
+      "peak_tflops": 2048,
+      "local_memory": {"bandwidth_gbps": 4096}
+    },
+    "workload": {"kind": "moe", "model": "moe1t"}
+  },
+  "axes": [
+    {"path": "system.remote_memory",
+     "name": "system",
+     "values": [
+       {"kind": "zero-infinity", "tier_bw_gbps": 100},
+       {"kind": "pooled",
+        "in_node_fabric_bw_gbps": 256, "gpu_side_bw_gbps": 256,
+        "remote_group_bw_gbps": 100},
+       {"kind": "pooled",
+        "in_node_fabric_bw_gbps": 512, "gpu_side_bw_gbps": 512,
+        "remote_group_bw_gbps": 500}
+     ],
+     "labels": ["ZeRO-Infinity", "HierMem (baseline)", "HierMem (opt)"]},
+    {"path": "workload.param_path",
+     "values": ["network", "network", "fused"]}
+  ]
+})json";
 
 } // namespace
 
@@ -75,36 +71,34 @@ main()
 {
     setVerbose(false);
     std::printf("E6 / Fig. 11: disaggregated memory systems, MoE-1T "
-                "training breakdown\n\n");
+                "training breakdown (sweep engine)\n\n");
 
-    struct Config
-    {
-        const char *label;
-        const char *system;
-        GBps fabric;
-        GBps group;
-    };
-    const Config configs[] = {
-        {"ZeRO-Infinity", "zero", 0.0, 0.0},
-        {"HierMem (baseline)", "hiermem", 256.0, 100.0},
-        {"HierMem (opt)", "hiermem-opt", 512.0, 500.0},
-    };
+    SweepSpec spec = SweepSpec::fromJson(json::parse(kSpec));
+    BatchOptions opts;
+    opts.threads = 0; // all hardware threads.
+    BatchOutcome outcome = runBatch(spec, opts);
+    ResultStore store = ResultStore::fromBatch(spec, std::move(outcome));
 
     Table table({"system", "total (ms)", "compute", "exp comm",
                  "exp local", "exp remote", "idle", "vs baseline"});
     double baseline = 0.0;
-    for (const Config &c : configs) {
-        Report r = runSystem(c.system, c.fabric, c.group);
-        if (std::string(c.system) == "hiermem")
-            baseline = r.totalTime;
-        table.addRow({c.label, Table::num(r.totalTime / kMs),
-                      Table::num(r.average.compute / kMs),
-                      Table::num(r.average.exposedComm / kMs),
-                      Table::num(r.average.exposedLocalMem / kMs),
-                      Table::num(r.average.exposedRemoteMem / kMs),
-                      Table::num(r.average.idle / kMs),
+    for (size_t i = 0; i < store.rows(); ++i) {
+        const SweepResult &r = store.row(i);
+        ASTRA_USER_CHECK(!r.failed, "config '%s' failed: %s",
+                         r.config.label.c_str(), r.error.c_str());
+        if (r.config.axisValues[0] == "HierMem (baseline)")
+            baseline = r.report.totalTime;
+        const RuntimeBreakdown &b = r.report.average;
+        table.addRow({r.config.axisValues[0],
+                      Table::num(r.report.totalTime / kMs),
+                      Table::num(b.compute / kMs),
+                      Table::num(b.exposedComm / kMs),
+                      Table::num(b.exposedLocalMem / kMs),
+                      Table::num(b.exposedRemoteMem / kMs),
+                      Table::num(b.idle / kMs),
                       baseline > 0.0
-                          ? Table::num(baseline / r.totalTime, 2) + "x"
+                          ? Table::num(baseline / r.report.totalTime, 2) +
+                                "x"
                           : "-"});
     }
     table.print();

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Sweep-engine scaling benchmark: the acceptance workload for the
+ * parallel design-space exploration subsystem (src/sweep/).
+ *
+ * Runs a 64-configuration hierarchical-memory sweep (8 fabric x 8
+ * group bandwidths, the Table V / §V-B design space on a coarsened
+ * MoE-1T) three ways:
+ *
+ *  1. sequentially, one Simulator at a time, bypassing the engine —
+ *     the ground-truth ResultStore;
+ *  2. through the batch runner at 1 thread;
+ *  3. through the batch runner at 2 and 8 threads.
+ *
+ * It verifies that every engine run renders a ResultStore (CSV and
+ * JSON) byte-identical to the sequential ground truth — the engine's
+ * determinism guarantee — and records configs/sec per thread count in
+ * BENCH_sweep.json (via scripts/bench.sh) so sweep throughput is
+ * tracked across PRs. The 8-thread speedup is reported against the
+ * 1-thread engine run; on hosts with fewer cores the speedup
+ * degenerates toward 1x and the JSON records the core count so the
+ * number can be judged.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "sweep/result_store.h"
+
+using namespace astra;
+using namespace astra::sweep;
+
+namespace {
+
+constexpr size_t kGridSide = 8; // 8x8 = 64 configurations.
+
+json::Value
+specDoc()
+{
+    // Table V system; sim_layers coarsens MoE-1T so one configuration
+    // simulates in a fraction of a second and the 64-point grid stays
+    // a benchmark, not a coffee break (aggregate ratios preserved).
+    json::Value base = json::parse(R"json({
+      "topology": "Switch(16,300,300)_Switch(16,25,700)",
+      "backend": "analytical",
+      "system": {
+        "peak_tflops": 2048,
+        "local_memory": {"bandwidth_gbps": 4096},
+        "remote_memory": {"kind": "pooled"}
+      },
+      "workload": {"kind": "moe", "model": "moe1t",
+                   "param_path": "fused", "sim_layers": 4}
+    })json");
+
+    json::Array fabric_values, group_values;
+    for (size_t i = 0; i < kGridSide; ++i) {
+        fabric_values.push_back(
+            json::Value(256.0 + 256.0 * double(i)));
+        group_values.push_back(json::Value(100.0 + 50.0 * double(i)));
+    }
+    json::Object fabric_axis;
+    fabric_axis["path"] =
+        json::Value("system.remote_memory.in_node_fabric_bw_gbps");
+    fabric_axis["name"] = json::Value("fabric");
+    fabric_axis["values"] = json::Value(std::move(fabric_values));
+    json::Object group_axis;
+    group_axis["path"] =
+        json::Value("system.remote_memory.remote_group_bw_gbps");
+    group_axis["name"] = json::Value("group");
+    group_axis["values"] = json::Value(std::move(group_values));
+
+    json::Object doc;
+    doc["name"] = json::Value("sweep-throughput");
+    doc["mode"] = json::Value("cartesian");
+    doc["base"] = std::move(base);
+    doc["axes"] = json::Value(json::Array{
+        json::Value(std::move(fabric_axis)),
+        json::Value(std::move(group_axis))});
+    return json::Value(std::move(doc));
+}
+
+struct Sample
+{
+    int threads = 0;
+    double seconds = 0.0;
+    bool identical = false;
+
+    double
+    configsPerSec() const
+    {
+        return seconds > 0.0 ? double(kGridSide * kGridSide) / seconds
+                             : 0.0;
+    }
+};
+
+std::string
+storeBytes(const SweepSpec &spec, const BatchOutcome &outcome)
+{
+    ResultStore store = ResultStore::fromBatch(spec, outcome);
+    return store.toCsv() + store.toJson().dump(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    SweepSpec spec = SweepSpec::fromJson(specDoc());
+    size_t n = spec.configCount();
+    std::printf("sweep-engine throughput: %zu-config hierarchical-"
+                "memory sweep (host has %u hardware threads)\n\n",
+                n, std::thread::hardware_concurrency());
+
+    // Ground truth: each configuration run sequentially, no engine.
+    std::vector<SweepResult> seq(n);
+    for (size_t i = 0; i < n; ++i) {
+        seq[i].config = spec.config(i);
+        seq[i].report = runConfig(seq[i].config.doc);
+    }
+    BatchOutcome seq_outcome;
+    seq_outcome.results = std::move(seq);
+    std::string truth = storeBytes(spec, seq_outcome);
+
+    std::vector<Sample> samples;
+    for (int threads : {1, 2, 8}) {
+        BatchOptions opts;
+        opts.threads = threads;
+        BatchOutcome outcome = runBatch(spec, opts);
+        Sample s;
+        s.threads = threads;
+        s.seconds = outcome.wallSeconds;
+        s.identical = storeBytes(spec, outcome) == truth;
+        std::printf("%d thread(s): %6.2fs  %6.2f configs/s  "
+                    "store %s ground truth\n",
+                    threads, s.seconds, s.configsPerSec(),
+                    s.identical ? "identical to" : "DIVERGES from");
+        samples.push_back(s);
+    }
+
+    double speedup8 = samples.front().seconds > 0.0
+                          ? samples.front().seconds /
+                                samples.back().seconds
+                          : 0.0;
+    std::printf("\n8-thread speedup over 1 thread: %.2fx\n", speedup8);
+
+    bool all_identical = true;
+    for (const Sample &s : samples)
+        all_identical = all_identical && s.identical;
+
+    if (json_path != nullptr) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            warn("cannot write %s", json_path);
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"sweep\",\n"
+                     "  \"configs\": %zu,\n"
+                     "  \"hardware_threads\": %u,\n"
+                     "  \"identical_across_thread_counts\": %s,\n"
+                     "  \"results\": {\n",
+                     n, std::thread::hardware_concurrency(),
+                     all_identical ? "true" : "false");
+        for (size_t i = 0; i < samples.size(); ++i) {
+            const Sample &s = samples[i];
+            std::fprintf(
+                f,
+                "    \"threads_%d\": {\"seconds\": %.3f, "
+                "\"configs_per_sec\": %.2f}%s\n",
+                s.threads, s.seconds, s.configsPerSec(),
+                i + 1 < samples.size() ? "," : "");
+        }
+        std::fprintf(f, "  },\n  \"speedup_8_over_1\": %.2f\n}\n",
+                     speedup8);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    }
+    return all_identical ? 0 : 1;
+}

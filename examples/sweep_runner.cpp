@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Command-line design-space exploration: run a declarative sweep spec
+ * (src/sweep/spec.h) across worker threads and tabulate the results.
+ *
+ * Usage:
+ *   sweep_runner <spec.json> [--threads N] [--cache cache.json]
+ *                [--csv out.csv] [--json out.json]
+ *                [--metric total_ns] [--verbose]
+ *   sweep_runner --sample spec.json     # write an example spec
+ *
+ * --threads 0 uses all hardware threads. --cache enables incremental
+ * re-runs: results keyed by config hash are loaded before and saved
+ * after the batch, so editing one axis value re-simulates only the
+ * changed grid points.
+ */
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "sweep/result_store.h"
+
+using namespace astra;
+using namespace astra::sweep;
+
+namespace {
+
+Metric
+metricByName(const std::string &name)
+{
+    for (Metric m : {Metric::TotalTime, Metric::Compute,
+                     Metric::ExposedComm, Metric::ExposedLocalMem,
+                     Metric::ExposedRemoteMem, Metric::Idle,
+                     Metric::Events, Metric::Messages}) {
+        if (name == metricName(m))
+            return m;
+    }
+    fatal("unknown metric '%s' (see sweep/result_store.h)", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv,
+                    {"threads", "cache", "csv", "json", "metric",
+                     "sample", "verbose"});
+    setVerbose(cli.getBool("verbose"));
+
+    if (cli.has("sample")) {
+        std::string path = cli.getString("sample", "sweep_spec.json");
+        writeSampleSpec(path);
+        std::printf("wrote sample spec to %s\n", path.c_str());
+        return 0;
+    }
+
+    if (cli.positional().size() != 1) {
+        std::fprintf(stderr,
+                     "usage: sweep_runner <spec.json> [--threads N] "
+                     "[--cache FILE] [--csv FILE] [--json FILE] "
+                     "[--metric NAME]\n"
+                     "       sweep_runner --sample <spec.json>\n");
+        return 2;
+    }
+
+    SweepSpec spec = SweepSpec::fromFile(cli.positional()[0]);
+    std::printf("sweep '%s': %zu configurations, %zu axes\n",
+                spec.name().c_str(), spec.configCount(),
+                spec.axes().size());
+
+    BatchOptions opts;
+    opts.threads = static_cast<int>(cli.getInt("threads", 0));
+    ResultCache cache;
+    std::string cache_path = cli.getString("cache", "");
+    if (!cache_path.empty()) {
+        size_t loaded = cache.loadFile(cache_path);
+        std::printf("cache: %zu entries loaded from %s\n", loaded,
+                    cache_path.c_str());
+        opts.cache = &cache;
+    }
+
+    BatchOutcome outcome = runBatch(spec, opts);
+    std::printf("ran %zu configs on %d threads in %.2fs "
+                "(%zu cache hits, %zu failures)\n\n",
+                outcome.results.size(), outcome.threadsUsed,
+                outcome.wallSeconds, outcome.cacheHits,
+                outcome.failures);
+
+    size_t failures = outcome.failures;
+    ResultStore store = ResultStore::fromBatch(spec, std::move(outcome));
+
+    // Console table: axes + total + the five-way breakdown (ms).
+    std::vector<std::string> header = {"#"};
+    for (const std::string &name : spec.axisNames())
+        header.push_back(name);
+    for (const char *col : {"total", "compute", "comm", "local",
+                            "remote", "idle"})
+        header.push_back(std::string(col) + " (ms)");
+    Table table(header);
+    for (size_t i = 0; i < store.rows(); ++i) {
+        const SweepResult &r = store.row(i);
+        std::vector<std::string> row = {std::to_string(r.config.index)};
+        for (const std::string &v : r.config.axisValues)
+            row.push_back(v);
+        if (r.failed) {
+            row.push_back("failed: " + r.error);
+            while (row.size() < header.size())
+                row.push_back("-");
+        } else {
+            const RuntimeBreakdown &b = r.report.average;
+            row.push_back(Table::num(r.report.totalTime / kMs));
+            row.push_back(Table::num(b.compute / kMs));
+            row.push_back(Table::num(b.exposedComm / kMs));
+            row.push_back(Table::num(b.exposedLocalMem / kMs));
+            row.push_back(Table::num(b.exposedRemoteMem / kMs));
+            row.push_back(Table::num(b.idle / kMs));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    if (failures < store.rows()) {
+        Metric metric =
+            metricByName(cli.getString("metric", "total_ns"));
+        size_t best = store.argmin(metric);
+        std::printf("\nbest %s: config #%zu (%s) = %.3f\n",
+                    metricName(metric), best,
+                    store.row(best).config.label.c_str(),
+                    store.value(best, metric));
+    }
+
+    std::string csv_path = cli.getString("csv", "");
+    if (!csv_path.empty()) {
+        store.writeCsv(csv_path);
+        std::printf("wrote %s\n", csv_path.c_str());
+    }
+    std::string json_path = cli.getString("json", "");
+    if (!json_path.empty()) {
+        store.writeJson(json_path);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!cache_path.empty()) {
+        cache.saveFile(cache_path);
+        std::printf("cache: %zu entries saved to %s\n", cache.size(),
+                    cache_path.c_str());
+    }
+    return 0;
+}

@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
-# Build the Release bench targets and record the event-core perf
-# trajectory: runs bench_eventcore (micro) and the bench_speedup
-# one-shot section (§IV-C anchor), writing machine-readable results to
-# BENCH_eventcore.json at the repo root so numbers are comparable
-# across PRs (same machine assumed).
+# Build the Release bench targets and record the perf trajectory:
+#  - bench_eventcore (micro) + the bench_speedup one-shot section
+#    (§IV-C anchor) -> BENCH_eventcore.json
+#  - bench_sweep_throughput (64-config hierarchical-memory sweep at
+#    1/2/8 threads, byte-identity check vs sequential ground truth)
+#    -> BENCH_sweep.json
+# Machine-readable results land at the repo root so numbers are
+# comparable across PRs (same machine assumed).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_eventcore.json}"
+SWEEP_OUT="${2:-BENCH_sweep.json}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target bench_eventcore bench_speedup
+      --target bench_eventcore bench_speedup bench_sweep_throughput
 
 "./$BUILD_DIR/bench_eventcore" --json "$OUT"
+
+echo
+"./$BUILD_DIR/bench_sweep_throughput" --json "$SWEEP_OUT"
 
 echo
 # One-shot speedup section only (skip the google-benchmark loops).
@@ -22,4 +29,4 @@ echo
     true
 
 echo
-echo "results written to $OUT"
+echo "results written to $OUT and $SWEEP_OUT"

@@ -57,4 +57,77 @@ Report::summary() const
     return buf;
 }
 
+namespace {
+
+json::Value
+breakdownToJson(const RuntimeBreakdown &b)
+{
+    json::Object o;
+    o["compute_ns"] = json::Value(b.compute);
+    o["exposed_comm_ns"] = json::Value(b.exposedComm);
+    o["exposed_local_mem_ns"] = json::Value(b.exposedLocalMem);
+    o["exposed_remote_mem_ns"] = json::Value(b.exposedRemoteMem);
+    o["idle_ns"] = json::Value(b.idle);
+    return json::Value(std::move(o));
+}
+
+RuntimeBreakdown
+breakdownFromJson(const json::Value &v)
+{
+    RuntimeBreakdown b;
+    b.compute = v.getNumber("compute_ns", 0.0);
+    b.exposedComm = v.getNumber("exposed_comm_ns", 0.0);
+    b.exposedLocalMem = v.getNumber("exposed_local_mem_ns", 0.0);
+    b.exposedRemoteMem = v.getNumber("exposed_remote_mem_ns", 0.0);
+    b.idle = v.getNumber("idle_ns", 0.0);
+    return b;
+}
+
+} // namespace
+
+json::Value
+reportToJson(const Report &report)
+{
+    json::Object doc;
+    doc["workload"] = json::Value(report.workload);
+    doc["total_time_ns"] = json::Value(report.totalTime);
+    doc["average"] = breakdownToJson(report.average);
+    json::Array per_npu;
+    per_npu.reserve(report.perNpu.size());
+    for (const RuntimeBreakdown &b : report.perNpu)
+        per_npu.push_back(breakdownToJson(b));
+    doc["per_npu"] = json::Value(std::move(per_npu));
+    doc["events"] = json::Value(report.events);
+    doc["messages"] = json::Value(report.messages);
+    json::Array bytes;
+    bytes.reserve(report.bytesPerDim.size());
+    for (double b : report.bytesPerDim)
+        bytes.push_back(json::Value(b));
+    doc["bytes_per_dim"] = json::Value(std::move(bytes));
+    return json::Value(std::move(doc));
+}
+
+Report
+reportFromJson(const json::Value &doc)
+{
+    Report report;
+    report.workload = doc.getString("workload", "");
+    report.totalTime = doc.getNumber("total_time_ns", 0.0);
+    if (doc.has("average"))
+        report.average = breakdownFromJson(doc.at("average"));
+    if (doc.has("per_npu")) {
+        for (const json::Value &v : doc.at("per_npu").asArray())
+            report.perNpu.push_back(breakdownFromJson(v));
+    }
+    report.events =
+        static_cast<uint64_t>(doc.getInt("events", 0));
+    report.messages =
+        static_cast<uint64_t>(doc.getInt("messages", 0));
+    if (doc.has("bytes_per_dim")) {
+        for (const json::Value &v : doc.at("bytes_per_dim").asArray())
+            report.bytesPerDim.push_back(v.asNumber());
+    }
+    return report;
+}
+
 } // namespace astra

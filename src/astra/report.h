@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/units.h"
 #include "topology/topology.h"
@@ -44,6 +45,18 @@ struct Report
     /** Render a human-readable summary block. */
     std::string summary() const;
 };
+
+/**
+ * Serialize a Report's *simulated* results to JSON. Host wall-clock
+ * (`wallSeconds`) is deliberately excluded: it is nondeterministic,
+ * and the sweep engine's determinism guarantee (identical stores for
+ * any thread count) plus its result cache both rely on serialized
+ * reports being a pure function of the configuration.
+ */
+json::Value reportToJson(const Report &report);
+
+/** Inverse of reportToJson (wallSeconds comes back as 0). */
+Report reportFromJson(const json::Value &doc);
 
 } // namespace astra
 

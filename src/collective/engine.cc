@@ -1,6 +1,7 @@
 #include "collective/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/logging.h"
@@ -412,8 +413,10 @@ CollectiveEngine::onMessage(uint64_t inst_id, int rank, int chunk,
 CollectiveRunResult
 runCollective(CollectiveEngine &engine, const CollectiveRequest &req)
 {
-    static uint64_t run_key = 0xC011EC71FE000000ULL;
-    ++run_key;
+    // Atomic so concurrent standalone runs on worker threads (sweep
+    // batches, parallel benches) never share a rendezvous key.
+    static std::atomic<uint64_t> run_key{0xC011EC71FE000000ULL};
+    uint64_t key = ++run_key;
 
     NetworkApi &net = engine.network();
     const Topology &topo = net.topology();
@@ -422,7 +425,7 @@ runCollective(CollectiveEngine &engine, const CollectiveRequest &req)
     CollectiveRunResult result;
     int remaining = topo.npus();
     for (NpuId npu = 0; npu < topo.npus(); ++npu) {
-        engine.join(run_key, npu, req, [&result, &net, &remaining]() {
+        engine.join(key, npu, req, [&result, &net, &remaining]() {
             --remaining;
             result.finish = std::max(result.finish, net.now());
         });

@@ -185,10 +185,46 @@ std::vector<Bytes>
 perDimSentBytes(const Topology &topo, CollectiveType type, Bytes bytes,
                 const std::vector<GroupDim> &rs_order)
 {
-    std::vector<Bytes> sent(static_cast<size_t>(topo.numDims()), 0.0);
-    for (const Phase &p : buildPhases(topo, type, bytes, rs_order))
-        sent[static_cast<size_t>(p.group.dim)] += phaseSentBytes(p);
+    std::vector<Bytes> sent;
+    perDimSentBytesInto(topo, type, bytes, rs_order, sent);
     return sent;
+}
+
+void
+perDimSentBytesInto(const Topology &topo, CollectiveType type, Bytes bytes,
+                    const std::vector<GroupDim> &rs_order,
+                    std::vector<Bytes> &sent)
+{
+    // Closed form of summing phaseSentBytes() over buildPhases(): each
+    // phase over a factor of size k sends (k-1)/k of its large-side
+    // tensor, and the working set shrinks by k per Reduce-Scatter step
+    // (growing back symmetrically for All-Gather, so the per-dimension
+    // contributions of the gather direction equal the scatter
+    // direction at the same hierarchy level).
+    sent.assign(static_cast<size_t>(topo.numDims()), 0.0);
+    Bytes cur = bytes;
+    for (const GroupDim &g : rs_order) {
+        if (g.size < 2)
+            continue;
+        Bytes share = cur * double(g.size - 1) / double(g.size);
+        switch (type) {
+          case CollectiveType::ReduceScatter:
+          case CollectiveType::AllGather:
+            sent[static_cast<size_t>(g.dim)] += share;
+            cur /= double(g.size);
+            break;
+          case CollectiveType::AllReduce:
+            // RS + AG phase pair at the same working-set size.
+            sent[static_cast<size_t>(g.dim)] += 2.0 * share;
+            cur /= double(g.size);
+            break;
+          case CollectiveType::AllToAll:
+            // Working set does not shrink across dimensions.
+            sent[static_cast<size_t>(g.dim)] +=
+                bytes * double(g.size - 1) / double(g.size);
+            break;
+        }
+    }
 }
 
 std::vector<GroupDim>

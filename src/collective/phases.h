@@ -93,6 +93,18 @@ std::vector<Bytes> perDimSentBytes(const Topology &topo,
                                    CollectiveType type, Bytes bytes,
                                    const std::vector<GroupDim> &rs_order);
 
+/**
+ * Allocation-free variant of perDimSentBytes() for per-chunk hot paths
+ * (the Themis scheduler evaluates it for every candidate order of
+ * every chunk): `sent` is resized to numDims and filled in place using
+ * the closed-form shrink/grow accounting, without materializing Phase
+ * objects.
+ */
+void perDimSentBytesInto(const Topology &topo, CollectiveType type,
+                         Bytes bytes,
+                         const std::vector<GroupDim> &rs_order,
+                         std::vector<Bytes> &sent);
+
 /** Expand "all topology dims, whole size" into normalized factors. */
 std::vector<GroupDim> wholeTopologyGroups(const Topology &topo);
 

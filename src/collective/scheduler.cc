@@ -26,29 +26,40 @@ CollectiveScheduler::nextOrder(const std::vector<GroupDim> &groups,
     ASTRA_ASSERT(!groups.empty(), "collective spans no dimensions");
     std::vector<GroupDim> order = groups;
     if (policy == SchedPolicy::Themis && groups.size() > 1)
-        order = themisOrder(groups, type, bytes);
+        themisOrder(groups, type, bytes, order);
     accountOrder(order, type, bytes);
     return order;
 }
 
-std::vector<GroupDim>
+void
 CollectiveScheduler::themisOrder(const std::vector<GroupDim> &groups,
-                                 CollectiveType type, Bytes bytes) const
+                                 CollectiveType type, Bytes bytes,
+                                 std::vector<GroupDim> &best)
 {
     // Minimax greedy: pick the order whose per-dimension serialization
     // increments leave the busiest dimension least loaded. Dimension
     // counts are small (<= ~6), so exhaustive permutation search is
     // cheap for the common cases; beyond that, fall back to candidate
-    // orders that differ only in the (dominant) first position.
+    // orders that differ only in the (dominant) first position. Every
+    // candidate is evaluated into preallocated scratch — the search
+    // runs per chunk and must not allocate.
     auto evaluate = [&](const std::vector<GroupDim> &order) {
-        std::vector<Bytes> sent = perDimSentBytes(topo_, type, bytes,
-                                                  order);
+        perDimSentBytesInto(topo_, type, bytes, order, sentScratch_);
         TimeNs worst = 0.0;
         TimeNs total = 0.0;
-        for (size_t d = 0; d < sent.size(); ++d) {
-            TimeNs add = txTime(sent[d],
-                                topo_.dim(static_cast<int>(d)).bandwidth);
+        for (size_t d = 0; d < sentScratch_.size(); ++d) {
+            TimeNs add =
+                sentScratch_[d] > 0.0
+                    ? txTime(sentScratch_[d],
+                             topo_.dim(static_cast<int>(d)).bandwidth)
+                    : 0.0;
             total += add;
+            // The bottleneck term spans *every* dimension, including
+            // ones this collective does not touch: an already-loaded
+            // idle dimension saturates the max, which makes candidates
+            // tie on `worst` and fall through to the total-time
+            // tie-break (sub-topology collectives in MP x DP hybrids
+            // rely on this).
             worst = std::max(worst, load_[d] + add);
         }
         // Primary: minimize the bottleneck; secondary: waste less
@@ -56,14 +67,16 @@ CollectiveScheduler::themisOrder(const std::vector<GroupDim> &groups,
         return std::make_pair(worst, total);
     };
 
-    std::vector<GroupDim> best = groups;
+    best = groups;
     auto best_score = evaluate(best);
+    std::vector<GroupDim> &candidate = candidateScratch_;
 
     if (groups.size() <= 5) {
-        std::vector<size_t> idx(groups.size());
+        std::vector<size_t> &idx = permScratch_;
+        idx.resize(groups.size());
         for (size_t i = 0; i < idx.size(); ++i)
             idx[i] = i;
-        std::vector<GroupDim> candidate(groups.size());
+        candidate.resize(groups.size());
         do {
             for (size_t i = 0; i < idx.size(); ++i)
                 candidate[i] = groups[idx[i]];
@@ -73,13 +86,13 @@ CollectiveScheduler::themisOrder(const std::vector<GroupDim> &groups,
                 best = candidate;
             }
         } while (std::next_permutation(idx.begin(), idx.end()));
-        return best;
+        return;
     }
 
     // Many dimensions: rotate each group into the lead position and
     // keep the rest in canonical order.
     for (size_t lead = 1; lead < groups.size(); ++lead) {
-        std::vector<GroupDim> candidate;
+        candidate.clear();
         candidate.push_back(groups[lead]);
         for (size_t i = 0; i < groups.size(); ++i)
             if (i != lead)
@@ -90,18 +103,17 @@ CollectiveScheduler::themisOrder(const std::vector<GroupDim> &groups,
             best = candidate;
         }
     }
-    return best;
 }
 
 void
 CollectiveScheduler::accountOrder(const std::vector<GroupDim> &order,
                                   CollectiveType type, Bytes bytes)
 {
-    std::vector<Bytes> sent = perDimSentBytes(topo_, type, bytes, order);
-    for (size_t d = 0; d < sent.size(); ++d) {
-        if (sent[d] > 0.0)
+    perDimSentBytesInto(topo_, type, bytes, order, sentScratch_);
+    for (size_t d = 0; d < sentScratch_.size(); ++d) {
+        if (sentScratch_[d] > 0.0)
             load_[d] += txTime(
-                sent[d], topo_.dim(static_cast<int>(d)).bandwidth);
+                sentScratch_[d], topo_.dim(static_cast<int>(d)).bandwidth);
     }
 }
 

@@ -59,13 +59,23 @@ class CollectiveScheduler
     void accountOrder(const std::vector<GroupDim> &order,
                       CollectiveType type, Bytes bytes);
 
-    /** Minimax-greedy order search for the Themis policy. */
-    std::vector<GroupDim> themisOrder(const std::vector<GroupDim> &groups,
-                                      CollectiveType type,
-                                      Bytes bytes) const;
+    /** Minimax-greedy order search for the Themis policy; writes the
+     *  winning order into `best`. */
+    void themisOrder(const std::vector<GroupDim> &groups,
+                     CollectiveType type, Bytes bytes,
+                     std::vector<GroupDim> &best);
 
     const Topology &topo_;
+    /** Accumulated serialization time per topology dimension, dense
+     *  and indexed by dimension (flat: touched per chunk, so no
+     *  map lookups on the scheduling path). */
     std::vector<TimeNs> load_;
+    // Scratch reused across nextOrder() calls so steady-state
+    // scheduling performs no allocation (candidate orders + the
+    // per-dimension sent-bytes accumulator of the evaluated order).
+    std::vector<GroupDim> candidateScratch_;
+    std::vector<size_t> permScratch_;
+    std::vector<Bytes> sentScratch_;
 };
 
 } // namespace astra

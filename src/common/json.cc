@@ -251,6 +251,29 @@ Value::dump(int indent) const
     return out;
 }
 
+Value
+Value::clone() const
+{
+    switch (kind_) {
+      case Kind::Array: {
+        Array copy;
+        copy.reserve(arr_->size());
+        for (const Value &v : *arr_)
+            copy.push_back(v.clone());
+        return Value(std::move(copy));
+      }
+      case Kind::Object: {
+        Object copy;
+        for (const auto &[key, v] : *obj_)
+            copy.emplace(key, v.clone());
+        return Value(std::move(copy));
+      }
+      default:
+        // Scalars hold no shared state; plain copy is already deep.
+        return *this;
+    }
+}
+
 namespace {
 
 /** Recursive-descent JSON parser with line/column error reporting. */

@@ -84,6 +84,14 @@ class Value
     std::string getString(const std::string &key,
                           const std::string &dflt) const;
 
+    /**
+     * Deep copy. Copy construction shares arrays/objects (cheap value
+     * semantics for readers); clone() is for callers that mutate a
+     * document built from another, e.g. the sweep engine overlaying
+     * axis values onto a shared base config.
+     */
+    Value clone() const;
+
     /** Serialize; indent < 0 means compact single-line output. */
     std::string dump(int indent = -1) const;
 

@@ -21,8 +21,27 @@
  *
  * InlineEvent is move-only (unlike std::function it accepts move-only
  * captures such as unique_ptr). The simulation core is single-threaded
- * by design (one EventQueue drives one simulation), and CallbackPool
- * inherits that assumption: it is not thread-safe.
+ * by design (one EventQueue drives one simulation).
+ *
+ * Threading contract
+ * ------------------
+ * CallbackPool keeps its free lists and counters in `thread_local`
+ * state, so independent simulations may run concurrently on separate
+ * threads with no synchronization and no false sharing — this is what
+ * makes batch runs (src/sweep) embarrassingly parallel. The rules:
+ *
+ *  - A simulation (EventQueue, Simulator, and every InlineEvent it
+ *    creates) must be confined to a single thread for its lifetime.
+ *    Pooled capture blocks are returned to the free list of the thread
+ *    that destroys the event; destroying an event on a different
+ *    thread than the one that created it would migrate the block and
+ *    corrupt both threads' counters.
+ *  - Pool counters (outstanding/heapAllocs/cached, or the combined
+ *    stats() snapshot) report the *calling thread's* pool only. The
+ *    sweep batch runner snapshots each worker's stats after its last
+ *    simulation and surfaces them per thread in the batch outcome.
+ *  - Blocks cached by a worker thread are released when the thread
+ *    exits (thread_local destructor), not at process exit.
  */
 #ifndef ASTRA_EVENT_INLINE_EVENT_H_
 #define ASTRA_EVENT_INLINE_EVENT_H_
@@ -46,6 +65,9 @@ namespace astra {
  * allocations without touching the system heap. Captures above the
  * largest class (rare; a deliberately large test capture) fall through
  * to plain operator new. Counters are exposed for tests and benches.
+ *
+ * All state is per-thread (see the threading contract in the file
+ * comment): each thread allocates from and frees to its own pool.
  */
 class CallbackPool
 {
@@ -85,13 +107,13 @@ class CallbackPool
         st.freeList[cls].push_back(p);
     }
 
-    /** Blocks currently handed out (live pooled captures). */
+    /** Blocks currently handed out by this thread's pool. */
     static size_t outstanding() { return state().live; }
 
-    /** Times the pool had to go to the system heap (cold misses). */
+    /** Times this thread's pool went to the system heap (cold misses). */
     static uint64_t heapAllocs() { return state().heapAllocs; }
 
-    /** Blocks cached in the free lists, ready for reuse. */
+    /** Blocks cached in this thread's free lists, ready for reuse. */
     static size_t
     cached()
     {
@@ -99,6 +121,22 @@ class CallbackPool
         for (const std::vector<void *> &fl : state().freeList)
             n += fl.size();
         return n;
+    }
+
+    /** Per-thread counter snapshot (surfaced by the sweep batch runner
+     *  as per-worker stats). */
+    struct Stats
+    {
+        size_t outstanding = 0;
+        uint64_t heapAllocs = 0;
+        size_t cached = 0;
+    };
+
+    /** Snapshot of the calling thread's pool counters. */
+    static Stats
+    stats()
+    {
+        return Stats{outstanding(), heapAllocs(), cached()};
     }
 
   private:
@@ -119,7 +157,10 @@ class CallbackPool
     static State &
     state()
     {
-        static State st;
+        // One pool per thread: parallel batch runs (src/sweep) place
+        // whole simulations on worker threads, and each allocates and
+        // frees exclusively against its own free lists.
+        thread_local State st;
         return st;
     }
 

@@ -223,8 +223,8 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
 
     EventCallback on_injected = std::move(handlers.onInjected);
 
-    uint64_t id = nextMsgId_++;
-    Message &msg = inflight_[id];
+    uint64_t id = allocMessage();
+    Message &msg = messageFor(id);
     msg.src = src;
     msg.dst = dst;
     msg.tag = tag;
@@ -285,18 +285,57 @@ PacketNetwork::forwardPacket(uint64_t msg_id, const std::vector<int> *path,
                    });
 }
 
+uint64_t
+PacketNetwork::allocMessage()
+{
+    uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<uint32_t>(messages_.size());
+        messages_.emplace_back();
+    }
+    Message &msg = messages_[slot];
+    ++msg.gen; // ids of the slot's previous lives go stale.
+    return static_cast<uint64_t>(slot) |
+           (static_cast<uint64_t>(msg.gen) << 32);
+}
+
+PacketNetwork::Message &
+PacketNetwork::messageFor(uint64_t msg_id)
+{
+    uint32_t slot = static_cast<uint32_t>(msg_id);
+    uint32_t gen = static_cast<uint32_t>(msg_id >> 32);
+    ASTRA_ASSERT(slot < messages_.size(), "message slot out of range");
+    Message &msg = messages_[slot];
+    ASTRA_ASSERT(msg.gen == gen, "stale message id (slot recycled)");
+    return msg;
+}
+
+void
+PacketNetwork::releaseMessage(Message &msg)
+{
+    uint32_t slot = static_cast<uint32_t>(&msg - messages_.data());
+    msg.handlers = SendHandlers{};
+    freeSlots_.push_back(slot);
+}
+
 void
 PacketNetwork::packetArrived(uint64_t msg_id)
 {
-    auto it = inflight_.find(msg_id);
-    ASTRA_ASSERT(it != inflight_.end(), "unknown message id");
-    Message &msg = it->second;
+    Message &msg = messageFor(msg_id);
+    ASTRA_ASSERT(msg.packetsRemaining > 0, "arrival on idle message slot");
     if (--msg.packetsRemaining > 0)
         return;
-    Message done = std::move(msg);
-    inflight_.erase(it);
-    deliver(done.src, done.dst, done.tag,
-            std::move(done.handlers.onDelivered));
+    // Pull the completion handler out before recycling the slot: the
+    // deliver() chain may send again and reuse it immediately.
+    NpuId src = msg.src;
+    NpuId dst = msg.dst;
+    uint64_t tag = msg.tag;
+    EventCallback on_delivered = std::move(msg.handlers.onDelivered);
+    releaseMessage(msg);
+    deliver(src, dst, tag, std::move(on_delivered));
 }
 
 } // namespace astra

@@ -55,6 +55,10 @@ class PacketNetwork : public NetworkApi
     /** Number of directed links in the constructed graph. */
     size_t linkCount() const { return links_.size(); }
 
+    /** Message slots currently allocated (live + recyclable); exposed
+     *  so tests can verify free-list recycling. */
+    size_t messageSlots() const { return messages_.size(); }
+
     Bytes packetBytes() const { return packetBytes_; }
 
   private:
@@ -65,12 +69,21 @@ class PacketNetwork : public NetworkApi
         TimeNs freeAt = 0.0;
     };
 
+    /**
+     * In-flight message bookkeeping in flat slot storage (free list +
+     * generation ids, mirroring CollectiveEngine's instance slots):
+     * message ids are `slot | (generation << 32)`, so the per-packet
+     * arrival path is one array indexing instead of a hash lookup, and
+     * a stale id (message already delivered, slot recycled) is still
+     * detected by the generation check.
+     */
     struct Message
     {
         NpuId src = 0;
         NpuId dst = 0;
         uint64_t tag = 0;
-        int packetsRemaining = 0;
+        int packetsRemaining = 0; //!< 0 while the slot is free.
+        uint32_t gen = 0;
         SendHandlers handlers;
     };
 
@@ -106,6 +119,11 @@ class PacketNetwork : public NetworkApi
                        size_t hop, Bytes pkt_bytes);
     void packetArrived(uint64_t msg_id);
 
+    /** Claim a message slot; returns its id (slot | gen << 32). */
+    uint64_t allocMessage();
+    Message &messageFor(uint64_t msg_id);
+    void releaseMessage(Message &msg);
+
     Bytes packetBytes_;
     Bytes headerBytes_;
     TimeNs messageOverhead_;
@@ -113,8 +131,8 @@ class PacketNetwork : public NetworkApi
     std::vector<int> switchBase_; //!< per-dim base index of switch nodes.
     std::unordered_map<uint64_t, Link> links_;
     std::unordered_map<uint64_t, std::vector<int>> routeCache_;
-    std::unordered_map<uint64_t, Message> inflight_;
-    uint64_t nextMsgId_ = 1;
+    std::vector<Message> messages_;   //!< slot-indexed, recycled.
+    std::vector<uint32_t> freeSlots_;
 };
 
 } // namespace astra

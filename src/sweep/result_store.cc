@@ -1,0 +1,240 @@
+#include "sweep/result_store.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+namespace sweep {
+
+namespace {
+
+/** RFC-4180 quoting: axis values and labels may contain commas (e.g.
+ *  JSON-object axis values). */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+formatNs(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+} // namespace
+
+const char *
+metricName(Metric m)
+{
+    switch (m) {
+      case Metric::TotalTime:        return "total_ns";
+      case Metric::Compute:          return "compute_ns";
+      case Metric::ExposedComm:      return "exposed_comm_ns";
+      case Metric::ExposedLocalMem:  return "exposed_local_mem_ns";
+      case Metric::ExposedRemoteMem: return "exposed_remote_mem_ns";
+      case Metric::Idle:             return "idle_ns";
+      case Metric::Events:           return "events";
+      case Metric::Messages:         return "messages";
+    }
+    return "?";
+}
+
+ResultStore::ResultStore(std::string sweep_name,
+                         std::vector<std::string> axis_names)
+    : sweepName_(std::move(sweep_name)), axisNames_(std::move(axis_names))
+{
+}
+
+ResultStore
+ResultStore::fromBatch(const SweepSpec &spec, const BatchOutcome &outcome)
+{
+    ResultStore store(spec.name(), spec.axisNames());
+    for (const SweepResult &r : outcome.results)
+        store.add(r);
+    return store;
+}
+
+ResultStore
+ResultStore::fromBatch(const SweepSpec &spec, BatchOutcome &&outcome)
+{
+    ResultStore store(spec.name(), spec.axisNames());
+    for (SweepResult &r : outcome.results)
+        store.add(std::move(r));
+    return store;
+}
+
+void
+ResultStore::add(SweepResult result)
+{
+    ASTRA_USER_CHECK(result.config.axisValues.size() == axisNames_.size(),
+                     "result row has %zu axis values, store expects %zu",
+                     result.config.axisValues.size(), axisNames_.size());
+    rows_.push_back(std::move(result));
+}
+
+const SweepResult &
+ResultStore::row(size_t i) const
+{
+    ASTRA_USER_CHECK(i < rows_.size(), "result row %zu out of range", i);
+    return rows_[i];
+}
+
+double
+ResultStore::value(size_t i, Metric m) const
+{
+    const SweepResult &r = row(i);
+    ASTRA_USER_CHECK(!r.failed, "result row %zu failed: %s", i,
+                     r.error.c_str());
+    switch (m) {
+      case Metric::TotalTime:        return r.report.totalTime;
+      case Metric::Compute:          return r.report.average.compute;
+      case Metric::ExposedComm:      return r.report.average.exposedComm;
+      case Metric::ExposedLocalMem:
+        return r.report.average.exposedLocalMem;
+      case Metric::ExposedRemoteMem:
+        return r.report.average.exposedRemoteMem;
+      case Metric::Idle:             return r.report.average.idle;
+      case Metric::Events:           return double(r.report.events);
+      case Metric::Messages:         return double(r.report.messages);
+    }
+    return 0.0;
+}
+
+size_t
+ResultStore::argmin(Metric m) const
+{
+    size_t best = rows_.size();
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        if (rows_[i].failed)
+            continue;
+        if (best == rows_.size() || value(i, m) < value(best, m))
+            best = i;
+    }
+    ASTRA_USER_CHECK(best < rows_.size(),
+                     "argmin over an empty/all-failed result store");
+    return best;
+}
+
+size_t
+ResultStore::argmax(Metric m) const
+{
+    size_t best = rows_.size();
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        if (rows_[i].failed)
+            continue;
+        if (best == rows_.size() || value(i, m) > value(best, m))
+            best = i;
+    }
+    ASTRA_USER_CHECK(best < rows_.size(),
+                     "argmax over an empty/all-failed result store");
+    return best;
+}
+
+std::string
+ResultStore::toCsv() const
+{
+    std::string out = "index,label,config";
+    for (const std::string &name : axisNames_)
+        out += ',' + csvField(name);
+    out += ",total_ns,compute_ns,exposed_comm_ns,exposed_local_mem_ns,"
+           "exposed_remote_mem_ns,idle_ns,events,messages,status\n";
+
+    char buf[64];
+    for (const SweepResult &r : rows_) {
+        std::snprintf(buf, sizeof(buf), "%zu", r.config.index);
+        out += buf;
+        out += ',' + csvField(r.config.label);
+        out += ',' + configHashString(r.config.hash);
+        for (const std::string &v : r.config.axisValues)
+            out += ',' + csvField(v);
+        if (r.failed) {
+            // Eight empty metric fields, then the status field — same
+            // arity as the ok branch so header-keyed parsers align.
+            out += ",,,,,,,,,";
+            out += csvField("failed: " + r.error);
+        } else {
+            const RuntimeBreakdown &b = r.report.average;
+            out += ',' + formatNs(r.report.totalTime);
+            out += ',' + formatNs(b.compute);
+            out += ',' + formatNs(b.exposedComm);
+            out += ',' + formatNs(b.exposedLocalMem);
+            out += ',' + formatNs(b.exposedRemoteMem);
+            out += ',' + formatNs(b.idle);
+            std::snprintf(buf, sizeof(buf), ",%llu,%llu,ok",
+                          static_cast<unsigned long long>(r.report.events),
+                          static_cast<unsigned long long>(
+                              r.report.messages));
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+json::Value
+ResultStore::toJson() const
+{
+    json::Object doc;
+    doc["sweep"] = json::Value(sweepName_);
+    json::Array axes;
+    for (const std::string &name : axisNames_)
+        axes.push_back(json::Value(name));
+    doc["axes"] = json::Value(std::move(axes));
+
+    json::Array rows;
+    rows.reserve(rows_.size());
+    for (const SweepResult &r : rows_) {
+        json::Object row;
+        row["index"] = json::Value(static_cast<uint64_t>(r.config.index));
+        row["label"] = json::Value(r.config.label);
+        row["config"] = json::Value(configHashString(r.config.hash));
+        json::Object axis_values;
+        for (size_t a = 0; a < axisNames_.size(); ++a)
+            axis_values[axisNames_[a]] =
+                json::Value(r.config.axisValues[a]);
+        row["axis_values"] = json::Value(std::move(axis_values));
+        if (r.failed) {
+            row["status"] = json::Value("failed");
+            row["error"] = json::Value(r.error);
+        } else {
+            row["status"] = json::Value("ok");
+            row["report"] = reportToJson(r.report);
+        }
+        rows.push_back(json::Value(std::move(row)));
+    }
+    doc["rows"] = json::Value(std::move(rows));
+    return json::Value(std::move(doc));
+}
+
+void
+ResultStore::writeCsv(const std::string &path) const
+{
+    std::string text = toCsv();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASTRA_USER_CHECK(f != nullptr, "cannot write '%s'", path.c_str());
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+void
+ResultStore::writeJson(const std::string &path) const
+{
+    json::writeFile(path, toJson());
+}
+
+} // namespace sweep
+} // namespace astra

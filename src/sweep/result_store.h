@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tidy tabulation of sweep results with strategy-search queries.
+ *
+ * A ResultStore holds one row per sweep configuration — axis values as
+ * leading columns, the paper's five-way runtime breakdown (compute /
+ * exposed comm / exposed local mem / exposed remote mem / idle) plus
+ * totals as metric columns — and renders them as CSV or JSON for
+ * downstream analysis. min/max/argmin/argmax over any metric answer
+ * the design-space questions the paper's sweeps exist for ("which
+ * bandwidth provision minimizes iteration time?").
+ *
+ * Determinism: serialization covers only simulated quantities (host
+ * wall-clock and cache provenance are excluded), so the same spec
+ * renders byte-identical tables regardless of thread count or cache
+ * state. Failed configurations keep their row (status column) but are
+ * skipped by the queries.
+ */
+#ifndef ASTRA_SWEEP_RESULT_STORE_H_
+#define ASTRA_SWEEP_RESULT_STORE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.h"
+
+namespace astra {
+namespace sweep {
+
+/** Metric columns exposed to queries. */
+enum class Metric {
+    TotalTime,        //!< simulated end-to-end time (ns).
+    Compute,          //!< mean compute time (ns).
+    ExposedComm,      //!< mean exposed communication time (ns).
+    ExposedLocalMem,  //!< mean exposed local-memory time (ns).
+    ExposedRemoteMem, //!< mean exposed remote-memory time (ns).
+    Idle,             //!< mean idle time (ns).
+    Events,           //!< DES events executed.
+    Messages,         //!< network messages simulated.
+};
+
+/** Column name of a metric (matches the CSV/JSON headers). */
+const char *metricName(Metric m);
+
+/** See file comment. */
+class ResultStore
+{
+  public:
+    ResultStore(std::string sweep_name,
+                std::vector<std::string> axis_names);
+
+    /** Convenience: tabulate a whole batch outcome. */
+    static ResultStore fromBatch(const SweepSpec &spec,
+                                 const BatchOutcome &outcome);
+
+    /** Move overload: steals the outcome's rows (config documents and
+     *  per-NPU report arrays are heavy; callers done with the outcome
+     *  should not pay for a deep copy of every row). */
+    static ResultStore fromBatch(const SweepSpec &spec,
+                                 BatchOutcome &&outcome);
+
+    /** Append a result row (rows keep insertion order; fromBatch
+     *  inserts in config-index order). Pass an rvalue to move. */
+    void add(SweepResult result);
+
+    size_t rows() const { return rows_.size(); }
+    const SweepResult &row(size_t i) const;
+
+    /** Metric value of row `i`; fatal() if the row failed. */
+    double value(size_t i, Metric m) const;
+
+    /** Row index minimizing / maximizing a metric (failed rows are
+     *  skipped); fatal() if no row succeeded. */
+    size_t argmin(Metric m) const;
+    size_t argmax(Metric m) const;
+
+    double min(Metric m) const { return value(argmin(m), m); }
+    double max(Metric m) const { return value(argmax(m), m); }
+
+    /** Render the tidy table; see file comment for the column set. */
+    std::string toCsv() const;
+    json::Value toJson() const;
+
+    void writeCsv(const std::string &path) const;
+    void writeJson(const std::string &path) const;
+
+  private:
+    std::string sweepName_;
+    std::vector<std::string> axisNames_;
+    std::vector<SweepResult> rows_;
+};
+
+} // namespace sweep
+} // namespace astra
+
+#endif // ASTRA_SWEEP_RESULT_STORE_H_

@@ -1,0 +1,350 @@
+#include "sweep/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+namespace sweep {
+
+namespace {
+
+uint64_t
+parseHashKey(const std::string &key)
+{
+    return std::strtoull(key.c_str(), nullptr, 16);
+}
+
+/**
+ * Per-worker deque of configuration indices. Owners pop the front of
+ * their shard (preserving the cheap cache-friendly in-order walk);
+ * thieves take from the back, so an owner and a thief only collide on
+ * the last element.
+ */
+struct WorkDeque
+{
+    std::mutex mutex;
+    std::deque<size_t> items;
+
+    bool
+    popFront(size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (items.empty())
+            return false;
+        *out = items.front();
+        items.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (items.empty())
+            return false;
+        *out = items.back();
+        items.pop_back();
+        return true;
+    }
+
+    size_t
+    size()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return items.size();
+    }
+};
+
+void
+runOne(const SweepSpec &spec, size_t index, ResultCache *cache,
+       SweepResult &slot)
+{
+    // std::exception (not just FatalError): a worker thread has no
+    // one to rethrow to — anything escaping the thread body would
+    // std::terminate the whole batch. bad_alloc from an oversized
+    // grid point is a per-row failure like any misconfiguration.
+    try {
+        slot.config = spec.config(index);
+    } catch (const std::exception &err) {
+        // Expansion itself can be a user error (an axis path that
+        // traverses a scalar); isolate it like a failed run so the
+        // rest of the batch survives. The row keeps placeholder axis
+        // values so result tables stay rectangular.
+        slot.config.index = index;
+        slot.config.label = "expansion failed";
+        slot.config.axisValues.assign(spec.axes().size(), "-");
+        slot.failed = true;
+        slot.error = err.what();
+        return;
+    }
+    // The expanded document is only needed to run (and is cheap to
+    // regenerate via spec.config(index)); drop it afterwards so batch
+    // memory is bounded by reports, not by grid-size x base-doc-size.
+    json::Value doc = std::move(slot.config.doc);
+    slot.config.doc = json::Value();
+
+    if (cache != nullptr) {
+        bool hit = false;
+        try {
+            hit = cache->lookup(slot.config.hash, &slot.report);
+        } catch (const std::exception &err) {
+            // A malformed cached report (hand-edited or wrong-shape
+            // entry) is a miss, not an error — same degrade-to-cold
+            // contract as loadFile.
+            warn("ignoring malformed cache entry %s: %s",
+                 configHashString(slot.config.hash).c_str(), err.what());
+        }
+        if (hit) {
+            slot.fromCache = true;
+            return;
+        }
+    }
+    try {
+        slot.report = runConfig(doc);
+    } catch (const std::exception &err) {
+        slot.failed = true;
+        slot.error = err.what();
+        return;
+    }
+    if (cache != nullptr)
+        cache->insert(slot.config.hash, slot.report);
+}
+
+} // namespace
+
+size_t
+ResultCache::loadFile(const std::string &path)
+{
+    std::FILE *probe = std::fopen(path.c_str(), "rb");
+    if (probe == nullptr)
+        return 0; // first run: empty cache.
+    std::fclose(probe);
+
+    // The cache is disposable acceleration state: a corrupt,
+    // truncated, or wrong-shape file degrades to a cold cache, never
+    // to an error — so the *entire* read runs under the try, and
+    // entries are staged before merging so a mid-file failure cannot
+    // leave a partial load.
+    std::unordered_map<uint64_t, json::Value> staged;
+    try {
+        json::Value doc = json::parseFile(path);
+        // Version mismatch = the file was written by a build whose
+        // configuration semantics (or simulated results) differ; its
+        // entries are stale even where hashes collide with ours.
+        if (doc.getInt("version", 0) !=
+            static_cast<int64_t>(kSpecSchemaVersion)) {
+            warn("ignoring result cache '%s': version %lld != %llu "
+                 "(results from an older build are stale)",
+                 path.c_str(),
+                 static_cast<long long>(doc.getInt("version", 0)),
+                 static_cast<unsigned long long>(kSpecSchemaVersion));
+            return 0;
+        }
+        if (!doc.has("entries"))
+            return 0;
+        for (const auto &[key, report] : doc.at("entries").asObject())
+            staged.emplace(parseHashKey(key), report.clone());
+    } catch (const FatalError &err) {
+        warn("ignoring unreadable result cache '%s': %s", path.c_str(),
+             err.what());
+        return 0;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[hash, report] : staged)
+        entries_[hash] = std::move(report);
+    return staged.size();
+}
+
+void
+ResultCache::saveFile(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Object entries;
+    for (const auto &[hash, report] : entries_)
+        entries[configHashString(hash)] = report.clone();
+    json::Object doc;
+    doc["kind"] = json::Value("astra-sweep-result-cache");
+    doc["version"] = json::Value(kSpecSchemaVersion);
+    doc["entries"] = json::Value(std::move(entries));
+    // Write-then-rename so an interrupted save can only ever leave the
+    // previous cache (or a stray .tmp), never a truncated file.
+    std::string tmp = path + ".tmp";
+    json::writeFile(tmp, json::Value(std::move(doc)));
+    ASTRA_USER_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                     "cannot move '%s' into place", tmp.c_str());
+}
+
+bool
+ResultCache::lookup(uint64_t hash, Report *out) const
+{
+    // Copy the document under the lock (cheap shared_ptr copies) and
+    // deserialize outside it, so warm-cache batches don't serialize
+    // every worker on the O(npus) reportFromJson walk.
+    json::Value doc;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(hash);
+        if (it == entries_.end())
+            return false;
+        doc = it->second;
+    }
+    *out = reportFromJson(doc);
+    return true;
+}
+
+void
+ResultCache::insert(uint64_t hash, const Report &report)
+{
+    // Serialize outside nothing — reportToJson is pure; only the map
+    // mutation needs the lock.
+    json::Value doc = reportToJson(report);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[hash] = std::move(doc);
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+Report
+runConfig(const json::Value &doc)
+{
+    MaterializedConfig mat = materializeConfig(doc);
+    Simulator sim(std::move(mat.topo), std::move(mat.cfg));
+    return sim.run(mat.workload);
+}
+
+BatchOutcome
+runBatch(const SweepSpec &spec, const BatchOptions &opts)
+{
+    size_t n = spec.configCount();
+    BatchOutcome out;
+    out.results.resize(n);
+
+    int threads = opts.threads;
+    if (threads <= 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    // Never spin up more workers than configurations.
+    threads = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(threads), std::max<size_t>(n, 1)));
+    out.threadsUsed = threads;
+
+    auto host_start = std::chrono::steady_clock::now();
+
+    if (threads == 1) {
+        for (size_t i = 0; i < n; ++i)
+            runOne(spec, i, opts.cache, out.results[i]);
+        out.workerPoolStats.push_back(CallbackPool::stats());
+    } else {
+        // Deal contiguous shards: worker w owns [w*n/T, (w+1)*n/T).
+        std::vector<WorkDeque> shards(static_cast<size_t>(threads));
+        for (int w = 0; w < threads; ++w) {
+            size_t lo = n * static_cast<size_t>(w) /
+                        static_cast<size_t>(threads);
+            size_t hi = n * static_cast<size_t>(w + 1) /
+                        static_cast<size_t>(threads);
+            for (size_t i = lo; i < hi; ++i)
+                shards[static_cast<size_t>(w)].items.push_back(i);
+        }
+
+        out.workerPoolStats.resize(static_cast<size_t>(threads));
+        auto worker = [&](int id) {
+            WorkDeque &own = shards[static_cast<size_t>(id)];
+            size_t index;
+            for (;;) {
+                if (own.popFront(&index)) {
+                    runOne(spec, index, opts.cache, out.results[index]);
+                    continue;
+                }
+                // Own shard drained: steal from the most loaded
+                // victim. A failed steal (victim emptied between the
+                // size probe and the pop) rescans the other deques
+                // rather than retiring the worker — queued work may
+                // still sit behind a busy owner. The rescan loop
+                // terminates because the global item count only ever
+                // shrinks; a pass that observes every deque empty
+                // means all remaining work is already claimed.
+                bool stole = false;
+                for (;;) {
+                    int victim = -1;
+                    size_t victim_load = 0;
+                    for (int v = 0; v < threads; ++v) {
+                        if (v == id)
+                            continue;
+                        size_t load =
+                            shards[static_cast<size_t>(v)].size();
+                        if (load > victim_load) {
+                            victim_load = load;
+                            victim = v;
+                        }
+                    }
+                    if (victim < 0)
+                        break; // every deque observed empty.
+                    if (shards[static_cast<size_t>(victim)].stealBack(
+                            &index)) {
+                        stole = true;
+                        break;
+                    }
+                }
+                if (!stole)
+                    break;
+                runOne(spec, index, opts.cache, out.results[index]);
+            }
+            // Snapshot this worker's thread_local pool counters while
+            // the thread is still alive.
+            out.workerPoolStats[static_cast<size_t>(id)] =
+                CallbackPool::stats();
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(threads));
+        for (int w = 0; w < threads; ++w)
+            pool.emplace_back(worker, w);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    auto host_end = std::chrono::steady_clock::now();
+    out.wallSeconds =
+        std::chrono::duration<double>(host_end - host_start).count();
+
+    for (const SweepResult &r : out.results) {
+        if (r.fromCache)
+            ++out.cacheHits;
+        if (r.failed)
+            ++out.failures;
+    }
+
+    // A sweep whose configurations all produced identical results is
+    // almost always a mistyped axis path: applyOverride() happily
+    // creates keys nothing reads, yielding a plausible-looking but
+    // constant grid. Warn rather than fail — a genuinely flat
+    // response surface is legitimate, just rare.
+    if (n > 1 && out.failures == 0) {
+        bool all_equal = true;
+        for (size_t i = 1; i < n && all_equal; ++i)
+            all_equal = out.results[i].report.totalTime ==
+                            out.results[0].report.totalTime &&
+                        out.results[i].report.events ==
+                            out.results[0].report.events;
+        if (all_equal)
+            warn("sweep '%s': all %zu configurations produced "
+                 "identical results — check the axis paths for typos "
+                 "(overrides at unknown paths are not detected)",
+                 spec.name().c_str(), n);
+    }
+    return out;
+}
+
+} // namespace sweep
+} // namespace astra

@@ -1,0 +1,454 @@
+#include "sweep/spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "astra/config.h"
+#include "common/logging.h"
+#include "topology/notation.h"
+#include "topology/presets.h"
+#include "workload/builders.h"
+
+namespace astra {
+namespace sweep {
+
+namespace {
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+std::vector<json::Value>
+expandRange(const json::Value &range)
+{
+    double from = range.at("from").asNumber();
+    double to = range.at("to").asNumber();
+    double step = range.at("step").asNumber();
+    ASTRA_USER_CHECK(step > 0.0, "sweep axis range: step must be > 0");
+    ASTRA_USER_CHECK(to >= from,
+                     "sweep axis range: 'to' (%g) below 'from' (%g)", to,
+                     from);
+    // Grid points are from + i*step (multiplication, not accumulation:
+    // no drift, and a step below the ULP of `from` cannot hang the
+    // expansion). Inclusive endpoint with a tolerance sized only for
+    // rounding — it must never admit a genuine extra point past 'to'.
+    double count = std::floor((to - from) / step + 1e-9) + 1.0;
+    ASTRA_USER_CHECK(count <= 1e6,
+                     "sweep axis range: %g..%g step %g expands to %g "
+                     "values (limit 1e6)",
+                     from, to, step, count);
+    std::vector<json::Value> values;
+    for (size_t i = 0; i < static_cast<size_t>(count); ++i)
+        values.push_back(json::Value(from + double(i) * step));
+    return values;
+}
+
+Axis
+axisFromJson(const json::Value &doc)
+{
+    Axis axis;
+    ASTRA_USER_CHECK(doc.has("path"),
+                     "sweep axis: missing required key 'path'");
+    axis.path = doc.at("path").asString();
+    ASTRA_USER_CHECK(!axis.path.empty(), "sweep axis: empty 'path'");
+
+    ASTRA_USER_CHECK(doc.has("values") != doc.has("range"),
+                     "sweep axis '%s': give exactly one of 'values' or "
+                     "'range'",
+                     axis.path.c_str());
+    if (doc.has("values"))
+        axis.values = doc.at("values").asArray();
+    else
+        axis.values = expandRange(doc.at("range"));
+    ASTRA_USER_CHECK(!axis.values.empty(),
+                     "sweep axis '%s': no values", axis.path.c_str());
+
+    if (doc.has("name")) {
+        axis.name = doc.at("name").asString();
+    } else {
+        size_t dot = axis.path.rfind('.');
+        axis.name =
+            dot == std::string::npos ? axis.path : axis.path.substr(dot + 1);
+    }
+
+    if (doc.has("labels")) {
+        for (const json::Value &l : doc.at("labels").asArray())
+            axis.labels.push_back(l.asString());
+        ASTRA_USER_CHECK(axis.labels.size() == axis.values.size(),
+                         "sweep axis '%s': %zu labels for %zu values",
+                         axis.path.c_str(), axis.labels.size(),
+                         axis.values.size());
+    }
+    return axis;
+}
+
+ModelDesc
+modelByName(const std::string &name)
+{
+    std::string key = toLower(name);
+    if (key == "dlrm")
+        return dlrm();
+    if (key == "gpt3" || key == "gpt-3")
+        return gpt3();
+    if (key == "transformer1t" || key == "transformer-1t")
+        return transformer1T();
+    if (key == "moe1t" || key == "moe-1t")
+        return moe1T();
+    fatal("sweep workload: unknown model '%s' (dlrm | gpt3 | "
+          "transformer1t | moe1t)",
+          name.c_str());
+}
+
+Workload
+workloadFromSpec(const Topology &topo, const json::Value &w)
+{
+    std::string kind = toLower(w.getString("kind", "hybrid"));
+    int iterations = static_cast<int>(w.getInt("iterations", 1));
+
+    if (kind == "collective") {
+        ASTRA_USER_CHECK(w.has("bytes"),
+                         "sweep workload: collective needs 'bytes'");
+        CollectiveType type =
+            parseCollectiveType(w.getString("collective", "all-reduce"));
+        return buildSingleCollective(topo, type,
+                                     w.at("bytes").asNumber());
+    }
+
+    if (kind == "hybrid") {
+        ASTRA_USER_CHECK(w.has("model"),
+                         "sweep workload: hybrid needs 'model'");
+        HybridOptions opts;
+        opts.mp = static_cast<int>(w.getInt("mp", 1));
+        opts.iterations = iterations;
+        opts.simLayers = static_cast<int>(w.getInt("sim_layers", 0));
+        return buildHybridTransformer(
+            topo, modelByName(w.at("model").asString()), opts);
+    }
+
+    if (kind == "dlrm") {
+        DlrmOptions opts;
+        opts.iterations = iterations;
+        ModelDesc model = w.has("model")
+                              ? modelByName(w.at("model").asString())
+                              : dlrm();
+        return buildDlrm(topo, model, opts);
+    }
+
+    if (kind == "pipeline") {
+        ASTRA_USER_CHECK(w.has("model"),
+                         "sweep workload: pipeline needs 'model'");
+        PipelineOptions opts;
+        opts.microbatches =
+            static_cast<int>(w.getInt("microbatches", 8));
+        opts.iterations = iterations;
+        return buildPipelineParallel(
+            topo, modelByName(w.at("model").asString()), opts);
+    }
+
+    if (kind == "moe") {
+        MoEOptions opts;
+        opts.iterations = iterations;
+        opts.simLayers = static_cast<int>(w.getInt("sim_layers", 0));
+        std::string path = toLower(w.getString("param_path", "network"));
+        if (path == "network")
+            opts.path = ParamPath::NetworkCollectives;
+        else if (path == "fused")
+            opts.path = ParamPath::FusedInSwitch;
+        else
+            fatal("sweep workload: unknown param_path '%s' (network | "
+                  "fused)",
+                  path.c_str());
+        ModelDesc model = w.has("model")
+                              ? modelByName(w.at("model").asString())
+                              : moe1T();
+        return buildMoEDisaggregated(topo, model, opts);
+    }
+
+    fatal("sweep workload: unknown kind '%s' (hybrid | dlrm | pipeline "
+          "| moe | collective)",
+          kind.c_str());
+}
+
+Topology
+topologyFromSpec(const json::Value &v)
+{
+    if (v.isString()) {
+        const std::string &s = v.asString();
+        // Notation always carries parenthesized factors; anything else
+        // is a preset name ("conv4d", "dgxa100", ...).
+        if (s.find('(') != std::string::npos)
+            return parseTopology(s);
+        return presets::byName(s);
+    }
+    ASTRA_USER_CHECK(v.isObject(),
+                     "sweep config: 'topology' must be a preset name, "
+                     "notation string, or {\"dims\": [...]} object");
+    return topologyFromJson(v);
+}
+
+} // namespace
+
+std::string
+Axis::valueString(size_t i) const
+{
+    ASTRA_ASSERT(i < values.size(), "axis value index out of range");
+    if (!labels.empty())
+        return labels[i];
+    const json::Value &v = values[i];
+    if (v.isString())
+        return v.asString();
+    return v.dump();
+}
+
+SweepSpec
+SweepSpec::fromJson(const json::Value &doc)
+{
+    SweepSpec spec;
+    spec.name_ = doc.getString("name", "sweep");
+
+    std::string mode = toLower(doc.getString("mode", "cartesian"));
+    if (mode == "cartesian")
+        spec.mode_ = GridMode::Cartesian;
+    else if (mode == "zip")
+        spec.mode_ = GridMode::Zip;
+    else
+        fatal("sweep spec: unknown mode '%s' (cartesian | zip)",
+              mode.c_str());
+
+    ASTRA_USER_CHECK(doc.has("base"),
+                     "sweep spec: missing required key 'base'");
+    ASTRA_USER_CHECK(doc.at("base").isObject(),
+                     "sweep spec: 'base' must be an object");
+    spec.base_ = doc.at("base").clone();
+
+    ASTRA_USER_CHECK(doc.has("axes"),
+                     "sweep spec: missing required key 'axes'");
+    for (const json::Value &a : doc.at("axes").asArray())
+        spec.axes_.push_back(axisFromJson(a));
+    ASTRA_USER_CHECK(!spec.axes_.empty(), "sweep spec: no axes");
+
+    if (spec.mode_ == GridMode::Zip) {
+        size_t len = spec.axes_.front().values.size();
+        for (const Axis &axis : spec.axes_)
+            ASTRA_USER_CHECK(axis.values.size() == len,
+                             "sweep spec: zip mode needs equal-length "
+                             "axes ('%s' has %zu values, expected %zu)",
+                             axis.path.c_str(), axis.values.size(), len);
+    }
+    return spec;
+}
+
+SweepSpec
+SweepSpec::fromFile(const std::string &path)
+{
+    return fromJson(json::parseFile(path));
+}
+
+size_t
+SweepSpec::configCount() const
+{
+    if (mode_ == GridMode::Zip)
+        return axes_.front().values.size();
+    size_t n = 1;
+    for (const Axis &axis : axes_)
+        n *= axis.values.size();
+    return n;
+}
+
+std::vector<std::string>
+SweepSpec::axisNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(axes_.size());
+    for (const Axis &axis : axes_)
+        names.push_back(axis.name);
+    return names;
+}
+
+SweepConfig
+SweepSpec::config(size_t index) const
+{
+    ASTRA_USER_CHECK(index < configCount(),
+                     "sweep config index %zu out of range (%zu configs)",
+                     index, configCount());
+
+    // Per-axis value indices: lockstep for zip; mixed-radix with the
+    // first axis slowest for cartesian (so the expansion order reads
+    // like nested loops in axis order).
+    std::vector<size_t> pick(axes_.size(), index);
+    if (mode_ == GridMode::Cartesian) {
+        size_t rest = 1;
+        for (const Axis &axis : axes_)
+            rest *= axis.values.size();
+        size_t rem = index;
+        for (size_t a = 0; a < axes_.size(); ++a) {
+            rest /= axes_[a].values.size();
+            pick[a] = rem / rest;
+            rem %= rest;
+        }
+    }
+
+    SweepConfig cfg;
+    cfg.index = index;
+    cfg.doc = base_.clone();
+    for (size_t a = 0; a < axes_.size(); ++a) {
+        const Axis &axis = axes_[a];
+        applyOverride(cfg.doc, axis.path, axis.values[pick[a]]);
+        std::string value = axis.valueString(pick[a]);
+        if (!cfg.label.empty())
+            cfg.label += ' ';
+        cfg.label += axis.name + '=' + value;
+        cfg.axisValues.push_back(std::move(value));
+    }
+    cfg.hash = configHash(cfg.doc);
+    return cfg;
+}
+
+void
+applyOverride(json::Value &doc, const std::string &path,
+              const json::Value &value)
+{
+    json::Value *node = &doc;
+    size_t start = 0;
+    for (;;) {
+        size_t dot = path.find('.', start);
+        std::string key = path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        ASTRA_USER_CHECK(!key.empty(),
+                         "sweep axis path '%s': empty segment",
+                         path.c_str());
+        ASTRA_USER_CHECK(node->isObject() || node->isNull(),
+                         "sweep axis path '%s': segment '%s' traverses "
+                         "a non-object value",
+                         path.c_str(), key.c_str());
+        json::Value &child = node->mutableObject()[key];
+        if (dot == std::string::npos) {
+            child = value.clone();
+            return;
+        }
+        node = &child;
+        start = dot + 1;
+    }
+}
+
+uint64_t
+configHash(const json::Value &doc)
+{
+    // FNV-1a over the compact serialization. json::Object keys are
+    // ordered (std::map) and numbers print with %.17g, so equal
+    // documents always hash equal and any value change reaches the
+    // hash.
+    std::string text = doc.dump();
+    uint64_t h = 14695981039346656037ULL ^ (kSpecSchemaVersion * 31);
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+configHashString(uint64_t hash)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+MaterializedConfig
+materializeConfig(const json::Value &doc)
+{
+    ASTRA_USER_CHECK(doc.has("topology"),
+                     "sweep config: missing 'topology'");
+    Topology topo = topologyFromSpec(doc.at("topology"));
+
+    NetworkBackendKind backend = backendFromJson(doc);
+    SimulatorConfig cfg =
+        doc.has("system")
+            ? simulatorConfigFromJson(doc.at("system"), backend)
+            : [&] {
+                  SimulatorConfig c;
+                  c.backend = backend;
+                  return c;
+              }();
+
+    ASTRA_USER_CHECK(doc.has("workload"),
+                     "sweep config: missing 'workload'");
+    Workload wl = workloadFromSpec(topo, doc.at("workload"));
+    return MaterializedConfig{std::move(topo), std::move(cfg),
+                              std::move(wl)};
+}
+
+void
+writeSampleSpec(const std::string &path)
+{
+    json::Object workload;
+    workload["kind"] = json::Value("moe");
+    workload["model"] = json::Value("moe1t");
+    workload["param_path"] = json::Value("fused");
+
+    json::Object remote;
+    remote["kind"] = json::Value("pooled");
+
+    json::Object system;
+    system["peak_tflops"] = json::Value(2048.0);
+    system["local_memory"] = [] {
+        json::Object local;
+        local["bandwidth_gbps"] = json::Value(4096.0);
+        return json::Value(std::move(local));
+    }();
+    system["remote_memory"] = json::Value(std::move(remote));
+
+    json::Object base;
+    base["topology"] =
+        json::Value("Switch(16,300,300)_Switch(16,25,700)");
+    base["backend"] = json::Value("analytical");
+    base["system"] = json::Value(std::move(system));
+    base["workload"] = json::Value(std::move(workload));
+
+    json::Array axes;
+    axes.push_back([] {
+        json::Object axis;
+        axis["path"] = json::Value(
+            "system.remote_memory.in_node_fabric_bw_gbps");
+        axis["name"] = json::Value("fabric_bw");
+        axis["values"] = json::Value(json::Array{
+            json::Value(256.0), json::Value(512.0), json::Value(1024.0)});
+        return json::Value(std::move(axis));
+    }());
+    axes.push_back([] {
+        json::Object axis;
+        axis["path"] = json::Value(
+            "system.remote_memory.remote_group_bw_gbps");
+        axis["name"] = json::Value("group_bw");
+        axis["range"] = [] {
+            json::Object range;
+            range["from"] = json::Value(100.0);
+            range["to"] = json::Value(500.0);
+            range["step"] = json::Value(200.0);
+            return json::Value(std::move(range));
+        }();
+        return json::Value(std::move(axis));
+    }());
+
+    json::Object doc;
+    doc["name"] = json::Value("hiermem-sample");
+    doc["mode"] = json::Value("cartesian");
+    doc["base"] = json::Value(std::move(base));
+    doc["axes"] = json::Value(std::move(axes));
+    json::writeFile(path, json::Value(std::move(doc)));
+}
+
+} // namespace sweep
+} // namespace astra

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -167,6 +168,39 @@ TEST(InlineEvent, NestedEventCaptureFallsBackToPool)
     EXPECT_EQ(fired, 1);
     outer = nullptr;
     EXPECT_EQ(CallbackPool::outstanding(), live_before);
+}
+
+TEST(CallbackPool, StateIsPerThread)
+{
+    // The threading contract (file comment): each thread has its own
+    // pool, so pooled allocations on a worker never perturb another
+    // thread's counters — the property the sweep batch runner relies
+    // on to run simulations concurrently.
+    size_t live_before = CallbackPool::outstanding();
+    uint64_t heap_before = CallbackPool::heapAllocs();
+
+    CallbackPool::Stats worker_during{};
+    CallbackPool::Stats worker_after{};
+    std::thread worker([&] {
+        EXPECT_EQ(CallbackPool::outstanding(), 0u); // fresh pool.
+        double payload[16] = {};
+        double sink = 0.0;
+        InlineEvent ev([&sink, payload] { sink = payload[0]; });
+        EXPECT_FALSE(ev.isInline());
+        worker_during = CallbackPool::stats();
+        ev = nullptr;
+        worker_after = CallbackPool::stats();
+    });
+    worker.join();
+
+    EXPECT_EQ(worker_during.outstanding, 1u);
+    EXPECT_GE(worker_during.heapAllocs, 1u);
+    EXPECT_EQ(worker_after.outstanding, 0u);
+    EXPECT_EQ(worker_after.cached, 1u); // block back on its free list.
+
+    // This thread's pool never noticed.
+    EXPECT_EQ(CallbackPool::outstanding(), live_before);
+    EXPECT_EQ(CallbackPool::heapAllocs(), heap_before);
 }
 
 } // namespace

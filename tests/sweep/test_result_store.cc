@@ -1,0 +1,163 @@
+/** @file Tests for the sweep result store (tables + queries). */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "sweep/result_store.h"
+
+namespace astra {
+namespace sweep {
+namespace {
+
+SweepResult
+makeRow(size_t index, const std::string &axis_value, double total,
+        double comm, uint64_t events)
+{
+    SweepResult r;
+    r.config.index = index;
+    r.config.label = "x=" + axis_value;
+    r.config.hash = 0x1000 + index;
+    r.config.axisValues = {axis_value};
+    r.report.workload = "w";
+    r.report.totalTime = total;
+    r.report.average.compute = total - comm;
+    r.report.average.exposedComm = comm;
+    r.report.events = events;
+    r.report.messages = events / 2;
+    return r;
+}
+
+ResultStore
+makeStore()
+{
+    ResultStore store("unit", {"x"});
+    store.add(makeRow(0, "a", 300.0, 100.0, 30));
+    store.add(makeRow(1, "b", 100.0, 80.0, 10));
+    store.add(makeRow(2, "c", 200.0, 10.0, 20));
+    return store;
+}
+
+TEST(ResultStore, QueriesSelectExtremes)
+{
+    ResultStore store = makeStore();
+    EXPECT_EQ(store.rows(), 3u);
+    EXPECT_EQ(store.argmin(Metric::TotalTime), 1u);
+    EXPECT_EQ(store.argmax(Metric::TotalTime), 0u);
+    EXPECT_DOUBLE_EQ(store.min(Metric::TotalTime), 100.0);
+    EXPECT_DOUBLE_EQ(store.max(Metric::TotalTime), 300.0);
+    EXPECT_EQ(store.argmin(Metric::ExposedComm), 2u);
+    EXPECT_EQ(store.argmax(Metric::Events), 0u);
+    EXPECT_DOUBLE_EQ(store.value(1, Metric::Compute), 20.0);
+    EXPECT_DOUBLE_EQ(store.value(2, Metric::Messages), 10.0);
+}
+
+TEST(ResultStore, FailedRowsKeptButSkippedByQueries)
+{
+    ResultStore store("unit", {"x"});
+    SweepResult bad = makeRow(0, "boom", 1.0, 0.0, 1);
+    bad.failed = true;
+    bad.error = "mp does not divide";
+    store.add(bad);
+    store.add(makeRow(1, "ok", 50.0, 5.0, 5));
+
+    EXPECT_EQ(store.rows(), 2u);
+    EXPECT_EQ(store.argmin(Metric::TotalTime), 1u);
+    EXPECT_THROW(store.value(0, Metric::TotalTime), FatalError);
+
+    std::string csv = store.toCsv();
+    EXPECT_NE(csv.find("failed: mp does not divide"),
+              std::string::npos);
+    // Failed rows carry the same field count as ok rows, so
+    // header-keyed CSV parsers put the message in the status column.
+    {
+        std::istringstream lines(csv);
+        std::string line;
+        std::getline(lines, line); // header
+        size_t header_fields = std::count(line.begin(), line.end(), ',');
+        std::getline(lines, line); // failed row (no quoted commas)
+        EXPECT_EQ(size_t(std::count(line.begin(), line.end(), ',')),
+                  header_fields);
+    }
+    json::Value doc = store.toJson();
+    EXPECT_EQ(doc.at("rows").asArray()[0].at("status").asString(),
+              "failed");
+    EXPECT_EQ(doc.at("rows").asArray()[1].at("status").asString(),
+              "ok");
+
+    // All rows failed -> queries are a user error.
+    ResultStore all_failed("unit", {"x"});
+    all_failed.add(bad);
+    EXPECT_THROW(all_failed.argmin(Metric::TotalTime), FatalError);
+}
+
+TEST(ResultStore, CsvShapeAndQuoting)
+{
+    ResultStore store("unit", {"x"});
+    store.add(makeRow(0, "has,comma \"quoted\"", 10.0, 1.0, 2));
+    std::string csv = store.toCsv();
+
+    // Header + one row.
+    std::istringstream lines(csv);
+    std::string header, row, extra;
+    ASSERT_TRUE(std::getline(lines, header));
+    ASSERT_TRUE(std::getline(lines, row));
+    EXPECT_FALSE(std::getline(lines, extra));
+    EXPECT_EQ(header,
+              "index,label,config,x,total_ns,compute_ns,"
+              "exposed_comm_ns,exposed_local_mem_ns,"
+              "exposed_remote_mem_ns,idle_ns,events,messages,status");
+    // RFC-4180: embedded quotes doubled, field quoted.
+    EXPECT_NE(row.find("\"has,comma \"\"quoted\"\"\""),
+              std::string::npos);
+    EXPECT_NE(row.find("10.000"), std::string::npos);
+    EXPECT_NE(row.find(",ok"), std::string::npos);
+}
+
+TEST(ResultStore, JsonShape)
+{
+    json::Value doc = makeStore().toJson();
+    EXPECT_EQ(doc.at("sweep").asString(), "unit");
+    EXPECT_EQ(doc.at("axes").asArray().size(), 1u);
+    const json::Array &rows = doc.at("rows").asArray();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[1].at("axis_values").at("x").asString(), "b");
+    EXPECT_DOUBLE_EQ(
+        rows[1].at("report").at("total_time_ns").asNumber(), 100.0);
+    // Host wall-clock must not be serialized (determinism contract).
+    EXPECT_FALSE(rows[1].at("report").has("wall_seconds"));
+}
+
+TEST(ResultStore, FileOutput)
+{
+    ResultStore store = makeStore();
+    std::string csv_path = "result_store_test.csv";
+    std::string json_path = "result_store_test.json";
+    store.writeCsv(csv_path);
+    store.writeJson(json_path);
+
+    std::ifstream csv(csv_path);
+    std::stringstream csv_text;
+    csv_text << csv.rdbuf();
+    EXPECT_EQ(csv_text.str(), store.toCsv());
+
+    json::Value doc = json::parseFile(json_path);
+    EXPECT_EQ(doc.at("rows").asArray().size(), 3u);
+    std::remove(csv_path.c_str());
+    std::remove(json_path.c_str());
+}
+
+TEST(ResultStore, AxisArityValidated)
+{
+    ResultStore store("unit", {"x", "y"});
+    EXPECT_THROW(store.add(makeRow(0, "only-x", 1.0, 0.0, 1)),
+                 FatalError);
+}
+
+} // namespace
+} // namespace sweep
+} // namespace astra
