@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Flow-level vs packet-level backend: accuracy and simulation speed
+ * on contention-heavy scenarios (docs/network.md). Emits
+ * BENCH_flow.json via scripts/bench.sh so the fidelity/speed
+ * trade-off is tracked across PRs.
+ *
+ * Scenarios:
+ *  - incast_1024: 1023 senders -> 1 receiver through one 1024-port
+ *    switch, 1 MB each — the headline congestion case. The packet
+ *    model FIFO-serializes ~260k packets over the receiver's
+ *    down-link; the flow model resolves the same contention with ONE
+ *    max-min solve (every flow gets bw/1023) and ~3k events.
+ *  - alltoall_64: uniform 64-NPU all-to-all (4032 flows, 256 KB
+ *    each) on the same switch — a denser solver workload where every
+ *    up-link and every down-link carries 63 flows.
+ *
+ * Both backends expand the identical link graph, so the packet
+ * backend's store-and-forward result is the accuracy reference and
+ * the reported gap is purely the fluid approximation.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "event/event_queue.h"
+#include "network/detailed/packet_network.h"
+#include "network/flow/flow_network.h"
+
+using namespace astra;
+using namespace astra::literals;
+
+namespace {
+
+struct RunResult
+{
+    TimeNs simTimeNs = 0.0;
+    double wallSeconds = 0.0;
+    uint64_t events = 0;
+};
+
+struct Transfer
+{
+    NpuId src;
+    NpuId dst;
+    Bytes bytes;
+};
+
+RunResult
+runTransfers(NetworkApi &net, EventQueue &eq,
+             const std::vector<Transfer> &transfers)
+{
+    size_t done = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (const Transfer &t : transfers) {
+        SendHandlers h;
+        h.onDelivered = [&done] { ++done; };
+        net.simSend(t.src, t.dst, t.bytes, 0, kNoTag, std::move(h));
+    }
+    eq.run();
+    auto end = std::chrono::steady_clock::now();
+    ASTRA_ASSERT(done == transfers.size(), "transfers lost");
+    RunResult r;
+    r.simTimeNs = eq.now();
+    r.wallSeconds = std::chrono::duration<double>(end - start).count();
+    r.events = eq.executedEvents();
+    return r;
+}
+
+struct Scenario
+{
+    std::string name;
+    RunResult flow;
+    RunResult packet;
+
+    double
+    accuracyGap() const
+    {
+        return packet.simTimeNs > 0.0
+                   ? std::abs(flow.simTimeNs - packet.simTimeNs) /
+                         packet.simTimeNs
+                   : 0.0;
+    }
+
+    double
+    speedup() const
+    {
+        return flow.wallSeconds > 0.0
+                   ? packet.wallSeconds / flow.wallSeconds
+                   : 0.0;
+    }
+};
+
+Scenario
+runScenario(const std::string &name, const Topology &topo,
+            const std::vector<Transfer> &transfers)
+{
+    Scenario s;
+    s.name = name;
+    {
+        EventQueue eq;
+        FlowNetwork net(eq, topo);
+        s.flow = runTransfers(net, eq, transfers);
+    }
+    {
+        EventQueue eq;
+        PacketNetwork net(eq, topo, 4096.0);
+        s.packet = runTransfers(net, eq, transfers);
+    }
+    return s;
+}
+
+Scenario
+benchIncast1024()
+{
+    Topology topo({{BlockType::Switch, 1024, 100.0, 500.0}});
+    std::vector<Transfer> transfers;
+    transfers.reserve(1023);
+    for (NpuId src = 1; src < 1024; ++src)
+        transfers.push_back({src, 0, 1_MB});
+    return runScenario("incast_1024", topo, transfers);
+}
+
+Scenario
+benchAllToAll64()
+{
+    Topology topo({{BlockType::Switch, 64, 100.0, 500.0}});
+    std::vector<Transfer> transfers;
+    transfers.reserve(64 * 63);
+    // Classic rotation schedule (step r: src -> src + r), the order
+    // real all-to-all implementations use so down-links are loaded
+    // evenly instead of every source hammering destination 0 first.
+    for (int r = 1; r < 64; ++r)
+        for (NpuId src = 0; src < 64; ++src)
+            transfers.push_back({src, (src + r) % 64, 256.0 * kKB});
+    return runScenario("alltoall_64", topo, transfers);
+}
+
+bool
+writeJson(const char *path, const std::vector<Scenario> &scenarios)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("cannot write %s", path);
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"flow_vs_packet\",\n"
+                    "  \"scenarios\": {\n");
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario &s = scenarios[i];
+        std::fprintf(
+            f,
+            "    \"%s\": {\n"
+            "      \"flow\": {\"sim_time_ns\": %.3f, \"wall_seconds\": "
+            "%.6f, \"events\": %llu},\n"
+            "      \"packet\": {\"sim_time_ns\": %.3f, \"wall_seconds\": "
+            "%.6f, \"events\": %llu},\n"
+            "      \"accuracy_gap\": %.6f,\n"
+            "      \"speedup\": %.1f\n"
+            "    }%s\n",
+            s.name.c_str(), s.flow.simTimeNs, s.flow.wallSeconds,
+            static_cast<unsigned long long>(s.flow.events),
+            s.packet.simTimeNs, s.packet.wallSeconds,
+            static_cast<unsigned long long>(s.packet.events),
+            s.accuracyGap(), s.speedup(),
+            i + 1 < scenarios.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    std::printf("flow-level vs packet-level backend "
+                "(accuracy / simulation speed)\n\n");
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(benchIncast1024());
+    scenarios.push_back(benchAllToAll64());
+
+    for (const Scenario &s : scenarios) {
+        std::printf("%-12s flow   %10.3f ms sim  %8.4f s wall  "
+                    "%8llu events\n",
+                    s.name.c_str(), s.flow.simTimeNs / kMs,
+                    s.flow.wallSeconds,
+                    static_cast<unsigned long long>(s.flow.events));
+        std::printf("%-12s packet %10.3f ms sim  %8.4f s wall  "
+                    "%8llu events\n",
+                    "", s.packet.simTimeNs / kMs, s.packet.wallSeconds,
+                    static_cast<unsigned long long>(s.packet.events));
+        std::printf("%-12s gap %.2f%%  speedup %.1fx\n\n", "",
+                    100.0 * s.accuracyGap(), s.speedup());
+    }
+
+    if (json_path != nullptr) {
+        if (!writeJson(json_path, scenarios))
+            return 1;
+        std::printf("wrote %s\n", json_path);
+    }
+    return 0;
+}

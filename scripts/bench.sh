@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Build the Release bench targets and record the perf trajectory:
-#  - bench_eventcore (micro) + the bench_speedup one-shot section
-#    (§IV-C anchor) -> BENCH_eventcore.json
+#  - bench_eventcore (micro, incl. the adaptive bucket-width pick) +
+#    the bench_speedup one-shot section (§IV-C anchor)
+#    -> BENCH_eventcore.json
 #  - bench_sweep_throughput (64-config hierarchical-memory sweep at
 #    1/2/8 threads, byte-identity check vs sequential ground truth)
 #    -> BENCH_sweep.json
+#  - bench_flow_vs_packet (1024-NPU incast + 64-NPU all-to-all:
+#    flow-backend accuracy gap vs the packet reference and wall-clock
+#    speedup) -> BENCH_flow.json
 # Machine-readable results land at the repo root so numbers are
 # comparable across PRs (same machine assumed).
 set -euo pipefail
@@ -13,10 +17,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_eventcore.json}"
 SWEEP_OUT="${2:-BENCH_sweep.json}"
+FLOW_OUT="${3:-BENCH_flow.json}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target bench_eventcore bench_speedup bench_sweep_throughput
+      --target bench_eventcore bench_speedup bench_sweep_throughput \
+               bench_flow_vs_packet
 
 "./$BUILD_DIR/bench_eventcore" --json "$OUT"
 
@@ -24,9 +30,12 @@ echo
 "./$BUILD_DIR/bench_sweep_throughput" --json "$SWEEP_OUT"
 
 echo
+"./$BUILD_DIR/bench_flow_vs_packet" --json "$FLOW_OUT"
+
+echo
 # One-shot speedup section only (skip the google-benchmark loops).
 "./$BUILD_DIR/bench_speedup" --benchmark_filter='^DISABLED_none$' ||
     true
 
 echo
-echo "results written to $OUT and $SWEEP_OUT"
+echo "results written to $OUT, $SWEEP_OUT, and $FLOW_OUT"

@@ -51,10 +51,12 @@ backendFromJson(const json::Value &doc)
         return NetworkBackendKind::Analytical;
     if (name == "analytical-pure")
         return NetworkBackendKind::AnalyticalPure;
+    if (name == "flow")
+        return NetworkBackendKind::Flow;
     if (name == "packet")
         return NetworkBackendKind::Packet;
     fatal("network config: unknown backend '%s' (analytical | "
-          "analytical-pure | packet)",
+          "analytical-pure | flow | packet)",
           name.c_str());
 }
 

@@ -14,7 +14,7 @@
  *   // or explicit:
  *   "dims": [{"type": "Ring", "size": 2,
  *             "bandwidth_gbps": 250, "latency_ns": 500}, ...],
- *   "backend": "analytical" | "analytical-pure" | "packet",
+ *   "backend": "analytical" | "analytical-pure" | "flow" | "packet",
  *   "packet_bytes": 4096
  * }
  * ```

@@ -27,6 +27,26 @@ Report::dimUtilization(const Topology &topo) const
     return util;
 }
 
+double
+Report::maxLinkUtilization() const
+{
+    return totalTime > 0.0 ? maxLinkBusyNs / totalTime : 0.0;
+}
+
+std::vector<double>
+Report::dimBusyFraction() const
+{
+    std::vector<double> frac(busyTimePerDim.size(), 0.0);
+    if (totalTime <= 0.0)
+        return frac;
+    for (size_t d = 0; d < frac.size(); ++d) {
+        int links = d < linksPerDim.size() ? linksPerDim[d] : 0;
+        if (links > 0)
+            frac[d] = busyTimePerDim[d] / (double(links) * totalTime);
+    }
+    return frac;
+}
+
 std::string
 Report::summary() const
 {
@@ -40,7 +60,8 @@ Report::summary() const
         "  exposed local mem: %.3f ms (%.1f%%)\n"
         "  exposed remote mem:%.3f ms (%.1f%%)\n"
         "  idle:              %.3f ms (%.1f%%)\n"
-        "events: %llu  messages: %llu  host time: %.3f s\n",
+        "events: %llu  messages: %llu  host time: %.3f s\n"
+        "max link utilization: %.1f%%\n",
         workload.c_str(), totalTime / kMs, average.compute / kMs,
         100.0 * average.compute / std::max(average.total(), 1.0),
         average.exposedComm / kMs,
@@ -53,7 +74,8 @@ Report::summary() const
         average.idle / kMs,
         100.0 * average.idle / std::max(average.total(), 1.0),
         static_cast<unsigned long long>(events),
-        static_cast<unsigned long long>(messages), wallSeconds);
+        static_cast<unsigned long long>(messages), wallSeconds,
+        100.0 * maxLinkUtilization());
     return buf;
 }
 
@@ -104,6 +126,17 @@ reportToJson(const Report &report)
     for (double b : report.bytesPerDim)
         bytes.push_back(json::Value(b));
     doc["bytes_per_dim"] = json::Value(std::move(bytes));
+    json::Array busy;
+    busy.reserve(report.busyTimePerDim.size());
+    for (double b : report.busyTimePerDim)
+        busy.push_back(json::Value(b));
+    doc["busy_time_per_dim_ns"] = json::Value(std::move(busy));
+    json::Array links;
+    links.reserve(report.linksPerDim.size());
+    for (int n : report.linksPerDim)
+        links.push_back(json::Value(n));
+    doc["links_per_dim"] = json::Value(std::move(links));
+    doc["max_link_busy_ns"] = json::Value(report.maxLinkBusyNs);
     return json::Value(std::move(doc));
 }
 
@@ -127,6 +160,17 @@ reportFromJson(const json::Value &doc)
         for (const json::Value &v : doc.at("bytes_per_dim").asArray())
             report.bytesPerDim.push_back(v.asNumber());
     }
+    if (doc.has("busy_time_per_dim_ns")) {
+        for (const json::Value &v :
+             doc.at("busy_time_per_dim_ns").asArray())
+            report.busyTimePerDim.push_back(v.asNumber());
+    }
+    if (doc.has("links_per_dim")) {
+        for (const json::Value &v : doc.at("links_per_dim").asArray())
+            report.linksPerDim.push_back(
+                static_cast<int>(v.asNumber()));
+    }
+    report.maxLinkBusyNs = doc.getNumber("max_link_busy_ns", 0.0);
     return report;
 }
 

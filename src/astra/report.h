@@ -29,6 +29,9 @@ struct Report
     uint64_t events = 0;          //!< DES events executed.
     uint64_t messages = 0;        //!< network messages simulated.
     std::vector<double> bytesPerDim; //!< network payload per dim.
+    std::vector<double> busyTimePerDim; //!< link-busy ns per dim.
+    std::vector<int> linksPerDim; //!< serialization points per dim.
+    double maxLinkBusyNs = 0.0;   //!< busiest single link's busy ns.
     double wallSeconds = 0.0;     //!< host wall-clock of the run.
 
     /** Exposed-communication share of total runtime [0, 1]. */
@@ -41,6 +44,25 @@ struct Report
      * used (per-dim bandwidths).
      */
     std::vector<double> dimUtilization(const Topology &topo) const;
+
+    /**
+     * Busy fraction of the single hottest network link over the
+     * whole run (hot-link saturation; what sweeps rank by). The
+     * backend's NetworkStats define what a "link" is — TX ports for
+     * the analytical backend, explicit directed links for the flow
+     * and packet backends. For the congestion-resolving backends
+     * (flow, packet) this is a physical occupancy in [0, 1]; for the
+     * analytical backends it is a *demand* ratio — `analytical-pure`
+     * does not serialize overlapping sends, so a value above 1 means
+     * the port was asked for more than it could physically carry
+     * (exactly the oversubscription a congestion-aware backend would
+     * resolve into longer runtimes).
+     */
+    double maxLinkUtilization() const;
+
+    /** Mean link busy fraction per dimension
+     *  (busyTimePerDim / (linksPerDim * totalTime)). */
+    std::vector<double> dimBusyFraction() const;
 
     /** Render a human-readable summary block. */
     std::string summary() const;

@@ -63,6 +63,9 @@ Simulator::run(const Workload &wl)
     report.events = eq_.executedEvents();
     report.messages = net_->stats().messages;
     report.bytesPerDim = net_->stats().bytesPerDim;
+    report.busyTimePerDim = net_->stats().busyTimePerDim;
+    report.linksPerDim = net_->stats().linksPerDim;
+    report.maxLinkBusyNs = net_->stats().maxLinkBusyNs;
     report.wallSeconds =
         std::chrono::duration<double>(host_end - host_start).count();
     return report;

@@ -7,10 +7,21 @@
 
 namespace astra {
 
-EventQueue::EventQueue(TimeNs bucket_width)
-    : bucketWidth_(bucket_width), invWidth_(1.0 / bucket_width)
+EventQueue::EventQueue(TimeNs bucket_width, bool adaptive)
+    : bucketWidth_(bucket_width), invWidth_(1.0 / bucket_width),
+      adaptive_(adaptive)
 {
     ASTRA_ASSERT(bucket_width > 0.0, "bucket width must be positive");
+}
+
+void
+EventQueue::setBucketWidth(TimeNs width)
+{
+    ASTRA_ASSERT(pending_ == 0,
+                 "bucket width can only change on an empty queue");
+    ASTRA_ASSERT(width > 0.0, "bucket width must be positive");
+    bucketWidth_ = width;
+    invWidth_ = 1.0 / width;
 }
 
 bool
@@ -47,6 +58,11 @@ EventQueue::scheduleAt(TimeNs when, EventCallback cb)
         nowFifo_.push_back(std::move(cb));
         return;
     }
+    if (timedScheduled_ == 0 || when < firstTimedWhen_)
+        firstTimedWhen_ = when;
+    if (timedScheduled_ == 0 || when > lastTimedWhen_)
+        lastTimedWhen_ = when;
+    ++timedScheduled_;
     int64_t tick = tickOf(when);
     if (tick < baseTick_)
         rebaseWindow(tick);
@@ -243,13 +259,36 @@ EventQueue::reset()
     seq_ = 0;
     executed_ = 0;
     pending_ = 0;
+
+    // Adapt the bucket width to the spacing the finished run actually
+    // observed (see the header comment): mean timed-event spacing / 4
+    // keeps dependent events a few buckets ahead of the cursor. The
+    // spacing is the first-to-last timed span over the count, so a
+    // run whose timed events cluster late (long zero-delay warm-up)
+    // is not mistaken for a coarse-grained one.
+    if (adaptive_ && timedScheduled_ >= kAdaptSampleMin &&
+        lastTimedWhen_ > firstTimedWhen_) {
+        TimeNs spacing = (lastTimedWhen_ - firstTimedWhen_) /
+                         double(timedScheduled_ - 1);
+        setBucketWidth(std::clamp(spacing / 4.0, kMinBucketWidthNs,
+                                  kMaxBucketWidthNs));
+    }
+    timedScheduled_ = 0;
+    firstTimedWhen_ = 0.0;
+    lastTimedWhen_ = 0.0;
 }
 
 void
-EventQueue::reserve(size_t events)
+EventQueue::reserve(size_t events, TimeNs expected_span)
 {
     nowFifo_.reserve(events);
     overflow_.reserve(events);
+    if (adaptive_ && pending_ == 0 && expected_span > 0.0 &&
+        events > 0) {
+        TimeNs spacing = expected_span / double(events);
+        setBucketWidth(std::clamp(spacing / 4.0, kMinBucketWidthNs,
+                                  kMaxBucketWidthNs));
+    }
 }
 
 } // namespace astra

@@ -65,7 +65,27 @@ class EventQueue
      *  default width the window spans ~65 us of simulated time. */
     static constexpr size_t kNumBuckets = 1024;
 
-    explicit EventQueue(TimeNs bucket_width = kDefaultBucketWidthNs);
+    /** Bounds for the adaptive bucket width (see reset()). */
+    static constexpr TimeNs kMinBucketWidthNs = 4.0;
+    static constexpr TimeNs kMaxBucketWidthNs = 4096.0;
+
+    /** Timed events a finished run must have executed before its
+     *  spacing sample is trusted for adaptation. */
+    static constexpr uint64_t kAdaptSampleMin = 1024;
+
+    /**
+     * Default-constructed queues start at kDefaultBucketWidthNs and
+     * *adapt*: each reset() re-derives the width from the event
+     * spacing the previous run actually exhibited (see reset()).
+     * Constructing with an explicit width pins it — the width is a
+     * pure performance knob either way and can never reorder events.
+     */
+    EventQueue() : EventQueue(kDefaultBucketWidthNs, true) {}
+
+    explicit EventQueue(TimeNs bucket_width)
+        : EventQueue(bucket_width, false)
+    {
+    }
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -101,22 +121,56 @@ class EventQueue
     /** Total number of events executed so far (for speed reporting). */
     uint64_t executedEvents() const { return executed_; }
 
-    /** Drop all pending events and reset the clock. Container
-     *  capacities are kept, so a reused queue schedules without
-     *  reallocating. */
+    /**
+     * Drop all pending events and reset the clock. Container
+     * capacities are kept, so a reused queue schedules without
+     * reallocating.
+     *
+     * Adaptive queues (default constructor) additionally re-derive
+     * the bucket width here from the run that just finished: the mean
+     * inter-event spacing of *timed* events — the span from the first
+     * to the last timed timestamp divided by their count (zero-delay
+     * FIFO traffic never touches the buckets and is excluded) —
+     * divided by 4, clamped to [kMinBucketWidthNs,
+     * kMaxBucketWidthNs], so dependent events keep landing a few
+     * buckets ahead whatever the workload's natural time scale. Runs
+     * below kAdaptSampleMin timed events keep the current width
+     * (kDefaultBucketWidthNs fallback). The queue is empty at this
+     * point, so changing the width cannot reorder anything — it
+     * remains a pure performance knob.
+     */
     void reset();
 
-    /** Pre-size the internal containers for ~`events` concurrently
-     *  pending events. */
-    void reserve(size_t events);
+    /**
+     * Pre-size the internal containers for ~`events` events. When
+     * `expected_span` is given (> 0), also seed the adaptive bucket
+     * width from the anticipated mean spacing `expected_span /
+     * events` before any event is scheduled (only meaningful on an
+     * empty adaptive queue; ignored otherwise) — for the seed to be
+     * accurate, pass the *total* timed-event count you expect over
+     * the span, not just the concurrently-pending high-water mark
+     * (the container reserve tolerates the larger figure).
+     */
+    void reserve(size_t events, TimeNs expected_span = 0.0);
+
+    /** The current near-future window granularity. */
+    TimeNs bucketWidth() const { return bucketWidth_; }
+
+    /** True when reset()/reserve() re-derive the bucket width. */
+    bool adaptiveBucketWidth() const { return adaptive_; }
 
   private:
+    EventQueue(TimeNs bucket_width, bool adaptive);
+
     struct Entry
     {
         TimeNs when;
         uint64_t seq;
         InlineEvent cb;
     };
+
+    /** Install a new bucket width (queue must be empty). */
+    void setBucketWidth(TimeNs width);
 
     int64_t
     tickOf(TimeNs when) const
@@ -173,10 +227,17 @@ class EventQueue
 
     TimeNs bucketWidth_;
     double invWidth_;
+    bool adaptive_;
     TimeNs now_ = 0.0;
     uint64_t seq_ = 0;
     uint64_t executed_ = 0;
     size_t pending_ = 0;
+    /** Events that went through the buckets/overflow (not the
+     *  now-FIFO): the spacing sample for adaptation is the
+     *  [first, last] timed-timestamp span over their count. */
+    uint64_t timedScheduled_ = 0;
+    TimeNs firstTimedWhen_ = 0.0;
+    TimeNs lastTimedWhen_ = 0.0;
 };
 
 } // namespace astra

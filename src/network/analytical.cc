@@ -15,6 +15,10 @@ AnalyticalNetwork::AnalyticalNetwork(EventQueue &eq, const Topology &topo,
         static_cast<size_t>(topo.npus()) *
             static_cast<size_t>(topo.numDims()),
         0.0);
+    txBusy_.assign(txFree_.size(), 0.0);
+    // One serialization point per (NPU, dimension) transmit port.
+    for (int d = 0; d < topo.numDims(); ++d)
+        stats_.linksPerDim[static_cast<size_t>(d)] = topo.npus();
 }
 
 TimeNs
@@ -89,21 +93,23 @@ AnalyticalNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
                            uint64_t tag, SendHandlers handlers)
 {
     ASTRA_ASSERT(bytes >= 0.0, "simSend: negative size");
+    if (src == dst) {
+        // Loopback: no network resources — and, like the flow and
+        // packet backends, no stats accounting (the messages /
+        // bytesPerDim counters track *network* traffic only, so the
+        // columns stay comparable across a backend sweep axis).
+        deliverLoopback(src, tag, std::move(handlers));
+        return;
+    }
     Route route = resolve(src, dst, dim);
     account(route.dim, bytes);
 
-    if (src == dst) {
-        // Loopback: no network resources involved.
-        eq_.schedule(0.0, [this, src, dst, tag,
-                           handlers = std::move(handlers)]() mutable {
-            if (handlers.onInjected)
-                handlers.onInjected();
-            deliver(src, dst, tag, std::move(handlers.onDelivered));
-        });
-        return;
-    }
-
     TimeNs ser = txTime(bytes, route.bandwidth);
+    TimeNs &busy = txBusy_[static_cast<size_t>(src) *
+                               static_cast<size_t>(topo_.numDims()) +
+                           static_cast<size_t>(route.dim)];
+    busy += ser;
+    accountBusy(route.dim, ser, busy);
     TimeNs start = serialize_ ? claimTxPort(src, route.dim, ser)
                               : eq_.now();
     TimeNs injected_at = start + ser;
@@ -111,20 +117,8 @@ AnalyticalNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
 
     if (handlers.onInjected)
         eq_.scheduleAt(injected_at, std::move(handlers.onInjected));
-    if (tag == kNoTag) {
-        // Untagged (callback-only) messages skip simRecv matching
-        // entirely, so the completion callback itself is the delivery
-        // event: no wrapper closure, no deliver() dispatch. A null
-        // callback still schedules (as an empty event) to keep event
-        // counts and final-time semantics identical.
-        eq_.scheduleAt(delivered_at, std::move(handlers.onDelivered));
-    } else {
-        eq_.scheduleAt(delivered_at,
-                       [this, src, dst, tag,
-                        cb = std::move(handlers.onDelivered)]() mutable {
-                           deliver(src, dst, tag, std::move(cb));
-                       });
-    }
+    scheduleDelivery(delivered_at, src, dst, tag,
+                     std::move(handlers.onDelivered));
 }
 
 } // namespace astra

@@ -65,6 +65,11 @@ class AnalyticalNetwork : public NetworkApi
     bool serialize_;
     /** txFree_[npu * numDims + dim]: next free time of that TX port. */
     std::vector<TimeNs> txFree_;
+    /** Cumulative serialization time per TX port (same indexing);
+     *  feeds the per-dim busy-time / max-link-utilization stats. The
+     *  analytical model's only serialization points are the transmit
+     *  ports, so they are its "links". */
+    std::vector<TimeNs> txBusy_;
 };
 
 } // namespace astra

@@ -8,187 +8,17 @@
 
 namespace astra {
 
-namespace {
-
-uint64_t
-linkKey(int from, int to)
-{
-    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
-           static_cast<uint32_t>(to);
-}
-
-} // namespace
-
 PacketNetwork::PacketNetwork(EventQueue &eq, const Topology &topo,
                              Bytes packet_bytes, Bytes header_bytes,
                              TimeNs message_overhead)
-    : NetworkApi(eq, topo), packetBytes_(packet_bytes),
+    : NetworkApi(eq, topo), graph_(topo), packetBytes_(packet_bytes),
       headerBytes_(header_bytes), messageOverhead_(message_overhead)
 {
     ASTRA_USER_CHECK(packet_bytes > 0.0, "packet size must be positive");
     ASTRA_USER_CHECK(header_bytes >= 0.0 && message_overhead >= 0.0,
                      "packet overheads must be non-negative");
-
-    // Assign switch node ids after the NPU ids.
-    totalNodes_ = topo.npus();
-    switchBase_.assign(static_cast<size_t>(topo.numDims()), -1);
-    for (int d = 0; d < topo.numDims(); ++d) {
-        if (topo.dim(d).type == BlockType::Switch) {
-            switchBase_[static_cast<size_t>(d)] = totalNodes_;
-            totalNodes_ += topo.npus() / topo.dim(d).size;
-        }
-    }
-
-    // Build links dimension by dimension.
-    for (int d = 0; d < topo.numDims(); ++d) {
-        const Dimension &dim = topo.dim(d);
-        if (dim.size < 2)
-            continue;
-        switch (dim.type) {
-          case BlockType::Ring:
-            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
-                NpuId next = topo.peerInDim(npu, d, 1);
-                if (next != npu) {
-                    addLink(npu, next, dim.bandwidth, dim.latency);
-                    addLink(next, npu, dim.bandwidth, dim.latency);
-                }
-            }
-            break;
-          case BlockType::FullyConnected: {
-            GBps per_link = dim.bandwidth / double(dim.size - 1);
-            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
-                int coord = topo.coordInDim(npu, d);
-                for (int pc = coord + 1; pc < dim.size; ++pc) {
-                    NpuId peer = topo.peerInDim(npu, d, pc - coord);
-                    addLink(npu, peer, per_link, dim.latency);
-                    addLink(peer, npu, per_link, dim.latency);
-                }
-            }
-            break;
-          }
-          case BlockType::Switch:
-            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
-                int sw = switchNode(d, groupIndexOf(d, npu));
-                addLink(npu, sw, dim.bandwidth, dim.latency);
-                addLink(sw, npu, dim.bandwidth, dim.latency);
-            }
-            break;
-        }
-    }
-}
-
-int
-PacketNetwork::groupIndexOf(int dim, NpuId member) const
-{
-    // Remove dimension `dim` from the mixed-radix id: the remaining
-    // digits enumerate the dimension's groups densely, in ascending
-    // order of the group's smallest member id.
-    int stride = topo_.strideOf(dim);
-    int k = topo_.dim(dim).size;
-    int low = member % stride;
-    int high = member / (stride * k);
-    return low + high * stride;
-}
-
-int
-PacketNetwork::switchNode(int dim, int group_index) const
-{
-    int base = switchBase_[static_cast<size_t>(dim)];
-    ASTRA_ASSERT(base >= 0, "dimension %d has no switch nodes", dim);
-    return base + group_index;
-}
-
-void
-PacketNetwork::addLink(int from, int to, GBps bw, TimeNs lat)
-{
-    Link &link = links_[linkKey(from, to)];
-    link.bandwidth = bw;
-    link.latency = lat;
-    link.freeAt = 0.0;
-}
-
-PacketNetwork::Link &
-PacketNetwork::linkBetween(int from, int to)
-{
-    auto it = links_.find(linkKey(from, to));
-    ASTRA_ASSERT(it != links_.end(), "no link between nodes %d and %d",
-                 from, to);
-    return it->second;
-}
-
-void
-PacketNetwork::routeInDim(int dim, NpuId from, NpuId to,
-                          std::vector<int> &path) const
-{
-    int ca = topo_.coordInDim(from, dim);
-    int cb = topo_.coordInDim(to, dim);
-    if (ca == cb)
-        return;
-    const Dimension &d = topo_.dim(dim);
-    switch (d.type) {
-      case BlockType::Ring: {
-        int k = d.size;
-        int fwd = ((cb - ca) % k + k) % k;
-        int step = (fwd <= k - fwd) ? 1 : -1;
-        int hops = std::min(fwd, k - fwd);
-        NpuId cur = from;
-        for (int i = 0; i < hops; ++i) {
-            cur = topo_.peerInDim(cur, dim, step);
-            path.push_back(cur);
-        }
-        break;
-      }
-      case BlockType::FullyConnected:
-        path.push_back(topo_.peerInDim(from, dim, cb - ca));
-        break;
-      case BlockType::Switch:
-        path.push_back(switchNode(dim, groupIndexOf(dim, from)));
-        path.push_back(topo_.peerInDim(from, dim, cb - ca));
-        break;
-    }
-}
-
-std::vector<int>
-PacketNetwork::route(NpuId src, NpuId dst, int dim) const
-{
-    std::vector<int> path;
-    path.push_back(src);
-    if (dim != kAutoRoute) {
-        routeInDim(dim, src, dst, path);
-        ASTRA_ASSERT(path.back() == dst,
-                     "dim %d does not connect NPUs %d and %d", dim, src,
-                     dst);
-        return path;
-    }
-    NpuId cur = src;
-    for (int d = 0; d < topo_.numDims(); ++d) {
-        int target_coord = topo_.coordInDim(dst, d);
-        int cur_coord = topo_.coordInDim(cur, d);
-        if (target_coord == cur_coord)
-            continue;
-        NpuId next = cur + (target_coord - cur_coord) * topo_.strideOf(d);
-        routeInDim(d, cur, next, path);
-        cur = next;
-    }
-    ASTRA_ASSERT(path.back() == dst,
-                 "routing failed between %d and %d", src, dst);
-    return path;
-}
-
-const std::vector<int> *
-PacketNetwork::routeFor(NpuId src, NpuId dst, int dim)
-{
-    // Pack (src, dst, dim) into one key; node ids stay well below
-    // 2^28 and dim is a small non-negative index or kAutoRoute (-1).
-    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(src))
-                    << 36) |
-                   (static_cast<uint64_t>(static_cast<uint32_t>(dst))
-                    << 8) |
-                   static_cast<uint8_t>(dim + 1);
-    auto it = routeCache_.find(key);
-    if (it == routeCache_.end())
-        it = routeCache_.emplace(key, route(src, dst, dim)).first;
-    return &it->second;
+    ports_.assign(graph_.linkCount(), PortState{});
+    stats_.linksPerDim = graph_.linksPerDim();
 }
 
 void
@@ -196,30 +26,14 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
                        uint64_t tag, SendHandlers handlers)
 {
     if (src == dst) {
-        eq_.schedule(0.0, [this, src, dst, tag,
-                           handlers = std::move(handlers)]() mutable {
-            if (handlers.onInjected)
-                handlers.onInjected();
-            deliver(src, dst, tag, std::move(handlers.onDelivered));
-        });
+        deliverLoopback(src, tag, std::move(handlers));
         return;
     }
 
-    const std::vector<int> *path = routeFor(src, dst, dim);
+    const std::vector<LinkId> *path = graph_.pathFor(src, dst, dim);
     int packets =
         std::max(1, static_cast<int>(std::ceil(bytes / packetBytes_)));
-
-    // Stats: attribute payload to the first dimension the path crosses.
-    int first_dim = dim;
-    if (first_dim == kAutoRoute) {
-        for (int d = 0; d < topo_.numDims(); ++d) {
-            if (topo_.coordInDim(src, d) != topo_.coordInDim(dst, d)) {
-                first_dim = d;
-                break;
-            }
-        }
-    }
-    account(first_dim, bytes);
+    account(accountDim(src, dst, dim), bytes);
 
     EventCallback on_injected = std::move(handlers.onInjected);
 
@@ -246,7 +60,8 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
 }
 
 void
-PacketNetwork::launchMessage(uint64_t msg_id, const std::vector<int> *path,
+PacketNetwork::launchMessage(uint64_t msg_id,
+                             const std::vector<LinkId> *path,
                              Bytes bytes, int packets,
                              EventCallback on_injected)
 {
@@ -259,24 +74,29 @@ PacketNetwork::launchMessage(uint64_t msg_id, const std::vector<int> *path,
 
     if (on_injected) {
         // Injection completes when the last packet clears the first link.
-        Link &first = linkBetween((*path)[0], (*path)[1]);
-        eq_.scheduleAt(first.freeAt, std::move(on_injected));
+        eq_.scheduleAt(ports_[(*path)[0]].freeAt,
+                       std::move(on_injected));
     }
 }
 
 void
-PacketNetwork::forwardPacket(uint64_t msg_id, const std::vector<int> *path,
+PacketNetwork::forwardPacket(uint64_t msg_id,
+                             const std::vector<LinkId> *path,
                              size_t hop, Bytes pkt_bytes)
 {
-    if (hop + 1 >= path->size()) {
+    if (hop >= path->size()) {
         packetArrived(msg_id);
         return;
     }
-    Link &link = linkBetween((*path)[hop], (*path)[hop + 1]);
-    TimeNs start = std::max(eq_.now(), link.freeAt);
-    TimeNs tx_done =
-        start + txTime(pkt_bytes + headerBytes_, link.bandwidth);
-    link.freeAt = tx_done;
+    LinkId lid = (*path)[hop];
+    const LinkGraph::Link &link = graph_.link(lid);
+    PortState &port = ports_[lid];
+    TimeNs start = std::max(eq_.now(), port.freeAt);
+    TimeNs tx = txTime(pkt_bytes + headerBytes_, link.bandwidth);
+    TimeNs tx_done = start + tx;
+    port.freeAt = tx_done;
+    port.busyNs += tx;
+    accountBusy(link.dim, tx, port.busyNs);
     // [this, id, ptr, 2 words]: inline in InlineEvent — the per-hop
     // closure chain performs no allocation at all.
     eq_.scheduleAt(tx_done + link.latency,

@@ -8,24 +8,20 @@
  * simulates every message as a train of packets crossing explicit
  * links with FIFO serialization, per-hop latency, and contention.
  *
- * Graph construction from the Topology:
- *  - Ring dims contribute bidirectional neighbour links at the full
- *    per-NPU dimension bandwidth (matching the counter-rotating-ring
- *    aggregate convention of the analytical backend).
- *  - FullyConnected dims contribute a link per NPU pair at
- *    bandwidth/(k-1) each.
- *  - Switch dims contribute an explicit switch node per group with
- *    up/down links at the dimension bandwidth.
- *
- * Routing is dimension-ordered; within a Ring dimension packets take
- * the minimal direction through intermediate NPUs (store-and-forward).
+ * The link graph and the dimension-ordered routes come from the
+ * shared LinkGraph expansion (network/flow/link_graph.h), so this
+ * backend and the flow-level backend resolve contention over the
+ * *identical* topology-to-links mapping by construction — the
+ * accuracy comparisons in bench_flow_vs_packet and the equivalence
+ * tests rely on that. This backend adds the per-link FIFO state
+ * (next-free time) on top.
  */
 #ifndef ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
 #define ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "network/flow/link_graph.h"
 #include "network/network_api.h"
 
 namespace astra {
@@ -52,8 +48,10 @@ class PacketNetwork : public NetworkApi
     void simSend(NpuId src, NpuId dst, Bytes bytes, int dim, uint64_t tag,
                  SendHandlers handlers) override;
 
-    /** Number of directed links in the constructed graph. */
-    size_t linkCount() const { return links_.size(); }
+    const LinkGraph &graph() const { return graph_; }
+
+    /** Number of directed links in the shared graph. */
+    size_t linkCount() const { return graph_.linkCount(); }
 
     /** Message slots currently allocated (live + recyclable); exposed
      *  so tests can verify free-list recycling. */
@@ -62,11 +60,11 @@ class PacketNetwork : public NetworkApi
     Bytes packetBytes() const { return packetBytes_; }
 
   private:
-    struct Link
+    /** Mutable FIFO state per LinkGraph link (indexed by LinkId). */
+    struct PortState
     {
-        GBps bandwidth = 1.0;
-        TimeNs latency = 0.0;
         TimeNs freeAt = 0.0;
+        TimeNs busyNs = 0.0; //!< cumulative transmit time (stats).
     };
 
     /**
@@ -87,35 +85,10 @@ class PacketNetwork : public NetworkApi
         SendHandlers handlers;
     };
 
-    /** Dense node numbering: NPUs first, then switch nodes. */
-    int switchNode(int dim, int group_index) const;
-
-    /** Dense index of `member`'s group within dimension `dim`. */
-    int groupIndexOf(int dim, NpuId member) const;
-
-    void addLink(int from, int to, GBps bw, TimeNs lat);
-    Link &linkBetween(int from, int to);
-
-    /** Node path (including src and dst) for a message. */
-    std::vector<int> route(NpuId src, NpuId dst, int dim) const;
-
-    /**
-     * Cached route lookup. The topology (and hence every route) is
-     * immutable, so each (src, dst, dim) path is computed once; the
-     * returned pointer is stable (unordered_map values do not move on
-     * rehash) and in-flight packets hold it directly, replacing the
-     * per-message shared_ptr allocation of the old path handling.
-     */
-    const std::vector<int> *routeFor(NpuId src, NpuId dst, int dim);
-
-    /** Route contribution of a single dimension, appended to `path`. */
-    void routeInDim(int dim, NpuId from, NpuId to,
-                    std::vector<int> &path) const;
-
-    void launchMessage(uint64_t msg_id, const std::vector<int> *path,
+    void launchMessage(uint64_t msg_id, const std::vector<LinkId> *path,
                        Bytes bytes, int packets,
                        EventCallback on_injected);
-    void forwardPacket(uint64_t msg_id, const std::vector<int> *path,
+    void forwardPacket(uint64_t msg_id, const std::vector<LinkId> *path,
                        size_t hop, Bytes pkt_bytes);
     void packetArrived(uint64_t msg_id);
 
@@ -124,13 +97,11 @@ class PacketNetwork : public NetworkApi
     Message &messageFor(uint64_t msg_id);
     void releaseMessage(Message &msg);
 
+    LinkGraph graph_;
     Bytes packetBytes_;
     Bytes headerBytes_;
     TimeNs messageOverhead_;
-    int totalNodes_ = 0;
-    std::vector<int> switchBase_; //!< per-dim base index of switch nodes.
-    std::unordered_map<uint64_t, Link> links_;
-    std::unordered_map<uint64_t, std::vector<int>> routeCache_;
+    std::vector<PortState> ports_;    //!< per-link FIFO state.
     std::vector<Message> messages_;   //!< slot-indexed, recycled.
     std::vector<uint32_t> freeSlots_;
 };

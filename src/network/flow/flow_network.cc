@@ -1,0 +1,280 @@
+#include "network/flow/flow_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+
+namespace {
+
+/** Relative tolerance grouping near-tied link shares into one
+ *  bottleneck level, so exact-ratio allocations (1/2, 1/N) come out
+ *  of the solver bit-stable instead of splitting across iterations
+ *  on last-bit rounding. */
+constexpr double kShareTieRel = 1e-9;
+
+/** Rates are bounded away from zero so a predicted finish is always
+ *  finite (progressive filling cannot actually assign zero to a flow
+ *  on links of positive capacity; this is a numerical backstop). */
+constexpr GBps kMinRate = 1e-12;
+
+} // namespace
+
+FlowNetwork::FlowNetwork(EventQueue &eq, const Topology &topo)
+    : NetworkApi(eq, topo), graph_(topo)
+{
+    linkBusy_.assign(graph_.linkCount(), 0.0);
+    stamp_.assign(graph_.linkCount(), 0);
+    capLeft_.assign(graph_.linkCount(), 0.0);
+    flowsLeft_.assign(graph_.linkCount(), 0);
+    stats_.linksPerDim = graph_.linksPerDim();
+}
+
+uint64_t
+FlowNetwork::allocFlow()
+{
+    uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<uint32_t>(flows_.size());
+        flows_.emplace_back();
+    }
+    Flow &flow = flows_[slot];
+    ++flow.gen; // ids of the slot's previous lives go stale.
+    return static_cast<uint64_t>(slot) |
+           (static_cast<uint64_t>(flow.gen) << 32);
+}
+
+FlowNetwork::Flow *
+FlowNetwork::flowForId(uint64_t id)
+{
+    uint32_t slot = static_cast<uint32_t>(id);
+    uint32_t gen = static_cast<uint32_t>(id >> 32);
+    ASTRA_ASSERT(slot < flows_.size(), "flow slot out of range");
+    Flow &flow = flows_[slot];
+    return flow.gen == gen ? &flow : nullptr;
+}
+
+void
+FlowNetwork::releaseFlow(Flow &flow)
+{
+    uint32_t slot = static_cast<uint32_t>(&flow - flows_.data());
+    flow.handlers = SendHandlers{};
+    flow.path = nullptr;
+    freeSlots_.push_back(slot);
+}
+
+void
+FlowNetwork::markDirty()
+{
+    if (dirty_)
+        return;
+    dirty_ = true;
+    // Deferred to the end of the current timestamp's FIFO run: any
+    // number of same-time arrivals/departures trigger one solve.
+    eq_.schedule(0.0, [this] {
+        dirty_ = false;
+        resolve();
+    });
+}
+
+void
+FlowNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
+                     uint64_t tag, SendHandlers handlers)
+{
+    ASTRA_ASSERT(bytes >= 0.0, "simSend: negative size");
+    if (src == dst) {
+        // Loopback: no network resources involved.
+        deliverLoopback(src, tag, std::move(handlers));
+        return;
+    }
+
+    account(accountDim(src, dst, dim), bytes);
+
+    const std::vector<LinkId> *path = graph_.pathFor(src, dst, dim);
+    ASTRA_ASSERT(!path->empty(), "flow with an empty path");
+
+    uint64_t id = allocFlow();
+    Flow &flow = flows_[static_cast<uint32_t>(id)];
+    flow.src = src;
+    flow.dst = dst;
+    flow.tag = tag;
+    flow.path = path;
+    flow.remaining = bytes;
+    flow.rate = 0.0; // no bandwidth until the deferred solve runs.
+    flow.latency = graph_.pathLatency(*path);
+    flow.hasEvent = false;
+    flow.active = true;
+    flow.activeIdx = static_cast<uint32_t>(active_.size());
+    flow.handlers = std::move(handlers);
+    active_.push_back(static_cast<uint32_t>(id));
+    markDirty();
+}
+
+void
+FlowNetwork::integrateTo(TimeNs t)
+{
+    TimeNs dt = t - lastIntegrate_;
+    if (dt > 0.0) {
+        for (uint32_t slot : active_) {
+            Flow &flow = flows_[slot];
+            if (flow.rate <= 0.0)
+                continue;
+            flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+            // Busy accounting: transmitting `rate * dt` bytes keeps a
+            // link of bandwidth B busy for `rate * dt / B` ns.
+            for (LinkId l : *flow.path) {
+                const LinkGraph::Link &link = graph_.link(l);
+                TimeNs busy = flow.rate * dt / link.bandwidth;
+                linkBusy_[l] += busy;
+                accountBusy(link.dim, busy, linkBusy_[l]);
+            }
+        }
+    }
+    lastIntegrate_ = t;
+}
+
+void
+FlowNetwork::resolve()
+{
+    integrateTo(eq_.now());
+    if (active_.empty())
+        return;
+    ++solves_;
+
+    // Progressive filling (water-filling): repeatedly find the link
+    // with the smallest fair share capacity/flows, freeze every flow
+    // crossing such a bottleneck at that share, withdraw the frozen
+    // bandwidth, and continue with the rest. The fixpoint is the
+    // unique max-min fair allocation.
+    ++solveStamp_;
+    touched_.clear();
+    for (uint32_t slot : active_) {
+        for (LinkId l : *flows_[slot].path) {
+            if (stamp_[l] != solveStamp_) {
+                stamp_[l] = solveStamp_;
+                capLeft_[l] = graph_.link(l).bandwidth;
+                flowsLeft_[l] = 0;
+                touched_.push_back(l);
+            }
+            ++flowsLeft_[l];
+        }
+    }
+
+    unfixed_.assign(active_.begin(), active_.end());
+    while (!unfixed_.empty()) {
+        double min_share = std::numeric_limits<double>::infinity();
+        for (uint32_t l : touched_) {
+            if (flowsLeft_[l] > 0) {
+                double share =
+                    std::max(capLeft_[l], 0.0) / double(flowsLeft_[l]);
+                min_share = std::min(min_share, share);
+            }
+        }
+        ASTRA_ASSERT(min_share <
+                         std::numeric_limits<double>::infinity(),
+                     "unfixed flow crosses no counted link");
+        double tie_limit = min_share + min_share * kShareTieRel;
+
+        size_t kept = 0;
+        for (uint32_t slot : unfixed_) {
+            Flow &flow = flows_[slot];
+            bool bottlenecked = false;
+            for (LinkId l : *flow.path) {
+                if (flowsLeft_[l] > 0 &&
+                    std::max(capLeft_[l], 0.0) / double(flowsLeft_[l]) <=
+                        tie_limit) {
+                    bottlenecked = true;
+                    break;
+                }
+            }
+            if (bottlenecked) {
+                flow.rate = std::max(min_share, kMinRate);
+                for (LinkId l : *flow.path) {
+                    capLeft_[l] -= min_share;
+                    --flowsLeft_[l];
+                }
+            } else {
+                unfixed_[kept++] = slot;
+            }
+        }
+        ASTRA_ASSERT(kept < unfixed_.size(),
+                     "max-min filling made no progress");
+        unfixed_.resize(kept);
+    }
+
+    // Re-schedule completion events for flows whose prediction moved.
+    TimeNs now = eq_.now();
+    for (uint32_t slot : active_) {
+        Flow &flow = flows_[slot];
+        TimeNs finish = now + flow.remaining / flow.rate;
+        // "Unchanged" must be judged with a relative component: the
+        // recomputed finish differs from the stored one by a few ULPs
+        // (finish * ~1e-16) even when the rate did not move, which
+        // dwarfs the absolute kTimeEpsNs once sim time reaches
+        // milliseconds. 1e-12 relative keeps the kept-event error
+        // negligible (rate * tol bytes) while restoring the
+        // only-reschedule-moved-flows property at any time scale.
+        TimeNs tol = kTimeEpsNs + flow.predictedFinish * 1e-12;
+        if (flow.hasEvent &&
+            std::abs(finish - flow.predictedFinish) <= tol)
+            continue; // the already-scheduled event still matches.
+        flow.predictedFinish = std::max(finish, now);
+        ++flow.epoch;
+        flow.hasEvent = true;
+        uint64_t id = static_cast<uint64_t>(slot) |
+                      (static_cast<uint64_t>(flow.gen) << 32);
+        uint32_t epoch = flow.epoch;
+        // [this, id, epoch]: inline in InlineEvent — re-rating never
+        // allocates; superseded events are dropped by the epoch check.
+        eq_.scheduleAt(flow.predictedFinish, [this, id, epoch] {
+            onCompletion(id, epoch);
+        });
+    }
+}
+
+void
+FlowNetwork::onCompletion(uint64_t id, uint32_t epoch)
+{
+    Flow *found = flowForId(id);
+    if (found == nullptr || !found->active || found->epoch != epoch)
+        return; // superseded by a later re-rate (or recycled slot).
+    Flow &flow = *found;
+
+    // Settle every flow's remaining bytes to this instant before the
+    // departure changes rates; the finishing flow's own residual is
+    // last-bit rounding of the integration chain.
+    integrateTo(eq_.now());
+    flow.remaining = 0.0;
+
+    // Swap-remove from the active list (deterministic: the order is a
+    // pure function of the event sequence).
+    uint32_t last = active_.back();
+    active_[flow.activeIdx] = last;
+    flows_[last].activeIdx = flow.activeIdx;
+    active_.pop_back();
+    flow.active = false;
+    markDirty(); // freed bandwidth redistributes to the rest.
+
+    // Transmission done now; delivery after the path's hop latency.
+    NpuId src = flow.src;
+    NpuId dst = flow.dst;
+    uint64_t tag = flow.tag;
+    TimeNs delivered_at = eq_.now() + flow.latency;
+    SendHandlers handlers = std::move(flow.handlers);
+    releaseFlow(flow); // the handlers may send again and reuse the slot.
+
+    if (handlers.onInjected)
+        handlers.onInjected();
+    // Even a null kNoTag callback schedules, so final-time semantics
+    // include the trailing latency exactly like the other backends.
+    scheduleDelivery(delivered_at, src, dst, tag,
+                     std::move(handlers.onDelivered));
+}
+
+} // namespace astra

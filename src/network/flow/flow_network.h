@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Congestion-aware flow-level network backend (docs/network.md).
+ *
+ * The middle fidelity point between the closed-form analytical model
+ * and the packet-level reference: every in-flight message is a *fluid
+ * flow* over its explicit link path (LinkGraph), and link bandwidth is
+ * shared between concurrent flows by progressive-filling **max-min
+ * fairness** — the steady-state allocation of per-flow fair queueing,
+ * and the classic fluid approximation used by flow-level simulators.
+ * There are no per-packet events: the simulation advances from rate
+ * change to rate change.
+ *
+ * Event-driven re-rating:
+ *  - A flow arrival or departure marks the solver dirty; one deferred
+ *    zero-delay event re-solves the rate allocation, so any number of
+ *    same-timestamp arrivals/departures cost a single solve.
+ *  - Each solve first *integrates* the elapsed interval (remaining
+ *    bytes decrease at the old rates; per-link busy time accrues),
+ *    then re-runs progressive filling and re-schedules the completion
+ *    event of every flow whose predicted finish moved. Stale
+ *    completion events are rejected by (slot generation, epoch)
+ *    checks, mirroring the id-recycling idiom of the packet backend
+ *    and the collective engine.
+ *  - A flow's transmission finishes when its remaining bytes reach
+ *    zero (fires onInjected); delivery follows after the path's
+ *    constant hop-latency sum (fires onDelivered / simRecv matching).
+ *
+ * For a congestion-free message over Ring or Switch dimensions the
+ * model reduces exactly to the analytical closed form
+ * `bytes / bottleneck_bw + latency * hops`; FullyConnected dimensions
+ * expose per-pair links at bw/(k-1) and therefore diverge from the
+ * analytical aggregate-port charge in the same documented way the
+ * packet backend does. Under contention, N flows crossing one link
+ * each get 1/N of it (and unused headroom is redistributed max-min
+ * fair), which the analytical backend cannot see beyond its own
+ * transmit port.
+ *
+ * The hot path is allocation-free after warm-up: flows live in flat
+ * slot storage with a free list, paths are cached LinkId vectors, the
+ * solver works in member scratch arrays stamped per solve, and every
+ * scheduled closure fits InlineEvent's inline buffer.
+ */
+#ifndef ASTRA_NETWORK_FLOW_FLOW_NETWORK_H_
+#define ASTRA_NETWORK_FLOW_FLOW_NETWORK_H_
+
+#include <vector>
+
+#include "network/flow/link_graph.h"
+#include "network/network_api.h"
+
+namespace astra {
+
+/** See file comment. */
+class FlowNetwork : public NetworkApi
+{
+  public:
+    FlowNetwork(EventQueue &eq, const Topology &topo);
+
+    void simSend(NpuId src, NpuId dst, Bytes bytes, int dim, uint64_t tag,
+                 SendHandlers handlers) override;
+
+    const LinkGraph &graph() const { return graph_; }
+
+    /** Flows currently transmitting. */
+    size_t activeFlowCount() const { return active_.size(); }
+
+    /** Flow slots allocated (live + recyclable); exposed so tests can
+     *  verify free-list recycling. */
+    size_t flowSlots() const { return flows_.size(); }
+
+    /** Max-min solves performed so far (one per dirty batch). */
+    uint64_t solveCount() const { return solves_; }
+
+  private:
+    struct Flow
+    {
+        NpuId src = 0;
+        NpuId dst = 0;
+        uint64_t tag = 0;
+        const std::vector<LinkId> *path = nullptr;
+        Bytes remaining = 0.0;
+        GBps rate = 0.0;
+        TimeNs latency = 0.0; //!< constant hop-latency sum of the path.
+        TimeNs predictedFinish = 0.0;
+        uint32_t gen = 0;      //!< slot generation (id staleness).
+        uint32_t epoch = 0;    //!< completion-event generation.
+        uint32_t activeIdx = 0; //!< position in active_ while active.
+        bool active = false;
+        bool hasEvent = false;
+        SendHandlers handlers;
+    };
+
+    /** Claim a flow slot; returns its id (slot | gen << 32). */
+    uint64_t allocFlow();
+    Flow *flowForId(uint64_t id); //!< null when the id is stale.
+    void releaseFlow(Flow &flow);
+
+    /** Schedule the deferred re-solve if not already pending. */
+    void markDirty();
+
+    /** Advance remaining bytes and per-link busy time to `t` at the
+     *  current rates. */
+    void integrateTo(TimeNs t);
+
+    /** Integrate, run progressive filling, re-schedule completions. */
+    void resolve();
+
+    /** Completion-event handler; ignores stale (gen/epoch) firings. */
+    void onCompletion(uint64_t id, uint32_t epoch);
+
+    LinkGraph graph_;
+    std::vector<Flow> flows_;      //!< slot-indexed, recycled.
+    std::vector<uint32_t> freeSlots_;
+    std::vector<uint32_t> active_; //!< slots of in-flight flows.
+    std::vector<TimeNs> linkBusy_; //!< cumulative busy ns per link.
+    TimeNs lastIntegrate_ = 0.0;
+    bool dirty_ = false;
+    uint64_t solves_ = 0;
+
+    // Solver scratch (reused across solves; see resolve()).
+    std::vector<uint32_t> touched_;   //!< links used by active flows.
+    std::vector<uint32_t> stamp_;     //!< per-link touch stamp.
+    std::vector<double> capLeft_;     //!< per-link unassigned capacity.
+    std::vector<int> flowsLeft_;      //!< per-link unfixed flow count.
+    std::vector<uint32_t> unfixed_;   //!< flows not yet assigned a rate.
+    uint32_t solveStamp_ = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_NETWORK_FLOW_FLOW_NETWORK_H_

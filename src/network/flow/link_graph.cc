@@ -1,0 +1,205 @@
+#include "network/flow/link_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "network/network_api.h" // kAutoRoute
+
+namespace astra {
+
+namespace {
+
+uint64_t
+nodePairKey(int from, int to)
+{
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+}
+
+} // namespace
+
+LinkGraph::LinkGraph(const Topology &topo) : topo_(topo)
+{
+    // Switch nodes are numbered after the NPUs, per dimension.
+    totalNodes_ = topo.npus();
+    switchBase_.assign(static_cast<size_t>(topo.numDims()), -1);
+    for (int d = 0; d < topo.numDims(); ++d) {
+        if (topo.dim(d).type == BlockType::Switch) {
+            switchBase_[static_cast<size_t>(d)] = totalNodes_;
+            totalNodes_ += topo.npus() / topo.dim(d).size;
+        }
+    }
+
+    linksPerDim_.assign(static_cast<size_t>(topo.numDims()), 0);
+    for (int d = 0; d < topo.numDims(); ++d) {
+        const Dimension &dim = topo.dim(d);
+        if (dim.size < 2)
+            continue;
+        switch (dim.type) {
+          case BlockType::Ring:
+            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
+                NpuId next = topo.peerInDim(npu, d, 1);
+                if (next != npu) {
+                    addLink(npu, next, d, dim.bandwidth, dim.latency);
+                    addLink(next, npu, d, dim.bandwidth, dim.latency);
+                }
+            }
+            break;
+          case BlockType::FullyConnected: {
+            GBps per_link = dim.bandwidth / double(dim.size - 1);
+            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
+                int coord = topo.coordInDim(npu, d);
+                for (int pc = coord + 1; pc < dim.size; ++pc) {
+                    NpuId peer = topo.peerInDim(npu, d, pc - coord);
+                    addLink(npu, peer, d, per_link, dim.latency);
+                    addLink(peer, npu, d, per_link, dim.latency);
+                }
+            }
+            break;
+          }
+          case BlockType::Switch:
+            for (NpuId npu = 0; npu < topo.npus(); ++npu) {
+                int sw = switchNodeOf(d, npu);
+                addLink(npu, sw, d, dim.bandwidth, dim.latency);
+                addLink(sw, npu, d, dim.bandwidth, dim.latency);
+            }
+            break;
+        }
+    }
+}
+
+void
+LinkGraph::addLink(int from, int to, int dim, GBps bw, TimeNs lat)
+{
+    uint64_t key = nodePairKey(from, to);
+    auto [it, inserted] =
+        linkIndex_.emplace(key, static_cast<LinkId>(links_.size()));
+    if (!inserted) {
+        // Ring(2): both directions map to the same neighbour pair;
+        // keep the first definition (identical parameters).
+        return;
+    }
+    links_.push_back(Link{from, to, dim, bw, lat});
+    ++linksPerDim_[static_cast<size_t>(dim)];
+}
+
+LinkId
+LinkGraph::linkBetween(int from, int to) const
+{
+    auto it = linkIndex_.find(nodePairKey(from, to));
+    ASTRA_ASSERT(it != linkIndex_.end(), "no link between nodes %d and %d",
+                 from, to);
+    return it->second;
+}
+
+int
+LinkGraph::groupIndexOf(int dim, NpuId member) const
+{
+    // Remove dimension `dim` from the mixed-radix id: the remaining
+    // digits enumerate the dimension's groups densely.
+    int stride = topo_.strideOf(dim);
+    int k = topo_.dim(dim).size;
+    int low = member % stride;
+    int high = member / (stride * k);
+    return low + high * stride;
+}
+
+int
+LinkGraph::switchNodeOf(int dim, NpuId member) const
+{
+    int base = switchBase_[static_cast<size_t>(dim)];
+    ASTRA_ASSERT(base >= 0, "dimension %d has no switch nodes", dim);
+    return base + groupIndexOf(dim, member);
+}
+
+void
+LinkGraph::routeInDim(int dim, NpuId from, NpuId to,
+                      std::vector<int> &nodes) const
+{
+    int ca = topo_.coordInDim(from, dim);
+    int cb = topo_.coordInDim(to, dim);
+    if (ca == cb)
+        return;
+    const Dimension &d = topo_.dim(dim);
+    switch (d.type) {
+      case BlockType::Ring: {
+        int k = d.size;
+        int fwd = ((cb - ca) % k + k) % k;
+        int step = (fwd <= k - fwd) ? 1 : -1;
+        int hops = std::min(fwd, k - fwd);
+        NpuId cur = from;
+        for (int i = 0; i < hops; ++i) {
+            cur = topo_.peerInDim(cur, dim, step);
+            nodes.push_back(cur);
+        }
+        break;
+      }
+      case BlockType::FullyConnected:
+        nodes.push_back(topo_.peerInDim(from, dim, cb - ca));
+        break;
+      case BlockType::Switch:
+        nodes.push_back(switchNodeOf(dim, from));
+        nodes.push_back(topo_.peerInDim(from, dim, cb - ca));
+        break;
+    }
+}
+
+std::vector<int>
+LinkGraph::nodeRoute(NpuId src, NpuId dst, int dim) const
+{
+    std::vector<int> nodes;
+    nodes.push_back(src);
+    if (dim != kAutoRoute) {
+        routeInDim(dim, src, dst, nodes);
+        ASTRA_ASSERT(nodes.back() == dst,
+                     "dim %d does not connect NPUs %d and %d", dim, src,
+                     dst);
+        return nodes;
+    }
+    NpuId cur = src;
+    for (int d = 0; d < topo_.numDims(); ++d) {
+        int target_coord = topo_.coordInDim(dst, d);
+        int cur_coord = topo_.coordInDim(cur, d);
+        if (target_coord == cur_coord)
+            continue;
+        NpuId next = cur + (target_coord - cur_coord) * topo_.strideOf(d);
+        routeInDim(d, cur, next, nodes);
+        cur = next;
+    }
+    ASTRA_ASSERT(nodes.back() == dst, "routing failed between %d and %d",
+                 src, dst);
+    return nodes;
+}
+
+const std::vector<LinkId> *
+LinkGraph::pathFor(NpuId src, NpuId dst, int dim)
+{
+    // Pack (src, dst, dim) into one key; node ids stay well below
+    // 2^28 and dim is a small non-negative index or kAutoRoute (-1).
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(src))
+                    << 36) |
+                   (static_cast<uint64_t>(static_cast<uint32_t>(dst))
+                    << 8) |
+                   static_cast<uint8_t>(dim + 1);
+    auto it = pathCache_.find(key);
+    if (it == pathCache_.end()) {
+        std::vector<int> nodes = nodeRoute(src, dst, dim);
+        std::vector<LinkId> path;
+        path.reserve(nodes.size() - 1);
+        for (size_t i = 0; i + 1 < nodes.size(); ++i)
+            path.push_back(linkBetween(nodes[i], nodes[i + 1]));
+        it = pathCache_.emplace(key, std::move(path)).first;
+    }
+    return &it->second;
+}
+
+TimeNs
+LinkGraph::pathLatency(const std::vector<LinkId> &path) const
+{
+    TimeNs lat = 0.0;
+    for (LinkId id : path)
+        lat += links_[id].latency;
+    return lat;
+}
+
+} // namespace astra

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Explicit directed-link expansion of a multi-dimensional Topology
+ * (the substrate of the congestion-aware flow backend, docs/network.md).
+ *
+ * The Topology describes dimensions abstractly (block type, size,
+ * per-NPU bandwidth, hop latency); the LinkGraph materializes every
+ * directed link so that contention can be resolved per link. The
+ * expansion rules per BlockType match the packet backend's graph so
+ * the two detailed backends agree on what shares what:
+ *
+ *  - Ring(k): one link to each neighbour per direction at the full
+ *    per-NPU dimension bandwidth (counter-rotating-ring aggregate
+ *    convention — same as the analytical model's charge).
+ *  - FullyConnected(k): a link per ordered NPU pair at
+ *    bandwidth / (k-1) each (the per-NPU aggregate split across the
+ *    k-1 private links).
+ *  - Switch(k): an explicit switch node per group with an up-link and
+ *    a down-link per member NPU, each at the dimension bandwidth.
+ *
+ * Node numbering is dense: NPUs first (node id == NPU id), then one
+ * node per switch instance. Routing is dimension-ordered; within a
+ * Ring dimension paths take the minimal direction through
+ * intermediate NPUs. Paths are sequences of LinkIds, computed once
+ * per (src, dst, dim) and cached with stable storage so callers can
+ * hold the pointer for the lifetime of the graph.
+ */
+#ifndef ASTRA_NETWORK_FLOW_LINK_GRAPH_H_
+#define ASTRA_NETWORK_FLOW_LINK_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace astra {
+
+/** Dense directed-link identifier within a LinkGraph. */
+using LinkId = uint32_t;
+
+/** See file comment. */
+class LinkGraph
+{
+  public:
+    struct Link
+    {
+        int from = 0;        //!< source node (NPU or switch id).
+        int to = 0;          //!< destination node.
+        int dim = 0;         //!< topology dimension the link belongs to.
+        GBps bandwidth = 1.0;
+        TimeNs latency = 0.0;
+    };
+
+    explicit LinkGraph(const Topology &topo);
+
+    size_t linkCount() const { return links_.size(); }
+    const Link &link(LinkId id) const { return links_[id]; }
+    const std::vector<Link> &links() const { return links_; }
+
+    /** NPU nodes plus one node per switch instance. */
+    int numNodes() const { return totalNodes_; }
+
+    /** Directed links per topology dimension. */
+    const std::vector<int> &linksPerDim() const { return linksPerDim_; }
+
+    /**
+     * Link-id path from `src` to `dst` (dim == kAutoRoute for
+     * dimension-ordered routing, otherwise within one dimension).
+     * Cached; the returned pointer is stable for the graph's lifetime.
+     * fatal-asserts if the NPUs are not connected in `dim`.
+     */
+    const std::vector<LinkId> *pathFor(NpuId src, NpuId dst, int dim);
+
+    /** Sum of per-hop latencies along a path. */
+    TimeNs pathLatency(const std::vector<LinkId> &path) const;
+
+    /** Dense id of the switch node serving `member` in dimension
+     *  `dim` (which must be a Switch dimension). */
+    int switchNodeOf(int dim, NpuId member) const;
+
+  private:
+    void addLink(int from, int to, int dim, GBps bw, TimeNs lat);
+    LinkId linkBetween(int from, int to) const;
+
+    /** Dense index of `member`'s group within dimension `dim`. */
+    int groupIndexOf(int dim, NpuId member) const;
+
+    /** Append the node-path contribution of one dimension. */
+    void routeInDim(int dim, NpuId from, NpuId to,
+                    std::vector<int> &nodes) const;
+
+    /** Full node path (including endpoints) for a message. */
+    std::vector<int> nodeRoute(NpuId src, NpuId dst, int dim) const;
+
+    const Topology &topo_;
+    int totalNodes_ = 0;
+    std::vector<int> switchBase_; //!< per-dim base id of switch nodes.
+    std::vector<Link> links_;
+    std::vector<int> linksPerDim_;
+    std::unordered_map<uint64_t, LinkId> linkIndex_; //!< (from,to) -> id.
+    std::unordered_map<uint64_t, std::vector<LinkId>> pathCache_;
+};
+
+} // namespace astra
+
+#endif // ASTRA_NETWORK_FLOW_LINK_GRAPH_H_

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "network/analytical.h"
 #include "network/detailed/packet_network.h"
+#include "network/flow/flow_network.h"
 
 namespace astra {
 
@@ -12,6 +13,9 @@ NetworkApi::NetworkApi(EventQueue &eq, const Topology &topo)
     : eq_(eq), topo_(topo)
 {
     stats_.bytesPerDim.assign(static_cast<size_t>(topo.numDims()), 0.0);
+    stats_.busyTimePerDim.assign(static_cast<size_t>(topo.numDims()),
+                                 0.0);
+    stats_.linksPerDim.assign(static_cast<size_t>(topo.numDims()), 0);
 }
 
 void
@@ -58,11 +62,58 @@ NetworkApi::deliver(NpuId src, NpuId dst, uint64_t tag,
 }
 
 void
+NetworkApi::deliverLoopback(NpuId src, uint64_t tag,
+                            SendHandlers handlers)
+{
+    eq_.schedule(0.0, [this, src, tag,
+                       handlers = std::move(handlers)]() mutable {
+        if (handlers.onInjected)
+            handlers.onInjected();
+        deliver(src, src, tag, std::move(handlers.onDelivered));
+    });
+}
+
+void
+NetworkApi::scheduleDelivery(TimeNs at, NpuId src, NpuId dst,
+                             uint64_t tag, EventCallback on_delivered)
+{
+    if (tag == kNoTag) {
+        eq_.scheduleAt(at, std::move(on_delivered));
+    } else {
+        eq_.scheduleAt(at, [this, src, dst, tag,
+                            cb = std::move(on_delivered)]() mutable {
+            deliver(src, dst, tag, std::move(cb));
+        });
+    }
+}
+
+int
+NetworkApi::accountDim(NpuId src, NpuId dst, int dim) const
+{
+    if (dim != kAutoRoute)
+        return dim;
+    for (int d = 0; d < topo_.numDims(); ++d) {
+        if (topo_.coordInDim(src, d) != topo_.coordInDim(dst, d))
+            return d;
+    }
+    return 0;
+}
+
+void
 NetworkApi::account(int dim, Bytes bytes)
 {
     ++stats_.messages;
     if (dim >= 0 && dim < topo_.numDims())
         stats_.bytesPerDim[static_cast<size_t>(dim)] += bytes;
+}
+
+void
+NetworkApi::accountBusy(int dim, TimeNs delta, TimeNs link_total)
+{
+    if (dim >= 0 && dim < topo_.numDims())
+        stats_.busyTimePerDim[static_cast<size_t>(dim)] += delta;
+    if (link_total > stats_.maxLinkBusyNs)
+        stats_.maxLinkBusyNs = link_total;
 }
 
 std::unique_ptr<NetworkApi>
@@ -73,6 +124,8 @@ makeNetwork(NetworkBackendKind kind, EventQueue &eq, const Topology &topo)
         return std::make_unique<AnalyticalNetwork>(eq, topo, true);
       case NetworkBackendKind::AnalyticalPure:
         return std::make_unique<AnalyticalNetwork>(eq, topo, false);
+      case NetworkBackendKind::Flow:
+        return std::make_unique<FlowNetwork>(eq, topo);
       case NetworkBackendKind::Packet:
         return std::make_unique<PacketNetwork>(eq, topo);
     }

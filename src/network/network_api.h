@@ -10,9 +10,12 @@
  * sim_send/sim_recv pair in the paper. `simSchedule` exposes the
  * backend's event queue for timed callbacks.
  *
- * Two backends implement the interface:
+ * Three backends implement the interface (docs/network.md):
  *  - AnalyticalNetwork (src/network/analytical.h): the paper's
  *    equation-based backend with first-order transmit serialization.
+ *  - FlowNetwork (src/network/flow/flow_network.h): congestion-aware
+ *    fluid-flow backend — explicit link graph, max-min fair bandwidth
+ *    sharing, event-driven re-rating (the middle fidelity point).
  *  - PacketNetwork (src/network/detailed/packet_network.h): a
  *    packet-level store-and-forward reference used for validation and
  *    the simulation-speed study (substitute for Garnet / the real
@@ -48,10 +51,27 @@ struct SendHandlers
     EventCallback onDelivered;
 };
 
-/** Cumulative traffic counters per topology dimension. */
+/**
+ * Cumulative traffic counters per topology dimension.
+ *
+ * Besides payload accounting, every backend reports *link occupancy*:
+ * `busyTimePerDim[d]` accumulates the nanoseconds its serialization
+ * points in dimension `d` spent transmitting (summed over links), and
+ * `maxLinkBusyNs` tracks the single busiest link. Divided by the
+ * run's end-to-end time these yield utilization figures — the
+ * max-link number is the hot-link saturation metric sweeps rank by
+ * (Report::maxLinkUtilization()). What counts as a "link" is
+ * backend-specific: the analytical backend has one per (NPU, dim)
+ * transmit port; the flow and packet backends count every directed
+ * link of their explicit graphs (`linksPerDim` records how many, so
+ * per-dim busy time can be normalized into a mean busy fraction).
+ */
 struct NetworkStats
 {
     std::vector<double> bytesPerDim; //!< payload bytes sent per dim.
+    std::vector<double> busyTimePerDim; //!< link-busy ns summed per dim.
+    std::vector<int> linksPerDim; //!< serialization points per dim.
+    double maxLinkBusyNs = 0.0;   //!< busiest single link's busy ns.
     uint64_t messages = 0;
 };
 
@@ -100,8 +120,38 @@ class NetworkApi
     void deliver(NpuId src, NpuId dst, uint64_t tag,
                  EventCallback on_delivered);
 
+    /** Complete a src == dst message: no network resources, both
+     *  handlers fire after a zero-delay deferral (uniform callback
+     *  ordering across backends). */
+    void deliverLoopback(NpuId src, uint64_t tag, SendHandlers handlers);
+
+    /**
+     * Schedule the delivery side of a message for time `at`. kNoTag
+     * (callback-only) messages skip simRecv matching entirely, so the
+     * completion callback itself is the delivery event — no wrapper
+     * closure, no deliver() dispatch; a null callback still schedules
+     * (as an empty event) to keep event counts and final-time
+     * semantics identical across backends. Tagged messages route
+     * through deliver() for matching.
+     */
+    void scheduleDelivery(TimeNs at, NpuId src, NpuId dst, uint64_t tag,
+                          EventCallback on_delivered);
+
+    /** Dimension a message's payload is attributed to in stats():
+     *  `dim` itself, or — for kAutoRoute — the first dimension the
+     *  dimension-ordered path crosses. */
+    int accountDim(NpuId src, NpuId dst, int dim) const;
+
     /** Record payload accounting for stats(). */
     void account(int dim, Bytes bytes);
+
+    /**
+     * Record `delta` ns of transmit-busy time on a link of dimension
+     * `dim` whose cumulative busy time is now `link_total` (the
+     * caller keeps the per-link counter; passing the new total lets
+     * the max-link tracker update in O(1) per call).
+     */
+    void accountBusy(int dim, TimeNs delta, TimeNs link_total);
 
     EventQueue &eq_;
     const Topology &topo_;
@@ -126,6 +176,7 @@ class NetworkApi
 enum class NetworkBackendKind {
     Analytical,       //!< equation-based with TX serialization (default).
     AnalyticalPure,   //!< pure equations, no serialization queueing.
+    Flow,             //!< congestion-aware fluid flows, max-min fair.
     Packet,           //!< detailed packet-level reference backend.
 };
 

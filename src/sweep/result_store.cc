@@ -49,6 +49,7 @@ metricName(Metric m)
       case Metric::Idle:             return "idle_ns";
       case Metric::Events:           return "events";
       case Metric::Messages:         return "messages";
+      case Metric::MaxLinkUtil:      return "max_link_util";
     }
     return "?";
 }
@@ -110,6 +111,8 @@ ResultStore::value(size_t i, Metric m) const
       case Metric::Idle:             return r.report.average.idle;
       case Metric::Events:           return double(r.report.events);
       case Metric::Messages:         return double(r.report.messages);
+      case Metric::MaxLinkUtil:
+        return r.report.maxLinkUtilization();
     }
     return 0.0;
 }
@@ -151,7 +154,8 @@ ResultStore::toCsv() const
     for (const std::string &name : axisNames_)
         out += ',' + csvField(name);
     out += ",total_ns,compute_ns,exposed_comm_ns,exposed_local_mem_ns,"
-           "exposed_remote_mem_ns,idle_ns,events,messages,status\n";
+           "exposed_remote_mem_ns,idle_ns,events,messages,"
+           "max_link_util,status\n";
 
     char buf[64];
     for (const SweepResult &r : rows_) {
@@ -162,9 +166,9 @@ ResultStore::toCsv() const
         for (const std::string &v : r.config.axisValues)
             out += ',' + csvField(v);
         if (r.failed) {
-            // Eight empty metric fields, then the status field — same
+            // Nine empty metric fields, then the status field — same
             // arity as the ok branch so header-keyed parsers align.
-            out += ",,,,,,,,,";
+            out += ",,,,,,,,,,";
             out += csvField("failed: " + r.error);
         } else {
             const RuntimeBreakdown &b = r.report.average;
@@ -174,10 +178,11 @@ ResultStore::toCsv() const
             out += ',' + formatNs(b.exposedLocalMem);
             out += ',' + formatNs(b.exposedRemoteMem);
             out += ',' + formatNs(b.idle);
-            std::snprintf(buf, sizeof(buf), ",%llu,%llu,ok",
+            std::snprintf(buf, sizeof(buf), ",%llu,%llu,%.6f,ok",
                           static_cast<unsigned long long>(r.report.events),
                           static_cast<unsigned long long>(
-                              r.report.messages));
+                              r.report.messages),
+                          r.report.maxLinkUtilization());
             out += buf;
         }
         out += '\n';

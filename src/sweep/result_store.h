@@ -38,6 +38,7 @@ enum class Metric {
     Idle,             //!< mean idle time (ns).
     Events,           //!< DES events executed.
     Messages,         //!< network messages simulated.
+    MaxLinkUtil,      //!< busiest-link busy fraction [0, 1].
 };
 
 /** Column name of a metric (matches the CSV/JSON headers). */

@@ -20,7 +20,7 @@
  *   "base": {
  *     "topology": "conv4d",        // preset name, notation string,
  *                                  // or {"dims": [...]} (config.h)
- *     "backend": "analytical" | "analytical-pure" | "packet",
+ *     "backend": "analytical" | "analytical-pure" | "flow" | "packet",
  *     "system": { ... },           // system-config schema (config.h)
  *     "workload": {
  *       "kind": "hybrid" | "dlrm" | "pipeline" | "moe" | "collective",
@@ -165,7 +165,8 @@ std::string configHashString(uint64_t hash);
  * changes, collective/timing model fixes — so persisted caches from
  * older builds are orphaned instead of silently serving stale Reports.
  */
-constexpr uint64_t kSpecSchemaVersion = 1;
+constexpr uint64_t kSpecSchemaVersion = 2; //!< 2: link-utilization
+                                           //!< report columns added.
 
 /**
  * Turn a configuration document into runnable pieces: topology,

@@ -1,6 +1,7 @@
 #include "workload/engine.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -15,13 +16,27 @@ ExecutionEngine::ExecutionEngine(std::vector<std::unique_ptr<Sys>> &sys,
                  sys_.size(), wl_.graphs.size());
     total_ = wl_.totalNodes();
 
-    state_.resize(wl_.graphs.size());
+    // Build the CSR arenas in three passes: arena offsets, per-node
+    // child counts (prefix-summed into row starts), then the child
+    // lists themselves. One id->index map is reused across graphs.
+    nodeBase_.resize(wl_.graphs.size());
+    size_t base = 0;
+    for (size_t n = 0; n < wl_.graphs.size(); ++n) {
+        nodeBase_[n] = base;
+        base += wl_.graphs[n].nodes.size();
+    }
+    ASTRA_ASSERT(base == total_, "arena size mismatch");
+
+    indegree_.assign(total_, 0);
+    childStart_.assign(total_ + 1, 0);
+    // Resolve every dependency edge once (one id->index map, reused
+    // across graphs); the edge list then feeds both the in-place
+    // prefix sum and the CSR fill without re-hashing.
+    std::vector<std::pair<uint32_t, uint32_t>> edges; // (parent, child)
+    std::unordered_map<int, size_t> index;
     for (size_t n = 0; n < wl_.graphs.size(); ++n) {
         const EtGraph &g = wl_.graphs[n];
-        PerNpu &st = state_[n];
-        st.indegree.assign(g.nodes.size(), 0);
-        st.children.assign(g.nodes.size(), {});
-        std::unordered_map<int, size_t> index;
+        index.clear();
         for (size_t i = 0; i < g.nodes.size(); ++i)
             index.emplace(g.nodes[i].id, i);
         for (size_t i = 0; i < g.nodes.size(); ++i) {
@@ -29,11 +44,24 @@ ExecutionEngine::ExecutionEngine(std::vector<std::unique_ptr<Sys>> &sys,
                 auto it = index.find(dep);
                 ASTRA_ASSERT(it != index.end(),
                              "unvalidated workload reached the engine");
-                st.children[it->second].push_back(i);
-                ++st.indegree[i];
+                edges.emplace_back(
+                    static_cast<uint32_t>(nodeBase_[n] + it->second),
+                    static_cast<uint32_t>(i));
+                // Counts land one slot ahead so the prefix sum below
+                // turns them into row starts in place.
+                ++childStart_[nodeBase_[n] + it->second + 1];
+                ++indegree_[nodeBase_[n] + i];
             }
         }
     }
+    for (size_t g = 1; g <= total_; ++g)
+        childStart_[g] += childStart_[g - 1];
+    children_.resize(childStart_[total_]);
+
+    std::vector<uint32_t> fill(childStart_.begin(),
+                               childStart_.end() - 1);
+    for (const auto &[parent, child] : edges)
+        children_[fill[parent]++] = child;
 }
 
 void
@@ -41,7 +69,7 @@ ExecutionEngine::start()
 {
     for (size_t n = 0; n < wl_.graphs.size(); ++n)
         for (size_t i = 0; i < wl_.graphs[n].nodes.size(); ++i)
-            if (state_[n].indegree[i] == 0)
+            if (indegree_[nodeBase_[n] + i] == 0)
                 issue(static_cast<NpuId>(n), i);
 }
 
@@ -82,9 +110,11 @@ void
 ExecutionEngine::onDone(NpuId npu, size_t index)
 {
     ++completed_;
-    PerNpu &st = state_[static_cast<size_t>(npu)];
-    for (size_t child : st.children[index]) {
-        if (--st.indegree[child] == 0)
+    size_t flat = flatIndex(npu, index);
+    size_t base = nodeBase_[static_cast<size_t>(npu)];
+    for (uint32_t c = childStart_[flat]; c < childStart_[flat + 1]; ++c) {
+        uint32_t child = children_[c];
+        if (--indegree_[base + child] == 0)
             issue(npu, child);
     }
 }

@@ -9,6 +9,14 @@
  * different operations at the same time — the property that enables
  * pipeline parallelism and other arbitrary strategies. The engine
  * finishes when every node of every graph has been consumed.
+ *
+ * Ready-node state is arena-allocated: the indegree counters and the
+ * children adjacency of *all* graphs live in three flat arrays (a
+ * CSR layout indexed by a per-NPU node base), so the completion path
+ * — decrement indegrees, walk a child span — is cache-linear instead
+ * of chasing one heap allocation per node's child list. The public
+ * ET types (workload/et.h) are unchanged; the arena is an engine
+ * implementation detail rebuilt per run.
  */
 #ifndef ASTRA_WORKLOAD_ENGINE_H_
 #define ASTRA_WORKLOAD_ENGINE_H_
@@ -51,18 +59,28 @@ class ExecutionEngine
     TimeNs run();
 
   private:
-    struct PerNpu
-    {
-        std::vector<int> indegree;
-        std::vector<std::vector<size_t>> children;
-    };
-
     void issue(NpuId npu, size_t index);
     void onDone(NpuId npu, size_t index);
 
+    /** Flat index of node `index` of NPU `npu` in the arenas. */
+    size_t
+    flatIndex(NpuId npu, size_t index) const
+    {
+        return nodeBase_[static_cast<size_t>(npu)] + index;
+    }
+
     std::vector<std::unique_ptr<Sys>> &sys_;
     const Workload &wl_;
-    std::vector<PerNpu> state_;
+
+    // Arena-allocated ready-node state (CSR across all graphs; see
+    // file comment). childStart_ has one extra sentinel entry per the
+    // usual CSR convention: node g's children are
+    // children_[childStart_[g] .. childStart_[g + 1]).
+    std::vector<size_t> nodeBase_;    //!< per-NPU arena offset.
+    std::vector<int> indegree_;       //!< unmet parents per node.
+    std::vector<uint32_t> childStart_; //!< CSR row starts (+1 sentinel).
+    std::vector<uint32_t> children_;  //!< child node indices (graph-local).
+
     size_t total_ = 0;
     size_t completed_ = 0;
 };

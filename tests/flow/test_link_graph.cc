@@ -1,0 +1,118 @@
+/**
+ * @file
+ * LinkGraph expansion and routing tests: per-BlockType link rules,
+ * node numbering, dimension-ordered paths, latency sums, and path
+ * caching (docs/network.md).
+ */
+#include <gtest/gtest.h>
+
+#include "network/flow/link_graph.h"
+#include "network/network_api.h"
+
+namespace astra {
+namespace {
+
+TEST(LinkGraph, RingExpandsBidirectionalNeighbourLinks)
+{
+    Topology topo({{BlockType::Ring, 8, 100.0, 300.0}});
+    LinkGraph g(topo);
+    // 8 NPUs x 2 directions.
+    EXPECT_EQ(g.linkCount(), 16u);
+    EXPECT_EQ(g.numNodes(), 8);
+    EXPECT_EQ(g.linksPerDim()[0], 16);
+    for (const LinkGraph::Link &l : g.links()) {
+        EXPECT_DOUBLE_EQ(l.bandwidth, 100.0);
+        EXPECT_DOUBLE_EQ(l.latency, 300.0);
+        EXPECT_EQ(l.dim, 0);
+    }
+}
+
+TEST(LinkGraph, RingOfTwoHasOneLinkPerDirection)
+{
+    Topology topo({{BlockType::Ring, 2, 100.0, 300.0}});
+    LinkGraph g(topo);
+    // Both "directions" reach the same neighbour; no duplicates.
+    EXPECT_EQ(g.linkCount(), 2u);
+}
+
+TEST(LinkGraph, FullyConnectedSplitsBandwidthAcrossPairLinks)
+{
+    Topology topo({{BlockType::FullyConnected, 8, 210.0, 250.0}});
+    LinkGraph g(topo);
+    // 8*7 ordered pairs.
+    EXPECT_EQ(g.linkCount(), 56u);
+    for (const LinkGraph::Link &l : g.links())
+        EXPECT_DOUBLE_EQ(l.bandwidth, 210.0 / 7.0);
+}
+
+TEST(LinkGraph, SwitchAddsExplicitSwitchNodes)
+{
+    Topology topo({{BlockType::Switch, 8, 150.0, 400.0}});
+    LinkGraph g(topo);
+    EXPECT_EQ(g.numNodes(), 9); // 8 NPUs + 1 switch.
+    EXPECT_EQ(g.linkCount(), 16u); // up + down per NPU.
+    EXPECT_EQ(g.switchNodeOf(0, 3), 8);
+}
+
+TEST(LinkGraph, MultiDimCountsPerDimension)
+{
+    Topology topo({{BlockType::Ring, 4, 150.0, 500.0},
+                   {BlockType::Switch, 2, 50.0, 700.0}});
+    LinkGraph g(topo);
+    // Dim 0: 2 groups x 4 NPUs x 2 directions = 16 ring links.
+    // Dim 1: 4 groups x 2 members x (up+down) = 16 switch links.
+    EXPECT_EQ(g.linksPerDim()[0], 16);
+    EXPECT_EQ(g.linksPerDim()[1], 16);
+    EXPECT_EQ(g.numNodes(), 8 + 4);
+}
+
+TEST(LinkGraph, RingPathTakesMinimalDirection)
+{
+    Topology topo({{BlockType::Ring, 8, 100.0, 300.0}});
+    LinkGraph g(topo);
+    const std::vector<LinkId> *fwd = g.pathFor(0, 3, 0);
+    EXPECT_EQ(fwd->size(), 3u);
+    const std::vector<LinkId> *bwd = g.pathFor(0, 6, 0);
+    EXPECT_EQ(bwd->size(), 2u); // 0 -> 7 -> 6 wraps backwards.
+    EXPECT_DOUBLE_EQ(g.pathLatency(*fwd), 3 * 300.0);
+}
+
+TEST(LinkGraph, SwitchPathGoesThroughTheSwitch)
+{
+    Topology topo({{BlockType::Switch, 8, 150.0, 400.0}});
+    LinkGraph g(topo);
+    const std::vector<LinkId> *path = g.pathFor(1, 5, 0);
+    ASSERT_EQ(path->size(), 2u);
+    EXPECT_EQ(g.link((*path)[0]).to, 8);   // up-link into the switch.
+    EXPECT_EQ(g.link((*path)[1]).from, 8); // down-link out of it.
+    EXPECT_DOUBLE_EQ(g.pathLatency(*path), 2 * 400.0);
+}
+
+TEST(LinkGraph, AutoRoutePathIsDimensionOrdered)
+{
+    Topology topo({{BlockType::Ring, 4, 150.0, 500.0},
+                   {BlockType::Switch, 2, 50.0, 700.0}});
+    LinkGraph g(topo);
+    // 0 -> 5: one ring hop (0->1), then switch up/down (1 -> sw -> 5).
+    const std::vector<LinkId> *path = g.pathFor(0, 5, kAutoRoute);
+    ASSERT_EQ(path->size(), 3u);
+    EXPECT_EQ(g.link((*path)[0]).dim, 0);
+    EXPECT_EQ(g.link((*path)[1]).dim, 1);
+    EXPECT_EQ(g.link((*path)[2]).dim, 1);
+    EXPECT_DOUBLE_EQ(g.pathLatency(*path), 500.0 + 2 * 700.0);
+}
+
+TEST(LinkGraph, PathsAreCachedWithStableStorage)
+{
+    Topology topo({{BlockType::Ring, 8, 100.0, 300.0}});
+    LinkGraph g(topo);
+    const std::vector<LinkId> *a = g.pathFor(0, 3, 0);
+    // A different lookup must not invalidate the first pointer.
+    for (NpuId d = 1; d < 8; ++d)
+        g.pathFor(0, d, 0);
+    EXPECT_EQ(g.pathFor(0, 3, 0), a);
+    EXPECT_EQ(a->size(), 3u);
+}
+
+} // namespace
+} // namespace astra

@@ -1,10 +1,11 @@
 /**
  * @file
- * Cross-backend equivalence properties: the analytical and
- * packet-level backends must agree wherever their models coincide
+ * Cross-backend equivalence properties: the analytical, flow-level,
+ * and packet-level backends must agree wherever their models coincide
  * (uncontended messages whose size fits one packet; bandwidth-bound
  * collectives without multi-hop contention) and may only diverge in
- * documented ways (store-and-forward pipelining, headers).
+ * documented ways (store-and-forward pipelining, headers, per-pair
+ * FullyConnected links; see docs/network.md).
  */
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 #include "event/event_queue.h"
 #include "network/analytical.h"
 #include "network/detailed/packet_network.h"
+#include "network/flow/flow_network.h"
 
 namespace astra {
 namespace {
@@ -64,19 +66,31 @@ TEST_P(SingleMessageEquivalence, UncontendedSinglePacketAgrees)
     PacketNetwork p(eq_p, topo, 4096.0);
     TimeNs t_p = measure(p, eq_p);
 
-    // FC splits bandwidth across k-1 links in the packet model while
-    // the analytical model charges the aggregate port; a single
-    // message therefore sees (k-1)x serialization there. Ring/switch
-    // paths must agree exactly (identical store-and-forward terms).
+    EventQueue eq_f;
+    FlowNetwork f(eq_f, topo);
+    TimeNs t_f = measure(f, eq_f);
+
+    // FC splits bandwidth across k-1 links in the packet and flow
+    // models while the analytical model charges the aggregate port; a
+    // single message therefore sees (k-1)x serialization there.
+    // Ring/switch paths must agree exactly (identical store-and-forward
+    // terms).
     if (topo.dim(0).type == BlockType::FullyConnected) {
         EXPECT_GT(t_p, t_a);
+        EXPECT_GT(t_f, t_a);
+        // Single-hop FC: fluid and single-packet store-and-forward
+        // charge the identical per-pair link.
+        EXPECT_NEAR(t_f, t_p, 1e-9);
     } else if (topo.dim(0).type == BlockType::Ring) {
         EXPECT_DOUBLE_EQ(t_a, t_p);
+        EXPECT_NEAR(t_f, t_a, kTimeEpsNs);
     } else {
         // Switch: analytical charges serialization once plus 2 hop
-        // latencies; packet store-and-forward serializes twice.
+        // latencies; packet store-and-forward serializes twice. The
+        // fluid model serializes once, matching the analytical form.
         TimeNs ser = bytes / topo.dim(0).bandwidth;
         EXPECT_NEAR(t_p - t_a, ser, 1e-9);
+        EXPECT_NEAR(t_f, t_a, kTimeEpsNs);
     }
 }
 
@@ -92,6 +106,13 @@ struct CollCase
     std::vector<Dimension> dims;
     CollectiveType type;
     double tolerance;
+    /** Flow-vs-analytical tolerance. Single-dimension collectives
+     *  agree as tightly as the packet model. Hierarchical chunked
+     *  collectives diverge more: fair sharing finishes all of a
+     *  phase's chunks *together*, which delays the next dimension's
+     *  phase start and costs pipeline overlap the analytical FIFO
+     *  port model keeps (documented in docs/network.md). */
+    double flowTolerance;
 };
 
 std::vector<CollCase>
@@ -99,17 +120,17 @@ collCases()
 {
     return {
         {"ring4_ar", {{BlockType::Ring, 4, 150.0, 500.0}},
-         CollectiveType::AllReduce, 0.02},
+         CollectiveType::AllReduce, 0.02, 0.02},
         {"ring16_ar", {{BlockType::Ring, 16, 150.0, 500.0}},
-         CollectiveType::AllReduce, 0.02},
+         CollectiveType::AllReduce, 0.02, 0.02},
         {"sw8_ar", {{BlockType::Switch, 8, 150.0, 500.0}},
-         CollectiveType::AllReduce, 0.02},
+         CollectiveType::AllReduce, 0.02, 0.02},
         {"sw8_ag", {{BlockType::Switch, 8, 150.0, 500.0}},
-         CollectiveType::AllGather, 0.02},
+         CollectiveType::AllGather, 0.02, 0.02},
         {"ring4_sw2_ar",
          {{BlockType::Ring, 4, 150.0, 500.0},
           {BlockType::Switch, 2, 50.0, 500.0}},
-         CollectiveType::AllReduce, 0.05},
+         CollectiveType::AllReduce, 0.05, 0.16},
     };
 }
 
@@ -136,7 +157,15 @@ TEST_P(CollectiveEquivalence, BandwidthBoundCollectivesAgree)
     CollectiveEngine eng_p(net_p);
     TimeNs t_p = runCollective(eng_p, req).finish;
 
+    EventQueue eq_f;
+    FlowNetwork net_f(eq_f, topo);
+    CollectiveEngine eng_f(net_f);
+    TimeNs t_f = runCollective(eng_f, req).finish;
+
     EXPECT_NEAR(t_a, t_p, t_p * c.tolerance) << c.name;
+    // The fluid model shares links fairly instead of FIFO-serializing
+    // chunks; see the flowTolerance comment for where that diverges.
+    EXPECT_NEAR(t_a, t_f, t_f * c.flowTolerance) << c.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CollectiveEquivalence,
@@ -177,11 +206,12 @@ TEST(BackendDivergence, MessageOverheadDelaysLaunch)
     EXPECT_DOUBLE_EQ(delivered, 2500.0 + 1024.0 / 100.0);
 }
 
-TEST(BackendDivergence, MultiHopContentionOnlyInPacketModel)
+TEST(BackendDivergence, MultiHopContentionOnlyInDetailedModels)
 {
     // Two flows crossing the same intermediate ring link: the packet
-    // model serializes them on the shared link; the analytical model
-    // only serializes per-source transmit ports.
+    // model serializes them on the shared link and the flow model
+    // splits the link max-min fair; the analytical model only
+    // serializes per-source transmit ports and misses it entirely.
     Topology topo({{BlockType::Ring, 8, 100.0, 0.0}});
     Bytes bytes = 1e6;
 
@@ -210,7 +240,15 @@ TEST(BackendDivergence, MultiHopContentionOnlyInPacketModel)
     PacketNetwork p(eq_p, topo, 4096.0);
     TimeNs t_p = run_two(p, eq_p);
 
-    EXPECT_GT(t_p, t_a * 1.3); // congestion visible only in packets.
+    EventQueue eq_f;
+    FlowNetwork f(eq_f, topo);
+    TimeNs t_f = run_two(f, eq_f);
+
+    EXPECT_GT(t_p, t_a * 1.3); // congestion only in detailed models.
+    EXPECT_GT(t_f, t_a * 1.3);
+    // Shared link 1->2 at half rate each: both flows finish together
+    // at 2 x the solo serialization time.
+    EXPECT_NEAR(t_f, 2.0 * bytes / 100.0, 1e-6);
 }
 
 } // namespace

@@ -29,6 +29,7 @@ makeRow(size_t index, const std::string &axis_value, double total,
     r.report.average.exposedComm = comm;
     r.report.events = events;
     r.report.messages = events / 2;
+    r.report.maxLinkBusyNs = total / 2.0; // 50% hot-link utilization.
     return r;
 }
 
@@ -54,6 +55,7 @@ TEST(ResultStore, QueriesSelectExtremes)
     EXPECT_EQ(store.argmax(Metric::Events), 0u);
     EXPECT_DOUBLE_EQ(store.value(1, Metric::Compute), 20.0);
     EXPECT_DOUBLE_EQ(store.value(2, Metric::Messages), 10.0);
+    EXPECT_DOUBLE_EQ(store.value(0, Metric::MaxLinkUtil), 0.5);
 }
 
 TEST(ResultStore, FailedRowsKeptButSkippedByQueries)
@@ -110,7 +112,8 @@ TEST(ResultStore, CsvShapeAndQuoting)
     EXPECT_EQ(header,
               "index,label,config,x,total_ns,compute_ns,"
               "exposed_comm_ns,exposed_local_mem_ns,"
-              "exposed_remote_mem_ns,idle_ns,events,messages,status");
+              "exposed_remote_mem_ns,idle_ns,events,messages,"
+              "max_link_util,status");
     // RFC-4180: embedded quotes doubled, field quoted.
     EXPECT_NE(row.find("\"has,comma \"\"quoted\"\"\""),
               std::string::npos);

@@ -241,7 +241,9 @@ TEST(ResultCache, MalformedEntryIsAMissNotACrash)
     std::string path = "sweep_cache_poison_test.json";
     {
         std::string text = "{\"kind\": \"astra-sweep-result-cache\", "
-                           "\"version\": 1, \"entries\": {";
+                           "\"version\": " +
+                           std::to_string(kSpecSchemaVersion) +
+                           ", \"entries\": {";
         for (size_t i = 0; i < spec.configCount(); ++i) {
             if (i > 0)
                 text += ',';
@@ -273,9 +275,11 @@ TEST(ResultCache, WrongShapeFileDegradesToCold)
     std::string path = "sweep_cache_shape_test.json";
     std::FILE *f = std::fopen(path.c_str(), "w");
     ASSERT_NE(f, nullptr);
-    std::fputs("{\"kind\": \"astra-sweep-result-cache\", "
-               "\"version\": 1, \"entries\": []}",
-               f);
+    std::string text = "{\"kind\": \"astra-sweep-result-cache\", "
+                       "\"version\": " +
+                       std::to_string(kSpecSchemaVersion) +
+                       ", \"entries\": []}";
+    std::fputs(text.c_str(), f);
     std::fclose(f);
 
     ResultCache cache;
