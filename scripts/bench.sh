@@ -6,18 +6,44 @@
 #  - bench_sweep_throughput (64-config hierarchical-memory sweep at
 #    1/2/8 threads, byte-identity check vs sequential ground truth)
 #    -> BENCH_sweep.json
-#  - bench_flow_vs_packet (1024-NPU incast + 64-NPU all-to-all:
-#    flow-backend accuracy gap vs the packet reference and wall-clock
-#    speedup) -> BENCH_flow.json
+#  - bench_flow_vs_packet (1024-NPU incast, 64-NPU all-to-all, and
+#    staggered 256-NPU hierarchical all-reduce: flow-backend accuracy
+#    gap vs the packet reference, wall-clock speedup, and the
+#    incremental solver's work counters) -> BENCH_flow.json
 # Machine-readable results land at the repo root so numbers are
 # comparable across PRs (same machine assumed).
+#
+# `scripts/bench.sh --check` instead re-runs the benches into a
+# scratch directory and fails (non-zero exit) if any deterministic
+# metric (sim_time_ns, event counts, solver counters) drifted from the
+# committed BENCH_*.json, or any wall time regressed by more than 25%
+# — see scripts/bench_check.py. Run it before merging perf-sensitive
+# changes; regenerate the committed files when a drift is intentional.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+    CHECK=1
+    shift
+fi
+
 OUT="${1:-BENCH_eventcore.json}"
 SWEEP_OUT="${2:-BENCH_sweep.json}"
 FLOW_OUT="${3:-BENCH_flow.json}"
+
+if [[ "$CHECK" == 1 ]]; then
+    CHECK_DIR="$BUILD_DIR/bench-check"
+    mkdir -p "$CHECK_DIR"
+    COMMITTED_EVENTCORE="$OUT"
+    COMMITTED_SWEEP="$SWEEP_OUT"
+    COMMITTED_FLOW="$FLOW_OUT"
+    OUT="$CHECK_DIR/BENCH_eventcore.json"
+    SWEEP_OUT="$CHECK_DIR/BENCH_sweep.json"
+    FLOW_OUT="$CHECK_DIR/BENCH_flow.json"
+fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
@@ -38,4 +64,12 @@ echo
     true
 
 echo
-echo "results written to $OUT, $SWEEP_OUT, and $FLOW_OUT"
+if [[ "$CHECK" == 1 ]]; then
+    python3 scripts/bench_check.py \
+        "$COMMITTED_EVENTCORE" "$OUT" \
+        "$COMMITTED_SWEEP" "$SWEEP_OUT" \
+        "$COMMITTED_FLOW" "$FLOW_OUT"
+    echo "bench check passed (fresh results in $BUILD_DIR/bench-check)"
+else
+    echo "results written to $OUT, $SWEEP_OUT, and $FLOW_OUT"
+fi

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Regression gate for the committed BENCH_*.json files (bench.sh --check).
+
+Compares a freshly produced bench JSON against the committed one:
+
+ - Deterministic metrics must match EXACTLY: simulated results
+   (`sim_time_ns`), event counts (`events`), and the flow solver's
+   work counters (`solves`, `flows_touched_total`,
+   `avg_component_frac`). Any drift means the simulation's behaviour
+   changed without the committed file being regenerated.
+ - Wall-clock metrics (`wall_seconds`, `seconds`) may wobble with the
+   machine, but a fresh value more than 25% above the committed one is
+   a performance regression and fails the check. Sub-millisecond
+   samples can swing far more than 25% from scheduler noise alone, so
+   an absolute slack floor (WALL_SLACK_S) is added to the allowance —
+   the gate is meant to catch real regressions on the scenarios that
+   take meaningful time, not to flake on microsecond jitter.
+ - Structure must match: a scenario added or removed without
+   regenerating the committed file is an error, not a skip.
+ - Derived rates (`events_per_sec`, `speedup`, `accuracy_gap`, ...)
+   are ignored; they follow from the metrics above.
+
+Exit code 0 = clean, 1 = any violation (all violations are listed).
+"""
+import json
+import sys
+
+EXACT_KEYS = {"sim_time_ns", "events", "solves", "flows_touched_total",
+              "avg_component_frac"}
+WALL_KEYS = {"wall_seconds", "seconds"}
+IGNORED_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
+                "speedup_8_over_1", "accuracy_gap", "bucket_width_ns",
+                "hardware_threads"}
+WALL_TOLERANCE = 1.25  # fresh wall time may be up to 25% above committed.
+WALL_SLACK_S = 0.005   # plus this absolute slack (sub-ms noise floor).
+
+
+def compare(committed, fresh, path, errors):
+    if isinstance(committed, dict) != isinstance(fresh, dict):
+        errors.append(f"{path}: structure mismatch")
+        return
+    if isinstance(committed, dict):
+        for key in sorted(set(committed) | set(fresh)):
+            sub = f"{path}.{key}" if path else key
+            if key in IGNORED_KEYS:
+                continue
+            if key not in fresh:
+                errors.append(f"{sub}: missing from fresh run "
+                              "(scenario removed without regenerating?)")
+                continue
+            if key not in committed:
+                errors.append(f"{sub}: not in committed file "
+                              "(new scenario? regenerate the baseline)")
+                continue
+            if key in EXACT_KEYS:
+                if committed[key] != fresh[key]:
+                    errors.append(
+                        f"{sub}: deterministic metric drifted "
+                        f"(committed {committed[key]!r}, "
+                        f"fresh {fresh[key]!r})")
+            elif key in WALL_KEYS:
+                base, now = committed[key], fresh[key]
+                if base > 0 and now > base * WALL_TOLERANCE + WALL_SLACK_S:
+                    errors.append(
+                        f"{sub}: wall-time regression {now:.6f}s vs "
+                        f"committed {base:.6f}s "
+                        f"(> {WALL_TOLERANCE:.2f}x + {WALL_SLACK_S}s)")
+            else:
+                compare(committed[key], fresh[key], sub, errors)
+    elif committed != fresh and not (
+            is_machine_dependent_number(committed) and
+            is_machine_dependent_number(fresh)):
+        # Non-numeric leaves (names, booleans like
+        # identical_across_thread_counts) must agree; free-standing
+        # numeric leaves outside the key sets are machine-dependent.
+        errors.append(f"{path}: changed from {committed!r} to {fresh!r}")
+
+
+def is_machine_dependent_number(value):
+    # bool is a subclass of int in Python: True/False are semantic
+    # leaves (e.g. identical_across_thread_counts) and must compare,
+    # not be waved through as numbers.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 == 0:
+        print("usage: bench_check.py <committed.json fresh.json>...")
+        return 2
+    errors = []
+    for i in range(1, len(argv), 2):
+        committed_path, fresh_path = argv[i], argv[i + 1]
+        with open(committed_path) as f:
+            committed = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+        before = len(errors)
+        compare(committed, fresh, "", errors)
+        status = "OK" if len(errors) == before else "FAIL"
+        print(f"{committed_path}: {status}")
+    for err in errors:
+        print(f"  {err}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

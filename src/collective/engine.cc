@@ -39,42 +39,29 @@ CollectiveEngine::rankOf(const Instance &inst, NpuId npu) const
 uint64_t
 CollectiveEngine::allocInstance()
 {
-    uint32_t slot;
-    if (!freeSlots_.empty()) {
-        slot = freeSlots_.back();
-        freeSlots_.pop_back();
-    } else {
-        slot = static_cast<uint32_t>(instances_.size());
-        instances_.emplace_back();
-    }
-    Instance &inst = instances_[slot];
-    ++inst.gen;
-    inst.id = static_cast<uint64_t>(slot) |
-              (static_cast<uint64_t>(inst.gen) << 32);
-    return inst.id;
+    uint64_t id = instances_.claim();
+    instances_.get(id).id = id;
+    return id;
 }
 
 CollectiveEngine::Instance *
 CollectiveEngine::findInstance(uint64_t id)
 {
-    uint32_t slot = static_cast<uint32_t>(id);
-    if (slot >= instances_.size())
-        return nullptr;
-    Instance &inst = instances_[slot];
-    return inst.id == id ? &inst : nullptr;
+    return instances_.find(id);
 }
 
 void
 CollectiveEngine::releaseInstance(Instance &inst)
 {
     ++completedInstances_;
-    uint32_t slot = static_cast<uint32_t>(inst.id);
+    uint64_t id = inst.id;
     inst.id = 0;
     // Clears keep the top-level capacities (and the per-member nested
-    // vectors) alive for the next instance in this slot.
+    // vectors) alive for the next instance in this slot — SlotPool
+    // recycles the object in place.
     inst.chunkPhases.clear();
     inst.chunkPhaseMult.clear();
-    freeSlots_.push_back(slot);
+    instances_.release(id);
 }
 
 void

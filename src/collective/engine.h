@@ -34,6 +34,7 @@
 #include "collective/phases.h"
 #include "collective/scheduler.h"
 #include "collective/types.h"
+#include "common/slot_pool.h"
 #include "network/network_api.h"
 
 namespace astra {
@@ -71,7 +72,7 @@ class CollectiveEngine
 
     /** Instance slots currently allocated (live + recyclable); exposed
      *  so tests can verify free-list recycling. */
-    size_t instanceSlots() const { return instances_.size(); }
+    size_t instanceSlots() const { return instances_.slots(); }
 
   private:
     struct ChunkState
@@ -98,9 +99,10 @@ class CollectiveEngine
 
     struct Instance
     {
-        /** slot | (generation << 32); 0 while the slot is free. */
+        /** Pool id (SlotPool slot | generation << 32); 0 while the
+         *  slot is free. Cached here so per-message closures can carry
+         *  it without a pool lookup. */
         uint64_t id = 0;
-        uint32_t gen = 0;
         CollectiveRequest req;
         std::vector<GroupDim> groups; //!< normalized factors.
         int groupSize = 1;
@@ -176,8 +178,7 @@ class CollectiveEngine
     std::vector<double> sent_;
     std::unordered_map<RendezvousKey, uint64_t, RendezvousHash>
         rendezvous_;
-    std::vector<Instance> instances_; //!< slot-indexed, recycled.
-    std::vector<uint32_t> freeSlots_;
+    SlotPool<Instance> instances_; //!< recycled; nested capacities kept.
     std::vector<int> kickScratch_;    //!< reused by start().
     uint64_t completedInstances_ = 0;
 };

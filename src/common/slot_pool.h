@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Generational slot pool — the shared home of the
+ * slot + free-list + generation-id idiom used by every subsystem that
+ * hands out recyclable handles to event closures: collective-engine
+ * instances, packet-backend messages, and flow-backend flows.
+ *
+ * Objects live in a dense slot-indexed vector; `claim()` pops a free
+ * slot (or appends one) and returns a 64-bit id `slot | gen << 32`.
+ * The generation counter advances on *both* claim and release (odd
+ * while the slot is live, even while it is free), so an id goes stale
+ * the instant its slot is released — a completion event that outlived
+ * its object is detected even before the slot is reclaimed, not only
+ * after the next claim. `find()` resolves an id to the object or to
+ * nullptr when stale; `get()` panics instead, for callers whose
+ * protocol guarantees liveness.
+ *
+ * Recycling deliberately does NOT destroy or re-construct the object:
+ * the previous tenant's fields (and, crucially, the heap capacity of
+ * any member vectors) survive into the next claim, and the caller
+ * resets what it uses. That is what makes the pools allocation-free
+ * in steady state — see the warm-up contract in docs/eventcore.md.
+ *
+ * Hot paths that already know a live slot index (per-link incidence
+ * lists, active-flow arrays) use `at(slot)` directly and skip the
+ * generation check entirely.
+ *
+ * Not thread-safe; each owner confines its pool to one simulation
+ * thread (the same contract as EventQueue).
+ */
+#ifndef ASTRA_COMMON_SLOT_POOL_H_
+#define ASTRA_COMMON_SLOT_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace astra {
+
+/** See file comment. */
+template <typename T>
+class SlotPool
+{
+  public:
+    /** Slot index of an id (low 32 bits). */
+    static constexpr uint32_t
+    slotOf(uint64_t id)
+    {
+        return static_cast<uint32_t>(id);
+    }
+
+    /** Generation of an id (high 32 bits). */
+    static constexpr uint32_t
+    genOf(uint64_t id)
+    {
+        return static_cast<uint32_t>(id >> 32);
+    }
+
+    /**
+     * Claim a slot (recycling the most recently released one first)
+     * and return its id. The object keeps whatever state its previous
+     * tenant left — reset the fields you use.
+     */
+    uint64_t
+    claim()
+    {
+        uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+        } else {
+            slot = static_cast<uint32_t>(values_.size());
+            values_.emplace_back();
+            gens_.push_back(0);
+        }
+        ++gens_[slot]; // even (free) -> odd (live).
+        ++live_;
+        return idAt(slot);
+    }
+
+    /** Release a live id's slot back to the free list; every
+     *  outstanding id of this tenancy goes stale immediately. */
+    void
+    release(uint64_t id)
+    {
+        uint32_t slot = slotOf(id);
+        ASTRA_ASSERT(valid(id), "releasing a stale or free slot id");
+        ++gens_[slot]; // odd (live) -> even (free).
+        --live_;
+        free_.push_back(slot);
+    }
+
+    /** True while `id` refers to a live (claimed, unreleased) slot. */
+    bool
+    valid(uint64_t id) const
+    {
+        uint32_t slot = slotOf(id);
+        return slot < gens_.size() && gens_[slot] == genOf(id) &&
+               (gens_[slot] & 1u) != 0;
+    }
+
+    /** Object for a live id, or nullptr when the id is stale. */
+    T *
+    find(uint64_t id)
+    {
+        return valid(id) ? &values_[slotOf(id)] : nullptr;
+    }
+
+    /** Object for an id the caller guarantees live; panics if stale. */
+    T &
+    get(uint64_t id)
+    {
+        ASTRA_ASSERT(valid(id), "stale slot id (object released)");
+        return values_[slotOf(id)];
+    }
+
+    /** Direct slot access (no generation check; hot paths that track
+     *  live slots themselves). */
+    T &
+    at(uint32_t slot)
+    {
+        return values_[slot];
+    }
+    const T &
+    at(uint32_t slot) const
+    {
+        return values_[slot];
+    }
+
+    /** Current id of a slot (meaningful only while the slot is live). */
+    uint64_t
+    idAt(uint32_t slot) const
+    {
+        return static_cast<uint64_t>(slot) |
+               (static_cast<uint64_t>(gens_[slot]) << 32);
+    }
+
+    /** Current generation of a slot (odd while live). External
+     *  structures can tag references with this and later test
+     *  staleness with one compare — see LinkIncidence. */
+    uint32_t
+    genAt(uint32_t slot) const
+    {
+        return gens_[slot];
+    }
+
+    /** Slots allocated so far (live + recyclable) — the warm-up
+     *  footprint tests assert on. */
+    size_t
+    slots() const
+    {
+        return values_.size();
+    }
+
+    /** Currently claimed slots. */
+    size_t
+    liveCount() const
+    {
+        return live_;
+    }
+
+  private:
+    std::vector<T> values_;       //!< slot-indexed, recycled in place.
+    std::vector<uint32_t> gens_;  //!< per-slot generation (odd = live).
+    std::vector<uint32_t> free_;  //!< released slots, LIFO.
+    size_t live_ = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_SLOT_POOL_H_

@@ -128,7 +128,14 @@ EventQueue::activate(int64_t tick)
         ++windowCount_;
     }
     std::vector<Entry> &bucket = bucketAt(tick);
-    std::sort(bucket.begin(), bucket.end(), entryBefore);
+    // Appends carry monotonically increasing seq, so a bucket filled
+    // in nondecreasing time order — the common case: synchronized
+    // completion waves put hundreds of equal-timestamp events in one
+    // bucket — is already in (when, seq) order. Detect that in one
+    // early-exit pass instead of paying the full sort; a genuinely
+    // shuffled bucket fails the check within a few elements.
+    if (!std::is_sorted(bucket.begin(), bucket.end(), entryBefore))
+        std::sort(bucket.begin(), bucket.end(), entryBefore);
     activeHead_ = 0;
     activeSorted_ = true;
 }

@@ -37,8 +37,8 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
 
     EventCallback on_injected = std::move(handlers.onInjected);
 
-    uint64_t id = allocMessage();
-    Message &msg = messageFor(id);
+    uint64_t id = messages_.claim();
+    Message &msg = messages_.get(id);
     msg.src = src;
     msg.dst = dst;
     msg.tag = tag;
@@ -105,46 +105,10 @@ PacketNetwork::forwardPacket(uint64_t msg_id,
                    });
 }
 
-uint64_t
-PacketNetwork::allocMessage()
-{
-    uint32_t slot;
-    if (!freeSlots_.empty()) {
-        slot = freeSlots_.back();
-        freeSlots_.pop_back();
-    } else {
-        slot = static_cast<uint32_t>(messages_.size());
-        messages_.emplace_back();
-    }
-    Message &msg = messages_[slot];
-    ++msg.gen; // ids of the slot's previous lives go stale.
-    return static_cast<uint64_t>(slot) |
-           (static_cast<uint64_t>(msg.gen) << 32);
-}
-
-PacketNetwork::Message &
-PacketNetwork::messageFor(uint64_t msg_id)
-{
-    uint32_t slot = static_cast<uint32_t>(msg_id);
-    uint32_t gen = static_cast<uint32_t>(msg_id >> 32);
-    ASTRA_ASSERT(slot < messages_.size(), "message slot out of range");
-    Message &msg = messages_[slot];
-    ASTRA_ASSERT(msg.gen == gen, "stale message id (slot recycled)");
-    return msg;
-}
-
-void
-PacketNetwork::releaseMessage(Message &msg)
-{
-    uint32_t slot = static_cast<uint32_t>(&msg - messages_.data());
-    msg.handlers = SendHandlers{};
-    freeSlots_.push_back(slot);
-}
-
 void
 PacketNetwork::packetArrived(uint64_t msg_id)
 {
-    Message &msg = messageFor(msg_id);
+    Message &msg = messages_.get(msg_id);
     ASTRA_ASSERT(msg.packetsRemaining > 0, "arrival on idle message slot");
     if (--msg.packetsRemaining > 0)
         return;
@@ -154,7 +118,8 @@ PacketNetwork::packetArrived(uint64_t msg_id)
     NpuId dst = msg.dst;
     uint64_t tag = msg.tag;
     EventCallback on_delivered = std::move(msg.handlers.onDelivered);
-    releaseMessage(msg);
+    msg.handlers = SendHandlers{};
+    messages_.release(msg_id);
     deliver(src, dst, tag, std::move(on_delivered));
 }
 

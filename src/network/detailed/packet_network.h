@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/slot_pool.h"
 #include "network/flow/link_graph.h"
 #include "network/network_api.h"
 
@@ -55,7 +56,7 @@ class PacketNetwork : public NetworkApi
 
     /** Message slots currently allocated (live + recyclable); exposed
      *  so tests can verify free-list recycling. */
-    size_t messageSlots() const { return messages_.size(); }
+    size_t messageSlots() const { return messages_.slots(); }
 
     Bytes packetBytes() const { return packetBytes_; }
 
@@ -68,12 +69,12 @@ class PacketNetwork : public NetworkApi
     };
 
     /**
-     * In-flight message bookkeeping in flat slot storage (free list +
-     * generation ids, mirroring CollectiveEngine's instance slots):
-     * message ids are `slot | (generation << 32)`, so the per-packet
-     * arrival path is one array indexing instead of a hash lookup, and
-     * a stale id (message already delivered, slot recycled) is still
-     * detected by the generation check.
+     * In-flight message bookkeeping in a generational SlotPool
+     * (common/slot_pool.h, the idiom shared with CollectiveEngine's
+     * instances and FlowNetwork's flows): the per-packet arrival path
+     * is one array indexing instead of a hash lookup, and a stale id
+     * (message already delivered, slot recycled) is detected by the
+     * pool's generation check.
      */
     struct Message
     {
@@ -81,7 +82,6 @@ class PacketNetwork : public NetworkApi
         NpuId dst = 0;
         uint64_t tag = 0;
         int packetsRemaining = 0; //!< 0 while the slot is free.
-        uint32_t gen = 0;
         SendHandlers handlers;
     };
 
@@ -92,18 +92,12 @@ class PacketNetwork : public NetworkApi
                        size_t hop, Bytes pkt_bytes);
     void packetArrived(uint64_t msg_id);
 
-    /** Claim a message slot; returns its id (slot | gen << 32). */
-    uint64_t allocMessage();
-    Message &messageFor(uint64_t msg_id);
-    void releaseMessage(Message &msg);
-
     LinkGraph graph_;
     Bytes packetBytes_;
     Bytes headerBytes_;
     TimeNs messageOverhead_;
     std::vector<PortState> ports_;    //!< per-link FIFO state.
-    std::vector<Message> messages_;   //!< slot-indexed, recycled.
-    std::vector<uint32_t> freeSlots_;
+    SlotPool<Message> messages_;
 };
 
 } // namespace astra

@@ -26,47 +26,30 @@ constexpr GBps kMinRate = 1e-12;
 FlowNetwork::FlowNetwork(EventQueue &eq, const Topology &topo)
     : NetworkApi(eq, topo), graph_(topo)
 {
-    linkBusy_.assign(graph_.linkCount(), 0.0);
-    stamp_.assign(graph_.linkCount(), 0);
-    capLeft_.assign(graph_.linkCount(), 0.0);
-    flowsLeft_.assign(graph_.linkCount(), 0);
+    size_t links = graph_.linkCount();
+    incidence_.reset(links);
+    linkBusy_.assign(links, 0.0);
+    seedMark_.assign(links, 0);
+    linkVisit_.assign(links, 0);
+    fillStamp_.assign(links, 0);
+    capLeft_.assign(links, 0.0);
+    flowsLeft_.assign(links, 0);
     stats_.linksPerDim = graph_.linksPerDim();
 }
 
-uint64_t
-FlowNetwork::allocFlow()
+FlowNetwork::FlowProbe
+FlowNetwork::probeActiveFlow(size_t active_index) const
 {
-    uint32_t slot;
-    if (!freeSlots_.empty()) {
-        slot = freeSlots_.back();
-        freeSlots_.pop_back();
-    } else {
-        slot = static_cast<uint32_t>(flows_.size());
-        flows_.emplace_back();
-    }
-    Flow &flow = flows_[slot];
-    ++flow.gen; // ids of the slot's previous lives go stale.
-    return static_cast<uint64_t>(slot) |
-           (static_cast<uint64_t>(flow.gen) << 32);
-}
-
-FlowNetwork::Flow *
-FlowNetwork::flowForId(uint64_t id)
-{
-    uint32_t slot = static_cast<uint32_t>(id);
-    uint32_t gen = static_cast<uint32_t>(id >> 32);
-    ASTRA_ASSERT(slot < flows_.size(), "flow slot out of range");
-    Flow &flow = flows_[slot];
-    return flow.gen == gen ? &flow : nullptr;
-}
-
-void
-FlowNetwork::releaseFlow(Flow &flow)
-{
-    uint32_t slot = static_cast<uint32_t>(&flow - flows_.data());
-    flow.handlers = SendHandlers{};
-    flow.path = nullptr;
-    freeSlots_.push_back(slot);
+    const Flow &flow = flows_.at(active_[active_index]);
+    FlowProbe probe;
+    probe.src = flow.src;
+    probe.dst = flow.dst;
+    probe.remaining = flow.remaining;
+    probe.rate = flow.rate;
+    probe.lastUpdateNs = flow.lastUpdate;
+    probe.predictedFinishNs = flow.predictedFinish;
+    probe.epoch = flow.epoch;
+    return probe;
 }
 
 void
@@ -81,6 +64,17 @@ FlowNetwork::markDirty()
         dirty_ = false;
         resolve();
     });
+}
+
+void
+FlowNetwork::markLinksDirty(const std::vector<LinkId> &path)
+{
+    for (LinkId l : path) {
+        if (seedMark_[l] != seedEpoch_) {
+            seedMark_[l] = seedEpoch_;
+            dirtySeeds_.push_back(l);
+        }
+    }
 }
 
 void
@@ -99,66 +93,136 @@ FlowNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
     const std::vector<LinkId> *path = graph_.pathFor(src, dst, dim);
     ASTRA_ASSERT(!path->empty(), "flow with an empty path");
 
-    uint64_t id = allocFlow();
-    Flow &flow = flows_[static_cast<uint32_t>(id)];
+    uint64_t id = flows_.claim();
+    uint32_t slot = SlotPool<Flow>::slotOf(id);
+    if (slot >= slotScratch_.size()) {
+        // Geometric growth with the pool's high-water mark: steady
+        // state (recycled slots) takes only the size check.
+        slotScratch_.resize(
+            std::max<size_t>(2 * slotScratch_.size(), slot + 1));
+    }
+    Flow &flow = flows_.get(id);
     flow.src = src;
     flow.dst = dst;
     flow.tag = tag;
     flow.path = path;
     flow.remaining = bytes;
     flow.rate = 0.0; // no bandwidth until the deferred solve runs.
+    flow.lastUpdate = eq_.now();
     flow.latency = graph_.pathLatency(*path);
     flow.hasEvent = false;
     flow.active = true;
     flow.activeIdx = static_cast<uint32_t>(active_.size());
     flow.handlers = std::move(handlers);
-    active_.push_back(static_cast<uint32_t>(id));
+    active_.push_back(slot);
+    incidence_.add(slot, SlotPool<Flow>::genOf(id), *path);
+    markLinksDirty(*path);
     markDirty();
 }
 
 void
-FlowNetwork::integrateTo(TimeNs t)
+FlowNetwork::integrateFlow(Flow &flow, TimeNs t)
 {
-    TimeNs dt = t - lastIntegrate_;
-    if (dt > 0.0) {
-        for (uint32_t slot : active_) {
-            Flow &flow = flows_[slot];
-            if (flow.rate <= 0.0)
-                continue;
-            flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
-            // Busy accounting: transmitting `rate * dt` bytes keeps a
-            // link of bandwidth B busy for `rate * dt / B` ns.
-            for (LinkId l : *flow.path) {
-                const LinkGraph::Link &link = graph_.link(l);
-                TimeNs busy = flow.rate * dt / link.bandwidth;
-                linkBusy_[l] += busy;
-                accountBusy(link.dim, busy, linkBusy_[l]);
-            }
+    TimeNs dt = t - flow.lastUpdate;
+    if (dt > 0.0 && flow.rate > 0.0) {
+        flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+        // Busy accounting: transmitting `rate * dt` bytes keeps a
+        // link of bandwidth B busy for `rate * dt / B` ns.
+        for (LinkId l : *flow.path) {
+            const LinkGraph::Link &link = graph_.link(l);
+            TimeNs busy = flow.rate * dt / link.bandwidth;
+            linkBusy_[l] += busy;
+            accountBusy(link.dim, busy, linkBusy_[l]);
         }
     }
-    lastIntegrate_ = t;
+    flow.lastUpdate = t;
 }
 
 void
-FlowNetwork::resolve()
+FlowNetwork::scanLink(LinkId l, uint64_t epoch,
+                      std::vector<uint32_t> *out)
 {
-    integrateTo(eq_.now());
-    if (active_.empty())
-        return;
-    ++solves_;
+    // One pass does double duty: collect unvisited live members into
+    // the BFS queue and compact stale (departed / recycled) entries
+    // away in place — incidence removal is a generation bump, and the
+    // links a departure dirtied are exactly the ones scanned here at
+    // the very next solve.
+    std::vector<LinkIncidence::Entry> &list = incidence_.entriesOn(l);
+    size_t kept = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+        const LinkIncidence::Entry e = list[i];
+        if (flows_.genAt(e.member) != e.gen)
+            continue; // stale (departed / recycled): compact away.
+        if (kept != i)
+            list[kept] = e; // only dirty the list when compacting.
+        ++kept;
+        if (slotScratch_[e.member].visit != epoch) {
+            slotScratch_[e.member].visit = epoch;
+            out->push_back(e.member);
+        }
+    }
+    list.resize(kept);
+}
 
+void
+FlowNetwork::collectComponent(LinkId seed, uint64_t epoch,
+                              std::vector<uint32_t> *out)
+{
+    out->clear();
+    if (linkVisit_[seed] == epoch)
+        return;
+    linkVisit_[seed] = epoch;
+    scanLink(seed, epoch, out);
+    // `out` is the BFS queue: every flow reached pulls in all links of
+    // its path, and every new link pulls in all flows crossing it.
+    for (size_t head = 0; head < out->size(); ++head) {
+        const Flow &flow = flows_.at((*out)[head]);
+        for (LinkId l : *flow.path) {
+            if (linkVisit_[l] == epoch)
+                continue;
+            linkVisit_[l] = epoch;
+            scanLink(l, epoch, out);
+        }
+    }
+}
+
+void
+FlowNetwork::fillComponent(const std::vector<uint32_t> &comp,
+                           uint64_t epoch, double SlotScratch::*out)
+{
     // Progressive filling (water-filling): repeatedly find the link
     // with the smallest fair share capacity/flows, freeze every flow
     // crossing such a bottleneck at that share, withdraw the frozen
     // bandwidth, and continue with the rest. The fixpoint is the
-    // unique max-min fair allocation.
-    ++solveStamp_;
+    // unique max-min fair allocation. Iteration order over `comp` is
+    // canonical (sorted by slot), so the arithmetic — and therefore
+    // the last bit of every rate — is independent of how the
+    // component was discovered (incremental seed walk or full solve).
+    ++fillEpoch_;
     touched_.clear();
-    for (uint32_t slot : active_) {
-        for (LinkId l : *flows_[slot].path) {
-            if (stamp_[l] != solveStamp_) {
-                stamp_[l] = solveStamp_;
-                capLeft_[l] = graph_.link(l).bandwidth;
+    for (uint32_t slot : comp) {
+        for (LinkId l : *flows_.at(slot).path) {
+            if (fillStamp_[l] != fillEpoch_) {
+                fillStamp_[l] = fillEpoch_;
+                double cap = graph_.link(l).bandwidth;
+                // Bandwidth pinned by flows outside the component
+                // would be withdrawn here — but under full transitive
+                // closure no such flow can exist (any member of a
+                // component link is swept into the component by the
+                // BFS), so the subtraction is provably zero and the
+                // hot path skips the membership scan. The verify pass
+                // asserts the invariant instead of trusting it.
+                if (fullSolveVerify_) {
+                    for (const LinkIncidence::Entry &e :
+                         incidence_.entriesOn(l)) {
+                        ASTRA_ASSERT(
+                            flows_.genAt(e.member) != e.gen ||
+                                slotScratch_[e.member].visit == epoch,
+                            "component link carries a flow outside "
+                            "the component");
+                    }
+                }
+                capLeft_[l] = cap;
                 flowsLeft_[l] = 0;
                 touched_.push_back(l);
             }
@@ -166,7 +230,7 @@ FlowNetwork::resolve()
         }
     }
 
-    unfixed_.assign(active_.begin(), active_.end());
+    unfixed_.assign(comp.begin(), comp.end());
     while (!unfixed_.empty()) {
         double min_share = std::numeric_limits<double>::infinity();
         for (uint32_t l : touched_) {
@@ -183,7 +247,7 @@ FlowNetwork::resolve()
 
         size_t kept = 0;
         for (uint32_t slot : unfixed_) {
-            Flow &flow = flows_[slot];
+            const Flow &flow = flows_.at(slot);
             bool bottlenecked = false;
             for (LinkId l : *flow.path) {
                 if (flowsLeft_[l] > 0 &&
@@ -194,7 +258,7 @@ FlowNetwork::resolve()
                 }
             }
             if (bottlenecked) {
-                flow.rate = std::max(min_share, kMinRate);
+                slotScratch_[slot].*out = std::max(min_share, kMinRate);
                 for (LinkId l : *flow.path) {
                     capLeft_[l] -= min_share;
                     --flowsLeft_[l];
@@ -207,59 +271,161 @@ FlowNetwork::resolve()
                      "max-min filling made no progress");
         unfixed_.resize(kept);
     }
+}
 
-    // Re-schedule completion events for flows whose prediction moved.
+void
+FlowNetwork::resolve()
+{
+    // Drain the seed set even when nothing is left to rate: links
+    // dirtied by the last departures matter only to flows that exist.
+    if (active_.empty()) {
+        dirtySeeds_.clear();
+        ++seedEpoch_;
+        return;
+    }
+    ++solver_.solves;
+
+    // Phase 1 — affected components: BFS from each dirty link over
+    // the incidence lists. Flows transitively sharing a link with a
+    // changed flow are re-rated; everything else is provably at its
+    // max-min fixpoint already and is not even looked at.
+    ++visitEpoch_;
+    uint64_t epoch = visitEpoch_;
+    affected_.clear();
+    bool multi = false;
+    for (LinkId seed : dirtySeeds_) {
+        // Single-component solves (the common case: one region went
+        // dirty) collect straight into `affected_` and skip the
+        // merge copy + re-sort below.
+        std::vector<uint32_t> *dst =
+            affected_.empty() ? &affected_ : &comp_;
+        collectComponent(seed, epoch, dst);
+        if (dst->empty())
+            continue; // already swept, or the seed link went idle.
+        std::sort(dst->begin(), dst->end());
+        fillComponent(*dst, epoch, &SlotScratch::newRate);
+        ++solver_.componentsTouched;
+        if (dst == &comp_) {
+            affected_.insert(affected_.end(), comp_.begin(),
+                             comp_.end());
+            multi = true;
+        }
+    }
+    dirtySeeds_.clear();
+    ++seedEpoch_;
+
+    solver_.flowsTouched += affected_.size();
+    solver_.componentFracSum +=
+        double(affected_.size()) / double(active_.size());
+    for (uint32_t slot : affected_)
+        slotScratch_[slot].affectedMark = solver_.solves;
+
+    if (fullSolveVerify_)
+        verifyFullSolve();
+
+    // Phase 2 — apply, in canonical slot order across components so
+    // same-timestamp completion events enqueue identically no matter
+    // how the components were discovered. A flow whose re-filled rate
+    // is bit-equal keeps its event and is NOT integrated: its stored
+    // (lastUpdate, remaining, rate, predictedFinish) tuple is still
+    // exact under a constant rate.
+    if (multi)
+        std::sort(affected_.begin(), affected_.end());
     TimeNs now = eq_.now();
-    for (uint32_t slot : active_) {
-        Flow &flow = flows_[slot];
+    for (uint32_t slot : affected_) {
+        Flow &flow = flows_.at(slot);
+        double new_rate = slotScratch_[slot].newRate;
+        if (new_rate == flow.rate)
+            continue;
+        integrateFlow(flow, now); // lazy: settle only on rate change.
+        flow.rate = new_rate;
         TimeNs finish = now + flow.remaining / flow.rate;
-        // "Unchanged" must be judged with a relative component: the
-        // recomputed finish differs from the stored one by a few ULPs
-        // (finish * ~1e-16) even when the rate did not move, which
-        // dwarfs the absolute kTimeEpsNs once sim time reaches
-        // milliseconds. 1e-12 relative keeps the kept-event error
-        // negligible (rate * tol bytes) while restoring the
-        // only-reschedule-moved-flows property at any time scale.
-        TimeNs tol = kTimeEpsNs + flow.predictedFinish * 1e-12;
-        if (flow.hasEvent &&
-            std::abs(finish - flow.predictedFinish) <= tol)
-            continue; // the already-scheduled event still matches.
         flow.predictedFinish = std::max(finish, now);
         ++flow.epoch;
         flow.hasEvent = true;
-        uint64_t id = static_cast<uint64_t>(slot) |
-                      (static_cast<uint64_t>(flow.gen) << 32);
-        uint32_t epoch = flow.epoch;
+        uint64_t id = flows_.idAt(slot);
+        uint32_t flow_epoch = flow.epoch;
         // [this, id, epoch]: inline in InlineEvent — re-rating never
         // allocates; superseded events are dropped by the epoch check.
-        eq_.scheduleAt(flow.predictedFinish, [this, id, epoch] {
-            onCompletion(id, epoch);
+        eq_.scheduleAt(flow.predictedFinish, [this, id, flow_epoch] {
+            onCompletion(id, flow_epoch);
         });
+    }
+}
+
+void
+FlowNetwork::verifyFullSolve()
+{
+    // Re-run the fill over EVERY active flow (per connected component,
+    // canonical order — identical arithmetic to an incremental fill of
+    // the same component) and demand bit-exact agreement with the
+    // incremental result. `affectedMark_` still holds this solve's
+    // affected stamps; the walk below uses a fresh visit epoch.
+    ++visitEpoch_;
+    uint64_t epoch = visitEpoch_;
+    for (LinkId l = 0; l < graph_.linkCount(); ++l) {
+        if (incidence_.entryCount(l) == 0 || linkVisit_[l] == epoch)
+            continue;
+        collectComponent(l, epoch, &comp_);
+        if (comp_.empty())
+            continue;
+        std::sort(comp_.begin(), comp_.end());
+        fillComponent(comp_, epoch, &SlotScratch::verifyRate);
+        for (uint32_t slot : comp_) {
+            const Flow &flow = flows_.at(slot);
+            const SlotScratch &scratch = slotScratch_[slot];
+            if (scratch.affectedMark == solver_.solves) {
+                ASTRA_ASSERT(scratch.verifyRate == scratch.newRate,
+                             "full-solve verify: incremental rate of an "
+                             "affected flow diverges from the full "
+                             "max-min solution");
+            } else {
+                ASTRA_ASSERT(scratch.verifyRate == flow.rate,
+                             "full-solve verify: a flow outside the "
+                             "affected component would change rate");
+                ASTRA_ASSERT(flow.rate > 0.0,
+                             "full-solve verify: unaffected flow was "
+                             "never rated");
+                ASTRA_ASSERT(
+                    !flow.hasEvent ||
+                        flow.predictedFinish ==
+                            std::max(flow.lastUpdate +
+                                         flow.remaining / flow.rate,
+                                     flow.lastUpdate),
+                    "full-solve verify: unaffected flow's completion "
+                    "prediction is stale");
+            }
+        }
     }
 }
 
 void
 FlowNetwork::onCompletion(uint64_t id, uint32_t epoch)
 {
-    Flow *found = flowForId(id);
+    Flow *found = flows_.find(id);
     if (found == nullptr || !found->active || found->epoch != epoch)
         return; // superseded by a later re-rate (or recycled slot).
     Flow &flow = *found;
 
-    // Settle every flow's remaining bytes to this instant before the
-    // departure changes rates; the finishing flow's own residual is
-    // last-bit rounding of the integration chain.
-    integrateTo(eq_.now());
+    // Settle this flow to its finish instant; its residual is last-bit
+    // rounding of the integration chain. Other flows stay lazy — their
+    // state is exact until the deferred solve changes their rate.
+    integrateFlow(flow, eq_.now());
     flow.remaining = 0.0;
+
+    // No incidence removal: releasing the slot below advances its
+    // generation, which invalidates every incidence entry at once;
+    // the dirtied links are compacted by the next solve's scan.
+    markLinksDirty(*flow.path); // freed bandwidth redistributes.
 
     // Swap-remove from the active list (deterministic: the order is a
     // pure function of the event sequence).
     uint32_t last = active_.back();
     active_[flow.activeIdx] = last;
-    flows_[last].activeIdx = flow.activeIdx;
+    flows_.at(last).activeIdx = flow.activeIdx;
     active_.pop_back();
     flow.active = false;
-    markDirty(); // freed bandwidth redistributes to the rest.
+    markDirty();
 
     // Transmission done now; delivery after the path's hop latency.
     NpuId src = flow.src;
@@ -267,7 +433,9 @@ FlowNetwork::onCompletion(uint64_t id, uint32_t epoch)
     uint64_t tag = flow.tag;
     TimeNs delivered_at = eq_.now() + flow.latency;
     SendHandlers handlers = std::move(flow.handlers);
-    releaseFlow(flow); // the handlers may send again and reuse the slot.
+    flow.handlers = SendHandlers{};
+    flow.path = nullptr;
+    flows_.release(id); // the handlers may send again and reuse the slot.
 
     if (handlers.onInjected)
         handlers.onInjected();

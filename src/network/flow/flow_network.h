@@ -11,17 +11,36 @@
  * There are no per-packet events: the simulation advances from rate
  * change to rate change.
  *
- * Event-driven re-rating:
- *  - A flow arrival or departure marks the solver dirty; one deferred
- *    zero-delay event re-solves the rate allocation, so any number of
- *    same-timestamp arrivals/departures cost a single solve.
- *  - Each solve first *integrates* the elapsed interval (remaining
- *    bytes decrease at the old rates; per-link busy time accrues),
- *    then re-runs progressive filling and re-schedules the completion
- *    event of every flow whose predicted finish moved. Stale
- *    completion events are rejected by (slot generation, epoch)
- *    checks, mirroring the id-recycling idiom of the packet backend
- *    and the collective engine.
+ * Incremental event-driven re-rating:
+ *  - A flow arrival or departure marks its path's links dirty and
+ *    schedules one deferred zero-delay solve, so any number of
+ *    same-timestamp changes cost a single solve.
+ *  - The solve does NOT re-rate every active flow. It walks the
+ *    link<->flow incidence lists (LinkIncidence) from the dirty links
+ *    to find the *affected components* — flows transitively sharing a
+ *    link with a changed flow — and re-runs progressive filling only
+ *    there. Max-min allocations decompose exactly over connected
+ *    components of the sharing graph (and the transitive closure
+ *    guarantees no unaffected flow touches a component link), so the
+ *    rates of untouched flows are already at their fixpoint: skipping
+ *    them is bit-exact, not an approximation. Components are filled
+ *    in canonical (sorted-slot) order so an incremental solve and a
+ *    full solve perform identical arithmetic.
+ *  - Byte integration is lazy and per-flow: each flow carries a
+ *    `lastUpdate` timestamp and its remaining bytes / per-link busy
+ *    time are settled only when its rate actually changes or it
+ *    completes — not at every solve. A flow whose re-filled rate is
+ *    bit-equal to its current rate keeps its completion event
+ *    untouched (the prediction is still exact), so only flows whose
+ *    rate moved are re-scheduled. Stale completion events are dropped
+ *    by (slot generation, epoch) checks, the SlotPool id-recycling
+ *    idiom shared with the packet backend and the collective engine.
+ *  - `setFullSolveVerify(true)` (tests / debugging) makes every solve
+ *    additionally run the full per-component fill over all active
+ *    flows and panic unless flows outside the affected set keep
+ *    bit-identical rates and exact completion predictions — the
+ *    equivalence contract `tests/flow/test_flow_solver_equivalence.cc`
+ *    exercises end-to-end.
  *  - A flow's transmission finishes when its remaining bytes reach
  *    zero (fires onInjected); delivery follows after the path's
  *    constant hop-latency sum (fires onDelivered / simRecv matching).
@@ -36,16 +55,18 @@
  * fair), which the analytical backend cannot see beyond its own
  * transmit port.
  *
- * The hot path is allocation-free after warm-up: flows live in flat
- * slot storage with a free list, paths are cached LinkId vectors, the
- * solver works in member scratch arrays stamped per solve, and every
- * scheduled closure fits InlineEvent's inline buffer.
+ * The hot path is allocation-free after warm-up: flows live in a
+ * generational SlotPool, paths are cached LinkId vectors, incidence
+ * lists and the solver's component/fill scratch are member arrays
+ * stamped per solve, and every scheduled closure fits InlineEvent's
+ * inline buffer.
  */
 #ifndef ASTRA_NETWORK_FLOW_FLOW_NETWORK_H_
 #define ASTRA_NETWORK_FLOW_FLOW_NETWORK_H_
 
 #include <vector>
 
+#include "common/slot_pool.h"
 #include "network/flow/link_graph.h"
 #include "network/network_api.h"
 
@@ -67,64 +88,170 @@ class FlowNetwork : public NetworkApi
 
     /** Flow slots allocated (live + recyclable); exposed so tests can
      *  verify free-list recycling. */
-    size_t flowSlots() const { return flows_.size(); }
+    size_t flowSlots() const { return flows_.slots(); }
 
     /** Max-min solves performed so far (one per dirty batch). */
-    uint64_t solveCount() const { return solves_; }
+    uint64_t solveCount() const { return solver_.solves; }
+
+    /**
+     * Incremental-solver work counters. `flowsTouched` sums the
+     * affected-component sizes over all solves (the flows the solver
+     * actually examined); `avgComponentFrac()` is the mean fraction
+     * of active flows per solve that were affected — 1.0 means every
+     * solve re-rated everything (the pre-incremental behaviour), and
+     * values below 1 measure the work the incidence walk avoided.
+     */
+    struct SolverStats
+    {
+        uint64_t solves = 0;       //!< dirty batches solved.
+        uint64_t flowsTouched = 0; //!< sum of affected flows per solve.
+        uint64_t componentsTouched = 0; //!< affected components total.
+        double componentFracSum = 0.0;  //!< sum of affected/active.
+
+        double
+        avgComponentFrac() const
+        {
+            return solves > 0 ? componentFracSum / double(solves) : 0.0;
+        }
+    };
+    const SolverStats &solverStats() const { return solver_; }
+
+    /** Cumulative transmit-busy nanoseconds of one directed link.
+     *  Settled lazily — final once the event queue has drained. */
+    TimeNs linkBusyNs(LinkId l) const { return linkBusy_[l]; }
+
+    /**
+     * Test / debug toggle: every solve additionally re-runs the
+     * progressive filling over ALL active flows (per connected
+     * component, in the same canonical order) and panics unless the
+     * full solve agrees bit-exactly with the incremental one —
+     * identical rates inside the affected set, unchanged rates and
+     * exact completion predictions outside it.
+     */
+    void setFullSolveVerify(bool on) { fullSolveVerify_ = on; }
+
+    /** Introspection snapshot of an active flow (tests). */
+    struct FlowProbe
+    {
+        NpuId src = 0;
+        NpuId dst = 0;
+        Bytes remaining = 0.0;
+        GBps rate = 0.0;
+        TimeNs lastUpdateNs = 0.0;
+        TimeNs predictedFinishNs = 0.0;
+        uint32_t epoch = 0;
+    };
+    FlowProbe probeActiveFlow(size_t active_index) const;
 
   private:
     struct Flow
     {
-        NpuId src = 0;
-        NpuId dst = 0;
-        uint64_t tag = 0;
+        // Solver-hot fields first: a fill + apply pass stays within
+        // the first cache line of each flow.
         const std::vector<LinkId> *path = nullptr;
-        Bytes remaining = 0.0;
+        Bytes remaining = 0.0;  //!< as of `lastUpdate`, not "now".
         GBps rate = 0.0;
-        TimeNs latency = 0.0; //!< constant hop-latency sum of the path.
+        TimeNs lastUpdate = 0.0; //!< when remaining/busy were settled.
         TimeNs predictedFinish = 0.0;
-        uint32_t gen = 0;      //!< slot generation (id staleness).
-        uint32_t epoch = 0;    //!< completion-event generation.
+        uint32_t epoch = 0;     //!< completion-event generation.
         uint32_t activeIdx = 0; //!< position in active_ while active.
         bool active = false;
         bool hasEvent = false;
+        // Completion/delivery-time fields.
+        NpuId src = 0;
+        NpuId dst = 0;
+        uint64_t tag = 0;
+        TimeNs latency = 0.0; //!< constant hop-latency sum of the path.
         SendHandlers handlers;
     };
 
-    /** Claim a flow slot; returns its id (slot | gen << 32). */
-    uint64_t allocFlow();
-    Flow *flowForId(uint64_t id); //!< null when the id is stale.
-    void releaseFlow(Flow &flow);
+    /** Per-flow-slot solver scratch; see the member comment below. */
+    struct SlotScratch
+    {
+        uint64_t visit = 0;        //!< BFS stamp (visitEpoch_).
+        uint64_t affectedMark = 0; //!< solve counter when affected.
+        double newRate = 0.0;      //!< incremental fill result.
+        double verifyRate = 0.0;   //!< full-solve fill result.
+    };
 
     /** Schedule the deferred re-solve if not already pending. */
     void markDirty();
 
-    /** Advance remaining bytes and per-link busy time to `t` at the
-     *  current rates. */
-    void integrateTo(TimeNs t);
+    /** Seed every link of `path` into the dirty set (deduped). */
+    void markLinksDirty(const std::vector<LinkId> &path);
 
-    /** Integrate, run progressive filling, re-schedule completions. */
+    /** Settle one flow's remaining bytes and per-link busy time from
+     *  its `lastUpdate` to `t` at its current (constant) rate. */
+    void integrateFlow(Flow &flow, TimeNs t);
+
+    /** Incremental re-solve; see file comment. */
     void resolve();
+
+    /** Append link `l`'s unvisited live members to `out` (stamping
+     *  them with `epoch`), compacting stale incidence entries of
+     *  departed flows in the same pass. */
+    void scanLink(LinkId l, uint64_t epoch, std::vector<uint32_t> *out);
+
+    /**
+     * BFS from `seed` over the incidence lists: collect the connected
+     * component of flows transitively sharing links, stamping links
+     * and flows with `epoch`. No-op if `seed` was already visited
+     * under `epoch`. `out` doubles as the BFS queue.
+     */
+    void collectComponent(LinkId seed, uint64_t epoch,
+                          std::vector<uint32_t> *out);
+
+    /**
+     * Progressive filling over one component (`comp` sorted by slot,
+     * stamped with `epoch`), writing each member's max-min rate into
+     * `slotScratch_[slot].*out`. Links start at full capacity:
+     * transitive closure guarantees no flow outside the component pins
+     * bandwidth on a component link (the verify pass asserts this
+     * instead of re-scanning memberships on the hot path).
+     */
+    void fillComponent(const std::vector<uint32_t> &comp, uint64_t epoch,
+                       double SlotScratch::*out);
+
+    /** Full-solve cross-check (setFullSolveVerify); panics on any
+     *  divergence from the incremental result. */
+    void verifyFullSolve();
 
     /** Completion-event handler; ignores stale (gen/epoch) firings. */
     void onCompletion(uint64_t id, uint32_t epoch);
 
     LinkGraph graph_;
-    std::vector<Flow> flows_;      //!< slot-indexed, recycled.
-    std::vector<uint32_t> freeSlots_;
+    SlotPool<Flow> flows_;
+    LinkIncidence incidence_;      //!< link -> active flows on it.
     std::vector<uint32_t> active_; //!< slots of in-flight flows.
     std::vector<TimeNs> linkBusy_; //!< cumulative busy ns per link.
-    TimeNs lastIntegrate_ = 0.0;
     bool dirty_ = false;
-    uint64_t solves_ = 0;
+    bool fullSolveVerify_ = false;
+    SolverStats solver_;
 
-    // Solver scratch (reused across solves; see resolve()).
-    std::vector<uint32_t> touched_;   //!< links used by active flows.
-    std::vector<uint32_t> stamp_;     //!< per-link touch stamp.
+    // Dirty-link seeds accumulated since the last solve (deduped by
+    // stamp; the epoch advances when the seed list is drained).
+    std::vector<LinkId> dirtySeeds_;
+    std::vector<uint64_t> seedMark_;
+    uint64_t seedEpoch_ = 1;
+
+    // Component-walk scratch (per-link and per-slot stamp arrays keep
+    // the BFS allocation-free; epochs advance per walk). Per-slot
+    // fields live in one SlotScratch so a solve touches one cache
+    // line per flow, and the array grows geometrically with the
+    // pool's high-water mark (one branch per send in steady state).
+    uint64_t visitEpoch_ = 0;
+    std::vector<uint64_t> linkVisit_;     //!< per link.
+    std::vector<SlotScratch> slotScratch_; //!< per flow slot.
+    std::vector<uint32_t> comp_;     //!< current component / BFS queue.
+    std::vector<uint32_t> affected_; //!< union of affected components.
+
+    // Progressive-filling scratch (stamped per fill).
+    uint64_t fillEpoch_ = 0;
+    std::vector<uint64_t> fillStamp_; //!< per-link touch stamp.
+    std::vector<uint32_t> touched_;   //!< links used by the component.
     std::vector<double> capLeft_;     //!< per-link unassigned capacity.
     std::vector<int> flowsLeft_;      //!< per-link unfixed flow count.
     std::vector<uint32_t> unfixed_;   //!< flows not yet assigned a rate.
-    uint32_t solveStamp_ = 0;
 };
 
 } // namespace astra

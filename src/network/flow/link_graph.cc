@@ -202,4 +202,13 @@ LinkGraph::pathLatency(const std::vector<LinkId> &path) const
     return lat;
 }
 
+void
+LinkIncidence::reset(size_t link_count)
+{
+    // clear() + resize keeps already-grown inner vectors' capacity.
+    for (std::vector<Entry> &list : lists_)
+        list.clear();
+    lists_.resize(link_count);
+}
+
 } // namespace astra

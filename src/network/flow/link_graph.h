@@ -103,6 +103,63 @@ class LinkGraph
     std::unordered_map<uint64_t, std::vector<LinkId>> pathCache_;
 };
 
+/**
+ * Link <-> member incidence: which members (flows, identified by a
+ * caller-chosen dense index such as a SlotPool slot) currently occupy
+ * each link. This is the substrate of the incremental max-min solver
+ * (docs/network.md): the affected-component walk is a BFS over these
+ * per-link lists.
+ *
+ * Entries are generation-tagged and removal is *implicit*: when a
+ * member departs, its generation (SlotPool::genAt) advances and every
+ * entry carrying the old generation goes stale — departure costs
+ * nothing here. Scanners (the solver BFS) test staleness with one
+ * compare and compact the lists they touch in place, so dead entries
+ * live only until the next scan of their link — and the dirty-seed
+ * protocol guarantees every add/departure makes its links scanned by
+ * the very next solve. Per-link lists are recycled vectors: no
+ * allocation in steady state once high-water capacity is reached.
+ */
+class LinkIncidence
+{
+  public:
+    struct Entry
+    {
+        uint32_t member; //!< caller's dense member index.
+        uint32_t gen;    //!< member's generation when added; the
+                         //!< entry is stale once it disagrees with
+                         //!< the member's current generation.
+    };
+
+    /** Size the per-link lists for `link_count` links (dropping any
+     *  previous membership). */
+    void reset(size_t link_count);
+
+    /** Register (`member`, `gen`) on every link of `path`. A member
+     *  must be on at most one path per generation. */
+    void add(uint32_t member, uint32_t gen,
+             const std::vector<LinkId> &path)
+    {
+        for (LinkId l : path)
+            lists_[l].push_back(Entry{member, gen});
+    }
+
+    /** Entries on link `l`, live and stale alike — callers filter by
+     *  generation. Mutable so scanners can compact stale entries away
+     *  (order-preserving) while they iterate. */
+    std::vector<Entry> &entriesOn(LinkId l) { return lists_[l]; }
+    const std::vector<Entry> &entriesOn(LinkId l) const
+    {
+        return lists_[l];
+    }
+
+    /** Upper bound on live members of `l` (stale entries included). */
+    size_t entryCount(LinkId l) const { return lists_[l].size(); }
+
+  private:
+    std::vector<std::vector<Entry>> lists_; //!< per-link membership.
+};
+
 } // namespace astra
 
 #endif // ASTRA_NETWORK_FLOW_LINK_GRAPH_H_

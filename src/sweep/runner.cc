@@ -119,6 +119,20 @@ runOne(const SweepSpec &spec, size_t index, ResultCache *cache,
 
 } // namespace
 
+const std::string &
+cacheFingerprint()
+{
+    // configHash already salts with kSpecSchemaVersion and hashes the
+    // canonical dump; feeding it a default-constructed Report's JSON
+    // makes the fingerprint cover every field key reportToJson writes
+    // (json::Object keys are ordered), so the fingerprint moves
+    // whenever the report schema does — regardless of whether anyone
+    // remembered to bump the constant.
+    static const std::string fp =
+        configHashString(configHash(reportToJson(Report{})));
+    return fp;
+}
+
 size_t
 ResultCache::loadFile(const std::string &path)
 {
@@ -136,15 +150,15 @@ ResultCache::loadFile(const std::string &path)
     try {
         json::Value doc = json::parseFile(path);
         // Version mismatch = the file was written by a build whose
-        // configuration semantics (or simulated results) differ; its
-        // entries are stale even where hashes collide with ours.
-        if (doc.getInt("version", 0) !=
-            static_cast<int64_t>(kSpecSchemaVersion)) {
-            warn("ignoring result cache '%s': version %lld != %llu "
-                 "(results from an older build are stale)",
-                 path.c_str(),
-                 static_cast<long long>(doc.getInt("version", 0)),
-                 static_cast<unsigned long long>(kSpecSchemaVersion));
+        // configuration semantics or report schema differ; its
+        // entries are stale even where hashes collide with ours. The
+        // version string is the automatic build fingerprint, so a
+        // report-shape change invalidates without a manual bump.
+        if (doc.getString("version", "") != cacheFingerprint()) {
+            warn("ignoring result cache '%s': version '%s' != '%s' "
+                 "(results from a different build are stale)",
+                 path.c_str(), doc.getString("version", "").c_str(),
+                 cacheFingerprint().c_str());
             return 0;
         }
         if (!doc.has("entries"))
@@ -171,7 +185,7 @@ ResultCache::saveFile(const std::string &path) const
         entries[configHashString(hash)] = report.clone();
     json::Object doc;
     doc["kind"] = json::Value("astra-sweep-result-cache");
-    doc["version"] = json::Value(kSpecSchemaVersion);
+    doc["version"] = json::Value(cacheFingerprint());
     doc["entries"] = json::Value(std::move(entries));
     // Write-then-rename so an interrupted save can only ever leave the
     // previous cache (or a stray .tmp), never a truncated file.

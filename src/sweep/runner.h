@@ -47,6 +47,17 @@ namespace astra {
 namespace sweep {
 
 /**
+ * Build fingerprint stamped into result-cache files as their version
+ * string: a hash of `kSpecSchemaVersion` *and* the serialized field
+ * list of a Report. The manual schema bump still invalidates caches
+ * when configuration semantics change, but a report-shape change
+ * (field added, removed, or renamed) now orphans old cache files
+ * automatically — forgetting the bump can no longer serve stale rows
+ * shaped for a different report schema (docs/sweep.md).
+ */
+const std::string &cacheFingerprint();
+
+/**
  * Thread-safe configuration-hash -> Report cache with JSON
  * persistence. Lookups and inserts may come from any worker thread.
  */

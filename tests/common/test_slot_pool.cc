@@ -1,0 +1,103 @@
+/** @file Unit tests for the shared generational SlotPool. */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/slot_pool.h"
+
+namespace astra {
+namespace {
+
+struct Widget
+{
+    int value = 0;
+    std::vector<int> payload;
+};
+
+TEST(SlotPool, ClaimGetRelease)
+{
+    SlotPool<Widget> pool;
+    EXPECT_EQ(pool.slots(), 0u);
+    EXPECT_EQ(pool.liveCount(), 0u);
+
+    uint64_t id = pool.claim();
+    pool.get(id).value = 7;
+    EXPECT_TRUE(pool.valid(id));
+    EXPECT_EQ(pool.slots(), 1u);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    EXPECT_EQ(pool.find(id), &pool.get(id));
+    EXPECT_EQ(pool.at(SlotPool<Widget>::slotOf(id)).value, 7);
+
+    pool.release(id);
+    EXPECT_FALSE(pool.valid(id));
+    EXPECT_EQ(pool.find(id), nullptr);
+    EXPECT_EQ(pool.slots(), 1u);   // slot kept for recycling.
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(SlotPool, IdGoesStaleOnReleaseBeforeReclaim)
+{
+    // The generation advances on release, not only on the next claim:
+    // an event holding the id of a released-but-not-yet-recycled slot
+    // must already see it as stale.
+    SlotPool<Widget> pool;
+    uint64_t id = pool.claim();
+    pool.release(id);
+    EXPECT_EQ(pool.find(id), nullptr); // nothing reclaimed the slot yet.
+
+    uint64_t next = pool.claim();
+    EXPECT_EQ(SlotPool<Widget>::slotOf(next), SlotPool<Widget>::slotOf(id));
+    EXPECT_NE(next, id);
+    EXPECT_EQ(pool.find(id), nullptr);
+    EXPECT_TRUE(pool.valid(next));
+}
+
+TEST(SlotPool, RecyclesMostRecentSlotAndKeepsObjectState)
+{
+    SlotPool<Widget> pool;
+    uint64_t a = pool.claim();
+    uint64_t b = pool.claim();
+    pool.get(b).value = 42;
+    pool.get(b).payload.assign(100, 1);
+    int *data = pool.get(b).payload.data();
+
+    pool.release(b);
+    uint64_t c = pool.claim(); // LIFO: b's slot comes back first.
+    EXPECT_EQ(SlotPool<Widget>::slotOf(c), SlotPool<Widget>::slotOf(b));
+    // Recycling neither destroys nor re-constructs: the previous
+    // tenant's fields (and vector capacity) survive for the caller to
+    // reset — the allocation-free steady-state contract.
+    EXPECT_EQ(pool.get(c).value, 42);
+    EXPECT_EQ(pool.get(c).payload.data(), data);
+    EXPECT_EQ(pool.slots(), 2u);
+    EXPECT_TRUE(pool.valid(a));
+}
+
+TEST(SlotPool, IdAtMatchesLiveIds)
+{
+    SlotPool<Widget> pool;
+    uint64_t a = pool.claim();
+    uint64_t b = pool.claim();
+    EXPECT_EQ(pool.idAt(SlotPool<Widget>::slotOf(a)), a);
+    EXPECT_EQ(pool.idAt(SlotPool<Widget>::slotOf(b)), b);
+}
+
+TEST(SlotPool, ManyLivesPerSlotStayDistinct)
+{
+    SlotPool<Widget> pool;
+    uint64_t prev = pool.claim();
+    for (int i = 0; i < 100; ++i) {
+        pool.release(prev);
+        uint64_t next = pool.claim();
+        EXPECT_EQ(SlotPool<Widget>::slotOf(next), 0u);
+        EXPECT_NE(next, prev);
+        EXPECT_FALSE(pool.valid(prev));
+        EXPECT_TRUE(pool.valid(next));
+        prev = next;
+    }
+    EXPECT_EQ(pool.slots(), 1u);
+}
+
+} // namespace
+} // namespace astra

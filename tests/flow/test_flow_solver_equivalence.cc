@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Incremental vs full max-min solver equivalence (docs/network.md).
+ *
+ * The incremental solver's contract is *bit-stable equivalence*: only
+ * re-rating the affected component (flows transitively sharing a link
+ * with a changed flow), lazily integrating bytes per flow, and keeping
+ * the completion events of rate-unchanged flows must produce results
+ * byte-identical to re-solving every active flow at every dirty batch.
+ * `setFullSolveVerify(true)` runs the full per-component fill
+ * alongside every incremental solve and panics on any divergence
+ * (rates inside the affected set, rate/prediction drift outside it);
+ * the chaos tests here drive both modes end-to-end over randomized
+ * 200+ flow workloads and compare everything observable — delivery
+ * times, executed events, per-link busy time, solver counters — with
+ * exact double equality. Targeted tests pin the component-isolation
+ * property itself: a flow on disjoint links is untouched by a solve
+ * (rate, event epoch, and integration timestamp unchanged).
+ */
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/event_queue.h"
+#include "network/flow/flow_network.h"
+
+namespace astra {
+namespace {
+
+using namespace astra::literals;
+
+struct ChaosResult
+{
+    std::vector<TimeNs> deliveries; //!< in completion order.
+    uint64_t events = 0;
+    TimeNs finalTime = 0.0;
+    std::vector<TimeNs> linkBusy; //!< per link, end of run.
+    FlowNetwork::SolverStats solver;
+};
+
+/** Randomized staggered congestion workload (`flows` messages over
+ *  `topo`), run with or without the full-solve verification pass. */
+ChaosResult
+runChaos(const Topology &topo, uint64_t seed, int flows, bool verify)
+{
+    EventQueue eq;
+    FlowNetwork net(eq, topo);
+    net.setFullSolveVerify(verify);
+    Rng rng(seed);
+    ChaosResult out;
+
+    int npus = topo.npus();
+    for (int i = 0; i < flows; ++i) {
+        NpuId src = static_cast<NpuId>(rng.uniformInt(0, npus - 1));
+        NpuId dst = static_cast<NpuId>(rng.uniformInt(0, npus - 1));
+        Bytes bytes = rng.uniform(1.0, 4.0) * 256.0 * kKB;
+        TimeNs at = rng.uniform(0.0, 60000.0);
+        eq.schedule(at, [&net, &eq, &out, src, dst, bytes] {
+            SendHandlers h;
+            h.onDelivered = [&out, &eq] {
+                out.deliveries.push_back(eq.now());
+            };
+            net.simSend(src, dst, bytes, kAutoRoute, kNoTag,
+                        std::move(h));
+        });
+    }
+    eq.run();
+
+    out.events = eq.executedEvents();
+    out.finalTime = eq.now();
+    out.linkBusy.reserve(net.graph().linkCount());
+    for (LinkId l = 0; l < net.graph().linkCount(); ++l)
+        out.linkBusy.push_back(net.linkBusyNs(l));
+    out.solver = net.solverStats();
+    return out;
+}
+
+void
+expectIdentical(const ChaosResult &inc, const ChaosResult &full,
+                size_t expected_deliveries)
+{
+    ASSERT_EQ(inc.deliveries.size(), expected_deliveries);
+    ASSERT_EQ(full.deliveries.size(), expected_deliveries);
+    for (size_t i = 0; i < inc.deliveries.size(); ++i)
+        EXPECT_EQ(inc.deliveries[i], full.deliveries[i])
+            << "delivery " << i; // exact doubles.
+    EXPECT_EQ(inc.events, full.events);
+    EXPECT_EQ(inc.finalTime, full.finalTime);
+    ASSERT_EQ(inc.linkBusy.size(), full.linkBusy.size());
+    for (size_t l = 0; l < inc.linkBusy.size(); ++l)
+        EXPECT_EQ(inc.linkBusy[l], full.linkBusy[l]) << "link " << l;
+    // The verification pass is read-only: the work the incremental
+    // solver reports must not depend on it.
+    EXPECT_EQ(inc.solver.solves, full.solver.solves);
+    EXPECT_EQ(inc.solver.flowsTouched, full.solver.flowsTouched);
+    EXPECT_EQ(inc.solver.componentsTouched,
+              full.solver.componentsTouched);
+    EXPECT_EQ(inc.solver.componentFracSum, full.solver.componentFracSum);
+}
+
+TEST(FlowSolverEquivalence, ChaosHierarchicalRingSwitch)
+{
+    // 240 staggered flows over Ring(4) x Switch(4): multi-hop paths,
+    // heavy sharing, plenty of mid-flight arrivals and departures.
+    Topology topo({{BlockType::Ring, 4, 150.0, 500.0},
+                   {BlockType::Switch, 4, 50.0, 700.0}});
+    ChaosResult inc = runChaos(topo, 42, 240, false);
+    ChaosResult full = runChaos(topo, 42, 240, true);
+    // Loopback picks (src == dst) deliver without entering the solver,
+    // so the delivery count is always the full 240.
+    expectIdentical(inc, full, 240);
+    EXPECT_GT(inc.solver.solves, 0u);
+    // The incidence walk must be earning its keep on this workload:
+    // staggered arrivals/departures leave most solves touching only a
+    // slice of the active set.
+    EXPECT_LT(inc.solver.avgComponentFrac(), 1.0);
+}
+
+TEST(FlowSolverEquivalence, ChaosFullyConnectedSwitch)
+{
+    // Per-pair FullyConnected links plus a switch tier: many small
+    // disjoint components, the regime where incremental solving skips
+    // the most work.
+    Topology topo({{BlockType::FullyConnected, 8, 120.0, 300.0},
+                   {BlockType::Switch, 4, 60.0, 600.0}});
+    ChaosResult inc = runChaos(topo, 1234, 220, false);
+    ChaosResult full = runChaos(topo, 1234, 220, true);
+    expectIdentical(inc, full, 220);
+    EXPECT_LT(inc.solver.avgComponentFrac(), 1.0);
+}
+
+TEST(FlowSolverEquivalence, ChaosSecondSeedIsAlsoByteIdentical)
+{
+    Topology topo({{BlockType::Ring, 4, 150.0, 500.0},
+                   {BlockType::Switch, 4, 50.0, 700.0}});
+    ChaosResult inc = runChaos(topo, 777, 200, false);
+    ChaosResult full = runChaos(topo, 777, 200, true);
+    expectIdentical(inc, full, 200);
+}
+
+TEST(FlowSolverEquivalence, DisjointComponentFlowIsUntouched)
+{
+    // Two switch groups: {0,1} and {2,3} in dim 0 — flows A (0 -> 1)
+    // and B (2 -> 3) share no link. A finishes first; the departure
+    // solve must not touch B at all: same rate, same completion-event
+    // epoch, same lazy-integration timestamp.
+    Topology topo({{BlockType::Switch, 2, 100.0, 0.0},
+                   {BlockType::Switch, 2, 100.0, 0.0}});
+    EventQueue eq;
+    FlowNetwork net(eq, topo);
+    net.setFullSolveVerify(true);
+
+    TimeNs t_a = -1.0, t_b = -1.0;
+    auto send = [&](NpuId src, NpuId dst, Bytes bytes, TimeNs *out) {
+        SendHandlers h;
+        h.onDelivered = [out, &eq] { *out = eq.now(); };
+        net.simSend(src, dst, bytes, 0, kNoTag, std::move(h));
+    };
+    send(0, 1, 100.0 * kKB, &t_a); // done at 1000 ns.
+    send(2, 3, 800.0 * kKB, &t_b); // done at 8000 ns.
+
+    FlowNetwork::FlowProbe before{}, after{};
+    bool probed = false;
+    // Between A's completion (1000 ns, plus its zero-delay re-solve)
+    // and B's completion: B must be the only active flow, bit-equal to
+    // its state right after the initial solve.
+    eq.schedule(500.0, [&] {
+        ASSERT_EQ(net.activeFlowCount(), 2u);
+        for (size_t i = 0; i < 2; ++i)
+            if (net.probeActiveFlow(i).src == 2)
+                before = net.probeActiveFlow(i);
+    });
+    eq.schedule(4000.0, [&] {
+        ASSERT_EQ(net.activeFlowCount(), 1u);
+        after = net.probeActiveFlow(0);
+        probed = true;
+    });
+    eq.run();
+
+    ASSERT_TRUE(probed);
+    EXPECT_EQ(after.src, 2);
+    EXPECT_EQ(after.rate, before.rate);          // still the full 100.
+    EXPECT_EQ(after.rate, 100.0);
+    EXPECT_EQ(after.epoch, before.epoch);        // event never moved.
+    EXPECT_EQ(after.lastUpdateNs, before.lastUpdateNs); // never settled.
+    EXPECT_EQ(after.predictedFinishNs, before.predictedFinishNs);
+    EXPECT_EQ(after.remaining, before.remaining); // lazy: untouched.
+
+    EXPECT_DOUBLE_EQ(t_a, 1000.0);
+    EXPECT_DOUBLE_EQ(t_b, 8000.0);
+
+    // Work accounting: the arrival batch solved two one-flow
+    // components; A's departure solve found nothing to re-rate (B is
+    // unreachable from A's links); B's departure left no flows.
+    const FlowNetwork::SolverStats &s = net.solverStats();
+    EXPECT_EQ(s.solves, 2u);
+    EXPECT_EQ(s.flowsTouched, 2u);
+    EXPECT_EQ(s.componentsTouched, 2u);
+    EXPECT_DOUBLE_EQ(s.avgComponentFrac(), 0.5);
+}
+
+TEST(FlowSolverEquivalence, SharedLinkFlowIsReRated)
+{
+    // Control for the isolation test: C shares B's switch group, so
+    // C's departure must re-rate B (new epoch, new rate, integration
+    // timestamp advanced to the departure instant).
+    Topology topo({{BlockType::Switch, 2, 100.0, 0.0},
+                   {BlockType::Switch, 2, 100.0, 0.0}});
+    EventQueue eq;
+    FlowNetwork net(eq, topo);
+    net.setFullSolveVerify(true);
+
+    TimeNs t_b = -1.0, t_c = -1.0;
+    auto send = [&](NpuId src, NpuId dst, Bytes bytes, TimeNs *out) {
+        SendHandlers h;
+        h.onDelivered = [out, &eq] { *out = eq.now(); };
+        net.simSend(src, dst, bytes, 0, kNoTag, std::move(h));
+    };
+    send(2, 3, 800.0 * kKB, &t_b);
+    send(2, 3, 100.0 * kKB, &t_c); // shares both links with B.
+
+    FlowNetwork::FlowProbe before{}, after{};
+    eq.schedule(500.0, [&] {
+        for (size_t i = 0; i < net.activeFlowCount(); ++i)
+            if (net.probeActiveFlow(i).remaining > 400.0 * kKB)
+                before = net.probeActiveFlow(i);
+    });
+    // C (50 GB/s each) finishes at 2000 ns; B then re-rates to 100.
+    eq.schedule(4000.0, [&] {
+        ASSERT_EQ(net.activeFlowCount(), 1u);
+        after = net.probeActiveFlow(0);
+    });
+    eq.run();
+
+    EXPECT_EQ(before.rate, 50.0);
+    EXPECT_EQ(after.rate, 100.0);
+    EXPECT_GT(after.epoch, before.epoch);
+    EXPECT_EQ(after.lastUpdateNs, 2000.0); // settled at the re-rate.
+    EXPECT_DOUBLE_EQ(t_c, 2000.0);
+    // B: 800 KB total, 100 KB/µs shared phase then full rate:
+    // 2000 ns at 50 -> 700 KB left -> 7000 ns more.
+    EXPECT_DOUBLE_EQ(t_b, 9000.0);
+}
+
+TEST(FlowSolverEquivalence, WaterFillingAgreesUnderVerify)
+{
+    // The PR 3 water-filling scenario run entirely under the
+    // full-solve assertion path: multi-level bottlenecks, departures,
+    // headroom redistribution.
+    Topology topo({{BlockType::Ring, 4, 90.0, 0.0}});
+    EventQueue eq;
+    FlowNetwork net(eq, topo);
+    net.setFullSolveVerify(true);
+    Bytes bytes = 900.0 * kKB;
+
+    TimeNs t_a = -1, t_b = -1, t_c = -1, t_d = -1;
+    auto send = [&](NpuId src, NpuId dst, Bytes b, TimeNs *out) {
+        SendHandlers h;
+        h.onDelivered = [out, &eq] { *out = eq.now(); };
+        net.simSend(src, dst, b, 0, kNoTag, std::move(h));
+    };
+    send(0, 2, bytes, &t_a);
+    send(0, 1, bytes, &t_b);
+    send(1, 2, bytes / 2.0, &t_c);
+    send(1, 2, bytes / 2.0, &t_d);
+    eq.run();
+
+    EXPECT_NEAR(t_b, 15000.0, 1e-6);
+    EXPECT_NEAR(t_c, 15000.0, 1e-6);
+    EXPECT_NEAR(t_d, 15000.0, 1e-6);
+    EXPECT_NEAR(t_a, 20000.0, 1e-6);
+}
+
+} // namespace
+} // namespace astra

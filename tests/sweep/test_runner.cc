@@ -241,9 +241,9 @@ TEST(ResultCache, MalformedEntryIsAMissNotACrash)
     std::string path = "sweep_cache_poison_test.json";
     {
         std::string text = "{\"kind\": \"astra-sweep-result-cache\", "
-                           "\"version\": " +
-                           std::to_string(kSpecSchemaVersion) +
-                           ", \"entries\": {";
+                           "\"version\": \"" +
+                           sweep::cacheFingerprint() +
+                           "\", \"entries\": {";
         for (size_t i = 0; i < spec.configCount(); ++i) {
             if (i > 0)
                 text += ',';
@@ -276,9 +276,8 @@ TEST(ResultCache, WrongShapeFileDegradesToCold)
     std::FILE *f = std::fopen(path.c_str(), "w");
     ASSERT_NE(f, nullptr);
     std::string text = "{\"kind\": \"astra-sweep-result-cache\", "
-                       "\"version\": " +
-                       std::to_string(kSpecSchemaVersion) +
-                       ", \"entries\": []}";
+                       "\"version\": \"" +
+                       cacheFingerprint() + "\", \"entries\": []}";
     std::fputs(text.c_str(), f);
     std::fclose(f);
 
@@ -290,20 +289,48 @@ TEST(ResultCache, WrongShapeFileDegradesToCold)
 
 TEST(ResultCache, VersionMismatchRejected)
 {
-    // Entries written under a different schema version describe
-    // different semantics; they must load as a cold cache.
+    // Entries written by a different build describe different
+    // semantics; they must load as a cold cache. Both the legacy
+    // integer version of pre-fingerprint builds and a wrong
+    // fingerprint string are rejected.
     std::string path = "sweep_cache_version_test.json";
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    ASSERT_NE(f, nullptr);
-    std::fputs("{\"kind\": \"astra-sweep-result-cache\", "
-               "\"version\": 0, \"entries\": "
-               "{\"0000000000000001\": {\"workload\": \"w\"}}}",
-               f);
-    std::fclose(f);
+    for (const char *version : {"0", "2", "\"0123456789abcdef\""}) {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::string text = "{\"kind\": \"astra-sweep-result-cache\", "
+                           "\"version\": " +
+                           std::string(version) +
+                           ", \"entries\": "
+                           "{\"0000000000000001\": {\"workload\": "
+                           "\"w\"}}}";
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
 
+        ResultCache cache;
+        EXPECT_EQ(cache.loadFile(path), 0u) << version;
+        EXPECT_EQ(cache.size(), 0u) << version;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, SaveStampsTheBuildFingerprint)
+{
+    // The persisted version string is the automatic build fingerprint
+    // (kSpecSchemaVersion + report field list), not the bare manual
+    // constant — a report-schema change invalidates caches even if
+    // the constant was not bumped.
+    EXPECT_EQ(cacheFingerprint().size(), 16u); // 16-hex-digit hash.
+    EXPECT_NE(cacheFingerprint(), std::to_string(kSpecSchemaVersion));
+
+    std::string path = "sweep_cache_fingerprint_test.json";
     ResultCache cache;
-    EXPECT_EQ(cache.loadFile(path), 0u);
-    EXPECT_EQ(cache.size(), 0u);
+    cache.insert(1, Report{});
+    cache.saveFile(path);
+    json::Value doc = json::parseFile(path);
+    EXPECT_EQ(doc.getString("version", ""), cacheFingerprint());
+
+    ResultCache reload;
+    EXPECT_EQ(reload.loadFile(path), 1u);
     std::remove(path.c_str());
 }
 
