@@ -50,28 +50,25 @@ baseDoc()
 }
 
 /**
- * The fabric axis swaps whole `remote_memory` blocks because the paper
- * raises the GPU-side out-node bandwidth together with the in-node
- * fabric (one provisioning knob, two model parameters).
+ * The paper raises the GPU-side out-node bandwidth together with the
+ * in-node fabric (one provisioning knob, two model parameters), so
+ * the fabric axis is a single axis applied at both config paths —
+ * the multi-path axis form (sweep/spec.h) replacing the old
+ * whole-`remote_memory`-object swap.
  */
 json::Value
 specDoc()
 {
-    json::Array fabric_values, fabric_labels;
+    json::Array fabric_values;
     for (int fabric = kFabricFrom; fabric <= kFabricTo;
-         fabric += kFabricStep) {
-        json::Object pool;
-        pool["kind"] = json::Value("pooled");
-        pool["in_node_fabric_bw_gbps"] = json::Value(fabric);
-        pool["gpu_side_bw_gbps"] = json::Value(fabric);
-        fabric_values.push_back(json::Value(std::move(pool)));
-        fabric_labels.push_back(json::Value(std::to_string(fabric)));
-    }
+         fabric += kFabricStep)
+        fabric_values.push_back(json::Value(fabric));
     json::Object fabric_axis;
-    fabric_axis["path"] = json::Value("system.remote_memory");
+    fabric_axis["paths"] = json::Value(json::Array{
+        json::Value("system.remote_memory.in_node_fabric_bw_gbps"),
+        json::Value("system.remote_memory.gpu_side_bw_gbps")});
     fabric_axis["name"] = json::Value("fabric");
     fabric_axis["values"] = json::Value(std::move(fabric_values));
-    fabric_axis["labels"] = json::Value(std::move(fabric_labels));
 
     json::Object group_range;
     group_range["from"] = json::Value(kGroupFrom);

@@ -35,7 +35,9 @@ metricByName(const std::string &name)
     for (Metric m : {Metric::TotalTime, Metric::Compute,
                      Metric::ExposedComm, Metric::ExposedLocalMem,
                      Metric::ExposedRemoteMem, Metric::Idle,
-                     Metric::Events, Metric::Messages}) {
+                     Metric::Events, Metric::Messages,
+                     Metric::MaxLinkUtil, Metric::QueueingDelay,
+                     Metric::InterferenceSlowdown}) {
         if (name == metricName(m))
             return m;
     }

@@ -4,10 +4,12 @@
 Compares a freshly produced bench JSON against the committed one:
 
  - Deterministic metrics must match EXACTLY: simulated results
-   (`sim_time_ns`), event counts (`events`), and the flow solver's
+   (`sim_time_ns`), event counts (`events`), the flow solver's
    work counters (`solves`, `flows_touched_total`,
-   `avg_component_frac`). Any drift means the simulation's behaviour
-   changed without the committed file being regenerated.
+   `avg_component_frac`), and the cluster tenancy metrics
+   (`interference_slowdown`, `queueing_delay_ns`). Any drift means
+   the simulation's behaviour changed without the committed file
+   being regenerated.
  - Wall-clock metrics (`wall_seconds`, `seconds`) may wobble with the
    machine, but a fresh value more than 25% above the committed one is
    a performance regression and fails the check. Sub-millisecond
@@ -26,7 +28,8 @@ import json
 import sys
 
 EXACT_KEYS = {"sim_time_ns", "events", "solves", "flows_touched_total",
-              "avg_component_frac"}
+              "avg_component_frac", "interference_slowdown",
+              "queueing_delay_ns"}
 WALL_KEYS = {"wall_seconds", "seconds"}
 IGNORED_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
                 "speedup_8_over_1", "accuracy_gap", "bucket_width_ns",

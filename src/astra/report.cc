@@ -137,6 +137,9 @@ reportToJson(const Report &report)
         links.push_back(json::Value(n));
     doc["links_per_dim"] = json::Value(std::move(links));
     doc["max_link_busy_ns"] = json::Value(report.maxLinkBusyNs);
+    doc["queueing_delay_ns"] = json::Value(report.queueingDelayNs);
+    doc["interference_slowdown"] =
+        json::Value(report.interferenceSlowdown);
     return json::Value(std::move(doc));
 }
 
@@ -171,6 +174,9 @@ reportFromJson(const json::Value &doc)
                 static_cast<int>(v.asNumber()));
     }
     report.maxLinkBusyNs = doc.getNumber("max_link_busy_ns", 0.0);
+    report.queueingDelayNs = doc.getNumber("queueing_delay_ns", 0.0);
+    report.interferenceSlowdown =
+        doc.getNumber("interference_slowdown", 0.0);
     return report;
 }
 

@@ -32,6 +32,16 @@ struct Report
     std::vector<double> busyTimePerDim; //!< link-busy ns per dim.
     std::vector<int> linksPerDim; //!< serialization points per dim.
     double maxLinkBusyNs = 0.0;   //!< busiest single link's busy ns.
+    /**
+     * Multi-tenant metrics (src/cluster/). For a per-job report:
+     * how long the job waited in the admission queue, and its
+     * co-executed duration divided by its isolated-baseline duration
+     * (> 1 means shared-fabric contention slowed it down). For a
+     * cluster-aggregate report: means across jobs. Plain single-job
+     * Simulator runs leave both at 0 (slowdown 0 = "not measured").
+     */
+    double queueingDelayNs = 0.0;
+    double interferenceSlowdown = 0.0;
     double wallSeconds = 0.0;     //!< host wall-clock of the run.
 
     /** Exposed-communication share of total runtime [0, 1]. */

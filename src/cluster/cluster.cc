@@ -1,0 +1,541 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "sweep/spec.h"
+
+namespace astra {
+namespace cluster {
+
+namespace {
+
+std::unique_ptr<MemoryModel>
+makeMemory(const SimulatorConfig &cfg)
+{
+    ASTRA_USER_CHECK(!(cfg.pooledMem && cfg.zeroInfinityMem),
+                     "configure at most one remote memory tier per job");
+    if (cfg.pooledMem)
+        return std::make_unique<MemoryModel>(cfg.localMem,
+                                             *cfg.pooledMem);
+    if (cfg.zeroInfinityMem)
+        return std::make_unique<MemoryModel>(cfg.localMem,
+                                             *cfg.zeroInfinityMem);
+    return std::make_unique<MemoryModel>(cfg.localMem);
+}
+
+} // namespace
+
+const char *
+admissionPolicyName(AdmissionPolicy p)
+{
+    switch (p) {
+      case AdmissionPolicy::Fifo: return "fifo";
+      case AdmissionPolicy::Backfill: return "backfill";
+    }
+    return "?";
+}
+
+AdmissionPolicy
+parseAdmissionPolicy(const std::string &name)
+{
+    if (name == "fifo")
+        return AdmissionPolicy::Fifo;
+    if (name == "backfill")
+        return AdmissionPolicy::Backfill;
+    fatal("unknown admission policy '%s' (fifo | backfill)",
+          name.c_str());
+}
+
+/**
+ * The per-job execution stack: rank-translation view, collective
+ * engine, memory model, per-NPU system layers, execution engine.
+ * Built by ClusterSimulator::buildStack for both the co-executed run
+ * (on the shared fabric) and the isolated baseline (on a fresh one).
+ */
+struct ClusterSimulator::JobStack
+{
+    std::unique_ptr<RankViewNetwork> view;
+    std::unique_ptr<CollectiveEngine> coll;
+    std::unique_ptr<MemoryModel> mem;
+    std::vector<std::unique_ptr<Sys>> sys;
+    std::unique_ptr<ExecutionEngine> engine;
+};
+
+/**
+ * One job's full runtime state. Heap-allocated (stable addresses: the
+ * network view borrows the job topology, the collective engine
+ * borrows the view, the system layers borrow both) and kept alive
+ * until the ClusterSimulator dies — trailing fabric events may still
+ * reference a finished job's callbacks.
+ */
+struct ClusterSimulator::JobRuntime
+{
+    int id = -1;
+    JobSpec spec;
+    Topology jobTopo;
+    Workload wl;
+
+    std::optional<JobPlacement> placement;
+    JobStack stack;
+
+    bool done = false;
+    TimeNs admitted = 0.0;
+    TimeNs finished = 0.0;
+    TimeNs isolated = 0.0;
+
+    // Fabric snapshots bracketing the residency (per-job report).
+    uint64_t eventsAtAdmit = 0;
+    uint64_t eventsAtFinish = 0;
+    std::vector<double> busyAtAdmit;
+    std::vector<double> busyAtFinish;
+    double maxLinkAtFinish = 0.0;
+
+    JobRuntime(JobSpec s, Topology jt, Workload w)
+        : spec(std::move(s)), jobTopo(std::move(jt)), wl(std::move(w))
+    {
+    }
+};
+
+ClusterSimulator::ClusterSimulator(Topology topo, ClusterConfig cfg)
+    : topo_(std::move(topo)), cfg_(std::move(cfg)),
+      net_(makeNetwork(cfg_.backend, eq_, topo_)), placer_(topo_)
+{
+}
+
+ClusterSimulator::~ClusterSimulator() = default;
+
+int
+ClusterSimulator::addJob(JobSpec spec)
+{
+    ASTRA_USER_CHECK(!ran_, "addJob after run()");
+    ASTRA_USER_CHECK(spec.arrival >= 0.0,
+                     "job '%s': negative arrival time",
+                     spec.name.c_str());
+    ASTRA_USER_CHECK(spec.workload.has_value() !=
+                         !spec.workloadDoc.isNull(),
+                     "job '%s': set exactly one of workload / "
+                     "workloadDoc",
+                     spec.name.c_str());
+
+    Topology job_topo = [&] {
+        if (spec.placement == PlacementPolicy::Explicit) {
+            ASTRA_USER_CHECK(!spec.explicitNpus.empty(),
+                             "job '%s': explicit placement needs "
+                             "'npus'",
+                             spec.name.c_str());
+            int n = static_cast<int>(spec.explicitNpus.size());
+            if (spec.explicitTopo) {
+                ASTRA_USER_CHECK(
+                    spec.explicitTopo->npus() == n,
+                    "job '%s': job topology has %d NPUs but the "
+                    "explicit placement lists %d",
+                    spec.name.c_str(), spec.explicitTopo->npus(), n);
+                return *spec.explicitTopo;
+            }
+            // Default shape for irregular placements: one flat
+            // switch dimension with the cluster's innermost link
+            // parameters (timing still comes from the real fabric).
+            Dimension flat = topo_.dim(0);
+            flat.type = BlockType::Switch;
+            flat.size = n;
+            return Topology({flat});
+        }
+        ASTRA_USER_CHECK(spec.size >= 1 && spec.size <= topo_.npus(),
+                         "job '%s': size %d out of range (cluster has "
+                         "%d NPUs)",
+                         spec.name.c_str(), spec.size, topo_.npus());
+        return sliceTopology(topo_, spec.size); // fatal if incompatible.
+    }();
+
+    Workload wl = spec.workload
+                      ? *spec.workload
+                      : sweep::workloadFromSpec(job_topo,
+                                                spec.workloadDoc);
+    validateWorkload(wl, job_topo.npus());
+
+    auto job = std::make_unique<JobRuntime>(
+        std::move(spec), std::move(job_topo), std::move(wl));
+    job->id = static_cast<int>(jobs_.size());
+    if (job->spec.name.empty())
+        job->spec.name = "job" + std::to_string(job->id);
+    jobs_.push_back(std::move(job));
+    return jobs_.back()->id;
+}
+
+void
+ClusterSimulator::buildStack(JobRuntime &job, NetworkApi &fabric,
+                             JobStack &stack)
+{
+    // Per-job tag namespace: NPUs are reused over time, so a
+    // finished tenant's unmatched deliveries must never satisfy a
+    // successor's receives on the same global ids (rank_view.h).
+    uint64_t salt = (static_cast<uint64_t>(job.id) + 1) << 48;
+    stack.view = std::make_unique<RankViewNetwork>(
+        fabric, job.jobTopo, *job.placement, salt);
+    stack.coll = std::make_unique<CollectiveEngine>(*stack.view);
+    stack.mem = makeMemory(job.spec.cfg);
+    stack.sys.reserve(static_cast<size_t>(job.jobTopo.npus()));
+    TimeNs now = fabric.eventQueue().now();
+    for (NpuId n = 0; n < job.jobTopo.npus(); ++n) {
+        stack.sys.push_back(std::make_unique<Sys>(
+            n, job.spec.cfg.sys, *stack.coll, *stack.mem));
+        stack.sys.back()->tracker().alignStart(now);
+    }
+    stack.engine = std::make_unique<ExecutionEngine>(stack.sys, job.wl);
+}
+
+bool
+ClusterSimulator::admit(JobRuntime &job)
+{
+    std::optional<JobPlacement> placement =
+        job.spec.placement == PlacementPolicy::Explicit
+            ? placer_.tryPlaceExplicit(job.spec.explicitNpus)
+            : placer_.tryPlace(job.jobTopo.npus(), job.spec.placement);
+    if (!placement)
+        return false;
+    job.placement = std::move(*placement);
+
+    buildStack(job, *net_, job.stack);
+    size_t index = static_cast<size_t>(job.id);
+    job.stack.engine->setOnFinished(
+        [this, index] { onJobFinished(index); });
+
+    job.admitted = eq_.now();
+    job.eventsAtAdmit = eq_.executedEvents();
+    job.busyAtAdmit = net_->stats().busyTimePerDim;
+    ++runningJobs_;
+    job.stack.engine->start();
+    return true;
+}
+
+void
+ClusterSimulator::tryAdmit()
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        JobRuntime &job = *jobs_[*it];
+        if (admit(job)) {
+            it = pending_.erase(it);
+        } else if (cfg_.admission == AdmissionPolicy::Fifo) {
+            break; // the head blocks everything behind it.
+        } else {
+            ++it; // backfill: later jobs may still fit.
+        }
+    }
+}
+
+void
+ClusterSimulator::onJobFinished(size_t index)
+{
+    JobRuntime &job = *jobs_[index];
+    ASTRA_ASSERT(!job.done, "job finished twice");
+    job.done = true;
+    job.finished = eq_.now();
+    job.eventsAtFinish = eq_.executedEvents();
+    job.busyAtFinish = net_->stats().busyTimePerDim;
+    job.maxLinkAtFinish = net_->stats().maxLinkBusyNs;
+    for (auto &sys : job.stack.sys)
+        sys->tracker().finish(job.finished);
+    placer_.release(*job.placement);
+    --runningJobs_;
+    tryAdmit();
+}
+
+TimeNs
+ClusterSimulator::runIsolated(JobRuntime &job)
+{
+    // Fresh queue + fresh fabric, same placement, same workload, same
+    // stack construction (buildStack): the only thing removed is the
+    // other tenants. Finish is the last node's completion time (the
+    // same definition the co-executed duration uses), so slowdown ==
+    // 1.0 bit-exactly when nothing contended.
+    EventQueue eq;
+    std::unique_ptr<NetworkApi> net = makeNetwork(cfg_.backend, eq,
+                                                  topo_);
+    JobStack stack;
+    buildStack(job, *net, stack);
+    TimeNs finish = 0.0;
+    stack.engine->setOnFinished([&finish, &eq] { finish = eq.now(); });
+    stack.engine->start();
+    eq.run();
+    ASTRA_USER_CHECK(stack.engine->finished(),
+                     "job '%s': isolated baseline deadlocked",
+                     job.spec.name.c_str());
+    return finish;
+}
+
+JobResult
+ClusterSimulator::finalizeJob(JobRuntime &job)
+{
+    JobResult r;
+    r.id = job.id;
+    r.name = job.spec.name;
+    r.size = job.jobTopo.npus();
+    r.placement = job.placement->describe();
+    r.arrival = job.spec.arrival;
+    r.admitted = job.admitted;
+    r.finished = job.finished;
+    r.queueingDelay = job.admitted - job.spec.arrival;
+    r.duration = job.finished - job.admitted;
+    r.isolatedDuration = job.isolated;
+    r.interferenceSlowdown =
+        job.isolated > 0.0 ? r.duration / job.isolated : 0.0;
+
+    Report &rep = r.report;
+    rep.workload = job.wl.name;
+    rep.totalTime = r.duration;
+    rep.perNpu.reserve(job.stack.sys.size());
+    for (auto &sys : job.stack.sys) {
+        rep.perNpu.push_back(breakdownOf(sys->tracker()));
+        rep.average += rep.perNpu.back();
+    }
+    rep.average = rep.average.scaled(1.0 / double(job.stack.sys.size()));
+    rep.events = job.eventsAtFinish - job.eventsAtAdmit;
+    rep.messages = job.stack.view->stats().messages;
+    rep.bytesPerDim = job.stack.view->stats().bytesPerDim;
+    rep.busyTimePerDim = job.busyAtFinish;
+    for (size_t d = 0; d < rep.busyTimePerDim.size(); ++d)
+        rep.busyTimePerDim[d] -= job.busyAtAdmit[d];
+    rep.linksPerDim = net_->stats().linksPerDim;
+    rep.maxLinkBusyNs = job.maxLinkAtFinish;
+    rep.queueingDelayNs = r.queueingDelay;
+    rep.interferenceSlowdown = r.interferenceSlowdown;
+    return r;
+}
+
+ClusterReport
+ClusterSimulator::run()
+{
+    ASTRA_USER_CHECK(!ran_, "a ClusterSimulator runs once; create a "
+                            "fresh instance per run");
+    ASTRA_USER_CHECK(!jobs_.empty(), "cluster has no jobs");
+    ran_ = true;
+
+    // Arrival order (time, then submission order). Admission order
+    // within the pending queue is (priority desc, arrival, id).
+    std::vector<size_t> order(jobs_.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return jobs_[a]->spec.arrival <
+                                jobs_[b]->spec.arrival;
+                     });
+
+    auto enqueue = [&](size_t id) {
+        auto pos = std::find_if(
+            pending_.begin(), pending_.end(), [&](size_t other) {
+                const JobSpec &a = jobs_[id]->spec;
+                const JobSpec &b = jobs_[other]->spec;
+                if (a.priority != b.priority)
+                    return a.priority > b.priority;
+                if (a.arrival != b.arrival)
+                    return a.arrival < b.arrival;
+                return id < other;
+            });
+        pending_.insert(pos, id);
+    };
+
+    size_t next = 0;
+    while (next < order.size()) {
+        TimeNs t = jobs_[order[next]]->spec.arrival;
+        // Drain everything at or before the arrival, then admit at
+        // exactly t (runUntil advances the clock through gaps). A
+        // time-zero arrival executes no events first, so a
+        // single-job cluster replays a plain Simulator run exactly.
+        eq_.runUntil(t);
+        while (next < order.size() &&
+               jobs_[order[next]]->spec.arrival == t)
+            enqueue(order[next++]);
+        tryAdmit();
+    }
+    eq_.run();
+
+    // Safety net: admission progress is normally driven by job
+    // completions; if jobs are still pending on a drained queue,
+    // either admit them now or report the stall as a user error.
+    while (!pending_.empty()) {
+        size_t before = pending_.size();
+        tryAdmit();
+        ASTRA_USER_CHECK(
+            pending_.size() < before,
+            "cluster admission stalled: job '%s' cannot be placed "
+            "(free NPUs: %d of %d)",
+            jobs_[pending_.front()]->spec.name.c_str(),
+            placer_.freeCount(), placer_.totalCount());
+        eq_.run();
+    }
+
+    ClusterReport report;
+    report.makespan = eq_.now();
+    report.totalEvents = eq_.executedEvents();
+    report.totalMessages = net_->stats().messages;
+
+    for (auto &job : jobs_) {
+        ASTRA_USER_CHECK(job->done,
+                         "job '%s' deadlocked: %zu of %zu nodes "
+                         "completed (check send/recv pairing and "
+                         "collective group membership)",
+                         job->spec.name.c_str(),
+                         job->stack.engine ? job->stack.engine->completedNodes()
+                                          : 0,
+                         job->wl.totalNodes());
+        if (cfg_.isolatedBaselines)
+            job->isolated = runIsolated(*job);
+        report.jobs.push_back(finalizeJob(*job));
+    }
+
+    // Cluster-aggregate report (the sweep-facing row).
+    Report &agg = report.aggregate;
+    char label[64];
+    std::snprintf(label, sizeof(label), "cluster(%zu jobs)",
+                  jobs_.size());
+    agg.workload = label;
+    agg.totalTime = report.makespan;
+    agg.perNpu.assign(static_cast<size_t>(topo_.npus()),
+                      RuntimeBreakdown{});
+    for (const JobResult &jr : report.jobs) {
+        const JobPlacement &pl = *jobs_[static_cast<size_t>(jr.id)]
+                                      ->placement;
+        for (size_t l = 0; l < jr.report.perNpu.size(); ++l)
+            agg.perNpu[static_cast<size_t>(pl.globalOf[l])] +=
+                jr.report.perNpu[l];
+    }
+    for (const RuntimeBreakdown &b : agg.perNpu)
+        agg.average += b;
+    agg.average = agg.average.scaled(1.0 / double(topo_.npus()));
+    agg.events = report.totalEvents;
+    agg.messages = report.totalMessages;
+    agg.bytesPerDim = net_->stats().bytesPerDim;
+    agg.busyTimePerDim = net_->stats().busyTimePerDim;
+    agg.linksPerDim = net_->stats().linksPerDim;
+    agg.maxLinkBusyNs = net_->stats().maxLinkBusyNs;
+    agg.queueingDelayNs = report.meanQueueingDelay();
+    agg.interferenceSlowdown =
+        cfg_.isolatedBaselines ? report.meanInterferenceSlowdown() : 0.0;
+    return report;
+}
+
+double
+ClusterReport::meanQueueingDelay() const
+{
+    if (jobs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const JobResult &j : jobs)
+        sum += j.queueingDelay;
+    return sum / double(jobs.size());
+}
+
+double
+ClusterReport::meanInterferenceSlowdown() const
+{
+    if (jobs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const JobResult &j : jobs)
+        sum += j.interferenceSlowdown;
+    return sum / double(jobs.size());
+}
+
+double
+ClusterReport::maxInterferenceSlowdown() const
+{
+    double best = 0.0;
+    for (const JobResult &j : jobs)
+        best = std::max(best, j.interferenceSlowdown);
+    return best;
+}
+
+std::string
+ClusterReport::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "cluster: %zu jobs, makespan %.3f ms, %llu events, "
+                  "%llu messages\n"
+                  "mean queueing delay %.3f ms, mean interference "
+                  "slowdown %.3fx (max %.3fx)\n",
+                  jobs.size(), makespan / kMs,
+                  static_cast<unsigned long long>(totalEvents),
+                  static_cast<unsigned long long>(totalMessages),
+                  meanQueueingDelay() / kMs, meanInterferenceSlowdown(),
+                  maxInterferenceSlowdown());
+    std::string out = buf;
+    for (const JobResult &j : jobs) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  [%d] %-12s %4d NPUs %-20s arrive %.3f ms, wait %.3f "
+            "ms, run %.3f ms, slowdown %.3fx\n",
+            j.id, j.name.c_str(), j.size, j.placement.c_str(),
+            j.arrival / kMs, j.queueingDelay / kMs, j.duration / kMs,
+            j.interferenceSlowdown);
+        out += buf;
+    }
+    return out;
+}
+
+json::Value
+ClusterReport::toJson() const
+{
+    json::Object doc;
+    doc["makespan_ns"] = json::Value(makespan);
+    doc["events"] = json::Value(totalEvents);
+    doc["messages"] = json::Value(totalMessages);
+    doc["mean_queueing_delay_ns"] = json::Value(meanQueueingDelay());
+    doc["mean_interference_slowdown"] =
+        json::Value(meanInterferenceSlowdown());
+    doc["aggregate"] = reportToJson(aggregate);
+    json::Array rows;
+    rows.reserve(jobs.size());
+    for (const JobResult &j : jobs) {
+        json::Object row;
+        row["id"] = json::Value(j.id);
+        row["name"] = json::Value(j.name);
+        row["size"] = json::Value(j.size);
+        row["placement"] = json::Value(j.placement);
+        row["arrival_ns"] = json::Value(j.arrival);
+        row["admitted_ns"] = json::Value(j.admitted);
+        row["finished_ns"] = json::Value(j.finished);
+        row["queueing_delay_ns"] = json::Value(j.queueingDelay);
+        row["duration_ns"] = json::Value(j.duration);
+        row["isolated_duration_ns"] = json::Value(j.isolatedDuration);
+        row["interference_slowdown"] =
+            json::Value(j.interferenceSlowdown);
+        row["report"] = reportToJson(j.report);
+        rows.push_back(json::Value(std::move(row)));
+    }
+    doc["jobs"] = json::Value(std::move(rows));
+    return json::Value(std::move(doc));
+}
+
+std::string
+ClusterReport::jobsCsv() const
+{
+    std::string out =
+        "id,name,size,placement,arrival_ns,admitted_ns,finished_ns,"
+        "queueing_delay_ns,duration_ns,isolated_duration_ns,"
+        "interference_slowdown\n";
+    char buf[192];
+    for (const JobResult &j : jobs) {
+        std::snprintf(buf, sizeof(buf), "%d,", j.id);
+        out += buf;
+        out += csvField(j.name) + ',';
+        std::snprintf(buf, sizeof(buf), "%d,", j.size);
+        out += buf;
+        out += csvField(j.placement);
+        std::snprintf(buf, sizeof(buf),
+                      ",%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.6f\n",
+                      j.arrival, j.admitted, j.finished,
+                      j.queueingDelay, j.duration, j.isolatedDuration,
+                      j.interferenceSlowdown);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace cluster
+} // namespace astra

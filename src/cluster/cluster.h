@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Multi-tenant cluster simulation: N jobs co-executing on ONE shared
+ * fabric (docs/cluster.md).
+ *
+ * A ClusterSimulator owns one EventQueue and one full-topology
+ * network backend; every job gets its own workload, placement
+ * (cluster/placement.h), rank-translation network view
+ * (cluster/rank_view.h), collective engine, memory model, per-NPU
+ * system layers, and execution engine — all driven by the shared
+ * queue. Jobs arrive over time (JobSpec::arrival), wait in an
+ * admission queue until a placement is free (FIFO or backfill), run
+ * co-scheduled with whatever else holds the fabric, and report
+ * per-job results: queueing delay, duration, and — against a fresh
+ * isolated re-run of the same job at the same placement — an
+ * interference slowdown that quantifies what co-tenancy cost.
+ *
+ * Fidelity note: inter-job interference is only visible to backends
+ * that model shared links. The flow backend resolves it by max-min
+ * fair sharing and the packet backend by store-and-forward queueing;
+ * the analytical backends serialize per-(NPU, dim) transmit ports
+ * only, so disjoint jobs can never contend there (slowdown stays
+ * 1.0). See docs/cluster.md.
+ */
+#ifndef ASTRA_CLUSTER_CLUSTER_H_
+#define ASTRA_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "astra/simulator.h"
+#include "cluster/placement.h"
+#include "cluster/rank_view.h"
+#include "common/json.h"
+#include "workload/engine.h"
+
+namespace astra {
+namespace cluster {
+
+/** Admission-queue policy. */
+enum class AdmissionPolicy {
+    Fifo,     //!< strict order; the head blocks everything behind it.
+    Backfill, //!< later jobs may start whenever they fit.
+};
+
+const char *admissionPolicyName(AdmissionPolicy p);
+AdmissionPolicy parseAdmissionPolicy(const std::string &name);
+
+/** Cluster-level configuration. */
+struct ClusterConfig
+{
+    NetworkBackendKind backend = NetworkBackendKind::Analytical;
+    AdmissionPolicy admission = AdmissionPolicy::Fifo;
+    /**
+     * Re-run each job alone (same placement, fresh queue + fabric)
+     * to compute its interference slowdown. Costs one extra
+     * simulation per job; disable for pure capacity studies.
+     */
+    bool isolatedBaselines = true;
+};
+
+/** One job to run on the cluster. */
+struct JobSpec
+{
+    std::string name;
+    TimeNs arrival = 0.0; //!< submission time.
+    int priority = 0;     //!< higher admits first among the queued.
+    int size = 0;         //!< NPUs (ignored for Explicit: list length).
+    PlacementPolicy placement = PlacementPolicy::Contiguous;
+    /** Explicit policy: the cluster NPUs, in job-local rank order. */
+    std::vector<NpuId> explicitNpus;
+    /** Explicit policy: the job topology (product must equal the NPU
+     *  count); sliced policies derive theirs from the cluster. */
+    std::optional<Topology> explicitTopo;
+    /** Per-job system/memory configuration (backend field unused —
+     *  the fabric is the cluster's). */
+    SimulatorConfig cfg;
+    /**
+     * The job's workload, in job-local NPU ids against the job
+     * topology (sliceTopology(cluster, size), or the explicit one).
+     * Exactly one of `workload` / `workloadDoc` must be set;
+     * workloadDoc uses the sweep workload schema (sweep/spec.h) and
+     * is built against the job topology at addJob time.
+     */
+    std::optional<Workload> workload;
+    json::Value workloadDoc;
+};
+
+/** Per-job outcome. */
+struct JobResult
+{
+    int id = -1;
+    std::string name;
+    int size = 0;
+    std::string placement; //!< JobPlacement::describe().
+    TimeNs arrival = 0.0;
+    TimeNs admitted = 0.0;  //!< placement granted, execution started.
+    TimeNs finished = 0.0;  //!< last workload node completed.
+    TimeNs queueingDelay = 0.0;     //!< admitted - arrival.
+    TimeNs duration = 0.0;          //!< finished - admitted.
+    TimeNs isolatedDuration = 0.0;  //!< 0 when baselines disabled.
+    /** duration / isolatedDuration (0 when baselines disabled). */
+    double interferenceSlowdown = 0.0;
+    /**
+     * Per-job report: breakdowns over [admitted, finished] per local
+     * NPU; events = cluster events executed during the residency;
+     * messages/bytesPerDim = this job's own traffic (cluster dims);
+     * busyTimePerDim = fabric busy accrued during the residency
+     * (all tenants); maxLinkBusyNs = fabric value at finish.
+     */
+    Report report;
+};
+
+/** Whole-cluster outcome. */
+struct ClusterReport
+{
+    TimeNs makespan = 0.0;   //!< final simulated time (queue drained).
+    uint64_t totalEvents = 0;
+    uint64_t totalMessages = 0;
+    std::vector<JobResult> jobs;
+    /**
+     * Cluster-aggregate Report (what a cluster config yields inside a
+     * sweep): totalTime = makespan, per-NPU breakdowns summed over
+     * the jobs resident on each cluster NPU, fabric-level traffic
+     * stats, and the means of the per-job queueing delay /
+     * interference slowdown.
+     */
+    Report aggregate;
+
+    double meanQueueingDelay() const;
+    double meanInterferenceSlowdown() const;
+    double maxInterferenceSlowdown() const;
+
+    std::string summary() const;
+    json::Value toJson() const;
+    /** Tidy per-job CSV (incl. queueing_delay_ns and
+     *  interference_slowdown columns). */
+    std::string jobsCsv() const;
+};
+
+/** See file comment. */
+class ClusterSimulator
+{
+  public:
+    explicit ClusterSimulator(Topology topo, ClusterConfig cfg = {});
+
+    ClusterSimulator(const ClusterSimulator &) = delete;
+    ClusterSimulator &operator=(const ClusterSimulator &) = delete;
+    ~ClusterSimulator();
+
+    /**
+     * Register a job before run(). Validates the size/placement
+     * against the (empty) cluster and builds + validates the
+     * workload against the job topology. Returns the job id (index
+     * into ClusterReport::jobs).
+     */
+    int addJob(JobSpec spec);
+
+    /** Admit + co-execute every registered job; callable once. */
+    ClusterReport run();
+
+    const Topology &topology() const { return topo_; }
+    EventQueue &eventQueue() { return eq_; }
+    NetworkApi &network() { return *net_; }
+    int jobCount() const { return static_cast<int>(jobs_.size()); }
+
+  private:
+    struct JobRuntime;
+    struct JobStack;
+
+    /** Build a job's full runtime stack (rank view, collective
+     *  engine, memory, system layers, execution engine) on `fabric`,
+     *  shared by co-executed admission and the isolated baseline so
+     *  the two configurations cannot drift apart. Builds in place:
+     *  the execution engine keeps a reference to the stack's system
+     *  vector, so `stack` must already sit at its final address. */
+    void buildStack(JobRuntime &job, NetworkApi &fabric,
+                    JobStack &stack);
+
+    void tryAdmit();
+    bool admit(JobRuntime &job);
+    void onJobFinished(size_t index);
+    TimeNs runIsolated(JobRuntime &job);
+    JobResult finalizeJob(JobRuntime &job);
+
+    Topology topo_;
+    ClusterConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<NetworkApi> net_;
+    PlacementManager placer_;
+    std::vector<std::unique_ptr<JobRuntime>> jobs_;
+    /** Ids of jobs submitted but not yet admitted, kept sorted by
+     *  (priority desc, arrival, id) — the admission order. */
+    std::vector<size_t> pending_;
+    int runningJobs_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace cluster
+} // namespace astra
+
+#endif // ASTRA_CLUSTER_CLUSTER_H_

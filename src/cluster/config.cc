@@ -1,0 +1,159 @@
+#include "cluster/config.h"
+
+#include <utility>
+
+#include "astra/config.h"
+#include "common/logging.h"
+#include "sweep/spec.h"
+
+namespace astra {
+namespace cluster {
+
+namespace {
+
+JobSpec
+jobFromJson(const json::Value &j, const Topology &topo,
+            NetworkBackendKind backend, PlacementPolicy default_policy,
+            const json::Value *default_system)
+{
+    JobSpec spec;
+    spec.name = j.getString("name", "");
+    spec.arrival = j.getNumber("arrival_ns", 0.0);
+    spec.priority = static_cast<int>(j.getInt("priority", 0));
+    spec.placement = j.has("placement")
+                         ? parsePlacementPolicy(
+                               j.at("placement").asString())
+                         : default_policy;
+
+    if (spec.placement == PlacementPolicy::Explicit) {
+        ASTRA_USER_CHECK(j.has("npus"),
+                         "cluster job '%s': explicit placement needs "
+                         "'npus'",
+                         spec.name.c_str());
+        for (const json::Value &n : j.at("npus").asArray())
+            spec.explicitNpus.push_back(
+                static_cast<NpuId>(n.asNumber()));
+        if (j.has("job_topology"))
+            spec.explicitTopo =
+                sweep::topologyFromSpec(j.at("job_topology"));
+    } else {
+        ASTRA_USER_CHECK(j.has("size"),
+                         "cluster job '%s': missing 'size'",
+                         spec.name.c_str());
+        spec.size = static_cast<int>(j.at("size").asInt());
+    }
+
+    const json::Value *system =
+        j.has("system") ? &j.at("system") : default_system;
+    if (system != nullptr)
+        spec.cfg = simulatorConfigFromJson(*system, backend);
+    else
+        spec.cfg.backend = backend;
+
+    ASTRA_USER_CHECK(j.has("workload"),
+                     "cluster job '%s': missing 'workload'",
+                     spec.name.c_str());
+    spec.workloadDoc = j.at("workload").clone();
+    (void)topo;
+    return spec;
+}
+
+} // namespace
+
+bool
+isClusterDoc(const json::Value &doc)
+{
+    return doc.isObject() && doc.has("cluster");
+}
+
+ClusterScenario
+scenarioFromJson(const json::Value &doc)
+{
+    ASTRA_USER_CHECK(isClusterDoc(doc),
+                     "not a cluster configuration (missing 'cluster')");
+    ASTRA_USER_CHECK(doc.has("topology"),
+                     "cluster config: missing 'topology'");
+
+    const json::Value &c = doc.at("cluster");
+    ClusterScenario scenario{sweep::topologyFromSpec(doc.at("topology")),
+                             ClusterConfig{},
+                             {}};
+    scenario.cfg.backend = backendFromJson(doc);
+    scenario.cfg.admission =
+        parseAdmissionPolicy(c.getString("admission", "fifo"));
+    scenario.cfg.isolatedBaselines = c.getBool("baselines", true);
+
+    PlacementPolicy default_policy =
+        c.has("placement")
+            ? parsePlacementPolicy(c.at("placement").asString())
+            : PlacementPolicy::Contiguous;
+    const json::Value *default_system =
+        doc.has("system") ? &doc.at("system") : nullptr;
+
+    ASTRA_USER_CHECK(c.has("jobs"), "cluster config: missing 'jobs'");
+    for (const json::Value &j : c.at("jobs").asArray()) {
+        JobSpec spec = jobFromJson(j, scenario.topo,
+                                   scenario.cfg.backend, default_policy,
+                                   default_system);
+        int count = static_cast<int>(j.getInt("count", 1));
+        ASTRA_USER_CHECK(count >= 1,
+                         "cluster job '%s': count must be >= 1",
+                         spec.name.c_str());
+        for (int i = 0; i < count; ++i) {
+            JobSpec copy = spec;
+            copy.workloadDoc = spec.workloadDoc.clone();
+            if (count > 1 && !copy.name.empty())
+                copy.name += "#" + std::to_string(i);
+            scenario.jobs.push_back(std::move(copy));
+        }
+    }
+    ASTRA_USER_CHECK(!scenario.jobs.empty(),
+                     "cluster config: empty 'jobs'");
+    return scenario;
+}
+
+ClusterReport
+runClusterScenario(const json::Value &doc)
+{
+    ClusterScenario scenario = scenarioFromJson(doc);
+    ClusterSimulator sim(std::move(scenario.topo), scenario.cfg);
+    for (JobSpec &job : scenario.jobs)
+        sim.addJob(std::move(job));
+    return sim.run();
+}
+
+Report
+runClusterDoc(const json::Value &doc)
+{
+    return runClusterScenario(doc).aggregate;
+}
+
+void
+writeSampleClusterConfig(const std::string &path)
+{
+    json::Value doc = json::parse(R"json({
+      "topology": "Ring(16,100)",
+      "backend": "flow",
+      "system": {"peak_tflops": 234, "collective_chunks": 4},
+      "cluster": {
+        "admission": "fifo",
+        "baselines": true,
+        "placement": "contiguous",
+        "jobs": [
+          {"name": "train-a", "arrival_ns": 0, "size": 8,
+           "workload": {"kind": "collective",
+                        "collective": "all-reduce",
+                        "bytes": 4194304}},
+          {"name": "train-b", "arrival_ns": 0, "size": 8,
+           "placement": "spread",
+           "workload": {"kind": "collective",
+                        "collective": "all-reduce",
+                        "bytes": 4194304}}
+        ]
+      }
+    })json");
+    json::writeFile(path, doc);
+}
+
+} // namespace cluster
+} // namespace astra

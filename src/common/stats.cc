@@ -59,6 +59,14 @@ BreakdownTracker::endActivity(Activity a, TimeNs now)
 }
 
 void
+BreakdownTracker::alignStart(TimeNs now)
+{
+    ASTRA_ASSERT(last_ == 0.0 && total() == 0.0,
+                 "alignStart on a tracker that already attributed time");
+    last_ = now;
+}
+
+void
 BreakdownTracker::finish(TimeNs now)
 {
     attribute(now);

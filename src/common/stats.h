@@ -85,6 +85,15 @@ class BreakdownTracker
     void beginActivity(Activity a, TimeNs now);
     void endActivity(Activity a, TimeNs now);
 
+    /**
+     * Start attribution at `now` instead of the default t=0, so an
+     * NPU assigned to a job admitted mid-simulation is not charged
+     * idle time for the era before the job existed. Must be called
+     * before any activity or attribution; a no-op at now == 0 keeps
+     * time-zero runs bit-identical with untracked construction.
+     */
+    void alignStart(TimeNs now);
+
     /** Flush attribution up to `now` (e.g., at end of simulation). */
     void finish(TimeNs now);
 

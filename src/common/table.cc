@@ -7,6 +7,21 @@
 
 namespace astra {
 
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
 {
 }

@@ -11,6 +11,14 @@
 
 namespace astra {
 
+/**
+ * RFC-4180 CSV field quoting: fields containing commas, quotes, or
+ * newlines are wrapped in double quotes with embedded quotes doubled.
+ * Shared by every CSV writer (sweep result store, cluster job table)
+ * so quoting rules cannot diverge between outputs.
+ */
+std::string csvField(const std::string &s);
+
 /** Column-aligned ASCII table builder. */
 class Table
 {

@@ -103,8 +103,11 @@ class NetworkApi
     /**
      * Post a receive at `dst` for a message from `src` with `tag`.
      * Fires immediately if the message already arrived (eager buffer).
+     * Virtual so decorating views (cluster/rank_view.h) can forward
+     * matching to the backend that actually sees the deliveries.
      */
-    void simRecv(NpuId dst, NpuId src, uint64_t tag, EventCallback cb);
+    virtual void simRecv(NpuId dst, NpuId src, uint64_t tag,
+                         EventCallback cb);
 
     /** Schedule a callback after `delay` ns (Snippet 2 sim_schedule). */
     void simSchedule(TimeNs delay, EventCallback cb);

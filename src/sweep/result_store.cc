@@ -4,28 +4,12 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/table.h"
 
 namespace astra {
 namespace sweep {
 
 namespace {
-
-/** RFC-4180 quoting: axis values and labels may contain commas (e.g.
- *  JSON-object axis values). */
-std::string
-csvField(const std::string &s)
-{
-    if (s.find_first_of(",\"\n") == std::string::npos)
-        return s;
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"')
-            out += '"';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
 
 std::string
 formatNs(double v)
@@ -50,6 +34,9 @@ metricName(Metric m)
       case Metric::Events:           return "events";
       case Metric::Messages:         return "messages";
       case Metric::MaxLinkUtil:      return "max_link_util";
+      case Metric::QueueingDelay:    return "queueing_delay_ns";
+      case Metric::InterferenceSlowdown:
+        return "interference_slowdown";
     }
     return "?";
 }
@@ -113,6 +100,9 @@ ResultStore::value(size_t i, Metric m) const
       case Metric::Messages:         return double(r.report.messages);
       case Metric::MaxLinkUtil:
         return r.report.maxLinkUtilization();
+      case Metric::QueueingDelay:    return r.report.queueingDelayNs;
+      case Metric::InterferenceSlowdown:
+        return r.report.interferenceSlowdown;
     }
     return 0.0;
 }
@@ -155,7 +145,8 @@ ResultStore::toCsv() const
         out += ',' + csvField(name);
     out += ",total_ns,compute_ns,exposed_comm_ns,exposed_local_mem_ns,"
            "exposed_remote_mem_ns,idle_ns,events,messages,"
-           "max_link_util,status\n";
+           "max_link_util,queueing_delay_ns,interference_slowdown,"
+           "status\n";
 
     char buf[64];
     for (const SweepResult &r : rows_) {
@@ -166,9 +157,10 @@ ResultStore::toCsv() const
         for (const std::string &v : r.config.axisValues)
             out += ',' + csvField(v);
         if (r.failed) {
-            // Nine empty metric fields, then the status field — same
-            // arity as the ok branch so header-keyed parsers align.
-            out += ",,,,,,,,,,";
+            // Eleven empty metric fields, then the status field —
+            // same arity as the ok branch so header-keyed parsers
+            // align.
+            out += ",,,,,,,,,,,,";
             out += csvField("failed: " + r.error);
         } else {
             const RuntimeBreakdown &b = r.report.average;
@@ -178,11 +170,15 @@ ResultStore::toCsv() const
             out += ',' + formatNs(b.exposedLocalMem);
             out += ',' + formatNs(b.exposedRemoteMem);
             out += ',' + formatNs(b.idle);
-            std::snprintf(buf, sizeof(buf), ",%llu,%llu,%.6f,ok",
+            std::snprintf(buf, sizeof(buf), ",%llu,%llu,%.6f",
                           static_cast<unsigned long long>(r.report.events),
                           static_cast<unsigned long long>(
                               r.report.messages),
                           r.report.maxLinkUtilization());
+            out += buf;
+            out += ',' + formatNs(r.report.queueingDelayNs);
+            std::snprintf(buf, sizeof(buf), ",%.6f,ok",
+                          r.report.interferenceSlowdown);
             out += buf;
         }
         out += '\n';

@@ -39,6 +39,8 @@ enum class Metric {
     Events,           //!< DES events executed.
     Messages,         //!< network messages simulated.
     MaxLinkUtil,      //!< busiest-link busy fraction [0, 1].
+    QueueingDelay,    //!< mean admission-queue wait (ns; cluster runs).
+    InterferenceSlowdown, //!< mean co-tenancy slowdown (cluster runs).
 };
 
 /** Column name of a metric (matches the CSV/JSON headers). */

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "cluster/config.h"
 #include "common/logging.h"
 
 namespace astra {
@@ -233,6 +234,11 @@ ResultCache::size() const
 Report
 runConfig(const json::Value &doc)
 {
+    // Cluster documents (multi-tenant job mixes) run on the
+    // ClusterSimulator and yield the cluster-aggregate report; plain
+    // documents stay one Simulator = one workload.
+    if (cluster::isClusterDoc(doc))
+        return cluster::runClusterDoc(doc);
     MaterializedConfig mat = materializeConfig(doc);
     Simulator sim(std::move(mat.topo), std::move(mat.cfg));
     return sim.run(mat.workload);

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "astra/config.h"
@@ -56,28 +57,37 @@ Axis
 axisFromJson(const json::Value &doc)
 {
     Axis axis;
-    ASTRA_USER_CHECK(doc.has("path"),
-                     "sweep axis: missing required key 'path'");
-    axis.path = doc.at("path").asString();
-    ASTRA_USER_CHECK(!axis.path.empty(), "sweep axis: empty 'path'");
+    ASTRA_USER_CHECK(doc.has("path") != doc.has("paths"),
+                     "sweep axis: give exactly one of 'path' or "
+                     "'paths'");
+    if (doc.has("path")) {
+        axis.paths.push_back(doc.at("path").asString());
+    } else {
+        for (const json::Value &p : doc.at("paths").asArray())
+            axis.paths.push_back(p.asString());
+    }
+    ASTRA_USER_CHECK(!axis.paths.empty(), "sweep axis: empty 'paths'");
+    for (const std::string &p : axis.paths)
+        ASTRA_USER_CHECK(!p.empty(), "sweep axis: empty path");
 
     ASTRA_USER_CHECK(doc.has("values") != doc.has("range"),
                      "sweep axis '%s': give exactly one of 'values' or "
                      "'range'",
-                     axis.path.c_str());
+                     axis.pathLabel().c_str());
     if (doc.has("values"))
         axis.values = doc.at("values").asArray();
     else
         axis.values = expandRange(doc.at("range"));
-    ASTRA_USER_CHECK(!axis.values.empty(),
-                     "sweep axis '%s': no values", axis.path.c_str());
+    ASTRA_USER_CHECK(!axis.values.empty(), "sweep axis '%s': no values",
+                     axis.pathLabel().c_str());
 
     if (doc.has("name")) {
         axis.name = doc.at("name").asString();
     } else {
-        size_t dot = axis.path.rfind('.');
+        const std::string &first = axis.paths.front();
+        size_t dot = first.rfind('.');
         axis.name =
-            dot == std::string::npos ? axis.path : axis.path.substr(dot + 1);
+            dot == std::string::npos ? first : first.substr(dot + 1);
     }
 
     if (doc.has("labels")) {
@@ -85,7 +95,7 @@ axisFromJson(const json::Value &doc)
             axis.labels.push_back(l.asString());
         ASTRA_USER_CHECK(axis.labels.size() == axis.values.size(),
                          "sweep axis '%s': %zu labels for %zu values",
-                         axis.path.c_str(), axis.labels.size(),
+                         axis.pathLabel().c_str(), axis.labels.size(),
                          axis.values.size());
     }
     return axis;
@@ -107,6 +117,8 @@ modelByName(const std::string &name)
           "transformer1t | moe1t)",
           name.c_str());
 }
+
+} // namespace
 
 Workload
 workloadFromSpec(const Topology &topo, const json::Value &w)
@@ -195,7 +207,17 @@ topologyFromSpec(const json::Value &v)
     return topologyFromJson(v);
 }
 
-} // namespace
+std::string
+Axis::pathLabel() const
+{
+    std::string out;
+    for (const std::string &p : paths) {
+        if (!out.empty())
+            out += '+';
+        out += p;
+    }
+    return out;
+}
 
 std::string
 Axis::valueString(size_t i) const
@@ -242,7 +264,8 @@ SweepSpec::fromJson(const json::Value &doc)
             ASTRA_USER_CHECK(axis.values.size() == len,
                              "sweep spec: zip mode needs equal-length "
                              "axes ('%s' has %zu values, expected %zu)",
-                             axis.path.c_str(), axis.values.size(), len);
+                             axis.pathLabel().c_str(),
+                             axis.values.size(), len);
     }
     return spec;
 }
@@ -302,7 +325,8 @@ SweepSpec::config(size_t index) const
     cfg.doc = base_.clone();
     for (size_t a = 0; a < axes_.size(); ++a) {
         const Axis &axis = axes_[a];
-        applyOverride(cfg.doc, axis.path, axis.values[pick[a]]);
+        for (const std::string &path : axis.paths)
+            applyOverride(cfg.doc, path, axis.values[pick[a]]);
         std::string value = axis.valueString(pick[a]);
         if (!cfg.label.empty())
             cfg.label += ' ';
@@ -327,16 +351,32 @@ applyOverride(json::Value &doc, const std::string &path,
         ASTRA_USER_CHECK(!key.empty(),
                          "sweep axis path '%s': empty segment",
                          path.c_str());
-        ASTRA_USER_CHECK(node->isObject() || node->isNull(),
-                         "sweep axis path '%s': segment '%s' traverses "
-                         "a non-object value",
-                         path.c_str(), key.c_str());
-        json::Value &child = node->mutableObject()[key];
+        bool numeric = key.find_first_not_of("0123456789") ==
+                       std::string::npos;
+        json::Value *child;
+        if (node->isArray() && numeric) {
+            // All-digit segments index existing array elements
+            // ("cluster.jobs.0.placement"); arrays are never grown.
+            json::Array &arr = node->mutableArray();
+            size_t index = static_cast<size_t>(
+                std::strtoull(key.c_str(), nullptr, 10));
+            ASTRA_USER_CHECK(index < arr.size(),
+                             "sweep axis path '%s': index %zu out of "
+                             "range (array has %zu elements)",
+                             path.c_str(), index, arr.size());
+            child = &arr[index];
+        } else {
+            ASTRA_USER_CHECK(node->isObject() || node->isNull(),
+                             "sweep axis path '%s': segment '%s' "
+                             "traverses a non-object value",
+                             path.c_str(), key.c_str());
+            child = &node->mutableObject()[key];
+        }
         if (dot == std::string::npos) {
-            child = value.clone();
+            *child = value.clone();
             return;
         }
-        node = &child;
+        node = child;
         start = dot + 1;
     }
 }

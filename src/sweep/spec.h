@@ -34,6 +34,9 @@
  *   "axes": [
  *     {"path": "system.remote_memory.in_node_fabric_bw_gbps",
  *      "values": [256, 512, 1024]},
+ *     {"paths": ["system.remote_memory.in_node_fabric_bw_gbps",
+ *                "system.remote_memory.gpu_side_bw_gbps"],
+ *      "name": "fabric", "values": [256, 512]},   // one knob, 2 paths
  *     {"path": "system.remote_memory.remote_group_bw_gbps",
  *      "name": "group_bw",
  *      "range": {"from": 100, "to": 500, "step": 100}},
@@ -71,10 +74,19 @@
 namespace astra {
 namespace sweep {
 
-/** One sweep dimension: a config path and the values it takes. */
+/**
+ * One sweep dimension: the config path(s) it patches and the values it
+ * takes. Most axes patch a single path; an axis may instead list
+ * several `paths` that all receive the same value — one provisioning
+ * knob driving several model parameters (Table V raises the GPU-side
+ * out-node bandwidth together with the in-node fabric), or one
+ * placement policy applied to every job of a cluster mix.
+ */
 struct Axis
 {
-    std::string path;   //!< dot-separated path into the base document.
+    /** Dot-separated paths into the base document (>= 1). Segments
+     *  that are all digits index into arrays ("cluster.jobs.0"). */
+    std::vector<std::string> paths;
     std::string name;   //!< column name (defaults to last path segment).
     std::vector<json::Value> values;
     /** Optional display labels, one per value (useful when values are
@@ -83,6 +95,9 @@ struct Axis
 
     /** Display string for value `i` (label if present). */
     std::string valueString(size_t i) const;
+
+    /** Joined path list for diagnostics ("a.b+a.c"). */
+    std::string pathLabel() const;
 };
 
 /** Grid expansion mode. */
@@ -143,7 +158,9 @@ class SweepSpec
 /**
  * Overlay `value` at dot-separated `path` inside `doc` (creating
  * intermediate objects as needed); fatal() if a path segment collides
- * with a non-object value.
+ * with a non-object value. An all-digits segment indexes into an
+ * existing array ("cluster.jobs.0.placement"); out-of-range indices
+ * are a user error (arrays are never grown implicitly).
  */
 void applyOverride(json::Value &doc, const std::string &path,
                    const json::Value &value);
@@ -165,8 +182,9 @@ std::string configHashString(uint64_t hash);
  * changes, collective/timing model fixes — so persisted caches from
  * older builds are orphaned instead of silently serving stale Reports.
  */
-constexpr uint64_t kSpecSchemaVersion = 2; //!< 2: link-utilization
-                                           //!< report columns added.
+constexpr uint64_t kSpecSchemaVersion = 3; //!< 3: cluster configs +
+                                           //!< queueing/interference
+                                           //!< report columns.
 
 /**
  * Turn a configuration document into runnable pieces: topology,
@@ -174,6 +192,15 @@ constexpr uint64_t kSpecSchemaVersion = 2; //!< 2: link-utilization
  * topology. fatal() on invalid configuration.
  */
 MaterializedConfig materializeConfig(const json::Value &doc);
+
+/** A topology from a preset name, notation string, or {"dims": [...]}
+ *  document (the `topology` value of sweep and cluster configs). */
+Topology topologyFromSpec(const json::Value &v);
+
+/** Build a workload from the sweep workload schema (see file
+ *  comment) against `topo`. Shared with cluster job specs, whose
+ *  workloads are built against the job's sliced topology. */
+Workload workloadFromSpec(const Topology &topo, const json::Value &w);
 
 /** Write a commented-by-example sweep spec (CLI scaffolding). */
 void writeSampleSpec(const std::string &path);

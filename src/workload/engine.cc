@@ -117,6 +117,8 @@ ExecutionEngine::onDone(NpuId npu, size_t index)
         if (--indegree_[base + child] == 0)
             issue(npu, child);
     }
+    if (completed_ == total_ && onFinished_)
+        onFinished_();
 }
 
 TimeNs

@@ -47,6 +47,15 @@ class ExecutionEngine
     /** True once every node has completed. */
     bool finished() const { return completed_ == total_; }
 
+    /**
+     * Install a callback invoked *synchronously* from the completion
+     * of the last node (no event is scheduled, so the surrounding
+     * event stream is unchanged). Used by the cluster simulator to
+     * observe per-job finish times while co-executing many engines on
+     * one event queue.
+     */
+    void setOnFinished(EventCallback cb) { onFinished_ = std::move(cb); }
+
     /** Number of completed ET nodes. */
     size_t completedNodes() const { return completed_; }
     size_t totalNodes() const { return total_; }
@@ -83,6 +92,7 @@ class ExecutionEngine
 
     size_t total_ = 0;
     size_t completed_ = 0;
+    EventCallback onFinished_;
 };
 
 } // namespace astra

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cluster scenarios as sweep configurations: JSON parsing, the
+ * placement-policy axis applied at multiple paths (one knob moving
+ * every job), tenancy columns in the result store, and determinism
+ * of multi-threaded cluster batches.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/config.h"
+#include "common/logging.h"
+#include "sweep/result_store.h"
+
+namespace astra {
+namespace cluster {
+namespace {
+
+using sweep::BatchOptions;
+using sweep::BatchOutcome;
+using sweep::Metric;
+using sweep::ResultStore;
+using sweep::SweepSpec;
+
+const char *kClusterDoc = R"json({
+  "topology": "Ring(16,100)",
+  "backend": "flow",
+  "cluster": {
+    "admission": "fifo",
+    "jobs": [
+      {"name": "a", "size": 8,
+       "workload": {"kind": "collective", "collective": "all-reduce",
+                    "bytes": 4194304}},
+      {"name": "b", "size": 8,
+       "workload": {"kind": "collective", "collective": "all-reduce",
+                    "bytes": 4194304}}
+    ]
+  }
+})json";
+
+json::Value
+placementSweepDoc()
+{
+    json::Object spec;
+    spec["name"] = json::Value("cluster-placement");
+    spec["base"] = json::parse(kClusterDoc);
+    // ONE axis moving BOTH jobs' placement policies together: the
+    // multi-path form with array-index segments.
+    json::Object axis;
+    axis["paths"] = json::Value(json::Array{
+        json::Value("cluster.jobs.0.placement"),
+        json::Value("cluster.jobs.1.placement")});
+    axis["name"] = json::Value("placement");
+    axis["values"] = json::Value(json::Array{
+        json::Value("contiguous"), json::Value("spread")});
+    spec["axes"] =
+        json::Value(json::Array{json::Value(std::move(axis))});
+    return json::Value(std::move(spec));
+}
+
+TEST(ClusterConfig, ParsesScenario)
+{
+    json::Value doc = json::parse(kClusterDoc);
+    EXPECT_TRUE(isClusterDoc(doc));
+    ClusterScenario scenario = scenarioFromJson(doc);
+    EXPECT_EQ(scenario.topo.npus(), 16);
+    EXPECT_EQ(scenario.cfg.backend, NetworkBackendKind::Flow);
+    EXPECT_EQ(scenario.cfg.admission, AdmissionPolicy::Fifo);
+    ASSERT_EQ(scenario.jobs.size(), 2u);
+    EXPECT_EQ(scenario.jobs[0].name, "a");
+    EXPECT_EQ(scenario.jobs[0].size, 8);
+}
+
+TEST(ClusterConfig, CountReplicatesJobs)
+{
+    json::Value doc = json::parse(kClusterDoc);
+    sweep::applyOverride(doc, "cluster.jobs.0.count", json::Value(3));
+    ClusterScenario scenario = scenarioFromJson(doc);
+    ASSERT_EQ(scenario.jobs.size(), 4u);
+    EXPECT_EQ(scenario.jobs[0].name, "a#0");
+    EXPECT_EQ(scenario.jobs[2].name, "a#2");
+    EXPECT_EQ(scenario.jobs[3].name, "b");
+}
+
+TEST(ClusterConfig, SchemaErrors)
+{
+    EXPECT_THROW(scenarioFromJson(json::parse(R"({"topology": "x"})")),
+                 FatalError);
+    json::Value no_jobs = json::parse(
+        R"json({"topology": "Ring(4,100)", "cluster": {"jobs": []}})json");
+    EXPECT_THROW(scenarioFromJson(no_jobs), FatalError);
+    json::Value bad_admission = json::parse(kClusterDoc);
+    sweep::applyOverride(bad_admission, "cluster.admission",
+                         json::Value("magic"));
+    EXPECT_THROW(scenarioFromJson(bad_admission), FatalError);
+}
+
+TEST(ClusterSweep, PlacementAxisShowsInterferenceOnlyWhenStriped)
+{
+    SweepSpec spec = SweepSpec::fromJson(placementSweepDoc());
+    ASSERT_EQ(spec.configCount(), 2u);
+
+    BatchOutcome outcome = sweep::runBatch(spec, BatchOptions{});
+    ASSERT_EQ(outcome.failures, 0u);
+    ResultStore store =
+        ResultStore::fromBatch(spec, std::move(outcome));
+
+    double contiguous =
+        store.value(0, Metric::InterferenceSlowdown);
+    double spread = store.value(1, Metric::InterferenceSlowdown);
+    EXPECT_EQ(contiguous, 1.0);
+    EXPECT_GT(spread, 1.05);
+    // Tenancy columns appear in the tidy CSV.
+    std::string csv = store.toCsv();
+    EXPECT_NE(csv.find("queueing_delay_ns"), std::string::npos);
+    EXPECT_NE(csv.find("interference_slowdown"), std::string::npos);
+    // The spread row must also run longer end to end.
+    EXPECT_GT(store.value(1, Metric::TotalTime),
+              store.value(0, Metric::TotalTime));
+}
+
+TEST(ClusterSweep, DeterministicAcrossThreadCounts)
+{
+    SweepSpec spec = SweepSpec::fromJson(placementSweepDoc());
+    std::string baseline;
+    for (int threads : {1, 2, 8}) {
+        BatchOptions opts;
+        opts.threads = threads;
+        BatchOutcome outcome = sweep::runBatch(spec, opts);
+        ASSERT_EQ(outcome.failures, 0u) << threads << " threads";
+        ResultStore store =
+            ResultStore::fromBatch(spec, std::move(outcome));
+        std::string dump = store.toJson().dump() + store.toCsv();
+        if (baseline.empty())
+            baseline = dump;
+        else
+            EXPECT_EQ(dump, baseline) << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace cluster
+} // namespace astra

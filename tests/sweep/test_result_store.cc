@@ -113,7 +113,8 @@ TEST(ResultStore, CsvShapeAndQuoting)
               "index,label,config,x,total_ns,compute_ns,"
               "exposed_comm_ns,exposed_local_mem_ns,"
               "exposed_remote_mem_ns,idle_ns,events,messages,"
-              "max_link_util,status");
+              "max_link_util,queueing_delay_ns,"
+              "interference_slowdown,status");
     // RFC-4180: embedded quotes doubled, field quoted.
     EXPECT_NE(row.find("\"has,comma \"\"quoted\"\"\""),
               std::string::npos);

@@ -194,6 +194,59 @@ TEST(SweepSpec, ApplyOverride)
                  FatalError);
 }
 
+TEST(SweepSpec, ApplyOverrideArrayIndices)
+{
+    json::Value doc = json::parse(
+        R"({"jobs": [{"size": 4}, {"size": 8}]})");
+    applyOverride(doc, "jobs.1.size", json::Value(16));
+    EXPECT_EQ(doc.at("jobs").asArray()[1].at("size").asInt(), 16);
+    EXPECT_EQ(doc.at("jobs").asArray()[0].at("size").asInt(), 4);
+    // New keys inside an indexed element still work.
+    applyOverride(doc, "jobs.0.placement", json::Value("spread"));
+    EXPECT_EQ(doc.at("jobs").asArray()[0].at("placement").asString(),
+              "spread");
+    // Arrays are never grown implicitly.
+    EXPECT_THROW(applyOverride(doc, "jobs.2.size", json::Value(1)),
+                 FatalError);
+    // A numeric key against an object is a plain object key.
+    json::Value obj = json::parse(R"({"m": {}})");
+    applyOverride(obj, "m.0", json::Value("zero"));
+    EXPECT_EQ(obj.at("m").at("0").asString(), "zero");
+}
+
+TEST(SweepSpec, MultiPathAxisPatchesEveryPath)
+{
+    json::Value doc = json::parse(R"json({
+      "base": {"topology": "Ring(4,100)",
+               "system": {"a": 1, "b": 1},
+               "workload": {"kind": "collective", "bytes": 1024}},
+      "axes": [{"paths": ["system.a", "system.b"],
+                "name": "knob", "values": [10, 20]}]
+    })json");
+    SweepSpec spec = SweepSpec::fromJson(doc);
+    ASSERT_EQ(spec.configCount(), 2u);
+    EXPECT_EQ(spec.axisNames(), std::vector<std::string>{"knob"});
+
+    SweepConfig cfg = spec.config(1);
+    EXPECT_EQ(cfg.doc.at("system").at("a").asInt(), 20);
+    EXPECT_EQ(cfg.doc.at("system").at("b").asInt(), 20);
+    EXPECT_EQ(cfg.label, "knob=20");
+    // Both paths reach the hash.
+    EXPECT_NE(spec.config(0).hash, spec.config(1).hash);
+
+    // 'path' and 'paths' together (or neither) is a user error.
+    EXPECT_THROW(SweepSpec::fromJson(json::parse(R"json({
+        "base": {},
+        "axes": [{"path": "a", "paths": ["b"], "values": [1]}]
+      })json")),
+                 FatalError);
+    EXPECT_THROW(SweepSpec::fromJson(json::parse(R"json({
+        "base": {},
+        "axes": [{"paths": [], "values": [1]}]
+      })json")),
+                 FatalError);
+}
+
 TEST(SweepSpec, ConfigHashIdentityAndSensitivity)
 {
     SweepSpec spec = SweepSpec::fromJson(minimalSpec());
