@@ -13,6 +13,9 @@
 #  - bench_cluster_tenancy (multi-tenant cluster: single-job
 #    byte-identity, contiguous-vs-spread interference, queued job
 #    mixes under fifo/backfill) -> BENCH_cluster.json
+#  - bench_fault_resilience (zero-fault bit-identity, flow-vs-packet
+#    degraded-incast agreement, and the checkpoint-interval x
+#    NPU-MTBF goodput grid) -> BENCH_fault.json
 # Machine-readable results land at the repo root so numbers are
 # comparable across PRs (same machine assumed).
 #
@@ -45,6 +48,7 @@ OUT="${1:-BENCH_eventcore.json}"
 SWEEP_OUT="${2:-BENCH_sweep.json}"
 FLOW_OUT="${3:-BENCH_flow.json}"
 CLUSTER_OUT="${4:-BENCH_cluster.json}"
+FAULT_OUT="${5:-BENCH_fault.json}"
 
 if [[ "$CHECK" == 1 ]]; then
     CHECK_DIR="$BUILD_DIR/bench-check"
@@ -53,16 +57,19 @@ if [[ "$CHECK" == 1 ]]; then
     COMMITTED_SWEEP="$SWEEP_OUT"
     COMMITTED_FLOW="$FLOW_OUT"
     COMMITTED_CLUSTER="$CLUSTER_OUT"
+    COMMITTED_FAULT="$FAULT_OUT"
     OUT="$CHECK_DIR/BENCH_eventcore.json"
     SWEEP_OUT="$CHECK_DIR/BENCH_sweep.json"
     FLOW_OUT="$CHECK_DIR/BENCH_flow.json"
     CLUSTER_OUT="$CHECK_DIR/BENCH_cluster.json"
+    FAULT_OUT="$CHECK_DIR/BENCH_fault.json"
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_eventcore bench_speedup bench_sweep_throughput \
-               bench_flow_vs_packet bench_cluster_tenancy
+               bench_flow_vs_packet bench_cluster_tenancy \
+               bench_fault_resilience
 
 # run_bench BINARY OUT: repeat the bench BENCH_REPEAT times and merge
 # with per-scenario min wall time (see header comment).
@@ -83,6 +90,7 @@ run_bench bench_eventcore "$OUT"
 run_bench bench_sweep_throughput "$SWEEP_OUT"
 run_bench bench_flow_vs_packet "$FLOW_OUT"
 run_bench bench_cluster_tenancy "$CLUSTER_OUT"
+run_bench bench_fault_resilience "$FAULT_OUT"
 
 echo
 # One-shot speedup section only (skip the google-benchmark loops).
@@ -95,9 +103,10 @@ if [[ "$CHECK" == 1 ]]; then
         "$COMMITTED_EVENTCORE" "$OUT" \
         "$COMMITTED_SWEEP" "$SWEEP_OUT" \
         "$COMMITTED_FLOW" "$FLOW_OUT" \
-        "$COMMITTED_CLUSTER" "$CLUSTER_OUT"
+        "$COMMITTED_CLUSTER" "$CLUSTER_OUT" \
+        "$COMMITTED_FAULT" "$FAULT_OUT"
     echo "bench check passed (fresh results in $BUILD_DIR/bench-check)"
 else
-    echo "results written to $OUT, $SWEEP_OUT, $FLOW_OUT, and" \
-         "$CLUSTER_OUT"
+    echo "results written to $OUT, $SWEEP_OUT, $FLOW_OUT," \
+         "$CLUSTER_OUT, and $FAULT_OUT"
 fi

@@ -6,8 +6,10 @@ Compares a freshly produced bench JSON against the committed one:
  - Deterministic metrics must match EXACTLY: simulated results
    (`sim_time_ns`), event counts (`events`), the flow solver's
    work counters (`solves`, `flows_touched_total`,
-   `avg_component_frac`), and the cluster tenancy metrics
-   (`interference_slowdown`, `queueing_delay_ns`). Any drift means
+   `avg_component_frac`), the cluster tenancy metrics
+   (`interference_slowdown`, `queueing_delay_ns`), and the
+   failure-resilience metrics (`lost_work_ns`, `recovery_time_ns`,
+   `num_faults`, `goodput`). Any drift means
    the simulation's behaviour changed without the committed file
    being regenerated.
  - Wall-clock metrics (`wall_seconds`, `seconds`) may wobble with the
@@ -29,7 +31,8 @@ import sys
 
 EXACT_KEYS = {"sim_time_ns", "events", "solves", "flows_touched_total",
               "avg_component_frac", "interference_slowdown",
-              "queueing_delay_ns"}
+              "queueing_delay_ns", "lost_work_ns", "recovery_time_ns",
+              "num_faults", "goodput"}
 WALL_KEYS = {"wall_seconds", "seconds"}
 IGNORED_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
                 "speedup_8_over_1", "accuracy_gap", "bucket_width_ns",

@@ -1,5 +1,7 @@
 #include "astra/config.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "topology/notation.h"
 
@@ -124,12 +126,37 @@ simulatorConfigFromJson(const json::Value &system_doc,
     cfg.sys.serializeChunks =
         system_doc.getBool("serialize_chunks", false);
 
+    // Numeric sanity: NaN or non-positive rates would otherwise be
+    // silently accepted and surface as nonsense times (or infinite
+    // loops) deep in the simulation.
+    auto require_positive = [](double v, const char *key) {
+        ASTRA_USER_CHECK(std::isfinite(v) && v > 0.0,
+                         "system config: '%s' must be a positive "
+                         "finite number, got %g",
+                         key, v);
+    };
+    auto require_non_negative = [](double v, const char *key) {
+        ASTRA_USER_CHECK(std::isfinite(v) && v >= 0.0,
+                         "system config: '%s' must be a non-negative "
+                         "finite number, got %g",
+                         key, v);
+    };
+    require_positive(cfg.sys.compute.peakTflops, "peak_tflops");
+    require_positive(cfg.sys.compute.memBandwidth,
+                     "compute_mem_bw_gbps");
+    require_non_negative(cfg.sys.compute.kernelOverhead,
+                         "kernel_overhead_ns");
+
     if (system_doc.has("local_memory")) {
         const json::Value &m = system_doc.at("local_memory");
         cfg.localMem.bandwidth =
             m.getNumber("bandwidth_gbps", cfg.localMem.bandwidth);
         cfg.localMem.latency =
             m.getNumber("latency_ns", cfg.localMem.latency);
+        require_positive(cfg.localMem.bandwidth,
+                         "local_memory.bandwidth_gbps");
+        require_non_negative(cfg.localMem.latency,
+                             "local_memory.latency_ns");
     }
 
     if (system_doc.has("remote_memory")) {

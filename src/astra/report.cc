@@ -76,7 +76,16 @@ Report::summary() const
         static_cast<unsigned long long>(events),
         static_cast<unsigned long long>(messages), wallSeconds,
         100.0 * maxLinkUtilization());
-    return buf;
+    std::string out = buf;
+    if (numFaults > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "faults: %llu  lost work: %.3f ms  recovery: "
+                      "%.3f ms  goodput: %.3f\n",
+                      static_cast<unsigned long long>(numFaults),
+                      lostWorkNs / kMs, recoveryTimeNs / kMs, goodput);
+        out += buf;
+    }
+    return out;
 }
 
 namespace {
@@ -140,6 +149,10 @@ reportToJson(const Report &report)
     doc["queueing_delay_ns"] = json::Value(report.queueingDelayNs);
     doc["interference_slowdown"] =
         json::Value(report.interferenceSlowdown);
+    doc["lost_work_ns"] = json::Value(report.lostWorkNs);
+    doc["recovery_time_ns"] = json::Value(report.recoveryTimeNs);
+    doc["num_faults"] = json::Value(report.numFaults);
+    doc["goodput"] = json::Value(report.goodput);
     return json::Value(std::move(doc));
 }
 
@@ -177,6 +190,11 @@ reportFromJson(const json::Value &doc)
     report.queueingDelayNs = doc.getNumber("queueing_delay_ns", 0.0);
     report.interferenceSlowdown =
         doc.getNumber("interference_slowdown", 0.0);
+    report.lostWorkNs = doc.getNumber("lost_work_ns", 0.0);
+    report.recoveryTimeNs = doc.getNumber("recovery_time_ns", 0.0);
+    report.numFaults =
+        static_cast<uint64_t>(doc.getInt("num_faults", 0));
+    report.goodput = doc.getNumber("goodput", 0.0);
     return report;
 }
 

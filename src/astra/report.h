@@ -42,6 +42,20 @@ struct Report
      */
     double queueingDelayNs = 0.0;
     double interferenceSlowdown = 0.0;
+    /**
+     * Failure-resilience metrics (src/fault/, docs/fault.md).
+     * `numFaults` counts injected fault events; `lostWorkNs` sums the
+     * simulated time rolled back to the last checkpoint on NPU
+     * failures; `recoveryTimeNs` sums failure-to-restart gaps; and
+     * `goodput` is ideal fault-free time / achieved time (per job:
+     * its isolated fault-free duration over its achieved duration;
+     * aggregate: mean across finished jobs). 0 = "not measured" —
+     * goodput needs the cluster layer's isolated baselines.
+     */
+    TimeNs lostWorkNs = 0.0;
+    TimeNs recoveryTimeNs = 0.0;
+    uint64_t numFaults = 0;
+    double goodput = 0.0;
     double wallSeconds = 0.0;     //!< host wall-clock of the run.
 
     /** Exposed-communication share of total runtime [0, 1]. */

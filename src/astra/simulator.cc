@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "fault/injector.h"
 #include "workload/engine.h"
 
 namespace astra {
@@ -47,7 +48,28 @@ Simulator::run(const Workload &wl)
 
     auto host_start = std::chrono::steady_clock::now();
     ExecutionEngine engine(sys_, wl);
-    TimeNs finish = engine.run();
+    // With faults active, the queue can outlive the workload (a fault
+    // timeline's tail event may fire after the last node), so the
+    // finish time is captured at the last completion rather than read
+    // from the drained queue. Fault-free runs keep the original path —
+    // setOnFinished is synchronous and schedules nothing, so the event
+    // stream is bit-identical.
+    TimeNs finish_at = 0.0;
+    engine.setOnFinished([this, &finish_at] { finish_at = eq_.now(); });
+    bool faulted = cfg_.fault && !cfg_.fault->empty();
+    if (faulted) {
+        fault::FaultHooks hooks;
+        hooks.net = net_.get();
+        hooks.computeScale = [this](NpuId n, double s) {
+            sys_[static_cast<size_t>(n)]->setComputeScale(s);
+        };
+        hooks.active = [&engine] { return !engine.finished(); };
+        injector_ = std::make_unique<fault::FaultInjector>(
+            eq_, topo_, *cfg_.fault, std::move(hooks));
+        injector_->start();
+    }
+    engine.run();
+    TimeNs finish = faulted ? finish_at : eq_.now();
     auto host_end = std::chrono::steady_clock::now();
 
     Report report;
@@ -66,6 +88,7 @@ Simulator::run(const Workload &wl)
     report.busyTimePerDim = net_->stats().busyTimePerDim;
     report.linksPerDim = net_->stats().linksPerDim;
     report.maxLinkBusyNs = net_->stats().maxLinkBusyNs;
+    report.numFaults = injector_ ? injector_->firedCount() : 0;
     report.wallSeconds =
         std::chrono::duration<double>(host_end - host_start).count();
     return report;

@@ -16,6 +16,8 @@
 
 #include "astra/report.h"
 #include "collective/engine.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
 #include "memory/memory_model.h"
 #include "network/network_api.h"
 #include "system/sys.h"
@@ -33,6 +35,14 @@ struct SimulatorConfig
     /** At most one remote tier may be set. */
     std::optional<RemoteMemoryConfig> pooledMem;
     std::optional<ZeroInfinityConfig> zeroInfinityMem;
+    /**
+     * Optional fault scenario (docs/fault.md). A single-workload
+     * simulation supports link faults and stragglers; NPU fail/
+     * recover events need the cluster layer's checkpoint/restart
+     * machinery and are rejected here. Absent or empty scenarios
+     * leave every code path bit-identical to a fault-free build.
+     */
+    std::optional<fault::FaultConfig> fault;
 };
 
 /** See file comment. */
@@ -65,6 +75,7 @@ class Simulator
     std::unique_ptr<CollectiveEngine> coll_;
     std::unique_ptr<MemoryModel> mem_;
     std::vector<std::unique_ptr<Sys>> sys_;
+    std::unique_ptr<fault::FaultInjector> injector_;
     bool ran_ = false;
 };
 

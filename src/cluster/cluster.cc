@@ -59,6 +59,11 @@ parseAdmissionPolicy(const std::string &name)
  */
 struct ClusterSimulator::JobStack
 {
+    /** By-value placement copy: each incarnation's rank view
+     *  references its own stack's placement, so ghost traffic of an
+     *  abandoned incarnation stays correctly addressed even after
+     *  the job is re-placed elsewhere (requeue restart). */
+    JobPlacement placement;
     std::unique_ptr<RankViewNetwork> view;
     std::unique_ptr<CollectiveEngine> coll;
     std::unique_ptr<MemoryModel> mem;
@@ -81,12 +86,35 @@ struct ClusterSimulator::JobRuntime
     Workload wl;
 
     std::optional<JobPlacement> placement;
-    JobStack stack;
+    std::unique_ptr<JobStack> stack;
+    /**
+     * Stacks of abandoned incarnations (NPU failures). Kept alive
+     * until the ClusterSimulator dies: their ghost flows/messages
+     * still reference the cancelled engine's callbacks and the
+     * view's busy accumulators. unique_ptr (not by-value moves)
+     * keeps every borrowed address stable.
+     */
+    std::vector<std::unique_ptr<JobStack>> graveyard;
 
     bool done = false;
+    bool running = false;
     TimeNs admitted = 0.0;
     TimeNs finished = 0.0;
     TimeNs isolated = 0.0;
+
+    // Failure-resilience state (docs/fault.md).
+    fault::CheckpointPolicy ckpt;
+    int incarnation = 0;          //!< bumped on every NPU failure.
+    int restarts = 0;             //!< incarnations actually launched.
+    uint64_t faults = 0;          //!< NPU failures that hit this job.
+    std::vector<uint8_t> snapshot; //!< last checkpoint (done flags).
+    TimeNs lastSnapshot = 0.0;    //!< checkpoint time (or launch).
+    TimeNs lostWork = 0.0;        //!< rolled-back simulated time.
+    TimeNs recovery = 0.0;        //!< failure-to-restart gaps.
+    TimeNs failedAt = 0.0;        //!< time of the last failure.
+    bool waitingRecovery = false; //!< restart-in-place pending.
+    bool failed = false;          //!< permanent failure (see error).
+    std::string error;
 
     // Fabric snapshots bracketing the residency (per-job report).
     uint64_t eventsAtAdmit = 0;
@@ -103,7 +131,8 @@ struct ClusterSimulator::JobRuntime
 
 ClusterSimulator::ClusterSimulator(Topology topo, ClusterConfig cfg)
     : topo_(std::move(topo)), cfg_(std::move(cfg)),
-      net_(makeNetwork(cfg_.backend, eq_, topo_)), placer_(topo_)
+      net_(makeNetwork(cfg_.backend, eq_, topo_)), placer_(topo_),
+      npuComputeScale_(static_cast<size_t>(topo_.npus()), 1.0)
 {
 }
 
@@ -163,20 +192,29 @@ ClusterSimulator::addJob(JobSpec spec)
     job->id = static_cast<int>(jobs_.size());
     if (job->spec.name.empty())
         job->spec.name = "job" + std::to_string(job->id);
+    job->ckpt = job->spec.checkpoint ? *job->spec.checkpoint
+                                     : cfg_.defaultCheckpoint;
     jobs_.push_back(std::move(job));
     return jobs_.back()->id;
 }
 
 void
 ClusterSimulator::buildStack(JobRuntime &job, NetworkApi &fabric,
-                             JobStack &stack)
+                             JobStack &stack, bool shared)
 {
     // Per-job tag namespace: NPUs are reused over time, so a
     // finished tenant's unmatched deliveries must never satisfy a
     // successor's receives on the same global ids (rank_view.h).
+    // Restarted jobs additionally salt with the incarnation: the
+    // ghost traffic of an abandoned incarnation must never match the
+    // replacement's receives either. Incarnation 0 keeps the
+    // original salt bit-exactly.
     uint64_t salt = (static_cast<uint64_t>(job.id) + 1) << 48;
+    if (shared)
+        salt ^= static_cast<uint64_t>(job.incarnation & 0xff) << 40;
+    stack.placement = *job.placement;
     stack.view = std::make_unique<RankViewNetwork>(
-        fabric, job.jobTopo, *job.placement, salt);
+        fabric, job.jobTopo, stack.placement, salt);
     stack.coll = std::make_unique<CollectiveEngine>(*stack.view);
     stack.mem = makeMemory(job.spec.cfg);
     stack.sys.reserve(static_cast<size_t>(job.jobTopo.npus()));
@@ -185,8 +223,48 @@ ClusterSimulator::buildStack(JobRuntime &job, NetworkApi &fabric,
         stack.sys.push_back(std::make_unique<Sys>(
             n, job.spec.cfg.sys, *stack.coll, *stack.mem));
         stack.sys.back()->tracker().alignStart(now);
+        if (shared) {
+            // Straggler faults outlive job turnover: a new tenant on
+            // a slowed NPU inherits its compute scale.
+            double scale = npuComputeScale_[static_cast<size_t>(
+                stack.placement.globalOf[static_cast<size_t>(n)])];
+            if (scale != 1.0)
+                stack.sys.back()->setComputeScale(scale);
+        }
     }
-    stack.engine = std::make_unique<ExecutionEngine>(stack.sys, job.wl);
+    const std::vector<uint8_t> *resume =
+        shared && job.incarnation > 0 && !job.snapshot.empty()
+            ? &job.snapshot
+            : nullptr;
+    stack.engine =
+        std::make_unique<ExecutionEngine>(stack.sys, job.wl, resume);
+}
+
+void
+ClusterSimulator::launch(JobRuntime &job)
+{
+    job.stack = std::make_unique<JobStack>();
+    buildStack(job, *net_, *job.stack, /*shared=*/true);
+    size_t index = static_cast<size_t>(job.id);
+    job.stack->engine->setOnFinished(
+        [this, index] { onJobFinished(index); });
+
+    if (job.incarnation == 0) {
+        job.admitted = eq_.now();
+        job.eventsAtAdmit = eq_.executedEvents();
+        job.busyAtAdmit = net_->stats().busyTimePerDim;
+    } else {
+        // Relaunch after an NPU failure: the original admission
+        // metrics stand (duration spans all incarnations); account
+        // the failure-to-restart gap instead.
+        ++job.restarts;
+        job.recovery += eq_.now() - job.failedAt;
+    }
+    job.lastSnapshot = eq_.now();
+    job.running = true;
+    ++runningJobs_;
+    job.stack->engine->start();
+    scheduleCheckpoint(index);
 }
 
 bool
@@ -199,17 +277,7 @@ ClusterSimulator::admit(JobRuntime &job)
     if (!placement)
         return false;
     job.placement = std::move(*placement);
-
-    buildStack(job, *net_, job.stack);
-    size_t index = static_cast<size_t>(job.id);
-    job.stack.engine->setOnFinished(
-        [this, index] { onJobFinished(index); });
-
-    job.admitted = eq_.now();
-    job.eventsAtAdmit = eq_.executedEvents();
-    job.busyAtAdmit = net_->stats().busyTimePerDim;
-    ++runningJobs_;
-    job.stack.engine->start();
+    launch(job);
     return true;
 }
 
@@ -234,14 +302,166 @@ ClusterSimulator::onJobFinished(size_t index)
     JobRuntime &job = *jobs_[index];
     ASTRA_ASSERT(!job.done, "job finished twice");
     job.done = true;
+    job.running = false;
     job.finished = eq_.now();
+    lastFinish_ = std::max(lastFinish_, job.finished);
     job.eventsAtFinish = eq_.executedEvents();
     job.busyAtFinish = net_->stats().busyTimePerDim;
     job.maxLinkAtFinish = net_->stats().maxLinkBusyNs;
-    for (auto &sys : job.stack.sys)
+    for (auto &sys : job.stack->sys)
         sys->tracker().finish(job.finished);
     placer_.release(*job.placement);
     --runningJobs_;
+    tryAdmit();
+}
+
+void
+ClusterSimulator::scheduleCheckpoint(size_t index)
+{
+    JobRuntime &job = *jobs_[index];
+    if (job.ckpt.intervalNs <= 0.0)
+        return;
+    // Chained timers with an incarnation guard: at most one stale
+    // timer per (in)carnation fires as a no-op after the job ends
+    // (the makespan is read from lastFinish_, not the drained clock).
+    int incarnation = job.incarnation;
+    eq_.schedule(job.ckpt.intervalNs, [this, index, incarnation] {
+        JobRuntime &job = *jobs_[index];
+        if (!job.running || job.incarnation != incarnation)
+            return;
+        // A checkpoint is a consistent cut of completed nodes:
+        // in-flight work at the cut re-executes after a rollback.
+        job.snapshot = job.stack->engine->snapshotDone();
+        job.lastSnapshot = eq_.now();
+        for (auto &sys : job.stack->sys)
+            sys->stallCompute(job.ckpt.costNs);
+        scheduleCheckpoint(index);
+    });
+}
+
+ClusterSimulator::JobRuntime *
+ClusterSimulator::residentJob(NpuId global)
+{
+    for (auto &job : jobs_) {
+        if (!job->running || !job->placement)
+            continue;
+        for (NpuId id : job->placement->globalOf)
+            if (id == global)
+                return job.get();
+    }
+    return nullptr;
+}
+
+bool
+ClusterSimulator::allSettled() const
+{
+    for (const auto &job : jobs_)
+        if (!job->done && !job->failed)
+            return false;
+    return true;
+}
+
+void
+ClusterSimulator::onStraggler(NpuId global, double scale)
+{
+    npuComputeScale_[static_cast<size_t>(global)] = scale;
+    if (JobRuntime *job = residentJob(global)) {
+        const std::vector<NpuId> &ids = job->stack->placement.globalOf;
+        for (size_t l = 0; l < ids.size(); ++l)
+            if (ids[l] == global)
+                job->stack->sys[l]->setComputeScale(scale);
+    }
+}
+
+void
+ClusterSimulator::onNpuFail(NpuId global)
+{
+    placer_.markFaulted(global, true);
+    // Fail-stop at the NIC: every egress link of the failed NPU goes
+    // down. Incoming links stay up — traffic already heading to the
+    // dead NPU still occupies the fabric until delivered (and is
+    // harmless: the failed incarnation's engine is cancelled).
+    net_->setLinkUp(global, fault::kAllFaultPeers, fault::kAllFaultDims,
+                    false);
+    if (JobRuntime *job = residentJob(global))
+        failJob(*job);
+}
+
+void
+ClusterSimulator::failJob(JobRuntime &job)
+{
+    ++job.faults;
+    ++job.incarnation;
+    job.lostWork += eq_.now() - job.lastSnapshot;
+    job.failedAt = eq_.now();
+    job.running = false;
+    job.stack->engine->cancel();
+    // Quiesce the collective engine too: messages already in the
+    // fabric drain (and are dropped on delivery), but the ghost
+    // incarnation must not keep pumping chunk pipelines — a large
+    // in-flight collective would otherwise run to completion and
+    // contend with the restarted incarnation for the rest of the run.
+    job.stack->coll->cancelAll();
+    // The abandoned stack moves to the graveyard (see JobRuntime):
+    // ghost traffic of this incarnation still references it.
+    job.graveyard.push_back(std::move(job.stack));
+    --runningJobs_;
+    size_t index = static_cast<size_t>(job.id);
+    if (job.ckpt.requeue) {
+        // Restart on a fresh placement: give the NPUs back and
+        // re-enter the admission queue after the restart delay.
+        placer_.release(*job.placement);
+        job.placement.reset();
+        eq_.schedule(job.ckpt.restartDelayNs, [this, index] {
+            enqueuePending(index);
+            tryAdmit();
+        });
+        tryAdmit(); // the freed healthy NPUs may fit a pending job.
+    } else {
+        // Restart in place once every placement NPU is healthy
+        // again (driven by onNpuRecover). The placement is retained
+        // so no other tenant can take the surviving NPUs.
+        job.waitingRecovery = true;
+    }
+}
+
+void
+ClusterSimulator::onNpuRecover(NpuId global)
+{
+    placer_.markFaulted(global, false);
+    net_->setLinkUp(global, fault::kAllFaultPeers, fault::kAllFaultDims,
+                    true);
+    for (auto &jp : jobs_) {
+        JobRuntime &job = *jp;
+        if (!job.waitingRecovery)
+            continue;
+        bool healthy = true;
+        for (NpuId id : job.placement->globalOf)
+            if (placer_.isFaulted(id)) {
+                healthy = false;
+                break;
+            }
+        if (!healthy)
+            continue;
+        job.waitingRecovery = false;
+        size_t index = static_cast<size_t>(job.id);
+        int incarnation = job.incarnation;
+        eq_.schedule(job.ckpt.restartDelayNs,
+                     [this, index, incarnation] {
+            JobRuntime &job = *jobs_[index];
+            if (job.running || job.done ||
+                job.incarnation != incarnation)
+                return; // superseded by a newer failure/restart.
+            for (NpuId id : job.placement->globalOf)
+                if (placer_.isFaulted(id)) {
+                    // A fresh failure hit during the restart delay;
+                    // the next recovery re-arms us.
+                    job.waitingRecovery = true;
+                    return;
+                }
+            launch(job);
+        });
+    }
     tryAdmit();
 }
 
@@ -257,7 +477,7 @@ ClusterSimulator::runIsolated(JobRuntime &job)
     std::unique_ptr<NetworkApi> net = makeNetwork(cfg_.backend, eq,
                                                   topo_);
     JobStack stack;
-    buildStack(job, *net, stack);
+    buildStack(job, *net, stack, /*shared=*/false);
     TimeNs finish = 0.0;
     stack.engine->setOnFinished([&finish, &eq] { finish = eq.now(); });
     stack.engine->start();
@@ -275,8 +495,38 @@ ClusterSimulator::finalizeJob(JobRuntime &job)
     r.id = job.id;
     r.name = job.spec.name;
     r.size = job.jobTopo.npus();
-    r.placement = job.placement->describe();
+    r.placement = job.placement ? job.placement->describe() : "-";
     r.arrival = job.spec.arrival;
+    r.numFaults = job.faults;
+    r.lostWork = job.lostWork;
+    r.recovery = job.recovery;
+    r.restarts = job.restarts;
+    r.failed = job.failed;
+    r.error = job.error;
+
+    // Own-traffic busy attribution, summed over every incarnation
+    // that put traffic on the shared fabric (the isolated baseline
+    // runs on its own fabric and is deliberately excluded).
+    r.ownBusyPerDim.assign(static_cast<size_t>(topo_.numDims()), 0.0);
+    auto accumulate = [&r](const JobStack *stack) {
+        if (stack == nullptr || !stack->view)
+            return;
+        const std::vector<double> &own = stack->view->ownBusy();
+        for (size_t d = 0; d < own.size(); ++d)
+            r.ownBusyPerDim[d] += own[d];
+    };
+    for (const auto &ghost : job.graveyard)
+        accumulate(ghost.get());
+    accumulate(job.stack.get());
+
+    Report &rep = r.report;
+    rep.workload = job.wl.name;
+    rep.numFaults = r.numFaults;
+    rep.lostWorkNs = r.lostWork;
+    rep.recoveryTimeNs = r.recovery;
+    if (job.failed)
+        return r; // never finished: timing/goodput fields stay 0.
+
     r.admitted = job.admitted;
     r.finished = job.finished;
     r.queueingDelay = job.admitted - job.spec.arrival;
@@ -284,19 +534,30 @@ ClusterSimulator::finalizeJob(JobRuntime &job)
     r.isolatedDuration = job.isolated;
     r.interferenceSlowdown =
         job.isolated > 0.0 ? r.duration / job.isolated : 0.0;
+    r.goodput = job.isolated > 0.0 && r.duration > 0.0
+                    ? job.isolated / r.duration
+                    : 0.0;
 
-    Report &rep = r.report;
-    rep.workload = job.wl.name;
     rep.totalTime = r.duration;
-    rep.perNpu.reserve(job.stack.sys.size());
-    for (auto &sys : job.stack.sys) {
+    rep.perNpu.reserve(job.stack->sys.size());
+    for (auto &sys : job.stack->sys) {
         rep.perNpu.push_back(breakdownOf(sys->tracker()));
         rep.average += rep.perNpu.back();
     }
-    rep.average = rep.average.scaled(1.0 / double(job.stack.sys.size()));
+    rep.average =
+        rep.average.scaled(1.0 / double(job.stack->sys.size()));
     rep.events = job.eventsAtFinish - job.eventsAtAdmit;
-    rep.messages = job.stack.view->stats().messages;
-    rep.bytesPerDim = job.stack.view->stats().bytesPerDim;
+    // Traffic counts span every incarnation (re-executed work after a
+    // rollback is real fabric traffic); breakdowns cover the final
+    // incarnation only (its trackers run [relaunch, finished]).
+    rep.messages = job.stack->view->stats().messages;
+    rep.bytesPerDim = job.stack->view->stats().bytesPerDim;
+    for (const auto &ghost : job.graveyard) {
+        rep.messages += ghost->view->stats().messages;
+        const std::vector<double> &gb = ghost->view->stats().bytesPerDim;
+        for (size_t d = 0; d < gb.size(); ++d)
+            rep.bytesPerDim[d] += gb[d];
+    }
     rep.busyTimePerDim = job.busyAtFinish;
     for (size_t d = 0; d < rep.busyTimePerDim.size(); ++d)
         rep.busyTimePerDim[d] -= job.busyAtAdmit[d];
@@ -304,7 +565,24 @@ ClusterSimulator::finalizeJob(JobRuntime &job)
     rep.maxLinkBusyNs = job.maxLinkAtFinish;
     rep.queueingDelayNs = r.queueingDelay;
     rep.interferenceSlowdown = r.interferenceSlowdown;
+    rep.goodput = r.goodput;
     return r;
+}
+
+void
+ClusterSimulator::enqueuePending(size_t id)
+{
+    auto pos = std::find_if(
+        pending_.begin(), pending_.end(), [&](size_t other) {
+            const JobSpec &a = jobs_[id]->spec;
+            const JobSpec &b = jobs_[other]->spec;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            if (a.arrival != b.arrival)
+                return a.arrival < b.arrival;
+            return id < other;
+        });
+    pending_.insert(pos, id);
 }
 
 ClusterReport
@@ -314,6 +592,24 @@ ClusterSimulator::run()
                             "fresh instance per run");
     ASTRA_USER_CHECK(!jobs_.empty(), "cluster has no jobs");
     ran_ = true;
+
+    faultActive_ = cfg_.fault && !cfg_.fault->empty();
+    bool timed_tail = faultActive_;
+    for (const auto &job : jobs_)
+        timed_tail = timed_tail || job->ckpt.intervalNs > 0.0;
+    if (faultActive_) {
+        fault::FaultHooks hooks;
+        hooks.net = net_.get();
+        hooks.computeScale = [this](NpuId g, double s) {
+            onStraggler(g, s);
+        };
+        hooks.npuFail = [this](NpuId g) { onNpuFail(g); };
+        hooks.npuRecover = [this](NpuId g) { onNpuRecover(g); };
+        hooks.active = [this] { return !allSettled(); };
+        injector_ = std::make_unique<fault::FaultInjector>(
+            eq_, topo_, *cfg_.fault, std::move(hooks));
+        injector_->start();
+    }
 
     // Arrival order (time, then submission order). Admission order
     // within the pending queue is (priority desc, arrival, id).
@@ -325,20 +621,6 @@ ClusterSimulator::run()
                                 jobs_[b]->spec.arrival;
                      });
 
-    auto enqueue = [&](size_t id) {
-        auto pos = std::find_if(
-            pending_.begin(), pending_.end(), [&](size_t other) {
-                const JobSpec &a = jobs_[id]->spec;
-                const JobSpec &b = jobs_[other]->spec;
-                if (a.priority != b.priority)
-                    return a.priority > b.priority;
-                if (a.arrival != b.arrival)
-                    return a.arrival < b.arrival;
-                return id < other;
-            });
-        pending_.insert(pos, id);
-    };
-
     size_t next = 0;
     while (next < order.size()) {
         TimeNs t = jobs_[order[next]]->spec.arrival;
@@ -349,41 +631,84 @@ ClusterSimulator::run()
         eq_.runUntil(t);
         while (next < order.size() &&
                jobs_[order[next]]->spec.arrival == t)
-            enqueue(order[next++]);
+            enqueuePending(order[next++]);
         tryAdmit();
     }
     eq_.run();
 
     // Safety net: admission progress is normally driven by job
     // completions; if jobs are still pending on a drained queue,
-    // either admit them now or report the stall as a user error.
+    // either admit them now or report the stall. Under a fault
+    // scenario a stranded job (its NPUs never recover, or a restart
+    // can never be re-placed) is a legitimate *per-job* outcome, so
+    // it fails in isolation instead of aborting the cluster run.
     while (!pending_.empty()) {
         size_t before = pending_.size();
         tryAdmit();
-        ASTRA_USER_CHECK(
-            pending_.size() < before,
-            "cluster admission stalled: job '%s' cannot be placed "
-            "(free NPUs: %d of %d)",
-            jobs_[pending_.front()]->spec.name.c_str(),
-            placer_.freeCount(), placer_.totalCount());
+        if (pending_.size() >= before) {
+            if (!faultActive_) {
+                ASTRA_USER_CHECK(
+                    false,
+                    "cluster admission stalled: job '%s' cannot be "
+                    "placed (free NPUs: %d of %d)",
+                    jobs_[pending_.front()]->spec.name.c_str(),
+                    placer_.freeCount(), placer_.totalCount());
+            }
+            char buf[160];
+            for (size_t id : pending_) {
+                JobRuntime &job = *jobs_[id];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "cannot be placed at drained time %.0f ns "
+                    "(free NPUs: %d of %d, %d faulted)",
+                    eq_.now(), placer_.freeCount(),
+                    placer_.totalCount(), placer_.faultedCount());
+                job.failed = true;
+                job.error = buf;
+            }
+            pending_.clear();
+            break;
+        }
         eq_.run();
     }
 
     ClusterReport report;
-    report.makespan = eq_.now();
+    // With fault events or checkpoint timers in flight, the drained
+    // queue's clock can sit on a stale no-op tail event past the
+    // last completion; the makespan is the last job finish then.
+    report.makespan = timed_tail ? lastFinish_ : eq_.now();
     report.totalEvents = eq_.executedEvents();
     report.totalMessages = net_->stats().messages;
 
     for (auto &job : jobs_) {
-        ASTRA_USER_CHECK(job->done,
-                         "job '%s' deadlocked: %zu of %zu nodes "
-                         "completed (check send/recv pairing and "
-                         "collective group membership)",
-                         job->spec.name.c_str(),
-                         job->stack.engine ? job->stack.engine->completedNodes()
-                                          : 0,
-                         job->wl.totalNodes());
-        if (cfg_.isolatedBaselines)
+        if (!job->done && !job->failed) {
+            // Watchdog (drained-queue diagnosis): report how far the
+            // job got and every dangling send/recv on the fabric.
+            size_t completed =
+                job->stack && job->stack->engine
+                    ? job->stack->engine->completedNodes()
+                    : 0;
+            std::string diag = net_->danglingSummary();
+            if (faultActive_) {
+                char buf[192];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "stranded at time %.0f ns: %zu of %zu nodes "
+                    "completed; ",
+                    eq_.now(), completed, job->wl.totalNodes());
+                job->failed = true;
+                job->error = buf + diag;
+            } else {
+                ASTRA_USER_CHECK(
+                    false,
+                    "job '%s' deadlocked: %zu of %zu nodes completed "
+                    "(check send/recv pairing and collective group "
+                    "membership); %s",
+                    job->spec.name.c_str(), completed,
+                    job->wl.totalNodes(), diag.c_str());
+            }
+        }
+        if (cfg_.isolatedBaselines && !job->failed)
             job->isolated = runIsolated(*job);
         report.jobs.push_back(finalizeJob(*job));
     }
@@ -398,6 +723,8 @@ ClusterSimulator::run()
     agg.perNpu.assign(static_cast<size_t>(topo_.npus()),
                       RuntimeBreakdown{});
     for (const JobResult &jr : report.jobs) {
+        if (jr.failed)
+            continue; // no residency interval to attribute.
         const JobPlacement &pl = *jobs_[static_cast<size_t>(jr.id)]
                                       ->placement;
         for (size_t l = 0; l < jr.report.perNpu.size(); ++l)
@@ -416,7 +743,30 @@ ClusterSimulator::run()
     agg.queueingDelayNs = report.meanQueueingDelay();
     agg.interferenceSlowdown =
         cfg_.isolatedBaselines ? report.meanInterferenceSlowdown() : 0.0;
+    // Failure-resilience aggregates: injected-event count from the
+    // injector (all fault kinds), lost work / recovery summed over
+    // jobs, goodput averaged over the jobs that measured one.
+    agg.numFaults = injector_ ? injector_->firedCount() : 0;
+    for (const JobResult &jr : report.jobs) {
+        agg.lostWorkNs += jr.lostWork;
+        agg.recoveryTimeNs += jr.recovery;
+    }
+    agg.goodput = report.meanGoodput();
     return report;
+}
+
+double
+ClusterReport::meanGoodput() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const JobResult &j : jobs) {
+        if (j.goodput > 0.0) {
+            sum += j.goodput;
+            ++n;
+        }
+    }
+    return n > 0 ? sum / double(n) : 0.0;
 }
 
 double
@@ -465,7 +815,24 @@ ClusterReport::summary() const
                   meanQueueingDelay() / kMs, meanInterferenceSlowdown(),
                   maxInterferenceSlowdown());
     std::string out = buf;
+    uint64_t total_faults = 0;
+    for (const JobResult &j : jobs)
+        total_faults += j.numFaults;
+    if (total_faults > 0 || meanGoodput() > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "job NPU faults: %llu, mean goodput %.3f\n",
+                      static_cast<unsigned long long>(total_faults),
+                      meanGoodput());
+        out += buf;
+    }
     for (const JobResult &j : jobs) {
+        if (j.failed) {
+            std::snprintf(buf, sizeof(buf),
+                          "  [%d] %-12s %4d NPUs FAILED: %s\n", j.id,
+                          j.name.c_str(), j.size, j.error.c_str());
+            out += buf;
+            continue;
+        }
         std::snprintf(
             buf, sizeof(buf),
             "  [%d] %-12s %4d NPUs %-20s arrive %.3f ms, wait %.3f "
@@ -488,6 +855,7 @@ ClusterReport::toJson() const
     doc["mean_queueing_delay_ns"] = json::Value(meanQueueingDelay());
     doc["mean_interference_slowdown"] =
         json::Value(meanInterferenceSlowdown());
+    doc["mean_goodput"] = json::Value(meanGoodput());
     doc["aggregate"] = reportToJson(aggregate);
     json::Array rows;
     rows.reserve(jobs.size());
@@ -505,6 +873,19 @@ ClusterReport::toJson() const
         row["isolated_duration_ns"] = json::Value(j.isolatedDuration);
         row["interference_slowdown"] =
             json::Value(j.interferenceSlowdown);
+        row["num_faults"] = json::Value(j.numFaults);
+        row["lost_work_ns"] = json::Value(j.lostWork);
+        row["recovery_time_ns"] = json::Value(j.recovery);
+        row["restarts"] = json::Value(j.restarts);
+        row["goodput"] = json::Value(j.goodput);
+        row["failed"] = json::Value(j.failed);
+        if (j.failed)
+            row["error"] = json::Value(j.error);
+        json::Array own;
+        own.reserve(j.ownBusyPerDim.size());
+        for (double b : j.ownBusyPerDim)
+            own.push_back(json::Value(b));
+        row["own_busy_per_dim_ns"] = json::Value(std::move(own));
         row["report"] = reportToJson(j.report);
         rows.push_back(json::Value(std::move(row)));
     }
@@ -518,8 +899,10 @@ ClusterReport::jobsCsv() const
     std::string out =
         "id,name,size,placement,arrival_ns,admitted_ns,finished_ns,"
         "queueing_delay_ns,duration_ns,isolated_duration_ns,"
-        "interference_slowdown\n";
-    char buf[192];
+        "interference_slowdown,num_faults,lost_work_ns,"
+        "recovery_time_ns,restarts,goodput,own_busy_per_dim_ns,"
+        "status\n";
+    char buf[256];
     for (const JobResult &j : jobs) {
         std::snprintf(buf, sizeof(buf), "%d,", j.id);
         out += buf;
@@ -528,11 +911,24 @@ ClusterReport::jobsCsv() const
         out += buf;
         out += csvField(j.placement);
         std::snprintf(buf, sizeof(buf),
-                      ",%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.6f\n",
+                      ",%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.6f,%llu,"
+                      "%.3f,%.3f,%d,%.6f,",
                       j.arrival, j.admitted, j.finished,
                       j.queueingDelay, j.duration, j.isolatedDuration,
-                      j.interferenceSlowdown);
+                      j.interferenceSlowdown,
+                      static_cast<unsigned long long>(j.numFaults),
+                      j.lostWork, j.recovery, j.restarts, j.goodput);
         out += buf;
+        // Per-dim own-busy as a semicolon-joined list (one CSV cell).
+        std::string own;
+        for (size_t d = 0; d < j.ownBusyPerDim.size(); ++d) {
+            std::snprintf(buf, sizeof(buf), "%s%.3f",
+                          d > 0 ? ";" : "", j.ownBusyPerDim[d]);
+            own += buf;
+        }
+        out += csvField(own) + ',';
+        out += j.failed ? "failed" : "ok";
+        out += '\n';
     }
     return out;
 }

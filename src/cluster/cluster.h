@@ -59,6 +59,20 @@ struct ClusterConfig
      * simulation per job; disable for pure capacity studies.
      */
     bool isolatedBaselines = true;
+    /**
+     * Optional fault scenario injected into the shared fabric
+     * (docs/fault.md). The cluster layer supports the full fault
+     * model including NPU fail/recover: a failed NPU takes its
+     * resident job down (rollback to last checkpoint, restart per
+     * the job's CheckpointPolicy) and is excluded from placement
+     * until it recovers. Absent or empty scenarios leave every code
+     * path bit-identical to a fault-free build.
+     */
+    std::optional<fault::FaultConfig> fault;
+    /** Checkpoint policy for jobs that don't set their own. The
+     *  default (zeroed) policy means "no checkpointing": a failed
+     *  job re-executes from the beginning. */
+    fault::CheckpointPolicy defaultCheckpoint;
 };
 
 /** One job to run on the cluster. */
@@ -86,6 +100,9 @@ struct JobSpec
      */
     std::optional<Workload> workload;
     json::Value workloadDoc;
+    /** Per-job checkpoint/restart policy; falls back to
+     *  ClusterConfig::defaultCheckpoint when unset. */
+    std::optional<fault::CheckpointPolicy> checkpoint;
 };
 
 /** Per-job outcome. */
@@ -103,6 +120,29 @@ struct JobResult
     TimeNs isolatedDuration = 0.0;  //!< 0 when baselines disabled.
     /** duration / isolatedDuration (0 when baselines disabled). */
     double interferenceSlowdown = 0.0;
+    /**
+     * Failure-resilience outcome (docs/fault.md). `numFaults` counts
+     * the NPU failures that hit this job; `lostWork` sums the
+     * simulated time rolled back to the last checkpoint on each
+     * failure; `recovery` sums failure-to-restart gaps; `restarts`
+     * counts re-executions (checkpoint-resume or from scratch);
+     * `goodput` = isolatedDuration / duration — the fraction of the
+     * job's wall time that was ideal fault-free progress (0 when
+     * baselines are disabled). A `failed` job never finished (its
+     * NPUs never recovered, it could not be re-placed, or its
+     * workload deadlocked); `error` carries the diagnostic and the
+     * timing/goodput fields are left 0.
+     */
+    uint64_t numFaults = 0;
+    TimeNs lostWork = 0.0;
+    TimeNs recovery = 0.0;
+    int restarts = 0;
+    double goodput = 0.0;
+    bool failed = false;
+    std::string error;
+    /** This job's own link-busy ns per cluster dimension (separable
+     *  per-tenant attribution; see RankViewNetwork::ownBusy). */
+    std::vector<double> ownBusyPerDim;
     /**
      * Per-job report: breakdowns over [admitted, finished] per local
      * NPU; events = cluster events executed during the residency;
@@ -132,6 +172,9 @@ struct ClusterReport
     double meanQueueingDelay() const;
     double meanInterferenceSlowdown() const;
     double maxInterferenceSlowdown() const;
+    /** Mean goodput over the jobs that measured one (finished with
+     *  isolated baselines enabled); 0 when none did. */
+    double meanGoodput() const;
 
     std::string summary() const;
     json::Value toJson() const;
@@ -175,15 +218,32 @@ class ClusterSimulator
      *  shared by co-executed admission and the isolated baseline so
      *  the two configurations cannot drift apart. Builds in place:
      *  the execution engine keeps a reference to the stack's system
-     *  vector, so `stack` must already sit at its final address. */
+     *  vector, so `stack` must already sit at its final address.
+     *  `shared` marks the co-executed (shared-fabric) configuration:
+     *  only it inherits straggler compute scales, the incarnation
+     *  tag salt, and the checkpoint resume snapshot — the isolated
+     *  baseline is always a fresh fault-free run. */
     void buildStack(JobRuntime &job, NetworkApi &fabric,
-                    JobStack &stack);
+                    JobStack &stack, bool shared);
 
     void tryAdmit();
     bool admit(JobRuntime &job);
+    /** Start (or restart) a placed job's current incarnation on the
+     *  shared fabric. */
+    void launch(JobRuntime &job);
+    void enqueuePending(size_t id);
     void onJobFinished(size_t index);
     TimeNs runIsolated(JobRuntime &job);
     JobResult finalizeJob(JobRuntime &job);
+
+    // Failure-resilience machinery (docs/fault.md).
+    void scheduleCheckpoint(size_t index);
+    void onStraggler(NpuId global, double compute_scale);
+    void onNpuFail(NpuId global);
+    void onNpuRecover(NpuId global);
+    void failJob(JobRuntime &job);
+    JobRuntime *residentJob(NpuId global);
+    bool allSettled() const;
 
     Topology topo_;
     ClusterConfig cfg_;
@@ -194,7 +254,17 @@ class ClusterSimulator
     /** Ids of jobs submitted but not yet admitted, kept sorted by
      *  (priority desc, arrival, id) — the admission order. */
     std::vector<size_t> pending_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    /** Last compute-scale fault applied per cluster NPU (stragglers
+     *  outlive job turnover: new tenants inherit the slow NPU). */
+    std::vector<double> npuComputeScale_;
+    /** Finish time of the last job to complete. With faults or
+     *  checkpoint timers active the drained queue's clock can sit on
+     *  a no-op tail event past the last completion, so the makespan
+     *  is taken here instead of from eq_.now(). */
+    TimeNs lastFinish_ = 0.0;
     int runningJobs_ = 0;
+    bool faultActive_ = false;
     bool ran_ = false;
 };
 

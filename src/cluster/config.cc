@@ -11,14 +11,41 @@ namespace cluster {
 
 namespace {
 
+/** Reject unknown keys with a path-qualified error ("cluster.jobs.2:
+ *  unknown key 'placment'"). */
+void
+checkKeys(const json::Value &v, const std::string &path,
+          std::initializer_list<const char *> allowed)
+{
+    if (!v.isObject())
+        return;
+    for (const auto &[key, value] : v.asObject()) {
+        (void)value;
+        bool known = false;
+        for (const char *a : allowed)
+            known = known || key == a;
+        ASTRA_USER_CHECK(known, "%s: unknown key '%s'", path.c_str(),
+                         key.c_str());
+    }
+}
+
 JobSpec
 jobFromJson(const json::Value &j, const Topology &topo,
             NetworkBackendKind backend, PlacementPolicy default_policy,
-            const json::Value *default_system)
+            const json::Value *default_system, const std::string &path)
 {
+    checkKeys(j, path,
+              {"name", "arrival_ns", "priority", "placement", "npus",
+               "job_topology", "size", "system", "workload", "count",
+               "checkpoint"});
     JobSpec spec;
     spec.name = j.getString("name", "");
     spec.arrival = j.getNumber("arrival_ns", 0.0);
+    ASTRA_USER_CHECK(spec.arrival >= 0.0 &&
+                         spec.arrival == spec.arrival,
+                     "%s.arrival_ns: must be a non-negative time, got "
+                     "%g",
+                     path.c_str(), spec.arrival);
     spec.priority = static_cast<int>(j.getInt("priority", 0));
     spec.placement = j.has("placement")
                          ? parsePlacementPolicy(
@@ -27,20 +54,30 @@ jobFromJson(const json::Value &j, const Topology &topo,
 
     if (spec.placement == PlacementPolicy::Explicit) {
         ASTRA_USER_CHECK(j.has("npus"),
-                         "cluster job '%s': explicit placement needs "
-                         "'npus'",
-                         spec.name.c_str());
-        for (const json::Value &n : j.at("npus").asArray())
-            spec.explicitNpus.push_back(
-                static_cast<NpuId>(n.asNumber()));
+                         "%s: explicit placement needs 'npus'",
+                         path.c_str());
+        for (const json::Value &n : j.at("npus").asArray()) {
+            double raw = n.asNumber();
+            NpuId id = static_cast<NpuId>(raw);
+            ASTRA_USER_CHECK(
+                raw == static_cast<double>(id) && id >= 0 &&
+                    id < topo.npus(),
+                "%s.npus: placement index %g out of range (cluster "
+                "has %d NPUs)",
+                path.c_str(), raw, topo.npus());
+            spec.explicitNpus.push_back(id);
+        }
         if (j.has("job_topology"))
             spec.explicitTopo =
                 sweep::topologyFromSpec(j.at("job_topology"));
     } else {
-        ASTRA_USER_CHECK(j.has("size"),
-                         "cluster job '%s': missing 'size'",
-                         spec.name.c_str());
+        ASTRA_USER_CHECK(j.has("size"), "%s: missing 'size'",
+                         path.c_str());
         spec.size = static_cast<int>(j.at("size").asInt());
+        ASTRA_USER_CHECK(spec.size >= 1 && spec.size <= topo.npus(),
+                         "%s.size: %d out of range (cluster has %d "
+                         "NPUs)",
+                         path.c_str(), spec.size, topo.npus());
     }
 
     const json::Value *system =
@@ -50,11 +87,13 @@ jobFromJson(const json::Value &j, const Topology &topo,
     else
         spec.cfg.backend = backend;
 
-    ASTRA_USER_CHECK(j.has("workload"),
-                     "cluster job '%s': missing 'workload'",
-                     spec.name.c_str());
+    if (j.has("checkpoint"))
+        spec.checkpoint = fault::checkpointFromJson(
+            j.at("checkpoint"), path + ".checkpoint");
+
+    ASTRA_USER_CHECK(j.has("workload"), "%s: missing 'workload'",
+                     path.c_str());
     spec.workloadDoc = j.at("workload").clone();
-    (void)topo;
     return spec;
 }
 
@@ -71,10 +110,15 @@ scenarioFromJson(const json::Value &doc)
 {
     ASTRA_USER_CHECK(isClusterDoc(doc),
                      "not a cluster configuration (missing 'cluster')");
+    checkKeys(doc, "config",
+              {"topology", "backend", "system", "cluster", "fault"});
     ASTRA_USER_CHECK(doc.has("topology"),
                      "cluster config: missing 'topology'");
 
     const json::Value &c = doc.at("cluster");
+    checkKeys(c, "cluster",
+              {"admission", "baselines", "placement", "jobs",
+               "checkpoint"});
     ClusterScenario scenario{sweep::topologyFromSpec(doc.at("topology")),
                              ClusterConfig{},
                              {}};
@@ -82,6 +126,12 @@ scenarioFromJson(const json::Value &doc)
     scenario.cfg.admission =
         parseAdmissionPolicy(c.getString("admission", "fifo"));
     scenario.cfg.isolatedBaselines = c.getBool("baselines", true);
+    if (doc.has("fault"))
+        scenario.cfg.fault =
+            fault::faultConfigFromJson(doc.at("fault"), "fault");
+    if (c.has("checkpoint"))
+        scenario.cfg.defaultCheckpoint = fault::checkpointFromJson(
+            c.at("checkpoint"), "cluster.checkpoint");
 
     PlacementPolicy default_policy =
         c.has("placement")
@@ -91,14 +141,16 @@ scenarioFromJson(const json::Value &doc)
         doc.has("system") ? &doc.at("system") : nullptr;
 
     ASTRA_USER_CHECK(c.has("jobs"), "cluster config: missing 'jobs'");
+    size_t job_index = 0;
     for (const json::Value &j : c.at("jobs").asArray()) {
+        std::string path =
+            "cluster.jobs." + std::to_string(job_index++);
         JobSpec spec = jobFromJson(j, scenario.topo,
                                    scenario.cfg.backend, default_policy,
-                                   default_system);
+                                   default_system, path);
         int count = static_cast<int>(j.getInt("count", 1));
-        ASTRA_USER_CHECK(count >= 1,
-                         "cluster job '%s': count must be >= 1",
-                         spec.name.c_str());
+        ASTRA_USER_CHECK(count >= 1, "%s.count: must be >= 1",
+                         path.c_str());
         for (int i = 0; i < count; ++i) {
             JobSpec copy = spec;
             copy.workloadDoc = spec.workloadDoc.clone();

@@ -152,8 +152,31 @@ sliceTopology(const Topology &topo, int size)
 
 PlacementManager::PlacementManager(const Topology &topo)
     : topo_(topo), busy_(static_cast<size_t>(topo.npus()), 0),
-      free_(topo.npus())
+      faulted_(static_cast<size_t>(topo.npus()), 0), free_(topo.npus())
 {
+}
+
+void
+PlacementManager::markFaulted(NpuId id, bool faulted)
+{
+    ASTRA_ASSERT(id >= 0 && id < topo_.npus(), "NPU %d out of range", id);
+    faulted_[static_cast<size_t>(id)] = faulted ? 1 : 0;
+}
+
+bool
+PlacementManager::isFaulted(NpuId id) const
+{
+    ASTRA_ASSERT(id >= 0 && id < topo_.npus(), "NPU %d out of range", id);
+    return faulted_[static_cast<size_t>(id)] != 0;
+}
+
+int
+PlacementManager::faultedCount() const
+{
+    int n = 0;
+    for (uint8_t f : faulted_)
+        n += f;
+    return n;
 }
 
 bool
@@ -167,7 +190,8 @@ bool
 PlacementManager::allFree(const std::vector<NpuId> &ids) const
 {
     for (NpuId id : ids)
-        if (busy_[static_cast<size_t>(id)])
+        if (busy_[static_cast<size_t>(id)] ||
+            faulted_[static_cast<size_t>(id)])
             return false;
     return true;
 }

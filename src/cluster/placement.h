@@ -109,6 +109,17 @@ class PlacementManager
     /** Return a placement's NPUs to the free pool. */
     void release(const JobPlacement &placement);
 
+    /**
+     * Mark an NPU (un)usable for placement (fault injection,
+     * docs/fault.md). Orthogonal to busy_: a faulted NPU may still be
+     * held by a running job (the cluster simulator decides that job's
+     * fate); it just cannot be handed to *new* placements until it
+     * recovers.
+     */
+    void markFaulted(NpuId id, bool faulted);
+    bool isFaulted(NpuId id) const;
+    int faultedCount() const;
+
     int freeCount() const { return free_; }
     int totalCount() const { return static_cast<int>(busy_.size()); }
     bool isBusy(NpuId id) const;
@@ -120,6 +131,7 @@ class PlacementManager
 
     const Topology &topo_;
     std::vector<uint8_t> busy_;
+    std::vector<uint8_t> faulted_;
     int free_;
 };
 

@@ -26,6 +26,7 @@ RankViewNetwork::RankViewNetwork(NetworkApi &fabric,
     stats_.busyTimePerDim.assign(
         static_cast<size_t>(cluster.numDims()), 0.0);
     stats_.linksPerDim.assign(static_cast<size_t>(cluster.numDims()), 0);
+    ownBusy_.assign(static_cast<size_t>(cluster.numDims()), 0.0);
 }
 
 uint64_t
@@ -90,8 +91,14 @@ RankViewNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
             stats_.bytesPerDim[static_cast<size_t>(acct)] += bytes;
     }
 
+    // Submit under this job's busy accumulator. The backends latch
+    // the owner pointer per flow/message at submission (and charge it
+    // as serialization accrues), so clearing it immediately after the
+    // synchronous dispatch cannot leak attribution across tenants.
+    fabric_.setSendOwner(&ownBusy_);
     fabric_.simSend(gsrc, gdst, bytes, cluster_dim, xlatTag(tag),
                     std::move(handlers));
+    fabric_.setSendOwner(nullptr);
 }
 
 void

@@ -73,12 +73,27 @@ class RankViewNetwork : public NetworkApi
     const JobPlacement &placement() const { return placement_; }
     NetworkApi &fabric() { return fabric_; }
 
+    /**
+     * This job's own link-busy time per *cluster* dimension: the
+     * serialization time of this job's packets/flows/sends on fabric
+     * links, attributed via the backend's send-owner channel
+     * (NetworkApi::setSendOwner). Unlike the fabric-level busy deltas
+     * in the cluster report (which include all co-tenants), this is
+     * separable per job: each view installs its own accumulator for
+     * the duration of its forwarded simSend calls, and the backends
+     * charge serialization to whichever accumulator the send was
+     * submitted under. Grows monotonically while the job's traffic
+     * drains; read at finalize time.
+     */
+    const std::vector<double> &ownBusy() const { return ownBusy_; }
+
   private:
     uint64_t xlatTag(uint64_t tag) const;
 
     NetworkApi &fabric_;
     const JobPlacement &placement_;
     uint64_t tagSalt_;
+    std::vector<double> ownBusy_;
 };
 
 } // namespace cluster

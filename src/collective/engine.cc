@@ -68,6 +68,10 @@ void
 CollectiveEngine::join(uint64_t key, NpuId npu, const CollectiveRequest &req,
                        EventCallback on_complete)
 {
+    ASTRA_ASSERT(!cancelled_,
+                 "join on a cancelled collective engine (the workload "
+                 "engine of an abandoned incarnation must be cancelled "
+                 "first)");
     ASTRA_USER_CHECK(req.bytes >= 0.0, "collective with negative size");
     ASTRA_USER_CHECK(req.chunks >= 1, "collective needs chunks >= 1");
 
@@ -377,6 +381,8 @@ void
 CollectiveEngine::onMessage(uint64_t inst_id, int rank, int chunk,
                             size_t phase_idx)
 {
+    if (cancelled_)
+        return; // abandoned incarnation: drop, don't pump.
     Instance *found = findInstance(inst_id);
     ASTRA_ASSERT(found != nullptr,
                  "message for retired collective instance");

@@ -70,6 +70,19 @@ class CollectiveEngine
     /** Number of collective instances that ran to completion. */
     uint64_t completedInstances() const { return completedInstances_; }
 
+    /**
+     * Quiesce every in-flight collective: arriving messages are
+     * dropped instead of pumping the chunk state machines, so no
+     * further sends are issued and no completion callbacks fire.
+     * Irreversible. Used for abandoned incarnations after an NPU
+     * failure (docs/fault.md): traffic already in the fabric drains
+     * normally, but the ghost stack must not keep feeding whole
+     * chunk pipelines into the shared fabric for the rest of the
+     * cluster run.
+     */
+    void cancelAll() { cancelled_ = true; }
+    bool cancelled() const { return cancelled_; }
+
     /** Instance slots currently allocated (live + recyclable); exposed
      *  so tests can verify free-list recycling. */
     size_t instanceSlots() const { return instances_.slots(); }
@@ -181,6 +194,7 @@ class CollectiveEngine
     SlotPool<Instance> instances_; //!< recycled; nested capacities kept.
     std::vector<int> kickScratch_;    //!< reused by start().
     uint64_t completedInstances_ = 0;
+    bool cancelled_ = false;
 };
 
 /** Result of a standalone collective run (runCollective helper). */

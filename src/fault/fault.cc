@@ -1,0 +1,402 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace astra {
+namespace fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LinkDegrade: return "link_degrade";
+      case FaultKind::LinkDown: return "link_down";
+      case FaultKind::LinkUp: return "link_up";
+      case FaultKind::NpuFail: return "npu_fail";
+      case FaultKind::NpuRecover: return "npu_recover";
+      case FaultKind::Straggler: return "straggler";
+    }
+    panic("unknown fault kind");
+}
+
+namespace {
+
+FaultKind
+parseKind(const std::string &name, const std::string &path)
+{
+    if (name == "link_degrade")
+        return FaultKind::LinkDegrade;
+    if (name == "link_down")
+        return FaultKind::LinkDown;
+    if (name == "link_up")
+        return FaultKind::LinkUp;
+    if (name == "npu_fail")
+        return FaultKind::NpuFail;
+    if (name == "npu_recover")
+        return FaultKind::NpuRecover;
+    if (name == "straggler")
+        return FaultKind::Straggler;
+    fatal("%s: unknown fault kind '%s' (expected link_degrade, "
+          "link_down, link_up, npu_fail, npu_recover, or straggler)",
+          path.c_str(), name.c_str());
+}
+
+void
+checkKeys(const json::Value &doc, const std::string &path,
+          std::initializer_list<const char *> allowed)
+{
+    for (const auto &[key, v] : doc.asObject()) {
+        (void)v;
+        bool ok = false;
+        for (const char *a : allowed)
+            if (key == a)
+                ok = true;
+        ASTRA_USER_CHECK(ok, "%s: unknown key '%s'", path.c_str(),
+                         key.c_str());
+    }
+}
+
+double
+requireFinite(double v, const std::string &path, const char *what)
+{
+    ASTRA_USER_CHECK(std::isfinite(v), "%s: %s must be finite",
+                     path.c_str(), what);
+    return v;
+}
+
+double
+requireNonNegative(double v, const std::string &path, const char *what)
+{
+    requireFinite(v, path, what);
+    ASTRA_USER_CHECK(v >= 0.0, "%s: %s must be >= 0", path.c_str(),
+                     what);
+    return v;
+}
+
+FaultEvent
+eventFromJson(const json::Value &doc, const std::string &path)
+{
+    ASTRA_USER_CHECK(doc.isObject(), "%s: fault event must be an object",
+                     path.c_str());
+    checkKeys(doc, path,
+              {"at_ns", "kind", "src", "dst", "dim", "npu", "scale",
+               "compute_scale", "injection_scale"});
+    ASTRA_USER_CHECK(doc.has("kind"), "%s: missing 'kind'", path.c_str());
+    ASTRA_USER_CHECK(doc.has("at_ns"), "%s: missing 'at_ns'",
+                     path.c_str());
+
+    FaultEvent ev;
+    ev.kind = parseKind(doc.at("kind").asString(), path + ".kind");
+    ev.at = requireNonNegative(doc.at("at_ns").asNumber(),
+                               path + ".at_ns", "event time");
+
+    switch (ev.kind) {
+      case FaultKind::LinkDegrade:
+      case FaultKind::LinkDown:
+      case FaultKind::LinkUp:
+        ASTRA_USER_CHECK(doc.has("src"),
+                         "%s: link faults need 'src' (source NPU)",
+                         path.c_str());
+        ev.src = static_cast<NpuId>(doc.at("src").asInt());
+        ev.dst = static_cast<NpuId>(doc.getInt("dst", kAllFaultPeers));
+        ev.dim = static_cast<int>(doc.getInt("dim", kAllFaultDims));
+        if (ev.kind == FaultKind::LinkDegrade) {
+            ASTRA_USER_CHECK(doc.has("scale"),
+                             "%s: link_degrade needs 'scale'",
+                             path.c_str());
+            ev.scale = requireFinite(doc.at("scale").asNumber(),
+                                     path + ".scale", "capacity scale");
+            ASTRA_USER_CHECK(
+                ev.scale > 0.0,
+                "%s.scale: capacity scale must be > 0 "
+                "(use link_down for a full outage)", path.c_str());
+        }
+        break;
+      case FaultKind::NpuFail:
+      case FaultKind::NpuRecover:
+        ASTRA_USER_CHECK(doc.has("npu"), "%s: %s needs 'npu'",
+                         path.c_str(), faultKindName(ev.kind));
+        ev.npu = static_cast<NpuId>(doc.at("npu").asInt());
+        break;
+      case FaultKind::Straggler:
+        ASTRA_USER_CHECK(doc.has("npu"), "%s: straggler needs 'npu'",
+                         path.c_str());
+        ev.npu = static_cast<NpuId>(doc.at("npu").asInt());
+        ev.computeScale =
+            requireFinite(doc.getNumber("compute_scale", 1.0),
+                          path + ".compute_scale", "compute scale");
+        ASTRA_USER_CHECK(ev.computeScale > 0.0,
+                         "%s.compute_scale: must be > 0", path.c_str());
+        ev.injectionScale =
+            requireFinite(doc.getNumber("injection_scale", 1.0),
+                          path + ".injection_scale", "injection scale");
+        ASTRA_USER_CHECK(
+            ev.injectionScale > 0.0,
+            "%s.injection_scale: must be > 0 "
+            "(use link_down for a dead NIC)", path.c_str());
+        break;
+    }
+    return ev;
+}
+
+json::Value
+eventToJson(const FaultEvent &ev)
+{
+    json::Object o;
+    o["at_ns"] = ev.at;
+    o["kind"] = faultKindName(ev.kind);
+    switch (ev.kind) {
+      case FaultKind::LinkDegrade:
+        o["scale"] = ev.scale;
+        [[fallthrough]];
+      case FaultKind::LinkDown:
+      case FaultKind::LinkUp:
+        o["src"] = int64_t(ev.src);
+        o["dst"] = int64_t(ev.dst);
+        o["dim"] = int64_t(ev.dim);
+        break;
+      case FaultKind::NpuFail:
+      case FaultKind::NpuRecover:
+        o["npu"] = int64_t(ev.npu);
+        break;
+      case FaultKind::Straggler:
+        o["npu"] = int64_t(ev.npu);
+        o["compute_scale"] = ev.computeScale;
+        o["injection_scale"] = ev.injectionScale;
+        break;
+    }
+    return json::Value(std::move(o));
+}
+
+/** Exponential variate with the given mean (inverse-CDF sampling). */
+TimeNs
+expSample(Rng &rng, TimeNs mean)
+{
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+/** Per-component RNG stream: decorrelated from the base seed so
+ *  adding a component never shifts another component's timeline. */
+Rng
+componentRng(uint64_t seed, uint64_t kind, uint64_t index)
+{
+    return Rng(seed ^ (kind * 0x9e3779b97f4a7c15ULL) ^
+               (index * 0xbf58476d1ce4e5b9ULL));
+}
+
+} // namespace
+
+bool
+FaultConfig::empty() const
+{
+    return schedule.empty() && npuMtbfNs <= 0.0 && linkMtbfNs <= 0.0;
+}
+
+FaultConfig
+faultConfigFromJson(const json::Value &doc, const std::string &path)
+{
+    ASTRA_USER_CHECK(doc.isObject(), "%s: must be an object",
+                     path.c_str());
+    checkKeys(doc, path,
+              {"seed", "horizon_ns", "schedule", "npu_mtbf_ns",
+               "npu_mttr_ns", "link_mtbf_ns", "link_mttr_ns",
+               "link_degrade_scale"});
+
+    FaultConfig cfg;
+    cfg.seed = static_cast<uint64_t>(doc.getInt("seed", 1));
+    cfg.horizonNs = requireNonNegative(doc.getNumber("horizon_ns", 0.0),
+                                       path + ".horizon_ns", "horizon");
+    cfg.npuMtbfNs = requireNonNegative(doc.getNumber("npu_mtbf_ns", 0.0),
+                                       path + ".npu_mtbf_ns", "MTBF");
+    cfg.npuMttrNs = requireNonNegative(doc.getNumber("npu_mttr_ns", 0.0),
+                                       path + ".npu_mttr_ns", "MTTR");
+    cfg.linkMtbfNs =
+        requireNonNegative(doc.getNumber("link_mtbf_ns", 0.0),
+                           path + ".link_mtbf_ns", "MTBF");
+    cfg.linkMttrNs =
+        requireNonNegative(doc.getNumber("link_mttr_ns", 0.0),
+                           path + ".link_mttr_ns", "MTTR");
+    cfg.linkDegradeScale =
+        requireNonNegative(doc.getNumber("link_degrade_scale", 0.0),
+                           path + ".link_degrade_scale", "scale");
+    ASTRA_USER_CHECK(cfg.linkDegradeScale < 1.0,
+                     "%s.link_degrade_scale: must be in [0, 1) "
+                     "(0 = full outages)", path.c_str());
+    bool generates = cfg.npuMtbfNs > 0.0 || cfg.linkMtbfNs > 0.0;
+    ASTRA_USER_CHECK(!generates || cfg.horizonNs > 0.0,
+                     "%s.horizon_ns: MTBF-based generation needs a "
+                     "positive horizon", path.c_str());
+
+    if (doc.has("schedule")) {
+        const json::Array &arr = doc.at("schedule").asArray();
+        for (size_t i = 0; i < arr.size(); ++i)
+            cfg.schedule.push_back(eventFromJson(
+                arr[i], path + ".schedule." + std::to_string(i)));
+    }
+    return cfg;
+}
+
+json::Value
+faultConfigToJson(const FaultConfig &cfg)
+{
+    json::Object o;
+    o["seed"] = cfg.seed;
+    if (cfg.horizonNs > 0.0)
+        o["horizon_ns"] = cfg.horizonNs;
+    if (cfg.npuMtbfNs > 0.0) {
+        o["npu_mtbf_ns"] = cfg.npuMtbfNs;
+        o["npu_mttr_ns"] = cfg.npuMttrNs;
+    }
+    if (cfg.linkMtbfNs > 0.0) {
+        o["link_mtbf_ns"] = cfg.linkMtbfNs;
+        o["link_mttr_ns"] = cfg.linkMttrNs;
+        if (cfg.linkDegradeScale > 0.0)
+            o["link_degrade_scale"] = cfg.linkDegradeScale;
+    }
+    if (!cfg.schedule.empty()) {
+        json::Array arr;
+        for (const FaultEvent &ev : cfg.schedule)
+            arr.push_back(eventToJson(ev));
+        o["schedule"] = json::Value(std::move(arr));
+    }
+    return json::Value(std::move(o));
+}
+
+CheckpointPolicy
+checkpointFromJson(const json::Value &doc, const std::string &path)
+{
+    ASTRA_USER_CHECK(doc.isObject(), "%s: must be an object",
+                     path.c_str());
+    checkKeys(doc, path,
+              {"interval_ns", "cost_ns", "restart_delay_ns", "restart"});
+    CheckpointPolicy p;
+    p.intervalNs = requireNonNegative(doc.getNumber("interval_ns", 0.0),
+                                      path + ".interval_ns", "interval");
+    p.costNs = requireNonNegative(doc.getNumber("cost_ns", 0.0),
+                                  path + ".cost_ns", "cost");
+    p.restartDelayNs =
+        requireNonNegative(doc.getNumber("restart_delay_ns", 0.0),
+                           path + ".restart_delay_ns", "restart delay");
+    std::string restart = doc.getString("restart", "same");
+    if (restart == "same")
+        p.requeue = false;
+    else if (restart == "requeue")
+        p.requeue = true;
+    else
+        fatal("%s.restart: expected \"same\" or \"requeue\", got \"%s\"",
+              path.c_str(), restart.c_str());
+    return p;
+}
+
+std::vector<FaultEvent>
+buildTimeline(const FaultConfig &cfg, const Topology &topo)
+{
+    std::vector<FaultEvent> timeline = cfg.schedule;
+
+    // Generated NPU fail/recover pairs: one independent alternating
+    // renewal process per NPU.
+    if (cfg.npuMtbfNs > 0.0) {
+        ASTRA_USER_CHECK(cfg.npuMttrNs > 0.0,
+                         "fault.npu_mttr_ns: NPU fault generation needs "
+                         "a positive MTTR");
+        for (NpuId n = 0; n < topo.npus(); ++n) {
+            Rng rng = componentRng(cfg.seed, 1, uint64_t(n));
+            TimeNs t = expSample(rng, cfg.npuMtbfNs);
+            while (t < cfg.horizonNs) {
+                FaultEvent fail;
+                fail.at = t;
+                fail.kind = FaultKind::NpuFail;
+                fail.npu = n;
+                timeline.push_back(fail);
+                t += expSample(rng, cfg.npuMttrNs);
+                FaultEvent recover = fail;
+                recover.at = t;
+                recover.kind = FaultKind::NpuRecover;
+                timeline.push_back(recover);
+                t += expSample(rng, cfg.npuMtbfNs);
+            }
+        }
+    }
+
+    // Generated link faults: one process per (NPU, dim) egress group.
+    if (cfg.linkMtbfNs > 0.0) {
+        ASTRA_USER_CHECK(cfg.linkMttrNs > 0.0,
+                         "fault.link_mttr_ns: link fault generation "
+                         "needs a positive MTTR");
+        bool degrade = cfg.linkDegradeScale > 0.0;
+        for (NpuId n = 0; n < topo.npus(); ++n) {
+            for (int d = 0; d < topo.numDims(); ++d) {
+                uint64_t idx =
+                    uint64_t(n) * uint64_t(topo.numDims()) + uint64_t(d);
+                Rng rng = componentRng(cfg.seed, 2, idx);
+                TimeNs t = expSample(rng, cfg.linkMtbfNs);
+                while (t < cfg.horizonNs) {
+                    FaultEvent down;
+                    down.at = t;
+                    down.kind = degrade ? FaultKind::LinkDegrade
+                                        : FaultKind::LinkDown;
+                    down.src = n;
+                    down.dst = kAllFaultPeers;
+                    down.dim = d;
+                    if (degrade)
+                        down.scale = cfg.linkDegradeScale;
+                    timeline.push_back(down);
+                    t += expSample(rng, cfg.linkMttrNs);
+                    FaultEvent up = down;
+                    up.at = t;
+                    up.kind = degrade ? FaultKind::LinkDegrade
+                                      : FaultKind::LinkUp;
+                    up.scale = 1.0;
+                    timeline.push_back(up);
+                    t += expSample(rng, cfg.linkMtbfNs);
+                }
+            }
+        }
+    }
+
+    // Range-check every event against the topology.
+    for (size_t i = 0; i < timeline.size(); ++i) {
+        const FaultEvent &ev = timeline[i];
+        std::string where = "fault event " + std::to_string(i) + " (" +
+                            std::string(faultKindName(ev.kind)) + ")";
+        switch (ev.kind) {
+          case FaultKind::LinkDegrade:
+          case FaultKind::LinkDown:
+          case FaultKind::LinkUp:
+            ASTRA_USER_CHECK(ev.src >= 0 && ev.src < topo.npus(),
+                             "%s: src %d out of range for %d NPUs",
+                             where.c_str(), ev.src, topo.npus());
+            ASTRA_USER_CHECK(
+                ev.dst < topo.npus(),
+                "%s: dst %d out of range for %d NPUs", where.c_str(),
+                ev.dst, topo.npus());
+            ASTRA_USER_CHECK(
+                ev.dim < topo.numDims(),
+                "%s: dim %d out of range for %d dims", where.c_str(),
+                ev.dim, topo.numDims());
+            break;
+          case FaultKind::NpuFail:
+          case FaultKind::NpuRecover:
+          case FaultKind::Straggler:
+            ASTRA_USER_CHECK(ev.npu >= 0 && ev.npu < topo.npus(),
+                             "%s: npu %d out of range for %d NPUs",
+                             where.c_str(), ev.npu, topo.npus());
+            break;
+        }
+    }
+
+    // Stable sort keeps same-time events in schedule-then-generated
+    // order — fully deterministic for a given (config, topology).
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    return timeline;
+}
+
+} // namespace fault
+} // namespace astra

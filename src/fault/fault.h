@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fault model: event kinds, schedules, and checkpoint policies.
+ *
+ * A fault scenario is a deterministic timeline of FaultEvents — either
+ * written out explicitly in JSON (`fault.schedule`) or generated from
+ * per-component MTBF/MTTR means with a seeded RNG (common/rng.h), so
+ * the same config always produces the same timeline. The timeline is
+ * applied to a running simulation by the FaultInjector
+ * (fault/injector.h); this header is deliberately independent of the
+ * network/event layers so configuration code can parse and validate
+ * fault specs without pulling in a backend.
+ *
+ * Addressing: link faults name `(src, dst, dim)` in *NPU* coordinates.
+ * `dst == kAllFaultPeers` means every egress link of `src`;
+ * `dim == kAllFaultDims` means all dimensions. NPU faults and
+ * stragglers name a single `npu`. See docs/fault.md for the full
+ * model and per-backend fidelity caveats.
+ */
+#ifndef ASTRA_FAULT_FAULT_H_
+#define ASTRA_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace astra {
+namespace fault {
+
+/** Wildcard destination: all egress links of `src`. */
+constexpr NpuId kAllFaultPeers = -1;
+/** Wildcard dimension: all topology dimensions. */
+constexpr int kAllFaultDims = -1;
+
+/** What happens at a timeline point. */
+enum class FaultKind {
+    LinkDegrade, //!< scale link capacity by `scale` (0 < scale).
+    LinkDown,    //!< link fully out: flows stall / packets park.
+    LinkUp,      //!< restore a downed link (capacity scale kept).
+    NpuFail,     //!< fail-stop NPU: job rollback, egress links down.
+    NpuRecover,  //!< NPU healthy again; eligible for restart/placement.
+    Straggler,   //!< persistent per-NPU compute/injection slowdown.
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One timeline entry; meaningful fields depend on `kind`. */
+struct FaultEvent
+{
+    TimeNs at = 0.0;
+    FaultKind kind = FaultKind::LinkDown;
+
+    // -- Link faults (LinkDegrade / LinkDown / LinkUp).
+    NpuId src = -1;
+    NpuId dst = kAllFaultPeers;
+    int dim = kAllFaultDims;
+    double scale = 1.0; //!< LinkDegrade capacity multiplier (> 0).
+
+    // -- NPU faults and stragglers.
+    NpuId npu = -1;
+    double computeScale = 1.0;   //!< Straggler compute-time multiplier.
+    double injectionScale = 1.0; //!< Straggler egress-capacity scale.
+};
+
+/**
+ * Training-stack response to NPU failures (cluster layer).
+ *
+ * Checkpoints are optimistic and coordinated: at each interval the
+ * job snapshots its engine progress instantaneously and every rank
+ * pays `costNs` on its compute unit. On an NPU failure the job loses
+ * all work since the last snapshot, and restarts `restartDelayNs`
+ * after recovery — either on the same placement (`requeue == false`,
+ * waits for the failed NPU to come back) or re-queued for a fresh
+ * placement that avoids currently-faulted NPUs.
+ */
+struct CheckpointPolicy
+{
+    TimeNs intervalNs = 0.0; //!< 0 disables periodic checkpoints.
+    TimeNs costNs = 0.0;     //!< per-rank compute stall per checkpoint.
+    TimeNs restartDelayNs = 0.0;
+    bool requeue = false;    //!< restart on a fresh placement.
+};
+
+/**
+ * A complete fault scenario: an explicit schedule plus optional
+ * MTBF/MTTR generation parameters (both may be combined; generated
+ * events are merged into the explicit schedule and time-sorted).
+ */
+struct FaultConfig
+{
+    uint64_t seed = 1;
+    /** Generation horizon; generated events beyond it are dropped. */
+    TimeNs horizonNs = 0.0;
+
+    std::vector<FaultEvent> schedule;
+
+    // -- Per-NPU fail/recover generation (0 disables).
+    TimeNs npuMtbfNs = 0.0;
+    TimeNs npuMttrNs = 0.0;
+
+    // -- Per-(NPU, dim) egress link fault generation (0 disables).
+    TimeNs linkMtbfNs = 0.0;
+    TimeNs linkMttrNs = 0.0;
+    /** 0 = generated link faults are full outages (down/up pairs);
+     *  in (0, 1) = degrade to this capacity scale instead. */
+    double linkDegradeScale = 0.0;
+
+    /** True when the scenario injects nothing at all. */
+    bool empty() const;
+};
+
+/**
+ * Parse a fault scenario from its JSON object. Validates kinds,
+ * scales (degrades must be > 0 — use link_down for a full outage),
+ * and field presence with `path`-qualified fatal() messages
+ * ("fault.schedule.3.src: ...").
+ */
+FaultConfig faultConfigFromJson(const json::Value &doc,
+                                const std::string &path = "fault");
+
+/** Serialize back to the JSON schema faultConfigFromJson accepts. */
+json::Value faultConfigToJson(const FaultConfig &cfg);
+
+/** Parse a checkpoint policy object (interval_ns / cost_ns /
+ *  restart_delay_ns / restart: "same"|"requeue"). */
+CheckpointPolicy checkpointFromJson(const json::Value &doc,
+                                    const std::string &path);
+
+/**
+ * Materialize the full timeline for `topo`: generate MTBF/MTTR events
+ * per component with seeded per-component RNG streams, merge with the
+ * explicit schedule, stable-sort by time, and range-check every event
+ * against the topology (fatal() on out-of-range components).
+ */
+std::vector<FaultEvent> buildTimeline(const FaultConfig &cfg,
+                                      const Topology &topo);
+
+} // namespace fault
+} // namespace astra
+
+#endif // ASTRA_FAULT_FAULT_H_

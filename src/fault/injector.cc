@@ -1,0 +1,100 @@
+#include "fault/injector.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace astra {
+namespace fault {
+
+FaultInjector::FaultInjector(EventQueue &eq, const Topology &topo,
+                             const FaultConfig &cfg, FaultHooks hooks)
+    : eq_(eq), hooks_(std::move(hooks)),
+      timeline_(buildTimeline(cfg, topo))
+{
+    for (const FaultEvent &ev : timeline_) {
+        switch (ev.kind) {
+          case FaultKind::LinkDegrade:
+          case FaultKind::LinkDown:
+          case FaultKind::LinkUp:
+            ASTRA_ASSERT(hooks_.net,
+                         "fault timeline has link events but no "
+                         "network hook");
+            break;
+          case FaultKind::NpuFail:
+          case FaultKind::NpuRecover:
+            ASTRA_USER_CHECK(
+                hooks_.npuFail && hooks_.npuRecover,
+                "fault schedule contains NPU fail/recover events, "
+                "which need the cluster simulator's checkpoint/restart "
+                "machinery — run this scenario as a cluster config "
+                "(single-workload simulations support only link faults "
+                "and stragglers)");
+            break;
+          case FaultKind::Straggler:
+            ASTRA_ASSERT(hooks_.computeScale,
+                         "fault timeline has stragglers but no "
+                         "compute-scale hook");
+            ASTRA_ASSERT(ev.injectionScale == 1.0 || hooks_.net,
+                         "straggler injection slowdown needs a "
+                         "network hook");
+            break;
+        }
+    }
+}
+
+void
+FaultInjector::start()
+{
+    ASTRA_ASSERT(!started_, "fault injector started twice");
+    started_ = true;
+    scheduleNext(0);
+}
+
+void
+FaultInjector::scheduleNext(size_t index)
+{
+    if (index >= timeline_.size())
+        return;
+    eq_.scheduleAt(timeline_[index].at, [this, index] {
+        if (hooks_.active && !hooks_.active())
+            return; // Work is done; cut the chain.
+        apply(timeline_[index]);
+        ++fired_;
+        scheduleNext(index + 1);
+    });
+}
+
+void
+FaultInjector::apply(const FaultEvent &ev)
+{
+    switch (ev.kind) {
+      case FaultKind::LinkDegrade:
+        hooks_.net->setLinkCapacityScale(ev.src, ev.dst, ev.dim,
+                                         ev.scale);
+        break;
+      case FaultKind::LinkDown:
+        hooks_.net->setLinkUp(ev.src, ev.dst, ev.dim, false);
+        break;
+      case FaultKind::LinkUp:
+        hooks_.net->setLinkUp(ev.src, ev.dst, ev.dim, true);
+        break;
+      case FaultKind::NpuFail:
+        hooks_.npuFail(ev.npu);
+        break;
+      case FaultKind::NpuRecover:
+        hooks_.npuRecover(ev.npu);
+        break;
+      case FaultKind::Straggler:
+        hooks_.computeScale(ev.npu, ev.computeScale);
+        // The latest scale wins (absolute, not compounding).
+        if (ev.injectionScale != 1.0)
+            hooks_.net->setLinkCapacityScale(
+                ev.npu, kAllFaultPeers, kAllFaultDims,
+                ev.injectionScale);
+        break;
+    }
+}
+
+} // namespace fault
+} // namespace astra

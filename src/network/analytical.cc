@@ -1,6 +1,7 @@
 #include "network/analytical.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -16,6 +17,8 @@ AnalyticalNetwork::AnalyticalNetwork(EventQueue &eq, const Topology &topo,
             static_cast<size_t>(topo.numDims()),
         0.0);
     txBusy_.assign(txFree_.size(), 0.0);
+    txScale_.assign(txFree_.size(), 1.0);
+    txUp_.assign(txFree_.size(), 1);
     // One serialization point per (NPU, dimension) transmit port.
     for (int d = 0; d < topo.numDims(); ++d)
         stats_.linksPerDim[static_cast<size_t>(d)] = topo.npus();
@@ -70,6 +73,77 @@ AnalyticalNetwork::resolve(NpuId src, NpuId dst, int dim) const
     return Route{charged_dim, bottleneck, latency};
 }
 
+size_t
+AnalyticalNetwork::portIndex(NpuId npu, int dim) const
+{
+    return static_cast<size_t>(npu) *
+               static_cast<size_t>(topo_.numDims()) +
+           static_cast<size_t>(dim);
+}
+
+std::vector<size_t>
+AnalyticalNetwork::faultPorts(NpuId src, NpuId dst, int dim) const
+{
+    ASTRA_USER_CHECK(src >= 0 && src < topo_.npus(),
+                     "fault selector: src %d out of range for %d NPUs",
+                     src, topo_.npus());
+    ASTRA_USER_CHECK(dim < topo_.numDims(),
+                     "fault selector: dim %d out of range for %d dims",
+                     dim, topo_.numDims());
+    std::vector<size_t> out;
+    if (dim >= 0) {
+        out.push_back(portIndex(src, dim));
+    } else if (dst >= 0) {
+        ASTRA_USER_CHECK(dst < topo_.npus(),
+                         "fault selector: dst %d out of range for %d "
+                         "NPUs", dst, topo_.npus());
+        // Coarsened to the charged dimension of the route — the
+        // analytical model cannot see individual links.
+        out.push_back(portIndex(src, resolve(src, dst, kAutoRoute).dim));
+    } else {
+        for (int d = 0; d < topo_.numDims(); ++d)
+            out.push_back(portIndex(src, d));
+    }
+    return out;
+}
+
+void
+AnalyticalNetwork::setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                                        double scale)
+{
+    ASTRA_USER_CHECK(scale > 0.0 && std::isfinite(scale),
+                     "link capacity scale must be > 0 and finite "
+                     "(take the link down for a full outage)");
+    for (size_t p : faultPorts(src, dst, dim))
+        txScale_[p] = scale;
+}
+
+void
+AnalyticalNetwork::setLinkUp(NpuId src, NpuId dst, int dim, bool up)
+{
+    std::vector<size_t> ports = faultPorts(src, dst, dim);
+    for (size_t p : ports)
+        txUp_[p] = up ? 1 : 0;
+    if (!up)
+        return;
+    for (size_t p : ports) {
+        auto it = parked_.find(p);
+        if (it == parked_.end())
+            continue;
+        std::vector<ParkedSend> lot = std::move(it->second);
+        parked_.erase(it);
+        for (ParkedSend &s : lot) {
+            // Restore the send's original attribution channel around
+            // the re-issue (we are inside a fault event, not a job).
+            std::vector<double> *saved = sendOwner_;
+            sendOwner_ = s.owner;
+            simSend(s.src, s.dst, s.bytes, s.dim, s.tag,
+                    std::move(s.handlers));
+            sendOwner_ = saved;
+        }
+    }
+}
+
 TimeNs
 AnalyticalNetwork::claimTxPort(NpuId src, int dim, TimeNs ser)
 {
@@ -102,14 +176,23 @@ AnalyticalNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
         return;
     }
     Route route = resolve(src, dst, dim);
+    size_t port = portIndex(src, route.dim);
+    if (!txUp_[port]) {
+        // Down port: park the whole send *before* any accounting, so
+        // the eventual re-issue through simSend accounts exactly once.
+        parked_[port].push_back(ParkedSend{src, dst, bytes, dim, tag,
+                                           std::move(handlers),
+                                           sendOwner_});
+        return;
+    }
     account(route.dim, bytes);
 
-    TimeNs ser = txTime(bytes, route.bandwidth);
-    TimeNs &busy = txBusy_[static_cast<size_t>(src) *
-                               static_cast<size_t>(topo_.numDims()) +
-                           static_cast<size_t>(route.dim)];
+    TimeNs ser = txTime(bytes, route.bandwidth * txScale_[port]);
+    TimeNs &busy = txBusy_[port];
     busy += ser;
     accountBusy(route.dim, ser, busy);
+    if (sendOwner_)
+        (*sendOwner_)[static_cast<size_t>(route.dim)] += ser;
     TimeNs start = serialize_ ? claimTxPort(src, route.dim, ser)
                               : eq_.now();
     TimeNs injected_at = start + ser;

@@ -18,6 +18,7 @@
 #ifndef ASTRA_NETWORK_ANALYTICAL_H_
 #define ASTRA_NETWORK_ANALYTICAL_H_
 
+#include <map>
 #include <vector>
 
 #include "network/network_api.h"
@@ -38,6 +39,22 @@ class AnalyticalNetwork : public NetworkApi
     void simSend(NpuId src, NpuId dst, Bytes bytes, int dim, uint64_t tag,
                  SendHandlers handlers) override;
 
+    /**
+     * Fault hooks (docs/fault.md). The analytical model has no
+     * individual links — its only serialization points are the
+     * (source NPU, dimension) transmit ports — so fault selectors are
+     * coarsened to that granularity: a concrete `dst` only picks the
+     * *charged* dimension of the route, and a fault on one of several
+     * parallel links is indistinguishable from degrading the whole
+     * port (documented blindness, like the interference caveat). A
+     * degraded port serializes at `bandwidth * scale`; a *down* port
+     * parks whole sends (before any accounting) and re-issues them in
+     * FIFO order when the port comes back up.
+     */
+    void setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                              double scale) override;
+    void setLinkUp(NpuId src, NpuId dst, int dim, bool up) override;
+
     /** The time at which (npu, dim)'s transmit port frees up. */
     TimeNs txFreeAt(NpuId npu, int dim) const;
 
@@ -51,6 +68,24 @@ class AnalyticalNetwork : public NetworkApi
 
     /** Resolve routing for a message (single-dim or dimension-ordered). */
     Route resolve(NpuId src, NpuId dst, int dim) const;
+
+    /** A send held at an administratively-down transmit port. */
+    struct ParkedSend
+    {
+        NpuId src = 0;
+        NpuId dst = 0;
+        Bytes bytes = 0.0;
+        int dim = 0;
+        uint64_t tag = 0;
+        SendHandlers handlers;
+        std::vector<double> *owner = nullptr;
+    };
+
+    /** Dense index of (npu, dim)'s transmit port. */
+    size_t portIndex(NpuId npu, int dim) const;
+
+    /** Transmit ports a fault selector names (see setLink* docs). */
+    std::vector<size_t> faultPorts(NpuId src, NpuId dst, int dim) const;
 
     /**
      * Claim (src, dim)'s transmit port for `ser` ns starting no earlier
@@ -70,6 +105,12 @@ class AnalyticalNetwork : public NetworkApi
      *  analytical model's only serialization points are the transmit
      *  ports, so they are its "links". */
     std::vector<TimeNs> txBusy_;
+    // Fault state (same TX-port indexing): service-rate scale and
+    // up/down flag — all-1.0 / all-up defaults are bit-identical to
+    // the pre-fault arithmetic — plus the down-port parking lots.
+    std::vector<double> txScale_;
+    std::vector<uint8_t> txUp_;
+    std::map<size_t, std::vector<ParkedSend>> parked_;
 };
 
 } // namespace astra

@@ -18,6 +18,8 @@ PacketNetwork::PacketNetwork(EventQueue &eq, const Topology &topo,
     ASTRA_USER_CHECK(header_bytes >= 0.0 && message_overhead >= 0.0,
                      "packet overheads must be non-negative");
     ports_.assign(graph_.linkCount(), PortState{});
+    portScale_.assign(graph_.linkCount(), 1.0);
+    portUp_.assign(graph_.linkCount(), 1);
     stats_.linksPerDim = graph_.linksPerDim();
 }
 
@@ -44,6 +46,7 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
     msg.tag = tag;
     msg.packetsRemaining = packets;
     msg.handlers.onDelivered = std::move(handlers.onDelivered);
+    msg.owner = sendOwner_;
 
     if (messageOverhead_ > 0.0) {
         // Software/NIC launch cost before the first packet enters the
@@ -73,8 +76,11 @@ PacketNetwork::launchMessage(uint64_t msg_id,
     }
 
     if (on_injected) {
-        // Injection completes when the last packet clears the first link.
-        eq_.scheduleAt(ports_[(*path)[0]].freeAt,
+        // Injection completes when the last packet clears the first
+        // link. The max() only matters when the first hop is down and
+        // its freeAt is stale: the packets are parked, and injection
+        // reports complete now (async NIC, unbounded egress queue).
+        eq_.scheduleAt(std::max(eq_.now(), ports_[(*path)[0]].freeAt),
                        std::move(on_injected));
     }
 }
@@ -89,20 +95,61 @@ PacketNetwork::forwardPacket(uint64_t msg_id,
         return;
     }
     LinkId lid = (*path)[hop];
+    if (!portUp_[lid]) {
+        // Down link: park in FIFO order; setLinkUp(true) re-issues.
+        parked_[lid].push_back(ParkedPacket{msg_id, path, hop, pkt_bytes});
+        return;
+    }
     const LinkGraph::Link &link = graph_.link(lid);
     PortState &port = ports_[lid];
     TimeNs start = std::max(eq_.now(), port.freeAt);
-    TimeNs tx = txTime(pkt_bytes + headerBytes_, link.bandwidth);
+    TimeNs tx = txTime(pkt_bytes + headerBytes_,
+                       link.bandwidth * portScale_[lid]);
     TimeNs tx_done = start + tx;
     port.freeAt = tx_done;
     port.busyNs += tx;
     accountBusy(link.dim, tx, port.busyNs);
+    if (Message *msg = messages_.find(msg_id); msg && msg->owner)
+        (*msg->owner)[static_cast<size_t>(link.dim)] += tx;
     // [this, id, ptr, 2 words]: inline in InlineEvent — the per-hop
     // closure chain performs no allocation at all.
     eq_.scheduleAt(tx_done + link.latency,
                    [this, msg_id, path, hop, pkt_bytes]() {
                        forwardPacket(msg_id, path, hop + 1, pkt_bytes);
                    });
+}
+
+void
+PacketNetwork::setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                                    double scale)
+{
+    ASTRA_USER_CHECK(scale > 0.0 && std::isfinite(scale),
+                     "link capacity scale must be > 0 and finite "
+                     "(take the link down for a full outage)");
+    for (LinkId l : graph_.faultLinks(src, dst, dim))
+        portScale_[l] = scale;
+}
+
+void
+PacketNetwork::setLinkUp(NpuId src, NpuId dst, int dim, bool up)
+{
+    std::vector<LinkId> links = graph_.faultLinks(src, dst, dim);
+    for (LinkId l : links)
+        portUp_[l] = up ? 1 : 0;
+    if (!up)
+        return;
+    // Release each restored link's parking lot in FIFO order (links
+    // themselves in selector order — deterministic either way, since
+    // re-issue serializes per port from `now`).
+    for (LinkId l : links) {
+        auto it = parked_.find(l);
+        if (it == parked_.end())
+            continue;
+        std::vector<ParkedPacket> lot = std::move(it->second);
+        parked_.erase(it);
+        for (const ParkedPacket &p : lot)
+            forwardPacket(p.msgId, p.path, p.hop, p.bytes);
+    }
 }
 
 void

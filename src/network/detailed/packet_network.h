@@ -19,6 +19,7 @@
 #ifndef ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
 #define ASTRA_NETWORK_DETAILED_PACKET_NETWORK_H_
 
+#include <map>
 #include <vector>
 
 #include "common/slot_pool.h"
@@ -48,6 +49,19 @@ class PacketNetwork : public NetworkApi
 
     void simSend(NpuId src, NpuId dst, Bytes bytes, int dim, uint64_t tag,
                  SendHandlers handlers) override;
+
+    /**
+     * Fault hooks (docs/fault.md). A degraded link serializes packets
+     * at `bandwidth * scale`; a *down* link parks arriving packets in
+     * a per-link FIFO and releases them in order when the link comes
+     * back up. Injection completion still tracks the source port's
+     * free time only — a send into a downed first hop reports
+     * "injected" once its packets are queued at the dead port (an
+     * async NIC with an unbounded egress queue).
+     */
+    void setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                              double scale) override;
+    void setLinkUp(NpuId src, NpuId dst, int dim, bool up) override;
 
     const LinkGraph &graph() const { return graph_; }
 
@@ -83,6 +97,18 @@ class PacketNetwork : public NetworkApi
         uint64_t tag = 0;
         int packetsRemaining = 0; //!< 0 while the slot is free.
         SendHandlers handlers;
+        /** Per-job attribution target captured at submission (the
+         *  NetworkApi send-owner channel); null when unattributed. */
+        std::vector<double> *owner = nullptr;
+    };
+
+    /** A packet held at an administratively-down link. */
+    struct ParkedPacket
+    {
+        uint64_t msgId = 0;
+        const std::vector<LinkId> *path = nullptr;
+        size_t hop = 0;
+        Bytes bytes = 0.0;
     };
 
     void launchMessage(uint64_t msg_id, const std::vector<LinkId> *path,
@@ -98,6 +124,12 @@ class PacketNetwork : public NetworkApi
     TimeNs messageOverhead_;
     std::vector<PortState> ports_;    //!< per-link FIFO state.
     SlotPool<Message> messages_;
+    // Fault state: per-link service-rate scale and up/down flag
+    // (all-1.0 / all-up defaults are bit-identical to the pre-fault
+    // arithmetic), plus the per-link parking lots of down links.
+    std::vector<double> portScale_;
+    std::vector<uint8_t> portUp_;
+    std::map<LinkId, std::vector<ParkedPacket>> parked_;
 };
 
 } // namespace astra

@@ -1,6 +1,7 @@
 #include "network/flow/flow_network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -29,6 +30,8 @@ FlowNetwork::FlowNetwork(EventQueue &eq, const Topology &topo)
     size_t links = graph_.linkCount();
     incidence_.reset(links);
     linkBusy_.assign(links, 0.0);
+    capScale_.assign(links, 1.0);
+    linkUpState_.assign(links, 1);
     seedMark_.assign(links, 0);
     linkVisit_.assign(links, 0);
     fillStamp_.assign(links, 0);
@@ -113,6 +116,7 @@ FlowNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
     flow.hasEvent = false;
     flow.active = true;
     flow.activeIdx = static_cast<uint32_t>(active_.size());
+    flow.owner = sendOwner_;
     flow.handlers = std::move(handlers);
     active_.push_back(slot);
     incidence_.add(slot, SlotPool<Flow>::genOf(id), *path);
@@ -133,6 +137,8 @@ FlowNetwork::integrateFlow(Flow &flow, TimeNs t)
             TimeNs busy = flow.rate * dt / link.bandwidth;
             linkBusy_[l] += busy;
             accountBusy(link.dim, busy, linkBusy_[l]);
+            if (flow.owner)
+                (*flow.owner)[static_cast<size_t>(link.dim)] += busy;
         }
     }
     flow.lastUpdate = t;
@@ -204,7 +210,11 @@ FlowNetwork::fillComponent(const std::vector<uint32_t> &comp,
         for (LinkId l : *flows_.at(slot).path) {
             if (fillStamp_[l] != fillEpoch_) {
                 fillStamp_[l] = fillEpoch_;
-                double cap = graph_.link(l).bandwidth;
+                // Faults enter the solver only here: a degraded link
+                // fills with scaled capacity, a down link with zero.
+                double cap = linkUpState_[l]
+                                 ? graph_.link(l).bandwidth * capScale_[l]
+                                 : 0.0;
                 // Bandwidth pinned by flows outside the component
                 // would be withdrawn here — but under full transitive
                 // closure no such flow can exist (any member of a
@@ -258,7 +268,15 @@ FlowNetwork::fillComponent(const std::vector<uint32_t> &comp,
                 }
             }
             if (bottlenecked) {
-                slotScratch_[slot].*out = std::max(min_share, kMinRate);
+                double rate = std::max(min_share, kMinRate);
+                // Distinguish a structurally dead link (capacity is
+                // exactly zero: administratively down) from capLeft
+                // rounding to zero on a healthy link — only the former
+                // stalls the flow; the latter keeps the kMinRate
+                // numerical backstop.
+                if (min_share <= 0.0 && crossesDeadLink(flow))
+                    rate = 0.0;
+                slotScratch_[slot].*out = rate;
                 for (LinkId l : *flow.path) {
                     capLeft_[l] -= min_share;
                     --flowsLeft_[l];
@@ -339,9 +357,17 @@ FlowNetwork::resolve()
             continue;
         integrateFlow(flow, now); // lazy: settle only on rate change.
         flow.rate = new_rate;
+        ++flow.epoch; // supersedes any event scheduled for the old rate.
+        if (new_rate <= 0.0) {
+            // Stalled on a down link: no completion event at all — a
+            // far-future placeholder would still fire during the final
+            // queue drain and distort the finish time. The flow
+            // resumes when a link-up re-solve assigns a positive rate.
+            flow.hasEvent = false;
+            continue;
+        }
         TimeNs finish = now + flow.remaining / flow.rate;
         flow.predictedFinish = std::max(finish, now);
-        ++flow.epoch;
         flow.hasEvent = true;
         uint64_t id = flows_.idAt(slot);
         uint32_t flow_epoch = flow.epoch;
@@ -383,7 +409,7 @@ FlowNetwork::verifyFullSolve()
                 ASTRA_ASSERT(scratch.verifyRate == flow.rate,
                              "full-solve verify: a flow outside the "
                              "affected component would change rate");
-                ASTRA_ASSERT(flow.rate > 0.0,
+                ASTRA_ASSERT(flow.rate > 0.0 || crossesDeadLink(flow),
                              "full-solve verify: unaffected flow was "
                              "never rated");
                 ASTRA_ASSERT(
@@ -397,6 +423,39 @@ FlowNetwork::verifyFullSolve()
             }
         }
     }
+}
+
+bool
+FlowNetwork::crossesDeadLink(const Flow &flow) const
+{
+    for (LinkId l : *flow.path)
+        if (!linkUpState_[l])
+            return true;
+    return false;
+}
+
+void
+FlowNetwork::setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                                  double scale)
+{
+    ASTRA_USER_CHECK(scale > 0.0 && std::isfinite(scale),
+                     "link capacity scale must be > 0 and finite "
+                     "(take the link down for a full outage)");
+    std::vector<LinkId> links = graph_.faultLinks(src, dst, dim);
+    for (LinkId l : links)
+        capScale_[l] = scale;
+    markLinksDirty(links);
+    markDirty();
+}
+
+void
+FlowNetwork::setLinkUp(NpuId src, NpuId dst, int dim, bool up)
+{
+    std::vector<LinkId> links = graph_.faultLinks(src, dst, dim);
+    for (LinkId l : links)
+        linkUpState_[l] = up ? 1 : 0;
+    markLinksDirty(links);
+    markDirty();
 }
 
 void

@@ -81,6 +81,22 @@ class FlowNetwork : public NetworkApi
     void simSend(NpuId src, NpuId dst, Bytes bytes, int dim, uint64_t tag,
                  SendHandlers handlers) override;
 
+    /**
+     * Fault hooks (docs/fault.md). Degraded links simply fill with
+     * `bandwidth * scale` capacity — the max-min solver needs no other
+     * change, and the dirty-link incremental path re-rates exactly the
+     * affected components. A *down* link is a zero-capacity fill: the
+     * flows crossing it are frozen at rate 0 with **no** completion
+     * event (a far-future event would outlive recovery and distort the
+     * queue-drained time), and a later link-up re-solve re-rates and
+     * re-schedules them. Busy-time accounting stays relative to the
+     * nominal link bandwidth, so a degraded link's utilization reads
+     * proportionally lower.
+     */
+    void setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                              double scale) override;
+    void setLinkUp(NpuId src, NpuId dst, int dim, bool up) override;
+
     const LinkGraph &graph() const { return graph_; }
 
     /** Flows currently transmitting. */
@@ -163,6 +179,10 @@ class FlowNetwork : public NetworkApi
         uint64_t tag = 0;
         TimeNs latency = 0.0; //!< constant hop-latency sum of the path.
         SendHandlers handlers;
+        /** Per-job attribution target captured at submission (the
+         *  NetworkApi send-owner channel); must stay valid for the
+         *  flow's lifetime. Null for unattributed traffic. */
+        std::vector<double> *owner = nullptr;
     };
 
     /** Per-flow-slot solver scratch; see the member comment below. */
@@ -219,11 +239,19 @@ class FlowNetwork : public NetworkApi
     /** Completion-event handler; ignores stale (gen/epoch) firings. */
     void onCompletion(uint64_t id, uint32_t epoch);
 
+    /** True if any link of `flow`'s path is administratively down. */
+    bool crossesDeadLink(const Flow &flow) const;
+
     LinkGraph graph_;
     SlotPool<Flow> flows_;
     LinkIncidence incidence_;      //!< link -> active flows on it.
     std::vector<uint32_t> active_; //!< slots of in-flight flows.
     std::vector<TimeNs> linkBusy_; //!< cumulative busy ns per link.
+    // Fault state: per-link capacity multiplier and up/down flag.
+    // All-1.0 / all-up (the default) is bit-identical to the
+    // pre-fault code paths (x * 1.0 == x for IEEE doubles).
+    std::vector<double> capScale_;
+    std::vector<uint8_t> linkUpState_;
     bool dirty_ = false;
     bool fullSolveVerify_ = false;
     SolverStats solver_;

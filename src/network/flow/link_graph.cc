@@ -202,6 +202,31 @@ LinkGraph::pathLatency(const std::vector<LinkId> &path) const
     return lat;
 }
 
+std::vector<LinkId>
+LinkGraph::faultLinks(NpuId src, NpuId dst, int dim)
+{
+    ASTRA_USER_CHECK(src >= 0 && src < topo_.npus(),
+                     "fault selector: src %d out of range for %d NPUs",
+                     src, topo_.npus());
+    ASTRA_USER_CHECK(dim < topo_.numDims(),
+                     "fault selector: dim %d out of range for %d dims",
+                     dim, topo_.numDims());
+    if (dst >= 0) {
+        ASTRA_USER_CHECK(dst < topo_.npus(),
+                         "fault selector: dst %d out of range for %d "
+                         "NPUs", dst, topo_.npus());
+        ASTRA_USER_CHECK(dst != src, "fault selector: src == dst");
+        return *pathFor(src, dst, dim < 0 ? kAutoRoute : dim);
+    }
+    std::vector<LinkId> out;
+    for (LinkId id = 0; id < links_.size(); ++id) {
+        const Link &l = links_[id];
+        if (l.from == src && (dim < 0 || l.dim == dim))
+            out.push_back(id);
+    }
+    return out;
+}
+
 void
 LinkIncidence::reset(size_t link_count)
 {

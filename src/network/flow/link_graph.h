@@ -76,6 +76,14 @@ class LinkGraph
     /** Sum of per-hop latencies along a path. */
     TimeNs pathLatency(const std::vector<LinkId> &path) const;
 
+    /**
+     * Links a fault selector `(src, dst, dim)` names (src/fault/):
+     * the routed path's links for a concrete `dst >= 0`, or every
+     * egress link of `src` (dim-filtered) when `dst < 0`. `dim < 0`
+     * means all dimensions. `src` must be an NPU (node id == NPU id).
+     */
+    std::vector<LinkId> faultLinks(NpuId src, NpuId dst, int dim);
+
     /** Dense id of the switch node serving `member` in dimension
      *  `dim` (which must be a Switch dimension). */
     int switchNodeOf(int dim, NpuId member) const;

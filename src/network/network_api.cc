@@ -1,5 +1,6 @@
 #include "network/network_api.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
@@ -38,6 +39,88 @@ void
 NetworkApi::simSchedule(TimeNs delay, EventCallback cb)
 {
     eq_.schedule(delay, std::move(cb));
+}
+
+void
+NetworkApi::setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                                 double scale)
+{
+    (void)src;
+    (void)dst;
+    (void)dim;
+    (void)scale;
+    fatal("this network backend does not support link fault injection");
+}
+
+void
+NetworkApi::setLinkUp(NpuId src, NpuId dst, int dim, bool up)
+{
+    (void)src;
+    (void)dst;
+    (void)dim;
+    (void)up;
+    fatal("this network backend does not support link fault injection");
+}
+
+std::vector<NetworkApi::PendingIo>
+NetworkApi::danglingRecvs() const
+{
+    std::vector<PendingIo> out;
+    for (const auto &[key, cbs] : posted_)
+        out.push_back({key.dst, key.src, key.tag,
+                       static_cast<int>(cbs.size())});
+    return out;
+}
+
+std::vector<NetworkApi::PendingIo>
+NetworkApi::unclaimedDeliveries() const
+{
+    std::vector<PendingIo> out;
+    for (const auto &[key, count] : arrived_)
+        out.push_back({key.dst, key.src, key.tag, count});
+    return out;
+}
+
+std::string
+NetworkApi::danglingSummary(size_t max_items) const
+{
+    auto describe = [max_items](const std::vector<PendingIo> &items,
+                                std::string &out) {
+        char buf[128];
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i == max_items) {
+                std::snprintf(buf, sizeof(buf), ", ... (%zu more)",
+                              items.size() - max_items);
+                out += buf;
+                break;
+            }
+            std::snprintf(buf, sizeof(buf),
+                          "%sdst=%d src=%d tag=%llu x%d",
+                          i == 0 ? "" : ", ", items[i].dst, items[i].src,
+                          static_cast<unsigned long long>(items[i].tag),
+                          items[i].count);
+            out += buf;
+        }
+    };
+    std::vector<PendingIo> recvs = danglingRecvs();
+    std::vector<PendingIo> sends = unclaimedDeliveries();
+    if (recvs.empty() && sends.empty())
+        return "no dangling sends or recvs";
+    std::string out;
+    if (!recvs.empty()) {
+        out += std::to_string(recvs.size()) + " dangling recv key(s) [";
+        describe(recvs, out);
+        out += "]";
+    }
+    if (!sends.empty()) {
+        if (!out.empty())
+            out += "; ";
+        out += std::to_string(sends.size()) +
+               " unclaimed delivery key(s) [";
+        describe(sends, out);
+        out += "]";
+    }
+    return out;
 }
 
 void

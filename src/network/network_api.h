@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/units.h"
@@ -112,6 +113,49 @@ class NetworkApi
     /** Schedule a callback after `delay` ns (Snippet 2 sim_schedule). */
     void simSchedule(TimeNs delay, EventCallback cb);
 
+    /**
+     * Fault hooks (src/fault/): rescale or cut the capacity of the
+     * links a `(src, dst, dim)` selector names — the dimension-ordered
+     * path for a concrete `dst`, or every egress link of `src` when
+     * `dst < 0` (`dim < 0` = all dimensions). Scales are absolute
+     * (the latest call wins, they do not compound) and must be > 0;
+     * full outages go through setLinkUp. The base implementation
+     * fatal()s: backends opt in, and each models faults at its own
+     * fidelity (docs/fault.md).
+     */
+    virtual void setLinkCapacityScale(NpuId src, NpuId dst, int dim,
+                                      double scale);
+    /** Take the selected links down (traffic stalls/parks) or bring
+     *  them back up (stalled traffic resumes). See above. */
+    virtual void setLinkUp(NpuId src, NpuId dst, int dim, bool up);
+
+    /**
+     * Attribution channel for multi-tenant accounting: while non-null,
+     * link-busy time caused by subsequently submitted sends is *also*
+     * added to `owner[dim]` (cluster dimension space). The cluster's
+     * per-job views set this around each forwarded simSend and clear
+     * it afterwards; a message/flow keeps the pointer it was submitted
+     * with for its whole lifetime, so busy time lands on the right
+     * job even when it accrues long after submission.
+     */
+    void setSendOwner(std::vector<double> *owner) { sendOwner_ = owner; }
+
+    /** One unmatched send/recv record (dangling-I/O introspection). */
+    struct PendingIo
+    {
+        NpuId dst = -1;
+        NpuId src = -1;
+        uint64_t tag = 0;
+        int count = 0;
+    };
+
+    /** Posted receives no delivery ever matched. */
+    std::vector<PendingIo> danglingRecvs() const;
+    /** Deliveries that arrived but were never claimed by a simRecv. */
+    std::vector<PendingIo> unclaimedDeliveries() const;
+    /** Human-readable digest of both, for deadlock diagnostics. */
+    std::string danglingSummary(size_t max_items = 6) const;
+
     TimeNs now() const { return eq_.now(); }
     EventQueue &eventQueue() { return eq_; }
     const Topology &topology() const { return topo_; }
@@ -159,6 +203,8 @@ class NetworkApi
     EventQueue &eq_;
     const Topology &topo_;
     NetworkStats stats_;
+    /** Per-job attribution target; see setSendOwner(). */
+    std::vector<double> *sendOwner_ = nullptr;
 
   private:
     struct PendingKey

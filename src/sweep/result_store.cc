@@ -37,6 +37,10 @@ metricName(Metric m)
       case Metric::QueueingDelay:    return "queueing_delay_ns";
       case Metric::InterferenceSlowdown:
         return "interference_slowdown";
+      case Metric::LostWork:         return "lost_work_ns";
+      case Metric::RecoveryTime:     return "recovery_time_ns";
+      case Metric::NumFaults:        return "num_faults";
+      case Metric::Goodput:          return "goodput";
     }
     return "?";
 }
@@ -103,6 +107,10 @@ ResultStore::value(size_t i, Metric m) const
       case Metric::QueueingDelay:    return r.report.queueingDelayNs;
       case Metric::InterferenceSlowdown:
         return r.report.interferenceSlowdown;
+      case Metric::LostWork:         return r.report.lostWorkNs;
+      case Metric::RecoveryTime:     return r.report.recoveryTimeNs;
+      case Metric::NumFaults:        return double(r.report.numFaults);
+      case Metric::Goodput:          return r.report.goodput;
     }
     return 0.0;
 }
@@ -146,6 +154,7 @@ ResultStore::toCsv() const
     out += ",total_ns,compute_ns,exposed_comm_ns,exposed_local_mem_ns,"
            "exposed_remote_mem_ns,idle_ns,events,messages,"
            "max_link_util,queueing_delay_ns,interference_slowdown,"
+           "lost_work_ns,recovery_time_ns,num_faults,goodput,"
            "status\n";
 
     char buf[64];
@@ -157,10 +166,10 @@ ResultStore::toCsv() const
         for (const std::string &v : r.config.axisValues)
             out += ',' + csvField(v);
         if (r.failed) {
-            // Eleven empty metric fields, then the status field —
+            // Fifteen empty metric fields, then the status field —
             // same arity as the ok branch so header-keyed parsers
             // align.
-            out += ",,,,,,,,,,,,";
+            out += ",,,,,,,,,,,,,,,,";
             out += csvField("failed: " + r.error);
         } else {
             const RuntimeBreakdown &b = r.report.average;
@@ -177,8 +186,15 @@ ResultStore::toCsv() const
                           r.report.maxLinkUtilization());
             out += buf;
             out += ',' + formatNs(r.report.queueingDelayNs);
-            std::snprintf(buf, sizeof(buf), ",%.6f,ok",
+            std::snprintf(buf, sizeof(buf), ",%.6f",
                           r.report.interferenceSlowdown);
+            out += buf;
+            out += ',' + formatNs(r.report.lostWorkNs);
+            out += ',' + formatNs(r.report.recoveryTimeNs);
+            std::snprintf(buf, sizeof(buf), ",%llu,%.6f,ok",
+                          static_cast<unsigned long long>(
+                              r.report.numFaults),
+                          r.report.goodput);
             out += buf;
         }
         out += '\n';

@@ -41,6 +41,10 @@ enum class Metric {
     MaxLinkUtil,      //!< busiest-link busy fraction [0, 1].
     QueueingDelay,    //!< mean admission-queue wait (ns; cluster runs).
     InterferenceSlowdown, //!< mean co-tenancy slowdown (cluster runs).
+    LostWork,         //!< re-executed work after failures (ns).
+    RecoveryTime,     //!< failure-to-restart downtime (ns).
+    NumFaults,        //!< fault events fired during the run.
+    Goodput,          //!< useful-work fraction under faults [0, 1].
 };
 
 /** Column name of a metric (matches the CSV/JSON headers). */

@@ -9,6 +9,7 @@
 
 #include "astra/config.h"
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "topology/notation.h"
 #include "topology/presets.h"
 #include "workload/builders.h"
@@ -409,6 +410,23 @@ configHashString(uint64_t hash)
 MaterializedConfig
 materializeConfig(const json::Value &doc)
 {
+    // Reject unknown top-level keys with a path-qualified error: a
+    // typoed key ("falut", "backund") would otherwise be silently
+    // ignored and the run would report healthy default behavior.
+    static const char *const kKnownKeys[] = {"topology", "backend",
+                                             "system", "workload",
+                                             "fault"};
+    for (const auto &[key, value] : doc.asObject()) {
+        (void)value;
+        bool known = false;
+        for (const char *k : kKnownKeys)
+            known = known || key == k;
+        ASTRA_USER_CHECK(known,
+                         "config: unknown top-level key '%s' "
+                         "(topology | backend | system | workload | "
+                         "fault)",
+                         key.c_str());
+    }
     ASTRA_USER_CHECK(doc.has("topology"),
                      "sweep config: missing 'topology'");
     Topology topo = topologyFromSpec(doc.at("topology"));
@@ -422,6 +440,8 @@ materializeConfig(const json::Value &doc)
                   c.backend = backend;
                   return c;
               }();
+    if (doc.has("fault"))
+        cfg.fault = fault::faultConfigFromJson(doc.at("fault"), "fault");
 
     ASTRA_USER_CHECK(doc.has("workload"),
                      "sweep config: missing 'workload'");

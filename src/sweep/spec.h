@@ -182,8 +182,8 @@ std::string configHashString(uint64_t hash);
  * changes, collective/timing model fixes — so persisted caches from
  * older builds are orphaned instead of silently serving stale Reports.
  */
-constexpr uint64_t kSpecSchemaVersion = 3; //!< 3: cluster configs +
-                                           //!< queueing/interference
+constexpr uint64_t kSpecSchemaVersion = 4; //!< 4: fault injection +
+                                           //!< failure-resilience
                                            //!< report columns.
 
 /**

@@ -27,9 +27,26 @@ Sys::noteBusy()
 }
 
 void
+Sys::stallCompute(TimeNs duration)
+{
+    if (duration <= 0.0)
+        return;
+    TimeNs start = std::max(eq().now(), computeFreeAt_);
+    computeFreeAt_ = start + duration;
+    eq().scheduleAt(start, [this] {
+        tracker_.beginActivity(Activity::Compute, eq().now());
+    });
+    eq().scheduleAt(start + duration, [this] {
+        tracker_.endActivity(Activity::Compute, eq().now());
+        noteBusy();
+    });
+}
+
+void
 Sys::issueCompute(Flops flops, Bytes tensor_bytes, EventCallback done)
 {
-    TimeNs duration = roofline_.computeTime(flops, tensor_bytes);
+    TimeNs duration =
+        roofline_.computeTime(flops, tensor_bytes) * computeScale_;
     TimeNs start = std::max(eq().now(), computeFreeAt_);
     computeFreeAt_ = start + duration;
     eq().scheduleAt(start, [this] {

@@ -76,10 +76,30 @@ class Sys
     /** Simulated time the NPU last completed any operation. */
     TimeNs lastBusy() const { return lastBusy_; }
 
+    /**
+     * Persistent compute slowdown (fault injection's "straggler"):
+     * every subsequent compute duration is multiplied by `scale`.
+     * Absolute, not compounding — the latest call wins. The default
+     * 1.0 is bit-identical to an unscaled NPU.
+     */
+    void setComputeScale(double scale) { computeScale_ = scale; }
+    double computeScale() const { return computeScale_; }
+
+    /**
+     * Occupy the compute unit for `duration` ns starting as soon as
+     * it is free (checkpoint cost): queued work behind it is pushed
+     * back exactly like a compute node, and the interval is tracked
+     * as Compute activity. No-op for duration <= 0.
+     */
+    void stallCompute(TimeNs duration);
+
     const SysConfig &config() const { return cfg_; }
 
     /** The shared event queue driving this NPU's backends. */
     EventQueue &eventQueue() { return coll_.network().eventQueue(); }
+
+    /** The network backend this NPU's traffic flows through. */
+    NetworkApi &network() { return coll_.network(); }
 
   private:
     using Activity = BreakdownTracker::Activity;
@@ -96,6 +116,7 @@ class Sys
     TimeNs computeFreeAt_ = 0.0;
     TimeNs memFreeAt_ = 0.0;
     TimeNs lastBusy_ = 0.0;
+    double computeScale_ = 1.0;
 };
 
 } // namespace astra

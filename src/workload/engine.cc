@@ -8,7 +8,8 @@
 namespace astra {
 
 ExecutionEngine::ExecutionEngine(std::vector<std::unique_ptr<Sys>> &sys,
-                                 const Workload &wl)
+                                 const Workload &wl,
+                                 const std::vector<uint8_t> *initial_done)
     : sys_(sys), wl_(wl)
 {
     ASTRA_ASSERT(sys_.size() == wl_.graphs.size(),
@@ -62,6 +63,31 @@ ExecutionEngine::ExecutionEngine(std::vector<std::unique_ptr<Sys>> &sys,
                                childStart_.end() - 1);
     for (const auto &[parent, child] : edges)
         children_[fill[parent]++] = child;
+
+    done_.assign(total_, 0);
+    if (initial_done != nullptr) {
+        // Checkpoint-restart: replay a completion snapshot. Done nodes
+        // are counted complete and their out-edges released, so
+        // start() seeds exactly the frontier the snapshot left ready.
+        ASTRA_ASSERT(initial_done->size() == total_,
+                     "completion snapshot size %zu does not match "
+                     "workload (%zu nodes)", initial_done->size(),
+                     total_);
+        for (size_t n = 0; n < wl_.graphs.size(); ++n) {
+            size_t base = nodeBase_[n];
+            size_t count = wl_.graphs[n].nodes.size();
+            for (size_t i = 0; i < count; ++i) {
+                size_t flat = base + i;
+                if (!(*initial_done)[flat])
+                    continue;
+                done_[flat] = 1;
+                ++completed_;
+                for (uint32_t c = childStart_[flat];
+                     c < childStart_[flat + 1]; ++c)
+                    --indegree_[base + children_[c]];
+            }
+        }
+    }
 }
 
 void
@@ -69,7 +95,8 @@ ExecutionEngine::start()
 {
     for (size_t n = 0; n < wl_.graphs.size(); ++n)
         for (size_t i = 0; i < wl_.graphs[n].nodes.size(); ++i)
-            if (indegree_[nodeBase_[n] + i] == 0)
+            if (indegree_[nodeBase_[n] + i] == 0 &&
+                !done_[nodeBase_[n] + i])
                 issue(static_cast<NpuId>(n), i);
 }
 
@@ -109,8 +136,11 @@ ExecutionEngine::issue(NpuId npu, size_t index)
 void
 ExecutionEngine::onDone(NpuId npu, size_t index)
 {
+    if (cancelled_)
+        return; // abandoned incarnation; stale completions are inert.
     ++completed_;
     size_t flat = flatIndex(npu, index);
+    done_[flat] = 1;
     size_t base = nodeBase_[static_cast<size_t>(npu)];
     for (uint32_t c = childStart_[flat]; c < childStart_[flat + 1]; ++c) {
         uint32_t child = children_[c];
@@ -131,8 +161,9 @@ ExecutionEngine::run()
     ASTRA_USER_CHECK(finished(),
                      "workload '%s' deadlocked: %zu of %zu nodes "
                      "completed (check send/recv pairing and collective "
-                     "group membership)",
-                     wl_.name.c_str(), completed_, total_);
+                     "group membership); %s",
+                     wl_.name.c_str(), completed_, total_,
+                     sys_[0]->network().danglingSummary().c_str());
     return eq.now();
 }
 

@@ -37,12 +37,33 @@ class ExecutionEngine
      * @param sys  one system layer per NPU (indexed by NPU id);
      *             borrowed, must outlive the engine.
      * @param wl   validated workload (one graph per NPU); borrowed.
+     * @param initial_done  optional completion snapshot (one flag per
+     *             flat node index, from snapshotDone() of a previous
+     *             engine over the same workload): those nodes are
+     *             marked complete up front and never re-issued —
+     *             checkpoint-restart resumes from here. The snapshot
+     *             must be dependency-closed (every parent of a done
+     *             node is done), which snapshotDone() guarantees.
      */
     ExecutionEngine(std::vector<std::unique_ptr<Sys>> &sys,
-                    const Workload &wl);
+                    const Workload &wl,
+                    const std::vector<uint8_t> *initial_done = nullptr);
 
     /** Seed all dependency-free nodes into the system layers. */
     void start();
+
+    /**
+     * Stop consuming completions: every subsequent node completion is
+     * ignored (no children issued, no progress counted). Used on NPU
+     * failure — in-flight events of the abandoned incarnation still
+     * fire harmlessly against the cancelled engine. Irreversible.
+     */
+    void cancel() { cancelled_ = true; }
+    bool cancelled() const { return cancelled_; }
+
+    /** Per-node completion flags (flat arena index); a consistent
+     *  cut usable as another engine's `initial_done`. */
+    std::vector<uint8_t> snapshotDone() const { return done_; }
 
     /** True once every node has completed. */
     bool finished() const { return completed_ == total_; }
@@ -89,9 +110,11 @@ class ExecutionEngine
     std::vector<int> indegree_;       //!< unmet parents per node.
     std::vector<uint32_t> childStart_; //!< CSR row starts (+1 sentinel).
     std::vector<uint32_t> children_;  //!< child node indices (graph-local).
+    std::vector<uint8_t> done_;       //!< per-node completion flags.
 
     size_t total_ = 0;
     size_t completed_ = 0;
+    bool cancelled_ = false;
     EventCallback onFinished_;
 };
 

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Cluster failure-resilience tests (docs/fault.md):
+ *
+ *  - Checkpoint/rollback: an NPU failure rolls the resident job back
+ *    to its last snapshot, restarts it after recovery, and reports
+ *    lost work, recovery time, restart count, and goodput.
+ *  - Requeue restart: a job whose NPU never recovers is re-placed on
+ *    healthy NPUs when its policy allows it.
+ *  - Stranded jobs fail in isolation with a diagnostic instead of
+ *    aborting the run.
+ *  - Empty fault scenarios are bit-exact no-ops at the cluster layer.
+ *  - Fixed seeds reproduce identical metrics across repeated runs.
+ *  - The report surfaces the resilience columns (CSV/JSON) and the
+ *    per-job link-busy attribution.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "common/logging.h"
+#include "topology/notation.h"
+
+namespace astra {
+namespace cluster {
+namespace {
+
+JobSpec
+collectiveJob(const std::string &name, int size, Bytes bytes)
+{
+    JobSpec spec;
+    spec.name = name;
+    spec.size = size;
+    spec.workloadDoc = json::parse(
+        R"({"kind": "collective", "collective": "all-reduce",
+            "bytes": )" +
+        std::to_string(static_cast<long long>(bytes)) + "}");
+    return spec;
+}
+
+fault::FaultConfig
+npuFailAt(NpuId npu, TimeNs fail_at, TimeNs recover_at = -1.0)
+{
+    fault::FaultConfig cfg;
+    fault::FaultEvent fail;
+    fail.kind = fault::FaultKind::NpuFail;
+    fail.npu = npu;
+    fail.at = fail_at;
+    cfg.schedule.push_back(fail);
+    if (recover_at >= 0.0) {
+        fault::FaultEvent rec = fail;
+        rec.kind = fault::FaultKind::NpuRecover;
+        rec.at = recover_at;
+        cfg.schedule.push_back(rec);
+    }
+    return cfg;
+}
+
+TEST(CheckpointRestart, FailureRollsBackAndRestartsInPlace)
+{
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    cfg.fault = npuFailAt(1, 31000.0, 35000.0);
+    cfg.defaultCheckpoint.intervalNs = 10000.0;
+    cfg.defaultCheckpoint.costNs = 0.0;
+    cfg.defaultCheckpoint.restartDelayNs = 500.0;
+
+    ClusterSimulator cluster(parseTopology("Ring(4,100)"), cfg);
+    cluster.addJob(collectiveJob("train", 4, 1 << 22));
+    ClusterReport report = cluster.run();
+
+    ASSERT_EQ(report.jobs.size(), 1u);
+    const JobResult &job = report.jobs[0];
+    EXPECT_FALSE(job.failed) << job.error;
+    EXPECT_EQ(job.numFaults, 1u);
+    EXPECT_EQ(job.restarts, 1);
+    // Rolled back from the failure at 31 us to the 30 us snapshot.
+    EXPECT_NEAR(job.lostWork, 1000.0, 1.0);
+    // Down from the failure until recovery + restart delay.
+    EXPECT_NEAR(job.recovery, 35000.0 + 500.0 - 31000.0, 1.0);
+    // The restarted job finishes after the restart point and pays the
+    // outage: goodput is a real fraction in (0, 1).
+    EXPECT_GT(job.finished, 35500.0);
+    EXPECT_GT(job.goodput, 0.0);
+    EXPECT_LT(job.goodput, 1.0);
+    EXPECT_GT(job.duration, job.isolatedDuration);
+
+    // Aggregate plumbing for sweeps.
+    EXPECT_EQ(report.aggregate.numFaults, 2u); // fail + recover fired.
+    EXPECT_EQ(report.aggregate.lostWorkNs, job.lostWork);
+    EXPECT_EQ(report.aggregate.recoveryTimeNs, job.recovery);
+    EXPECT_EQ(report.aggregate.goodput, job.goodput);
+    EXPECT_EQ(report.makespan, job.finished);
+}
+
+TEST(CheckpointRestart, NoCheckpointMeansRestartFromScratch)
+{
+    // Same failure without checkpointing: everything up to the
+    // failure is lost.
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    cfg.fault = npuFailAt(1, 31000.0, 35000.0);
+
+    ClusterSimulator cluster(parseTopology("Ring(4,100)"), cfg);
+    cluster.addJob(collectiveJob("train", 4, 1 << 22));
+    ClusterReport report = cluster.run();
+
+    const JobResult &job = report.jobs[0];
+    EXPECT_FALSE(job.failed) << job.error;
+    EXPECT_EQ(job.restarts, 1);
+    EXPECT_NEAR(job.lostWork, 31000.0, 1.0);
+    EXPECT_LT(job.goodput, 1.0);
+}
+
+TEST(CheckpointRestart, RequeuePlacesAroundTheFaultedNpu)
+{
+    // NPU 1 fails and never recovers; the job's requeue policy lets
+    // the placer move it to the healthy half of the ring.
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    cfg.fault = npuFailAt(1, 20000.0);
+    cfg.defaultCheckpoint.restartDelayNs = 1000.0;
+    cfg.defaultCheckpoint.requeue = true;
+
+    ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
+    cluster.addJob(collectiveJob("train", 4, 1 << 22));
+    ClusterReport report = cluster.run();
+
+    const JobResult &job = report.jobs[0];
+    EXPECT_FALSE(job.failed) << job.error;
+    EXPECT_EQ(job.restarts, 1);
+    EXPECT_GT(job.finished, 21000.0);
+    // The new placement cannot contain the faulted NPU 1.
+    EXPECT_EQ(job.placement.find("1"), std::string::npos)
+        << job.placement;
+}
+
+TEST(CheckpointRestart, StrandedJobFailsInIsolation)
+{
+    // In-place restart policy + an NPU that never recovers: the job
+    // can never restart. It must fail with a diagnostic — not hang,
+    // not abort the cluster run.
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    cfg.fault = npuFailAt(1, 20000.0);
+
+    ClusterSimulator cluster(parseTopology("Ring(4,100)"), cfg);
+    cluster.addJob(collectiveJob("doomed", 4, 1 << 22));
+    ClusterReport report = cluster.run();
+
+    const JobResult &job = report.jobs[0];
+    EXPECT_TRUE(job.failed);
+    EXPECT_FALSE(job.error.empty());
+    EXPECT_EQ(job.numFaults, 1u);
+    // Failed rows render in every report surface.
+    EXPECT_NE(report.summary().find("FAILED"), std::string::npos);
+    EXPECT_NE(report.jobsCsv().find("failed"), std::string::npos);
+    json::Value doc = report.toJson();
+    const json::Value &row = doc.at("jobs").asArray()[0];
+    EXPECT_TRUE(row.at("failed").asBool());
+    EXPECT_FALSE(row.at("error").asString().empty());
+}
+
+TEST(ClusterFaults, EmptyScenarioIsBitExact)
+{
+    auto run = [](bool with_empty_fault) {
+        ClusterConfig cfg;
+        cfg.backend = NetworkBackendKind::Flow;
+        if (with_empty_fault)
+            cfg.fault = fault::FaultConfig{};
+        ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
+        cluster.addJob(collectiveJob("a", 4, 1 << 22));
+        cluster.addJob(collectiveJob("b", 4, 1 << 22));
+        return cluster.run();
+    };
+    ClusterReport base = run(false);
+    ClusterReport with = run(true);
+    EXPECT_EQ(with.makespan, base.makespan);
+    EXPECT_EQ(with.totalEvents, base.totalEvents);
+    EXPECT_EQ(with.totalMessages, base.totalMessages);
+    EXPECT_EQ(with.jobsCsv(), base.jobsCsv());
+}
+
+TEST(ClusterFaults, FixedSeedReproducesIdenticalMetrics)
+{
+    auto run = [] {
+        ClusterConfig cfg;
+        cfg.backend = NetworkBackendKind::Flow;
+        fault::FaultConfig f;
+        f.seed = 7;
+        f.horizonNs = 2e5;
+        f.linkMtbfNs = 5e4;
+        f.linkMttrNs = 1e4;
+        f.linkDegradeScale = 0.5;
+        cfg.fault = f;
+        ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
+        cluster.addJob(collectiveJob("a", 4, 1 << 22));
+        cluster.addJob(collectiveJob("b", 4, 1 << 22));
+        return cluster.run();
+    };
+    ClusterReport a = run();
+    ClusterReport b = run();
+    EXPECT_GT(a.aggregate.numFaults, 0u);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.totalEvents, b.totalEvents);
+    EXPECT_EQ(a.jobsCsv(), b.jobsCsv());
+    EXPECT_EQ(a.toJson().dump(), b.toJson().dump());
+}
+
+TEST(ClusterFaults, StragglerSlowsTheResidentJob)
+{
+    auto makespan = [](double scale) {
+        ClusterConfig cfg;
+        cfg.backend = NetworkBackendKind::Flow;
+        cfg.isolatedBaselines = false;
+        if (scale != 1.0) {
+            fault::FaultConfig f;
+            fault::FaultEvent ev;
+            ev.kind = fault::FaultKind::Straggler;
+            ev.npu = 2;
+            ev.computeScale = scale;
+            ev.injectionScale = 1.0 / scale;
+            f.schedule.push_back(ev);
+            cfg.fault = f;
+        }
+        ClusterSimulator cluster(parseTopology("Ring(4,100)"), cfg);
+        cluster.addJob(collectiveJob("a", 4, 1 << 22));
+        return cluster.run().makespan;
+    };
+    EXPECT_GT(makespan(4.0), makespan(1.0) * 1.5);
+}
+
+TEST(ClusterFaults, ReportCarriesOwnBusyAttribution)
+{
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
+    cluster.addJob(collectiveJob("a", 4, 1 << 22));
+    cluster.addJob(collectiveJob("b", 4, 1 << 22));
+    ClusterReport report = cluster.run();
+
+    for (const JobResult &job : report.jobs) {
+        ASSERT_EQ(job.ownBusyPerDim.size(), 1u) << job.name;
+        EXPECT_GT(job.ownBusyPerDim[0], 0.0) << job.name;
+    }
+    // Per-job attribution is separable: the tenants' own-busy sums
+    // cannot exceed the fabric-level busy total.
+    double own_total = report.jobs[0].ownBusyPerDim[0] +
+                       report.jobs[1].ownBusyPerDim[0];
+    EXPECT_LE(own_total, report.aggregate.busyTimePerDim[0] * 1.0001);
+    // Disjoint equal jobs split the fabric roughly evenly.
+    EXPECT_NEAR(report.jobs[0].ownBusyPerDim[0],
+                report.jobs[1].ownBusyPerDim[0],
+                0.05 * report.jobs[0].ownBusyPerDim[0]);
+    // CSV and JSON surfaces carry the columns.
+    EXPECT_NE(report.jobsCsv().find("own_busy_per_dim_ns"),
+              std::string::npos);
+    json::Value doc = report.toJson();
+    EXPECT_TRUE(doc.at("jobs").asArray()[0].has("own_busy_per_dim_ns"));
+    EXPECT_TRUE(doc.has("mean_goodput"));
+}
+
+TEST(ClusterFaults, ScenarioJsonEndToEnd)
+{
+    // Full config-file path: fault + checkpoint blocks parse and run.
+    json::Value doc = json::parse(R"json({
+      "topology": "Ring(4,100)",
+      "backend": "flow",
+      "fault": {
+        "schedule": [
+          {"at_ns": 31000, "kind": "npu_fail", "npu": 1},
+          {"at_ns": 35000, "kind": "npu_recover", "npu": 1}
+        ]
+      },
+      "cluster": {
+        "checkpoint": {"interval_ns": 10000, "cost_ns": 100,
+                       "restart_delay_ns": 500},
+        "jobs": [
+          {"name": "train", "size": 4,
+           "workload": {"kind": "collective",
+                        "collective": "all-reduce",
+                        "bytes": 4194304}}
+        ]
+      }
+    })json");
+    ClusterReport report = runClusterScenario(doc);
+    ASSERT_EQ(report.jobs.size(), 1u);
+    EXPECT_FALSE(report.jobs[0].failed) << report.jobs[0].error;
+    EXPECT_EQ(report.jobs[0].restarts, 1);
+    EXPECT_GT(report.jobs[0].lostWork, 0.0);
+    EXPECT_GT(report.aggregate.numFaults, 0u);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace astra

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fault scenarios inside the sweep pipeline: a spec whose base
+ * carries a fault block must expand, hash, run, and tabulate like any
+ * other — and the determinism guarantee holds: the same seed and
+ * schedule render byte-identical result stores at 1, 2, and 8 worker
+ * threads. The fault metric columns flow through ResultStore queries.
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sweep/result_store.h"
+#include "sweep/runner.h"
+
+namespace astra {
+namespace sweep {
+namespace {
+
+/** Link-degrade scenarios over two payloads and two degrade scales
+ *  (one of them 1.0-free: every config carries real faults). */
+json::Value
+faultSpec()
+{
+    return json::parse(R"json({
+      "name": "fault-sweep-test",
+      "base": {
+        "topology": "Ring(8,100)",
+        "backend": "flow",
+        "fault": {
+          "seed": 11,
+          "schedule": [
+            {"at_ns": 0, "kind": "link_degrade", "src": 1,
+             "scale": 0.5},
+            {"at_ns": 20000, "kind": "link_up", "src": 1}
+          ]
+        },
+        "workload": {"kind": "collective", "collective": "all-reduce",
+                     "bytes": 4194304}
+      },
+      "axes": [
+        {"path": "workload.bytes", "values": [1048576, 4194304]},
+        {"path": "fault.schedule.0.scale", "values": [0.25, 0.5]}
+      ]
+    })json");
+}
+
+std::string
+storeBytes(const SweepSpec &spec, const BatchOutcome &outcome)
+{
+    ResultStore store = ResultStore::fromBatch(spec, outcome);
+    return store.toCsv() + store.toJson().dump(2);
+}
+
+TEST(FaultSweep, ByteIdenticalAcrossThreadCounts)
+{
+    SweepSpec spec = SweepSpec::fromJson(faultSpec());
+    ASSERT_EQ(spec.configCount(), 4u);
+
+    BatchOptions one;
+    one.threads = 1;
+    BatchOutcome out1 = runBatch(spec, one);
+    EXPECT_EQ(out1.failures, 0u);
+    std::string bytes1 = storeBytes(spec, out1);
+
+    BatchOptions two;
+    two.threads = 2;
+    std::string bytes2 = storeBytes(spec, runBatch(spec, two));
+
+    BatchOptions eight;
+    eight.threads = 8;
+    std::string bytes8 = storeBytes(spec, runBatch(spec, eight));
+
+    EXPECT_EQ(bytes1, bytes2);
+    EXPECT_EQ(bytes1, bytes8);
+}
+
+TEST(FaultSweep, FaultMetricsAreQueryable)
+{
+    SweepSpec spec = SweepSpec::fromJson(faultSpec());
+    BatchOptions opts;
+    opts.threads = 1;
+    ResultStore store = ResultStore::fromBatch(spec, runBatch(spec, opts));
+    ASSERT_EQ(store.rows(), 4u);
+
+    for (size_t i = 0; i < store.rows(); ++i) {
+        // Both schedule entries fire in every config.
+        EXPECT_EQ(store.value(i, Metric::NumFaults), 2.0) << i;
+        // Single-workload runs have no rollback machinery.
+        EXPECT_EQ(store.value(i, Metric::LostWork), 0.0) << i;
+    }
+    // The harder degrade (scale 0.25, slowest) maximizes total time
+    // for each payload; argmax must land on a 0.25 config.
+    size_t worst = store.argmax(Metric::TotalTime);
+    EXPECT_EQ(store.row(worst).config.axisValues[1], "0.25");
+
+    // Column headers present in both renderings.
+    EXPECT_NE(store.toCsv().find("num_faults"), std::string::npos);
+    EXPECT_NE(store.toCsv().find("goodput"), std::string::npos);
+}
+
+} // namespace
+} // namespace sweep
+} // namespace astra

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Config-validation rejection paths: malformed documents must die
+ * with path-qualified diagnostics at parse time, not as NaN results
+ * or hangs deep inside a simulation. One test per rejection family:
+ * unknown keys (top-level, cluster, job, fault), non-finite or
+ * non-positive system rates, out-of-range placement indices, and
+ * malformed checkpoint policies.
+ */
+#include <gtest/gtest.h>
+
+#include "astra/config.h"
+#include "cluster/config.h"
+#include "common/logging.h"
+#include "sweep/spec.h"
+
+namespace astra {
+namespace {
+
+/** Expect `fn` to throw a FatalError whose message contains `what`. */
+template <typename Fn>
+void
+expectRejects(Fn fn, const std::string &what)
+{
+    try {
+        fn();
+        FAIL() << "accepted a document that should be rejected ("
+               << what << ")";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+            << "message: " << e.what() << "\nexpected substring: "
+            << what;
+    }
+}
+
+TEST(ConfigValidation, UnknownTopLevelSweepKeyIsRejected)
+{
+    json::Value doc = json::parse(R"json({
+      "topology": "Ring(4,100)",
+      "backend": "analytical",
+      "wrokload": {"kind": "collective", "collective": "all-reduce",
+                   "bytes": 1024}
+    })json");
+    expectRejects([&] { sweep::materializeConfig(doc); }, "wrokload");
+}
+
+TEST(ConfigValidation, SystemRatesMustBePositiveAndFinite)
+{
+    auto materialize = [](const std::string &system) {
+        json::Value doc = json::parse(R"json({
+          "topology": "Ring(4,100)",
+          "system": )json" + system + R"json(,
+          "workload": {"kind": "collective",
+                       "collective": "all-reduce", "bytes": 1024}
+        })json");
+        sweep::materializeConfig(doc);
+    };
+    expectRejects([&] { materialize(R"({"peak_tflops": -1})"); },
+                  "peak_tflops");
+    expectRejects([&] { materialize(R"({"peak_tflops": 0})"); },
+                  "peak_tflops");
+    expectRejects([&] { materialize(R"({"compute_mem_bw_gbps": -5})"); },
+                  "compute_mem_bw_gbps");
+    expectRejects([&] { materialize(R"({"kernel_overhead_ns": -1})"); },
+                  "kernel_overhead_ns");
+    expectRejects(
+        [&] {
+            materialize(R"({"local_memory": {"bandwidth_gbps": 0}})");
+        },
+        "local_memory.bandwidth_gbps");
+}
+
+TEST(ConfigValidation, TopologyRejectsDegenerateDims)
+{
+    // Long-standing Topology invariants, pinned here as the fault
+    // model depends on them (zero-size dims and non-positive
+    // bandwidths would break per-link fault addressing).
+    expectRejects(
+        [] {
+            Topology topo({{BlockType::Ring, 0, 100.0, 500.0}});
+        },
+        "size");
+    expectRejects(
+        [] {
+            Topology topo({{BlockType::Ring, 4, -1.0, 500.0}});
+        },
+        "bandwidth");
+}
+
+TEST(ConfigValidation, ClusterErrorsArePathQualified)
+{
+    auto cluster_doc = [](const std::string &jobs) {
+        return json::parse(R"json({
+          "topology": "Ring(8,100)",
+          "backend": "flow",
+          "cluster": {"jobs": )json" + jobs + "}}");
+    };
+
+    // Misspelled job key, qualified with the job's index.
+    expectRejects(
+        [&] {
+            cluster::scenarioFromJson(cluster_doc(R"([
+              {"size": 4, "workload": {"kind": "collective",
+               "collective": "all-reduce", "bytes": 1024}},
+              {"size": 4, "placment": "spread",
+               "workload": {"kind": "collective",
+               "collective": "all-reduce", "bytes": 1024}}])"));
+        },
+        "cluster.jobs.1");
+
+    // Out-of-range explicit placement index.
+    expectRejects(
+        [&] {
+            cluster::scenarioFromJson(cluster_doc(R"([
+              {"placement": "explicit", "npus": [0, 1, 2, 99],
+               "workload": {"kind": "collective",
+               "collective": "all-reduce", "bytes": 1024}}])"));
+        },
+        "cluster.jobs.0.npus");
+
+    // Non-integral placement index.
+    expectRejects(
+        [&] {
+            cluster::scenarioFromJson(cluster_doc(R"([
+              {"placement": "explicit", "npus": [0, 1.5],
+               "workload": {"kind": "collective",
+               "collective": "all-reduce", "bytes": 1024}}])"));
+        },
+        "cluster.jobs.0.npus");
+
+    // Oversized job.
+    expectRejects(
+        [&] {
+            cluster::scenarioFromJson(cluster_doc(R"([
+              {"size": 16, "workload": {"kind": "collective",
+               "collective": "all-reduce", "bytes": 1024}}])"));
+        },
+        "cluster.jobs.0.size");
+
+    // Negative arrival time.
+    expectRejects(
+        [&] {
+            cluster::scenarioFromJson(cluster_doc(R"([
+              {"size": 4, "arrival_ns": -10,
+               "workload": {"kind": "collective",
+               "collective": "all-reduce", "bytes": 1024}}])"));
+        },
+        "cluster.jobs.0.arrival_ns");
+
+    // Unknown key inside the cluster block.
+    expectRejects(
+        [&] {
+            cluster::scenarioFromJson(json::parse(R"json({
+              "topology": "Ring(8,100)",
+              "cluster": {"admision": "fifo", "jobs": [
+                {"size": 4, "workload": {"kind": "collective",
+                 "collective": "all-reduce", "bytes": 1024}}]}
+            })json"));
+        },
+        "cluster: unknown key 'admision'");
+
+    // Unknown top-level key in a cluster document.
+    expectRejects(
+        [&] {
+            cluster::scenarioFromJson(json::parse(R"json({
+              "topology": "Ring(8,100)",
+              "falt": {},
+              "cluster": {"jobs": [
+                {"size": 4, "workload": {"kind": "collective",
+                 "collective": "all-reduce", "bytes": 1024}}]}
+            })json"));
+        },
+        "config: unknown key 'falt'");
+}
+
+TEST(ConfigValidation, CheckpointPolicyIsValidated)
+{
+    expectRejects(
+        [] {
+            fault::checkpointFromJson(
+                json::parse(R"({"interval_ns": -1})"),
+                "cluster.checkpoint");
+        },
+        "cluster.checkpoint.interval_ns");
+    expectRejects(
+        [] {
+            fault::checkpointFromJson(
+                json::parse(R"({"restart": "elsewhere"})"),
+                "cluster.checkpoint");
+        },
+        "cluster.checkpoint.restart");
+    expectRejects(
+        [] {
+            fault::checkpointFromJson(
+                json::parse(R"({"intervall_ns": 100})"),
+                "cluster.checkpoint");
+        },
+        "cluster.checkpoint: unknown key");
+}
+
+TEST(ConfigValidation, SweepFaultBlockIsParsedAndValidated)
+{
+    // The sweep materializer accepts a fault block...
+    json::Value ok = json::parse(R"json({
+      "topology": "Ring(4,100)",
+      "fault": {"schedule": [
+        {"at_ns": 0, "kind": "link_degrade", "src": 0, "scale": 0.5}]},
+      "workload": {"kind": "collective", "collective": "all-reduce",
+                   "bytes": 1024}
+    })json");
+    sweep::MaterializedConfig mc = sweep::materializeConfig(ok);
+    ASSERT_TRUE(mc.cfg.fault.has_value());
+    EXPECT_EQ(mc.cfg.fault->schedule.size(), 1u);
+
+    // ...and path-qualifies errors inside it.
+    expectRejects(
+        [&] {
+            json::Value doc = json::parse(R"json({
+              "topology": "Ring(4,100)",
+              "fault": {"schedule": [
+                {"at_ns": 0, "kind": "link_degrade", "src": 0}]},
+              "workload": {"kind": "collective",
+                           "collective": "all-reduce", "bytes": 1024}
+            })json");
+            sweep::materializeConfig(doc);
+        },
+        "fault.schedule.0");
+}
+
+} // namespace
+} // namespace astra

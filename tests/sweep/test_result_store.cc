@@ -114,7 +114,8 @@ TEST(ResultStore, CsvShapeAndQuoting)
               "exposed_comm_ns,exposed_local_mem_ns,"
               "exposed_remote_mem_ns,idle_ns,events,messages,"
               "max_link_util,queueing_delay_ns,"
-              "interference_slowdown,status");
+              "interference_slowdown,lost_work_ns,recovery_time_ns,"
+              "num_faults,goodput,status");
     // RFC-4180: embedded quotes doubled, field quoted.
     EXPECT_NE(row.find("\"has,comma \"\"quoted\"\"\""),
               std::string::npos);
