@@ -26,7 +26,11 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     CommandLine cl(argc, argv, {"network", "system", "trace", "synth",
-                                "bytes", "emit-samples"});
+                                "bytes", "emit-samples", "trace-out",
+                                "trace-detail", "trace-util",
+                                "trace-util-bucket", "log-level"});
+    if (cl.has("log-level"))
+        setLogLevel(logLevelFromString(cl.getString("log-level", "")));
 
     if (cl.has("emit-samples")) {
         std::string dir = cl.getString("emit-samples", ".");
@@ -45,6 +49,9 @@ main(int argc, char **argv)
     Topology topo = topologyFromJson(net_doc);
     SimulatorConfig cfg =
         simulatorConfigFromJson(sys_doc, backendFromJson(net_doc));
+    // --trace already names the input ET file, so the timeline output
+    // uses --trace-out (docs/trace.md).
+    cfg.trace = trace::traceConfigFromCli(cl, "trace-out", cfg.trace);
 
     Workload wl;
     if (cl.has("trace")) {
@@ -63,5 +70,9 @@ main(int argc, char **argv)
     Simulator sim(std::move(topo), cfg);
     Report report = sim.run(wl);
     std::printf("%s", report.summary().c_str());
+    if (!cfg.trace.file.empty())
+        std::printf("wrote %s\n", cfg.trace.file.c_str());
+    if (!cfg.trace.utilizationFile.empty())
+        std::printf("wrote %s\n", cfg.trace.utilizationFile.c_str());
     return 0;
 }

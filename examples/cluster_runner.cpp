@@ -6,7 +6,8 @@
  *
  * Usage:
  *   cluster_runner <scenario.json> [--csv jobs.csv] [--json out.json]
- *                  [--no-baselines] [--verbose]
+ *                  [--no-baselines] [--verbose | --log-level L]
+ *                  [--trace timeline.json [--trace-detail full]]
  *   cluster_runner --sample scenario.json   # write an example
  *   cluster_runner --demo [--backend flow]  # built-in tenancy demo
  *
@@ -56,17 +57,47 @@ demoDoc(const std::string &backend, const std::string &placement)
     return json::parse(text);
 }
 
+/// "timeline.json" + "spread" -> "timeline.spread.json"; the demo
+/// runs both placements, and each deserves its own trace.
+std::string
+tagPath(const std::string &path, const std::string &tag)
+{
+    if (path.empty())
+        return path;
+    size_t dot = path.rfind('.');
+    size_t slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
 int
-runDemo(const std::string &backend)
+runDemo(const std::string &backend, const CommandLine &cli)
 {
     std::printf("two 8-NPU all-reduce jobs on a shared Ring(16), "
                 "backend '%s'\n\n",
                 backend.c_str());
     for (const char *placement : {"contiguous", "spread"}) {
-        ClusterReport report =
-            runClusterScenario(demoDoc(backend, placement));
+        ClusterScenario scenario =
+            scenarioFromJson(demoDoc(backend, placement));
+        scenario.cfg.trace = trace::traceConfigFromCli(
+            cli, "trace", scenario.cfg.trace);
+        scenario.cfg.trace.file =
+            tagPath(scenario.cfg.trace.file, placement);
+        scenario.cfg.trace.utilizationFile =
+            tagPath(scenario.cfg.trace.utilizationFile, placement);
+        ClusterSimulator sim(std::move(scenario.topo), scenario.cfg);
+        for (JobSpec &job : scenario.jobs)
+            sim.addJob(std::move(job));
+        ClusterReport report = sim.run();
         std::printf("placement: %s\n%s\n", placement,
                     report.summary().c_str());
+        if (!scenario.cfg.trace.file.empty())
+            std::printf("wrote %s\n", scenario.cfg.trace.file.c_str());
+        if (!scenario.cfg.trace.utilizationFile.empty())
+            std::printf("wrote %s\n",
+                        scenario.cfg.trace.utilizationFile.c_str());
     }
     std::printf("contiguous slices share no ring links (slowdown "
                 "1.0x); striped slices route every hop through the "
@@ -83,8 +114,12 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"csv", "json", "sample", "demo", "backend",
-                     "no-baselines", "verbose"});
+                     "no-baselines", "verbose", "trace",
+                     "trace-detail", "trace-util",
+                     "trace-util-bucket", "log-level"});
     setVerbose(cli.getBool("verbose"));
+    if (cli.has("log-level"))
+        setLogLevel(logLevelFromString(cli.getString("log-level", "")));
 
     if (cli.has("sample")) {
         std::string path = cli.getString("sample", "cluster.json");
@@ -94,7 +129,7 @@ main(int argc, char **argv)
         return 0;
     }
     if (cli.getBool("demo"))
-        return runDemo(cli.getString("backend", "flow"));
+        return runDemo(cli.getString("backend", "flow"), cli);
 
     if (cli.positional().size() != 1) {
         std::fprintf(
@@ -110,6 +145,8 @@ main(int argc, char **argv)
     ClusterScenario scenario = scenarioFromJson(doc);
     if (cli.getBool("no-baselines"))
         scenario.cfg.isolatedBaselines = false;
+    scenario.cfg.trace =
+        trace::traceConfigFromCli(cli, "trace", scenario.cfg.trace);
 
     std::printf("cluster: %s, backend %s, %zu jobs, admission %s\n\n",
                 scenario.topo.notation().c_str(),
@@ -142,5 +179,10 @@ main(int argc, char **argv)
         json::writeFile(json_path, report.toJson());
         std::printf("wrote %s\n", json_path.c_str());
     }
+    if (!scenario.cfg.trace.file.empty())
+        std::printf("wrote %s\n", scenario.cfg.trace.file.c_str());
+    if (!scenario.cfg.trace.utilizationFile.empty())
+        std::printf("wrote %s\n",
+                    scenario.cfg.trace.utilizationFile.c_str());
     return 0;
 }

@@ -6,7 +6,7 @@
  * Usage:
  *   sweep_runner <spec.json> [--threads N] [--cache cache.json]
  *                [--csv out.csv] [--json out.json]
- *                [--metric total_ns] [--verbose]
+ *                [--metric total_ns] [--verbose | --log-level L]
  *   sweep_runner --sample spec.json     # write an example spec
  *
  * --threads 0 uses all hardware threads. --cache enables incremental
@@ -51,8 +51,10 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"threads", "cache", "csv", "json", "metric",
-                     "sample", "verbose"});
+                     "sample", "verbose", "log-level"});
     setVerbose(cli.getBool("verbose"));
+    if (cli.has("log-level"))
+        setLogLevel(logLevelFromString(cli.getString("log-level", "")));
 
     if (cli.has("sample")) {
         std::string path = cli.getString("sample", "sweep_spec.json");

@@ -9,6 +9,8 @@
  *   trace_runner                          # self-demo (generate+run)
  *   trace_runner --trace my_et.json --topo R(4,150)_SW(2,25)
  *   trace_runner --emit out.json          # write a sample trace
+ *   trace_runner --trace-out tl.json --trace-detail full
+ *                                         # Chrome/Perfetto timeline
  */
 #include "common/logging.h"
 #include <cstdio>
@@ -26,7 +28,11 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    CommandLine cl(argc, argv, {"trace", "topo", "emit"});
+    CommandLine cl(argc, argv, {"trace", "topo", "emit", "trace-out",
+                                "trace-detail", "trace-util",
+                                "trace-util-bucket", "log-level"});
+    if (cl.has("log-level"))
+        setLogLevel(logLevelFromString(cl.getString("log-level", "")));
     Topology topo =
         parseTopology(cl.getString("topo", "R(4,150)_SW(2,25)"));
 
@@ -53,8 +59,16 @@ main(int argc, char **argv)
         wl = workloadFromJson(workloadToJson(wl));
     }
 
-    Simulator sim(std::move(topo), SimulatorConfig{});
+    SimulatorConfig cfg;
+    // --trace already names the input ET file, so the timeline output
+    // uses --trace-out (docs/trace.md).
+    cfg.trace = trace::traceConfigFromCli(cl, "trace-out");
+    Simulator sim(std::move(topo), cfg);
     Report report = sim.run(wl);
     std::printf("%s", report.summary().c_str());
+    if (!cfg.trace.file.empty())
+        std::printf("wrote %s\n", cfg.trace.file.c_str());
+    if (!cfg.trace.utilizationFile.empty())
+        std::printf("wrote %s\n", cfg.trace.utilizationFile.c_str());
     return 0;
 }

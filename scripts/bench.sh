@@ -16,6 +16,9 @@
 #  - bench_fault_resilience (zero-fault bit-identity, flow-vs-packet
 #    degraded-incast agreement, and the checkpoint-interval x
 #    NPU-MTBF goodput grid) -> BENCH_fault.json
+#  - bench_trace_overhead (tracing off/spans/full on the staggered
+#    256-NPU hierarchical all-reduce: bit-identity and the <25%
+#    recording-overhead budget, docs/trace.md) -> BENCH_trace.json
 # Machine-readable results land at the repo root so numbers are
 # comparable across PRs (same machine assumed).
 #
@@ -49,6 +52,7 @@ SWEEP_OUT="${2:-BENCH_sweep.json}"
 FLOW_OUT="${3:-BENCH_flow.json}"
 CLUSTER_OUT="${4:-BENCH_cluster.json}"
 FAULT_OUT="${5:-BENCH_fault.json}"
+TRACE_OUT="${6:-BENCH_trace.json}"
 
 if [[ "$CHECK" == 1 ]]; then
     CHECK_DIR="$BUILD_DIR/bench-check"
@@ -58,18 +62,20 @@ if [[ "$CHECK" == 1 ]]; then
     COMMITTED_FLOW="$FLOW_OUT"
     COMMITTED_CLUSTER="$CLUSTER_OUT"
     COMMITTED_FAULT="$FAULT_OUT"
+    COMMITTED_TRACE="$TRACE_OUT"
     OUT="$CHECK_DIR/BENCH_eventcore.json"
     SWEEP_OUT="$CHECK_DIR/BENCH_sweep.json"
     FLOW_OUT="$CHECK_DIR/BENCH_flow.json"
     CLUSTER_OUT="$CHECK_DIR/BENCH_cluster.json"
     FAULT_OUT="$CHECK_DIR/BENCH_fault.json"
+    TRACE_OUT="$CHECK_DIR/BENCH_trace.json"
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_eventcore bench_speedup bench_sweep_throughput \
                bench_flow_vs_packet bench_cluster_tenancy \
-               bench_fault_resilience
+               bench_fault_resilience bench_trace_overhead
 
 # run_bench BINARY OUT: repeat the bench BENCH_REPEAT times and merge
 # with per-scenario min wall time (see header comment).
@@ -91,6 +97,7 @@ run_bench bench_sweep_throughput "$SWEEP_OUT"
 run_bench bench_flow_vs_packet "$FLOW_OUT"
 run_bench bench_cluster_tenancy "$CLUSTER_OUT"
 run_bench bench_fault_resilience "$FAULT_OUT"
+run_bench bench_trace_overhead "$TRACE_OUT"
 
 echo
 # One-shot speedup section only (skip the google-benchmark loops).
@@ -104,9 +111,10 @@ if [[ "$CHECK" == 1 ]]; then
         "$COMMITTED_SWEEP" "$SWEEP_OUT" \
         "$COMMITTED_FLOW" "$FLOW_OUT" \
         "$COMMITTED_CLUSTER" "$CLUSTER_OUT" \
-        "$COMMITTED_FAULT" "$FAULT_OUT"
+        "$COMMITTED_FAULT" "$FAULT_OUT" \
+        "$COMMITTED_TRACE" "$TRACE_OUT"
     echo "bench check passed (fresh results in $BUILD_DIR/bench-check)"
 else
     echo "results written to $OUT, $SWEEP_OUT, $FLOW_OUT," \
-         "$CLUSTER_OUT, and $FAULT_OUT"
+         "$CLUSTER_OUT, $FAULT_OUT, and $TRACE_OUT"
 fi

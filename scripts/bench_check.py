@@ -32,11 +32,11 @@ import sys
 EXACT_KEYS = {"sim_time_ns", "events", "solves", "flows_touched_total",
               "avg_component_frac", "interference_slowdown",
               "queueing_delay_ns", "lost_work_ns", "recovery_time_ns",
-              "num_faults", "goodput"}
-WALL_KEYS = {"wall_seconds", "seconds"}
+              "num_faults", "goodput", "trace_events"}
+WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds"}
 IGNORED_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
                 "speedup_8_over_1", "accuracy_gap", "bucket_width_ns",
-                "hardware_threads"}
+                "hardware_threads", "overhead_frac"}
 WALL_TOLERANCE = 1.25  # fresh wall time may be up to 25% above committed.
 WALL_SLACK_S = 0.005   # plus this absolute slack (sub-ms noise floor).
 

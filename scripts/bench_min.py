@@ -26,9 +26,9 @@ means the simulation itself is nondeterministic.
 import json
 import sys
 
-WALL_KEYS = {"wall_seconds", "seconds"}
+WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds"}
 RATE_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
-             "speedup_8_over_1"}
+             "speedup_8_over_1", "overhead_frac"}
 
 
 def total_wall(node):

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by the tracer.
+
+Usage: check_trace.py TRACE.json [--min-events N]
+
+Checks the structural invariants docs/trace.md promises (the same ones
+tests/trace asserts from C++), so CI can validate a smoke-run artifact
+without a build tree:
+
+  - the file parses as JSON and is either a bare event array or an
+    object with a "traceEvents" array (both are Perfetto-loadable);
+  - every event has the required keys for its phase ("X" complete
+    spans: name/cat/ph/ts/dur/pid/tid; "i" instants: no dur;
+    "M" metadata: name/pid/tid);
+  - ts and dur are non-negative numbers, dur present only on "X";
+  - events are sorted by ts (the writer stable-sorts at export), which
+    implies per-(pid,tid) monotonic timestamps.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"X", "i", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="require at least this many events (default 1)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            fail("top-level object has no 'traceEvents' array")
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        fail("top level is neither an array nor an object")
+
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events, expected >= {args.min_events}")
+
+    prev_ts = None
+    for i, ev in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing '{key}'")
+        if ph == "M":
+            continue  # metadata carries no timestamp.
+        for key in ("cat", "ts"):
+            if key not in ev:
+                fail(f"{where}: missing '{key}'")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: bad dur {dur!r}")
+        elif "dur" in ev:
+            fail(f"{where}: phase {ph!r} must not carry dur")
+        if prev_ts is not None and ts < prev_ts:
+            fail(f"{where}: ts {ts} < previous {prev_ts} "
+                 "(export must be time-sorted)")
+        prev_ts = ts
+
+    timed = sum(1 for e in events if e.get("ph") != "M")
+    print(f"check_trace: OK: {len(events)} events "
+          f"({timed} timed, {len(events) - timed} metadata)")
+
+
+if __name__ == "__main__":
+    main()

@@ -153,6 +153,27 @@ reportToJson(const Report &report)
     doc["recovery_time_ns"] = json::Value(report.recoveryTimeNs);
     doc["num_faults"] = json::Value(report.numFaults);
     doc["goodput"] = json::Value(report.goodput);
+    // Trace self-profiling is serialized only when present so the
+    // default (untraced) report JSON — and with it the sweep cache
+    // fingerprint — is unchanged. Wall-clock attribution is excluded
+    // for the same reason wallSeconds is (see header comment).
+    if (!report.traceCounters.empty()) {
+        json::Object counters;
+        for (const auto &[key, v] : report.traceCounters)
+            counters[key] = json::Value(v);
+        doc["trace_counters"] = json::Value(std::move(counters));
+    }
+    if (!report.traceHistograms.empty()) {
+        json::Object hists;
+        for (const auto &[key, buckets] : report.traceHistograms) {
+            json::Array arr;
+            arr.reserve(buckets.size());
+            for (uint64_t b : buckets)
+                arr.push_back(json::Value(b));
+            hists[key] = json::Value(std::move(arr));
+        }
+        doc["trace_histograms"] = json::Value(std::move(hists));
+    }
     return json::Value(std::move(doc));
 }
 
@@ -195,6 +216,21 @@ reportFromJson(const json::Value &doc)
     report.numFaults =
         static_cast<uint64_t>(doc.getInt("num_faults", 0));
     report.goodput = doc.getNumber("goodput", 0.0);
+    if (doc.has("trace_counters")) {
+        for (const auto &[key, v] :
+             doc.at("trace_counters").asObject())
+            report.traceCounters[key] = v.asNumber();
+    }
+    if (doc.has("trace_histograms")) {
+        for (const auto &[key, v] :
+             doc.at("trace_histograms").asObject()) {
+            std::vector<uint64_t> buckets;
+            for (const json::Value &b : v.asArray())
+                buckets.push_back(
+                    static_cast<uint64_t>(b.asNumber()));
+            report.traceHistograms[key] = std::move(buckets);
+        }
+    }
     return report;
 }
 

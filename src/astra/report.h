@@ -9,6 +9,7 @@
 #define ASTRA_ASTRA_REPORT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,20 @@ struct Report
     uint64_t numFaults = 0;
     double goodput = 0.0;
     double wallSeconds = 0.0;     //!< host wall-clock of the run.
+    /**
+     * Self-profiling counters (src/trace/, docs/trace.md), filled
+     * only when tracing is enabled. `traceCounters` (scalars) and
+     * `traceHistograms` (log2-bucketed, e.g. event-queue depth) are
+     * pure functions of the configuration and are serialized when
+     * non-empty — an untraced run's report JSON is byte-identical to
+     * one from a build without tracing, preserving the sweep cache
+     * fingerprint. `traceWallSeconds` holds per-subsystem host-time
+     * attribution (solver vs callbacks vs trace export) and, like
+     * `wallSeconds`, is never serialized.
+     */
+    std::map<std::string, double> traceCounters;
+    std::map<std::string, std::vector<uint64_t>> traceHistograms;
+    std::map<std::string, double> traceWallSeconds;
 
     /** Exposed-communication share of total runtime [0, 1]. */
     double exposedCommFraction() const;

@@ -48,6 +48,22 @@ Simulator::run(const Workload &wl)
 
     auto host_start = std::chrono::steady_clock::now();
     ExecutionEngine engine(sys_, wl);
+    if (cfg_.trace.enabled()) {
+        tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
+        tracer_->processName(0, "sim " + wl.name);
+        for (NpuId n = 0; n < topo_.npus(); ++n)
+            tracer_->threadName(0, n, detail::formatV("rank %d", n));
+        tracer_->threadName(0, trace::Tracer::kLifecycleTid,
+                            "lifecycle");
+        net_->setTracer(tracer_.get());
+        coll_->setTracer(tracer_.get(), 0);
+        engine.setTracer(tracer_.get(), 0);
+        // Self-profiling piggybacks on the tracer: queue-depth and
+        // bucket-occupancy histograms always, per-callback wall
+        // sampling only at full detail (it is the costlier probe).
+        profile_.timeCallbacks = tracer_->full();
+        eq_.setProfile(&profile_);
+    }
     // With faults active, the queue can outlive the workload (a fault
     // timeline's tail event may fire after the last node), so the
     // finish time is captured at the last completion rather than read
@@ -66,6 +82,8 @@ Simulator::run(const Workload &wl)
         hooks.active = [&engine] { return !engine.finished(); };
         injector_ = std::make_unique<fault::FaultInjector>(
             eq_, topo_, *cfg_.fault, std::move(hooks));
+        if (tracer_)
+            injector_->setTracer(tracer_.get(), 0);
         injector_->start();
     }
     engine.run();
@@ -91,6 +109,18 @@ Simulator::run(const Workload &wl)
     report.numFaults = injector_ ? injector_->firedCount() : 0;
     report.wallSeconds =
         std::chrono::duration<double>(host_end - host_start).count();
+    if (tracer_) {
+        eq_.setProfile(nullptr);
+        trace::Counters &c = tracer_->counters();
+        c.add("trace_events", double(tracer_->eventCount()));
+        trace::addQueueProfile(profile_, c);
+        net_->fillTraceCounters(c);
+        double write_wall = tracer_->writeOutputs();
+        c.addWall("wall_trace_write_seconds", write_wall);
+        report.traceCounters = c.values;
+        report.traceHistograms = c.histograms;
+        report.traceWallSeconds = c.wallSeconds;
+    }
     return report;
 }
 

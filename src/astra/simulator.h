@@ -22,6 +22,7 @@
 #include "network/network_api.h"
 #include "system/sys.h"
 #include "topology/topology.h"
+#include "trace/tracer.h"
 #include "workload/et.h"
 
 namespace astra {
@@ -43,6 +44,14 @@ struct SimulatorConfig
      * leave every code path bit-identical to a fault-free build.
      */
     std::optional<fault::FaultConfig> fault;
+    /**
+     * Tracing & self-profiling (docs/trace.md). The default
+     * (`detail: off`) records nothing and leaves every code path
+     * bit-identical to a build without tracing; `spans`/`full` record
+     * a simulated-time timeline (exported as Chrome trace-event JSON
+     * when `file` is set) and fill the report's trace counters.
+     */
+    trace::TraceConfig trace;
 };
 
 /** See file comment. */
@@ -67,6 +76,10 @@ class Simulator
     const MemoryModel &memory() const { return *mem_; }
     Sys &sys(NpuId npu);
 
+    /** The run's tracer (null unless cfg.trace enabled it); exposed
+     *  so tests can inspect the recorded timeline in memory. */
+    trace::Tracer *tracer() { return tracer_.get(); }
+
   private:
     Topology topo_;
     SimulatorConfig cfg_;
@@ -76,6 +89,8 @@ class Simulator
     std::unique_ptr<MemoryModel> mem_;
     std::vector<std::unique_ptr<Sys>> sys_;
     std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    QueueProfile profile_; //!< attached to eq_ while tracing.
     bool ran_ = false;
 };
 

@@ -115,6 +115,9 @@ struct ClusterSimulator::JobRuntime
     bool waitingRecovery = false; //!< restart-in-place pending.
     bool failed = false;          //!< permanent failure (see error).
     std::string error;
+    /** Open lifecycle span of the running incarnation
+     *  (Tracer::kNoSpan when tracing is off or not running). */
+    uint32_t traceSpan = trace::Tracer::kNoSpan;
 
     // Fabric snapshots bracketing the residency (per-job report).
     uint64_t eventsAtAdmit = 0;
@@ -238,6 +241,20 @@ ClusterSimulator::buildStack(JobRuntime &job, NetworkApi &fabric,
             : nullptr;
     stack.engine =
         std::make_unique<ExecutionEngine>(stack.sys, job.wl, resume);
+    // Only the co-executed stack is traced: the isolated baseline
+    // runs on its own throwaway fabric and would pollute the shared
+    // timeline with duplicate spans at wrong (restarted) clocks.
+    if (shared && tracer_) {
+        int32_t pid = job.id + 1;
+        stack.engine->setTracer(tracer_.get(), pid);
+        stack.coll->setTracer(tracer_.get(), pid);
+        for (NpuId n = 0; n < job.jobTopo.npus(); ++n)
+            tracer_->threadName(
+                pid, n,
+                detail::formatV(
+                    "rank %d g%d", n,
+                    stack.placement.globalOf[static_cast<size_t>(n)]));
+    }
 }
 
 void
@@ -263,6 +280,21 @@ ClusterSimulator::launch(JobRuntime &job)
     job.lastSnapshot = eq_.now();
     job.running = true;
     ++runningJobs_;
+    debugT("cluster", "t=%.0f job '%s' starting (incarnation %d)",
+           eq_.now(), job.spec.name.c_str(), job.incarnation);
+    if (tracer_) {
+        if (job.incarnation > 0)
+            tracer_->instantStr(job.id + 1, trace::Tracer::kLifecycleTid,
+                                "job", "restart " + job.spec.name,
+                                eq_.now());
+        job.traceSpan = tracer_->beginSpan(
+            job.id + 1, trace::Tracer::kLifecycleTid, "job",
+            job.incarnation == 0
+                ? "run " + job.spec.name
+                : detail::formatV("run %s inc%d", job.spec.name.c_str(),
+                                  job.incarnation),
+            eq_.now());
+    }
     job.stack->engine->start();
     scheduleCheckpoint(index);
 }
@@ -304,7 +336,16 @@ ClusterSimulator::onJobFinished(size_t index)
     job.done = true;
     job.running = false;
     job.finished = eq_.now();
+    debugT("cluster", "t=%.0f job '%s' finished (%d restarts)",
+           job.finished, job.spec.name.c_str(), job.restarts);
     lastFinish_ = std::max(lastFinish_, job.finished);
+    if (tracer_ && job.traceSpan != trace::Tracer::kNoSpan) {
+        tracer_->endSpan(job.traceSpan, job.finished);
+        job.traceSpan = trace::Tracer::kNoSpan;
+        tracer_->instantStr(job.id + 1, trace::Tracer::kLifecycleTid,
+                            "job", "done " + job.spec.name,
+                            job.finished);
+    }
     job.eventsAtFinish = eq_.executedEvents();
     job.busyAtFinish = net_->stats().busyTimePerDim;
     job.maxLinkAtFinish = net_->stats().maxLinkBusyNs;
@@ -333,6 +374,9 @@ ClusterSimulator::scheduleCheckpoint(size_t index)
         // in-flight work at the cut re-executes after a rollback.
         job.snapshot = job.stack->engine->snapshotDone();
         job.lastSnapshot = eq_.now();
+        if (tracer_)
+            tracer_->instant(job.id + 1, trace::Tracer::kLifecycleTid,
+                             "job", "checkpoint", eq_.now());
         for (auto &sys : job.stack->sys)
             sys->stallCompute(job.ckpt.costNs);
         scheduleCheckpoint(index);
@@ -395,6 +439,12 @@ ClusterSimulator::failJob(JobRuntime &job)
     job.lostWork += eq_.now() - job.lastSnapshot;
     job.failedAt = eq_.now();
     job.running = false;
+    if (tracer_ && job.traceSpan != trace::Tracer::kNoSpan) {
+        tracer_->endSpan(job.traceSpan, eq_.now());
+        job.traceSpan = trace::Tracer::kNoSpan;
+        tracer_->instantStr(job.id + 1, trace::Tracer::kLifecycleTid,
+                            "job", "fail " + job.spec.name, eq_.now());
+    }
     job.stack->engine->cancel();
     // Quiesce the collective engine too: messages already in the
     // fabric drain (and are dropped on delivery), but the ghost
@@ -572,6 +622,10 @@ ClusterSimulator::finalizeJob(JobRuntime &job)
 void
 ClusterSimulator::enqueuePending(size_t id)
 {
+    if (tracer_)
+        tracer_->instantStr(jobs_[id]->id + 1,
+                            trace::Tracer::kLifecycleTid, "job",
+                            "queued " + jobs_[id]->spec.name, eq_.now());
     auto pos = std::find_if(
         pending_.begin(), pending_.end(), [&](size_t other) {
             const JobSpec &a = jobs_[id]->spec;
@@ -593,6 +647,22 @@ ClusterSimulator::run()
     ASTRA_USER_CHECK(!jobs_.empty(), "cluster has no jobs");
     ran_ = true;
 
+    if (cfg_.trace.enabled()) {
+        tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
+        tracer_->processName(0, "fabric");
+        tracer_->threadName(0, trace::Tracer::kLifecycleTid,
+                            "lifecycle");
+        for (const auto &job : jobs_) {
+            tracer_->processName(job->id + 1, job->spec.name);
+            tracer_->threadName(job->id + 1,
+                                trace::Tracer::kLifecycleTid,
+                                "lifecycle");
+        }
+        net_->setTracer(tracer_.get());
+        profile_.timeCallbacks = tracer_->full();
+        eq_.setProfile(&profile_);
+    }
+
     faultActive_ = cfg_.fault && !cfg_.fault->empty();
     bool timed_tail = faultActive_;
     for (const auto &job : jobs_)
@@ -608,6 +678,8 @@ ClusterSimulator::run()
         hooks.active = [this] { return !allSettled(); };
         injector_ = std::make_unique<fault::FaultInjector>(
             eq_, topo_, *cfg_.fault, std::move(hooks));
+        if (tracer_)
+            injector_->setTracer(tracer_.get(), 0);
         injector_->start();
     }
 
@@ -752,6 +824,18 @@ ClusterSimulator::run()
         agg.recoveryTimeNs += jr.recovery;
     }
     agg.goodput = report.meanGoodput();
+    if (tracer_) {
+        eq_.setProfile(nullptr);
+        trace::Counters &c = tracer_->counters();
+        c.add("trace_events", double(tracer_->eventCount()));
+        trace::addQueueProfile(profile_, c);
+        net_->fillTraceCounters(c);
+        double write_wall = tracer_->writeOutputs();
+        c.addWall("wall_trace_write_seconds", write_wall);
+        agg.traceCounters = c.values;
+        agg.traceHistograms = c.histograms;
+        agg.traceWallSeconds = c.wallSeconds;
+    }
     return report;
 }
 

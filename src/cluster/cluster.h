@@ -73,6 +73,14 @@ struct ClusterConfig
      *  default (zeroed) policy means "no checkpointing": a failed
      *  job re-executes from the beginning. */
     fault::CheckpointPolicy defaultCheckpoint;
+    /**
+     * Tracing & self-profiling (docs/trace.md). One shared tracer
+     * covers the whole cluster: pid 0 is the fabric (link tracks,
+     * fault instants), each job traces under pid = job id + 1 (rank
+     * tracks, collective spans, lifecycle queued/admitted/checkpoint/
+     * fail/restart/done). Isolated-baseline re-runs are never traced.
+     */
+    trace::TraceConfig trace;
 };
 
 /** One job to run on the cluster. */
@@ -209,6 +217,10 @@ class ClusterSimulator
     NetworkApi &network() { return *net_; }
     int jobCount() const { return static_cast<int>(jobs_.size()); }
 
+    /** The run's shared tracer (null unless cfg.trace enabled it);
+     *  exposed so tests can inspect the timeline in memory. */
+    trace::Tracer *tracer() { return tracer_.get(); }
+
   private:
     struct JobRuntime;
     struct JobStack;
@@ -255,6 +267,8 @@ class ClusterSimulator
      *  (priority desc, arrival, id) — the admission order. */
     std::vector<size_t> pending_;
     std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    QueueProfile profile_; //!< attached to eq_ while tracing.
     /** Last compute-scale fault applied per cluster NPU (stragglers
      *  outlive job turnover: new tenants inherit the slow NPU). */
     std::vector<double> npuComputeScale_;

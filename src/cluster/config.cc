@@ -111,7 +111,8 @@ scenarioFromJson(const json::Value &doc)
     ASTRA_USER_CHECK(isClusterDoc(doc),
                      "not a cluster configuration (missing 'cluster')");
     checkKeys(doc, "config",
-              {"topology", "backend", "system", "cluster", "fault"});
+              {"topology", "backend", "system", "cluster", "fault",
+               "trace"});
     ASTRA_USER_CHECK(doc.has("topology"),
                      "cluster config: missing 'topology'");
 
@@ -129,6 +130,9 @@ scenarioFromJson(const json::Value &doc)
     if (doc.has("fault"))
         scenario.cfg.fault =
             fault::faultConfigFromJson(doc.at("fault"), "fault");
+    if (doc.has("trace"))
+        scenario.cfg.trace =
+            trace::traceConfigFromJson(doc.at("trace"), "trace");
     if (c.has("checkpoint"))
         scenario.cfg.defaultCheckpoint = fault::checkpointFromJson(
             c.at("checkpoint"), "cluster.checkpoint");

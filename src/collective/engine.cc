@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace astra {
 
@@ -54,6 +55,10 @@ void
 CollectiveEngine::releaseInstance(Instance &inst)
 {
     ++completedInstances_;
+    if (tracer_ && inst.traceSpan != trace::Tracer::kNoSpan) {
+        tracer_->endSpan(inst.traceSpan, net_.now());
+        inst.traceSpan = trace::Tracer::kNoSpan;
+    }
     uint64_t id = inst.id;
     inst.id = 0;
     // Clears keep the top-level capacities (and the per-member nested
@@ -166,6 +171,20 @@ CollectiveEngine::start(Instance &inst)
         }
     }
 
+    if (tracer_) {
+        inst.traceSpan = tracer_->beginSpan(
+            tracePid_,
+            trace::Tracer::kCollTidBase +
+                static_cast<int32_t>(SlotPool<Instance>::slotOf(inst.id)),
+            "coll",
+            detail::formatV("%s %.0fB x%d chunks=%d",
+                            collectiveName(inst.req.type), inst.req.bytes,
+                            inst.groupSize, inst.req.chunks),
+            net_.now());
+    } else {
+        inst.traceSpan = trace::Tracer::kNoSpan;
+    }
+
     // Kick every (member, chunk) state machine in ascending NPU-id
     // order. Chunks all enter their first phase now; pipelining across
     // phases emerges from transmit port serialization in the backend.
@@ -265,6 +284,8 @@ CollectiveEngine::advance(Instance &inst, int rank, int chunk)
     }
     st.sent = 0;
     st.recvd = st.early[st.phase];
+    if (tracer_ && tracer_->full())
+        st.phaseEnteredAt = net_.now();
     pump(inst, rank, chunk);
 }
 
@@ -310,6 +331,14 @@ CollectiveEngine::pump(Instance &inst, int rank, int chunk)
     }
 
     if (st.recvd == expectedRecvs(ph, pos) && st.sent == sends) {
+        if (tracer_ && tracer_->full())
+            tracer_->span(tracePid_,
+                          inst.npuOfRank[static_cast<size_t>(rank)],
+                          "coll", "c%lld p%lld d%lld", st.phaseEnteredAt,
+                          net_.now() - st.phaseEnteredAt,
+                          static_cast<long long>(chunk),
+                          static_cast<long long>(st.phase),
+                          static_cast<long long>(ph.group.dim));
         ++st.phase;
         advance(inst, rank, chunk);
     }

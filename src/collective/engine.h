@@ -87,6 +87,21 @@ class CollectiveEngine
      *  so tests can verify free-list recycling. */
     size_t instanceSlots() const { return instances_.slots(); }
 
+    /**
+     * Attach the tracing sink (docs/trace.md): each instance becomes
+     * an open span on its pool slot's track (tid = kCollTidBase +
+     * slot, so concurrently live instances never share a track) under
+     * process `pid`; at full detail every (member, chunk, phase)
+     * traversal adds a span on the member's rank track. Null
+     * detaches. Purely observational.
+     */
+    void
+    setTracer(trace::Tracer *tracer, int32_t pid)
+    {
+        tracer_ = tracer;
+        tracePid_ = pid;
+    }
+
   private:
     struct ChunkState
     {
@@ -96,6 +111,9 @@ class CollectiveEngine
         size_t phase = 0; //!< index into the chunk's phase list.
         int sent = 0;     //!< algorithm steps sent in current phase.
         int recvd = 0;    //!< messages received in current phase.
+        /** Entry time of the current phase; maintained only at full
+         *  trace detail (phase spans). */
+        TimeNs phaseEnteredAt = 0.0;
         /** Messages that arrived for a later phase than the member is
          *  in (rails of the same dimension progress independently
          *  under contention); consumed when the phase is entered. */
@@ -133,6 +151,9 @@ class CollectiveEngine
         /** rank -> NPU id (for sends and the deterministic kick
          *  order). */
         std::vector<NpuId> npuOfRank;
+        /** Open trace span of this instance (Tracer::kNoSpan when
+         *  tracing is off or the span is closed). */
+        uint32_t traceSpan = 0xffffffffu;
     };
 
     /** Rendezvous key: (caller key, canonical group representative). */
@@ -195,6 +216,8 @@ class CollectiveEngine
     std::vector<int> kickScratch_;    //!< reused by start().
     uint64_t completedInstances_ = 0;
     bool cancelled_ = false;
+    trace::Tracer *tracer_ = nullptr; //!< null = tracing disabled.
+    int32_t tracePid_ = 0;
 };
 
 /** Result of a standalone collective run (runCollective helper). */

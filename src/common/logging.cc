@@ -8,7 +8,7 @@ namespace astra {
 
 namespace {
 
-bool g_verbose = true;
+LogLevel g_level = LogLevel::Info;
 
 } // namespace
 
@@ -36,28 +36,87 @@ formatV(const char *fmt, ...)
 } // namespace detail
 
 void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+LogLevel
+logLevelFromString(const std::string &name)
+{
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    fatal("unknown log level \"%s\" (expected error|warn|info|debug)",
+          name.c_str());
+}
+
+void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_level = verbose ? LogLevel::Info : LogLevel::Warn;
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return logEnabled(LogLevel::Info);
+}
+
+void
+logStr(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (!logEnabled(level))
+        return;
+    std::ostream &out =
+        static_cast<int>(level) <= static_cast<int>(LogLevel::Warn)
+            ? std::cerr
+            : std::cout;
+    out << logLevelName(level) << ": ";
+    if (tag)
+        out << '[' << tag << "] ";
+    out << msg << "\n";
 }
 
 void
 informStr(const std::string &msg)
 {
-    if (g_verbose)
-        std::cout << "info: " << msg << "\n";
+    logStr(LogLevel::Info, nullptr, msg);
 }
 
 void
 warnStr(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << "\n";
+    logStr(LogLevel::Warn, nullptr, msg);
 }
 
 void

@@ -33,11 +33,58 @@ std::string formatV(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 } // namespace detail
 
-/** Global verbosity switch; examples/benches may silence inform(). */
+/**
+ * Leveled logging. Messages carry a severity and an optional
+ * subsystem tag; anything above the global threshold is dropped at
+ * the call site. Error/Warn go to stderr, Info/Debug to stdout.
+ * fatal()/panic() are not levels — they are control flow (throw /
+ * abort) and always fire.
+ */
+enum class LogLevel {
+    Error = 0, //!< always printed (reserved for non-fatal errors).
+    Warn  = 1, //!< something may be modelled imperfectly.
+    Info  = 2, //!< normal operating messages (default threshold).
+    Debug = 3, //!< high-volume diagnostics, off by default.
+};
+
+/** Global threshold: messages with level > threshold are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+/** True when `level` messages currently print (guard expensive
+ *  message construction with this). */
+bool logEnabled(LogLevel level);
+
+const char *logLevelName(LogLevel level);
+/** Parse "error"|"warn"|"info"|"debug" (CLI --log-level); fatal()
+ *  on anything else. */
+LogLevel logLevelFromString(const std::string &name);
+
+/**
+ * Legacy verbosity switch, now a shim over the level threshold:
+ * setVerbose(true) = Info, setVerbose(false) = Warn; verbose() is
+ * "Info messages currently print". Prefer setLogLevel().
+ */
 void setVerbose(bool verbose);
 bool verbose();
 
-/** Print a normal status message to stdout (when verbose). */
+/** Core sink: print `msg` at `level` with an optional subsystem tag
+ *  (nullptr = untagged), honoring the global threshold. */
+void logStr(LogLevel level, const char *tag, const std::string &msg);
+
+/** Formatted, tagged message at an explicit level. */
+template <typename... Args>
+void
+logmsg(LogLevel level, const char *tag, const char *fmt, Args... args)
+{
+    if (!logEnabled(level))
+        return;
+    if constexpr (sizeof...(Args) == 0)
+        logStr(level, tag, fmt);
+    else
+        logStr(level, tag, detail::formatV(fmt, args...));
+}
+
+/** Print a normal status message to stdout (when >= Info). */
 void informStr(const std::string &msg);
 /** Print a warning to stderr. */
 void warnStr(const std::string &msg);
@@ -64,6 +111,37 @@ warn(const char *fmt, Args... args)
         warnStr(fmt);
     else
         warnStr(detail::formatV(fmt, args...));
+}
+
+/** Debug-level diagnostic (dropped unless the threshold is Debug). */
+template <typename... Args>
+void
+debug(const char *fmt, Args... args)
+{
+    logmsg(LogLevel::Debug, nullptr, fmt, args...);
+}
+
+/** Tagged variants: `tag` names the subsystem ("flow", "cluster",
+ *  "fault", "trace", ...) and prints as `info: [flow] ...`. */
+template <typename... Args>
+void
+informT(const char *tag, const char *fmt, Args... args)
+{
+    logmsg(LogLevel::Info, tag, fmt, args...);
+}
+
+template <typename... Args>
+void
+warnT(const char *tag, const char *fmt, Args... args)
+{
+    logmsg(LogLevel::Warn, tag, fmt, args...);
+}
+
+template <typename... Args>
+void
+debugT(const char *tag, const char *fmt, Args... args)
+{
+    logmsg(LogLevel::Debug, tag, fmt, args...);
 }
 
 template <typename... Args>

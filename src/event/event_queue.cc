@@ -1,11 +1,25 @@
 #include "event/event_queue.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace astra {
+
+namespace {
+
+/** Histogram slot for a count: its bit-width, clamped to the array. */
+inline size_t
+log2Slot(size_t n)
+{
+    size_t w = std::bit_width(n);
+    return w < 31 ? w : 31;
+}
+
+} // namespace
 
 EventQueue::EventQueue(TimeNs bucket_width, bool adaptive)
     : bucketWidth_(bucket_width), invWidth_(1.0 / bucket_width),
@@ -138,6 +152,10 @@ EventQueue::activate(int64_t tick)
         std::sort(bucket.begin(), bucket.end(), entryBefore);
     activeHead_ = 0;
     activeSorted_ = true;
+    if (prof_) {
+        ++prof_->bucketActivations;
+        ++prof_->bucketHist[log2Slot(bucket.size())];
+    }
 }
 
 bool
@@ -240,9 +258,36 @@ EventQueue::step()
     InlineEvent cb = popNext();
     --pending_;
     ++executed_;
+    if (prof_) {
+        profiledDispatch(std::move(cb));
+        return true;
+    }
     if (cb)
         cb();
     return true;
+}
+
+void
+EventQueue::profiledDispatch(InlineEvent cb)
+{
+    if (executed_ % QueueProfile::kDepthSampleEvery == 0) {
+        ++prof_->depthSamples;
+        ++prof_->depthHist[log2Slot(pending_)];
+    }
+    if (!cb)
+        return;
+    if (prof_->timeCallbacks &&
+        executed_ % QueueProfile::kCallbackSampleEvery == 0) {
+        auto t0 = std::chrono::steady_clock::now();
+        cb();
+        auto t1 = std::chrono::steady_clock::now();
+        ++prof_->callbackSamples;
+        prof_->callbackWallSeconds +=
+            std::chrono::duration<double>(t1 - t0).count() *
+            double(QueueProfile::kCallbackSampleEvery);
+        return;
+    }
+    cb();
 }
 
 void

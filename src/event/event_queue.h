@@ -47,6 +47,41 @@ namespace astra {
 using EventCallback = InlineEvent;
 
 /**
+ * Optional self-profiling sink for an EventQueue (introspection layer,
+ * docs/trace.md). When attached via setProfile(), the queue samples
+ * its own shape while running:
+ *
+ *  - `depthHist[b]` counts samples (taken every kDepthSampleEvery
+ *    executed events) whose pending-event count had bit-width b —
+ *    i.e. a log2 histogram of queue depth over the run.
+ *  - `bucketHist[b]` is a log2 histogram of active-bucket sizes at
+ *    sort time (one entry per bucket activation), which is the
+ *    quantity the adaptive bucket width tries to keep small.
+ *  - When `timeCallbacks` is set, every kCallbackSampleEvery-th
+ *    callback is wall-clocked and the total is extrapolated into
+ *    `callbackWallSeconds` (sampled attribution: dispatch overhead
+ *    stays bounded whatever the event rate).
+ *
+ * Both histograms are pure functions of the simulated event sequence
+ * (deterministic); the wall figures are host measurements. Profiling
+ * never alters scheduling order, so results are bit-identical with or
+ * without a profile attached.
+ */
+struct QueueProfile
+{
+    static constexpr uint64_t kDepthSampleEvery = 1024;
+    static constexpr uint64_t kCallbackSampleEvery = 64;
+
+    std::array<uint64_t, 32> depthHist{};
+    std::array<uint64_t, 32> bucketHist{};
+    uint64_t depthSamples = 0;
+    uint64_t bucketActivations = 0;
+    bool timeCallbacks = false;
+    double callbackWallSeconds = 0.0;
+    uint64_t callbackSamples = 0;
+};
+
+/**
  * Two-level bucketed (calendar) discrete-event scheduler.
  *
  * Events at equal timestamps fire in insertion order (stable), which
@@ -159,6 +194,11 @@ class EventQueue
     /** True when reset()/reserve() re-derive the bucket width. */
     bool adaptiveBucketWidth() const { return adaptive_; }
 
+    /** Attach (or detach, with nullptr) a self-profiling sink; the
+     *  caller keeps ownership and the profile must outlive the runs
+     *  it observes. Purely observational — see QueueProfile. */
+    void setProfile(QueueProfile *profile) { prof_ = profile; }
+
   private:
     EventQueue(TimeNs bucket_width, bool adaptive);
 
@@ -204,6 +244,10 @@ class EventQueue
     /** Pop the next callback in (time, seq) order, advancing now_. */
     InlineEvent popNext();
 
+    /** step() tail with a profile attached (out of line to keep the
+     *  unprofiled dispatch loop tight). */
+    void profiledDispatch(InlineEvent cb);
+
     static bool entryBefore(const Entry &a, const Entry &b);
     static bool entryAfter(const Entry &a, const Entry &b);
 
@@ -238,6 +282,8 @@ class EventQueue
     uint64_t timedScheduled_ = 0;
     TimeNs firstTimedWhen_ = 0.0;
     TimeNs lastTimedWhen_ = 0.0;
+
+    QueueProfile *prof_ = nullptr;
 };
 
 } // namespace astra

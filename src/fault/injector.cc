@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace astra {
 namespace fault {
@@ -68,6 +69,43 @@ FaultInjector::scheduleNext(size_t index)
 void
 FaultInjector::apply(const FaultEvent &ev)
 {
+    debugT("fault", "t=%.0f firing %s (src=%d dst=%d npu=%d dim=%d)",
+           ev.at, faultKindName(ev.kind), ev.src, ev.dst, ev.npu,
+           ev.dim);
+    if (tracer_) {
+        switch (ev.kind) {
+          case FaultKind::LinkDegrade:
+            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                             "fault", "link degrade %lld->%lld d%lld",
+                             ev.at, ev.src, ev.dst, ev.dim);
+            break;
+          case FaultKind::LinkDown:
+            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                             "fault", "link down %lld->%lld d%lld",
+                             ev.at, ev.src, ev.dst, ev.dim);
+            break;
+          case FaultKind::LinkUp:
+            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                             "fault", "link up %lld->%lld d%lld",
+                             ev.at, ev.src, ev.dst, ev.dim);
+            break;
+          case FaultKind::NpuFail:
+            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                             "fault", "npu fail %lld", ev.at, ev.npu);
+            break;
+          case FaultKind::NpuRecover:
+            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                             "fault", "npu recover %lld", ev.at, ev.npu);
+            break;
+          case FaultKind::Straggler:
+            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                             "fault", "straggler n%lld x%lld%%", ev.at,
+                             ev.npu,
+                             static_cast<long long>(ev.computeScale *
+                                                    100.0));
+            break;
+        }
+    }
     switch (ev.kind) {
       case FaultKind::LinkDegrade:
         hooks_.net->setLinkCapacityScale(ev.src, ev.dst, ev.dim,

@@ -32,6 +32,9 @@
 #include "network/network_api.h"
 
 namespace astra {
+
+namespace trace { class Tracer; }
+
 namespace fault {
 
 /** Owner callbacks; see file comment. `net` is required whenever the
@@ -62,6 +65,16 @@ class FaultInjector
     /** Schedule the first timeline event (no-op on empty timelines). */
     void start();
 
+    /** Attach the tracing sink (docs/trace.md): every applied fault
+     *  event becomes an instant on the lifecycle track of process
+     *  `pid`. Null detaches. Purely observational. */
+    void
+    setTracer(trace::Tracer *tracer, int32_t pid)
+    {
+        tracer_ = tracer;
+        tracePid_ = pid;
+    }
+
     /** Number of fault events applied so far. */
     uint64_t firedCount() const { return fired_; }
 
@@ -77,6 +90,8 @@ class FaultInjector
     std::vector<FaultEvent> timeline_;
     uint64_t fired_ = 0;
     bool started_ = false;
+    trace::Tracer *tracer_ = nullptr; //!< null = tracing disabled.
+    int32_t tracePid_ = 0;
 };
 
 } // namespace fault

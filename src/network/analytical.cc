@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace astra {
 
@@ -22,6 +23,19 @@ AnalyticalNetwork::AnalyticalNetwork(EventQueue &eq, const Topology &topo,
     // One serialization point per (NPU, dimension) transmit port.
     for (int d = 0; d < topo.numDims(); ++d)
         stats_.linksPerDim[static_cast<size_t>(d)] = topo.npus();
+}
+
+void
+AnalyticalNetwork::setTracer(trace::Tracer *tracer)
+{
+    NetworkApi::setTracer(tracer);
+    if (!tracer)
+        return;
+    for (NpuId n = 0; n < topo_.npus(); ++n)
+        for (int d = 0; d < topo_.numDims(); ++d)
+            tracer->registerLink(
+                uint32_t(portIndex(n, d)),
+                detail::formatV("tx n%d.d%d", n, d));
 }
 
 TimeNs
@@ -197,6 +211,18 @@ AnalyticalNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
                               : eq_.now();
     TimeNs injected_at = start + ser;
     TimeNs delivered_at = injected_at + route.latency;
+
+    if (tracer_) {
+        // Port-claim busy interval (utilization series + coalesced
+        // occupancy spans) and, at full detail, the message lifetime
+        // from submission to delivery on the source rank's track.
+        tracer_->linkBusy(uint32_t(port), start, injected_at);
+        if (tracer_->full())
+            tracer_->span(0, int32_t(src), "net", "msg %lld->%lld d%lld",
+                          eq_.now(), delivered_at - eq_.now(),
+                          (long long)src, (long long)dst,
+                          (long long)route.dim);
+    }
 
     if (handlers.onInjected)
         eq_.scheduleAt(injected_at, std::move(handlers.onInjected));

@@ -55,6 +55,10 @@ class AnalyticalNetwork : public NetworkApi
                               double scale) override;
     void setLinkUp(NpuId src, NpuId dst, int dim, bool up) override;
 
+    /** Registers one link track per (NPU, dim) TX port — the model's
+     *  serialization points; see docs/trace.md. */
+    void setTracer(trace::Tracer *tracer) override;
+
     /** The time at which (npu, dim)'s transmit port frees up. */
     TimeNs txFreeAt(NpuId npu, int dim) const;
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace astra {
 
@@ -45,6 +46,7 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
     msg.dst = dst;
     msg.tag = tag;
     msg.packetsRemaining = packets;
+    msg.traceStart = eq_.now();
     msg.handlers.onDelivered = std::move(handlers.onDelivered);
     msg.owner = sendOwner_;
 
@@ -109,6 +111,8 @@ PacketNetwork::forwardPacket(uint64_t msg_id,
     port.freeAt = tx_done;
     port.busyNs += tx;
     accountBusy(link.dim, tx, port.busyNs);
+    if (tracer_)
+        tracer_->linkBusy(lid, start, tx_done);
     if (Message *msg = messages_.find(msg_id); msg && msg->owner)
         (*msg->owner)[static_cast<size_t>(link.dim)] += tx;
     // [this, id, ptr, 2 words]: inline in InlineEvent — the per-hop
@@ -164,10 +168,27 @@ PacketNetwork::packetArrived(uint64_t msg_id)
     NpuId src = msg.src;
     NpuId dst = msg.dst;
     uint64_t tag = msg.tag;
+    if (tracer_ && tracer_->full())
+        tracer_->span(0, int32_t(src), "net", "msg %lld->%lld",
+                      msg.traceStart, eq_.now() - msg.traceStart,
+                      (long long)src, (long long)dst);
     EventCallback on_delivered = std::move(msg.handlers.onDelivered);
     msg.handlers = SendHandlers{};
     messages_.release(msg_id);
     deliver(src, dst, tag, std::move(on_delivered));
+}
+
+void
+PacketNetwork::setTracer(trace::Tracer *tracer)
+{
+    NetworkApi::setTracer(tracer);
+    if (!tracer)
+        return;
+    for (LinkId l = 0; l < graph_.linkCount(); ++l) {
+        const LinkGraph::Link &link = graph_.link(l);
+        tracer->registerLink(l, detail::formatV("d%d %d->%d", link.dim,
+                                                link.from, link.to));
+    }
 }
 
 } // namespace astra

@@ -63,6 +63,11 @@ class PacketNetwork : public NetworkApi
                               double scale) override;
     void setLinkUp(NpuId src, NpuId dst, int dim, bool up) override;
 
+    /** Registers one link track per directed LinkGraph link; per-hop
+     *  port occupancy feeds the utilization series (and coalesced
+     *  occupancy spans at full detail); see docs/trace.md. */
+    void setTracer(trace::Tracer *tracer) override;
+
     const LinkGraph &graph() const { return graph_; }
 
     /** Number of directed links in the shared graph. */
@@ -96,6 +101,7 @@ class PacketNetwork : public NetworkApi
         NpuId dst = 0;
         uint64_t tag = 0;
         int packetsRemaining = 0; //!< 0 while the slot is free.
+        TimeNs traceStart = 0.0;  //!< submission time (trace lifetimes).
         SendHandlers handlers;
         /** Per-job attribution target captured at submission (the
          *  NetworkApi send-owner channel); null when unattributed. */

@@ -1,11 +1,13 @@
 #include "network/flow/flow_network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace astra {
 
@@ -63,9 +65,21 @@ FlowNetwork::markDirty()
     dirty_ = true;
     // Deferred to the end of the current timestamp's FIFO run: any
     // number of same-time arrivals/departures trigger one solve.
+    // With a tracer attached the solve is wall-clocked for the
+    // per-subsystem attribution counters (solves are chunky, so
+    // per-solve timing is cheap; results are unaffected).
     eq_.schedule(0.0, [this] {
         dirty_ = false;
-        resolve();
+        if (tracer_) {
+            auto t0 = std::chrono::steady_clock::now();
+            resolve();
+            auto t1 = std::chrono::steady_clock::now();
+            tracer_->counters().addWall(
+                "wall_solver_seconds",
+                std::chrono::duration<double>(t1 - t0).count());
+        } else {
+            resolve();
+        }
     });
 }
 
@@ -113,6 +127,10 @@ FlowNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
     flow.rate = 0.0; // no bandwidth until the deferred solve runs.
     flow.lastUpdate = eq_.now();
     flow.latency = graph_.pathLatency(*path);
+    flow.traceStart = eq_.now();
+    flow.traceSegStart = -1.0;
+    flow.traceRate = 0.0;
+    flow.traceSegEmitted = false;
     flow.hasEvent = false;
     flow.active = true;
     flow.activeIdx = static_cast<uint32_t>(active_.size());
@@ -140,8 +158,49 @@ FlowNetwork::integrateFlow(Flow &flow, TimeNs t)
             if (flow.owner)
                 (*flow.owner)[static_cast<size_t>(link.dim)] += busy;
         }
+        if (tracer_) {
+            // A lazy integration stretch is one constant-rate segment
+            // of the flow: feed the utilization series with the
+            // fractional busy share per link, and at full detail
+            // grow the coalesced rate segment on the source's flow
+            // track. Stretches within 25% of the open segment's rate
+            // extend it rather than emit — max-min churn re-rates
+            // whole components constantly, and one event per re-rate
+            // would double the trace for no visual gain; sub-quarter
+            // rate wiggles are invisible on a timeline (docs/trace.md).
+            if (tracer_->utilization())
+                for (LinkId l : *flow.path)
+                    tracer_->linkBusy(
+                        l, flow.lastUpdate, t,
+                        flow.rate / graph_.link(l).bandwidth);
+            if (tracer_->full()) {
+                if (flow.traceSegStart < 0.0) {
+                    flow.traceSegStart = flow.lastUpdate;
+                    flow.traceRate = flow.rate;
+                } else if (std::abs(flow.rate - flow.traceRate) >
+                           0.25 * flow.traceRate) {
+                    flushRateSegment(flow, flow.lastUpdate);
+                    flow.traceSegStart = flow.lastUpdate;
+                    flow.traceRate = flow.rate;
+                }
+            }
+        }
     }
     flow.lastUpdate = t;
+}
+
+void
+FlowNetwork::flushRateSegment(Flow &flow, TimeNs end)
+{
+    if (flow.traceSegStart < 0.0 || end <= flow.traceSegStart)
+        return;
+    tracer_->span(0, trace::Tracer::kFlowTidBase + int32_t(flow.src),
+                  "flow", "f%lld->%lld %lldMB/s", flow.traceSegStart,
+                  end - flow.traceSegStart, (long long)flow.src,
+                  (long long)flow.dst,
+                  (long long)(flow.traceRate * 1000.0));
+    flow.traceSegStart = -1.0;
+    flow.traceSegEmitted = true;
 }
 
 void
@@ -459,6 +518,30 @@ FlowNetwork::setLinkUp(NpuId src, NpuId dst, int dim, bool up)
 }
 
 void
+FlowNetwork::setTracer(trace::Tracer *tracer)
+{
+    NetworkApi::setTracer(tracer);
+    if (!tracer)
+        return;
+    for (LinkId l = 0; l < graph_.linkCount(); ++l) {
+        const LinkGraph::Link &link = graph_.link(l);
+        tracer->registerLink(l, detail::formatV("d%d %d->%d", link.dim,
+                                                link.from, link.to));
+    }
+}
+
+void
+FlowNetwork::fillTraceCounters(trace::Counters &counters) const
+{
+    counters.add("solver_solves", double(solver_.solves));
+    counters.add("solver_flows_touched", double(solver_.flowsTouched));
+    counters.add("solver_components_touched",
+                 double(solver_.componentsTouched));
+    counters.add("solver_avg_component_frac",
+                 solver_.avgComponentFrac());
+}
+
+void
 FlowNetwork::onCompletion(uint64_t id, uint32_t epoch)
 {
     Flow *found = flows_.find(id);
@@ -491,6 +574,16 @@ FlowNetwork::onCompletion(uint64_t id, uint32_t epoch)
     NpuId dst = flow.dst;
     uint64_t tag = flow.tag;
     TimeNs delivered_at = eq_.now() + flow.latency;
+    if (tracer_ && tracer_->full()) {
+        // The closing segment is only interesting for flows whose
+        // rate actually changed; for the rest the message span below
+        // already describes one constant-rate transmission.
+        if (flow.traceSegEmitted)
+            flushRateSegment(flow, eq_.now());
+        tracer_->span(0, int32_t(src), "net", "flow %lld->%lld",
+                      flow.traceStart, delivered_at - flow.traceStart,
+                      (long long)src, (long long)dst);
+    }
     SendHandlers handlers = std::move(flow.handlers);
     flow.handlers = SendHandlers{};
     flow.path = nullptr;

@@ -97,6 +97,17 @@ class FlowNetwork : public NetworkApi
                               double scale) override;
     void setLinkUp(NpuId src, NpuId dst, int dim, bool up) override;
 
+    /** Registers one link track per directed LinkGraph link. At full
+     *  detail, flows additionally emit constant-rate segments (one
+     *  per lazy integration stretch) on per-source tracks and a
+     *  lifetime span on the source rank's track; see docs/trace.md. */
+    void setTracer(trace::Tracer *tracer) override;
+
+    /** Adds the incremental max-min solver work counters
+     *  (solver_solves, solver_flows_touched, ...) — deterministic
+     *  functions of the traffic, see SolverStats. */
+    void fillTraceCounters(trace::Counters &counters) const override;
+
     const LinkGraph &graph() const { return graph_; }
 
     /** Flows currently transmitting. */
@@ -178,6 +189,17 @@ class FlowNetwork : public NetworkApi
         NpuId dst = 0;
         uint64_t tag = 0;
         TimeNs latency = 0.0; //!< constant hop-latency sum of the path.
+        TimeNs traceStart = 0.0; //!< submission time (trace lifetimes).
+        /** Open coalesced rate segment (full-detail tracing): start
+         *  time (< 0 = none) and the rate it was opened at. Stretches
+         *  within 25% of traceRate extend the segment instead of
+         *  emitting one event per max-min re-rate, and a flow whose rate
+         *  never materially changed emits no segments at all — its
+         *  `net` message span already tells the constant-rate story
+         *  (docs/trace.md). */
+        TimeNs traceSegStart = -1.0;
+        GBps traceRate = 0.0;
+        bool traceSegEmitted = false; //!< any segment emitted yet?
         SendHandlers handlers;
         /** Per-job attribution target captured at submission (the
          *  NetworkApi send-owner channel); must stay valid for the
@@ -203,6 +225,10 @@ class FlowNetwork : public NetworkApi
     /** Settle one flow's remaining bytes and per-link busy time from
      *  its `lastUpdate` to `t` at its current (constant) rate. */
     void integrateFlow(Flow &flow, TimeNs t);
+
+    /** Emit the open coalesced rate segment ending at `end`, if any
+     *  (full-detail tracing; see Flow::traceSegStart). */
+    void flushRateSegment(Flow &flow, TimeNs end);
 
     /** Incremental re-solve; see file comment. */
     void resolve();

@@ -36,6 +36,11 @@
 
 namespace astra {
 
+namespace trace {
+class Tracer;
+struct Counters;
+} // namespace trace
+
 /** Route hint: send within a specific topology dimension. */
 constexpr int kAutoRoute = -1;
 
@@ -156,6 +161,26 @@ class NetworkApi
     /** Human-readable digest of both, for deadlock diagnostics. */
     std::string danglingSummary(size_t max_items = 6) const;
 
+    /**
+     * Attach the tracing sink (docs/trace.md; null detaches). Borrowed
+     * — the tracer must outlive the backend's traffic. Backends
+     * override to register their link tracks (each backend owns its
+     * own dense link-index space: TX ports for analytical, LinkIds
+     * for flow/packet) and then emit message/flow lifetimes at detail
+     * `full` plus per-link busy intervals for the utilization series.
+     * Purely observational: tracing never alters simulation results.
+     */
+    virtual void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+    trace::Tracer *tracer() const { return tracer_; }
+
+    /** Add backend-specific self-profiling counters (e.g. the flow
+     *  backend's incremental-solver work) to a trace counter registry;
+     *  the base backend has none. */
+    virtual void fillTraceCounters(trace::Counters &counters) const
+    {
+        (void)counters;
+    }
+
     TimeNs now() const { return eq_.now(); }
     EventQueue &eventQueue() { return eq_; }
     const Topology &topology() const { return topo_; }
@@ -205,6 +230,8 @@ class NetworkApi
     NetworkStats stats_;
     /** Per-job attribution target; see setSendOwner(). */
     std::vector<double> *sendOwner_ = nullptr;
+    /** Tracing sink; null (the default) disables all trace hooks. */
+    trace::Tracer *tracer_ = nullptr;
 
   private:
     struct PendingKey

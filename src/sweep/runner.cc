@@ -99,7 +99,7 @@ runOne(const SweepSpec &spec, size_t index, ResultCache *cache,
             // A malformed cached report (hand-edited or wrong-shape
             // entry) is a miss, not an error — same degrade-to-cold
             // contract as loadFile.
-            warn("ignoring malformed cache entry %s: %s",
+            warnT("sweep", "ignoring malformed cache entry %s: %s",
                  configHashString(slot.config.hash).c_str(), err.what());
         }
         if (hit) {
@@ -156,7 +156,8 @@ ResultCache::loadFile(const std::string &path)
         // version string is the automatic build fingerprint, so a
         // report-shape change invalidates without a manual bump.
         if (doc.getString("version", "") != cacheFingerprint()) {
-            warn("ignoring result cache '%s': version '%s' != '%s' "
+            warnT("sweep",
+                  "ignoring result cache '%s': version '%s' != '%s' "
                  "(results from a different build are stale)",
                  path.c_str(), doc.getString("version", "").c_str(),
                  cacheFingerprint().c_str());
@@ -167,7 +168,8 @@ ResultCache::loadFile(const std::string &path)
         for (const auto &[key, report] : doc.at("entries").asObject())
             staged.emplace(parseHashKey(key), report.clone());
     } catch (const FatalError &err) {
-        warn("ignoring unreadable result cache '%s': %s", path.c_str(),
+        warnT("sweep", "ignoring unreadable result cache '%s': %s",
+              path.c_str(),
              err.what());
         return 0;
     }
@@ -358,7 +360,8 @@ runBatch(const SweepSpec &spec, const BatchOptions &opts)
                         out.results[i].report.events ==
                             out.results[0].report.events;
         if (all_equal)
-            warn("sweep '%s': all %zu configurations produced "
+            warnT("sweep",
+                  "sweep '%s': all %zu configurations produced "
                  "identical results — check the axis paths for typos "
                  "(overrides at unknown paths are not detected)",
                  spec.name().c_str(), n);

@@ -415,7 +415,7 @@ materializeConfig(const json::Value &doc)
     // ignored and the run would report healthy default behavior.
     static const char *const kKnownKeys[] = {"topology", "backend",
                                              "system", "workload",
-                                             "fault"};
+                                             "fault", "trace"};
     for (const auto &[key, value] : doc.asObject()) {
         (void)value;
         bool known = false;
@@ -424,7 +424,7 @@ materializeConfig(const json::Value &doc)
         ASTRA_USER_CHECK(known,
                          "config: unknown top-level key '%s' "
                          "(topology | backend | system | workload | "
-                         "fault)",
+                         "fault | trace)",
                          key.c_str());
     }
     ASTRA_USER_CHECK(doc.has("topology"),
@@ -442,6 +442,8 @@ materializeConfig(const json::Value &doc)
               }();
     if (doc.has("fault"))
         cfg.fault = fault::faultConfigFromJson(doc.at("fault"), "fault");
+    if (doc.has("trace"))
+        cfg.trace = trace::traceConfigFromJson(doc.at("trace"), "trace");
 
     ASTRA_USER_CHECK(doc.has("workload"),
                      "sweep config: missing 'workload'");

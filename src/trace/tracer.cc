@@ -1,0 +1,516 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "event/event_queue.h"
+
+namespace astra {
+namespace trace {
+
+void
+addQueueProfile(const QueueProfile &prof, Counters &counters)
+{
+    auto trimmed = [](const std::array<uint64_t, 32> &hist) {
+        size_t n = hist.size();
+        while (n > 0 && hist[n - 1] == 0)
+            --n;
+        return std::vector<uint64_t>(hist.begin(), hist.begin() + n);
+    };
+    if (prof.depthSamples > 0) {
+        counters.histograms["event_queue_depth_log2"] =
+            trimmed(prof.depthHist);
+        counters.add("queue_depth_samples", double(prof.depthSamples));
+    }
+    if (prof.bucketActivations > 0) {
+        counters.histograms["event_bucket_size_log2"] =
+            trimmed(prof.bucketHist);
+        counters.add("queue_bucket_activations",
+                     double(prof.bucketActivations));
+    }
+    if (prof.callbackSamples > 0) {
+        counters.add("queue_callback_samples",
+                     double(prof.callbackSamples));
+        counters.addWall("wall_callbacks_seconds",
+                         prof.callbackWallSeconds);
+    }
+}
+
+const char *
+detailName(Detail d)
+{
+    switch (d) {
+      case Detail::Off:   return "off";
+      case Detail::Spans: return "spans";
+      case Detail::Full:  return "full";
+    }
+    return "?";
+}
+
+Detail
+detailFromString(const std::string &name, const std::string &path)
+{
+    if (name == "off")
+        return Detail::Off;
+    if (name == "spans")
+        return Detail::Spans;
+    if (name == "full")
+        return Detail::Full;
+    fatal("%s: unknown trace detail \"%s\" (expected off|spans|full)",
+          path.c_str(), name.c_str());
+}
+
+TraceConfig
+traceConfigFromJson(const json::Value &doc, const std::string &path)
+{
+    ASTRA_USER_CHECK(doc.isObject(), "%s: expected an object",
+                     path.c_str());
+    static const char *known[] = {"file", "detail", "utilization_bucket_ns",
+                                  "utilization_file"};
+    for (const auto &kv : doc.asObject()) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || kv.first == k;
+        ASTRA_USER_CHECK(ok, "%s.%s: unknown trace config key",
+                         path.c_str(), kv.first.c_str());
+    }
+    TraceConfig cfg;
+    cfg.file = doc.getString("file", "");
+    cfg.detail = detailFromString(doc.getString("detail", "off"),
+                                  path + ".detail");
+    cfg.utilizationBucketNs = doc.getNumber("utilization_bucket_ns", 0.0);
+    ASTRA_USER_CHECK(cfg.utilizationBucketNs >= 0.0,
+                     "%s.utilization_bucket_ns: must be >= 0",
+                     path.c_str());
+    cfg.utilizationFile = doc.getString("utilization_file", "");
+    return cfg;
+}
+
+json::Value
+traceConfigToJson(const TraceConfig &cfg)
+{
+    json::Object doc;
+    doc["file"] = json::Value(cfg.file);
+    doc["detail"] = json::Value(detailName(cfg.detail));
+    doc["utilization_bucket_ns"] = json::Value(cfg.utilizationBucketNs);
+    doc["utilization_file"] = json::Value(cfg.utilizationFile);
+    return json::Value(std::move(doc));
+}
+
+TraceConfig
+traceConfigFromCli(const CommandLine &cl, const char *file_flag,
+                   TraceConfig base)
+{
+    TraceConfig cfg = std::move(base);
+    if (cl.has(file_flag))
+        cfg.file = cl.getString(file_flag, cfg.file);
+    if (cl.has("trace-util"))
+        cfg.utilizationFile = cl.getString("trace-util",
+                                           cfg.utilizationFile);
+    if (cl.has("trace-util-bucket"))
+        cfg.utilizationBucketNs =
+            cl.getDouble("trace-util-bucket", cfg.utilizationBucketNs);
+    if (cl.has("trace-detail"))
+        cfg.detail = detailFromString(cl.getString("trace-detail", ""),
+                                      "--trace-detail");
+    else if (cfg.detail == Detail::Off &&
+             (cl.has(file_flag) || cl.has("trace-util")))
+        cfg.detail = Detail::Spans; // asking for output implies spans.
+    if (!cfg.utilizationFile.empty() && cfg.utilizationBucketNs <= 0.0)
+        cfg.utilizationBucketNs = 1000.0;
+    ASTRA_USER_CHECK(cfg.utilizationBucketNs >= 0.0,
+                     "--trace-util-bucket: must be >= 0");
+    return cfg;
+}
+
+Tracer::Tracer(TraceConfig cfg) : cfg_(std::move(cfg)) {}
+
+/** Recycled event blocks. A fresh 4 MB block costs ~a thousand page
+ *  faults to fill — a measurable slice of the recording budget — so
+ *  retired tracers donate their blocks (pages already resident) to the
+ *  next tracer on the same thread instead of freeing them. Capped so a
+ *  one-off huge trace can't pin memory forever; thread-local because
+ *  sweep workers each run their own simulators. */
+struct Tracer::BlockPool
+{
+    std::vector<std::unique_ptr<Event[]>> blocks;
+
+    BlockPool() { ptr() = this; }
+    ~BlockPool() { ptr() = nullptr; }
+
+    /** Trivially-destructible, so it stays readable after the pool
+     *  itself is gone — the ctor/dtor above keep it pointing at the
+     *  live pool or null. */
+    static BlockPool *&ptr()
+    {
+        thread_local BlockPool *p = nullptr;
+        return p;
+    }
+};
+
+Tracer::BlockPool *
+Tracer::blockPool()
+{
+    // The declaration only constructs on the first pass; afterwards
+    // (including after this thread's pool was destroyed — static
+    // destruction order is arbitrary relative to tracer owners) the
+    // self-registering pointer is the source of truth.
+    thread_local BlockPool pool;
+    return BlockPool::ptr();
+}
+
+Tracer::~Tracer()
+{
+    constexpr size_t kBlockPoolMax = 8; // x 4 MB retained per thread.
+    BlockPool *pool = blockPool();
+    if (pool == nullptr)
+        return; // pool already torn down: just free the blocks.
+    for (auto &block : blocks_) {
+        if (pool->blocks.size() >= kBlockPoolMax)
+            break;
+        pool->blocks.push_back(std::move(block));
+    }
+}
+
+void
+Tracer::newBlock()
+{
+    // One cache line per append on LP64 (see the Event doc comment).
+    static_assert(sizeof(void *) != 8 || sizeof(Event) == 64,
+                  "Event outgrew a cache line — recording cost "
+                  "regresses ~4x (bench_trace_overhead)");
+    BlockPool *pool = blockPool();
+    if (pool != nullptr && !pool->blocks.empty()) {
+        blocks_.push_back(std::move(pool->blocks.back()));
+        pool->blocks.pop_back();
+    } else {
+        // Uninitialized storage on purpose: zeroing 4 MB up front
+        // would touch every page whether or not the trace grows into
+        // it.
+        blocks_.emplace_back(new Event[kBlockSize]);
+    }
+    cur_ = blocks_.back().get();
+    curEnd_ = cur_ + kBlockSize;
+}
+
+void
+Tracer::pushEvent(int32_t pid, int32_t tid, const char *cat,
+                  const char *fmt, double ts, double dur, long long a0,
+                  long long a1, long long a2)
+{
+    if (cur_ == curEnd_)
+        newBlock();
+    *cur_++ = Event{ts, dur, pid, tid, cat, fmt, a0, a1, a2};
+}
+
+void
+Tracer::spanStr(int32_t pid, int32_t tid, const char *cat,
+                std::string name, TimeNs ts, TimeNs dur)
+{
+    names_.push_back(std::move(name));
+    pushEvent(pid, tid, cat, nullptr, ts, dur < 0 ? 0 : dur,
+              (long long)(names_.size() - 1), 0, 0);
+}
+
+void
+Tracer::instantStr(int32_t pid, int32_t tid, const char *cat,
+                   std::string name, TimeNs ts)
+{
+    names_.push_back(std::move(name));
+    pushEvent(pid, tid, cat, nullptr, ts, kInstant,
+              (long long)(names_.size() - 1), 0, 0);
+}
+
+Tracer::SpanId
+Tracer::beginSpan(int32_t pid, int32_t tid, const char *cat,
+                  std::string name, TimeNs ts)
+{
+    names_.push_back(std::move(name));
+    pushEvent(pid, tid, cat, nullptr, ts, kOpen,
+              (long long)(names_.size() - 1), 0, 0);
+    return SpanId(eventCount() - 1);
+}
+
+void
+Tracer::endSpan(SpanId id, TimeNs ts)
+{
+    ASTRA_ASSERT(id < eventCount(), "endSpan(%u): bad span id", id);
+    Event &ev = eventAt(id);
+    ASTRA_ASSERT(ev.dur == kOpen, "endSpan(%u): span already closed", id);
+    ev.dur = std::max(0.0, double(ts) - ev.ts);
+}
+
+void
+Tracer::processName(int32_t pid, std::string name)
+{
+    processNames_[pid] = std::move(name);
+}
+
+void
+Tracer::threadName(int32_t pid, int32_t tid, std::string name)
+{
+    threadNames_[{pid, tid}] = std::move(name);
+}
+
+void
+Tracer::registerLink(uint32_t index, std::string label)
+{
+    if (index >= links_.size())
+        links_.resize(index + 1);
+    if (links_[index].label.empty())
+        links_[index].label = std::move(label);
+}
+
+void
+Tracer::accumulateBuckets(LinkState &ls, TimeNs t0, TimeNs t1,
+                          double fraction)
+{
+    const double w = cfg_.utilizationBucketNs;
+    size_t first = size_t(t0 / w);
+    size_t last = size_t(t1 / w);
+    if (last >= ls.busyNs.size())
+        ls.busyNs.resize(last + 1, 0.0);
+    for (size_t b = first; b <= last; ++b) {
+        double lo = std::max(double(t0), double(b) * w);
+        double hi = std::min(double(t1), double(b + 1) * w);
+        if (hi > lo)
+            ls.busyNs[b] += (hi - lo) * fraction;
+    }
+}
+
+void
+Tracer::linkBusy(uint32_t index, TimeNs t0, TimeNs t1, double fraction)
+{
+    if (t1 <= t0 || fraction <= 0.0)
+        return;
+    if (index >= links_.size())
+        links_.resize(index + 1);
+    LinkState &ls = links_[index];
+    if (utilization())
+        accumulateBuckets(ls, t0, t1, fraction);
+    if (full() && fraction >= 1.0) {
+        // Coalesce contiguous busy intervals into one occupancy span
+        // so dense packet trains cost one event per idle gap, not one
+        // per packet.
+        if (ls.openT1 >= 0.0 && t0 <= ls.openT1 + 1e-9) {
+            ls.openT1 = std::max(ls.openT1, double(t1));
+        } else {
+            if (ls.openT1 >= 0.0)
+                span(0, kLinkTidBase + int32_t(index), "link", "busy",
+                     ls.openT0, ls.openT1 - ls.openT0);
+            ls.openT0 = t0;
+            ls.openT1 = t1;
+        }
+    }
+}
+
+void
+Tracer::flushOpenOccupancy()
+{
+    for (uint32_t i = 0; i < links_.size(); ++i) {
+        LinkState &ls = links_[i];
+        if (ls.openT1 >= 0.0) {
+            span(0, kLinkTidBase + int32_t(i), "link", "busy", ls.openT0,
+                 ls.openT1 - ls.openT0);
+            ls.openT1 = -1.0;
+        }
+    }
+}
+
+std::string
+Tracer::eventName(const Event &ev) const
+{
+    if (ev.fmt == nullptr)
+        return names_[size_t(ev.a0)];
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), ev.fmt, ev.a0, ev.a1, ev.a2);
+    return buf;
+}
+
+namespace {
+
+/** Minimal JSON string escaping for event/track names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+struct FileCloser
+{
+    std::FILE *f;
+    ~FileCloser() { if (f) std::fclose(f); }
+};
+
+} // namespace
+
+void
+Tracer::writeChromeTrace(const std::string &path)
+{
+    flushOpenOccupancy();
+    for (uint32_t i = 0; i < links_.size(); ++i)
+        if (!links_[i].label.empty())
+            threadName(0, kLinkTidBase + int32_t(i), links_[i].label);
+
+    // Stable sort by timestamp: Chrome/Perfetto accept any order, but
+    // sorted output gives monotonic per-track timestamps (checked by
+    // tests and scripts/check_trace.py) and faster ingestion.
+    std::vector<uint32_t> order(eventCount());
+    for (uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return eventAt(a).ts < eventAt(b).ts;
+                     });
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASTRA_USER_CHECK(f, "cannot write trace file %s", path.c_str());
+    FileCloser closer{f};
+
+    std::fputs("{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n", f);
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            std::fputs(",\n", f);
+        first = false;
+    };
+    for (const auto &pn : processNames_) {
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                     "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                     pn.first, jsonEscape(pn.second).c_str());
+    }
+    for (const auto &tn : threadNames_) {
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                     "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                     tn.first.first, tn.first.second,
+                     jsonEscape(tn.second).c_str());
+    }
+
+    uint64_t unclosed = 0;
+    for (uint32_t idx : order) {
+        const Event &ev = eventAt(idx);
+        if (ev.dur == kOpen) {
+            ++unclosed;
+            continue;
+        }
+        sep();
+        // Chrome trace timestamps are in microseconds; sub-ns
+        // precision survives via the fractional digits.
+        if (ev.dur == kInstant) {
+            std::fprintf(f,
+                         "{\"ph\":\"i\",\"name\":\"%s\",\"cat\":\"%s\","
+                         "\"pid\":%d,\"tid\":%d,\"ts\":%.6f,\"s\":\"t\"}",
+                         jsonEscape(eventName(ev)).c_str(), ev.cat,
+                         ev.pid, ev.tid, ev.ts / 1000.0);
+        } else {
+            std::fprintf(f,
+                         "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\","
+                         "\"pid\":%d,\"tid\":%d,\"ts\":%.6f,"
+                         "\"dur\":%.6f}",
+                         jsonEscape(eventName(ev)).c_str(), ev.cat,
+                         ev.pid, ev.tid, ev.ts / 1000.0,
+                         ev.dur / 1000.0);
+        }
+    }
+    std::fputs("\n]}\n", f);
+    if (unclosed)
+        counters_.add("trace_unclosed_spans", double(unclosed));
+}
+
+json::Value
+Tracer::utilizationJson() const
+{
+    json::Object doc;
+    doc["bucket_ns"] = json::Value(cfg_.utilizationBucketNs);
+    json::Array links;
+    for (const LinkState &ls : links_) {
+        if (ls.busyNs.empty())
+            continue;
+        json::Object link;
+        link["link"] = json::Value(ls.label);
+        json::Array busy;
+        busy.reserve(ls.busyNs.size());
+        for (double ns : ls.busyNs)
+            busy.push_back(json::Value(ns / cfg_.utilizationBucketNs));
+        link["busy_fraction"] = json::Value(std::move(busy));
+        links.push_back(json::Value(std::move(link)));
+    }
+    doc["links"] = json::Value(std::move(links));
+    return json::Value(std::move(doc));
+}
+
+void
+Tracer::writeUtilization(const std::string &path)
+{
+    ASTRA_USER_CHECK(utilization(),
+                     "utilization output %s requested but "
+                     "utilization_bucket_ns is 0", path.c_str());
+    bool as_json = path.size() >= 5 &&
+                   path.compare(path.size() - 5, 5, ".json") == 0;
+    if (as_json) {
+        json::writeFile(path, utilizationJson());
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASTRA_USER_CHECK(f, "cannot write utilization file %s", path.c_str());
+    FileCloser closer{f};
+    std::fputs("link,bucket_start_ns,busy_fraction\n", f);
+    for (const LinkState &ls : links_) {
+        for (size_t b = 0; b < ls.busyNs.size(); ++b) {
+            if (ls.busyNs[b] <= 0.0)
+                continue;
+            std::fprintf(f, "%s,%.3f,%.6f\n",
+                         jsonEscape(ls.label).c_str(),
+                         double(b) * cfg_.utilizationBucketNs,
+                         ls.busyNs[b] / cfg_.utilizationBucketNs);
+        }
+    }
+}
+
+double
+Tracer::writeOutputs()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    if (!cfg_.file.empty()) {
+        writeChromeTrace(cfg_.file);
+        informT("trace", "wrote %s (%zu events)", cfg_.file.c_str(),
+                eventCount());
+    }
+    if (!cfg_.utilizationFile.empty()) {
+        writeUtilization(cfg_.utilizationFile);
+        informT("trace", "wrote %s", cfg_.utilizationFile.c_str());
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double s = std::chrono::duration<double>(t1 - t0).count();
+    if (!cfg_.file.empty() || !cfg_.utilizationFile.empty())
+        counters_.addWall("wall_trace_write_seconds", s);
+    return s;
+}
+
+} // namespace trace
+} // namespace astra

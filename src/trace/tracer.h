@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Simulation tracing & introspection layer (docs/trace.md).
+ *
+ * A Tracer records *simulated-time* spans and instant events from
+ * every layer of the stack — workload node execution, collective
+ * instances and chunk phases, per-message/flow lifetimes in the
+ * network backends, fault-injector events, cluster job lifecycle —
+ * and exports them as Chrome trace-event JSON (loadable in Perfetto /
+ * chrome://tracing) plus an optional sampled per-link utilization
+ * time-series.
+ *
+ * Contract with the rest of the simulator:
+ *  - Zero overhead when disabled. Instrumented code holds a
+ *    `trace::Tracer *` that is null by default; every hook is a
+ *    single null-check. `detail: off` (the default) is bit-identical
+ *    to a build without tracing.
+ *  - Purely observational. The tracer never schedules events, never
+ *    consumes randomness, and never feeds back into simulation
+ *    state, so simulated results are bit-identical with tracing on
+ *    or off at any detail level (tests/trace/ enforces this).
+ *  - Recording is cheap; exporting is not free. The hot-path record
+ *    call appends one POD struct (name formatting is deferred to
+ *    export time), keeping the recording overhead under the 25%
+ *    budget that bench_trace_overhead gates. Writing the JSON file
+ *    afterwards costs I/O proportional to the trace size and is
+ *    reported separately (docs/trace.md, "overhead contract").
+ */
+#ifndef ASTRA_TRACE_TRACER_H_
+#define ASTRA_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/units.h"
+
+namespace astra {
+
+struct QueueProfile;
+class CommandLine;
+
+namespace trace {
+
+/** How much the tracer records (see docs/trace.md for the taxonomy). */
+enum class Detail {
+    Off,   //!< record nothing; all hooks are a null/flag check.
+    Spans, //!< coarse: node spans, collective instances, job
+           //!< lifecycle, fault instants.
+    Full,  //!< + chunk phases, per-message/flow lifetimes, flow
+           //!< rate-change segments, link port occupancy.
+};
+
+const char *detailName(Detail d);
+/** Parse "off" | "spans" | "full"; fatal() otherwise (`path` names the
+ *  offending config location in the error). */
+Detail detailFromString(const std::string &name, const std::string &path);
+
+/** `trace: {...}` block of Simulator/Cluster configs (sweepable). */
+struct TraceConfig
+{
+    std::string file;          //!< Chrome trace JSON path ("" = none).
+    Detail detail = Detail::Off;
+    /** Utilization time-series bucket width; 0 disables sampling. */
+    double utilizationBucketNs = 0.0;
+    /** Utilization series output (".csv" or ".json"; "" = none). */
+    std::string utilizationFile;
+
+    bool enabled() const { return detail != Detail::Off; }
+};
+
+/** Parse a `trace` config object; unknown keys are fatal() with a
+ *  path-qualified message (same discipline as fault/cluster configs). */
+TraceConfig traceConfigFromJson(const json::Value &doc,
+                                const std::string &path);
+json::Value traceConfigToJson(const TraceConfig &cfg);
+
+/**
+ * Layer the shared tracing CLI flags over `base` (a config parsed
+ * from JSON, or the default): `--<file_flag> FILE` sets the Chrome
+ * trace path (and implies detail `spans` if still off),
+ * `--trace-detail off|spans|full`, `--trace-util FILE` the
+ * utilization series path (implying a 1000 ns bucket if none set),
+ * `--trace-util-bucket NS` the bucket width. `file_flag` is
+ * "trace-out" where `--trace` already means an input ET file
+ * (astra_sim, trace_runner) and "trace" in cluster_runner.
+ */
+TraceConfig traceConfigFromCli(const CommandLine &cl,
+                               const char *file_flag,
+                               TraceConfig base = {});
+
+/**
+ * Self-profiling counters registry: named scalar counters and
+ * log2-bucketed histograms describing the simulator itself (event
+ * queue depth, bucket occupancy, solver work), plus wall-clock
+ * attribution per subsystem. Scalars and histograms are pure
+ * functions of the configuration (deterministic); wall-seconds are
+ * host measurements and are kept apart so they never leak into
+ * deterministic serialization (see reportToJson).
+ */
+struct Counters
+{
+    std::map<std::string, double> values;
+    std::map<std::string, std::vector<uint64_t>> histograms;
+    std::map<std::string, double> wallSeconds;
+
+    void add(const std::string &key, double v) { values[key] += v; }
+    void addWall(const std::string &key, double s) { wallSeconds[key] += s; }
+    bool empty() const
+    {
+        return values.empty() && histograms.empty() && wallSeconds.empty();
+    }
+};
+
+/** Fold an EventQueue self-profile (event/event_queue.h) into the
+ *  registry: depth / bucket-size histograms (trailing-zero-trimmed)
+ *  and sample counts as deterministic entries, sampled callback wall
+ *  time as `wall_callbacks_seconds`. */
+void addQueueProfile(const QueueProfile &prof, Counters &counters);
+
+/** See file comment. */
+class Tracer
+{
+  public:
+    /** Span/instant identifier returned by beginSpan(). */
+    using SpanId = uint32_t;
+    /** Sentinel for "no open span" (never returned by beginSpan()). */
+    static constexpr SpanId kNoSpan = 0xffffffffu;
+
+    /** tid namespace layout (docs/trace.md): ranks occupy [0, nranks),
+     *  fabric link tracks start at kLinkTidBase, per-source flow
+     *  tracks at kFlowTidBase, collective-instance tracks (one per
+     *  SlotPool slot, so concurrent instances never share a track) at
+     *  kCollTidBase, and job-lifecycle instants share kLifecycleTid.
+     *  pid 0 is the fabric/simulator process; cluster jobs are
+     *  pid = job id + 1. */
+    static constexpr int32_t kLinkTidBase = 1 << 20;
+    static constexpr int32_t kFlowTidBase = 1 << 21;
+    static constexpr int32_t kCollTidBase = 1 << 22;
+    static constexpr int32_t kLifecycleTid = kLinkTidBase - 1;
+
+    explicit Tracer(TraceConfig cfg);
+    /** Retires this tracer's event blocks into a per-thread recycle
+     *  pool so the next tracer skips their page faults (tracer.cc). */
+    ~Tracer();
+
+    const TraceConfig &config() const { return cfg_; }
+    /** True at detail >= spans / == full; hooks check these (or the
+     *  null tracer pointer) before touching anything else. */
+    bool spans() const { return cfg_.detail != Detail::Off; }
+    bool full() const { return cfg_.detail == Detail::Full; }
+    bool utilization() const { return cfg_.utilizationBucketNs > 0.0; }
+
+    // ---- timeline recording -------------------------------------
+    // Fast path: `cat` and `fmt` must be string literals (or anything
+    // outliving the tracer); the name is snprintf(fmt, a0, a1, a2)
+    // with long long args, formatted only at export time so the
+    // recording cost is one POD append. Defined inline: these run
+    // once per message/rate-change at detail full, and an out-of-line
+    // call (ten args spilled) costs several times the append itself
+    // (bench_trace_overhead).
+    void span(int32_t pid, int32_t tid, const char *cat, const char *fmt,
+              TimeNs ts, TimeNs dur, long long a0 = 0, long long a1 = 0,
+              long long a2 = 0)
+    {
+        if (cur_ == curEnd_)
+            newBlock();
+        *cur_++ = Event{ts, dur < 0 ? 0 : double(dur), pid, tid, cat,
+                        fmt, a0, a1, a2};
+    }
+    void instant(int32_t pid, int32_t tid, const char *cat,
+                 const char *fmt, TimeNs ts, long long a0 = 0,
+                 long long a1 = 0, long long a2 = 0)
+    {
+        if (cur_ == curEnd_)
+            newBlock();
+        *cur_++ = Event{ts, kInstant, pid, tid, cat, fmt, a0, a1, a2};
+    }
+    /** Slow path for dynamic names (node names, job ids); the string
+     *  is copied. Low-volume call sites only. */
+    void spanStr(int32_t pid, int32_t tid, const char *cat,
+                 std::string name, TimeNs ts, TimeNs dur);
+    void instantStr(int32_t pid, int32_t tid, const char *cat,
+                    std::string name, TimeNs ts);
+
+    /** Open span for state that closes later (collective instances,
+     *  job lifetimes). Spans never closed are dropped at export and
+     *  counted in `trace_unclosed_spans`. */
+    SpanId beginSpan(int32_t pid, int32_t tid, const char *cat,
+                     std::string name, TimeNs ts);
+    void endSpan(SpanId id, TimeNs ts);
+
+    /** Perfetto display metadata ("M" events). */
+    void processName(int32_t pid, std::string name);
+    void threadName(int32_t pid, int32_t tid, std::string name);
+
+    // ---- per-link utilization / occupancy -----------------------
+    /** Register fabric link track `index` (tid = kLinkTidBase+index)
+     *  with a display label; idempotent. */
+    void registerLink(uint32_t index, std::string label);
+    /**
+     * Account `fraction` of [t0, t1) as busy on link `index`:
+     * accumulates into the sampled utilization series (when
+     * utilization_bucket_ns > 0) and, at detail full with
+     * fraction == 1, coalesces contiguous busy intervals into
+     * occupancy spans on the link's track. Fractional rates (flow
+     * backend) only feed the series — per-flow rate segments already
+     * tell that story on the timeline.
+     */
+    void linkBusy(uint32_t index, TimeNs t0, TimeNs t1,
+                  double fraction = 1.0);
+
+    Counters &counters() { return counters_; }
+    const Counters &counters() const { return counters_; }
+
+    /** Number of timeline events recorded so far (metadata excluded). */
+    size_t eventCount() const
+    {
+        return blocks_.empty()
+                   ? 0
+                   : (blocks_.size() - 1) * kBlockSize +
+                         size_t(cur_ - blocks_.back().get());
+    }
+
+    // ---- export -------------------------------------------------
+    /** Write Chrome trace-event JSON ({"traceEvents": [...]}) sorted
+     *  by timestamp; fatal() if unwritable. */
+    void writeChromeTrace(const std::string &path);
+    /** Write the utilization series; ".json" suffix selects JSON,
+     *  anything else CSV (link,bucket_start_ns,busy_fraction). */
+    void writeUtilization(const std::string &path);
+    /** Honor config().file / config().utilizationFile (no-ops when
+     *  empty). Returns wall seconds spent writing. */
+    double writeOutputs();
+
+    /** Utilization series as JSON (tests; same data as the file). */
+    json::Value utilizationJson() const;
+
+  private:
+    struct Event
+    {
+        double ts;   //!< ns (simulated).
+        double dur;  //!< ns; kInstant / kOpen markers below.
+        int32_t pid;
+        int32_t tid;
+        const char *cat;  //!< static string.
+        /** Static printf format, or nullptr => the name is
+         *  names_[a0] (the Str/beginSpan paths never use the args).
+         *  Folding the index into a0 keeps the struct at 64 bytes on
+         *  LP64 — one cache line per append — which is what holds
+         *  full-detail recording inside the overhead budget
+         *  (bench_trace_overhead: a 72-byte event straddles lines and
+         *  records ~4x slower). */
+        const char *fmt;
+        long long a0, a1, a2;
+    };
+    static constexpr double kInstant = -1.0;
+    static constexpr double kOpen = -2.0;
+
+    struct LinkState
+    {
+        std::string label;
+        std::vector<double> busyNs;  //!< per utilization bucket.
+        double openT0 = 0.0, openT1 = -1.0;  //!< coalesced occupancy.
+    };
+
+    void pushEvent(int32_t pid, int32_t tid, const char *cat,
+                   const char *fmt, double ts, double dur, long long a0,
+                   long long a1, long long a2);
+    /** Open a fresh storage block (out of line; see blocks_). */
+    void newBlock();
+    /** Per-thread pool of retired blocks (pages resident) that
+     *  newBlock() prefers over fresh allocation; see ~Tracer().
+     *  Returns null once the calling thread's pool has been torn
+     *  down, so tracers outliving it (static storage) degrade to
+     *  plain allocation instead of touching a dead vector. */
+    struct BlockPool;
+    static BlockPool *blockPool();
+    Event &eventAt(size_t i)
+    {
+        return blocks_[i >> kBlockShift][i & (kBlockSize - 1)];
+    }
+    const Event &eventAt(size_t i) const
+    {
+        return blocks_[i >> kBlockShift][i & (kBlockSize - 1)];
+    }
+    void accumulateBuckets(LinkState &ls, TimeNs t0, TimeNs t1,
+                           double fraction);
+    void flushOpenOccupancy();
+    std::string eventName(const Event &ev) const;
+
+    /** Event storage is a list of fixed-size blocks appended through
+     *  a bump pointer (cur_/curEnd_), NOT one growing vector: a
+     *  doubling vector would memcpy the whole trace ~once over and
+     *  refault the copied pages, which alone busts the recording
+     *  budget on big traces (bench_trace_overhead). Blocks are
+     *  allocated uninitialized and never move, so recording is
+     *  compare + 64-byte store + bump. */
+    static constexpr size_t kBlockShift = 16; //!< 64Ki events, 4 MB.
+    static constexpr size_t kBlockSize = size_t(1) << kBlockShift;
+
+    TraceConfig cfg_;
+    std::vector<std::unique_ptr<Event[]>> blocks_;
+    Event *cur_ = nullptr;    //!< next append slot in blocks_.back().
+    Event *curEnd_ = nullptr; //!< end of blocks_.back().
+    std::vector<std::string> names_;
+    std::vector<LinkState> links_;
+    std::map<int32_t, std::string> processNames_;
+    std::map<std::pair<int32_t, int32_t>, std::string> threadNames_;
+    Counters counters_;
+};
+
+} // namespace trace
+} // namespace astra
+
+#endif // ASTRA_TRACE_TRACER_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace astra {
 
@@ -101,11 +102,25 @@ ExecutionEngine::start()
 }
 
 void
+ExecutionEngine::setTracer(trace::Tracer *tracer, int32_t pid)
+{
+    tracer_ = tracer;
+    tracePid_ = pid;
+    if (tracer_)
+        issuedAt_.assign(total_, 0.0);
+    else
+        issuedAt_.clear();
+}
+
+void
 ExecutionEngine::issue(NpuId npu, size_t index)
 {
     const EtNode &node = wl_.graphs[static_cast<size_t>(npu)].nodes[index];
     Sys &sys = *sys_[static_cast<size_t>(npu)];
     EventCallback done = [this, npu, index] { onDone(npu, index); };
+
+    if (tracer_)
+        issuedAt_[flatIndex(npu, index)] = sys.eventQueue().now();
 
     switch (node.type) {
       case NodeType::Compute:
@@ -141,6 +156,15 @@ ExecutionEngine::onDone(NpuId npu, size_t index)
     ++completed_;
     size_t flat = flatIndex(npu, index);
     done_[flat] = 1;
+    if (tracer_) {
+        const EtNode &node =
+            wl_.graphs[static_cast<size_t>(npu)].nodes[index];
+        TimeNs now = sys_[static_cast<size_t>(npu)]->eventQueue().now();
+        tracer_->spanStr(tracePid_, int32_t(npu), nodeTypeName(node.type),
+                         node.name.empty() ? nodeTypeName(node.type)
+                                           : node.name,
+                         issuedAt_[flat], now - issuedAt_[flat]);
+    }
     size_t base = nodeBase_[static_cast<size_t>(npu)];
     for (uint32_t c = childStart_[flat]; c < childStart_[flat + 1]; ++c) {
         uint32_t child = children_[c];

@@ -29,6 +29,8 @@
 
 namespace astra {
 
+namespace trace { class Tracer; }
+
 /** See file comment. */
 class ExecutionEngine
 {
@@ -82,6 +84,14 @@ class ExecutionEngine
     size_t totalNodes() const { return total_; }
 
     /**
+     * Attach the tracing sink (docs/trace.md): every node execution
+     * becomes a complete span on its rank's track (tid = NPU id)
+     * under process `pid` (0 for single-job runs, job id + 1 in the
+     * cluster). Null detaches. Purely observational.
+     */
+    void setTracer(trace::Tracer *tracer, int32_t pid);
+
+    /**
      * Convenience: start(), drain the event queue, and fatal() if the
      * workload deadlocked (e.g., mismatched send/recv pairs).
      * Returns the finish time.
@@ -116,6 +126,12 @@ class ExecutionEngine
     size_t completed_ = 0;
     bool cancelled_ = false;
     EventCallback onFinished_;
+
+    // Tracing (null = disabled): per-node issue timestamps, allocated
+    // only when a tracer attaches.
+    trace::Tracer *tracer_ = nullptr;
+    int32_t tracePid_ = 0;
+    std::vector<TimeNs> issuedAt_;
 };
 
 } // namespace astra

@@ -42,6 +42,62 @@ TEST(Logging, VerboseToggle)
     setVerbose(before);
 }
 
+TEST(Logging, LevelThresholdOrdering)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(logEnabled(LogLevel::Debug));
+    // The legacy verbose shim maps onto the threshold.
+    setVerbose(true);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    setVerbose(false);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(before);
+}
+
+TEST(Logging, LevelNamesRoundTrip)
+{
+    for (LogLevel l : {LogLevel::Error, LogLevel::Warn, LogLevel::Info,
+                       LogLevel::Debug})
+        EXPECT_EQ(logLevelFromString(logLevelName(l)), l);
+    EXPECT_THROW(logLevelFromString("chatty"), FatalError);
+    EXPECT_THROW(logLevelFromString(""), FatalError);
+}
+
+TEST(Logging, TaggedMessagesCarrySubsystemAndLevel)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    testing::internal::CaptureStdout();
+    informT("flow", "solver converged in %d rounds", 3);
+    debugT("cluster", "job %d placed", 7);
+    EXPECT_EQ(testing::internal::GetCapturedStdout(),
+              "info: [flow] solver converged in 3 rounds\n"
+              "debug: [cluster] job 7 placed\n");
+    // Warn and up go to stderr, not stdout.
+    testing::internal::CaptureStderr();
+    warnT("fault", "link %d degraded", 2);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(),
+              "warn: [fault] link 2 degraded\n");
+    setLogLevel(before);
+}
+
+TEST(Logging, SuppressedLevelsEmitNothing)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStdout();
+    informT("flow", "dropped");
+    debug("also dropped");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+    setLogLevel(before);
+}
+
 TEST(Logging, FormatVHandlesLongStrings)
 {
     std::string long_str(5000, 'x');
