@@ -28,7 +28,9 @@ main(int argc, char **argv)
     CommandLine cl(argc, argv, {"network", "system", "trace", "synth",
                                 "bytes", "emit-samples", "trace-out",
                                 "trace-detail", "trace-util",
-                                "trace-util-bucket", "log-level"});
+                                "trace-util-bucket", "trace-rate-eps",
+                                "trace-analysis", "trace-analysis-out",
+                                "log-level"});
     if (cl.has("log-level"))
         setLogLevel(logLevelFromString(cl.getString("log-level", "")));
 

@@ -116,7 +116,8 @@ main(int argc, char **argv)
                     {"csv", "json", "sample", "demo", "backend",
                      "no-baselines", "verbose", "trace",
                      "trace-detail", "trace-util",
-                     "trace-util-bucket", "log-level"});
+                     "trace-util-bucket", "trace-rate-eps",
+                     "log-level"});
     setVerbose(cli.getBool("verbose"));
     if (cli.has("log-level"))
         setLogLevel(logLevelFromString(cli.getString("log-level", "")));

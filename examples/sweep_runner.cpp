@@ -7,12 +7,15 @@
  *   sweep_runner <spec.json> [--threads N] [--cache cache.json]
  *                [--csv out.csv] [--json out.json]
  *                [--metric total_ns] [--verbose | --log-level L]
+ *                [--auto-diff [diff.json]]
  *   sweep_runner --sample spec.json     # write an example spec
  *
  * --threads 0 uses all hardware threads. --cache enables incremental
  * re-runs: results keyed by config hash are loaded before and saved
  * after the batch, so editing one axis value re-simulates only the
- * changed grid points.
+ * changed grid points. --auto-diff re-runs the metric's argmin and
+ * argmax configurations with full tracing and prints the span-level
+ * explanation of their difference (optionally written as JSON).
  */
 #include <cstdio>
 #include <string>
@@ -22,6 +25,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "sweep/auto_diff.h"
 #include "sweep/result_store.h"
 
 using namespace astra;
@@ -37,7 +41,9 @@ metricByName(const std::string &name)
                      Metric::ExposedRemoteMem, Metric::Idle,
                      Metric::Events, Metric::Messages,
                      Metric::MaxLinkUtil, Metric::QueueingDelay,
-                     Metric::InterferenceSlowdown}) {
+                     Metric::InterferenceSlowdown, Metric::LostWork,
+                     Metric::RecoveryTime, Metric::NumFaults,
+                     Metric::Goodput, Metric::CriticalPath}) {
         if (name == metricName(m))
             return m;
     }
@@ -51,7 +57,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"threads", "cache", "csv", "json", "metric",
-                     "sample", "verbose", "log-level"});
+                     "sample", "auto-diff", "verbose", "log-level"});
     setVerbose(cli.getBool("verbose"));
     if (cli.has("log-level"))
         setLogLevel(logLevelFromString(cli.getString("log-level", "")));
@@ -136,6 +142,22 @@ main(int argc, char **argv)
                     metricName(metric), best,
                     store.row(best).config.label.c_str(),
                     store.value(best, metric));
+        if (cli.has("auto-diff")) {
+            AutoDiffResult ad = autoDiffExtremes(spec, store, metric);
+            std::printf("\nauto-diff (%s): argmin #%zu (%s) vs "
+                        "argmax #%zu (%s)\n",
+                        metricName(metric), ad.indexMin,
+                        ad.labelMin.c_str(), ad.indexMax,
+                        ad.labelMax.c_str());
+            std::fputs(
+                trace::analysis::diffSummary(ad.diff).c_str(), stdout);
+            std::string diff_path = cli.getString("auto-diff", "");
+            if (!diff_path.empty() && diff_path != "true") {
+                json::writeFile(diff_path,
+                                trace::analysis::diffToJson(ad.diff));
+                std::printf("wrote %s\n", diff_path.c_str());
+            }
+        }
     }
 
     std::string csv_path = cli.getString("csv", "");

@@ -30,7 +30,9 @@ main(int argc, char **argv)
     setVerbose(false);
     CommandLine cl(argc, argv, {"trace", "topo", "emit", "trace-out",
                                 "trace-detail", "trace-util",
-                                "trace-util-bucket", "log-level"});
+                                "trace-util-bucket", "trace-rate-eps",
+                                "trace-analysis", "trace-analysis-out",
+                                "log-level"});
     if (cl.has("log-level"))
         setLogLevel(logLevelFromString(cl.getString("log-level", "")));
     Topology topo =

@@ -13,12 +13,23 @@ Compares a freshly produced bench JSON against the committed one:
    the simulation's behaviour changed without the committed file
    being regenerated.
  - Wall-clock metrics (`wall_seconds`, `seconds`) may wobble with the
-   machine, but a fresh value more than 25% above the committed one is
+   machine, but a fresh value more than 25% above the reference is
    a performance regression and fails the check. Sub-millisecond
    samples can swing far more than 25% from scheduler noise alone, so
    an absolute slack floor (WALL_SLACK_S) is added to the allowance —
    the gate is meant to catch real regressions on the scenarios that
    take meaningful time, not to flake on microsecond jitter.
+ - The wall reference is the committed file by default. Because the
+   committed numbers were recorded on one specific machine, a
+   different host (a CI runner, a laptop) passes --wall-baseline
+   FILE: a per-host ledger of wall times recorded on THAT host
+   (scripts/bench.sh --record-baseline). Scenarios absent from the
+   baseline skip the wall gate (first run after a new scenario);
+   deterministic metrics are always gated against the committed file
+   regardless.
+ - --record, with --wall-baseline, rewrites the ledger from the fresh
+   run's wall numbers after the deterministic comparison passes —
+   this is how a host (re-)establishes its baseline.
  - Structure must match: a scenario added or removed without
    regenerating the committed file is an error, not a skip.
  - Derived rates (`events_per_sec`, `speedup`, `accuracy_gap`, ...)
@@ -26,7 +37,9 @@ Compares a freshly produced bench JSON against the committed one:
 
 Exit code 0 = clean, 1 = any violation (all violations are listed).
 """
+import argparse
 import json
+import os
 import sys
 
 EXACT_KEYS = {"sim_time_ns", "events", "solves", "flows_touched_total",
@@ -37,11 +50,14 @@ WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds"}
 IGNORED_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
                 "speedup_8_over_1", "accuracy_gap", "bucket_width_ns",
                 "hardware_threads", "overhead_frac"}
-WALL_TOLERANCE = 1.25  # fresh wall time may be up to 25% above committed.
+WALL_TOLERANCE = 1.25  # fresh wall time may be up to 25% above reference.
 WALL_SLACK_S = 0.005   # plus this absolute slack (sub-ms noise floor).
 
 
-def compare(committed, fresh, path, errors):
+def compare(committed, fresh, baseline, path, errors):
+    """Walk committed vs fresh; `baseline` mirrors the walk when a
+    per-host wall ledger is active (None disables it, and a subtree
+    missing from the ledger skips the wall gate for that subtree)."""
     if isinstance(committed, dict) != isinstance(fresh, dict):
         errors.append(f"{path}: structure mismatch")
         return
@@ -65,14 +81,25 @@ def compare(committed, fresh, path, errors):
                         f"(committed {committed[key]!r}, "
                         f"fresh {fresh[key]!r})")
             elif key in WALL_KEYS:
-                base, now = committed[key], fresh[key]
+                if baseline is ABSENT:
+                    continue  # not in this host's ledger yet.
+                base = committed[key] if baseline is None \
+                    else baseline.get(key)
+                if base is None:
+                    continue
+                now = fresh[key]
                 if base > 0 and now > base * WALL_TOLERANCE + WALL_SLACK_S:
                     errors.append(
                         f"{sub}: wall-time regression {now:.6f}s vs "
-                        f"committed {base:.6f}s "
+                        f"reference {base:.6f}s "
                         f"(> {WALL_TOLERANCE:.2f}x + {WALL_SLACK_S}s)")
             else:
-                compare(committed[key], fresh[key], sub, errors)
+                child = baseline
+                if isinstance(baseline, dict):
+                    child = baseline.get(key, ABSENT)
+                elif baseline is ABSENT:
+                    child = ABSENT
+                compare(committed[key], fresh[key], child, sub, errors)
     elif committed != fresh and not (
             is_machine_dependent_number(committed) and
             is_machine_dependent_number(fresh)):
@@ -89,23 +116,76 @@ def is_machine_dependent_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+# Sentinel: ledger active but this subtree was never recorded on this
+# host — skip the wall gate rather than comparing against nothing.
+ABSENT = object()
+
+
+def extract_wall(doc):
+    """Nested copy of `doc` keeping only the wall-clock leaves."""
+    if not isinstance(doc, dict):
+        return None
+    out = {}
+    for key, value in doc.items():
+        if key in WALL_KEYS and is_machine_dependent_number(value):
+            out[key] = value
+        elif isinstance(value, dict):
+            sub = extract_wall(value)
+            if sub:
+                out[key] = sub
+    return out
+
+
 def main(argv):
-    if len(argv) < 3 or len(argv) % 2 == 0:
-        print("usage: bench_check.py <committed.json fresh.json>...")
-        return 2
+    ap = argparse.ArgumentParser()
+    ap.add_argument("files", nargs="+",
+                    metavar="committed.json fresh.json",
+                    help="alternating committed/fresh file pairs")
+    ap.add_argument("--wall-baseline", metavar="FILE",
+                    help="per-host wall-time ledger; gates wall times "
+                         "against it instead of the committed file")
+    ap.add_argument("--record", action="store_true",
+                    help="with --wall-baseline: rewrite the ledger "
+                         "from the fresh runs' wall numbers")
+    args = ap.parse_args(argv[1:])
+    if len(args.files) % 2 != 0:
+        ap.error("files must come in committed/fresh pairs")
+    if args.record and not args.wall_baseline:
+        ap.error("--record requires --wall-baseline")
+
+    ledger = {}
+    if args.wall_baseline and os.path.exists(args.wall_baseline) \
+            and not args.record:
+        with open(args.wall_baseline) as f:
+            ledger = json.load(f)
+
     errors = []
-    for i in range(1, len(argv), 2):
-        committed_path, fresh_path = argv[i], argv[i + 1]
+    recorded = {}
+    for i in range(0, len(args.files), 2):
+        committed_path, fresh_path = args.files[i], args.files[i + 1]
         with open(committed_path) as f:
             committed = json.load(f)
         with open(fresh_path) as f:
             fresh = json.load(f)
+        name = os.path.basename(committed_path)
+        if args.wall_baseline:
+            baseline = ledger.get(name, ABSENT)
+        else:
+            baseline = None  # wall gate uses the committed numbers.
         before = len(errors)
-        compare(committed, fresh, "", errors)
+        compare(committed, fresh, baseline, "", errors)
         status = "OK" if len(errors) == before else "FAIL"
         print(f"{committed_path}: {status}")
+        if args.record:
+            recorded[name] = extract_wall(fresh) or {}
     for err in errors:
         print(f"  {err}")
+    if args.record and not errors:
+        with open(args.wall_baseline, "w") as f:
+            json.dump(recorded, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wall baseline recorded to {args.wall_baseline} "
+              f"({len(recorded)} files)")
     return 1 if errors else 0
 
 

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON file emitted by the tracer.
+"""Validate trace tooling output files.
 
 Usage: check_trace.py TRACE.json [--min-events N]
+       check_trace.py --diff-report DIFF.json [--min-kinds N]
 
-Checks the structural invariants docs/trace.md promises (the same ones
-tests/trace asserts from C++), so CI can validate a smoke-run artifact
-without a build tree:
+Timeline mode checks the structural invariants docs/trace.md promises
+(the same ones tests/trace asserts from C++), so CI can validate a
+smoke-run artifact without a build tree:
 
   - the file parses as JSON and is either a bare event array or an
     object with a "traceEvents" array (both are Perfetto-loadable);
@@ -15,6 +16,16 @@ without a build tree:
   - ts and dur are non-negative numbers, dur present only on "X";
   - events are sorted by ts (the writer stable-sorts at export), which
     implies per-(pid,tid) monotonic timestamps.
+
+--diff-report instead validates a `trace_analyze --diff` JSON report
+(docs/trace.md "Analysis"):
+
+  - kind tag is "astra-trace-diff", run ends are non-negative, and
+    total_delta_ns equals end_b_ns - end_a_ns;
+  - every row carries the full column set with non-negative counts
+    and totals, matched <= min(count_a, count_b), and
+    delta_ns == total_b_ns - total_a_ns;
+  - rows are sorted by |delta_ns| descending (ties by kind).
 
 Exits non-zero with a message on the first violation.
 """
@@ -31,12 +42,86 @@ def fail(msg):
     sys.exit(1)
 
 
+DIFF_ROW_KEYS = ("kind", "count_a", "count_b", "total_a_ns",
+                 "total_b_ns", "delta_ns", "matched",
+                 "matched_delta_ns")
+
+
+def check_diff_report(path, min_kinds):
+    """Validate a trace_analyze --diff JSON report (see module doc)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or doc.get("kind") != "astra-trace-diff":
+        fail("top level must be an object tagged "
+             "kind == 'astra-trace-diff'")
+    for key in ("end_a_ns", "end_b_ns", "total_delta_ns"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"'{key}': bad value {v!r}")
+    if doc["end_a_ns"] < 0 or doc["end_b_ns"] < 0:
+        fail("run end times must be non-negative")
+    want = doc["end_b_ns"] - doc["end_a_ns"]
+    if abs(doc["total_delta_ns"] - want) > 1e-3:
+        fail(f"total_delta_ns {doc['total_delta_ns']} != "
+             f"end_b_ns - end_a_ns ({want})")
+    rows = doc.get("kinds")
+    if not isinstance(rows, list):
+        fail("'kinds' must be an array")
+    if len(rows) < min_kinds:
+        fail(f"only {len(rows)} kinds, expected >= {min_kinds}")
+    prev = None
+    for i, row in enumerate(rows):
+        where = f"kinds[{i}]"
+        if not isinstance(row, dict):
+            fail(f"{where}: not an object")
+        for key in DIFF_ROW_KEYS:
+            if key not in row:
+                fail(f"{where}: missing '{key}'")
+        for key in ("count_a", "count_b", "matched", "total_a_ns",
+                    "total_b_ns"):
+            v = row[key]
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or v < 0:
+                fail(f"{where}: bad {key} {v!r}")
+        if row["matched"] > min(row["count_a"], row["count_b"]):
+            fail(f"{where}: matched {row['matched']} exceeds "
+                 f"min(count_a, count_b)")
+        want = row["total_b_ns"] - row["total_a_ns"]
+        if abs(row["delta_ns"] - want) > 1e-3:
+            fail(f"{where}: delta_ns {row['delta_ns']} != "
+                 f"total_b_ns - total_a_ns ({want})")
+        cur = (-abs(row["delta_ns"]), row["kind"])
+        if prev is not None and cur < prev:
+            fail(f"{where}: rows not sorted by |delta_ns| desc")
+        prev = cur
+    delta_sum = sum(abs(r["delta_ns"]) for r in rows)
+    print(f"check_trace: OK: diff report with {len(rows)} kinds, "
+          f"sum |delta| = {delta_sum:.3f} ns")
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("trace")
+    ap.add_argument("trace", nargs="?")
     ap.add_argument("--min-events", type=int, default=1,
                     help="require at least this many events (default 1)")
+    ap.add_argument("--diff-report", metavar="DIFF.json",
+                    help="validate a trace_analyze --diff report "
+                         "instead of a timeline")
+    ap.add_argument("--min-kinds", type=int, default=1,
+                    help="with --diff-report: require at least this "
+                         "many span kinds (default 1)")
     args = ap.parse_args()
+
+    if args.diff_report:
+        if args.trace:
+            fail("--diff-report takes no positional trace file")
+        check_diff_report(args.diff_report, args.min_kinds)
+        return
+    if not args.trace:
+        fail("a trace file (or --diff-report) is required")
 
     try:
         with open(args.trace) as f:

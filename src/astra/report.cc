@@ -174,6 +174,18 @@ reportToJson(const Report &report)
         }
         doc["trace_histograms"] = json::Value(std::move(hists));
     }
+    if (report.criticalPathNs > 0.0) {
+        doc["critical_path_ns"] = json::Value(report.criticalPathNs);
+        json::Array exposed;
+        exposed.reserve(report.traceExposedCommPerDim.size());
+        for (double ns : report.traceExposedCommPerDim)
+            exposed.push_back(json::Value(ns));
+        doc["trace_exposed_comm_per_dim_ns"] =
+            json::Value(std::move(exposed));
+        doc["bottleneck_link"] = json::Value(report.bottleneckLink);
+        doc["bottleneck_link_share"] =
+            json::Value(report.bottleneckLinkShare);
+    }
     return json::Value(std::move(doc));
 }
 
@@ -221,6 +233,15 @@ reportFromJson(const json::Value &doc)
              doc.at("trace_counters").asObject())
             report.traceCounters[key] = v.asNumber();
     }
+    report.criticalPathNs = doc.getNumber("critical_path_ns", 0.0);
+    if (doc.has("trace_exposed_comm_per_dim_ns")) {
+        for (const json::Value &v :
+             doc.at("trace_exposed_comm_per_dim_ns").asArray())
+            report.traceExposedCommPerDim.push_back(v.asNumber());
+    }
+    report.bottleneckLink = doc.getString("bottleneck_link", "");
+    report.bottleneckLinkShare =
+        doc.getNumber("bottleneck_link_share", 0.0);
     if (doc.has("trace_histograms")) {
         for (const auto &[key, v] :
              doc.at("trace_histograms").asObject()) {

@@ -72,6 +72,21 @@ struct Report
     std::map<std::string, double> traceCounters;
     std::map<std::string, std::vector<uint64_t>> traceHistograms;
     std::map<std::string, double> traceWallSeconds;
+    /**
+     * Trace-analysis results (src/trace/analysis/, docs/trace.md
+     * "Analysis"), filled only when `trace.analysis` is enabled:
+     * critical-path length, per-dimension exposed communication as
+     * measured from the trace (chunk-phase time not covered by
+     * compute/memory spans), and the busiest fabric link with its
+     * busy share. Serialized only when criticalPathNs > 0, keeping
+     * the default report JSON — and the sweep cache fingerprint —
+     * unchanged. Like the trace counters, these are deterministic
+     * functions of the configuration.
+     */
+    TimeNs criticalPathNs = 0.0;
+    std::vector<double> traceExposedCommPerDim;
+    std::string bottleneckLink;
+    double bottleneckLinkShare = 0.0;
 
     /** Exposed-communication share of total runtime [0, 1]. */
     double exposedCommFraction() const;

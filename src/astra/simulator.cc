@@ -2,8 +2,10 @@
 
 #include <chrono>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "fault/injector.h"
+#include "trace/analysis/analysis.h"
 #include "workload/engine.h"
 
 namespace astra {
@@ -115,6 +117,42 @@ Simulator::run(const Workload &wl)
         c.add("trace_events", double(tracer_->eventCount()));
         trace::addQueueProfile(profile_, c);
         net_->fillTraceCounters(c);
+        if (cfg_.trace.analysis) {
+            // In-memory analytics: consumes the tracer's event blocks
+            // directly (no JSON round trip) and is purely
+            // observational — the simulated results above are already
+            // final. Runs before writeOutputs so flushed occupancy
+            // spans land in the export too.
+            auto a_start = std::chrono::steady_clock::now();
+            trace::analysis::TraceData data =
+                trace::analysis::TraceData::fromTracer(*tracer_);
+            trace::analysis::AnalysisResult analysis =
+                trace::analysis::analyzeTrace(data);
+            report.criticalPathNs = analysis.path.lengthNs;
+            for (const trace::analysis::DimCommRow &row : analysis.dims) {
+                if (row.dim >= 0) {
+                    if (report.traceExposedCommPerDim.size() <=
+                        size_t(row.dim))
+                        report.traceExposedCommPerDim.resize(
+                            size_t(row.dim) + 1, 0.0);
+                    report.traceExposedCommPerDim[size_t(row.dim)] =
+                        row.exposedNs;
+                }
+            }
+            if (!analysis.links.empty()) {
+                report.bottleneckLink = analysis.links.front().link;
+                report.bottleneckLinkShare =
+                    analysis.links.front().share;
+            }
+            if (!cfg_.trace.analysisFile.empty())
+                json::writeFile(
+                    cfg_.trace.analysisFile,
+                    trace::analysis::analysisToJson(analysis));
+            c.addWall("wall_analysis_seconds",
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - a_start)
+                          .count());
+        }
         double write_wall = tracer_->writeOutputs();
         c.addWall("wall_trace_write_seconds", write_wall);
         report.traceCounters = c.values;

@@ -171,15 +171,21 @@ CollectiveEngine::start(Instance &inst)
         }
     }
 
+    uint64_t ordinal = startedInstances_++;
     if (tracer_) {
+        // The " #<ordinal>" suffix gives instance spans a stable
+        // identity for cross-run alignment: SlotPool track slots are
+        // reused in backend-timing order, but the issue order of
+        // collectives is a property of the workload alone.
         inst.traceSpan = tracer_->beginSpan(
             tracePid_,
             trace::Tracer::kCollTidBase +
                 static_cast<int32_t>(SlotPool<Instance>::slotOf(inst.id)),
             "coll",
-            detail::formatV("%s %.0fB x%d chunks=%d",
+            detail::formatV("%s %.0fB x%d chunks=%d #%llu",
                             collectiveName(inst.req.type), inst.req.bytes,
-                            inst.groupSize, inst.req.chunks),
+                            inst.groupSize, inst.req.chunks,
+                            static_cast<unsigned long long>(ordinal)),
             net_.now());
     } else {
         inst.traceSpan = trace::Tracer::kNoSpan;

@@ -215,6 +215,7 @@ class CollectiveEngine
     SlotPool<Instance> instances_; //!< recycled; nested capacities kept.
     std::vector<int> kickScratch_;    //!< reused by start().
     uint64_t completedInstances_ = 0;
+    uint64_t startedInstances_ = 0; //!< issue-order ordinal source.
     bool cancelled_ = false;
     trace::Tracer *tracer_ = nullptr; //!< null = tracing disabled.
     int32_t tracePid_ = 0;

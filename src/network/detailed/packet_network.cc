@@ -45,6 +45,7 @@ PacketNetwork::simSend(NpuId src, NpuId dst, Bytes bytes, int dim,
     msg.src = src;
     msg.dst = dst;
     msg.tag = tag;
+    msg.dim = dim;
     msg.packetsRemaining = packets;
     msg.traceStart = eq_.now();
     msg.handlers.onDelivered = std::move(handlers.onDelivered);
@@ -169,9 +170,9 @@ PacketNetwork::packetArrived(uint64_t msg_id)
     NpuId dst = msg.dst;
     uint64_t tag = msg.tag;
     if (tracer_ && tracer_->full())
-        tracer_->span(0, int32_t(src), "net", "msg %lld->%lld",
+        tracer_->span(0, int32_t(src), "net", "msg %lld->%lld d%d",
                       msg.traceStart, eq_.now() - msg.traceStart,
-                      (long long)src, (long long)dst);
+                      (long long)src, (long long)dst, msg.dim);
     EventCallback on_delivered = std::move(msg.handlers.onDelivered);
     msg.handlers = SendHandlers{};
     messages_.release(msg_id);

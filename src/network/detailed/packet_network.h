@@ -100,6 +100,7 @@ class PacketNetwork : public NetworkApi
         NpuId src = 0;
         NpuId dst = 0;
         uint64_t tag = 0;
+        int dim = 0;              //!< topology dimension (trace tag).
         int packetsRemaining = 0; //!< 0 while the slot is free.
         TimeNs traceStart = 0.0;  //!< submission time (trace lifetimes).
         SendHandlers handlers;

@@ -163,11 +163,12 @@ FlowNetwork::integrateFlow(Flow &flow, TimeNs t)
             // of the flow: feed the utilization series with the
             // fractional busy share per link, and at full detail
             // grow the coalesced rate segment on the source's flow
-            // track. Stretches within 25% of the open segment's rate
-            // extend it rather than emit — max-min churn re-rates
-            // whole components constantly, and one event per re-rate
-            // would double the trace for no visual gain; sub-quarter
-            // rate wiggles are invisible on a timeline (docs/trace.md).
+            // track. Stretches within rate_epsilon (relative, default
+            // 25%) of the open segment's rate extend it rather than
+            // emit — max-min churn re-rates whole components
+            // constantly, and one event per re-rate would double the
+            // trace for no visual gain; small rate wiggles are
+            // invisible on a timeline (docs/trace.md).
             if (tracer_->utilization())
                 for (LinkId l : *flow.path)
                     tracer_->linkBusy(
@@ -178,7 +179,7 @@ FlowNetwork::integrateFlow(Flow &flow, TimeNs t)
                     flow.traceSegStart = flow.lastUpdate;
                     flow.traceRate = flow.rate;
                 } else if (std::abs(flow.rate - flow.traceRate) >
-                           0.25 * flow.traceRate) {
+                           rateEpsilon_ * flow.traceRate) {
                     flushRateSegment(flow, flow.lastUpdate);
                     flow.traceSegStart = flow.lastUpdate;
                     flow.traceRate = flow.rate;
@@ -523,6 +524,7 @@ FlowNetwork::setTracer(trace::Tracer *tracer)
     NetworkApi::setTracer(tracer);
     if (!tracer)
         return;
+    rateEpsilon_ = tracer->config().rateEpsilon;
     for (LinkId l = 0; l < graph_.linkCount(); ++l) {
         const LinkGraph::Link &link = graph_.link(l);
         tracer->registerLink(l, detail::formatV("d%d %d->%d", link.dim,
@@ -580,9 +582,10 @@ FlowNetwork::onCompletion(uint64_t id, uint32_t epoch)
         // already describes one constant-rate transmission.
         if (flow.traceSegEmitted)
             flushRateSegment(flow, eq_.now());
-        tracer_->span(0, int32_t(src), "net", "flow %lld->%lld",
+        tracer_->span(0, int32_t(src), "net", "flow %lld->%lld d%d",
                       flow.traceStart, delivered_at - flow.traceStart,
-                      (long long)src, (long long)dst);
+                      (long long)src, (long long)dst,
+                      graph_.link((*flow.path)[0]).dim);
     }
     SendHandlers handlers = std::move(flow.handlers);
     flow.handlers = SendHandlers{};

@@ -1,0 +1,53 @@
+#include "sweep/auto_diff.h"
+
+#include "astra/simulator.h"
+#include "cluster/config.h"
+#include "common/logging.h"
+#include "trace/analysis/trace_data.h"
+
+namespace astra {
+namespace sweep {
+
+namespace {
+
+/** Run one grid point with full in-memory tracing and capture its
+ *  span timeline. File outputs are suppressed — the caller wants the
+ *  TraceData, not export side effects. */
+trace::analysis::TraceData
+traceConfig(const SweepSpec &spec, size_t index)
+{
+    SweepConfig config = spec.config(index);
+    ASTRA_USER_CHECK(!cluster::isClusterDoc(config.doc),
+                     "auto-diff: config %zu is a cluster document; "
+                     "per-job timelines must be diffed individually",
+                     index);
+    MaterializedConfig mat = materializeConfig(config.doc);
+    mat.cfg.trace.detail = trace::Detail::Full;
+    mat.cfg.trace.file.clear();
+    mat.cfg.trace.utilizationFile.clear();
+    mat.cfg.trace.analysis = false;
+    mat.cfg.trace.analysisFile.clear();
+    Simulator sim(std::move(mat.topo), std::move(mat.cfg));
+    sim.run(mat.workload);
+    return trace::analysis::TraceData::fromTracer(*sim.tracer());
+}
+
+} // namespace
+
+AutoDiffResult
+autoDiffExtremes(const SweepSpec &spec, const ResultStore &store,
+                 Metric metric)
+{
+    AutoDiffResult out;
+    out.indexMin = store.row(store.argmin(metric)).config.index;
+    out.indexMax = store.row(store.argmax(metric)).config.index;
+    out.labelMin = spec.config(out.indexMin).label;
+    out.labelMax = spec.config(out.indexMax).label;
+    trace::analysis::TraceData a = traceConfig(spec, out.indexMin);
+    trace::analysis::TraceData b = traceConfig(spec, out.indexMax);
+    out.diff = trace::analysis::diffTraces(a, b);
+    return out;
+}
+
+} // namespace sweep
+} // namespace astra

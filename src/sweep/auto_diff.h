@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sweep auto-diffing: trace the argmin and argmax configurations of a
+ * finished sweep and explain their runtime difference span-by-span
+ * (docs/sweep.md, docs/trace.md "Analysis").
+ *
+ * The sweep table says *which* grid point is fastest; the trace diff
+ * says *why* — which span population (a collective phase on one
+ * dimension, a compute kernel, message transport) absorbed the
+ * difference. Both extreme configurations are re-run with full
+ * in-memory tracing (results are deterministic, so the re-run
+ * reproduces the tabled numbers exactly) and their span timelines are
+ * aligned by the stable taxonomy and diffed.
+ */
+#ifndef ASTRA_SWEEP_AUTO_DIFF_H_
+#define ASTRA_SWEEP_AUTO_DIFF_H_
+
+#include <string>
+
+#include "sweep/result_store.h"
+#include "trace/analysis/diff.h"
+
+namespace astra {
+namespace sweep {
+
+/** Outcome of autoDiffExtremes. A = argmin row, B = argmax row. */
+struct AutoDiffResult
+{
+    size_t indexMin = 0;  //!< config index of the metric's argmin.
+    size_t indexMax = 0;
+    std::string labelMin; //!< axis-value summary of that grid point.
+    std::string labelMax;
+    trace::analysis::TraceDiff diff; //!< argmin -> argmax span deltas.
+};
+
+/**
+ * Re-run the argmin and argmax configurations of `metric` with full
+ * in-memory tracing and diff their traces. fatal() if the extremes
+ * are cluster documents (per-job timelines diff individually; the
+ * aggregate has no single trace), or if no row succeeded.
+ */
+AutoDiffResult autoDiffExtremes(const SweepSpec &spec,
+                                const ResultStore &store, Metric metric);
+
+} // namespace sweep
+} // namespace astra
+
+#endif // ASTRA_SWEEP_AUTO_DIFF_H_

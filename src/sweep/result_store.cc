@@ -41,6 +41,7 @@ metricName(Metric m)
       case Metric::RecoveryTime:     return "recovery_time_ns";
       case Metric::NumFaults:        return "num_faults";
       case Metric::Goodput:          return "goodput";
+      case Metric::CriticalPath:     return "critical_path_ns";
     }
     return "?";
 }
@@ -111,6 +112,7 @@ ResultStore::value(size_t i, Metric m) const
       case Metric::RecoveryTime:     return r.report.recoveryTimeNs;
       case Metric::NumFaults:        return double(r.report.numFaults);
       case Metric::Goodput:          return r.report.goodput;
+      case Metric::CriticalPath:     return r.report.criticalPathNs;
     }
     return 0.0;
 }
@@ -155,7 +157,7 @@ ResultStore::toCsv() const
            "exposed_remote_mem_ns,idle_ns,events,messages,"
            "max_link_util,queueing_delay_ns,interference_slowdown,"
            "lost_work_ns,recovery_time_ns,num_faults,goodput,"
-           "status\n";
+           "critical_path_ns,status\n";
 
     char buf[64];
     for (const SweepResult &r : rows_) {
@@ -166,10 +168,10 @@ ResultStore::toCsv() const
         for (const std::string &v : r.config.axisValues)
             out += ',' + csvField(v);
         if (r.failed) {
-            // Fifteen empty metric fields, then the status field —
+            // Sixteen empty metric fields, then the status field —
             // same arity as the ok branch so header-keyed parsers
             // align.
-            out += ",,,,,,,,,,,,,,,,";
+            out += ",,,,,,,,,,,,,,,,,";
             out += csvField("failed: " + r.error);
         } else {
             const RuntimeBreakdown &b = r.report.average;
@@ -191,11 +193,13 @@ ResultStore::toCsv() const
             out += buf;
             out += ',' + formatNs(r.report.lostWorkNs);
             out += ',' + formatNs(r.report.recoveryTimeNs);
-            std::snprintf(buf, sizeof(buf), ",%llu,%.6f,ok",
+            std::snprintf(buf, sizeof(buf), ",%llu,%.6f",
                           static_cast<unsigned long long>(
                               r.report.numFaults),
                           r.report.goodput);
             out += buf;
+            out += ',' + formatNs(r.report.criticalPathNs);
+            out += ",ok";
         }
         out += '\n';
     }

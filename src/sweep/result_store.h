@@ -45,6 +45,9 @@ enum class Metric {
     RecoveryTime,     //!< failure-to-restart downtime (ns).
     NumFaults,        //!< fault events fired during the run.
     Goodput,          //!< useful-work fraction under faults [0, 1].
+    /** Trace-analysis critical-path length (ns); 0 unless the sweep
+     *  ran with `trace.analysis` enabled (docs/trace.md). */
+    CriticalPath,
 };
 
 /** Column name of a metric (matches the CSV/JSON headers). */

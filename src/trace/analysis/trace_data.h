@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Normalized span model for trace analytics (docs/trace.md,
+ * "Analysis").
+ *
+ * A TraceData is the analyzer-facing view of one run's timeline:
+ * every recorded span with its track class resolved from the tid
+ * namespace, message peers ("src->dst") and dimension ("d<k>") parsed
+ * out of the name, plus the per-link utilization series when it was
+ * sampled. It is built either directly from an in-memory Tracer (the
+ * no-reparse path Simulator uses) or by loading an exported Chrome
+ * trace-event JSON file (the trace_analyze CLI path) — both yield the
+ * same model, so every analyzer works on live and archived traces
+ * alike.
+ */
+#ifndef ASTRA_TRACE_ANALYSIS_TRACE_DATA_H_
+#define ASTRA_TRACE_ANALYSIS_TRACE_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace astra {
+namespace trace {
+namespace analysis {
+
+/** Which track-namespace region a span was recorded on
+ *  (docs/trace.md tid table). */
+enum class TrackClass {
+    Rank,      //!< per-rank: node spans, chunk phases, message spans.
+    Lifecycle, //!< job lifecycle + fault instants.
+    Link,      //!< fabric link occupancy.
+    Flow,      //!< per-source flow rate segments.
+    Coll,      //!< collective-instance tracks.
+};
+
+const char *trackClassName(TrackClass c);
+TrackClass trackClassOf(int32_t tid);
+
+/** One complete span, with the name's structure parsed out. */
+struct Span
+{
+    int32_t pid = 0;
+    int32_t tid = 0;
+    TrackClass track = TrackClass::Rank;
+    std::string cat;
+    std::string name;
+    double ts = 0.0;  //!< start, simulated ns.
+    double dur = 0.0; //!< duration, ns (>= 0).
+    /** Topology dimension parsed from a trailing "d<k>" name token
+     *  (chunk phases, message spans); -1 when absent. */
+    int dim = -1;
+    /** Message endpoints parsed from an "a->b" name token (net
+     *  message spans, flow rate segments); -1 when absent. */
+    int64_t peerSrc = -1;
+    int64_t peerDst = -1;
+
+    double end() const { return ts + dur; }
+};
+
+/** Per-link utilization series (bucket width = TraceData::bucketNs). */
+struct LinkSeries
+{
+    std::string label;
+    std::vector<double> busyNs;
+};
+
+/** See file comment. */
+struct TraceData
+{
+    /** All complete spans, sorted by (ts, recording order). Open
+     *  (never-closed) spans and instant markers are dropped — same
+     *  policy as the Chrome export. */
+    std::vector<Span> spans;
+    double bucketNs = 0.0;         //!< 0 = no utilization series.
+    std::vector<LinkSeries> links; //!< empty entries for idle links.
+    double endNs = 0.0;            //!< max span end (0 if no spans).
+
+    /** Ingest an in-memory tracer (flushes pending link occupancy
+     *  first; purely observational otherwise). */
+    static TraceData fromTracer(Tracer &tracer);
+    /** Load an exported Chrome trace-event JSON file. Link-track
+     *  labels are recovered from thread_name metadata; the
+     *  utilization series is not part of the Chrome format, so
+     *  `links` stays empty (link ranking falls back to occupancy
+     *  spans). fatal() on unreadable/malformed files. */
+    static TraceData fromChromeFile(const std::string &path);
+};
+
+/**
+ * Stable span taxonomy used by the stretch table, the differ, and the
+ * critical path's per-kind rollups: `cat:name` with every digit run
+ * in the name collapsed to '#', except that a parsed dimension is
+ * kept literal (so "coll:c# p# d1" aggregates per dimension), and the
+ * flow backend's "flow a->b" message spans normalize to "msg a->b" so
+ * kinds align across backends.
+ */
+std::string spanKind(const Span &span);
+
+/** Per-span alignment key for cross-run diffing: track class + pid +
+ *  cat + normalized-prefix name. Collective-instance spans key on
+ *  their (ordinal-tagged) name alone — their tid is a pool slot, not
+ *  a stable identity; rank/link/flow tracks include the tid. */
+std::string alignKey(const Span &span);
+
+} // namespace analysis
+} // namespace trace
+} // namespace astra
+
+#endif // ASTRA_TRACE_ANALYSIS_TRACE_DATA_H_

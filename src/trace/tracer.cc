@@ -69,7 +69,8 @@ traceConfigFromJson(const json::Value &doc, const std::string &path)
     ASTRA_USER_CHECK(doc.isObject(), "%s: expected an object",
                      path.c_str());
     static const char *known[] = {"file", "detail", "utilization_bucket_ns",
-                                  "utilization_file"};
+                                  "utilization_file", "rate_epsilon",
+                                  "analysis", "analysis_file"};
     for (const auto &kv : doc.asObject()) {
         bool ok = false;
         for (const char *k : known)
@@ -86,6 +87,16 @@ traceConfigFromJson(const json::Value &doc, const std::string &path)
                      "%s.utilization_bucket_ns: must be >= 0",
                      path.c_str());
     cfg.utilizationFile = doc.getString("utilization_file", "");
+    cfg.rateEpsilon = doc.getNumber("rate_epsilon", 0.25);
+    ASTRA_USER_CHECK(cfg.rateEpsilon >= 0.0,
+                     "%s.rate_epsilon: must be >= 0", path.c_str());
+    cfg.analysisFile = doc.getString("analysis_file", "");
+    cfg.analysis =
+        doc.getBool("analysis", false) || !cfg.analysisFile.empty();
+    ASTRA_USER_CHECK(!cfg.analysis || cfg.enabled(),
+                     "%s.analysis: requires detail \"spans\" or \"full\" "
+                     "(the analyzers consume recorded spans)",
+                     path.c_str());
     return cfg;
 }
 
@@ -97,6 +108,9 @@ traceConfigToJson(const TraceConfig &cfg)
     doc["detail"] = json::Value(detailName(cfg.detail));
     doc["utilization_bucket_ns"] = json::Value(cfg.utilizationBucketNs);
     doc["utilization_file"] = json::Value(cfg.utilizationFile);
+    doc["rate_epsilon"] = json::Value(cfg.rateEpsilon);
+    doc["analysis"] = json::Value(cfg.analysis);
+    doc["analysis_file"] = json::Value(cfg.analysisFile);
     return json::Value(std::move(doc));
 }
 
@@ -113,20 +127,42 @@ traceConfigFromCli(const CommandLine &cl, const char *file_flag,
     if (cl.has("trace-util-bucket"))
         cfg.utilizationBucketNs =
             cl.getDouble("trace-util-bucket", cfg.utilizationBucketNs);
+    if (cl.has("trace-rate-eps"))
+        cfg.rateEpsilon = cl.getDouble("trace-rate-eps", cfg.rateEpsilon);
+    if (cl.has("trace-analysis-out"))
+        cfg.analysisFile =
+            cl.getString("trace-analysis-out", cfg.analysisFile);
+    if (cl.getBool("trace-analysis") || !cfg.analysisFile.empty())
+        cfg.analysis = true;
     if (cl.has("trace-detail"))
         cfg.detail = detailFromString(cl.getString("trace-detail", ""),
                                       "--trace-detail");
     else if (cfg.detail == Detail::Off &&
              (cl.has(file_flag) || cl.has("trace-util")))
         cfg.detail = Detail::Spans; // asking for output implies spans.
+    // Analysis wants message + chunk-phase spans: asking for it on the
+    // command line implies full detail rather than erroring like the
+    // JSON path (a config file is durable; a flag is an intent).
+    if (cfg.analysis && cfg.detail == Detail::Off)
+        cfg.detail = Detail::Full;
     if (!cfg.utilizationFile.empty() && cfg.utilizationBucketNs <= 0.0)
         cfg.utilizationBucketNs = 1000.0;
     ASTRA_USER_CHECK(cfg.utilizationBucketNs >= 0.0,
                      "--trace-util-bucket: must be >= 0");
+    ASTRA_USER_CHECK(cfg.rateEpsilon >= 0.0,
+                     "--trace-rate-eps: must be >= 0");
     return cfg;
 }
 
-Tracer::Tracer(TraceConfig cfg) : cfg_(std::move(cfg)) {}
+Tracer::Tracer(TraceConfig cfg) : cfg_(std::move(cfg))
+{
+    // Analysis ranks links by busy-share integrals from the sampled
+    // utilization series; the flow backend has no other busy source
+    // (fractional rates never emit occupancy spans). Default a bucket
+    // so analysis sees link data on every backend.
+    if (cfg_.analysis && cfg_.utilizationBucketNs <= 0.0)
+        cfg_.utilizationBucketNs = 1000.0;
+}
 
 /** Recycled event blocks. A fresh 4 MB block costs ~a thousand page
  *  faults to fill — a measurable slice of the recording budget — so
@@ -328,6 +364,26 @@ Tracer::eventName(const Event &ev) const
     char buf[128];
     std::snprintf(buf, sizeof(buf), ev.fmt, ev.a0, ev.a1, ev.a2);
     return buf;
+}
+
+void
+Tracer::visitEvents(
+    const std::function<void(const ResolvedEvent &)> &fn) const
+{
+    size_t n = eventCount();
+    ResolvedEvent out;
+    for (size_t i = 0; i < n; ++i) {
+        const Event &ev = eventAt(i);
+        out.ts = ev.ts;
+        out.instant = ev.dur == kInstant;
+        out.open = ev.dur == kOpen;
+        out.dur = (out.instant || out.open) ? 0.0 : ev.dur;
+        out.pid = ev.pid;
+        out.tid = ev.tid;
+        out.cat = ev.cat;
+        out.name = eventName(ev);
+        fn(out);
+    }
 }
 
 namespace {

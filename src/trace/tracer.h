@@ -30,6 +30,7 @@
 #define ASTRA_TRACE_TRACER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,6 +69,27 @@ struct TraceConfig
     double utilizationBucketNs = 0.0;
     /** Utilization series output (".csv" or ".json"; "" = none). */
     std::string utilizationFile;
+    /**
+     * Flow-backend rate-segment coalescing threshold: a lazy
+     * integration stretch whose max-min rate stays within
+     * `rateEpsilon` (relative) of the open segment's opening rate
+     * extends the segment instead of emitting a new one
+     * (docs/trace.md). 0 emits one segment per rate change; large
+     * values collapse each flow to at most one segment.
+     */
+    double rateEpsilon = 0.25;
+    /**
+     * Run the trace analytics pass (src/trace/analysis/,
+     * docs/trace.md "Analysis") after the simulation: critical-path
+     * extraction, bottleneck attribution, and the stretch table,
+     * flowing into the Report's critical_path_ns /
+     * trace_exposed_comm_per_dim_ns / bottleneck_link fields.
+     * Requires detail != off (the analyzers consume recorded spans).
+     */
+    bool analysis = false;
+    /** Analysis JSON report output path ("" = in-report only);
+     *  non-empty implies `analysis`. */
+    std::string analysisFile;
 
     bool enabled() const { return detail != Detail::Off; }
 };
@@ -84,9 +106,13 @@ json::Value traceConfigToJson(const TraceConfig &cfg);
  * trace path (and implies detail `spans` if still off),
  * `--trace-detail off|spans|full`, `--trace-util FILE` the
  * utilization series path (implying a 1000 ns bucket if none set),
- * `--trace-util-bucket NS` the bucket width. `file_flag` is
- * "trace-out" where `--trace` already means an input ET file
- * (astra_sim, trace_runner) and "trace" in cluster_runner.
+ * `--trace-util-bucket NS` the bucket width, `--trace-rate-eps F` the
+ * flow rate-segment coalescing threshold, and `--trace-analysis` /
+ * `--trace-analysis-out FILE` the post-run analytics pass (implying
+ * detail `full` if still off — the analyzers want message and
+ * chunk-phase spans). `file_flag` is "trace-out" where `--trace`
+ * already means an input ET file (astra_sim, trace_runner) and
+ * "trace" in cluster_runner.
  */
 TraceConfig traceConfigFromCli(const CommandLine &cl,
                                const char *file_flag,
@@ -223,6 +249,46 @@ class Tracer
                    ? 0
                    : (blocks_.size() - 1) * kBlockSize +
                          size_t(cur_ - blocks_.back().get());
+    }
+
+    // ---- in-memory inspection (src/trace/analysis/) -------------
+    /** One recorded timeline event with its deferred name resolved.
+     *  `open` marks never-closed beginSpan() spans (dropped at
+     *  export); `instant` marks zero-duration instant markers. */
+    struct ResolvedEvent
+    {
+        double ts = 0.0;   //!< ns (simulated).
+        double dur = 0.0;  //!< ns (0 for instants and open spans).
+        int32_t pid = 0;
+        int32_t tid = 0;
+        const char *cat = "";
+        std::string name;
+        bool instant = false;
+        bool open = false;
+    };
+    /** Visit every recorded event in recording order with its name
+     *  resolved — the analysis subsystem's no-reparse ingest path.
+     *  Call closeOccupancy() first if pending link occupancy spans
+     *  should be included. */
+    void visitEvents(
+        const std::function<void(const ResolvedEvent &)> &fn) const;
+    /** Flush still-open coalesced link occupancy intervals into spans
+     *  (idempotent; writeChromeTrace does this implicitly). */
+    void closeOccupancy() { flushOpenOccupancy(); }
+
+    /** Registered link tracks (index = fabric link id). Labels are ""
+     *  for ids never registered; the busy series is empty unless
+     *  utilization sampling was on. */
+    size_t linkCount() const { return links_.size(); }
+    const std::string &linkLabel(size_t index) const
+    {
+        return links_[index].label;
+    }
+    /** Per-bucket busy ns of link `index` (bucket width =
+     *  config().utilizationBucketNs). */
+    const std::vector<double> &linkBusyNs(size_t index) const
+    {
+        return links_[index].busyNs;
     }
 
     // ---- export -------------------------------------------------

@@ -115,7 +115,7 @@ TEST(ResultStore, CsvShapeAndQuoting)
               "exposed_remote_mem_ns,idle_ns,events,messages,"
               "max_link_util,queueing_delay_ns,"
               "interference_slowdown,lost_work_ns,recovery_time_ns,"
-              "num_faults,goodput,status");
+              "num_faults,goodput,critical_path_ns,status");
     // RFC-4180: embedded quotes doubled, field quoted.
     EXPECT_NE(row.find("\"has,comma \"\"quoted\"\"\""),
               std::string::npos);
