@@ -43,7 +43,9 @@ metricByName(const std::string &name)
                      Metric::MaxLinkUtil, Metric::QueueingDelay,
                      Metric::InterferenceSlowdown, Metric::LostWork,
                      Metric::RecoveryTime, Metric::NumFaults,
-                     Metric::Goodput, Metric::CriticalPath}) {
+                     Metric::Goodput, Metric::CriticalPath,
+                     Metric::Availability, Metric::BlastRadius,
+                     Metric::SpareUtilization}) {
         if (name == metricName(m))
             return m;
     }

@@ -19,6 +19,10 @@
 #  - bench_trace_overhead (tracing off/spans/full on the staggered
 #    256-NPU hierarchical all-reduce: bit-identity and the <25%
 #    recording-overhead budget, docs/trace.md) -> BENCH_trace.json
+#  - bench_resilience_study (checkpoint auto-tuner vs the Young/Daly
+#    fixed-interval grid, and placement policies under correlated
+#    rack failures: contiguous-oblivious vs avoid_degraded vs spare
+#    restart, docs/fault.md) -> BENCH_resilience.json
 # Machine-readable results land at the repo root so numbers are
 # comparable across PRs (same machine assumed).
 #
@@ -74,6 +78,7 @@ FLOW_OUT="${3:-BENCH_flow.json}"
 CLUSTER_OUT="${4:-BENCH_cluster.json}"
 FAULT_OUT="${5:-BENCH_fault.json}"
 TRACE_OUT="${6:-BENCH_trace.json}"
+RESIL_OUT="${7:-BENCH_resilience.json}"
 
 if [[ "$CHECK" == 1 ]]; then
     CHECK_DIR="$BUILD_DIR/bench-check"
@@ -84,19 +89,22 @@ if [[ "$CHECK" == 1 ]]; then
     COMMITTED_CLUSTER="$CLUSTER_OUT"
     COMMITTED_FAULT="$FAULT_OUT"
     COMMITTED_TRACE="$TRACE_OUT"
+    COMMITTED_RESIL="$RESIL_OUT"
     OUT="$CHECK_DIR/BENCH_eventcore.json"
     SWEEP_OUT="$CHECK_DIR/BENCH_sweep.json"
     FLOW_OUT="$CHECK_DIR/BENCH_flow.json"
     CLUSTER_OUT="$CHECK_DIR/BENCH_cluster.json"
     FAULT_OUT="$CHECK_DIR/BENCH_fault.json"
     TRACE_OUT="$CHECK_DIR/BENCH_trace.json"
+    RESIL_OUT="$CHECK_DIR/BENCH_resilience.json"
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_eventcore bench_speedup bench_sweep_throughput \
                bench_flow_vs_packet bench_cluster_tenancy \
-               bench_fault_resilience bench_trace_overhead
+               bench_fault_resilience bench_trace_overhead \
+               bench_resilience_study
 
 # run_bench BINARY OUT: repeat the bench BENCH_REPEAT times and merge
 # with per-scenario min wall time (see header comment).
@@ -119,6 +127,7 @@ run_bench bench_flow_vs_packet "$FLOW_OUT"
 run_bench bench_cluster_tenancy "$CLUSTER_OUT"
 run_bench bench_fault_resilience "$FAULT_OUT"
 run_bench bench_trace_overhead "$TRACE_OUT"
+run_bench bench_resilience_study "$RESIL_OUT"
 
 echo
 # One-shot speedup section only (skip the google-benchmark loops).
@@ -141,9 +150,10 @@ if [[ "$CHECK" == 1 ]]; then
         "$COMMITTED_FLOW" "$FLOW_OUT" \
         "$COMMITTED_CLUSTER" "$CLUSTER_OUT" \
         "$COMMITTED_FAULT" "$FAULT_OUT" \
-        "$COMMITTED_TRACE" "$TRACE_OUT"
+        "$COMMITTED_TRACE" "$TRACE_OUT" \
+        "$COMMITTED_RESIL" "$RESIL_OUT"
     echo "bench check passed (fresh results in $BUILD_DIR/bench-check)"
 else
     echo "results written to $OUT, $SWEEP_OUT, $FLOW_OUT," \
-         "$CLUSTER_OUT, $FAULT_OUT, and $TRACE_OUT"
+         "$CLUSTER_OUT, $FAULT_OUT, $TRACE_OUT, and $RESIL_OUT"
 fi

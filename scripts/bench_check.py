@@ -45,7 +45,9 @@ import sys
 EXACT_KEYS = {"sim_time_ns", "events", "solves", "flows_touched_total",
               "avg_component_frac", "interference_slowdown",
               "queueing_delay_ns", "lost_work_ns", "recovery_time_ns",
-              "num_faults", "goodput", "trace_events"}
+              "num_faults", "goodput", "trace_events",
+              "availability", "blast_radius", "spare_utilization",
+              "interval_ns", "young_daly_ns"}
 WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds"}
 IGNORED_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
                 "speedup_8_over_1", "accuracy_gap", "bucket_width_ns",

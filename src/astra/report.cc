@@ -85,6 +85,15 @@ Report::summary() const
                       lostWorkNs / kMs, recoveryTimeNs / kMs, goodput);
         out += buf;
     }
+    if (availability > 0.0 || blastRadius > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "availability: %.3f  blast radius: %.2f  "
+                      "recovery p50/p95: %.3f/%.3f ms  spare util: "
+                      "%.3f\n",
+                      availability, blastRadius, recoveryP50Ns / kMs,
+                      recoveryP95Ns / kMs, spareUtilization);
+        out += buf;
+    }
     return out;
 }
 
@@ -153,6 +162,19 @@ reportToJson(const Report &report)
     doc["recovery_time_ns"] = json::Value(report.recoveryTimeNs);
     doc["num_faults"] = json::Value(report.numFaults);
     doc["goodput"] = json::Value(report.goodput);
+    // Failure-domain metrics are serialized only when measured so
+    // fault-free report JSON — and the sweep cache fingerprint — is
+    // unchanged (same contract as the trace fields below).
+    if (report.availability > 0.0)
+        doc["availability"] = json::Value(report.availability);
+    if (report.blastRadius > 0.0)
+        doc["blast_radius"] = json::Value(report.blastRadius);
+    if (report.recoveryP50Ns > 0.0 || report.recoveryP95Ns > 0.0) {
+        doc["recovery_p50_ns"] = json::Value(report.recoveryP50Ns);
+        doc["recovery_p95_ns"] = json::Value(report.recoveryP95Ns);
+    }
+    if (report.spareUtilization > 0.0)
+        doc["spare_utilization"] = json::Value(report.spareUtilization);
     // Trace self-profiling is serialized only when present so the
     // default (untraced) report JSON — and with it the sweep cache
     // fingerprint — is unchanged. Wall-clock attribution is excluded
@@ -228,6 +250,11 @@ reportFromJson(const json::Value &doc)
     report.numFaults =
         static_cast<uint64_t>(doc.getInt("num_faults", 0));
     report.goodput = doc.getNumber("goodput", 0.0);
+    report.availability = doc.getNumber("availability", 0.0);
+    report.blastRadius = doc.getNumber("blast_radius", 0.0);
+    report.recoveryP50Ns = doc.getNumber("recovery_p50_ns", 0.0);
+    report.recoveryP95Ns = doc.getNumber("recovery_p95_ns", 0.0);
+    report.spareUtilization = doc.getNumber("spare_utilization", 0.0);
     if (doc.has("trace_counters")) {
         for (const auto &[key, v] :
              doc.at("trace_counters").asObject())

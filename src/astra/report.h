@@ -57,6 +57,23 @@ struct Report
     TimeNs recoveryTimeNs = 0.0;
     uint64_t numFaults = 0;
     double goodput = 0.0;
+    /**
+     * Failure-domain resilience metrics (docs/fault.md "Failure
+     * domains & placement policies"), cluster runs only.
+     * `availability` = 1 - recovery / duration (per job; aggregate:
+     * mean over finished jobs); `blastRadius` = mean jobs disrupted
+     * per fail incident (one NpuFail root or one whole DomainFail);
+     * `recoveryP50Ns`/`recoveryP95Ns` are nearest-rank percentiles of
+     * failure-to-restart gaps; `spareUtilization` is the busy
+     * fraction of the reserved spare pool. All 0 ("not measured") on
+     * fault-free runs, and serialized only when nonzero so plain-run
+     * report JSON is unchanged.
+     */
+    double availability = 0.0;
+    double blastRadius = 0.0;
+    TimeNs recoveryP50Ns = 0.0;
+    TimeNs recoveryP95Ns = 0.0;
+    double spareUtilization = 0.0;
     double wallSeconds = 0.0;     //!< host wall-clock of the run.
     /**
      * Self-profiling counters (src/trace/, docs/trace.md), filled

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <utility>
@@ -109,6 +110,7 @@ struct ClusterSimulator::JobRuntime
     uint64_t faults = 0;          //!< NPU failures that hit this job.
     std::vector<uint8_t> snapshot; //!< last checkpoint (done flags).
     TimeNs lastSnapshot = 0.0;    //!< checkpoint time (or launch).
+    TimeNs incarnationStart = 0.0; //!< launch time of this incarnation.
     TimeNs lostWork = 0.0;        //!< rolled-back simulated time.
     TimeNs recovery = 0.0;        //!< failure-to-restart gaps.
     TimeNs failedAt = 0.0;        //!< time of the last failure.
@@ -276,8 +278,12 @@ ClusterSimulator::launch(JobRuntime &job)
         // the failure-to-restart gap instead.
         ++job.restarts;
         job.recovery += eq_.now() - job.failedAt;
+        recoveryGaps_.push_back(eq_.now() - job.failedAt);
     }
+    if (job.ckpt.autoInterval && job.ckpt.intervalNs <= 0.0)
+        resolveAutoInterval(job);
     job.lastSnapshot = eq_.now();
+    job.incarnationStart = eq_.now();
     job.running = true;
     ++runningJobs_;
     debugT("cluster", "t=%.0f job '%s' starting (incarnation %d)",
@@ -302,10 +308,22 @@ ClusterSimulator::launch(JobRuntime &job)
 bool
 ClusterSimulator::admit(JobRuntime &job)
 {
-    std::optional<JobPlacement> placement =
-        job.spec.placement == PlacementPolicy::Explicit
-            ? placer_.tryPlaceExplicit(job.spec.explicitNpus)
-            : placer_.tryPlace(job.jobTopo.npus(), job.spec.placement);
+    std::optional<JobPlacement> placement;
+    switch (job.spec.placement) {
+      case PlacementPolicy::Explicit:
+        placement = placer_.tryPlaceExplicit(job.spec.explicitNpus);
+        break;
+      case PlacementPolicy::AvoidDegraded:
+      case PlacementPolicy::AntiAffinity:
+        placement = placer_.tryPlaceScored(
+            job.jobTopo.npus(), job.spec.placement,
+            sliceScorer(job.spec.placement));
+        break;
+      default:
+        placement =
+            placer_.tryPlace(job.jobTopo.npus(), job.spec.placement);
+        break;
+    }
     if (!placement)
         return false;
     job.placement = std::move(*placement);
@@ -320,11 +338,69 @@ ClusterSimulator::tryAdmit()
         JobRuntime &job = *jobs_[*it];
         if (admit(job)) {
             it = pending_.erase(it);
-        } else if (cfg_.admission == AdmissionPolicy::Fifo) {
-            break; // the head blocks everything behind it.
-        } else {
-            ++it; // backfill: later jobs may still fit.
+            continue;
         }
+        if (cfg_.admission == AdmissionPolicy::Fifo)
+            break; // the head blocks everything behind it.
+
+        // Backfill. Without runtime estimates anywhere this is the
+        // aggressive variant: anything that fits starts. When
+        // estimates exist, EASY-style: project the blocked head's
+        // start from the running jobs' estimated completions and let
+        // a later job jump the queue only if its own estimate fits
+        // into that hole (count-based free-NPU approximation; a job
+        // with no estimate never backfills past a reserved head).
+        TimeNs shadow = -1.0; // < 0: no reservation computable.
+        if (it == pending_.begin()) {
+            struct Freed { TimeNs at; int npus; };
+            std::vector<Freed> freed;
+            bool unknown_runtimes = false;
+            for (const auto &jp : jobs_) {
+                if (!jp->running || !jp->placement)
+                    continue;
+                if (jp->spec.estimatedDuration <= 0.0) {
+                    unknown_runtimes = true;
+                    continue;
+                }
+                TimeNs end =
+                    jp->admitted + jp->spec.estimatedDuration;
+                freed.push_back(
+                    {std::max(end, eq_.now()),
+                     jp->placement->size()});
+            }
+            if (!freed.empty()) {
+                std::sort(freed.begin(), freed.end(),
+                          [](const Freed &a, const Freed &b) {
+                              return a.at < b.at;
+                          });
+                int avail = placer_.freeCount();
+                for (const Freed &f : freed) {
+                    avail += f.npus;
+                    if (avail >= job.jobTopo.npus()) {
+                        shadow = f.at;
+                        break;
+                    }
+                }
+                // Enough capacity never projects free (a job with an
+                // unknown runtime holds the remainder): no
+                // reservation unless every holder is estimated.
+                if (shadow >= 0.0 && unknown_runtimes)
+                    shadow = -1.0;
+            }
+        }
+        ++it;
+        while (it != pending_.end()) {
+            JobRuntime &later = *jobs_[*it];
+            bool fits_hole =
+                shadow < 0.0 ||
+                (later.spec.estimatedDuration > 0.0 &&
+                 eq_.now() + later.spec.estimatedDuration <= shadow);
+            if (fits_hole && admit(later))
+                it = pending_.erase(it);
+            else
+                ++it;
+        }
+        break;
     }
 }
 
@@ -351,9 +427,23 @@ ClusterSimulator::onJobFinished(size_t index)
     job.maxLinkAtFinish = net_->stats().maxLinkBusyNs;
     for (auto &sys : job.stack->sys)
         sys->tracker().finish(job.finished);
-    placer_.release(*job.placement);
+    releasePlacement(job);
     --runningJobs_;
     tryAdmit();
+}
+
+void
+ClusterSimulator::releasePlacement(JobRuntime &job)
+{
+    if (!spareClaimedAt_.empty())
+        for (NpuId id : job.placement->globalOf) {
+            TimeNs &claimed = spareClaimedAt_[static_cast<size_t>(id)];
+            if (claimed >= 0.0) {
+                spareBusyNs_ += eq_.now() - claimed;
+                claimed = -1.0;
+            }
+        }
+    placer_.release(*job.placement);
 }
 
 void
@@ -366,10 +456,26 @@ ClusterSimulator::scheduleCheckpoint(size_t index)
     // timer per (in)carnation fires as a no-op after the job ends
     // (the makespan is read from lastFinish_, not the drained clock).
     int incarnation = job.incarnation;
+    ++ckptTimersPending_;
     eq_.schedule(job.ckpt.intervalNs, [this, index, incarnation] {
+        --ckptTimersPending_;
         JobRuntime &job = *jobs_[index];
         if (!job.running || job.incarnation != incarnation)
             return;
+        // Termination guard: if nothing is pending but other
+        // checkpoint timers, the fabric is quiescent — every flow of
+        // this job is stalled on a dead link and no event can ever
+        // unstick it. Re-arming the timer would drive simulated time
+        // to infinity; breaking the chain drains the queue so the
+        // run-loop watchdog reports the job as stranded instead.
+        if (faultActive_ &&
+            eq_.pending() <= static_cast<size_t>(ckptTimersPending_)) {
+            debugT("cluster",
+                   "t=%.0f job '%s' checkpoint timer stopped: queue "
+                   "quiescent (job stalled by faults)",
+                   eq_.now(), job.spec.name.c_str());
+            return;
+        }
         // A checkpoint is a consistent cut of completed nodes:
         // in-flight work at the cut re-executes after a rollback.
         job.snapshot = job.stack->engine->snapshotDone();
@@ -381,6 +487,47 @@ ClusterSimulator::scheduleCheckpoint(size_t index)
             sys->stallCompute(job.ckpt.costNs);
         scheduleCheckpoint(index);
     });
+}
+
+void
+ClusterSimulator::resolveAutoInterval(JobRuntime &job)
+{
+    // Young/Daly sqrt(2 * C * MTBF) with the job's *effective* MTBF:
+    // independent per-NPU failures arrive at size/npuMtbf, and every
+    // failure domain intersecting the placement adds its own rate.
+    // The sweep-level tuner (sweep/resilience.h) refines this seed
+    // against simulated goodput; see docs/fault.md.
+    double rate = 0.0;
+    if (cfg_.fault && cfg_.fault->npuMtbfNs > 0.0)
+        rate += double(job.placement->size()) / cfg_.fault->npuMtbfNs;
+    std::vector<uint8_t> counted(domains_.size(), 0);
+    for (NpuId id : job.placement->globalOf) {
+        if (domainsOfNpu_.empty())
+            break;
+        for (int d : domainsOfNpu_[static_cast<size_t>(id)]) {
+            if (counted[static_cast<size_t>(d)])
+                continue;
+            counted[static_cast<size_t>(d)] = 1;
+            TimeNs mtbf = domains_[static_cast<size_t>(d)].mtbfNs > 0.0
+                              ? domains_[static_cast<size_t>(d)].mtbfNs
+                              : cfg_.fault->domainMtbfNs;
+            if (mtbf > 0.0)
+                rate += 1.0 / mtbf;
+        }
+    }
+    ASTRA_USER_CHECK(
+        rate > 0.0,
+        "job '%s': checkpoint interval \"auto\" needs MTBF-based "
+        "fault generation (npu_mtbf_ns or failure domains) to derive "
+        "an expected failure rate from",
+        job.spec.name.c_str());
+    job.ckpt.intervalNs =
+        fault::youngDalyInterval(job.ckpt.costNs, 1.0 / rate);
+    debugT("cluster",
+           "t=%.0f job '%s' auto checkpoint interval %.0f ns "
+           "(effective MTBF %.0f ns)",
+           eq_.now(), job.spec.name.c_str(), job.ckpt.intervalNs,
+           1.0 / rate);
 }
 
 ClusterSimulator::JobRuntime *
@@ -405,6 +552,95 @@ ClusterSimulator::allSettled() const
     return true;
 }
 
+std::string
+ClusterSimulator::faultedDomainSummary() const
+{
+    std::string out;
+    char buf[96];
+    for (const fault::FailureDomain &d : domains_) {
+        int down = 0;
+        for (NpuId id : d.npus)
+            if (placer_.isFaulted(id))
+                ++down;
+        if (down == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%s%s (%d/%zu NPUs faulted)",
+                      out.empty() ? "" : ", ", d.name.c_str(), down,
+                      d.npus.size());
+        out += buf;
+    }
+    return out;
+}
+
+PlacementManager::SliceScorer
+ClusterSimulator::sliceScorer(PlacementPolicy policy)
+{
+    if (policy == PlacementPolicy::AntiAffinity) {
+        // Concentration cost: sum of squared per-domain overlaps, so
+        // straddling two domains (2^2+2^2=8 for 4 NPUs) beats sitting
+        // inside one (4^2=16). With no declared domains, level-1
+        // blocks act as implicit domains so anti-affinity still
+        // spreads.
+        return [this](const std::vector<NpuId> &ids) {
+            double score = 0.0;
+            if (!domains_.empty()) {
+                std::vector<int> overlap(domains_.size(), 0);
+                for (NpuId id : ids)
+                    for (int d : domainsOfNpu_[static_cast<size_t>(id)])
+                        ++overlap[static_cast<size_t>(d)];
+                for (int o : overlap)
+                    score += double(o) * double(o);
+            } else {
+                int block = topo_.dim(0).size;
+                std::vector<int> overlap(
+                    static_cast<size_t>(topo_.npus() / block), 0);
+                for (NpuId id : ids)
+                    ++overlap[static_cast<size_t>(id / block)];
+                for (int o : overlap)
+                    score += double(o) * double(o);
+            }
+            return score;
+        };
+    }
+    // AvoidDegraded: live fault state dominates (a domain with any
+    // member currently down is near-unusable), then projected
+    // per-domain failure intensity over the horizon, then known
+    // stragglers.
+    return [this](const std::vector<NpuId> &ids) {
+        double score = 0.0;
+        TimeNs horizon = cfg_.fault ? cfg_.fault->horizonNs : 0.0;
+        if (!domains_.empty()) {
+            std::vector<int> overlap(domains_.size(), 0);
+            for (NpuId id : ids)
+                for (int d : domainsOfNpu_[static_cast<size_t>(id)])
+                    ++overlap[static_cast<size_t>(d)];
+            for (size_t d = 0; d < domains_.size(); ++d) {
+                if (overlap[d] == 0)
+                    continue;
+                const fault::FailureDomain &dom = domains_[d];
+                int down = 0;
+                for (NpuId id : dom.npus)
+                    if (placer_.isFaulted(id))
+                        ++down;
+                TimeNs mtbf = dom.mtbfNs > 0.0
+                                  ? dom.mtbfNs
+                                  : cfg_.fault->domainMtbfNs;
+                double intensity = mtbf > 0.0 && horizon > 0.0
+                                       ? horizon / mtbf
+                                       : 0.0;
+                score += double(overlap[d]) *
+                         ((down > 0 ? 1000.0 : 0.0) + intensity);
+            }
+        }
+        for (NpuId id : ids) {
+            double s = npuComputeScale_[static_cast<size_t>(id)];
+            if (s != 1.0)
+                score += s > 1.0 ? s - 1.0 : 1.0 - s;
+        }
+        return score;
+    };
+}
+
 void
 ClusterSimulator::onStraggler(NpuId global, double scale)
 {
@@ -418,9 +654,37 @@ ClusterSimulator::onStraggler(NpuId global, double scale)
 }
 
 void
-ClusterSimulator::onNpuFail(NpuId global)
+ClusterSimulator::onDomainFail(const fault::FaultEvent &ev)
 {
+    // Fired before any of the domain's constituent NpuFail events:
+    // mark the whole blast radius unplaceable atomically, so a
+    // requeue-path tryAdmit triggered by an early member's failure
+    // can never hand a not-yet-failed member to a pending job.
+    const fault::FailureDomain &d =
+        domains_[static_cast<size_t>(ev.domain)];
+    for (NpuId id : d.npus)
+        placer_.markFaulted(id, true);
+    if (ev.incident >= 0) {
+        if (incidentFired_.size() <= static_cast<size_t>(ev.incident))
+            incidentFired_.resize(static_cast<size_t>(ev.incident) + 1,
+                                  0);
+        incidentFired_[static_cast<size_t>(ev.incident)] = 1;
+    }
+    debugT("cluster", "t=%.0f domain '%s' failed (%zu NPUs)", ev.at,
+           d.name.c_str(), d.npus.size());
+}
+
+void
+ClusterSimulator::onNpuFail(const fault::FaultEvent &ev)
+{
+    NpuId global = ev.npu;
     placer_.markFaulted(global, true);
+    if (ev.incident >= 0) {
+        if (incidentFired_.size() <= static_cast<size_t>(ev.incident))
+            incidentFired_.resize(static_cast<size_t>(ev.incident) + 1,
+                                  0);
+        incidentFired_[static_cast<size_t>(ev.incident)] = 1;
+    }
     // Fail-stop at the NIC: every egress link of the failed NPU goes
     // down. Incoming links stay up — traffic already heading to the
     // dead NPU still occupies the fabric until delivered (and is
@@ -428,15 +692,22 @@ ClusterSimulator::onNpuFail(NpuId global)
     net_->setLinkUp(global, fault::kAllFaultPeers, fault::kAllFaultDims,
                     false);
     if (JobRuntime *job = residentJob(global))
-        failJob(*job);
+        failJob(*job, &ev);
 }
 
 void
-ClusterSimulator::failJob(JobRuntime &job)
+ClusterSimulator::failJob(JobRuntime &job, const fault::FaultEvent *ev)
 {
+    if (ev && ev->incident >= 0)
+        ++disruptions_;
     ++job.faults;
     ++job.incarnation;
-    job.lostWork += eq_.now() - job.lastSnapshot;
+    // A cold requeue discards the snapshot, so the rollback is the
+    // whole incarnation's progress — not just the tail past the
+    // last checkpoint cut.
+    job.lostWork += job.ckpt.restart == fault::RestartMode::Requeue
+                        ? eq_.now() - job.incarnationStart
+                        : eq_.now() - job.lastSnapshot;
     job.failedAt = eq_.now();
     job.running = false;
     if (tracer_ && job.traceSpan != trace::Tracer::kNoSpan) {
@@ -457,27 +728,79 @@ ClusterSimulator::failJob(JobRuntime &job)
     job.graveyard.push_back(std::move(job.stack));
     --runningJobs_;
     size_t index = static_cast<size_t>(job.id);
-    if (job.ckpt.requeue) {
+    fault::RestartMode mode = job.ckpt.restart;
+
+    if (mode == fault::RestartMode::Spare) {
+        // Patch the placement with healthy reserved spares and
+        // relaunch in place — the surviving ranks keep their NPUs and
+        // the snapshot (job-local done flags) stays valid on the
+        // patched id set. Falls back to Migrate when the pool can't
+        // cover the failure.
+        std::optional<JobPlacement> swapped =
+            placer_.trySpareSwap(*job.placement);
+        if (swapped) {
+            for (size_t r = 0; r < swapped->globalOf.size(); ++r)
+                if (swapped->globalOf[r] != job.placement->globalOf[r])
+                    spareClaimedAt_[static_cast<size_t>(
+                        swapped->globalOf[r])] = eq_.now();
+            job.placement = std::move(*swapped);
+            int incarnation = job.incarnation;
+            eq_.schedule(job.ckpt.restartDelayNs,
+                         [this, index, incarnation] {
+                JobRuntime &job = *jobs_[index];
+                if (job.running || job.done ||
+                    job.incarnation != incarnation)
+                    return; // superseded by a newer failure.
+                for (NpuId id : job.placement->globalOf)
+                    if (placer_.isFaulted(id)) {
+                        // A fresh failure hit the patched placement
+                        // during the restart delay; wait for recovery
+                        // like an in-place restart would.
+                        job.waitingRecovery = true;
+                        return;
+                    }
+                launch(job);
+            });
+            tryAdmit(); // the returned faulted NPUs change nothing,
+                        // but a healthy-spare reshuffle might.
+            return;
+        }
+        mode = fault::RestartMode::Migrate;
+    }
+
+    switch (mode) {
+      case fault::RestartMode::Requeue:
+      case fault::RestartMode::Migrate:
         // Restart on a fresh placement: give the NPUs back and
         // re-enter the admission queue after the restart delay.
-        placer_.release(*job.placement);
+        // Requeue is a cold start (the snapshot is discarded);
+        // Migrate carries it — the snapshot is a placement-
+        // independent cut of job-local done flags, so it resumes
+        // wherever the job lands next.
+        if (mode == fault::RestartMode::Requeue)
+            job.snapshot.clear();
+        releasePlacement(job);
         job.placement.reset();
         eq_.schedule(job.ckpt.restartDelayNs, [this, index] {
             enqueuePending(index);
             tryAdmit();
         });
         tryAdmit(); // the freed healthy NPUs may fit a pending job.
-    } else {
+        break;
+      case fault::RestartMode::Same:
+      case fault::RestartMode::Spare:
         // Restart in place once every placement NPU is healthy
         // again (driven by onNpuRecover). The placement is retained
         // so no other tenant can take the surviving NPUs.
         job.waitingRecovery = true;
+        break;
     }
 }
 
 void
-ClusterSimulator::onNpuRecover(NpuId global)
+ClusterSimulator::onNpuRecover(const fault::FaultEvent &ev)
 {
+    NpuId global = ev.npu;
     placer_.markFaulted(global, false);
     net_->setLinkUp(global, fault::kAllFaultPeers, fault::kAllFaultDims,
                     true);
@@ -587,6 +910,10 @@ ClusterSimulator::finalizeJob(JobRuntime &job)
     r.goodput = job.isolated > 0.0 && r.duration > 0.0
                     ? job.isolated / r.duration
                     : 0.0;
+    r.availability =
+        r.duration > 0.0
+            ? std::max(0.0, 1.0 - r.recovery / r.duration)
+            : 0.0;
 
     rep.totalTime = r.duration;
     rep.perNpu.reserve(job.stack->sys.size());
@@ -616,6 +943,7 @@ ClusterSimulator::finalizeJob(JobRuntime &job)
     rep.queueingDelayNs = r.queueingDelay;
     rep.interferenceSlowdown = r.interferenceSlowdown;
     rep.goodput = r.goodput;
+    rep.availability = r.availability;
     return r;
 }
 
@@ -666,15 +994,63 @@ ClusterSimulator::run()
     faultActive_ = cfg_.fault && !cfg_.fault->empty();
     bool timed_tail = faultActive_;
     for (const auto &job : jobs_)
-        timed_tail = timed_tail || job->ckpt.intervalNs > 0.0;
+        timed_tail = timed_tail ||
+                     job->ckpt.intervalNs > 0.0 ||
+                     job->ckpt.autoInterval;
+    if (cfg_.fault && !cfg_.fault->domains.empty()) {
+        domains_ = fault::resolveDomains(*cfg_.fault, topo_);
+        domainsOfNpu_.assign(static_cast<size_t>(topo_.npus()), {});
+        for (size_t d = 0; d < domains_.size(); ++d)
+            for (NpuId id : domains_[d].npus)
+                domainsOfNpu_[static_cast<size_t>(id)].push_back(
+                    static_cast<int>(d));
+    }
+
+    // Spare pool (docs/fault.md "Spare-capacity restart"): reserved
+    // before any admission so placements can never straddle it.
+    ASTRA_USER_CHECK(cfg_.spareCount <= 0 || cfg_.spareDomain.empty(),
+                     "cluster.spares: set a count or a domain name, "
+                     "not both");
+    std::vector<NpuId> spares;
+    if (!cfg_.spareDomain.empty()) {
+        const fault::FailureDomain *dom = nullptr;
+        for (const fault::FailureDomain &d : domains_)
+            if (d.name == cfg_.spareDomain)
+                dom = &d;
+        ASTRA_USER_CHECK(dom != nullptr,
+                         "cluster.spares: unknown failure domain '%s' "
+                         "(declare it under fault.domains)",
+                         cfg_.spareDomain.c_str());
+        spares = dom->npus;
+    } else if (cfg_.spareCount > 0) {
+        ASTRA_USER_CHECK(cfg_.spareCount < topo_.npus(),
+                         "cluster.spares: %d spares leave no NPUs to "
+                         "place on (cluster has %d)",
+                         cfg_.spareCount, topo_.npus());
+        for (int i = 0; i < cfg_.spareCount; ++i)
+            spares.push_back(topo_.npus() - cfg_.spareCount + i);
+    }
+    if (!spares.empty()) {
+        placer_.reserveSpares(spares);
+        initialSpareCount_ = static_cast<int>(spares.size());
+        spareClaimedAt_.assign(static_cast<size_t>(topo_.npus()), -1.0);
+    }
+
     if (faultActive_) {
         fault::FaultHooks hooks;
         hooks.net = net_.get();
         hooks.computeScale = [this](NpuId g, double s) {
             onStraggler(g, s);
         };
-        hooks.npuFail = [this](NpuId g) { onNpuFail(g); };
-        hooks.npuRecover = [this](NpuId g) { onNpuRecover(g); };
+        hooks.npuFail = [this](const fault::FaultEvent &ev) {
+            onNpuFail(ev);
+        };
+        hooks.npuRecover = [this](const fault::FaultEvent &ev) {
+            onNpuRecover(ev);
+        };
+        hooks.domainFail = [this](const fault::FaultEvent &ev) {
+            onDomainFail(ev);
+        };
         hooks.active = [this] { return !allSettled(); };
         injector_ = std::make_unique<fault::FaultInjector>(
             eq_, topo_, *cfg_.fault, std::move(hooks));
@@ -727,6 +1103,7 @@ ClusterSimulator::run()
                     placer_.freeCount(), placer_.totalCount());
             }
             char buf[160];
+            std::string domains_down = faultedDomainSummary();
             for (size_t id : pending_) {
                 JobRuntime &job = *jobs_[id];
                 std::snprintf(
@@ -737,6 +1114,18 @@ ClusterSimulator::run()
                     placer_.totalCount(), placer_.faultedCount());
                 job.failed = true;
                 job.error = buf;
+                if (!domains_down.empty())
+                    job.error += "; down domains: " + domains_down;
+                if (!job.snapshot.empty()) {
+                    size_t done = 0;
+                    for (uint8_t b : job.snapshot)
+                        done += b;
+                    std::snprintf(buf, sizeof(buf),
+                                  "; snapshot watermark: %zu of %zu "
+                                  "nodes done",
+                                  done, job.wl.totalNodes());
+                    job.error += buf;
+                }
             }
             pending_.clear();
             break;
@@ -763,13 +1152,22 @@ ClusterSimulator::run()
             std::string diag = net_->danglingSummary();
             if (faultActive_) {
                 char buf[192];
+                size_t done = 0;
+                for (uint8_t b : job->snapshot)
+                    done += b;
                 std::snprintf(
                     buf, sizeof(buf),
                     "stranded at time %.0f ns: %zu of %zu nodes "
-                    "completed; ",
-                    eq_.now(), completed, job->wl.totalNodes());
+                    "completed (snapshot watermark: %zu of %zu); ",
+                    eq_.now(), completed, job->wl.totalNodes(), done,
+                    job->wl.totalNodes());
                 job->failed = true;
-                job->error = buf + diag;
+                job->error = buf;
+                std::string domains_down = faultedDomainSummary();
+                if (!domains_down.empty())
+                    job->error += "down domains: " + domains_down +
+                                  "; ";
+                job->error += diag;
             } else {
                 ASTRA_USER_CHECK(
                     false,
@@ -824,6 +1222,43 @@ ClusterSimulator::run()
         agg.recoveryTimeNs += jr.recovery;
     }
     agg.goodput = report.meanGoodput();
+
+    // Domain/spare resilience aggregates; all stay 0 (and are elided
+    // from serialized reports) on fault-free runs.
+    uint64_t incidents = 0;
+    for (uint8_t f : incidentFired_)
+        incidents += f;
+    if (incidents > 0)
+        report.blastRadius = double(disruptions_) / double(incidents);
+    if (!recoveryGaps_.empty()) {
+        std::vector<TimeNs> gaps = recoveryGaps_;
+        std::sort(gaps.begin(), gaps.end());
+        auto rank = [&gaps](double p) { // nearest-rank percentile.
+            size_t idx = static_cast<size_t>(
+                std::ceil(p * double(gaps.size())));
+            return gaps[idx > 0 ? idx - 1 : 0];
+        };
+        report.recoveryP50 = rank(0.50);
+        report.recoveryP95 = rank(0.95);
+    }
+    if (initialSpareCount_ > 0 && report.makespan > 0.0) {
+        // Spares still held at the end accrue to the makespan.
+        for (size_t id = 0; id < spareClaimedAt_.size(); ++id)
+            if (spareClaimedAt_[id] >= 0.0) {
+                spareBusyNs_ += std::max(
+                    0.0, report.makespan - spareClaimedAt_[id]);
+                spareClaimedAt_[id] = -1.0;
+            }
+        report.spareUtilization =
+            spareBusyNs_ /
+            (double(initialSpareCount_) * report.makespan);
+    }
+    agg.availability = report.meanAvailability();
+    agg.blastRadius = report.blastRadius;
+    agg.spareUtilization = report.spareUtilization;
+    agg.recoveryP50Ns = report.recoveryP50;
+    agg.recoveryP95Ns = report.recoveryP95;
+
     if (tracer_) {
         eq_.setProfile(nullptr);
         trace::Counters &c = tracer_->counters();
@@ -847,6 +1282,20 @@ ClusterReport::meanGoodput() const
     for (const JobResult &j : jobs) {
         if (j.goodput > 0.0) {
             sum += j.goodput;
+            ++n;
+        }
+    }
+    return n > 0 ? sum / double(n) : 0.0;
+}
+
+double
+ClusterReport::meanAvailability() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const JobResult &j : jobs) {
+        if (j.availability > 0.0) {
+            sum += j.availability;
             ++n;
         }
     }
@@ -904,9 +1353,22 @@ ClusterReport::summary() const
         total_faults += j.numFaults;
     if (total_faults > 0 || meanGoodput() > 0.0) {
         std::snprintf(buf, sizeof(buf),
-                      "job NPU faults: %llu, mean goodput %.3f\n",
+                      "job NPU faults: %llu, mean goodput %.3f, mean "
+                      "availability %.3f\n",
                       static_cast<unsigned long long>(total_faults),
-                      meanGoodput());
+                      meanGoodput(), meanAvailability());
+        out += buf;
+    }
+    if (blastRadius > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "blast radius %.2f jobs/incident, recovery p50 "
+                      "%.3f ms / p95 %.3f ms\n",
+                      blastRadius, recoveryP50 / kMs, recoveryP95 / kMs);
+        out += buf;
+    }
+    if (spareUtilization > 0.0) {
+        std::snprintf(buf, sizeof(buf), "spare utilization %.1f%%\n",
+                      spareUtilization * 100.0);
         out += buf;
     }
     for (const JobResult &j : jobs) {
@@ -940,6 +1402,15 @@ ClusterReport::toJson() const
     doc["mean_interference_slowdown"] =
         json::Value(meanInterferenceSlowdown());
     doc["mean_goodput"] = json::Value(meanGoodput());
+    doc["mean_availability"] = json::Value(meanAvailability());
+    if (blastRadius > 0.0)
+        doc["blast_radius"] = json::Value(blastRadius);
+    if (recoveryP50 > 0.0 || recoveryP95 > 0.0) {
+        doc["recovery_p50_ns"] = json::Value(recoveryP50);
+        doc["recovery_p95_ns"] = json::Value(recoveryP95);
+    }
+    if (spareUtilization > 0.0)
+        doc["spare_utilization"] = json::Value(spareUtilization);
     doc["aggregate"] = reportToJson(aggregate);
     json::Array rows;
     rows.reserve(jobs.size());
@@ -962,6 +1433,7 @@ ClusterReport::toJson() const
         row["recovery_time_ns"] = json::Value(j.recovery);
         row["restarts"] = json::Value(j.restarts);
         row["goodput"] = json::Value(j.goodput);
+        row["availability"] = json::Value(j.availability);
         row["failed"] = json::Value(j.failed);
         if (j.failed)
             row["error"] = json::Value(j.error);
@@ -984,8 +1456,8 @@ ClusterReport::jobsCsv() const
         "id,name,size,placement,arrival_ns,admitted_ns,finished_ns,"
         "queueing_delay_ns,duration_ns,isolated_duration_ns,"
         "interference_slowdown,num_faults,lost_work_ns,"
-        "recovery_time_ns,restarts,goodput,own_busy_per_dim_ns,"
-        "status\n";
+        "recovery_time_ns,restarts,goodput,availability,"
+        "own_busy_per_dim_ns,status\n";
     char buf[256];
     for (const JobResult &j : jobs) {
         std::snprintf(buf, sizeof(buf), "%d,", j.id);
@@ -996,12 +1468,13 @@ ClusterReport::jobsCsv() const
         out += csvField(j.placement);
         std::snprintf(buf, sizeof(buf),
                       ",%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.6f,%llu,"
-                      "%.3f,%.3f,%d,%.6f,",
+                      "%.3f,%.3f,%d,%.6f,%.6f,",
                       j.arrival, j.admitted, j.finished,
                       j.queueingDelay, j.duration, j.isolatedDuration,
                       j.interferenceSlowdown,
                       static_cast<unsigned long long>(j.numFaults),
-                      j.lostWork, j.recovery, j.restarts, j.goodput);
+                      j.lostWork, j.recovery, j.restarts, j.goodput,
+                      j.availability);
         out += buf;
         // Per-dim own-busy as a semicolon-joined list (one CSV cell).
         std::string own;

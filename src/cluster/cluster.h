@@ -74,6 +74,17 @@ struct ClusterConfig
      *  job re-executes from the beginning. */
     fault::CheckpointPolicy defaultCheckpoint;
     /**
+     * Spare capacity for RestartMode::Spare (docs/fault.md
+     * "Spare-capacity restart"): reserve either the `spareCount`
+     * highest NPU ids or one whole failure domain (`spareDomain`
+     * names a resolved domain from the fault config). Reserved NPUs
+     * are excluded from every placement search; spare-mode restarts
+     * consume them to patch failed placements. At most one of the
+     * two may be set.
+     */
+    int spareCount = 0;
+    std::string spareDomain;
+    /**
      * Tracing & self-profiling (docs/trace.md). One shared tracer
      * covers the whole cluster: pid 0 is the fabric (link tracks,
      * fault instants), each job traces under pid = job id + 1 (rank
@@ -111,6 +122,14 @@ struct JobSpec
     /** Per-job checkpoint/restart policy; falls back to
      *  ClusterConfig::defaultCheckpoint when unset. */
     std::optional<fault::CheckpointPolicy> checkpoint;
+    /**
+     * User-supplied runtime estimate (0 = none). Backfill admission
+     * becomes EASY-style when estimates are present: a later job may
+     * jump a blocked queue head only if its estimate fits before the
+     * head's projected start (docs/cluster.md "Backfill"). Purely an
+     * admission hint; never affects execution.
+     */
+    TimeNs estimatedDuration = 0.0;
 };
 
 /** Per-job outcome. */
@@ -146,6 +165,10 @@ struct JobResult
     TimeNs recovery = 0.0;
     int restarts = 0;
     double goodput = 0.0;
+    /** Fraction of the job's wall time it was making (or able to
+     *  make) progress: 1 - recovery / duration. 1.0 for an
+     *  undisturbed job, 0 when it never finished. */
+    double availability = 0.0;
     bool failed = false;
     std::string error;
     /** This job's own link-busy ns per cluster dimension (separable
@@ -177,12 +200,25 @@ struct ClusterReport
      */
     Report aggregate;
 
+    // -- Failure-resilience aggregates (docs/fault.md). All stay 0 on
+    //    fault-free runs so serialized reports are unchanged.
+    /** Mean jobs disrupted per fail incident (an NpuFail root or one
+     *  whole DomainFail counts as a single incident). */
+    double blastRadius = 0.0;
+    /** Busy fraction of the reserved spare pool over the makespan. */
+    double spareUtilization = 0.0;
+    /** Nearest-rank percentiles of the failure-to-restart gaps. */
+    TimeNs recoveryP50 = 0.0;
+    TimeNs recoveryP95 = 0.0;
+
     double meanQueueingDelay() const;
     double meanInterferenceSlowdown() const;
     double maxInterferenceSlowdown() const;
     /** Mean goodput over the jobs that measured one (finished with
      *  isolated baselines enabled); 0 when none did. */
     double meanGoodput() const;
+    /** Mean availability over the finished jobs; 0 when none did. */
+    double meanAvailability() const;
 
     std::string summary() const;
     json::Value toJson() const;
@@ -250,12 +286,22 @@ class ClusterSimulator
 
     // Failure-resilience machinery (docs/fault.md).
     void scheduleCheckpoint(size_t index);
+    void resolveAutoInterval(JobRuntime &job);
     void onStraggler(NpuId global, double compute_scale);
-    void onNpuFail(NpuId global);
-    void onNpuRecover(NpuId global);
-    void failJob(JobRuntime &job);
+    void onNpuFail(const fault::FaultEvent &ev);
+    void onNpuRecover(const fault::FaultEvent &ev);
+    void onDomainFail(const fault::FaultEvent &ev);
+    void failJob(JobRuntime &job, const fault::FaultEvent *ev);
     JobRuntime *residentJob(NpuId global);
     bool allSettled() const;
+    /** Release a job's placement, accruing consumed-spare busy time. */
+    void releasePlacement(JobRuntime &job);
+    /** Scored-placement cost function for `policy` (avoid_degraded /
+     *  anti_affinity), closed over the live fault state. */
+    PlacementManager::SliceScorer sliceScorer(PlacementPolicy policy);
+    /** "name (k/n NPUs faulted), ..." over the currently degraded
+     *  failure domains; empty when none are. */
+    std::string faultedDomainSummary() const;
 
     Topology topo_;
     ClusterConfig cfg_;
@@ -280,6 +326,27 @@ class ClusterSimulator
     int runningJobs_ = 0;
     bool faultActive_ = false;
     bool ran_ = false;
+    /** Outstanding checkpoint timer events. When the event queue holds
+     *  nothing else, the fabric is quiescent and re-arming a timer
+     *  would never terminate (see scheduleCheckpoint). */
+    int ckptTimersPending_ = 0;
+
+    // -- Failure-domain & spare state (docs/fault.md). All empty/zero
+    //    unless the scenario declares domains or spares.
+    std::vector<fault::FailureDomain> domains_; //!< resolved vs topo_.
+    /** NPU id -> indices into domains_ containing it. */
+    std::vector<std::vector<int>> domainsOfNpu_;
+    /** Claim time per consumed spare NPU (-1 = not a consumed spare);
+     *  accrued into spareBusyNs_ when its placement is released. */
+    std::vector<TimeNs> spareClaimedAt_;
+    double spareBusyNs_ = 0.0;
+    int initialSpareCount_ = 0;
+    /** Failure-to-restart gap samples (recovery percentiles). */
+    std::vector<TimeNs> recoveryGaps_;
+    /** Blast-radius accounting: distinct fail incidents applied, and
+     *  job disruptions attributed to them. */
+    std::vector<uint8_t> incidentFired_;
+    uint64_t disruptions_ = 0;
 };
 
 } // namespace cluster

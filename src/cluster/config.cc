@@ -37,7 +37,7 @@ jobFromJson(const json::Value &j, const Topology &topo,
     checkKeys(j, path,
               {"name", "arrival_ns", "priority", "placement", "npus",
                "job_topology", "size", "system", "workload", "count",
-               "checkpoint"});
+               "checkpoint", "estimated_duration_ns"});
     JobSpec spec;
     spec.name = j.getString("name", "");
     spec.arrival = j.getNumber("arrival_ns", 0.0);
@@ -91,6 +91,14 @@ jobFromJson(const json::Value &j, const Topology &topo,
         spec.checkpoint = fault::checkpointFromJson(
             j.at("checkpoint"), path + ".checkpoint");
 
+    spec.estimatedDuration = j.getNumber("estimated_duration_ns", 0.0);
+    ASTRA_USER_CHECK(spec.estimatedDuration >= 0.0 &&
+                         spec.estimatedDuration ==
+                             spec.estimatedDuration,
+                     "%s.estimated_duration_ns: must be a non-negative "
+                     "time, got %g",
+                     path.c_str(), spec.estimatedDuration);
+
     ASTRA_USER_CHECK(j.has("workload"), "%s: missing 'workload'",
                      path.c_str());
     spec.workloadDoc = j.at("workload").clone();
@@ -119,7 +127,7 @@ scenarioFromJson(const json::Value &doc)
     const json::Value &c = doc.at("cluster");
     checkKeys(c, "cluster",
               {"admission", "baselines", "placement", "jobs",
-               "checkpoint"});
+               "checkpoint", "spares"});
     ClusterScenario scenario{sweep::topologyFromSpec(doc.at("topology")),
                              ClusterConfig{},
                              {}};
@@ -136,6 +144,21 @@ scenarioFromJson(const json::Value &doc)
     if (c.has("checkpoint"))
         scenario.cfg.defaultCheckpoint = fault::checkpointFromJson(
             c.at("checkpoint"), "cluster.checkpoint");
+    if (c.has("spares")) {
+        // A count reserves the highest NPU ids; a string names one
+        // whole failure domain from fault.domains (docs/fault.md).
+        const json::Value &s = c.at("spares");
+        if (s.isString()) {
+            scenario.cfg.spareDomain = s.asString();
+            ASTRA_USER_CHECK(!scenario.cfg.spareDomain.empty(),
+                             "cluster.spares: empty domain name");
+        } else {
+            scenario.cfg.spareCount = static_cast<int>(s.asInt());
+            ASTRA_USER_CHECK(scenario.cfg.spareCount >= 1,
+                             "cluster.spares: must be >= 1 (omit the "
+                             "key for no spares)");
+        }
+    }
 
     PlacementPolicy default_policy =
         c.has("placement")

@@ -79,6 +79,8 @@ placementPolicyName(PlacementPolicy p)
       case PlacementPolicy::Contiguous: return "contiguous";
       case PlacementPolicy::Spread: return "spread";
       case PlacementPolicy::Explicit: return "explicit";
+      case PlacementPolicy::AvoidDegraded: return "avoid_degraded";
+      case PlacementPolicy::AntiAffinity: return "anti_affinity";
     }
     return "?";
 }
@@ -92,8 +94,12 @@ parsePlacementPolicy(const std::string &name)
         return PlacementPolicy::Spread;
     if (name == "explicit")
         return PlacementPolicy::Explicit;
+    if (name == "avoid_degraded")
+        return PlacementPolicy::AvoidDegraded;
+    if (name == "anti_affinity")
+        return PlacementPolicy::AntiAffinity;
     fatal("unknown placement policy '%s' (contiguous | spread | "
-          "explicit)",
+          "explicit | avoid_degraded | anti_affinity)",
           name.c_str());
 }
 
@@ -152,7 +158,8 @@ sliceTopology(const Topology &topo, int size)
 
 PlacementManager::PlacementManager(const Topology &topo)
     : topo_(topo), busy_(static_cast<size_t>(topo.npus()), 0),
-      faulted_(static_cast<size_t>(topo.npus()), 0), free_(topo.npus())
+      faulted_(static_cast<size_t>(topo.npus()), 0),
+      spare_(static_cast<size_t>(topo.npus()), 0), free_(topo.npus())
 {
 }
 
@@ -191,7 +198,8 @@ PlacementManager::allFree(const std::vector<NpuId> &ids) const
 {
     for (NpuId id : ids)
         if (busy_[static_cast<size_t>(id)] ||
-            faulted_[static_cast<size_t>(id)])
+            faulted_[static_cast<size_t>(id)] ||
+            spare_[static_cast<size_t>(id)])
             return false;
     return true;
 }
@@ -216,8 +224,11 @@ PlacementManager::claim(PlacementPolicy policy, std::vector<NpuId> ids,
 std::optional<JobPlacement>
 PlacementManager::tryPlace(int size, PlacementPolicy policy)
 {
-    ASTRA_USER_CHECK(policy != PlacementPolicy::Explicit,
-                     "explicit placements go through tryPlaceExplicit");
+    ASTRA_USER_CHECK(policy == PlacementPolicy::Contiguous ||
+                         policy == PlacementPolicy::Spread,
+                     "tryPlace handles contiguous/spread only "
+                     "(explicit -> tryPlaceExplicit, scored policies "
+                     "-> tryPlaceScored)");
     SliceShape shape = requireShape(topo_, size);
     if (size > free_)
         return std::nullopt;
@@ -258,6 +269,150 @@ PlacementManager::tryPlace(int size, PlacementPolicy policy)
                          identityDimMap(job_dims));
     }
     return std::nullopt;
+}
+
+std::optional<JobPlacement>
+PlacementManager::tryPlaceScored(int size, PlacementPolicy policy,
+                                 const SliceScorer &score)
+{
+    ASTRA_USER_CHECK(policy == PlacementPolicy::AvoidDegraded ||
+                         policy == PlacementPolicy::AntiAffinity,
+                     "tryPlaceScored handles avoid_degraded/"
+                     "anti_affinity only");
+    ASTRA_ASSERT(score, "scored placement without a scorer");
+    SliceShape shape = requireShape(topo_, size);
+    if (size > free_)
+        return std::nullopt;
+
+    std::vector<int> p = prefixProducts(topo_);
+    int job_dims = shape.splitDim + (shape.partial > 1 ? 1 : 0);
+    if (job_dims == 0)
+        job_dims = 1; // single-NPU job (degenerate dimension).
+
+    std::vector<NpuId> ids(static_cast<size_t>(size));
+    std::vector<NpuId> best;
+    double bestScore = 0.0;
+    auto consider = [&] {
+        if (!allFree(ids))
+            return;
+        double s = score(ids);
+        if (best.empty() || s < bestScore) {
+            best = ids;
+            bestScore = s;
+        }
+    };
+
+    // Aligned contiguous blocks — the same candidate set tryPlace
+    // enumerates, but every feasible one is scored instead of taking
+    // the first.
+    for (NpuId base = 0; base + size <= topo_.npus(); base += size) {
+        for (int l = 0; l < size; ++l)
+            ids[static_cast<size_t>(l)] = base + l;
+        consider();
+    }
+
+    // Anti-affinity also considers spread stripes: striping across the
+    // split dimension is how a job straddles failure domains.
+    if (policy == PlacementPolicy::AntiAffinity && shape.partial > 1) {
+        int pj = p[static_cast<size_t>(shape.splitDim)];
+        int pj1 = p[static_cast<size_t>(shape.splitDim) + 1];
+        int s = topo_.dim(shape.splitDim).size / shape.partial;
+        for (int high = 0; high * pj1 < topo_.npus(); ++high) {
+            for (int a = 0; a < s; ++a) {
+                for (int i = 0; i < shape.partial; ++i)
+                    for (int low = 0; low < pj; ++low)
+                        ids[static_cast<size_t>(i * pj + low)] =
+                            high * pj1 + (a + i * s) * pj + low;
+                consider();
+            }
+        }
+    }
+
+    if (best.empty())
+        return std::nullopt;
+    return claim(policy, std::move(best), identityDimMap(job_dims));
+}
+
+void
+PlacementManager::reserveSpares(const std::vector<NpuId> &ids)
+{
+    for (NpuId id : ids) {
+        ASTRA_USER_CHECK(id >= 0 && id < topo_.npus(),
+                         "spare NPU %d out of range (cluster has %d)",
+                         id, topo_.npus());
+        ASTRA_USER_CHECK(!busy_[static_cast<size_t>(id)],
+                         "spare NPU %d is already placed", id);
+        ASTRA_USER_CHECK(!spare_[static_cast<size_t>(id)],
+                         "spare NPU %d reserved twice", id);
+        spare_[static_cast<size_t>(id)] = 1;
+    }
+    free_ -= static_cast<int>(ids.size());
+}
+
+std::optional<JobPlacement>
+PlacementManager::trySpareSwap(const JobPlacement &placement)
+{
+    std::vector<size_t> failedRanks;
+    for (size_t r = 0; r < placement.globalOf.size(); ++r)
+        if (faulted_[static_cast<size_t>(placement.globalOf[r])])
+            failedRanks.push_back(r);
+    ASTRA_ASSERT(!failedRanks.empty(),
+                 "spare swap on a placement with no faulted NPUs");
+
+    std::vector<NpuId> spares;
+    for (NpuId id = 0;
+         id < topo_.npus() && spares.size() < failedRanks.size(); ++id)
+        if (spare_[static_cast<size_t>(id)] &&
+            !faulted_[static_cast<size_t>(id)])
+            spares.push_back(id);
+    if (spares.size() < failedRanks.size())
+        return std::nullopt;
+
+    JobPlacement swapped;
+    swapped.policy = PlacementPolicy::Explicit;
+    swapped.globalOf = placement.globalOf;
+    // Unaligned after the swap: translated sends fall back to
+    // dimension-ordered routing (kAutoRoute), like any explicit
+    // placement.
+    swapped.dimMap.clear();
+    for (size_t i = 0; i < failedRanks.size(); ++i) {
+        NpuId failed = placement.globalOf[failedRanks[i]];
+        NpuId fresh = spares[i];
+        ASTRA_ASSERT(busy_[static_cast<size_t>(failed)],
+                     "swapping NPU %d the job does not hold", failed);
+        busy_[static_cast<size_t>(failed)] = 0;
+        ++free_; // Back to the general pool (still marked faulted).
+        spare_[static_cast<size_t>(fresh)] = 0; // Consumed for good.
+        busy_[static_cast<size_t>(fresh)] = 1;
+        swapped.globalOf[failedRanks[i]] = fresh;
+    }
+    return swapped;
+}
+
+int
+PlacementManager::spareCount() const
+{
+    int n = 0;
+    for (uint8_t s : spare_)
+        n += s;
+    return n;
+}
+
+int
+PlacementManager::spareFreeCount() const
+{
+    int n = 0;
+    for (size_t i = 0; i < spare_.size(); ++i)
+        if (spare_[i] && !faulted_[i])
+            ++n;
+    return n;
+}
+
+bool
+PlacementManager::isSpare(NpuId id) const
+{
+    ASTRA_ASSERT(id >= 0 && id < topo_.npus(), "NPU %d out of range", id);
+    return spare_[static_cast<size_t>(id)] != 0;
 }
 
 std::optional<JobPlacement>

@@ -34,6 +34,7 @@
 #ifndef ASTRA_CLUSTER_PLACEMENT_H_
 #define ASTRA_CLUSTER_PLACEMENT_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,9 +46,13 @@ namespace cluster {
 
 /** See file comment. */
 enum class PlacementPolicy {
-    Contiguous, //!< aligned sub-hierarchy slice (default).
-    Spread,     //!< striped across the split dimension.
-    Explicit,   //!< caller-provided NPU list + job topology.
+    Contiguous,    //!< aligned sub-hierarchy slice (default).
+    Spread,        //!< striped across the split dimension.
+    Explicit,      //!< caller-provided NPU list + job topology.
+    AvoidDegraded, //!< contiguous candidates scored by fault state
+                   //!< (docs/fault.md "fault-aware placement").
+    AntiAffinity,  //!< contiguous + striped candidates scored by
+                   //!< failure-domain concentration.
 };
 
 const char *placementPolicyName(PlacementPolicy p);
@@ -101,6 +106,22 @@ class PlacementManager
      */
     std::optional<JobPlacement> tryPlace(int size, PlacementPolicy policy);
 
+    /** Candidate-slice cost function for the scored policies: lower is
+     *  better; ties break toward the earlier candidate in enumeration
+     *  order (deterministic). Only called on fully free candidates. */
+    using SliceScorer =
+        std::function<double(const std::vector<NpuId> &)>;
+
+    /**
+     * Scored placement (AvoidDegraded / AntiAffinity): enumerate every
+     * feasible slice candidate — aligned contiguous blocks, plus
+     * spread stripes for AntiAffinity — score each with `score`, and
+     * claim the minimum. Returns nullopt when nothing is free.
+     */
+    std::optional<JobPlacement> tryPlaceScored(int size,
+                                               PlacementPolicy policy,
+                                               const SliceScorer &score);
+
     /** Try to claim an explicit NPU list; fatal() on invalid ids or
      *  duplicates, nullopt when any of them is busy. */
     std::optional<JobPlacement>
@@ -108,6 +129,33 @@ class PlacementManager
 
     /** Return a placement's NPUs to the free pool. */
     void release(const JobPlacement &placement);
+
+    // ---- Spare pool (docs/fault.md "Spare-capacity restart") ----
+    /**
+     * Reserve `ids` as hot spares: excluded from every placement
+     * search until consumed by trySpareSwap. fatal() if any id is
+     * busy or already reserved.
+     */
+    void reserveSpares(const std::vector<NpuId> &ids);
+
+    /**
+     * Swap every currently-faulted NPU of `placement` for a healthy
+     * reserved spare (ascending spare id order). On success the
+     * consumed spares leave the pool, the faulted NPUs return to the
+     * general pool, and the returned placement keeps the job's
+     * local-rank order with policy Explicit (the patched id set is no
+     * longer a hierarchy-aligned slice, so translated sends fall back
+     * to dimension-ordered routing). Returns nullopt — and changes
+     * nothing — when the healthy spare pool cannot cover the failure.
+     */
+    std::optional<JobPlacement>
+    trySpareSwap(const JobPlacement &placement);
+
+    /** Spares still reserved (consumed ones excluded). */
+    int spareCount() const;
+    /** Reserved spares that are currently healthy. */
+    int spareFreeCount() const;
+    bool isSpare(NpuId id) const;
 
     /**
      * Mark an NPU (un)usable for placement (fault injection,
@@ -132,6 +180,7 @@ class PlacementManager
     const Topology &topo_;
     std::vector<uint8_t> busy_;
     std::vector<uint8_t> faulted_;
+    std::vector<uint8_t> spare_;
     int free_;
 };
 

@@ -19,8 +19,38 @@ faultKindName(FaultKind kind)
       case FaultKind::NpuFail: return "npu_fail";
       case FaultKind::NpuRecover: return "npu_recover";
       case FaultKind::Straggler: return "straggler";
+      case FaultKind::DomainFail: return "domain_fail";
+      case FaultKind::DomainRecover: return "domain_recover";
     }
     panic("unknown fault kind");
+}
+
+const char *
+restartModeName(RestartMode m)
+{
+    switch (m) {
+      case RestartMode::Same: return "same";
+      case RestartMode::Requeue: return "requeue";
+      case RestartMode::Migrate: return "migrate";
+      case RestartMode::Spare: return "spare";
+    }
+    panic("unknown restart mode");
+}
+
+RestartMode
+parseRestartMode(const std::string &name, const std::string &path)
+{
+    if (name == "same")
+        return RestartMode::Same;
+    if (name == "requeue")
+        return RestartMode::Requeue;
+    if (name == "migrate")
+        return RestartMode::Migrate;
+    if (name == "spare")
+        return RestartMode::Spare;
+    fatal("%s: expected \"same\", \"requeue\", \"migrate\", or "
+          "\"spare\", got \"%s\"",
+          path.c_str(), name.c_str());
 }
 
 namespace {
@@ -40,8 +70,13 @@ parseKind(const std::string &name, const std::string &path)
         return FaultKind::NpuRecover;
     if (name == "straggler")
         return FaultKind::Straggler;
+    if (name == "domain_fail")
+        return FaultKind::DomainFail;
+    if (name == "domain_recover")
+        return FaultKind::DomainRecover;
     fatal("%s: unknown fault kind '%s' (expected link_degrade, "
-          "link_down, link_up, npu_fail, npu_recover, or straggler)",
+          "link_down, link_up, npu_fail, npu_recover, straggler, "
+          "domain_fail, or domain_recover)",
           path.c_str(), name.c_str());
 }
 
@@ -84,7 +119,7 @@ eventFromJson(const json::Value &doc, const std::string &path)
                      path.c_str());
     checkKeys(doc, path,
               {"at_ns", "kind", "src", "dst", "dim", "npu", "scale",
-               "compute_scale", "injection_scale"});
+               "compute_scale", "injection_scale", "domain"});
     ASTRA_USER_CHECK(doc.has("kind"), "%s: missing 'kind'", path.c_str());
     ASTRA_USER_CHECK(doc.has("at_ns"), "%s: missing 'at_ns'",
                      path.c_str());
@@ -139,6 +174,16 @@ eventFromJson(const json::Value &doc, const std::string &path)
             "%s.injection_scale: must be > 0 "
             "(use link_down for a dead NIC)", path.c_str());
         break;
+      case FaultKind::DomainFail:
+      case FaultKind::DomainRecover:
+        ASTRA_USER_CHECK(doc.has("domain"),
+                         "%s: %s needs 'domain' (a name from "
+                         "fault.domains)",
+                         path.c_str(), faultKindName(ev.kind));
+        ev.domainName = doc.at("domain").asString();
+        ASTRA_USER_CHECK(!ev.domainName.empty(),
+                         "%s.domain: empty domain name", path.c_str());
+        break;
     }
     return ev;
 }
@@ -168,7 +213,77 @@ eventToJson(const FaultEvent &ev)
         o["compute_scale"] = ev.computeScale;
         o["injection_scale"] = ev.injectionScale;
         break;
+      case FaultKind::DomainFail:
+      case FaultKind::DomainRecover:
+        o["domain"] = ev.domainName;
+        break;
     }
+    return json::Value(std::move(o));
+}
+
+FailureDomain
+domainFromJson(const json::Value &doc, const std::string &path)
+{
+    ASTRA_USER_CHECK(doc.isObject(), "%s: domain must be an object",
+                     path.c_str());
+    checkKeys(doc, path,
+              {"name", "level", "index", "npus", "mtbf_ns", "mttr_ns"});
+    FailureDomain d;
+    ASTRA_USER_CHECK(doc.has("name"), "%s: missing 'name'",
+                     path.c_str());
+    d.name = doc.at("name").asString();
+    ASTRA_USER_CHECK(!d.name.empty(), "%s.name: empty domain name",
+                     path.c_str());
+    ASTRA_USER_CHECK(doc.has("level") != doc.has("npus"),
+                     "%s: give exactly one of 'level' (hierarchy "
+                     "slice) or 'npus' (explicit member list)",
+                     path.c_str());
+    if (doc.has("level")) {
+        d.level = static_cast<int>(doc.at("level").asInt());
+        ASTRA_USER_CHECK(d.level >= 1,
+                         "%s.level: must be >= 1 (level j = blocks of "
+                         "the first j dimensions)",
+                         path.c_str());
+        if (doc.has("index")) {
+            d.index = static_cast<int>(doc.at("index").asInt());
+            ASTRA_USER_CHECK(d.index >= 0, "%s.index: must be >= 0",
+                             path.c_str());
+        }
+    } else {
+        ASTRA_USER_CHECK(!doc.has("index"),
+                         "%s.index: only meaningful with 'level'",
+                         path.c_str());
+        for (const json::Value &n : doc.at("npus").asArray())
+            d.npus.push_back(static_cast<NpuId>(n.asInt()));
+        ASTRA_USER_CHECK(!d.npus.empty(), "%s.npus: empty member list",
+                         path.c_str());
+    }
+    d.mtbfNs = requireNonNegative(doc.getNumber("mtbf_ns", 0.0),
+                                  path + ".mtbf_ns", "MTBF");
+    d.mttrNs = requireNonNegative(doc.getNumber("mttr_ns", 0.0),
+                                  path + ".mttr_ns", "MTTR");
+    return d;
+}
+
+json::Value
+domainToJson(const FailureDomain &d)
+{
+    json::Object o;
+    o["name"] = d.name;
+    if (d.level >= 0) {
+        o["level"] = int64_t(d.level);
+        if (d.index >= 0)
+            o["index"] = int64_t(d.index);
+    } else {
+        json::Array npus;
+        for (NpuId n : d.npus)
+            npus.push_back(json::Value(int64_t(n)));
+        o["npus"] = json::Value(std::move(npus));
+    }
+    if (d.mtbfNs > 0.0)
+        o["mtbf_ns"] = d.mtbfNs;
+    if (d.mttrNs > 0.0)
+        o["mttr_ns"] = d.mttrNs;
     return json::Value(std::move(o));
 }
 
@@ -180,7 +295,8 @@ expSample(Rng &rng, TimeNs mean)
 }
 
 /** Per-component RNG stream: decorrelated from the base seed so
- *  adding a component never shifts another component's timeline. */
+ *  adding a component never shifts another component's timeline.
+ *  Kind 1 = NPU streams, 2 = link streams, 3 = domain streams. */
 Rng
 componentRng(uint64_t seed, uint64_t kind, uint64_t index)
 {
@@ -191,9 +307,23 @@ componentRng(uint64_t seed, uint64_t kind, uint64_t index)
 } // namespace
 
 bool
+FaultConfig::generatesDomainFaults() const
+{
+    if (domains.empty())
+        return false;
+    if (domainMtbfNs > 0.0)
+        return true;
+    for (const FailureDomain &d : domains)
+        if (d.mtbfNs > 0.0)
+            return true;
+    return false;
+}
+
+bool
 FaultConfig::empty() const
 {
-    return schedule.empty() && npuMtbfNs <= 0.0 && linkMtbfNs <= 0.0;
+    return schedule.empty() && npuMtbfNs <= 0.0 && linkMtbfNs <= 0.0 &&
+           !generatesDomainFaults();
 }
 
 FaultConfig
@@ -204,7 +334,8 @@ faultConfigFromJson(const json::Value &doc, const std::string &path)
     checkKeys(doc, path,
               {"seed", "horizon_ns", "schedule", "npu_mtbf_ns",
                "npu_mttr_ns", "link_mtbf_ns", "link_mttr_ns",
-               "link_degrade_scale"});
+               "link_degrade_scale", "domains", "domain_mtbf_ns",
+               "domain_mttr_ns"});
 
     FaultConfig cfg;
     cfg.seed = static_cast<uint64_t>(doc.getInt("seed", 1));
@@ -226,7 +357,25 @@ faultConfigFromJson(const json::Value &doc, const std::string &path)
     ASTRA_USER_CHECK(cfg.linkDegradeScale < 1.0,
                      "%s.link_degrade_scale: must be in [0, 1) "
                      "(0 = full outages)", path.c_str());
-    bool generates = cfg.npuMtbfNs > 0.0 || cfg.linkMtbfNs > 0.0;
+    cfg.domainMtbfNs =
+        requireNonNegative(doc.getNumber("domain_mtbf_ns", 0.0),
+                           path + ".domain_mtbf_ns", "MTBF");
+    cfg.domainMttrNs =
+        requireNonNegative(doc.getNumber("domain_mttr_ns", 0.0),
+                           path + ".domain_mttr_ns", "MTTR");
+
+    if (doc.has("domains")) {
+        const json::Array &arr = doc.at("domains").asArray();
+        for (size_t i = 0; i < arr.size(); ++i)
+            cfg.domains.push_back(domainFromJson(
+                arr[i], path + ".domains." + std::to_string(i)));
+    }
+    ASTRA_USER_CHECK(cfg.domainMtbfNs <= 0.0 || !cfg.domains.empty(),
+                     "%s.domain_mtbf_ns: needs 'domains' to generate "
+                     "failures for", path.c_str());
+
+    bool generates = cfg.npuMtbfNs > 0.0 || cfg.linkMtbfNs > 0.0 ||
+                     cfg.generatesDomainFaults();
     ASTRA_USER_CHECK(!generates || cfg.horizonNs > 0.0,
                      "%s.horizon_ns: MTBF-based generation needs a "
                      "positive horizon", path.c_str());
@@ -257,6 +406,16 @@ faultConfigToJson(const FaultConfig &cfg)
         if (cfg.linkDegradeScale > 0.0)
             o["link_degrade_scale"] = cfg.linkDegradeScale;
     }
+    if (!cfg.domains.empty()) {
+        json::Array arr;
+        for (const FailureDomain &d : cfg.domains)
+            arr.push_back(domainToJson(d));
+        o["domains"] = json::Value(std::move(arr));
+        if (cfg.domainMtbfNs > 0.0) {
+            o["domain_mtbf_ns"] = cfg.domainMtbfNs;
+            o["domain_mttr_ns"] = cfg.domainMttrNs;
+        }
+    }
     if (!cfg.schedule.empty()) {
         json::Array arr;
         for (const FaultEvent &ev : cfg.schedule)
@@ -274,28 +433,175 @@ checkpointFromJson(const json::Value &doc, const std::string &path)
     checkKeys(doc, path,
               {"interval_ns", "cost_ns", "restart_delay_ns", "restart"});
     CheckpointPolicy p;
-    p.intervalNs = requireNonNegative(doc.getNumber("interval_ns", 0.0),
-                                      path + ".interval_ns", "interval");
+    if (doc.has("interval_ns") && doc.at("interval_ns").isString()) {
+        const std::string &s = doc.at("interval_ns").asString();
+        ASTRA_USER_CHECK(s == "auto",
+                         "%s.interval_ns: expected a time in ns or "
+                         "\"auto\", got \"%s\"",
+                         path.c_str(), s.c_str());
+        p.autoInterval = true;
+    } else {
+        p.intervalNs =
+            requireNonNegative(doc.getNumber("interval_ns", 0.0),
+                               path + ".interval_ns", "interval");
+    }
     p.costNs = requireNonNegative(doc.getNumber("cost_ns", 0.0),
                                   path + ".cost_ns", "cost");
+    ASTRA_USER_CHECK(!p.autoInterval || p.costNs > 0.0,
+                     "%s.interval_ns: \"auto\" needs a positive "
+                     "cost_ns (Young/Daly trades checkpoint cost "
+                     "against expected rollback)", path.c_str());
     p.restartDelayNs =
         requireNonNegative(doc.getNumber("restart_delay_ns", 0.0),
                            path + ".restart_delay_ns", "restart delay");
-    std::string restart = doc.getString("restart", "same");
-    if (restart == "same")
-        p.requeue = false;
-    else if (restart == "requeue")
-        p.requeue = true;
-    else
-        fatal("%s.restart: expected \"same\" or \"requeue\", got \"%s\"",
-              path.c_str(), restart.c_str());
+    p.restart = parseRestartMode(doc.getString("restart", "same"),
+                                 path + ".restart");
     return p;
 }
+
+std::vector<FailureDomain>
+resolveDomains(const FaultConfig &cfg, const Topology &topo)
+{
+    std::vector<FailureDomain> out;
+    for (size_t s = 0; s < cfg.domains.size(); ++s) {
+        const FailureDomain &spec = cfg.domains[s];
+        std::string where = "fault.domains." + std::to_string(s) +
+                            " ('" + spec.name + "')";
+        if (spec.level < 0) {
+            // Explicit member list.
+            std::vector<uint8_t> seen(
+                static_cast<size_t>(topo.npus()), 0);
+            for (NpuId id : spec.npus) {
+                ASTRA_USER_CHECK(id >= 0 && id < topo.npus(),
+                                 "%s: npu %d out of range for %d NPUs",
+                                 where.c_str(), id, topo.npus());
+                ASTRA_USER_CHECK(!seen[static_cast<size_t>(id)],
+                                 "%s: npu %d listed twice",
+                                 where.c_str(), id);
+                seen[static_cast<size_t>(id)] = 1;
+            }
+            FailureDomain d = spec;
+            // Members sorted ascending: expansion order (and thus the
+            // built timeline) is independent of how the list was
+            // written.
+            std::sort(d.npus.begin(), d.npus.end());
+            out.push_back(std::move(d));
+            continue;
+        }
+        ASTRA_USER_CHECK(spec.level <= topo.numDims(),
+                         "%s: level %d out of range for %d dims",
+                         where.c_str(), spec.level, topo.numDims());
+        int block = 1;
+        for (int dd = 0; dd < spec.level; ++dd)
+            block *= topo.dim(dd).size;
+        int instances = topo.npus() / block;
+        ASTRA_USER_CHECK(spec.index < instances,
+                         "%s: index %d out of range (%d level-%d "
+                         "blocks of %d NPUs)",
+                         where.c_str(), spec.index, instances,
+                         spec.level, block);
+        int first = spec.index >= 0 ? spec.index : 0;
+        int last = spec.index >= 0 ? spec.index : instances - 1;
+        for (int i = first; i <= last; ++i) {
+            FailureDomain d;
+            d.name = spec.index >= 0 ? spec.name
+                                     : spec.name + std::to_string(i);
+            d.level = spec.level;
+            d.index = i;
+            d.mtbfNs = spec.mtbfNs;
+            d.mttrNs = spec.mttrNs;
+            d.npus.reserve(static_cast<size_t>(block));
+            for (int n = 0; n < block; ++n)
+                d.npus.push_back(i * block + n);
+            out.push_back(std::move(d));
+        }
+    }
+    for (size_t a = 0; a < out.size(); ++a)
+        for (size_t b = a + 1; b < out.size(); ++b)
+            ASTRA_USER_CHECK(out[a].name != out[b].name,
+                             "fault.domains: duplicate domain name "
+                             "'%s' (schedule entries reference domains "
+                             "by name)",
+                             out[a].name.c_str());
+    return out;
+}
+
+TimeNs
+youngDalyInterval(TimeNs costNs, TimeNs mtbfNs)
+{
+    ASTRA_ASSERT(costNs > 0.0 && mtbfNs > 0.0,
+                 "Young/Daly needs positive cost and MTBF");
+    return std::sqrt(2.0 * costNs * mtbfNs);
+}
+
+namespace {
+
+/** Append the constituent events a domain fail/recover expands into.
+ *  Members in ascending id order; boundary links enumerated per
+ *  (member, dim) in the dimension's group order — fully deterministic
+ *  for a fixed (domain, topology). */
+void
+expandDomainEvent(const FaultEvent &root, const FailureDomain &d,
+                  const Topology &topo,
+                  const std::vector<uint8_t> &member,
+                  std::vector<FaultEvent> &timeline)
+{
+    bool failing = root.kind == FaultKind::DomainFail;
+
+    FaultEvent proto;
+    proto.at = root.at;
+    proto.domain = root.domain;
+    proto.incident = root.incident;
+    proto.domainName = root.domainName;
+
+    auto boundary_links = [&](FaultKind kind) {
+        for (NpuId id : d.npus) {
+            for (int dim = 0; dim < topo.numDims(); ++dim) {
+                for (NpuId peer : topo.groupInDim(id, dim)) {
+                    if (peer == id || member[static_cast<size_t>(peer)])
+                        continue;
+                    FaultEvent link = proto;
+                    link.kind = kind;
+                    link.src = peer;
+                    link.dst = id;
+                    link.dim = dim;
+                    timeline.push_back(std::move(link));
+                }
+            }
+        }
+    };
+    auto member_npus = [&](FaultKind kind) {
+        for (NpuId id : d.npus) {
+            FaultEvent npu = proto;
+            npu.kind = kind;
+            npu.npu = id;
+            timeline.push_back(std::move(npu));
+        }
+    };
+
+    if (failing) {
+        // Fail-stop every member first (the cluster layer marks the
+        // whole domain unplaceable on the parent event, so admissions
+        // between member failures cannot land inside the blast
+        // radius), then cut the inbound boundary links. Member egress
+        // is cut by the NPU fail-stops themselves.
+        member_npus(FaultKind::NpuFail);
+        boundary_links(FaultKind::LinkDown);
+    } else {
+        // Heal the fabric before the members: a zero-delay restart
+        // triggered by the last member's recovery must never see a
+        // boundary link still down.
+        boundary_links(FaultKind::LinkUp);
+        member_npus(FaultKind::NpuRecover);
+    }
+}
+
+} // namespace
 
 std::vector<FaultEvent>
 buildTimeline(const FaultConfig &cfg, const Topology &topo)
 {
-    std::vector<FaultEvent> timeline = cfg.schedule;
+    std::vector<FaultEvent> roots = cfg.schedule;
 
     // Generated NPU fail/recover pairs: one independent alternating
     // renewal process per NPU.
@@ -311,12 +617,12 @@ buildTimeline(const FaultConfig &cfg, const Topology &topo)
                 fail.at = t;
                 fail.kind = FaultKind::NpuFail;
                 fail.npu = n;
-                timeline.push_back(fail);
+                roots.push_back(fail);
                 t += expSample(rng, cfg.npuMttrNs);
                 FaultEvent recover = fail;
                 recover.at = t;
                 recover.kind = FaultKind::NpuRecover;
-                timeline.push_back(recover);
+                roots.push_back(recover);
                 t += expSample(rng, cfg.npuMtbfNs);
             }
         }
@@ -344,23 +650,57 @@ buildTimeline(const FaultConfig &cfg, const Topology &topo)
                     down.dim = d;
                     if (degrade)
                         down.scale = cfg.linkDegradeScale;
-                    timeline.push_back(down);
+                    roots.push_back(down);
                     t += expSample(rng, cfg.linkMttrNs);
                     FaultEvent up = down;
                     up.at = t;
                     up.kind = degrade ? FaultKind::LinkDegrade
                                       : FaultKind::LinkUp;
                     up.scale = 1.0;
-                    timeline.push_back(up);
+                    roots.push_back(up);
                     t += expSample(rng, cfg.linkMtbfNs);
                 }
             }
         }
     }
 
-    // Range-check every event against the topology.
-    for (size_t i = 0; i < timeline.size(); ++i) {
-        const FaultEvent &ev = timeline[i];
+    // Correlated domain fail/recover pairs: one alternating renewal
+    // process per resolved domain, seeded by the domain's ordinal so
+    // a fixed (seed, topology) reproduces identical blast-radius
+    // timelines.
+    std::vector<FailureDomain> domains = resolveDomains(cfg, topo);
+    for (size_t i = 0; i < domains.size(); ++i) {
+        const FailureDomain &d = domains[i];
+        TimeNs mtbf = d.mtbfNs > 0.0 ? d.mtbfNs : cfg.domainMtbfNs;
+        if (mtbf <= 0.0)
+            continue;
+        TimeNs mttr = d.mttrNs > 0.0 ? d.mttrNs : cfg.domainMttrNs;
+        ASTRA_USER_CHECK(mttr > 0.0,
+                         "fault.domain_mttr_ns: domain fault "
+                         "generation needs a positive MTTR (domain "
+                         "'%s')", d.name.c_str());
+        Rng rng = componentRng(cfg.seed, 3, uint64_t(i));
+        TimeNs t = expSample(rng, mtbf);
+        while (t < cfg.horizonNs) {
+            FaultEvent fail;
+            fail.at = t;
+            fail.kind = FaultKind::DomainFail;
+            fail.domain = static_cast<int>(i);
+            fail.domainName = d.name;
+            roots.push_back(fail);
+            t += expSample(rng, mttr);
+            FaultEvent recover = fail;
+            recover.at = t;
+            recover.kind = FaultKind::DomainRecover;
+            roots.push_back(recover);
+            t += expSample(rng, mtbf);
+        }
+    }
+
+    // Resolve schedule entries' by-name domain references and
+    // range-check every root against the topology.
+    for (size_t i = 0; i < roots.size(); ++i) {
+        FaultEvent &ev = roots[i];
         std::string where = "fault event " + std::to_string(i) + " (" +
                             std::string(faultKindName(ev.kind)) + ")";
         switch (ev.kind) {
@@ -386,15 +726,62 @@ buildTimeline(const FaultConfig &cfg, const Topology &topo)
                              "%s: npu %d out of range for %d NPUs",
                              where.c_str(), ev.npu, topo.npus());
             break;
+          case FaultKind::DomainFail:
+          case FaultKind::DomainRecover:
+            if (ev.domain < 0) {
+                for (size_t j = 0; j < domains.size(); ++j)
+                    if (domains[j].name == ev.domainName) {
+                        ev.domain = static_cast<int>(j);
+                        break;
+                    }
+                ASTRA_USER_CHECK(
+                    ev.domain >= 0,
+                    "%s: unknown domain '%s' (declare it under "
+                    "fault.domains)",
+                    where.c_str(), ev.domainName.c_str());
+            }
+            break;
         }
     }
 
     // Stable sort keeps same-time events in schedule-then-generated
     // order — fully deterministic for a given (config, topology).
-    std::stable_sort(timeline.begin(), timeline.end(),
+    std::stable_sort(roots.begin(), roots.end(),
                      [](const FaultEvent &a, const FaultEvent &b) {
                          return a.at < b.at;
                      });
+
+    // Assign fault-incident ids in time order and expand domain
+    // events in place (expansion preserves the sort: constituents
+    // share their parent's timestamp and follow it).
+    std::vector<FaultEvent> timeline;
+    timeline.reserve(roots.size());
+    std::vector<uint8_t> member(static_cast<size_t>(topo.npus()), 0);
+    int incident = 0;
+    for (FaultEvent &ev : roots) {
+        switch (ev.kind) {
+          case FaultKind::NpuFail:
+            ev.incident = incident++;
+            timeline.push_back(std::move(ev));
+            break;
+          case FaultKind::DomainFail:
+          case FaultKind::DomainRecover: {
+            if (ev.kind == FaultKind::DomainFail)
+                ev.incident = incident++;
+            const FailureDomain &d =
+                domains[static_cast<size_t>(ev.domain)];
+            std::fill(member.begin(), member.end(), 0);
+            for (NpuId id : d.npus)
+                member[static_cast<size_t>(id)] = 1;
+            timeline.push_back(ev);
+            expandDomainEvent(ev, d, topo, member, timeline);
+            break;
+          }
+          default:
+            timeline.push_back(std::move(ev));
+            break;
+        }
+    }
     return timeline;
 }
 

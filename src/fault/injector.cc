@@ -40,6 +40,12 @@ FaultInjector::FaultInjector(EventQueue &eq, const Topology &topo,
                          "straggler injection slowdown needs a "
                          "network hook");
             break;
+          case FaultKind::DomainFail:
+          case FaultKind::DomainRecover:
+            // Parent markers only; the cluster requirement is carried
+            // by the constituent NpuFail/NpuRecover events they
+            // expanded into.
+            break;
         }
     }
 }
@@ -90,12 +96,28 @@ FaultInjector::apply(const FaultEvent &ev)
                              ev.at, ev.src, ev.dst, ev.dim);
             break;
           case FaultKind::NpuFail:
-            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
-                             "fault", "npu fail %lld", ev.at, ev.npu);
+            if (ev.domain >= 0)
+                tracer_->instantStr(
+                    tracePid_, trace::Tracer::kLifecycleTid, "fault",
+                    "npu fail " + std::to_string(ev.npu) + " [" +
+                        ev.domainName + "]",
+                    ev.at);
+            else
+                tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                                 "fault", "npu fail %lld", ev.at,
+                                 ev.npu);
             break;
           case FaultKind::NpuRecover:
-            tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
-                             "fault", "npu recover %lld", ev.at, ev.npu);
+            if (ev.domain >= 0)
+                tracer_->instantStr(
+                    tracePid_, trace::Tracer::kLifecycleTid, "fault",
+                    "npu recover " + std::to_string(ev.npu) + " [" +
+                        ev.domainName + "]",
+                    ev.at);
+            else
+                tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
+                                 "fault", "npu recover %lld", ev.at,
+                                 ev.npu);
             break;
           case FaultKind::Straggler:
             tracer_->instant(tracePid_, trace::Tracer::kLifecycleTid,
@@ -103,6 +125,17 @@ FaultInjector::apply(const FaultEvent &ev)
                              ev.npu,
                              static_cast<long long>(ev.computeScale *
                                                     100.0));
+            break;
+          case FaultKind::DomainFail:
+            tracer_->instantStr(tracePid_, trace::Tracer::kLifecycleTid,
+                                "fault", "domain fail " + ev.domainName,
+                                ev.at);
+            break;
+          case FaultKind::DomainRecover:
+            tracer_->instantStr(tracePid_, trace::Tracer::kLifecycleTid,
+                                "fault",
+                                "domain recover " + ev.domainName,
+                                ev.at);
             break;
         }
     }
@@ -118,10 +151,10 @@ FaultInjector::apply(const FaultEvent &ev)
         hooks_.net->setLinkUp(ev.src, ev.dst, ev.dim, true);
         break;
       case FaultKind::NpuFail:
-        hooks_.npuFail(ev.npu);
+        hooks_.npuFail(ev);
         break;
       case FaultKind::NpuRecover:
-        hooks_.npuRecover(ev.npu);
+        hooks_.npuRecover(ev);
         break;
       case FaultKind::Straggler:
         hooks_.computeScale(ev.npu, ev.computeScale);
@@ -130,6 +163,14 @@ FaultInjector::apply(const FaultEvent &ev)
             hooks_.net->setLinkCapacityScale(
                 ev.npu, kAllFaultPeers, kAllFaultDims,
                 ev.injectionScale);
+        break;
+      case FaultKind::DomainFail:
+        if (hooks_.domainFail)
+            hooks_.domainFail(ev);
+        break;
+      case FaultKind::DomainRecover:
+        if (hooks_.domainRecover)
+            hooks_.domainRecover(ev);
         break;
     }
 }

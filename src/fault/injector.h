@@ -44,8 +44,16 @@ struct FaultHooks
 {
     NetworkApi *net = nullptr;
     std::function<void(NpuId, double)> computeScale;
-    std::function<void(NpuId)> npuFail;
-    std::function<void(NpuId)> npuRecover;
+    /** NPU fail-stop/recovery; the full event carries domain/incident
+     *  attribution for blast-radius accounting. */
+    std::function<void(const FaultEvent &)> npuFail;
+    std::function<void(const FaultEvent &)> npuRecover;
+    /** Optional: fired on the DomainFail/DomainRecover *parent* event,
+     *  before any of its constituent events. Lets the cluster layer
+     *  mark a whole domain unplaceable atomically so admissions between
+     *  member failures cannot land inside the blast radius. */
+    std::function<void(const FaultEvent &)> domainFail;
+    std::function<void(const FaultEvent &)> domainRecover;
     /** Chain gate: when it returns false the injector stops applying
      *  and scheduling events (the simulation's work is done). Null
      *  means "always active". */

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Resilience studies: checkpoint-interval auto-tuning and seeded
+ * failure-realization replication over cluster scenarios
+ * (docs/fault.md "Checkpoint auto-tuning", docs/sweep.md).
+ *
+ * The tuner searches the checkpoint interval of a *cluster* config
+ * document (cluster.checkpoint.interval_ns) for maximum simulated
+ * goodput. It seeds the search at the Young/Daly closed form
+ * sqrt(2 * C * MTBF) — C the checkpoint cost, MTBF the job's
+ * effective mean time between failures combining the per-NPU stream
+ * and every declared failure domain — probes a geometric ladder
+ * {yd/4, yd/2, yd, 2*yd, 4*yd} around it, then golden-section refines
+ * in log-interval space inside the bracket around the best probe.
+ * The returned interval is the argmax over *every* evaluation, so it
+ * can never lose to a fixed-interval grid drawn from the same ladder.
+ * Everything is deterministic: the evaluations are ordinary
+ * simulations and the search order is fixed.
+ *
+ * A resilience study wraps the tuner and the `seeds: N` replication
+ * shorthand (sweep/spec.h) into one runner: optionally tune the
+ * interval, then run every placement-policy variant under N failure
+ * realizations and report mean/p95 goodput, availability, blast
+ * radius, recovery percentiles, and spare utilization per variant.
+ */
+#ifndef ASTRA_SWEEP_RESILIENCE_H_
+#define ASTRA_SWEEP_RESILIENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/units.h"
+#include "sweep/result_store.h"
+
+namespace astra {
+namespace sweep {
+
+/** One checkpoint-interval evaluation (in search order). */
+struct IntervalProbe
+{
+    TimeNs intervalNs = 0.0;
+    double goodput = 0.0;
+};
+
+/** Outcome of tuneCheckpointInterval. */
+struct CheckpointTuning
+{
+    TimeNs youngDalyNs = 0.0; //!< closed-form seed interval.
+    TimeNs intervalNs = 0.0;  //!< best interval found (argmax probe).
+    double goodput = 0.0;     //!< aggregate goodput at intervalNs.
+    std::vector<IntervalProbe> probes; //!< every evaluation made.
+};
+
+json::Value tuningToJson(const CheckpointTuning &t);
+
+/**
+ * Young/Daly seed interval for a cluster config document: C is
+ * cluster.checkpoint.cost_ns, and the failure rate is the largest
+ * job's size over fault.npu_mtbf_ns plus one 1/MTBF term per declared
+ * failure domain (a job may intersect any of them; the cluster
+ * layer's per-placement resolution in resolveAutoInterval is the
+ * exact counterpart). fatal() unless the document carries a
+ * checkpoint cost and at least one MTBF-based generation stream.
+ */
+TimeNs youngDalySeed(const json::Value &clusterDoc);
+
+/**
+ * Tune cluster.checkpoint.interval_ns of `clusterDoc` for maximum
+ * aggregate goodput; see file comment. `refineEvals` is the number of
+ * golden-section evaluations after the 5-probe ladder (>= 0).
+ */
+CheckpointTuning tuneCheckpointInterval(const json::Value &clusterDoc,
+                                        int refineEvals = 6);
+
+/**
+ * Run a resilience study document:
+ * ```json
+ * {
+ *   "name": "rack-resilience",
+ *   "config": { ... },            // full cluster config document
+ *   "seeds": 4,                   // failure realizations per variant
+ *   "tune_checkpoint": true,      // run the interval tuner first
+ *   "placements": ["contiguous", "avoid_degraded"]  // optional axis
+ * }
+ * ```
+ * Returns a JSON report: the tuning result (when requested), one
+ * summary block per placement variant (mean/p95 goodput, mean
+ * availability / blast radius / recovery percentiles / spare
+ * utilization over the seed axis), and the full per-run result table.
+ * `threads` parallelizes the underlying sweep batch (<= 0 = all).
+ */
+json::Value runResilienceStudy(const json::Value &studyDoc,
+                               int threads = 1);
+
+/** Write a commented-by-example study document (CLI scaffolding). */
+void writeSampleResilienceStudy(const std::string &path);
+
+} // namespace sweep
+} // namespace astra
+
+#endif // ASTRA_SWEEP_RESILIENCE_H_

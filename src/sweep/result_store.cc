@@ -1,5 +1,7 @@
 #include "sweep/result_store.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -42,6 +44,9 @@ metricName(Metric m)
       case Metric::NumFaults:        return "num_faults";
       case Metric::Goodput:          return "goodput";
       case Metric::CriticalPath:     return "critical_path_ns";
+      case Metric::Availability:     return "availability";
+      case Metric::BlastRadius:      return "blast_radius";
+      case Metric::SpareUtilization: return "spare_utilization";
     }
     return "?";
 }
@@ -113,6 +118,10 @@ ResultStore::value(size_t i, Metric m) const
       case Metric::NumFaults:        return double(r.report.numFaults);
       case Metric::Goodput:          return r.report.goodput;
       case Metric::CriticalPath:     return r.report.criticalPathNs;
+      case Metric::Availability:     return r.report.availability;
+      case Metric::BlastRadius:      return r.report.blastRadius;
+      case Metric::SpareUtilization:
+        return r.report.spareUtilization;
     }
     return 0.0;
 }
@@ -147,6 +156,41 @@ ResultStore::argmax(Metric m) const
     return best;
 }
 
+double
+ResultStore::mean(Metric m) const
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        if (rows_[i].failed)
+            continue;
+        sum += value(i, m);
+        ++n;
+    }
+    ASTRA_USER_CHECK(n > 0,
+                     "mean over an empty/all-failed result store");
+    return sum / double(n);
+}
+
+double
+ResultStore::percentile(Metric m, double p) const
+{
+    ASTRA_USER_CHECK(p >= 0.0 && p <= 1.0,
+                     "percentile: p must be in [0, 1], got %g", p);
+    std::vector<double> values;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        if (!rows_[i].failed)
+            values.push_back(value(i, m));
+    }
+    ASTRA_USER_CHECK(!values.empty(),
+                     "percentile over an empty/all-failed result store");
+    std::sort(values.begin(), values.end());
+    // Nearest-rank: smallest value with cumulative frequency >= p.
+    size_t rank = static_cast<size_t>(
+        std::ceil(p * double(values.size())));
+    return values[rank > 0 ? rank - 1 : 0];
+}
+
 std::string
 ResultStore::toCsv() const
 {
@@ -157,7 +201,8 @@ ResultStore::toCsv() const
            "exposed_remote_mem_ns,idle_ns,events,messages,"
            "max_link_util,queueing_delay_ns,interference_slowdown,"
            "lost_work_ns,recovery_time_ns,num_faults,goodput,"
-           "critical_path_ns,status\n";
+           "critical_path_ns,availability,blast_radius,"
+           "spare_utilization,status\n";
 
     char buf[64];
     for (const SweepResult &r : rows_) {
@@ -168,10 +213,10 @@ ResultStore::toCsv() const
         for (const std::string &v : r.config.axisValues)
             out += ',' + csvField(v);
         if (r.failed) {
-            // Sixteen empty metric fields, then the status field —
+            // Nineteen empty metric fields, then the status field —
             // same arity as the ok branch so header-keyed parsers
             // align.
-            out += ",,,,,,,,,,,,,,,,,";
+            out += ",,,,,,,,,,,,,,,,,,,,";
             out += csvField("failed: " + r.error);
         } else {
             const RuntimeBreakdown &b = r.report.average;
@@ -199,6 +244,10 @@ ResultStore::toCsv() const
                           r.report.goodput);
             out += buf;
             out += ',' + formatNs(r.report.criticalPathNs);
+            std::snprintf(buf, sizeof(buf), ",%.6f,%.6f,%.6f",
+                          r.report.availability, r.report.blastRadius,
+                          r.report.spareUtilization);
+            out += buf;
             out += ",ok";
         }
         out += '\n';

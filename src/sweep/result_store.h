@@ -48,6 +48,11 @@ enum class Metric {
     /** Trace-analysis critical-path length (ns); 0 unless the sweep
      *  ran with `trace.analysis` enabled (docs/trace.md). */
     CriticalPath,
+    /** Failure-domain resilience metrics (docs/fault.md "Failure
+     *  domains & placement policies"); 0 on fault-free rows. */
+    Availability,     //!< 1 - recovery/duration, mean over jobs.
+    BlastRadius,      //!< mean jobs disrupted per fail incident.
+    SpareUtilization, //!< busy fraction of the reserved spare pool.
 };
 
 /** Column name of a metric (matches the CSV/JSON headers). */
@@ -87,6 +92,16 @@ class ResultStore
 
     double min(Metric m) const { return value(argmin(m), m); }
     double max(Metric m) const { return value(argmax(m), m); }
+
+    /** Mean of a metric over successful rows; fatal() if none
+     *  succeeded. Resilience studies report mean goodput over the
+     *  `fault.seed` axis (docs/sweep.md). */
+    double mean(Metric m) const;
+
+    /** Nearest-rank percentile (p in [0, 1]) of a metric over
+     *  successful rows; fatal() if none succeeded. p95 goodput over
+     *  failure realizations is the resilience studies' tail metric. */
+    double percentile(Metric m, double p) const;
 
     /** Render the tidy table; see file comment for the column set. */
     std::string toCsv() const;

@@ -253,10 +253,30 @@ SweepSpec::fromJson(const json::Value &doc)
                      "sweep spec: 'base' must be an object");
     spec.base_ = doc.at("base").clone();
 
-    ASTRA_USER_CHECK(doc.has("axes"),
+    ASTRA_USER_CHECK(doc.has("axes") || doc.has("seeds"),
                      "sweep spec: missing required key 'axes'");
-    for (const json::Value &a : doc.at("axes").asArray())
-        spec.axes_.push_back(axisFromJson(a));
+    if (doc.has("axes")) {
+        for (const json::Value &a : doc.at("axes").asArray())
+            spec.axes_.push_back(axisFromJson(a));
+    }
+
+    // `seeds: N` is shorthand for a trailing `fault.seed` axis with
+    // values 1..N — every grid point is replicated under N independent
+    // failure realizations, and studies report mean/p95 metrics over
+    // that axis (docs/sweep.md). Trailing so it varies fastest in
+    // cartesian mode: replications of one grid point stay adjacent.
+    if (doc.has("seeds")) {
+        int64_t n = doc.at("seeds").asInt();
+        ASTRA_USER_CHECK(n >= 1,
+                         "sweep spec: 'seeds' must be >= 1, got %lld",
+                         static_cast<long long>(n));
+        Axis axis;
+        axis.paths = {"fault.seed"};
+        axis.name = "seed";
+        for (int64_t i = 1; i <= n; ++i)
+            axis.values.push_back(json::Value(i));
+        spec.axes_.push_back(std::move(axis));
+    }
     ASTRA_USER_CHECK(!spec.axes_.empty(), "sweep spec: no axes");
 
     if (spec.mode_ == GridMode::Zip) {

@@ -43,7 +43,10 @@
  *     {"path": "workload.param_path",
  *      "values": ["network", "fused"],
  *      "labels": ["baseline", "opt"]}
- *   ]
+ *   ],
+ *   "seeds": 8   // shorthand for a trailing {"path": "fault.seed",
+ *                // "values": [1..8]} axis: N failure realizations
+ *                // per grid point (docs/sweep.md)
  * }
  * ```
  *
@@ -182,9 +185,9 @@ std::string configHashString(uint64_t hash);
  * changes, collective/timing model fixes — so persisted caches from
  * older builds are orphaned instead of silently serving stale Reports.
  */
-constexpr uint64_t kSpecSchemaVersion = 4; //!< 4: fault injection +
-                                           //!< failure-resilience
-                                           //!< report columns.
+constexpr uint64_t kSpecSchemaVersion = 5; //!< 5: failure domains,
+                                           //!< fault-aware placement,
+                                           //!< domain-metric columns.
 
 /**
  * Turn a configuration document into runnable pieces: topology,

@@ -462,6 +462,72 @@ TEST(ClusterReport, JobsCsvCarriesTenancyColumns)
     EXPECT_TRUE(doc.at("jobs").asArray()[1].has("queueing_delay_ns"));
 }
 
+TEST(Admission, EasyBackfillRespectsTheHeadsReservation)
+{
+    // With runtime estimates, backfill turns EASY-style: the blocked
+    // head gets a reservation at the running jobs' projected finish,
+    // and a later job may jump the queue only if its own estimate
+    // fits before that shadow time (docs/cluster.md "Backfill").
+    auto build = [](TimeNs filler_estimate) {
+        ClusterConfig cfg;
+        cfg.backend = NetworkBackendKind::Flow;
+        cfg.admission = AdmissionPolicy::Backfill;
+        cfg.isolatedBaselines = false;
+        ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
+        JobSpec runner = collectiveJob("runner", 4, 1 << 22);
+        runner.estimatedDuration = 50000.0;
+        cluster.addJob(std::move(runner));
+        JobSpec head = collectiveJob("head", 8, 1 << 22,
+                                     PlacementPolicy::Contiguous, 1.0);
+        head.estimatedDuration = 50000.0;
+        cluster.addJob(std::move(head));
+        JobSpec filler = collectiveJob("filler", 4, 1 << 20,
+                                       PlacementPolicy::Contiguous,
+                                       2.0);
+        filler.estimatedDuration = filler_estimate;
+        cluster.addJob(std::move(filler));
+        return cluster.run();
+    };
+
+    // Under-estimate relative to the hole: 2 + 10000 <= 50000, the
+    // filler fits before the head's reservation and starts at its
+    // arrival.
+    ClusterReport fits = build(10000.0);
+    EXPECT_EQ(fits.jobs[2].admitted, 2.0);
+    EXPECT_GE(fits.jobs[1].admitted, fits.jobs[0].finished);
+
+    // Over-estimate: the filler's claimed runtime overruns the
+    // head's shadow start, so it must wait its turn behind the head.
+    ClusterReport blocked = build(60000.0);
+    EXPECT_GE(blocked.jobs[2].admitted, blocked.jobs[1].finished);
+    EXPECT_GT(blocked.jobs[2].queueingDelay, 0.0);
+
+    // No estimate at all: never allowed past a reserved head.
+    ClusterReport unknown = build(0.0);
+    EXPECT_GE(unknown.jobs[2].admitted, unknown.jobs[1].finished);
+}
+
+TEST(Admission, BackfillStaysAggressiveWithoutEstimates)
+{
+    // If any running job has an unknown runtime, no reservation is
+    // computable and backfill falls back to "anything that fits
+    // starts" — the pre-estimate behavior.
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    cfg.admission = AdmissionPolicy::Backfill;
+    cfg.isolatedBaselines = false;
+    ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
+    cluster.addJob(collectiveJob("runner", 4, 1 << 22)); // no estimate
+    cluster.addJob(collectiveJob("head", 8, 1 << 22,
+                                 PlacementPolicy::Contiguous, 1.0));
+    JobSpec filler = collectiveJob("filler", 4, 1 << 20,
+                                   PlacementPolicy::Contiguous, 2.0);
+    filler.estimatedDuration = 1e9; // huge estimate, still admitted.
+    cluster.addJob(std::move(filler));
+    ClusterReport report = cluster.run();
+    EXPECT_EQ(report.jobs[2].admitted, 2.0);
+}
+
 TEST(ClusterErrors, DeadlocksAndMisuseAreUserErrors)
 {
     ClusterConfig cfg;

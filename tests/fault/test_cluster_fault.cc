@@ -19,6 +19,7 @@
 #include "cluster/cluster.h"
 #include "cluster/config.h"
 #include "common/logging.h"
+#include "sweep/spec.h"
 #include "topology/notation.h"
 
 namespace astra {
@@ -120,7 +121,7 @@ TEST(CheckpointRestart, RequeuePlacesAroundTheFaultedNpu)
     cfg.backend = NetworkBackendKind::Flow;
     cfg.fault = npuFailAt(1, 20000.0);
     cfg.defaultCheckpoint.restartDelayNs = 1000.0;
-    cfg.defaultCheckpoint.requeue = true;
+    cfg.defaultCheckpoint.restart = fault::RestartMode::Requeue;
 
     ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
     cluster.addJob(collectiveJob("train", 4, 1 << 22));
@@ -258,6 +259,170 @@ TEST(ClusterFaults, ReportCarriesOwnBusyAttribution)
     json::Value doc = report.toJson();
     EXPECT_TRUE(doc.at("jobs").asArray()[0].has("own_busy_per_dim_ns"));
     EXPECT_TRUE(doc.has("mean_goodput"));
+}
+
+TEST(CheckpointRestart, SpareSwapPatchesTheFailedPlacement)
+{
+    // Two reserved spares (highest ids 6, 7); NPU 1 fails for good.
+    // Spare restart swaps the dead NPU for a spare and resumes from
+    // the snapshot instead of waiting or re-placing from scratch.
+    // Switch fabric: every NPU pair routes via the switch, so the
+    // patched (non-contiguous) placement never transits the dead NPU.
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    cfg.fault = npuFailAt(1, 31000.0);
+    cfg.defaultCheckpoint.intervalNs = 10000.0;
+    cfg.defaultCheckpoint.restartDelayNs = 1000.0;
+    cfg.defaultCheckpoint.restart = fault::RestartMode::Spare;
+    cfg.spareCount = 2;
+
+    ClusterSimulator cluster(parseTopology("Switch(8,100)"), cfg);
+    cluster.addJob(collectiveJob("train", 4, 1 << 22));
+    ClusterReport report = cluster.run();
+
+    const JobResult &job = report.jobs[0];
+    EXPECT_FALSE(job.failed) << job.error;
+    EXPECT_EQ(job.restarts, 1);
+    // Snapshot-resume: only the work past the 30 us snapshot is lost.
+    EXPECT_NEAR(job.lostWork, 1000.0, 1.0);
+    // The consumed spare shows up in the pool-utilization aggregate.
+    EXPECT_GT(report.spareUtilization, 0.0);
+    EXPECT_GT(report.aggregate.spareUtilization, 0.0);
+}
+
+TEST(CheckpointRestart, MigrateResumesSnapshotWhereRequeueIsCold)
+{
+    // Same permanent NPU failure under both re-placement modes.
+    // Migrate carries the checkpoint to the new placement; Requeue
+    // deliberately starts cold (a fresh placement cannot assume the
+    // snapshot's rank layout is worth keeping).
+    auto run = [](fault::RestartMode mode) {
+        ClusterConfig cfg;
+        cfg.backend = NetworkBackendKind::Flow;
+        cfg.fault = npuFailAt(1, 31000.0);
+        cfg.defaultCheckpoint.intervalNs = 10000.0;
+        cfg.defaultCheckpoint.restartDelayNs = 1000.0;
+        cfg.defaultCheckpoint.restart = mode;
+        ClusterSimulator cluster(parseTopology("Ring(8,100)"), cfg);
+        cluster.addJob(collectiveJob("train", 4, 1 << 22));
+        return cluster.run();
+    };
+
+    ClusterReport migrate = run(fault::RestartMode::Migrate);
+    ClusterReport requeue = run(fault::RestartMode::Requeue);
+    ASSERT_FALSE(migrate.jobs[0].failed) << migrate.jobs[0].error;
+    ASSERT_FALSE(requeue.jobs[0].failed) << requeue.jobs[0].error;
+    // Migrate: rolled back to the 30 us snapshot.
+    EXPECT_NEAR(migrate.jobs[0].lostWork, 1000.0, 1.0);
+    // Requeue: everything up to the failure is lost.
+    EXPECT_NEAR(requeue.jobs[0].lostWork, 31000.0, 1.0);
+    EXPECT_GT(requeue.jobs[0].lostWork, migrate.jobs[0].lostWork);
+    // Both re-place around the dead NPU 1.
+    EXPECT_EQ(migrate.jobs[0].placement.find("1"), std::string::npos)
+        << migrate.jobs[0].placement;
+}
+
+TEST(ClusterFaults, AvoidDegradedSteersAwayFromTheFlakyRack)
+{
+    // Rack 0 generates failures (tight per-domain MTBF); rack 1 is
+    // quiet. avoid_degraded scores the projected failure intensity
+    // and places the job on the stable rack, so it never gets hit.
+    auto run = [](PlacementPolicy policy) {
+        ClusterConfig cfg;
+        cfg.backend = NetworkBackendKind::Flow;
+        cfg.isolatedBaselines = false;
+        cfg.fault = fault::faultConfigFromJson(json::parse(R"json({
+          "seed": 5, "horizon_ns": 300000,
+          "domains": [
+            {"name": "flaky", "level": 1, "index": 0,
+             "mtbf_ns": 30000, "mttr_ns": 10000},
+            {"name": "stable", "level": 1, "index": 1}
+          ]
+        })json"));
+        cfg.defaultCheckpoint.intervalNs = 10000.0;
+        cfg.defaultCheckpoint.restartDelayNs = 1000.0;
+        cfg.defaultCheckpoint.restart = fault::RestartMode::Migrate;
+        ClusterSimulator cluster(
+            parseTopology("Ring(4,100)_Switch(2,50)"), cfg);
+        JobSpec spec = collectiveJob("train", 4, 1 << 22);
+        spec.placement = policy;
+        cluster.addJob(std::move(spec));
+        return cluster.run();
+    };
+
+    ClusterReport aware = run(PlacementPolicy::AvoidDegraded);
+    ASSERT_FALSE(aware.jobs[0].failed) << aware.jobs[0].error;
+    // Placed on the stable rack {4..7}: zero faults ever hit it.
+    EXPECT_EQ(aware.jobs[0].numFaults, 0u);
+    EXPECT_NE(aware.jobs[0].placement.find("avoid_degraded"),
+              std::string::npos)
+        << aware.jobs[0].placement;
+
+    // The oblivious contiguous placement lands on the flaky rack.
+    ClusterReport oblivious = run(PlacementPolicy::Contiguous);
+    EXPECT_GT(oblivious.jobs[0].numFaults, 0u);
+}
+
+TEST(ClusterFaults, AutoIntervalResolvesViaYoungDaly)
+{
+    json::Value doc = json::parse(R"json({
+      "topology": "Ring(4,100)",
+      "backend": "flow",
+      "fault": {"seed": 2, "horizon_ns": 300000,
+                "npu_mtbf_ns": 150000, "npu_mttr_ns": 20000},
+      "cluster": {
+        "checkpoint": {"interval_ns": "auto", "cost_ns": 100,
+                       "restart_delay_ns": 500},
+        "jobs": [
+          {"name": "train", "size": 4,
+           "workload": {"kind": "collective",
+                        "collective": "all-reduce",
+                        "bytes": 4194304}}
+        ]
+      }
+    })json");
+    ClusterReport report = runClusterScenario(doc);
+    ASSERT_EQ(report.jobs.size(), 1u);
+    EXPECT_FALSE(report.jobs[0].failed) << report.jobs[0].error;
+
+    // "auto" without MTBF-based generation has no rate to derive an
+    // interval from — a user error, not a silent fallback.
+    json::Value bad = doc.clone();
+    sweep::applyOverride(bad, "fault", json::parse(R"({"schedule":
+        [{"at_ns": 1000, "kind": "npu_fail", "npu": 1}]})"));
+    EXPECT_THROW(runClusterScenario(bad), FatalError);
+}
+
+TEST(ClusterFaults, WholeRackStrandNamesTheDomainAndWatermark)
+{
+    // The whole resident rack dies and never recovers; the in-place
+    // restart policy can only wait. The job must fail in isolation
+    // with a diagnostic naming the down domain and the snapshot
+    // watermark it would have resumed from.
+    ClusterConfig cfg;
+    cfg.backend = NetworkBackendKind::Flow;
+    cfg.fault = fault::faultConfigFromJson(json::parse(R"json({
+      "domains": [{"name": "rack", "level": 1, "index": 0}],
+      "schedule": [
+        {"at_ns": 31000, "kind": "domain_fail", "domain": "rack"}
+      ]
+    })json"));
+    cfg.defaultCheckpoint.intervalNs = 10000.0;
+    cfg.defaultCheckpoint.restartDelayNs = 500.0;
+
+    ClusterSimulator cluster(parseTopology("Ring(4,100)_Switch(2,50)"),
+                             cfg);
+    cluster.addJob(collectiveJob("doomed", 4, 1 << 22));
+    ClusterReport report = cluster.run();
+
+    const JobResult &job = report.jobs[0];
+    EXPECT_TRUE(job.failed);
+    EXPECT_NE(job.error.find("rack"), std::string::npos) << job.error;
+    EXPECT_NE(job.error.find("snapshot watermark"), std::string::npos)
+        << job.error;
+    // One disruption: the first member fail-stop takes the job down;
+    // the rest of the rack hits an already-down job.
+    EXPECT_EQ(job.numFaults, 1u);
 }
 
 TEST(ClusterFaults, ScenarioJsonEndToEnd)

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the `seeds` sweep shorthand and the checkpoint-interval
+ * auto-tuner / resilience-study runner (sweep/resilience.h,
+ * docs/sweep.md "Seed replication", docs/fault.md "Checkpoint
+ * auto-tuning").
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "sweep/resilience.h"
+#include "sweep/result_store.h"
+#include "sweep/runner.h"
+
+namespace astra {
+namespace sweep {
+namespace {
+
+/** Tiny faulty cluster config: quick to simulate, failures guaranteed
+ *  inside the job's runtime. */
+json::Value
+faultyClusterDoc()
+{
+    return json::parse(R"json({
+      "topology": "Ring(4,100)",
+      "backend": "analytical",
+      "fault": {
+        "seed": 1,
+        "horizon_ns": 100000,
+        "npu_mtbf_ns": 25000,
+        "npu_mttr_ns": 5000
+      },
+      "cluster": {
+        "checkpoint": {"interval_ns": 10000, "cost_ns": 500,
+                       "restart_delay_ns": 1000},
+        "jobs": [
+          {"name": "train", "size": 4,
+           "workload": {"kind": "collective",
+                        "collective": "all-reduce",
+                        "bytes": 4194304}}
+        ]
+      }
+    })json");
+}
+
+TEST(SeedsShorthand, ExpandsToATrailingFaultSeedAxis)
+{
+    json::Value doc = json::parse(R"json({
+      "name": "replicated",
+      "base": {"topology": "Ring(4,100)", "backend": "analytical",
+               "cluster": {"jobs": [
+                 {"name": "j", "size": 4,
+                  "workload": {"kind": "collective",
+                               "collective": "all-reduce",
+                               "bytes": 1048576}}]}},
+      "axes": [{"path": "cluster.placement", "name": "placement",
+                "values": ["contiguous", "anti_affinity"]}],
+      "seeds": 3
+    })json");
+    SweepSpec spec = SweepSpec::fromJson(doc);
+    EXPECT_EQ(spec.configCount(), 6u);
+    // The seed axis is appended last, so it varies fastest: the
+    // replications of one variant are a contiguous row block.
+    std::vector<std::string> names = spec.axisNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "placement");
+    EXPECT_EQ(names[1], "seed");
+    for (size_t i = 0; i < 6; ++i) {
+        json::Value cfg = spec.config(i).doc;
+        EXPECT_EQ(cfg.at("fault").at("seed").asInt(),
+                  static_cast<int64_t>(i % 3 + 1));
+    }
+}
+
+TEST(SeedsShorthand, WorksWithoutExplicitAxesAndValidates)
+{
+    json::Value doc = json::parse(R"json({
+      "name": "seeds-only",
+      "base": {"topology": "Ring(4,100)"},
+      "seeds": 2
+    })json");
+    SweepSpec spec = SweepSpec::fromJson(doc);
+    EXPECT_EQ(spec.configCount(), 2u);
+    EXPECT_EQ(spec.axisNames(), std::vector<std::string>{"seed"});
+
+    // seeds must be >= 1.
+    json::Value zero = doc.clone();
+    applyOverride(zero, "seeds", json::Value(int64_t{0}));
+    EXPECT_THROW(SweepSpec::fromJson(zero), FatalError);
+
+    // Neither axes nor seeds: nothing to sweep.
+    EXPECT_THROW(
+        SweepSpec::fromJson(json::parse(
+            R"json({"name": "x", "base": {"topology": "Ring(4,100)"}})json")),
+        FatalError);
+}
+
+TEST(SeedsShorthand, SeedSweepDeterministicAcrossThreadCounts)
+{
+    json::Object doc;
+    doc["name"] = json::Value(std::string("seed-replication"));
+    doc["base"] = faultyClusterDoc();
+    doc["seeds"] = json::Value(int64_t{4});
+    SweepSpec spec = SweepSpec::fromJson(json::Value(std::move(doc)));
+    ASSERT_EQ(spec.configCount(), 4u);
+
+    auto bytes = [&](int threads) {
+        BatchOptions opts;
+        opts.threads = threads;
+        ResultStore store =
+            ResultStore::fromBatch(spec, runBatch(spec, opts));
+        return store.toCsv() + store.toJson().dump(2);
+    };
+    std::string one = bytes(1);
+    EXPECT_EQ(bytes(2), one);
+    EXPECT_EQ(bytes(8), one);
+
+    // Different seeds draw different failure realizations: at least
+    // one metric column must differ across the replications.
+    ResultStore store =
+        ResultStore::fromBatch(spec, runBatch(spec, BatchOptions{}));
+    double lo = store.value(store.argmin(Metric::NumFaults),
+                            Metric::NumFaults);
+    double hi = store.value(store.argmax(Metric::NumFaults),
+                            Metric::NumFaults);
+    EXPECT_GT(hi, 0.0);
+    EXPECT_NE(lo, hi);
+}
+
+TEST(CheckpointTuner, ProbesLadderPlusRefinementAndPicksArgmax)
+{
+    json::Value doc = faultyClusterDoc();
+    CheckpointTuning t = tuneCheckpointInterval(doc, /*refineEvals=*/2);
+    EXPECT_GT(t.youngDalyNs, 0.0);
+    // Five ladder probes + two golden-section refinements.
+    ASSERT_EQ(t.probes.size(), 7u);
+    // The first five probes ARE the fixed-interval grid {yd/4 ..
+    // 4*yd}; the tuned result is the argmax over every probe, so it
+    // can never lose to that grid.
+    double best_grid = 0.0;
+    for (size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(t.probes[i].intervalNs,
+                    t.youngDalyNs * (0.25 * double(1 << i)), 1e-6);
+        best_grid = std::max(best_grid, t.probes[i].goodput);
+    }
+    EXPECT_GE(t.goodput, best_grid);
+    double best_all = 0.0;
+    for (const IntervalProbe &p : t.probes)
+        best_all = std::max(best_all, p.goodput);
+    EXPECT_EQ(t.goodput, best_all);
+    // Determinism: the same document tunes to the same interval.
+    CheckpointTuning again = tuneCheckpointInterval(doc, 2);
+    EXPECT_EQ(again.intervalNs, t.intervalNs);
+    EXPECT_EQ(tuningToJson(again).dump(), tuningToJson(t).dump());
+}
+
+TEST(CheckpointTuner, YoungDalySeedValidatesItsInputs)
+{
+    // No fault scenario at all.
+    json::Value no_fault = json::parse(R"json({
+      "topology": "Ring(4,100)", "backend": "analytical",
+      "cluster": {
+        "checkpoint": {"interval_ns": 10000, "cost_ns": 500},
+        "jobs": [{"name": "j", "size": 4,
+                  "workload": {"kind": "collective",
+                               "collective": "all-reduce",
+                               "bytes": 1048576}}]}
+    })json");
+    EXPECT_THROW(youngDalySeed(no_fault), FatalError);
+
+    // Scheduled-only faults: no MTBF to derive a rate from.
+    json::Value sched = faultyClusterDoc();
+    applyOverride(sched, "fault", json::parse(R"({"schedule":
+        [{"at_ns": 1000, "kind": "npu_fail", "npu": 1}]})"));
+    EXPECT_THROW(youngDalySeed(sched), FatalError);
+
+    // Zero checkpoint cost: Young/Daly degenerates.
+    json::Value free_ckpt = faultyClusterDoc();
+    applyOverride(free_ckpt, "cluster.checkpoint.cost_ns",
+                  json::Value(int64_t{0}));
+    EXPECT_THROW(youngDalySeed(free_ckpt), FatalError);
+}
+
+TEST(ResilienceStudy, RunsVariantsAndValidatesKeys)
+{
+    json::Object study;
+    study["name"] = json::Value(std::string("mini"));
+    study["config"] = faultyClusterDoc();
+    study["seeds"] = json::Value(int64_t{2});
+    json::Array placements;
+    placements.push_back(json::Value(std::string("contiguous")));
+    placements.push_back(json::Value(std::string("anti_affinity")));
+    study["placements"] = json::Value(std::move(placements));
+
+    json::Value report =
+        runResilienceStudy(json::Value(study), /*threads=*/2);
+    EXPECT_EQ(report.at("study").asString(), "mini");
+    EXPECT_EQ(report.at("seeds").asInt(), 2);
+    const json::Array &variants = report.at("variants").asArray();
+    ASSERT_EQ(variants.size(), 2u);
+    for (const json::Value &v : variants) {
+        EXPECT_TRUE(v.has("placement"));
+        EXPECT_GT(v.at("mean_goodput").asNumber(), 0.0);
+        EXPECT_GE(v.at("p95_goodput").asNumber(),
+                  v.at("mean_goodput").asNumber() * 0.5);
+        EXPECT_GT(v.at("mean_availability").asNumber(), 0.0);
+        EXPECT_EQ(v.at("failures").asInt(), 0);
+    }
+    // The full per-row store rides along for downstream analysis.
+    EXPECT_EQ(report.at("results").at("rows").asArray().size(), 4u);
+
+    // Unknown keys and malformed fields are user errors.
+    study["typo"] = json::Value(true);
+    EXPECT_THROW(runResilienceStudy(json::Value(study), 1),
+                 FatalError);
+    EXPECT_THROW(runResilienceStudy(json::parse(R"({"seeds": 2})"), 1),
+                 FatalError);
+}
+
+TEST(ResilienceStudy, SampleStudyRoundTrips)
+{
+    std::string path = "/tmp/astra_test_resilience_sample.json";
+    writeSampleResilienceStudy(path);
+    json::Value doc = json::parseFile(path);
+    EXPECT_TRUE(doc.has("config"));
+    EXPECT_TRUE(doc.at("config").has("fault"));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sweep
+} // namespace astra

@@ -58,6 +58,29 @@ TEST(ResultStore, QueriesSelectExtremes)
     EXPECT_DOUBLE_EQ(store.value(0, Metric::MaxLinkUtil), 0.5);
 }
 
+TEST(ResultStore, MeanAndPercentileOverSuccessfulRows)
+{
+    ResultStore store = makeStore(); // totals 300, 100, 200.
+    EXPECT_DOUBLE_EQ(store.mean(Metric::TotalTime), 200.0);
+    // Nearest-rank over {100, 200, 300}.
+    EXPECT_DOUBLE_EQ(store.percentile(Metric::TotalTime, 0.0), 100.0);
+    EXPECT_DOUBLE_EQ(store.percentile(Metric::TotalTime, 0.5), 200.0);
+    EXPECT_DOUBLE_EQ(store.percentile(Metric::TotalTime, 0.95), 300.0);
+    EXPECT_DOUBLE_EQ(store.percentile(Metric::TotalTime, 1.0), 300.0);
+    EXPECT_THROW(store.percentile(Metric::TotalTime, 1.5), FatalError);
+
+    // Failed rows are excluded from both aggregates.
+    SweepResult bad = makeRow(3, "boom", 9999.0, 0.0, 1);
+    bad.failed = true;
+    store.add(bad);
+    EXPECT_DOUBLE_EQ(store.mean(Metric::TotalTime), 200.0);
+    EXPECT_DOUBLE_EQ(store.percentile(Metric::TotalTime, 1.0), 300.0);
+
+    ResultStore empty("unit", {"x"});
+    EXPECT_THROW(empty.mean(Metric::TotalTime), FatalError);
+    EXPECT_THROW(empty.percentile(Metric::TotalTime, 0.5), FatalError);
+}
+
 TEST(ResultStore, FailedRowsKeptButSkippedByQueries)
 {
     ResultStore store("unit", {"x"});
@@ -115,7 +138,8 @@ TEST(ResultStore, CsvShapeAndQuoting)
               "exposed_remote_mem_ns,idle_ns,events,messages,"
               "max_link_util,queueing_delay_ns,"
               "interference_slowdown,lost_work_ns,recovery_time_ns,"
-              "num_faults,goodput,critical_path_ns,status");
+              "num_faults,goodput,critical_path_ns,availability,"
+              "blast_radius,spare_utilization,status");
     // RFC-4180: embedded quotes doubled, field quoted.
     EXPECT_NE(row.find("\"has,comma \"\"quoted\"\"\""),
               std::string::npos);
