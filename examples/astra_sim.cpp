@@ -30,6 +30,8 @@ main(int argc, char **argv)
                                 "trace-detail", "trace-util",
                                 "trace-util-bucket", "trace-rate-eps",
                                 "trace-analysis", "trace-analysis-out",
+                                "heartbeat", "heartbeat-interval-ms",
+                                "heartbeat-events", "manifest",
                                 "log-level"});
     if (cl.has("log-level"))
         setLogLevel(logLevelFromString(cl.getString("log-level", "")));
@@ -54,6 +56,7 @@ main(int argc, char **argv)
     // --trace already names the input ET file, so the timeline output
     // uses --trace-out (docs/trace.md).
     cfg.trace = trace::traceConfigFromCli(cl, "trace-out", cfg.trace);
+    cfg.telemetry = telemetry::telemetryConfigFromCli(cl, cfg.telemetry);
 
     Workload wl;
     if (cl.has("trace")) {
@@ -76,5 +79,9 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", cfg.trace.file.c_str());
     if (!cfg.trace.utilizationFile.empty())
         std::printf("wrote %s\n", cfg.trace.utilizationFile.c_str());
+    if (!cfg.telemetry.file.empty())
+        std::printf("wrote %s\n", cfg.telemetry.file.c_str());
+    if (!cfg.telemetry.manifest.empty())
+        std::printf("wrote %s\n", cfg.telemetry.manifest.c_str());
     return 0;
 }

@@ -117,7 +117,8 @@ main(int argc, char **argv)
                      "no-baselines", "verbose", "trace",
                      "trace-detail", "trace-util",
                      "trace-util-bucket", "trace-rate-eps",
-                     "log-level"});
+                     "heartbeat", "heartbeat-interval-ms",
+                     "heartbeat-events", "manifest", "log-level"});
     setVerbose(cli.getBool("verbose"));
     if (cli.has("log-level"))
         setLogLevel(logLevelFromString(cli.getString("log-level", "")));
@@ -148,6 +149,8 @@ main(int argc, char **argv)
         scenario.cfg.isolatedBaselines = false;
     scenario.cfg.trace =
         trace::traceConfigFromCli(cli, "trace", scenario.cfg.trace);
+    scenario.cfg.telemetry =
+        telemetry::telemetryConfigFromCli(cli, scenario.cfg.telemetry);
 
     std::printf("cluster: %s, backend %s, %zu jobs, admission %s\n\n",
                 scenario.topo.notation().c_str(),
@@ -185,5 +188,10 @@ main(int argc, char **argv)
     if (!scenario.cfg.trace.utilizationFile.empty())
         std::printf("wrote %s\n",
                     scenario.cfg.trace.utilizationFile.c_str());
+    if (!scenario.cfg.telemetry.file.empty())
+        std::printf("wrote %s\n", scenario.cfg.telemetry.file.c_str());
+    if (!scenario.cfg.telemetry.manifest.empty())
+        std::printf("wrote %s\n",
+                    scenario.cfg.telemetry.manifest.c_str());
     return 0;
 }

@@ -7,7 +7,10 @@
  *   sweep_runner <spec.json> [--threads N] [--cache cache.json]
  *                [--csv out.csv] [--json out.json]
  *                [--metric total_ns] [--verbose | --log-level L]
- *                [--auto-diff [diff.json]]
+ *                [--auto-diff [diff.json]] [--diff-rows I J]
+ *                [--heartbeat beats.ndjson]
+ *                [--heartbeat-interval-ms N]
+ *                [--manifest manifest.json] [--manifest-dir DIR]
  *   sweep_runner --sample spec.json     # write an example spec
  *
  * --threads 0 uses all hardware threads. --cache enables incremental
@@ -15,9 +18,18 @@
  * after the batch, so editing one axis value re-simulates only the
  * changed grid points. --auto-diff re-runs the metric's argmin and
  * argmax configurations with full tracing and prints the span-level
- * explanation of their difference (optionally written as JSON).
+ * explanation of their difference (optionally written as JSON);
+ * --diff-rows does the same for an arbitrary row pair ("I J" or
+ * "I,J"). --heartbeat streams batch-progress NDJSON (rows done/total,
+ * cache hits, per-worker occupancy; docs/observability.md);
+ * --manifest writes a sweep-level run manifest and --manifest-dir one
+ * provenance manifest per row, keyed by config hash.
  */
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -59,7 +71,9 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"threads", "cache", "csv", "json", "metric",
-                     "sample", "auto-diff", "verbose", "log-level"});
+                     "sample", "auto-diff", "diff-rows", "verbose",
+                     "log-level", "heartbeat", "heartbeat-interval-ms",
+                     "heartbeat-events", "manifest", "manifest-dir"});
     setVerbose(cli.getBool("verbose"));
     if (cli.has("log-level"))
         setLogLevel(logLevelFromString(cli.getString("log-level", "")));
@@ -71,11 +85,17 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (cli.positional().size() != 1) {
+    // `--diff-rows I J` leaves J as a stray positional; accept that
+    // form as well as `--diff-rows I,J`.
+    if (cli.positional().size() != 1 &&
+        !(cli.has("diff-rows") && cli.positional().size() == 2)) {
         std::fprintf(stderr,
                      "usage: sweep_runner <spec.json> [--threads N] "
                      "[--cache FILE] [--csv FILE] [--json FILE] "
-                     "[--metric NAME]\n"
+                     "[--metric NAME] [--auto-diff [FILE]] "
+                     "[--diff-rows I J] [--heartbeat FILE] "
+                     "[--heartbeat-interval-ms N] [--manifest FILE] "
+                     "[--manifest-dir DIR]\n"
                      "       sweep_runner --sample <spec.json>\n");
         return 2;
     }
@@ -87,6 +107,14 @@ main(int argc, char **argv)
 
     BatchOptions opts;
     opts.threads = static_cast<int>(cli.getInt("threads", 0));
+    opts.telemetry = telemetry::telemetryConfigFromCli(cli);
+    opts.manifestDir = cli.getString("manifest-dir", "");
+    if (!opts.manifestDir.empty()) {
+        int rc = ::mkdir(opts.manifestDir.c_str(), 0777);
+        ASTRA_USER_CHECK(rc == 0 || errno == EEXIST,
+                         "--manifest-dir: cannot create '%s'",
+                         opts.manifestDir.c_str());
+    }
     ResultCache cache;
     std::string cache_path = cli.getString("cache", "");
     if (!cache_path.empty()) {
@@ -104,6 +132,7 @@ main(int argc, char **argv)
                 outcome.failures);
 
     size_t failures = outcome.failures;
+    double batch_wall = outcome.wallSeconds;
     ResultStore store = ResultStore::fromBatch(spec, std::move(outcome));
 
     // Console table: axes + total + the five-way breakdown (ms).
@@ -160,6 +189,37 @@ main(int argc, char **argv)
                 std::printf("wrote %s\n", diff_path.c_str());
             }
         }
+        if (cli.has("diff-rows")) {
+            // Accept "--diff-rows I,J" and "--diff-rows I J" (the
+            // second index arrives as a stray positional).
+            std::string first = cli.getString("diff-rows", "");
+            std::string second;
+            size_t comma = first.find(',');
+            if (comma != std::string::npos) {
+                second = first.substr(comma + 1);
+                first = first.substr(0, comma);
+            } else if (cli.positional().size() == 2) {
+                second = cli.positional()[1];
+            }
+            ASTRA_USER_CHECK(!first.empty() && !second.empty(),
+                             "--diff-rows: expected two row indices "
+                             "(\"I J\" or \"I,J\")");
+            char *end = nullptr;
+            size_t row_a = std::strtoull(first.c_str(), &end, 10);
+            ASTRA_USER_CHECK(end != nullptr && *end == '\0',
+                             "--diff-rows: '%s' is not a row index",
+                             first.c_str());
+            size_t row_b = std::strtoull(second.c_str(), &end, 10);
+            ASTRA_USER_CHECK(end != nullptr && *end == '\0',
+                             "--diff-rows: '%s' is not a row index",
+                             second.c_str());
+            AutoDiffResult ad = autoDiffRows(spec, store, row_a, row_b);
+            std::printf("\nrow diff: #%zu (%s) vs #%zu (%s)\n",
+                        ad.indexMin, ad.labelMin.c_str(), ad.indexMax,
+                        ad.labelMax.c_str());
+            std::fputs(
+                trace::analysis::diffSummary(ad.diff).c_str(), stdout);
+        }
     }
 
     std::string csv_path = cli.getString("csv", "");
@@ -176,6 +236,30 @@ main(int argc, char **argv)
         cache.saveFile(cache_path);
         std::printf("cache: %zu entries saved to %s\n", cache.size(),
                     cache_path.c_str());
+    }
+    std::string manifest_path = cli.getString("manifest", "");
+    if (!manifest_path.empty()) {
+        telemetry::ManifestInfo info;
+        info.kind = "sweep";
+        info.configHash =
+            configHash(json::parseFile(cli.positional()[0]));
+        info.wallSeconds = batch_wall;
+        info.wallBreakdown.emplace_back("batch", batch_wall);
+        info.peakRssBytes = telemetry::peakRssBytes();
+        if (!opts.telemetry.file.empty())
+            info.outputs.push_back(opts.telemetry.file);
+        if (!opts.manifestDir.empty())
+            for (size_t i = 0; i < store.rows(); ++i)
+                if (!store.row(i).manifest.empty())
+                    info.outputs.push_back(store.row(i).manifest);
+        if (!csv_path.empty())
+            info.outputs.push_back(csv_path);
+        if (!json_path.empty())
+            info.outputs.push_back(json_path);
+        if (!cache_path.empty())
+            info.outputs.push_back(cache_path);
+        telemetry::writeManifest(manifest_path, info);
+        std::printf("wrote %s\n", manifest_path.c_str());
     }
     return 0;
 }

@@ -23,6 +23,10 @@
 #    fixed-interval grid, and placement policies under correlated
 #    rack failures: contiguous-oblivious vs avoid_degraded vs spare
 #    restart, docs/fault.md) -> BENCH_resilience.json
+#  - bench_telemetry_overhead (heartbeat monitoring off/on on the
+#    staggered 256-NPU hierarchical all-reduce: bit-identity and the
+#    <5% overhead budget, plus the 4096-NPU memory-accounting scale
+#    point, docs/observability.md) -> BENCH_obs.json
 # Machine-readable results land at the repo root so numbers are
 # comparable across PRs (same machine assumed).
 #
@@ -79,6 +83,7 @@ CLUSTER_OUT="${4:-BENCH_cluster.json}"
 FAULT_OUT="${5:-BENCH_fault.json}"
 TRACE_OUT="${6:-BENCH_trace.json}"
 RESIL_OUT="${7:-BENCH_resilience.json}"
+OBS_OUT="${8:-BENCH_obs.json}"
 
 if [[ "$CHECK" == 1 ]]; then
     CHECK_DIR="$BUILD_DIR/bench-check"
@@ -90,6 +95,7 @@ if [[ "$CHECK" == 1 ]]; then
     COMMITTED_FAULT="$FAULT_OUT"
     COMMITTED_TRACE="$TRACE_OUT"
     COMMITTED_RESIL="$RESIL_OUT"
+    COMMITTED_OBS="$OBS_OUT"
     OUT="$CHECK_DIR/BENCH_eventcore.json"
     SWEEP_OUT="$CHECK_DIR/BENCH_sweep.json"
     FLOW_OUT="$CHECK_DIR/BENCH_flow.json"
@@ -97,6 +103,7 @@ if [[ "$CHECK" == 1 ]]; then
     FAULT_OUT="$CHECK_DIR/BENCH_fault.json"
     TRACE_OUT="$CHECK_DIR/BENCH_trace.json"
     RESIL_OUT="$CHECK_DIR/BENCH_resilience.json"
+    OBS_OUT="$CHECK_DIR/BENCH_obs.json"
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -104,7 +111,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_eventcore bench_speedup bench_sweep_throughput \
                bench_flow_vs_packet bench_cluster_tenancy \
                bench_fault_resilience bench_trace_overhead \
-               bench_resilience_study
+               bench_resilience_study bench_telemetry_overhead
 
 # run_bench BINARY OUT: repeat the bench BENCH_REPEAT times and merge
 # with per-scenario min wall time (see header comment).
@@ -128,6 +135,7 @@ run_bench bench_cluster_tenancy "$CLUSTER_OUT"
 run_bench bench_fault_resilience "$FAULT_OUT"
 run_bench bench_trace_overhead "$TRACE_OUT"
 run_bench bench_resilience_study "$RESIL_OUT"
+run_bench bench_telemetry_overhead "$OBS_OUT"
 
 echo
 # One-shot speedup section only (skip the google-benchmark loops).
@@ -151,9 +159,11 @@ if [[ "$CHECK" == 1 ]]; then
         "$COMMITTED_CLUSTER" "$CLUSTER_OUT" \
         "$COMMITTED_FAULT" "$FAULT_OUT" \
         "$COMMITTED_TRACE" "$TRACE_OUT" \
-        "$COMMITTED_RESIL" "$RESIL_OUT"
+        "$COMMITTED_RESIL" "$RESIL_OUT" \
+        "$COMMITTED_OBS" "$OBS_OUT"
     echo "bench check passed (fresh results in $BUILD_DIR/bench-check)"
 else
     echo "results written to $OUT, $SWEEP_OUT, $FLOW_OUT," \
-         "$CLUSTER_OUT, $FAULT_OUT, $TRACE_OUT, and $RESIL_OUT"
+         "$CLUSTER_OUT, $FAULT_OUT, $TRACE_OUT, $RESIL_OUT," \
+         "and $OBS_OUT"
 fi

@@ -9,9 +9,13 @@ Compares a freshly produced bench JSON against the committed one:
    `avg_component_frac`), the cluster tenancy metrics
    (`interference_slowdown`, `queueing_delay_ns`), and the
    failure-resilience metrics (`lost_work_ns`, `recovery_time_ns`,
-   `num_faults`, `goodput`). Any drift means
+   `num_faults`, `goodput`), and the deterministic memory accounting
+   (`peak_footprint_bytes`, `bytes_per_flow`, `bytes_per_npu`,
+   `telemetry_heartbeats`). Any drift means
    the simulation's behaviour changed without the committed file
    being regenerated.
+ - `peak_rss_bytes` is process-wide allocator/OS truth, so it is
+   gated like a wall time: growth beyond the tolerance fails.
  - Wall-clock metrics (`wall_seconds`, `seconds`) may wobble with the
    machine, but a fresh value more than 25% above the reference is
    a performance regression and fails the check. Sub-millisecond
@@ -47,8 +51,16 @@ EXACT_KEYS = {"sim_time_ns", "events", "solves", "flows_touched_total",
               "queueing_delay_ns", "lost_work_ns", "recovery_time_ns",
               "num_faults", "goodput", "trace_events",
               "availability", "blast_radius", "spare_utilization",
-              "interval_ns", "young_daly_ns"}
-WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds"}
+              "interval_ns", "young_daly_ns",
+              # Memory accounting is capacity-based and deterministic
+              # (docs/observability.md); heartbeat counts are
+              # deterministic under the event cadence the benches use.
+              "peak_footprint_bytes", "bytes_per_flow",
+              "bytes_per_npu", "telemetry_heartbeats"}
+# peak_rss_bytes is allocator/OS truth, not simulation truth: gate it
+# like a wall time (growth beyond tolerance = leak-shaped regression).
+WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds",
+             "peak_rss_bytes"}
 IGNORED_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
                 "speedup_8_over_1", "accuracy_gap", "bucket_width_ns",
                 "hardware_threads", "overhead_frac"}

@@ -26,7 +26,10 @@ means the simulation itself is nondeterministic.
 import json
 import sys
 
-WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds"}
+# peak_rss_bytes rides along: it is process/allocator truth, varies
+# across repeat invocations, and min-merging keeps the leanest run.
+WALL_KEYS = {"wall_seconds", "seconds", "trace_write_seconds",
+             "peak_rss_bytes"}
 RATE_KEYS = {"events_per_sec", "configs_per_sec", "speedup",
              "speedup_8_over_1", "overhead_frac"}
 

@@ -1,0 +1,405 @@
+#!/usr/bin/env python3
+"""Validate telemetry output files (docs/observability.md).
+
+Usage: check_telemetry.py BEATS.ndjson [--min-beats N]
+                          [--require-monotone-progress]
+       check_telemetry.py --sweep BEATS.ndjson [--min-beats N]
+       check_telemetry.py --manifest MANIFEST.json
+       check_telemetry.py --manifest-dir DIR
+       check_telemetry.py --self-test
+
+Heartbeat mode checks the NDJSON invariants the Monitor promises (the
+same ones tests/telemetry asserts from C++), so CI can validate a
+smoke-run artifact without a build tree:
+
+  - every line parses as a JSON object with the full deterministic
+    field set and the wall_-prefixed rates;
+  - seq counts 0,1,2,...; events and sim_time_ns are non-decreasing;
+  - progress stays in [0, 1] and nodes_done <= nodes_total;
+  - footprint_bytes is non-negative and, when the per-subsystem
+    breakdown is present, equals its sum;
+  - per-job entries (cluster runs) carry name/done/total with
+    done <= total.
+
+Aggregate progress is NOT required to be monotone by default: cluster
+runs roll failed jobs back to their checkpoint snapshot, so nodes_done
+can legitimately regress (docs/fault.md). Pass
+--require-monotone-progress for fault-free runs.
+
+--sweep validates batch-level heartbeats from sweep_runner
+--heartbeat instead (rows done/total, cache hits, per-worker
+occupancy).
+
+--manifest / --manifest-dir validate run manifests: the kind tag,
+schema version, 16-hex-digit fingerprint and config hash, and
+non-negative footprint numbers. In a --manifest-dir, each per-row
+manifest's filename hash must match the config_hash inside it.
+
+--self-test exercises the checker's own fail paths on synthetic bad
+inputs and exits 0 only if every one of them is rejected.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+HEARTBEAT_KEYS = ("seq", "sim_time_ns", "events", "queue_depth",
+                  "nodes_done", "nodes_total", "progress", "eta_sim_ns",
+                  "active", "solver_solves", "solver_solves_delta",
+                  "footprint_bytes", "wall_seconds", "wall_sim_ns_per_s",
+                  "wall_events_per_s", "wall_eta_seconds")
+SWEEP_KEYS = ("seq", "rows_done", "rows_total", "cache_hits",
+              "failures", "workers_busy", "worker_busy", "wall_seconds",
+              "wall_rows_per_s", "wall_eta_seconds")
+MANIFEST_KINDS = {"simulator", "cluster", "sweep", "sweep-row"}
+HASH_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def load_lines(path):
+    try:
+        with open(path) as f:
+            raw = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(f"{path}: {e}")
+    beats = []
+    for i, line in enumerate(raw):
+        try:
+            doc = json.loads(line)
+        except ValueError as e:
+            fail(f"{path}:{i + 1}: not valid JSON: {e}")
+        if not isinstance(doc, dict):
+            fail(f"{path}:{i + 1}: line is not a JSON object")
+        beats.append(doc)
+    return beats
+
+
+def check_heartbeats(path, min_beats, require_monotone):
+    beats = load_lines(path)
+    if len(beats) < min_beats:
+        fail(f"{path}: only {len(beats)} heartbeats, "
+             f"expected >= {min_beats}")
+    prev = None
+    for i, b in enumerate(beats):
+        where = f"{path}:{i + 1}"
+        for key in HEARTBEAT_KEYS:
+            if key not in b:
+                fail(f"{where}: missing '{key}'")
+        for key in ("sim_time_ns", "events", "queue_depth",
+                    "nodes_done", "nodes_total", "eta_sim_ns",
+                    "active", "footprint_bytes"):
+            if not is_number(b[key]) or b[key] < 0:
+                fail(f"{where}: bad {key} {b[key]!r}")
+        if b["seq"] != i:
+            fail(f"{where}: seq {b['seq']!r} != line ordinal {i}")
+        if not 0.0 <= b["progress"] <= 1.0:
+            fail(f"{where}: progress {b['progress']!r} outside [0, 1]")
+        if b["nodes_done"] > b["nodes_total"]:
+            fail(f"{where}: nodes_done {b['nodes_done']} > "
+                 f"nodes_total {b['nodes_total']}")
+        if "footprint" in b:
+            fp = b["footprint"]
+            if not isinstance(fp, dict):
+                fail(f"{where}: footprint is not an object")
+            total = sum(v for v in fp.values())
+            if total != b["footprint_bytes"]:
+                fail(f"{where}: footprint_bytes {b['footprint_bytes']} "
+                     f"!= sum of breakdown ({total})")
+        for j, job in enumerate(b.get("jobs", [])):
+            jw = f"{where} jobs[{j}]"
+            for key in ("name", "done", "total"):
+                if key not in job:
+                    fail(f"{jw}: missing '{key}'")
+            if job["done"] > job["total"]:
+                fail(f"{jw}: done {job['done']} > total {job['total']}")
+        if prev is not None:
+            if b["events"] < prev["events"]:
+                fail(f"{where}: events {b['events']} < previous "
+                     f"{prev['events']}")
+            if b["sim_time_ns"] < prev["sim_time_ns"]:
+                fail(f"{where}: sim_time_ns went backwards")
+            if require_monotone and b["progress"] < prev["progress"]:
+                fail(f"{where}: progress {b['progress']} < previous "
+                     f"{prev['progress']} (monotonicity required)")
+        prev = b
+    print(f"check_telemetry: OK: {len(beats)} heartbeats, final "
+          f"progress {beats[-1]['progress']:.3f}, "
+          f"{beats[-1]['events']} events")
+
+
+def check_sweep_beats(path, min_beats):
+    beats = load_lines(path)
+    if len(beats) < min_beats:
+        fail(f"{path}: only {len(beats)} batch heartbeats, "
+             f"expected >= {min_beats}")
+    prev = None
+    for i, b in enumerate(beats):
+        where = f"{path}:{i + 1}"
+        for key in SWEEP_KEYS:
+            if key not in b:
+                fail(f"{where}: missing '{key}'")
+        for key in ("rows_done", "rows_total", "cache_hits",
+                    "failures", "workers_busy"):
+            if not is_number(b[key]) or b[key] < 0:
+                fail(f"{where}: bad {key} {b[key]!r}")
+        if b["seq"] != i:
+            fail(f"{where}: seq {b['seq']!r} != line ordinal {i}")
+        if b["rows_done"] > b["rows_total"]:
+            fail(f"{where}: rows_done {b['rows_done']} > rows_total "
+                 f"{b['rows_total']}")
+        if b["cache_hits"] + b["failures"] > b["rows_done"]:
+            fail(f"{where}: cache_hits + failures exceed rows_done")
+        busy = b["worker_busy"]
+        if not isinstance(busy, list):
+            fail(f"{where}: worker_busy is not an array")
+        if sum(1 for w in busy if w) != b["workers_busy"]:
+            fail(f"{where}: workers_busy {b['workers_busy']} != "
+                 f"busy entries in worker_busy")
+        if prev is not None and b["rows_done"] < prev["rows_done"]:
+            fail(f"{where}: rows_done went backwards")
+        prev = b
+    last = beats[-1]
+    print(f"check_telemetry: OK: {len(beats)} batch heartbeats, "
+          f"{last['rows_done']}/{last['rows_total']} rows, "
+          f"{last['cache_hits']} cache hits")
+
+
+def check_manifest(path, expect_hash=None):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or doc.get("kind") != "astra-run-manifest":
+        fail(f"{path}: top level must be an object tagged "
+             "kind == 'astra-run-manifest'")
+    if doc.get("run_kind") not in MANIFEST_KINDS:
+        fail(f"{path}: unknown run_kind {doc.get('run_kind')!r}")
+    if doc.get("manifest_schema_version") != 1:
+        fail(f"{path}: unsupported manifest_schema_version "
+             f"{doc.get('manifest_schema_version')!r}")
+    if not is_number(doc.get("spec_schema_version")):
+        fail(f"{path}: bad spec_schema_version")
+    if not HASH_RE.match(doc.get("cache_fingerprint", "")):
+        fail(f"{path}: cache_fingerprint is not a 16-hex-digit hash")
+    chash = doc.get("config_hash")
+    if not isinstance(chash, str) or (chash and not HASH_RE.match(chash)):
+        fail(f"{path}: config_hash must be \"\" or 16 hex digits, "
+             f"got {chash!r}")
+    if expect_hash is not None and chash != expect_hash:
+        fail(f"{path}: config_hash {chash!r} does not match the "
+             f"filename hash {expect_hash!r}")
+    for key in ("peak_footprint_bytes", "bytes_per_flow",
+                "bytes_per_npu", "heartbeats", "peak_rss_bytes",
+                "wall_seconds", "npus", "seed"):
+        v = doc.get(key)
+        if not is_number(v) or v < 0:
+            fail(f"{path}: bad {key} {v!r}")
+    fp = doc.get("footprint", {})
+    if not isinstance(fp, dict):
+        fail(f"{path}: footprint is not an object")
+    if fp and sum(fp.values()) != doc["peak_footprint_bytes"]:
+        fail(f"{path}: peak_footprint_bytes != sum of footprint "
+             "breakdown")
+    outputs = doc.get("outputs")
+    if not isinstance(outputs, list) or \
+            any(not isinstance(o, str) for o in outputs):
+        fail(f"{path}: outputs must be an array of paths")
+    return doc
+
+
+def check_manifest_dir(dirpath):
+    names = sorted(n for n in os.listdir(dirpath)
+                   if n.startswith("manifest-") and n.endswith(".json"))
+    if not names:
+        fail(f"{dirpath}: no manifest-*.json files")
+    for name in names:
+        stem = name[len("manifest-"):-len(".json")]
+        if not HASH_RE.match(stem):
+            fail(f"{dirpath}/{name}: filename hash is not 16 hex digits")
+        doc = check_manifest(os.path.join(dirpath, name),
+                             expect_hash=stem)
+        if doc["run_kind"] != "sweep-row":
+            fail(f"{dirpath}/{name}: run_kind {doc['run_kind']!r}, "
+                 "expected 'sweep-row'")
+    print(f"check_telemetry: OK: {len(names)} row manifests in "
+          f"{dirpath}")
+
+
+def self_test():
+    """Feed the checker synthetic violations; every one must be
+    rejected (exercised via subprocess so fail()'s sys.exit is real)."""
+    import subprocess
+    import tempfile
+
+    beat = {k: 0 for k in HEARTBEAT_KEYS}
+    beat["progress"] = 0.0
+    manifest = {
+        "kind": "astra-run-manifest", "run_kind": "simulator",
+        "manifest_schema_version": 1, "spec_schema_version": 5,
+        "cache_fingerprint": "0123456789abcdef", "config_hash": "",
+        "backend": "analytical", "topology": "Ring(4,100,500)",
+        "npus": 4, "seed": 0, "peak_footprint_bytes": 8,
+        "footprint": {"event_queue": 8}, "bytes_per_flow": 0,
+        "bytes_per_npu": 2, "heartbeats": 0, "peak_rss_bytes": 0,
+        "wall_seconds": 0.1, "outputs": [],
+    }
+
+    def run(args, files):
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for name, content in files:
+                p = os.path.join(tmp, name)
+                os.makedirs(os.path.dirname(p), exist_ok=True)
+                with open(p, "w") as f:
+                    f.write(content)
+                paths.append(p)
+            argv = [sys.executable, os.path.abspath(__file__)]
+            argv += [a.format(*paths) for a in args]
+            return subprocess.run(argv, capture_output=True,
+                                  text=True).returncode
+
+    def beats_text(*edits):
+        lines = []
+        for i, edit in enumerate(edits):
+            b = dict(beat)
+            b["seq"] = i
+            b.update(edit)
+            lines.append(json.dumps(b))
+        return "\n".join(lines) + "\n"
+
+    good = beats_text({}, {"events": 5, "progress": 1.0})
+    cases = [
+        # (name, args, files, expect_failure)
+        ("valid beats pass", ["{0}"],
+         [("b.ndjson", good)], False),
+        ("garbage line", ["{0}"],
+         [("b.ndjson", "{not json\n")], True),
+        ("missing field", ["{0}"],
+         [("b.ndjson", '{"seq": 0}\n')], True),
+        ("seq gap", ["{0}"],
+         [("b.ndjson", beats_text({}, {"seq": 5}))], True),
+        ("events regress", ["{0}"],
+         [("b.ndjson", beats_text({"events": 9}, {"events": 3}))],
+         True),
+        ("progress out of range", ["{0}"],
+         [("b.ndjson", beats_text({"progress": 1.5}))], True),
+        ("footprint sum mismatch", ["{0}"],
+         [("b.ndjson", beats_text(
+             {"footprint_bytes": 10, "footprint": {"x": 3}}))], True),
+        ("progress regress tolerated by default", ["{0}"],
+         [("b.ndjson", beats_text({"progress": 0.5},
+                                  {"progress": 0.25}))], False),
+        ("progress regress rejected when required",
+         ["{0}", "--require-monotone-progress"],
+         [("b.ndjson", beats_text({"progress": 0.5},
+                                  {"progress": 0.25}))], True),
+        ("min-beats unmet", ["{0}", "--min-beats", "3"],
+         [("b.ndjson", good)], True),
+        ("valid manifest passes", ["--manifest", "{0}"],
+         [("m.json", json.dumps(manifest))], False),
+        ("manifest wrong kind", ["--manifest", "{0}"],
+         [("m.json", json.dumps({**manifest, "kind": "nope"}))], True),
+        ("manifest bad fingerprint", ["--manifest", "{0}"],
+         [("m.json", json.dumps(
+             {**manifest, "cache_fingerprint": "xyz"}))], True),
+        ("manifest footprint mismatch", ["--manifest", "{0}"],
+         [("m.json", json.dumps(
+             {**manifest, "peak_footprint_bytes": 99}))], True),
+        ("manifest-dir hash mismatch", ["--manifest-dir", "{0}"],
+         [("d/manifest-0123456789abcdef.json", json.dumps(
+             {**manifest, "run_kind": "sweep-row",
+              "config_hash": "fedcba9876543210"}))], True),
+        ("sweep beats wrong shape", ["--sweep", "{0}"],
+         [("b.ndjson", good)], True),
+        ("sweep beats busy mismatch", ["--sweep", "{0}"],
+         [("b.ndjson", json.dumps(
+             {"seq": 0, "rows_done": 1, "rows_total": 4,
+              "cache_hits": 0, "failures": 0, "workers_busy": 2,
+              "worker_busy": [1, 0], "wall_seconds": 0.1,
+              "wall_rows_per_s": 10, "wall_eta_seconds": 0.3}) + "\n")],
+         True),
+    ]
+    # The manifest-dir self-test file trick: args use "{0}" for the
+    # first file's path; for the dir case we need its directory.
+    failures = 0
+    for name, args, files, expect_fail in cases:
+        if args[0] == "--manifest-dir":
+            # Point at the directory containing the written file.
+            with tempfile.TemporaryDirectory() as tmp:
+                p = os.path.join(tmp, files[0][0])
+                os.makedirs(os.path.dirname(p), exist_ok=True)
+                with open(p, "w") as f:
+                    f.write(files[0][1])
+                import subprocess as sp
+                rc = sp.run([sys.executable, os.path.abspath(__file__),
+                             "--manifest-dir", os.path.dirname(p)],
+                            capture_output=True, text=True).returncode
+        else:
+            rc = run(args, files)
+        ok = (rc != 0) == expect_fail
+        print(f"  self-test: {name}: "
+              f"{'ok' if ok else 'UNEXPECTED rc=' + str(rc)}")
+        failures += 0 if ok else 1
+    if failures:
+        fail(f"self-test: {failures} case(s) misbehaved")
+    print("check_telemetry: OK: self-test passed "
+          f"({len(cases)} cases)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("beats", nargs="?",
+                    help="heartbeat NDJSON file to validate")
+    ap.add_argument("--min-beats", type=int, default=1,
+                    help="require at least this many beats (default 1)")
+    ap.add_argument("--require-monotone-progress", action="store_true",
+                    help="reject progress regressions (fault-free "
+                         "runs only; failures roll progress back)")
+    ap.add_argument("--sweep", action="store_true",
+                    help="validate batch-level sweep heartbeats")
+    ap.add_argument("--manifest", metavar="FILE",
+                    help="validate a run manifest")
+    ap.add_argument("--manifest-dir", metavar="DIR",
+                    help="validate a directory of per-row manifests")
+    ap.add_argument("--self-test", action="store_true",
+                    help="exercise the checker's own fail paths")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    did = False
+    if args.manifest:
+        check_manifest(args.manifest)
+        print(f"check_telemetry: OK: manifest {args.manifest}")
+        did = True
+    if args.manifest_dir:
+        check_manifest_dir(args.manifest_dir)
+        did = True
+    if args.beats:
+        if args.sweep:
+            check_sweep_beats(args.beats, args.min_beats)
+        else:
+            check_heartbeats(args.beats, args.min_beats,
+                             args.require_monotone_progress)
+        did = True
+    if not did:
+        fail("nothing to check (pass a beats file, --manifest, "
+             "--manifest-dir, or --self-test)")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,6 +85,14 @@ Report::summary() const
                       lostWorkNs / kMs, recoveryTimeNs / kMs, goodput);
         out += buf;
     }
+    if (peakFootprintBytes > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "footprint: %.2f MiB  bytes/flow: %.0f  "
+                      "bytes/NPU: %.0f\n",
+                      double(peakFootprintBytes) / (1024.0 * 1024.0),
+                      bytesPerFlow, bytesPerNpu);
+        out += buf;
+    }
     if (availability > 0.0 || blastRadius > 0.0) {
         std::snprintf(buf, sizeof(buf),
                       "availability: %.3f  blast radius: %.2f  "
@@ -175,6 +183,27 @@ reportToJson(const Report &report)
     }
     if (report.spareUtilization > 0.0)
         doc["spare_utilization"] = json::Value(report.spareUtilization);
+    // Footprint rollup (telemetry protocol): capacity-based, hence a
+    // deterministic function of the configuration, and serialized
+    // unconditionally — bytes/flow and bytes/NPU are first-class
+    // metrics. Adding these keys intentionally orphans pre-telemetry
+    // sweep caches via the automatic fingerprint. Peak RSS is
+    // process-wide host state and is excluded like wallSeconds.
+    doc["peak_footprint_bytes"] =
+        json::Value(static_cast<uint64_t>(report.peakFootprintBytes));
+    json::Object footprint;
+    for (const auto &[name, bytes] : report.footprintBySubsystem)
+        footprint[name] = json::Value(static_cast<uint64_t>(bytes));
+    doc["footprint"] = json::Value(std::move(footprint));
+    doc["bytes_per_flow"] = json::Value(report.bytesPerFlow);
+    doc["bytes_per_npu"] = json::Value(report.bytesPerNpu);
+    // Heartbeat count is deterministic only under a pure event-count
+    // cadence (the Monitor leaves it 0 otherwise), so nonzero values
+    // are safe to serialize and wall-cadence runs stay bit-identical
+    // to telemetry-off runs.
+    if (report.telemetryHeartbeats > 0)
+        doc["telemetry_heartbeats"] =
+            json::Value(report.telemetryHeartbeats);
     // Trace self-profiling is serialized only when present so the
     // default (untraced) report JSON — and with it the sweep cache
     // fingerprint — is unchanged. Wall-clock attribution is excluded
@@ -255,6 +284,17 @@ reportFromJson(const json::Value &doc)
     report.recoveryP50Ns = doc.getNumber("recovery_p50_ns", 0.0);
     report.recoveryP95Ns = doc.getNumber("recovery_p95_ns", 0.0);
     report.spareUtilization = doc.getNumber("spare_utilization", 0.0);
+    report.peakFootprintBytes = static_cast<size_t>(
+        doc.getNumber("peak_footprint_bytes", 0.0));
+    if (doc.has("footprint")) {
+        for (const auto &[name, v] : doc.at("footprint").asObject())
+            report.footprintBySubsystem.emplace_back(
+                name, static_cast<size_t>(v.asNumber()));
+    }
+    report.bytesPerFlow = doc.getNumber("bytes_per_flow", 0.0);
+    report.bytesPerNpu = doc.getNumber("bytes_per_npu", 0.0);
+    report.telemetryHeartbeats =
+        static_cast<uint64_t>(doc.getInt("telemetry_heartbeats", 0));
     if (doc.has("trace_counters")) {
         for (const auto &[key, v] :
              doc.at("trace_counters").asObject())

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -75,6 +76,28 @@ struct Report
     TimeNs recoveryP95Ns = 0.0;
     double spareUtilization = 0.0;
     double wallSeconds = 0.0;     //!< host wall-clock of the run.
+    /**
+     * Memory-accounting rollup (src/telemetry/, docs/observability.md):
+     * heap bytes held by the simulator's own subsystems, sampled via
+     * the bytesInUse() footprint protocol at the end of the run (when
+     * pool high-water capacities are final). Capacity-based, so a
+     * deterministic function of the configuration — serialized
+     * unconditionally, which makes bytes/flow and bytes/NPU
+     * first-class sweep metrics. `bytesPerFlow` divides the network
+     * backend's footprint by its in-flight-unit pool size (0 for the
+     * analytical backend, which keeps no per-message state);
+     * `bytesPerNpu` divides the total footprint by the NPU count.
+     * `telemetryHeartbeats` counts heartbeat records emitted —
+     * deterministic (and serialized) only under a pure event-count
+     * cadence, 0 otherwise. `peakRssBytes` (VmHWM) is process-wide
+     * and nondeterministic: like wallSeconds it is NEVER serialized.
+     */
+    size_t peakFootprintBytes = 0;
+    std::vector<std::pair<std::string, size_t>> footprintBySubsystem;
+    double bytesPerFlow = 0.0;
+    double bytesPerNpu = 0.0;
+    uint64_t telemetryHeartbeats = 0;
+    size_t peakRssBytes = 0;
     /**
      * Self-profiling counters (src/trace/, docs/trace.md), filled
      * only when tracing is enabled. `traceCounters` (scalars) and

@@ -5,6 +5,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "fault/injector.h"
+#include "network/flow/flow_network.h"
 #include "trace/analysis/analysis.h"
 #include "workload/engine.h"
 
@@ -66,6 +67,30 @@ Simulator::run(const Workload &wl)
         profile_.timeCallbacks = tracer_->full();
         eq_.setProfile(&profile_);
     }
+    if (cfg_.telemetry.heartbeatsEnabled()) {
+        // Heartbeat monitor (docs/observability.md): attached to the
+        // event queue, purely observational. Providers read live
+        // subsystem state; the engine reference is only sampled while
+        // run() executes (finish() below detaches the monitor).
+        monitor_ = std::make_unique<telemetry::Monitor>(cfg_.telemetry);
+        monitor_->setProgress([&engine] {
+            return telemetry::Progress{engine.completedNodes(),
+                                       engine.totalNodes()};
+        });
+        monitor_->setActive([this] { return net_->activeCount(); });
+        if (auto *flow = dynamic_cast<FlowNetwork *>(net_.get()))
+            monitor_->setSolves([flow] { return flow->solveCount(); });
+        monitor_->addFootprint("event_queue",
+                               [this] { return eq_.bytesInUse(); });
+        monitor_->addFootprint("network",
+                               [this] { return net_->bytesInUse(); });
+        monitor_->addFootprint("collectives",
+                               [this] { return coll_->bytesInUse(); });
+        if (tracer_)
+            monitor_->addFootprint(
+                "tracer", [this] { return tracer_->bytesInUse(); });
+        eq_.setMonitor(monitor_.get());
+    }
     // With faults active, the queue can outlive the workload (a fault
     // timeline's tail event may fire after the last node), so the
     // finish time is captured at the last completion rather than read
@@ -90,6 +115,10 @@ Simulator::run(const Workload &wl)
     }
     engine.run();
     TimeNs finish = faulted ? finish_at : eq_.now();
+    if (monitor_) {
+        monitor_->finish(eq_.now(), eq_.executedEvents(), eq_.pending());
+        eq_.setMonitor(nullptr);
+    }
     auto host_end = std::chrono::steady_clock::now();
 
     Report report;
@@ -158,6 +187,55 @@ Simulator::run(const Workload &wl)
         report.traceCounters = c.values;
         report.traceHistograms = c.histograms;
         report.traceWallSeconds = c.wallSeconds;
+    }
+    // Footprint rollup (telemetry protocol, docs/observability.md):
+    // always measured — one deterministic capacity-based pass over
+    // the subsystems at run end, when pool high-water marks are
+    // final. Peak RSS is host state (never serialized).
+    report.footprintBySubsystem.emplace_back("event_queue",
+                                             eq_.bytesInUse());
+    report.footprintBySubsystem.emplace_back("network",
+                                             net_->bytesInUse());
+    report.footprintBySubsystem.emplace_back("collectives",
+                                             coll_->bytesInUse());
+    if (tracer_)
+        report.footprintBySubsystem.emplace_back(
+            "tracer", tracer_->bytesInUse());
+    for (const auto &[name, bytes] : report.footprintBySubsystem) {
+        (void)name;
+        report.peakFootprintBytes += bytes;
+    }
+    size_t flow_slots = net_->flowSlots();
+    if (flow_slots > 0)
+        report.bytesPerFlow =
+            double(net_->bytesInUse()) / double(flow_slots);
+    report.bytesPerNpu =
+        double(report.peakFootprintBytes) / double(topo_.npus());
+    // The beat count is only serialized under a deterministic (pure
+    // event-count) cadence; see Report::telemetryHeartbeats.
+    if (monitor_ && monitor_->deterministicCadence())
+        report.telemetryHeartbeats = monitor_->heartbeatCount();
+    report.peakRssBytes = telemetry::peakRssBytes();
+
+    if (!cfg_.telemetry.manifest.empty()) {
+        telemetry::ManifestInfo info;
+        info.kind = "simulator";
+        info.configHash = cfg_.telemetry.configHash;
+        info.backend = backendName(cfg_.backend);
+        info.topology = telemetry::topologyNotation(topo_);
+        info.npus = topo_.npus();
+        info.seed = cfg_.fault ? cfg_.fault->seed : 0;
+        telemetry::fillManifestFromReport(info, report);
+        info.wallBreakdown.emplace_back("run", report.wallSeconds);
+        if (!cfg_.telemetry.file.empty())
+            info.outputs.push_back(cfg_.telemetry.file);
+        if (!cfg_.trace.file.empty())
+            info.outputs.push_back(cfg_.trace.file);
+        if (!cfg_.trace.utilizationFile.empty())
+            info.outputs.push_back(cfg_.trace.utilizationFile);
+        if (!cfg_.trace.analysisFile.empty())
+            info.outputs.push_back(cfg_.trace.analysisFile);
+        telemetry::writeManifest(cfg_.telemetry.manifest, info);
     }
     return report;
 }

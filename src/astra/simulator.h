@@ -21,6 +21,7 @@
 #include "memory/memory_model.h"
 #include "network/network_api.h"
 #include "system/sys.h"
+#include "telemetry/telemetry.h"
 #include "topology/topology.h"
 #include "trace/tracer.h"
 #include "workload/et.h"
@@ -52,6 +53,14 @@ struct SimulatorConfig
      * when `file` is set) and fill the report's trace counters.
      */
     trace::TraceConfig trace;
+    /**
+     * Host-process telemetry (docs/observability.md): heartbeat
+     * monitoring and run-manifest output. The default (all off)
+     * leaves every code path bit-identical to a build without
+     * telemetry; the footprint rollup in the Report is always
+     * measured (it is deterministic and costs one pass at run end).
+     */
+    telemetry::TelemetryConfig telemetry;
 };
 
 /** See file comment. */
@@ -80,6 +89,11 @@ class Simulator
      *  so tests can inspect the recorded timeline in memory. */
     trace::Tracer *tracer() { return tracer_.get(); }
 
+    /** The run's heartbeat monitor (null unless cfg.telemetry enabled
+     *  heartbeats); exposed so tests can inspect the in-memory
+     *  records. Valid after run() returns. */
+    telemetry::Monitor *monitor() { return monitor_.get(); }
+
   private:
     Topology topo_;
     SimulatorConfig cfg_;
@@ -90,6 +104,7 @@ class Simulator
     std::vector<std::unique_ptr<Sys>> sys_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<telemetry::Monitor> monitor_;
     QueueProfile profile_; //!< attached to eq_ while tracing.
     bool ran_ = false;
 };

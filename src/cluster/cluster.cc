@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "network/flow/flow_network.h"
 #include "sweep/spec.h"
 
 namespace astra {
@@ -991,6 +992,62 @@ ClusterSimulator::run()
         eq_.setProfile(&profile_);
     }
 
+    double host_start = telemetry::wallNow();
+    if (cfg_.telemetry.heartbeatsEnabled()) {
+        // Cluster heartbeats (docs/observability.md): progress
+        // aggregates workload nodes across every registered job, and
+        // each beat additionally carries per-job entries. Note the
+        // aggregate can regress — admissions are known up front here,
+        // but a failure rolls a job's completed count back to its
+        // checkpoint snapshot.
+        monitor_ = std::make_unique<telemetry::Monitor>(cfg_.telemetry);
+        auto job_done = [](const JobRuntime &job) -> size_t {
+            if (job.done)
+                return job.wl.totalNodes();
+            if (job.stack && job.stack->engine)
+                return job.stack->engine->completedNodes();
+            return 0;
+        };
+        monitor_->setProgress([this, job_done] {
+            telemetry::Progress p;
+            for (const auto &job : jobs_) {
+                p.done += job_done(*job);
+                p.total += job->wl.totalNodes();
+            }
+            return p;
+        });
+        monitor_->setJobs([this, job_done] {
+            std::vector<telemetry::JobProgress> out;
+            out.reserve(jobs_.size());
+            for (const auto &job : jobs_)
+                out.push_back({job->spec.name, job_done(*job),
+                               job->wl.totalNodes()});
+            return out;
+        });
+        monitor_->setActive([this] { return net_->activeCount(); });
+        if (auto *flow = dynamic_cast<FlowNetwork *>(net_.get()))
+            monitor_->setSolves([flow] { return flow->solveCount(); });
+        monitor_->addFootprint("event_queue",
+                               [this] { return eq_.bytesInUse(); });
+        monitor_->addFootprint("network",
+                               [this] { return net_->bytesInUse(); });
+        monitor_->addFootprint("collectives", [this] {
+            size_t bytes = 0;
+            for (const auto &job : jobs_) {
+                if (job->stack && job->stack->coll)
+                    bytes += job->stack->coll->bytesInUse();
+                for (const auto &ghost : job->graveyard)
+                    if (ghost->coll)
+                        bytes += ghost->coll->bytesInUse();
+            }
+            return bytes;
+        });
+        if (tracer_)
+            monitor_->addFootprint(
+                "tracer", [this] { return tracer_->bytesInUse(); });
+        eq_.setMonitor(monitor_.get());
+    }
+
     faultActive_ = cfg_.fault && !cfg_.fault->empty();
     bool timed_tail = faultActive_;
     for (const auto &job : jobs_)
@@ -1133,6 +1190,12 @@ ClusterSimulator::run()
         eq_.run();
     }
 
+    if (monitor_) {
+        monitor_->finish(eq_.now(), eq_.executedEvents(),
+                         eq_.pending());
+        eq_.setMonitor(nullptr);
+    }
+
     ClusterReport report;
     // With fault events or checkpoint timers in flight, the drained
     // queue's clock can sit on a stale no-op tail event past the
@@ -1270,6 +1333,60 @@ ClusterSimulator::run()
         agg.traceCounters = c.values;
         agg.traceHistograms = c.histograms;
         agg.traceWallSeconds = c.wallSeconds;
+    }
+    // Footprint rollup (telemetry protocol, docs/observability.md):
+    // always measured, deterministic, capacity-based. Collective
+    // bytes sum the live stacks and the graveyard — abandoned
+    // incarnations are real held memory until the simulator dies.
+    size_t coll_bytes = 0;
+    for (const auto &job : jobs_) {
+        if (job->stack && job->stack->coll)
+            coll_bytes += job->stack->coll->bytesInUse();
+        for (const auto &ghost : job->graveyard)
+            if (ghost->coll)
+                coll_bytes += ghost->coll->bytesInUse();
+    }
+    agg.footprintBySubsystem.emplace_back("event_queue",
+                                          eq_.bytesInUse());
+    agg.footprintBySubsystem.emplace_back("network", net_->bytesInUse());
+    agg.footprintBySubsystem.emplace_back("collectives", coll_bytes);
+    if (tracer_)
+        agg.footprintBySubsystem.emplace_back("tracer",
+                                              tracer_->bytesInUse());
+    for (const auto &[name, bytes] : agg.footprintBySubsystem) {
+        (void)name;
+        agg.peakFootprintBytes += bytes;
+    }
+    size_t flow_slots = net_->flowSlots();
+    if (flow_slots > 0)
+        agg.bytesPerFlow =
+            double(net_->bytesInUse()) / double(flow_slots);
+    agg.bytesPerNpu =
+        double(agg.peakFootprintBytes) / double(topo_.npus());
+    if (monitor_ && monitor_->deterministicCadence())
+        agg.telemetryHeartbeats = monitor_->heartbeatCount();
+    agg.peakRssBytes = telemetry::peakRssBytes();
+    agg.wallSeconds = telemetry::wallNow() - host_start;
+
+    if (!cfg_.telemetry.manifest.empty()) {
+        telemetry::ManifestInfo info;
+        info.kind = "cluster";
+        info.configHash = cfg_.telemetry.configHash;
+        info.backend = backendName(cfg_.backend);
+        info.topology = telemetry::topologyNotation(topo_);
+        info.npus = topo_.npus();
+        info.seed = cfg_.fault ? cfg_.fault->seed : 0;
+        telemetry::fillManifestFromReport(info, agg);
+        info.wallBreakdown.emplace_back("run", agg.wallSeconds);
+        if (!cfg_.telemetry.file.empty())
+            info.outputs.push_back(cfg_.telemetry.file);
+        if (!cfg_.trace.file.empty())
+            info.outputs.push_back(cfg_.trace.file);
+        if (!cfg_.trace.utilizationFile.empty())
+            info.outputs.push_back(cfg_.trace.utilizationFile);
+        if (!cfg_.trace.analysisFile.empty())
+            info.outputs.push_back(cfg_.trace.analysisFile);
+        telemetry::writeManifest(cfg_.telemetry.manifest, info);
     }
     return report;
 }

@@ -92,6 +92,13 @@ struct ClusterConfig
      * fail/restart/done). Isolated-baseline re-runs are never traced.
      */
     trace::TraceConfig trace;
+    /**
+     * Host-process telemetry (docs/observability.md): cluster
+     * heartbeats additionally carry per-job progress entries, and
+     * cluster-level progress aggregates workload nodes across every
+     * registered job. Defaults all off (bit-identical).
+     */
+    telemetry::TelemetryConfig telemetry;
 };
 
 /** One job to run on the cluster. */
@@ -257,6 +264,10 @@ class ClusterSimulator
      *  exposed so tests can inspect the timeline in memory. */
     trace::Tracer *tracer() { return tracer_.get(); }
 
+    /** The run's heartbeat monitor (null unless cfg.telemetry enabled
+     *  heartbeats); valid after run() returns. */
+    telemetry::Monitor *monitor() { return monitor_.get(); }
+
   private:
     struct JobRuntime;
     struct JobStack;
@@ -314,6 +325,7 @@ class ClusterSimulator
     std::vector<size_t> pending_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<telemetry::Monitor> monitor_;
     QueueProfile profile_; //!< attached to eq_ while tracing.
     /** Last compute-scale fault applied per cluster NPU (stragglers
      *  outlive job turnover: new tenants inherit the slow NPU). */

@@ -120,7 +120,7 @@ scenarioFromJson(const json::Value &doc)
                      "not a cluster configuration (missing 'cluster')");
     checkKeys(doc, "config",
               {"topology", "backend", "system", "cluster", "fault",
-               "trace"});
+               "trace", "telemetry"});
     ASTRA_USER_CHECK(doc.has("topology"),
                      "cluster config: missing 'topology'");
 
@@ -141,6 +141,12 @@ scenarioFromJson(const json::Value &doc)
     if (doc.has("trace"))
         scenario.cfg.trace =
             trace::traceConfigFromJson(doc.at("trace"), "trace");
+    if (doc.has("telemetry"))
+        scenario.cfg.telemetry = telemetry::telemetryConfigFromJson(
+            doc.at("telemetry"), "telemetry");
+    // Stamped even when the block is absent: CLI-layered telemetry
+    // (--manifest on cluster_runner) still gets run provenance.
+    scenario.cfg.telemetry.configHash = sweep::configHash(doc);
     if (c.has("checkpoint"))
         scenario.cfg.defaultCheckpoint = fault::checkpointFromJson(
             c.at("checkpoint"), "cluster.checkpoint");

@@ -69,6 +69,39 @@ CollectiveEngine::releaseInstance(Instance &inst)
     instances_.release(id);
 }
 
+size_t
+CollectiveEngine::bytesInUse() const
+{
+    constexpr size_t kHashNode = sizeof(void *);
+    size_t bytes = instances_.bytesInUse() +
+                   sent_.capacity() * sizeof(double) +
+                   kickScratch_.capacity() * sizeof(int);
+    bytes += rendezvous_.bucket_count() * sizeof(void *) +
+             rendezvous_.size() *
+                 (sizeof(RendezvousKey) + sizeof(uint64_t) + kHashNode);
+    // Nested per-instance vectors survive recycling (releaseInstance
+    // clears, never shrinks), so walk every slot — live or free.
+    for (uint32_t s = 0; s < instances_.slots(); ++s) {
+        const Instance &inst = instances_.at(s);
+        bytes += inst.groups.capacity() * sizeof(GroupDim) +
+                 inst.npuOfRank.capacity() * sizeof(NpuId) +
+                 inst.chunkPhases.capacity() * sizeof(std::vector<Phase>) +
+                 inst.chunkPhaseMult.capacity() *
+                     sizeof(std::vector<int>) +
+                 inst.members.capacity() * sizeof(MemberState);
+        for (const std::vector<Phase> &phases : inst.chunkPhases)
+            bytes += phases.capacity() * sizeof(Phase);
+        for (const std::vector<int> &mult : inst.chunkPhaseMult)
+            bytes += mult.capacity() * sizeof(int);
+        for (const MemberState &m : inst.members) {
+            bytes += m.chunks.capacity() * sizeof(ChunkState);
+            for (const ChunkState &c : m.chunks)
+                bytes += c.early.capacity() * sizeof(int);
+        }
+    }
+    return bytes;
+}
+
 void
 CollectiveEngine::join(uint64_t key, NpuId npu, const CollectiveRequest &req,
                        EventCallback on_complete)

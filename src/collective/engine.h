@@ -88,6 +88,16 @@ class CollectiveEngine
     size_t instanceSlots() const { return instances_.slots(); }
 
     /**
+     * Heap bytes held by the engine's own state (telemetry footprint
+     * protocol, docs/observability.md): the instance pool including
+     * the nested per-instance vectors recycled slots keep warm (their
+     * capacities are a deterministic function of the traffic), the
+     * rendezvous table, and the scratch arrays. Excludes the network
+     * backend, which reports itself.
+     */
+    size_t bytesInUse() const;
+
+    /**
      * Attach the tracing sink (docs/trace.md): each instance becomes
      * an open span on its pool slot's track (tid = kCollTidBase +
      * slot, so concurrently live instances never share a track) under

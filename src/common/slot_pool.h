@@ -160,6 +160,21 @@ class SlotPool
         return live_;
     }
 
+    /**
+     * Heap bytes held by the pool's own containers (telemetry
+     * footprint protocol, docs/observability.md). Shallow: counts the
+     * slot storage itself (capacity-based, so deterministic), not
+     * heap owned by member fields of T — owners that care add those
+     * separately.
+     */
+    size_t
+    bytesInUse() const
+    {
+        return values_.capacity() * sizeof(T) +
+               gens_.capacity() * sizeof(uint32_t) +
+               free_.capacity() * sizeof(uint32_t);
+    }
+
   private:
     std::vector<T> values_;       //!< slot-indexed, recycled in place.
     std::vector<uint32_t> gens_;  //!< per-slot generation (odd = live).

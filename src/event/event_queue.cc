@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace astra {
 
@@ -258,6 +259,8 @@ EventQueue::step()
     InlineEvent cb = popNext();
     --pending_;
     ++executed_;
+    if (monitor_ != nullptr && --monitorCountdown_ == 0)
+        monitorCountdown_ = monitor_->poll(now_, executed_, pending_);
     if (prof_) {
         profiledDispatch(std::move(cb));
         return true;
@@ -288,6 +291,23 @@ EventQueue::profiledDispatch(InlineEvent cb)
         return;
     }
     cb();
+}
+
+void
+EventQueue::setMonitor(telemetry::Monitor *monitor)
+{
+    monitor_ = monitor;
+    monitorCountdown_ = monitor ? monitor->initialCountdown() : 0;
+}
+
+size_t
+EventQueue::bytesInUse() const
+{
+    size_t bytes = nowFifo_.capacity() * sizeof(InlineEvent) +
+                   overflow_.capacity() * sizeof(Entry);
+    for (const std::vector<Entry> &bucket : buckets_)
+        bytes += bucket.capacity() * sizeof(Entry);
+    return bytes;
 }
 
 void

@@ -43,6 +43,8 @@
 
 namespace astra {
 
+namespace telemetry { class Monitor; }
+
 /** Callback executed when an event fires. */
 using EventCallback = InlineEvent;
 
@@ -199,6 +201,24 @@ class EventQueue
      *  it observes. Purely observational — see QueueProfile. */
     void setProfile(QueueProfile *profile) { prof_ = profile; }
 
+    /**
+     * Attach (or detach, with nullptr) a telemetry heartbeat monitor
+     * (docs/observability.md). The dispatch loop decrements a
+     * countdown per executed event and calls Monitor::poll() when it
+     * hits zero, re-arming with the returned value — so the detached
+     * cost is one null check and the attached cost one decrement.
+     * Purely observational: polling never schedules events or alters
+     * dispatch order.
+     */
+    void setMonitor(telemetry::Monitor *monitor);
+
+    /**
+     * Heap bytes held by the queue's containers (telemetry footprint
+     * protocol, docs/observability.md): capacity-based, so it is a
+     * deterministic function of the event sequence, not of malloc.
+     */
+    size_t bytesInUse() const;
+
   private:
     EventQueue(TimeNs bucket_width, bool adaptive);
 
@@ -284,6 +304,11 @@ class EventQueue
     TimeNs lastTimedWhen_ = 0.0;
 
     QueueProfile *prof_ = nullptr;
+
+    // Telemetry heartbeat hook (null = detached). The countdown is
+    // decremented per executed event only while monitor_ is set.
+    telemetry::Monitor *monitor_ = nullptr;
+    uint64_t monitorCountdown_ = 0;
 };
 
 } // namespace astra

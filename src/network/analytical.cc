@@ -46,6 +46,23 @@ AnalyticalNetwork::txFreeAt(NpuId npu, int dim) const
                    static_cast<size_t>(dim)];
 }
 
+size_t
+AnalyticalNetwork::bytesInUse() const
+{
+    constexpr size_t kNodeOverhead = 4 * sizeof(void *);
+    size_t bytes = NetworkApi::bytesInUse() +
+                   txFree_.capacity() * sizeof(TimeNs) +
+                   txBusy_.capacity() * sizeof(TimeNs) +
+                   txScale_.capacity() * sizeof(double) +
+                   txUp_.capacity() * sizeof(uint8_t);
+    for (const auto &[port, lot] : parked_) {
+        (void)port;
+        bytes += sizeof(size_t) + kNodeOverhead +
+                 lot.capacity() * sizeof(ParkedSend);
+    }
+    return bytes;
+}
+
 AnalyticalNetwork::Route
 AnalyticalNetwork::resolve(NpuId src, NpuId dst, int dim) const
 {

@@ -62,6 +62,10 @@ class AnalyticalNetwork : public NetworkApi
     /** The time at which (npu, dim)'s transmit port frees up. */
     TimeNs txFreeAt(NpuId npu, int dim) const;
 
+    /** Adds the per-port arrays and parked-send lots to the base
+     *  accounting (telemetry footprint protocol). */
+    size_t bytesInUse() const override;
+
   private:
     struct Route
     {

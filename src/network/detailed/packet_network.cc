@@ -179,6 +179,23 @@ PacketNetwork::packetArrived(uint64_t msg_id)
     deliver(src, dst, tag, std::move(on_delivered));
 }
 
+size_t
+PacketNetwork::bytesInUse() const
+{
+    constexpr size_t kNodeOverhead = 4 * sizeof(void *);
+    size_t bytes = NetworkApi::bytesInUse() + graph_.bytesInUse() +
+                   messages_.bytesInUse() +
+                   ports_.capacity() * sizeof(PortState) +
+                   portScale_.capacity() * sizeof(double) +
+                   portUp_.capacity() * sizeof(uint8_t);
+    for (const auto &[link, lot] : parked_) {
+        (void)link;
+        bytes += sizeof(LinkId) + kNodeOverhead +
+                 lot.capacity() * sizeof(ParkedPacket);
+    }
+    return bytes;
+}
+
 void
 PacketNetwork::setTracer(trace::Tracer *tracer)
 {

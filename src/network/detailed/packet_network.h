@@ -77,6 +77,17 @@ class PacketNetwork : public NetworkApi
      *  so tests can verify free-list recycling. */
     size_t messageSlots() const { return messages_.slots(); }
 
+    /** The message pool doubles as this backend's in-flight-unit pool
+     *  for the bytes/flow footprint metric (telemetry). */
+    size_t flowSlots() const override { return messages_.slots(); }
+
+    /** Heartbeat gauge: messages currently in flight. */
+    size_t activeCount() const override { return messages_.liveCount(); }
+
+    /** Adds the link graph, port FIFOs, message pool and parking lots
+     *  to the base accounting (telemetry footprint protocol). */
+    size_t bytesInUse() const override;
+
     Bytes packetBytes() const { return packetBytes_; }
 
   private:

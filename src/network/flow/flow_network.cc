@@ -543,6 +543,28 @@ FlowNetwork::fillTraceCounters(trace::Counters &counters) const
                  solver_.avgComponentFrac());
 }
 
+size_t
+FlowNetwork::bytesInUse() const
+{
+    return NetworkApi::bytesInUse() + graph_.bytesInUse() +
+           flows_.bytesInUse() + incidence_.bytesInUse() +
+           active_.capacity() * sizeof(uint32_t) +
+           linkBusy_.capacity() * sizeof(TimeNs) +
+           capScale_.capacity() * sizeof(double) +
+           linkUpState_.capacity() * sizeof(uint8_t) +
+           dirtySeeds_.capacity() * sizeof(LinkId) +
+           seedMark_.capacity() * sizeof(uint64_t) +
+           linkVisit_.capacity() * sizeof(uint64_t) +
+           slotScratch_.capacity() * sizeof(SlotScratch) +
+           comp_.capacity() * sizeof(uint32_t) +
+           affected_.capacity() * sizeof(uint32_t) +
+           fillStamp_.capacity() * sizeof(uint64_t) +
+           touched_.capacity() * sizeof(uint32_t) +
+           capLeft_.capacity() * sizeof(double) +
+           flowsLeft_.capacity() * sizeof(int) +
+           unfixed_.capacity() * sizeof(uint32_t);
+}
+
 void
 FlowNetwork::onCompletion(uint64_t id, uint32_t epoch)
 {

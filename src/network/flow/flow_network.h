@@ -114,8 +114,18 @@ class FlowNetwork : public NetworkApi
     size_t activeFlowCount() const { return active_.size(); }
 
     /** Flow slots allocated (live + recyclable); exposed so tests can
-     *  verify free-list recycling. */
-    size_t flowSlots() const { return flows_.slots(); }
+     *  verify free-list recycling, and the denominator of the
+     *  bytes/flow footprint metric (telemetry). */
+    size_t flowSlots() const override { return flows_.slots(); }
+
+    /** Heartbeat gauge: in-flight flows (== activeFlowCount()). */
+    size_t activeCount() const override { return active_.size(); }
+
+    /** Adds the link graph, flow pool, incidence lists and solver
+     *  scratch to the base accounting (telemetry footprint protocol).
+     *  Shallow: per-flow cached paths belong to the graph's path
+     *  cache, which LinkGraph::bytesInUse counts once. */
+    size_t bytesInUse() const override;
 
     /** Max-min solves performed so far (one per dirty batch). */
     uint64_t solveCount() const { return solver_.solves; }

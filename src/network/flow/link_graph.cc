@@ -227,6 +227,28 @@ LinkGraph::faultLinks(NpuId src, NpuId dst, int dim)
     return out;
 }
 
+size_t
+LinkGraph::bytesInUse() const
+{
+    // unordered_map nodes: payload + a next pointer per node, plus one
+    // bucket pointer per bucket. An estimate of libstdc++'s layout —
+    // but a pure function of the key set, hence deterministic.
+    constexpr size_t kHashNode = sizeof(void *);
+    size_t bytes = links_.capacity() * sizeof(Link) +
+                   linksPerDim_.capacity() * sizeof(int) +
+                   switchBase_.capacity() * sizeof(int);
+    bytes += linkIndex_.bucket_count() * sizeof(void *) +
+             linkIndex_.size() *
+                 (sizeof(uint64_t) + sizeof(LinkId) + kHashNode);
+    bytes += pathCache_.bucket_count() * sizeof(void *);
+    for (const auto &[key, path] : pathCache_) {
+        (void)key;
+        bytes += sizeof(uint64_t) + sizeof(std::vector<LinkId>) +
+                 kHashNode + path.capacity() * sizeof(LinkId);
+    }
+    return bytes;
+}
+
 void
 LinkIncidence::reset(size_t link_count)
 {

@@ -88,6 +88,11 @@ class LinkGraph
      *  `dim` (which must be a Switch dimension). */
     int switchNodeOf(int dim, NpuId member) const;
 
+    /** Heap bytes held by the link table, routing index and path
+     *  cache (telemetry footprint protocol; hash-map node sizes are
+     *  estimates, but deterministic functions of the key sets). */
+    size_t bytesInUse() const;
+
   private:
     void addLink(int from, int to, int dim, GBps bw, TimeNs lat);
     LinkId linkBetween(int from, int to) const;
@@ -163,6 +168,17 @@ class LinkIncidence
 
     /** Upper bound on live members of `l` (stale entries included). */
     size_t entryCount(LinkId l) const { return lists_[l].size(); }
+
+    /** Heap bytes held by the per-link lists (telemetry footprint
+     *  protocol; capacity-based). */
+    size_t
+    bytesInUse() const
+    {
+        size_t bytes = lists_.capacity() * sizeof(std::vector<Entry>);
+        for (const std::vector<Entry> &list : lists_)
+            bytes += list.capacity() * sizeof(Entry);
+        return bytes;
+    }
 
   private:
     std::vector<std::vector<Entry>> lists_; //!< per-link membership.

@@ -62,6 +62,26 @@ NetworkApi::setLinkUp(NpuId src, NpuId dst, int dim, bool up)
     fatal("this network backend does not support link fault injection");
 }
 
+size_t
+NetworkApi::bytesInUse() const
+{
+    // std::map nodes: payload plus the three pointers + color of an
+    // rb-tree node (an estimate that is still a pure function of the
+    // live key set, so deterministic).
+    constexpr size_t kNodeOverhead = 4 * sizeof(void *);
+    size_t bytes = stats_.bytesPerDim.capacity() * sizeof(double) +
+                   stats_.busyTimePerDim.capacity() * sizeof(double) +
+                   stats_.linksPerDim.capacity() * sizeof(int);
+    bytes += arrived_.size() *
+             (sizeof(PendingKey) + sizeof(int) + kNodeOverhead);
+    for (const auto &[key, cbs] : posted_) {
+        (void)key;
+        bytes += sizeof(PendingKey) + kNodeOverhead +
+                 cbs.capacity() * sizeof(EventCallback);
+    }
+    return bytes;
+}
+
 std::vector<NetworkApi::PendingIo>
 NetworkApi::danglingRecvs() const
 {
@@ -197,6 +217,22 @@ NetworkApi::accountBusy(int dim, TimeNs delta, TimeNs link_total)
         stats_.busyTimePerDim[static_cast<size_t>(dim)] += delta;
     if (link_total > stats_.maxLinkBusyNs)
         stats_.maxLinkBusyNs = link_total;
+}
+
+const char *
+backendName(NetworkBackendKind kind)
+{
+    switch (kind) {
+      case NetworkBackendKind::Analytical:
+        return "analytical";
+      case NetworkBackendKind::AnalyticalPure:
+        return "analytical-pure";
+      case NetworkBackendKind::Flow:
+        return "flow";
+      case NetworkBackendKind::Packet:
+        return "packet";
+    }
+    panic("unknown network backend kind");
 }
 
 std::unique_ptr<NetworkApi>

@@ -181,6 +181,29 @@ class NetworkApi
         (void)counters;
     }
 
+    /**
+     * Heap bytes held by the backend's own state (telemetry footprint
+     * protocol, docs/observability.md). Capacity-based — a
+     * deterministic function of the traffic, not of malloc — and
+     * shallow where objects nest (pool slot storage, not per-slot
+     * member heaps). The base accounting covers the shared
+     * matching/dangling maps; backends add their graphs, ports, and
+     * pools on top.
+     */
+    virtual size_t bytesInUse() const;
+
+    /**
+     * Slots the backend's in-flight-unit pool has allocated (flows
+     * for the flow backend, messages for the packet backend; the
+     * analytical backend has no per-message state and reports 0).
+     * The bytes/flow headline metric is bytesInUse() / flowSlots().
+     */
+    virtual size_t flowSlots() const { return 0; }
+
+    /** In-flight units right now (active flows / messages; 0 where
+     *  the backend keeps no such state). Heartbeat gauge. */
+    virtual size_t activeCount() const { return 0; }
+
     TimeNs now() const { return eq_.now(); }
     EventQueue &eventQueue() { return eq_; }
     const Topology &topology() const { return topo_; }
@@ -255,6 +278,10 @@ enum class NetworkBackendKind {
     Flow,             //!< congestion-aware fluid flows, max-min fair.
     Packet,           //!< detailed packet-level reference backend.
 };
+
+/** Canonical config-schema name of a backend kind ("analytical",
+ *  "flow", ...) — the inverse of backendFromJson. */
+const char *backendName(NetworkBackendKind kind);
 
 /** Factory for the built-in backends. */
 std::unique_ptr<NetworkApi> makeNetwork(NetworkBackendKind kind,

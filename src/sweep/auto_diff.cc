@@ -27,6 +27,9 @@ traceConfig(const SweepSpec &spec, size_t index)
     mat.cfg.trace.utilizationFile.clear();
     mat.cfg.trace.analysis = false;
     mat.cfg.trace.analysisFile.clear();
+    // The re-run is an internal probe: suppress telemetry outputs so
+    // it can never clobber the original run's heartbeats or manifest.
+    mat.cfg.telemetry = telemetry::TelemetryConfig{};
     Simulator sim(std::move(mat.topo), std::move(mat.cfg));
     sim.run(mat.workload);
     return trace::analysis::TraceData::fromTracer(*sim.tracer());
@@ -35,18 +38,40 @@ traceConfig(const SweepSpec &spec, size_t index)
 } // namespace
 
 AutoDiffResult
-autoDiffExtremes(const SweepSpec &spec, const ResultStore &store,
-                 Metric metric)
+autoDiffRows(const SweepSpec &spec, const ResultStore &store,
+             size_t row_a, size_t row_b)
 {
+    ASTRA_USER_CHECK(row_a < store.rows(),
+                     "--diff-rows: row %zu out of range (sweep has "
+                     "%zu rows)",
+                     row_a, store.rows());
+    ASTRA_USER_CHECK(row_b < store.rows(),
+                     "--diff-rows: row %zu out of range (sweep has "
+                     "%zu rows)",
+                     row_b, store.rows());
+    ASTRA_USER_CHECK(!store.row(row_a).failed,
+                     "--diff-rows: row %zu failed: %s", row_a,
+                     store.row(row_a).error.c_str());
+    ASTRA_USER_CHECK(!store.row(row_b).failed,
+                     "--diff-rows: row %zu failed: %s", row_b,
+                     store.row(row_b).error.c_str());
     AutoDiffResult out;
-    out.indexMin = store.row(store.argmin(metric)).config.index;
-    out.indexMax = store.row(store.argmax(metric)).config.index;
+    out.indexMin = store.row(row_a).config.index;
+    out.indexMax = store.row(row_b).config.index;
     out.labelMin = spec.config(out.indexMin).label;
     out.labelMax = spec.config(out.indexMax).label;
     trace::analysis::TraceData a = traceConfig(spec, out.indexMin);
     trace::analysis::TraceData b = traceConfig(spec, out.indexMax);
     out.diff = trace::analysis::diffTraces(a, b);
     return out;
+}
+
+AutoDiffResult
+autoDiffExtremes(const SweepSpec &spec, const ResultStore &store,
+                 Metric metric)
+{
+    return autoDiffRows(spec, store, store.argmin(metric),
+                        store.argmax(metric));
 }
 
 } // namespace sweep

@@ -42,6 +42,16 @@ struct AutoDiffResult
 AutoDiffResult autoDiffExtremes(const SweepSpec &spec,
                                 const ResultStore &store, Metric metric);
 
+/**
+ * Same re-run-with-tracing diff for an arbitrary row pair (the
+ * `--diff-rows I J` CLI path): A = row_a, B = row_b. fatal() if
+ * either index is out of range or the row failed. Rows are store
+ * indices (== config indices when the store came from fromBatch).
+ */
+AutoDiffResult autoDiffRows(const SweepSpec &spec,
+                            const ResultStore &store, size_t row_a,
+                            size_t row_b);
+
 } // namespace sweep
 } // namespace astra
 

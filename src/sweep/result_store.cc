@@ -202,7 +202,8 @@ ResultStore::toCsv() const
            "max_link_util,queueing_delay_ns,interference_slowdown,"
            "lost_work_ns,recovery_time_ns,num_faults,goodput,"
            "critical_path_ns,availability,blast_radius,"
-           "spare_utilization,status\n";
+           "spare_utilization,peak_footprint_bytes,bytes_per_flow,"
+           "manifest,status\n";
 
     char buf[64];
     for (const SweepResult &r : rows_) {
@@ -213,10 +214,10 @@ ResultStore::toCsv() const
         for (const std::string &v : r.config.axisValues)
             out += ',' + csvField(v);
         if (r.failed) {
-            // Nineteen empty metric fields, then the status field —
+            // Twenty-two empty metric fields, then the status field —
             // same arity as the ok branch so header-keyed parsers
             // align.
-            out += ",,,,,,,,,,,,,,,,,,,,";
+            out += ",,,,,,,,,,,,,,,,,,,,,,,";
             out += csvField("failed: " + r.error);
         } else {
             const RuntimeBreakdown &b = r.report.average;
@@ -248,6 +249,11 @@ ResultStore::toCsv() const
                           r.report.availability, r.report.blastRadius,
                           r.report.spareUtilization);
             out += buf;
+            std::snprintf(buf, sizeof(buf), ",%zu,%.3f",
+                          r.report.peakFootprintBytes,
+                          r.report.bytesPerFlow);
+            out += buf;
+            out += ',' + csvField(r.manifest);
             out += ",ok";
         }
         out += '\n';
@@ -282,6 +288,8 @@ ResultStore::toJson() const
             row["error"] = json::Value(r.error);
         } else {
             row["status"] = json::Value("ok");
+            if (!r.manifest.empty())
+                row["manifest"] = json::Value(r.manifest);
             row["report"] = reportToJson(r.report);
         }
         rows.push_back(json::Value(std::move(row)));

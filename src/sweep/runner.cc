@@ -1,7 +1,9 @@
 #include "sweep/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -10,6 +12,7 @@
 
 #include "cluster/config.h"
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace astra {
 namespace sweep {
@@ -63,10 +66,169 @@ struct WorkDeque
     }
 };
 
+/**
+ * Batch heartbeat emitter (docs/observability.md). A dedicated
+ * sampling thread wakes on the wall-clock cadence and appends one
+ * NDJSON line with rows done/total, cache hits, failures, and
+ * per-worker occupancy. Constructed only when telemetry asks for it;
+ * workers touch nothing but a few atomics, so results are untouched
+ * and the batch stays byte-identical at any thread count.
+ */
+class SweepPulse
+{
+  public:
+    SweepPulse(const telemetry::TelemetryConfig &cfg, size_t total,
+               int workers)
+        : total_(total), busy_(static_cast<size_t>(workers))
+    {
+        for (auto &b : busy_)
+            b.store(0, std::memory_order_relaxed);
+        if (!cfg.file.empty()) {
+            out_ = std::fopen(cfg.file.c_str(), "wb");
+            ASTRA_USER_CHECK(out_ != nullptr,
+                             "telemetry: cannot write heartbeat file "
+                             "'%s'",
+                             cfg.file.c_str());
+        }
+        intervalMs_ = cfg.intervalMs > 0.0 ? cfg.intervalMs : 500.0;
+        start_ = telemetry::wallNow();
+        sampler_ = std::thread([this] { loop(); });
+    }
+
+    ~SweepPulse() { stop(); }
+
+    /** Final beat + shutdown; idempotent. */
+    void
+    stop()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (stopped_)
+                return;
+            stopped_ = true;
+        }
+        wake_.notify_all();
+        sampler_.join();
+        emit(); // final beat: rows_done == rows_total on success.
+        if (out_ != nullptr) {
+            std::fclose(out_);
+            out_ = nullptr;
+        }
+    }
+
+    void
+    markBusy(int worker, bool busy)
+    {
+        busy_[static_cast<size_t>(worker)].store(
+            busy ? 1 : 0, std::memory_order_relaxed);
+    }
+
+    void
+    rowDone(bool from_cache, bool failed)
+    {
+        done_.fetch_add(1, std::memory_order_relaxed);
+        if (from_cache)
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        if (failed)
+            failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            wake_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                     intervalMs_));
+            if (stopped_)
+                return;
+            emit();
+        }
+    }
+
+    void
+    emit()
+    {
+        if (out_ == nullptr)
+            return;
+        size_t done = done_.load(std::memory_order_relaxed);
+        double wall = telemetry::wallNow() - start_;
+        double rate = wall > 0.0 ? double(done) / wall : 0.0;
+        double eta = rate > 0.0 && done < total_
+                         ? double(total_ - done) / rate
+                         : 0.0;
+        size_t busy = 0;
+        std::string workers = "[";
+        for (size_t w = 0; w < busy_.size(); ++w) {
+            int b = busy_[w].load(std::memory_order_relaxed);
+            busy += static_cast<size_t>(b);
+            workers += (w > 0 ? "," : "") + std::to_string(b);
+        }
+        workers += "]";
+        std::fprintf(
+            out_,
+            "{\"seq\":%llu,\"rows_done\":%zu,\"rows_total\":%zu,"
+            "\"cache_hits\":%zu,\"failures\":%zu,\"workers_busy\":%zu,"
+            "\"worker_busy\":%s,\"wall_seconds\":%.6f,"
+            "\"wall_rows_per_s\":%.6f,\"wall_eta_seconds\":%.6f}\n",
+            static_cast<unsigned long long>(seq_++), done, total_,
+            cacheHits_.load(std::memory_order_relaxed),
+            failures_.load(std::memory_order_relaxed), busy,
+            workers.c_str(), wall, rate, eta);
+        std::fflush(out_);
+    }
+
+    size_t total_;
+    std::vector<std::atomic<int>> busy_;
+    std::atomic<size_t> done_{0};
+    std::atomic<size_t> cacheHits_{0};
+    std::atomic<size_t> failures_{0};
+    std::FILE *out_ = nullptr;
+    double intervalMs_ = 500.0;
+    double start_ = 0.0;
+    uint64_t seq_ = 0;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::thread sampler_;
+    bool stopped_ = false;
+};
+
+/**
+ * Per-row run manifest (docs/observability.md): written for every
+ * configuration the batch resolved — including cache hits, whose
+ * manifest records from_cache — so any result row can be traced to a
+ * provenance document whose config_hash matches the cache key.
+ */
 void
-runOne(const SweepSpec &spec, size_t index, ResultCache *cache,
+writeRowManifest(const json::Value &doc, SweepResult &slot,
+                 const std::string &dir)
+{
+    telemetry::ManifestInfo info;
+    info.kind = "sweep-row";
+    info.configHash = slot.config.hash;
+    info.fromCache = slot.fromCache;
+    info.backend = doc.getString("backend", "analytical");
+    Topology topo = topologyFromSpec(doc.at("topology"));
+    info.topology = telemetry::topologyNotation(topo);
+    info.npus = topo.npus();
+    if (doc.has("fault"))
+        info.seed = static_cast<uint64_t>(
+            doc.at("fault").getNumber("seed", 1.0));
+    telemetry::fillManifestFromReport(info, slot.report);
+    info.wallBreakdown.emplace_back("run", slot.report.wallSeconds);
+    std::string path =
+        dir + "/manifest-" + configHashString(slot.config.hash) +
+        ".json";
+    telemetry::writeManifest(path, info);
+    slot.manifest = path;
+}
+
+void
+runOne(const SweepSpec &spec, size_t index, const BatchOptions &opts,
        SweepResult &slot)
 {
+    ResultCache *cache = opts.cache;
     // std::exception (not just FatalError): a worker thread has no
     // one to rethrow to — anything escaping the thread body would
     // std::terminate the whole batch. bad_alloc from an oversized
@@ -104,6 +266,8 @@ runOne(const SweepSpec &spec, size_t index, ResultCache *cache,
         }
         if (hit) {
             slot.fromCache = true;
+            if (!opts.manifestDir.empty())
+                writeRowManifest(doc, slot, opts.manifestDir);
             return;
         }
     }
@@ -116,6 +280,8 @@ runOne(const SweepSpec &spec, size_t index, ResultCache *cache,
     }
     if (cache != nullptr)
         cache->insert(slot.config.hash, slot.report);
+    if (!opts.manifestDir.empty())
+        writeRowManifest(doc, slot, opts.manifestDir);
 }
 
 } // namespace
@@ -263,9 +429,25 @@ runBatch(const SweepSpec &spec, const BatchOptions &opts)
 
     auto host_start = std::chrono::steady_clock::now();
 
+    // Batch heartbeats (created only when asked for; results are
+    // untouched either way).
+    std::unique_ptr<SweepPulse> pulse;
+    if (opts.telemetry.heartbeatsEnabled())
+        pulse = std::make_unique<SweepPulse>(opts.telemetry, n, threads);
+    auto run_slot = [&](int worker, size_t index) {
+        if (pulse)
+            pulse->markBusy(worker, true);
+        runOne(spec, index, opts, out.results[index]);
+        if (pulse) {
+            pulse->markBusy(worker, false);
+            pulse->rowDone(out.results[index].fromCache,
+                           out.results[index].failed);
+        }
+    };
+
     if (threads == 1) {
         for (size_t i = 0; i < n; ++i)
-            runOne(spec, i, opts.cache, out.results[i]);
+            run_slot(0, i);
         out.workerPoolStats.push_back(CallbackPool::stats());
     } else {
         // Deal contiguous shards: worker w owns [w*n/T, (w+1)*n/T).
@@ -285,7 +467,7 @@ runBatch(const SweepSpec &spec, const BatchOptions &opts)
             size_t index;
             for (;;) {
                 if (own.popFront(&index)) {
-                    runOne(spec, index, opts.cache, out.results[index]);
+                    run_slot(id, index);
                     continue;
                 }
                 // Own shard drained: steal from the most loaded
@@ -320,7 +502,7 @@ runBatch(const SweepSpec &spec, const BatchOptions &opts)
                 }
                 if (!stole)
                     break;
-                runOne(spec, index, opts.cache, out.results[index]);
+                run_slot(id, index);
             }
             // Snapshot this worker's thread_local pool counters while
             // the thread is still alive.
@@ -335,6 +517,9 @@ runBatch(const SweepSpec &spec, const BatchOptions &opts)
         for (std::thread &t : pool)
             t.join();
     }
+
+    if (pulse)
+        pulse->stop();
 
     auto host_end = std::chrono::steady_clock::now();
     out.wallSeconds =

@@ -93,6 +93,23 @@ struct BatchOptions
     int threads = 1;
     /** Optional cache consulted before and filled after each run. */
     ResultCache *cache = nullptr;
+    /**
+     * Sweep-level telemetry (docs/observability.md). `file` +
+     * `intervalMs` drive batch heartbeats — NDJSON lines with rows
+     * done/total, cache hits, failures, and per-worker occupancy,
+     * sampled on a wall-clock cadence by a dedicated thread (batch
+     * progress is inherently wall-paced; results are untouched).
+     * `intervalEvents` is ignored at the batch level.
+     */
+    telemetry::TelemetryConfig telemetry;
+    /**
+     * Directory for per-row run manifests ("" = none). Each
+     * configuration — including rows served from the cache — writes
+     * `manifest-<confighash16>.json` there, and its result row
+     * carries the path (SweepResult::manifest), so every row is
+     * resolvable to the provenance record of what produced it.
+     */
+    std::string manifestDir;
 };
 
 /** Outcome of one configuration. */
@@ -107,6 +124,9 @@ struct SweepResult
     bool fromCache = false;
     bool failed = false;
     std::string error; //!< failure message when failed.
+    /** Path of this row's run manifest ("" unless the batch ran with
+     *  BatchOptions::manifestDir). */
+    std::string manifest;
 };
 
 /** Outcome of a whole batch. */

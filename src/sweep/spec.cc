@@ -435,7 +435,8 @@ materializeConfig(const json::Value &doc)
     // ignored and the run would report healthy default behavior.
     static const char *const kKnownKeys[] = {"topology", "backend",
                                              "system", "workload",
-                                             "fault", "trace"};
+                                             "fault", "trace",
+                                             "telemetry"};
     for (const auto &[key, value] : doc.asObject()) {
         (void)value;
         bool known = false;
@@ -444,7 +445,7 @@ materializeConfig(const json::Value &doc)
         ASTRA_USER_CHECK(known,
                          "config: unknown top-level key '%s' "
                          "(topology | backend | system | workload | "
-                         "fault | trace)",
+                         "fault | trace | telemetry)",
                          key.c_str());
     }
     ASTRA_USER_CHECK(doc.has("topology"),
@@ -464,6 +465,13 @@ materializeConfig(const json::Value &doc)
         cfg.fault = fault::faultConfigFromJson(doc.at("fault"), "fault");
     if (doc.has("trace"))
         cfg.trace = trace::traceConfigFromJson(doc.at("trace"), "trace");
+    if (doc.has("telemetry")) {
+        cfg.telemetry = telemetry::telemetryConfigFromJson(
+            doc.at("telemetry"), "telemetry");
+        // Provenance for the run's manifest: the hash of this very
+        // document (the sweep cache identity).
+        cfg.telemetry.configHash = configHash(doc);
+    }
 
     ASTRA_USER_CHECK(doc.has("workload"),
                      "sweep config: missing 'workload'");

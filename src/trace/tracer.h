@@ -251,6 +251,24 @@ class Tracer
                          size_t(cur_ - blocks_.back().get());
     }
 
+    /**
+     * Heap bytes held by the event blocks, link tracks and name table
+     * (telemetry footprint protocol, docs/observability.md). Blocks
+     * are counted at full size — they are allocated whole — so this
+     * is a deterministic step function of the event count.
+     */
+    size_t
+    bytesInUse() const
+    {
+        size_t bytes = blocks_.size() * kBlockSize * sizeof(Event) +
+                       blocks_.capacity() * sizeof(void *) +
+                       names_.capacity() * sizeof(std::string) +
+                       links_.capacity() * sizeof(LinkState);
+        for (const LinkState &ls : links_)
+            bytes += ls.busyNs.capacity() * sizeof(double);
+        return bytes;
+    }
+
     // ---- in-memory inspection (src/trace/analysis/) -------------
     /** One recorded timeline event with its deferred name resolved.
      *  `open` marks never-closed beginSpan() spans (dropped at

@@ -139,7 +139,8 @@ TEST(ResultStore, CsvShapeAndQuoting)
               "max_link_util,queueing_delay_ns,"
               "interference_slowdown,lost_work_ns,recovery_time_ns,"
               "num_faults,goodput,critical_path_ns,availability,"
-              "blast_radius,spare_utilization,status");
+              "blast_radius,spare_utilization,peak_footprint_bytes,"
+              "bytes_per_flow,manifest,status");
     // RFC-4180: embedded quotes doubled, field quoted.
     EXPECT_NE(row.find("\"has,comma \"\"quoted\"\"\""),
               std::string::npos);
